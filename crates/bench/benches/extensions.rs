@@ -1,0 +1,142 @@
+//! Extension experiments beyond the paper's evaluation:
+//!
+//! 1. **Deployment robustness** — the paper deploys uniformly; do the
+//!    relative results survive clustered (Gaussian hotspots) and planned
+//!    (jittered grid) deployments?
+//! 2. **Partial charging** — the paper's related work (Liang et al.
+//!    [15]) contrasts full vs partial charging. Charging to a fraction
+//!    of capacity shortens every sojourn but makes sensors request again
+//!    sooner; this sweep quantifies the trade-off on the year-long
+//!    simulation.
+//! 3. **Dispatch mode** — synchronous rounds (all K together, barrier at
+//!    the longest tour) vs per-charger pipelining (`AsyncSimulation`).
+//! 4. **Fleet sizing** — the minimum `K` each planner needs to keep the
+//!    network essentially alive (the \[13\]\[14\] question): a smarter
+//!    scheduler is directly worth chargers.
+//!
+//! Knobs: `WRSN_INSTANCES` (default 5), `WRSN_HORIZON_DAYS` (default 120).
+
+use wrsn_bench::{env_f64, env_usize, PlannerKind};
+use wrsn_core::{ChargingParams, ChargingProblem, PlannerConfig};
+use wrsn_net::{Deployment, NetworkBuilder};
+use wrsn_sim::{AsyncSimulation, SimConfig, Simulation};
+
+fn main() {
+    let instances = env_usize("WRSN_INSTANCES", 5);
+    let horizon_s = env_f64("WRSN_HORIZON_DAYS", 120.0) * 86_400.0;
+
+    println!("## Deployment robustness (n=800, K=2, longest tour in hours)\n");
+    let deployments: [(&str, Deployment); 3] = [
+        ("uniform (paper)", Deployment::Uniform),
+        ("gaussian hotspots", Deployment::GaussianClusters { clusters: 5, sigma_m: 12.0 }),
+        ("jittered grid", Deployment::Grid { jitter_m: 3.0 }),
+    ];
+    print!("{:>20}", "deployment");
+    for kind in PlannerKind::extended() {
+        print!("{:>11}", kind.name());
+    }
+    println!();
+    for (label, dep) in deployments {
+        print!("{label:>20}");
+        for kind in PlannerKind::extended() {
+            let planner = kind.build(PlannerConfig::default());
+            let mut sum = 0.0;
+            for i in 0..instances {
+                let mut net = NetworkBuilder::new(800)
+                    .seed(3_000 + i as u64)
+                    .deployment(dep)
+                    .build();
+                let requests = Simulation::warm_up_period(&mut net, 0.2, 5.0 * 86_400.0);
+                let problem = ChargingProblem::from_network(&net, &requests, 2)
+                    .expect("valid instance");
+                let schedule = planner.plan(&problem).expect("planner is complete");
+                debug_assert!(schedule.certify(&problem).is_ok());
+                sum += schedule.longest_delay_s();
+            }
+            print!("{:>11.2}", sum / instances as f64 / 3600.0);
+        }
+        println!();
+    }
+
+    println!("\n## Partial charging (n=900, K=2, Appro, {:.0}-day horizon)\n", horizon_s / 86_400.0);
+    println!(
+        "{:>8} {:>8} {:>14} {:>16} {:>14}",
+        "target", "rounds", "mean round (h)", "dead (min/sensor)", "utilization"
+    );
+    for frac in [0.5f64, 0.6, 0.7, 0.8, 0.9, 1.0] {
+        let (mut rounds, mut round_len, mut dead, mut util) = (0.0, 0.0, 0.0, 0.0);
+        for i in 0..instances {
+            let net = NetworkBuilder::new(900).seed(4_000 + i as u64).build();
+            let mut cfg = SimConfig::default();
+            cfg.horizon_s = horizon_s;
+            cfg.params = ChargingParams::with_partial_charging(frac);
+            let report = Simulation::new(net, cfg)
+                .run(
+                    PlannerKind::Appro.build(PlannerConfig::default()).as_ref(),
+                    2,
+                )
+                .expect("planner is complete");
+            rounds += report.rounds_dispatched() as f64;
+            round_len += report.avg_longest_delay_s();
+            dead += report.avg_dead_time_s();
+            util += report.charger_utilization(2, cfg.params.eta_w);
+        }
+        let f = instances as f64;
+        println!(
+            "{:>8.1} {:>8.0} {:>14.2} {:>16.1} {:>14.2}",
+            frac,
+            rounds / f,
+            round_len / f / 3600.0,
+            dead / f / 60.0,
+            util / f
+        );
+    }
+
+    println!("\n## Dispatch mode (Appro, K=2, {:.0}-day horizon)\n", horizon_s / 86_400.0);
+    println!("{:>6} {:>22} {:>22}", "n", "sync dead (min)", "async dead (min)");
+    for n in [600usize, 900, 1100] {
+        let (mut sync_dead, mut async_dead) = (0.0, 0.0);
+        for i in 0..instances {
+            let mut cfg = SimConfig::default();
+            cfg.horizon_s = horizon_s;
+            let planner = PlannerKind::Appro.build(PlannerConfig::default());
+            let net = NetworkBuilder::new(n).seed(5_000 + i as u64).build();
+            sync_dead += Simulation::new(net.clone(), cfg)
+                .run(planner.as_ref(), 2)
+                .expect("planner is complete")
+                .avg_dead_time_s();
+            async_dead += AsyncSimulation::new(net, cfg)
+                .run(planner.as_ref(), 2)
+                .expect("planner is complete")
+                .avg_dead_time_s();
+        }
+        let f = instances as f64;
+        println!(
+            "{:>6} {:>22.1} {:>22.1}",
+            n,
+            sync_dead / f / 60.0,
+            async_dead / f / 60.0
+        );
+    }
+
+    println!(
+        "\n## Fleet sizing (n=1000, {:.0}-day horizon, tolerance 10 min dead/sensor)\n",
+        horizon_s / 86_400.0
+    );
+    println!("{:>10} {:>14}", "planner", "min chargers");
+    for kind in PlannerKind::extended() {
+        let planner = kind.build(PlannerConfig::default());
+        let mut needed = Vec::new();
+        for i in 0..instances.min(3) {
+            let net = NetworkBuilder::new(1000).seed(6_000 + i as u64).build();
+            let mut cfg = SimConfig::default();
+            cfg.horizon_s = horizon_s;
+            let sizing =
+                wrsn_sim::fleet::minimum_chargers(&net, planner.as_ref(), &cfg, 6, 600.0)
+                    .expect("planner is complete");
+            needed.push(sizing.min_chargers.map_or(7.0, |k| k as f64));
+        }
+        let mean = needed.iter().sum::<f64>() / needed.len() as f64;
+        println!("{:>10} {:>14.1}", kind.name(), mean);
+    }
+}

@@ -1,0 +1,73 @@
+//! Approximation quality: Appro against instance lower bounds and, on
+//! tiny instances, against exact optima.
+//!
+//! Theorem 1 of the paper guarantees a ratio of `40π·τ_max/τ_min + 1`
+//! (≥ 127). This bench reports the *measured* gaps:
+//!
+//! 1. snapshot instances: `longest delay / lower_bound` (the lower bound
+//!    of `wrsn_core::bounds` is valid for OPT, so this over-estimates
+//!    the true ratio);
+//! 2. tiny instances (n ≤ 8): the heuristic min–max k-tour splitter vs
+//!    the exact optimum from `wrsn_algo::exact` — the component whose
+//!    5-approximation drives the paper's constant.
+//!
+//! Knobs: `WRSN_INSTANCES` (default 10).
+
+use wrsn_algo::exact::exact_min_max_ktours;
+use wrsn_algo::ktour::min_max_ktours;
+use wrsn_bench::{env_usize, SnapshotExperiment};
+use wrsn_core::{bounds, Appro, Planner, PlannerConfig};
+use wrsn_geom::{dist_matrix, Point};
+
+fn main() {
+    let instances = env_usize("WRSN_INSTANCES", 10);
+
+    println!("## Appro vs instance lower bounds (upper estimate of the true ratio)\n");
+    println!("{:>6} {:>12} {:>12} {:>8}", "n", "delay (h)", "bound (h)", "ratio");
+    for &n in &[200usize, 400, 600, 800, 1000] {
+        let exp = SnapshotExperiment { n, k: 2, instances, ..Default::default() };
+        let planner = Appro::new(PlannerConfig::default());
+        let (mut delay_sum, mut lb_sum, mut ratio_sum) = (0.0, 0.0, 0.0);
+        for i in 0..instances {
+            let problem = exp.problem(i);
+            let schedule = planner.plan(&problem).expect("planner is complete");
+            let lb = bounds::lower_bound(&problem).max(1e-9);
+            delay_sum += schedule.longest_delay_s();
+            lb_sum += lb;
+            ratio_sum += schedule.longest_delay_s() / lb;
+        }
+        let f = instances as f64;
+        println!(
+            "{:>6} {:>12.2} {:>12.2} {:>8.2}",
+            n,
+            delay_sum / f / 3600.0,
+            lb_sum / f / 3600.0,
+            ratio_sum / f
+        );
+    }
+
+    println!("\n## Heuristic vs exact min-max k-tours (tiny instances)\n");
+    println!("{:>6} {:>4} {:>12} {:>12} {:>8}", "seed", "k", "heur", "exact", "ratio");
+    let mut worst: f64 = 1.0;
+    for seed in 0..instances as u64 {
+        let pts: Vec<Point> = (0..7)
+            .map(|i| {
+                Point::new(
+                    ((i * 37 + seed as usize * 13) % 100) as f64,
+                    ((i * 73 + seed as usize * 29) % 100) as f64,
+                )
+            })
+            .collect();
+        let d = dist_matrix(&pts);
+        let depot: Vec<f64> = pts.iter().map(|p| p.dist(Point::new(50.0, 50.0))).collect();
+        let service: Vec<f64> = (0..7).map(|i| 50.0 * ((i + seed as usize) % 3) as f64).collect();
+        for k in [2usize, 3] {
+            let heur = min_max_ktours(&d, &depot, &service, k, 30).max_delay;
+            let exact = exact_min_max_ktours(&d, &depot, &service, k).max_delay;
+            let ratio = heur / exact.max(1e-9);
+            worst = worst.max(ratio);
+            println!("{seed:>6} {k:>4} {heur:>12.1} {exact:>12.1} {ratio:>8.3}");
+        }
+    }
+    println!("\nworst heuristic/exact ratio observed: {worst:.3} (guarantee: 5.0)");
+}

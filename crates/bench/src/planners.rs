@@ -1,0 +1,121 @@
+//! Uniform construction of the five planners under comparison.
+
+use wrsn_baselines::{Aa, KEdf, KMinMax, MmMatch, Netwrap};
+use wrsn_core::{Appro, Planner, PlannerConfig};
+
+/// The five algorithms the paper evaluates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PlannerKind {
+    /// The paper's approximation algorithm (Algorithm 1).
+    Appro,
+    /// Earliest-deadline-first with Hungarian group assignment.
+    KEdf,
+    /// Greedy weighted travel/urgency selection.
+    Netwrap,
+    /// k-means partition + per-cluster TSP tour.
+    Aa,
+    /// Min–max K rooted tours over all sensors.
+    KMinMax,
+    /// Rounds of bottleneck matchings (Liang & Luo style; extension-only,
+    /// not part of the paper's comparison).
+    MmMatch,
+}
+
+impl PlannerKind {
+    /// The paper's five algorithms in its presentation order.
+    pub fn all() -> [PlannerKind; 5] {
+        [
+            PlannerKind::Appro,
+            PlannerKind::KEdf,
+            PlannerKind::Netwrap,
+            PlannerKind::Aa,
+            PlannerKind::KMinMax,
+        ]
+    }
+
+    /// The paper's five plus the extension baselines.
+    pub fn extended() -> [PlannerKind; 6] {
+        [
+            PlannerKind::Appro,
+            PlannerKind::KEdf,
+            PlannerKind::Netwrap,
+            PlannerKind::Aa,
+            PlannerKind::KMinMax,
+            PlannerKind::MmMatch,
+        ]
+    }
+
+    /// The display name used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlannerKind::Appro => "Appro",
+            PlannerKind::KEdf => "K-EDF",
+            PlannerKind::Netwrap => "NETWRAP",
+            PlannerKind::Aa => "AA",
+            PlannerKind::KMinMax => "K-minMax",
+            PlannerKind::MmMatch => "MM-Match",
+        }
+    }
+
+    /// Resolves a planner by display name (case-insensitive; accepts the
+    /// paper names and bare forms like "kminmax"/"mmmatch"). The single
+    /// source of truth for name → planner mapping.
+    pub fn from_name(name: &str) -> Option<PlannerKind> {
+        let squash = |s: &str| {
+            s.chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_ascii_lowercase()
+        };
+        let wanted = squash(name);
+        PlannerKind::extended()
+            .into_iter()
+            .find(|k| squash(k.name()) == wanted)
+    }
+
+    /// Instantiates the planner with the given shared config.
+    pub fn build(self, config: PlannerConfig) -> Box<dyn Planner> {
+        match self {
+            PlannerKind::Appro => Box::new(Appro::new(config)),
+            PlannerKind::KEdf => Box::new(KEdf::new(config)),
+            PlannerKind::Netwrap => Box::new(Netwrap::new(config)),
+            PlannerKind::Aa => Box::new(Aa::new(config)),
+            PlannerKind::KMinMax => Box::new(KMinMax::new(config)),
+            PlannerKind::MmMatch => Box::new(MmMatch::new(config)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_the_paper() {
+        let names: Vec<&str> = PlannerKind::all().iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["Appro", "K-EDF", "NETWRAP", "AA", "K-minMax"]);
+    }
+
+    #[test]
+    fn extended_adds_mm_match() {
+        assert_eq!(PlannerKind::extended().len(), 6);
+        assert_eq!(PlannerKind::extended()[5].name(), "MM-Match");
+    }
+
+    #[test]
+    fn from_name_accepts_paper_and_bare_forms() {
+        assert_eq!(PlannerKind::from_name("Appro"), Some(PlannerKind::Appro));
+        assert_eq!(PlannerKind::from_name("k-minmax"), Some(PlannerKind::KMinMax));
+        assert_eq!(PlannerKind::from_name("KMINMAX"), Some(PlannerKind::KMinMax));
+        assert_eq!(PlannerKind::from_name("mmmatch"), Some(PlannerKind::MmMatch));
+        assert_eq!(PlannerKind::from_name("kedf"), Some(PlannerKind::KEdf));
+        assert_eq!(PlannerKind::from_name("magic"), None);
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        for kind in PlannerKind::extended() {
+            assert_eq!(kind.build(PlannerConfig::default()).name(), kind.name());
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Table rendering and JSON archival of experiment results.
+
+use std::fs;
+use std::path::PathBuf;
+
+use crate::experiment::PointSummary;
+
+/// A printable experiment result: rows grouped by x-value, one column per
+/// planner.
+#[derive(Clone, Debug, Default)]
+pub struct ResultTable {
+    /// Human title (e.g. "Fig 3(a): longest tour duration (h) vs n").
+    pub title: String,
+    /// Name of the swept variable (column header for x).
+    pub x_name: String,
+    /// All collected points.
+    pub points: Vec<PointSummary>,
+    /// Divide means by this to convert units for display (e.g. 3600 for
+    /// hours, 60 for minutes).
+    pub unit_divisor: f64,
+    /// Unit suffix for the title.
+    pub unit: String,
+}
+
+impl ResultTable {
+    /// Creates an empty table.
+    pub fn new(title: &str, x_name: &str, unit_divisor: f64, unit: &str) -> Self {
+        ResultTable {
+            title: title.to_string(),
+            x_name: x_name.to_string(),
+            points: Vec::new(),
+            unit_divisor,
+            unit: unit.to_string(),
+        }
+    }
+
+    /// Adds a batch of points.
+    pub fn extend(&mut self, points: Vec<PointSummary>) {
+        self.points.extend(points);
+    }
+
+    /// Distinct x-values in first-seen order.
+    fn xs(&self) -> Vec<f64> {
+        let mut xs = Vec::new();
+        for p in &self.points {
+            if !xs.contains(&p.x) {
+                xs.push(p.x);
+            }
+        }
+        xs
+    }
+
+    /// Distinct planner names in first-seen order.
+    fn planners(&self) -> Vec<&'static str> {
+        let mut ps = Vec::new();
+        for p in &self.points {
+            if !ps.contains(&p.planner) {
+                ps.push(p.planner);
+            }
+        }
+        ps
+    }
+
+    /// Renders the table as aligned text (the "figure series" the paper
+    /// plots, planner per column).
+    pub fn render(&self) -> String {
+        let planners = self.planners();
+        let xs = self.xs();
+        let mut out = String::new();
+        out.push_str(&format!("## {} [{}]\n", self.title, self.unit));
+        out.push_str(&format!("{:>10}", self.x_name));
+        for p in &planners {
+            out.push_str(&format!("{p:>14}"));
+        }
+        out.push('\n');
+        for &x in &xs {
+            out.push_str(&format!("{x:>10}"));
+            for &pl in &planners {
+                match self.points.iter().find(|pt| pt.x == x && pt.planner == pl) {
+                    Some(pt) => {
+                        out.push_str(&format!("{:>14.2}", pt.mean / self.unit_divisor))
+                    }
+                    None => out.push_str(&format!("{:>14}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as a GitHub-flavored Markdown table (for
+    /// EXPERIMENTS.md-style records).
+    pub fn render_markdown(&self) -> String {
+        let planners = self.planners();
+        let xs = self.xs();
+        let mut out = String::new();
+        out.push_str(&format!("| {} |", self.x_name));
+        for p in &planners {
+            out.push_str(&format!(" {p} |"));
+        }
+        out.push('\n');
+        out.push_str(&"|---".repeat(planners.len() + 1));
+        out.push_str("|\n");
+        for &x in &xs {
+            out.push_str(&format!("| {x} |"));
+            for &pl in &planners {
+                match self.points.iter().find(|pt| pt.x == x && pt.planner == pl) {
+                    Some(pt) => {
+                        out.push_str(&format!(" {:.2} |", pt.mean / self.unit_divisor))
+                    }
+                    None => out.push_str(" - |"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the raw points as CSV with a header row
+    /// (`x,planner,mean,std,instances`; means in the table's display unit).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("x,planner,mean,std,instances\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                p.x,
+                p.planner,
+                p.mean / self.unit_divisor,
+                p.std / self.unit_divisor,
+                p.instances
+            ));
+        }
+        out
+    }
+
+    /// Writes the raw points as JSON under `target/wrsn-results/<name>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating the directory or writing the
+    /// file.
+    pub fn write_json(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from(
+            std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
+        )
+        .join("wrsn-results");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.json"));
+        let json = serde_json::to_string_pretty(&self.points)
+            .expect("PointSummary serializes");
+        fs::write(&path, json)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(planner: &'static str, x: f64, mean: f64) -> PointSummary {
+        PointSummary { planner, x, mean, std: 0.0, instances: 1 }
+    }
+
+    #[test]
+    fn render_groups_by_x_and_planner() {
+        let mut t = ResultTable::new("demo", "n", 1.0, "s");
+        t.extend(vec![pt("A", 100.0, 1.0), pt("B", 100.0, 2.0), pt("A", 200.0, 3.0)]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains('A') && s.contains('B'));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // title, header, two x rows
+        assert!(lines[3].contains('-')); // B missing at x=200
+    }
+
+    #[test]
+    fn unit_divisor_scales_display() {
+        let mut t = ResultTable::new("demo", "n", 3600.0, "h");
+        t.extend(vec![pt("A", 1.0, 7200.0)]);
+        assert!(t.render().contains("2.00"));
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let mut t = ResultTable::new("demo", "n", 1.0, "s");
+        t.extend(vec![pt("A", 100.0, 1.5), pt("B", 100.0, 2.0)]);
+        let md = t.render_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| n | A | B |");
+        assert_eq!(lines[1], "|---|---|---|");
+        assert_eq!(lines[2], "| 100 | 1.50 | 2.00 |");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = ResultTable::new("demo", "n", 60.0, "min");
+        t.extend(vec![pt("A", 5.0, 120.0)]);
+        let csv = t.render_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,planner,mean,std,instances");
+        assert_eq!(lines[1], "5,A,2,0,1"); // 120 s = 2 min
+    }
+
+    #[test]
+    fn write_json_roundtrips() {
+        let mut t = ResultTable::new("demo", "n", 1.0, "s");
+        t.extend(vec![pt("A", 1.0, 2.0)]);
+        let path = t.write_json("unit-test-demo").unwrap();
+        let data = std::fs::read_to_string(path).unwrap();
+        assert!(data.contains("\"planner\": \"A\""));
+    }
+}

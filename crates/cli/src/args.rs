@@ -1,0 +1,159 @@
+//! A minimal flag parser for the `wrsn` binary.
+//!
+//! Hand-rolled on purpose: the workspace keeps its dependency footprint
+//! to the algorithmic essentials, and the CLI's needs are tiny —
+//! `--flag value` pairs, `--bool-flag`, and one positional subcommand.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Args {
+    /// The first positional argument, if any.
+    pub command: Option<String>,
+    /// `--key value` options, keyed without the leading dashes.
+    options: BTreeMap<String, String>,
+    /// `--key` flags that appeared without a value.
+    flags: Vec<String>,
+}
+
+/// A command-line parsing or validation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgsError {
+    /// An option's value failed to parse.
+    BadValue {
+        /// Option name (no dashes).
+        key: String,
+        /// The offending raw value.
+        value: String,
+    },
+    /// A stray positional argument after the subcommand.
+    UnexpectedPositional(String),
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::BadValue { key, value } => {
+                write!(f, "invalid value {value:?} for --{key}")
+            }
+            ArgsError::UnexpectedPositional(p) => write!(f, "unexpected argument {p:?}"),
+        }
+    }
+}
+
+impl Error for ArgsError {}
+
+impl Args {
+    /// Parses an iterator of raw arguments (excluding the program name).
+    ///
+    /// `--key value` binds `value` to `key` unless `value` itself starts
+    /// with `--`, in which case `key` is a boolean flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::UnexpectedPositional`] for a second
+    /// positional argument.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgsError> {
+        let mut args = Args::default();
+        let mut it = raw.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        args.options.insert(key.to_string(), v);
+                    }
+                    _ => args.flags.push(key.to_string()),
+                }
+            } else if args.command.is_none() {
+                args.command = Some(a);
+            } else {
+                return Err(ArgsError::UnexpectedPositional(a));
+            }
+        }
+        Ok(args)
+    }
+
+    /// Returns the raw string value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Returns `true` iff `--key` appeared as a bare flag.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Parses `--key` as `T`, falling back to `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::BadValue`] when present but unparsable.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgsError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgsError::BadValue {
+                key: key.to_string(),
+                value: v.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Args {
+        Args::parse(words.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let a = parse(&["plan", "--n", "500", "--seed", "7", "--json"]);
+        assert_eq!(a.command.as_deref(), Some("plan"));
+        assert_eq!(a.get("n"), Some("500"));
+        assert_eq!(a.get_or("seed", 0u64).unwrap(), 7);
+        assert!(a.flag("json"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse(&["simulate"]);
+        assert_eq!(a.get_or("n", 300usize).unwrap(), 300);
+        assert_eq!(a.get_or("days", 365.0f64).unwrap(), 365.0);
+    }
+
+    #[test]
+    fn bad_value_is_reported() {
+        let a = parse(&["plan", "--n", "many"]);
+        let err = a.get_or("n", 0usize).unwrap_err();
+        assert_eq!(
+            err,
+            ArgsError::BadValue { key: "n".into(), value: "many".into() }
+        );
+        assert!(err.to_string().contains("--n"));
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let a = parse(&["x", "--json", "--verbose"]);
+        assert!(a.flag("json") && a.flag("verbose"));
+    }
+
+    #[test]
+    fn second_positional_rejected() {
+        let err = Args::parse(["a".to_string(), "b".to_string()]).unwrap_err();
+        assert_eq!(err, ArgsError::UnexpectedPositional("b".into()));
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = parse(&[]);
+        assert_eq!(a.command, None);
+    }
+}

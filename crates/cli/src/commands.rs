@@ -1,0 +1,345 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+
+use serde_json::json;
+use wrsn_bench::PlannerKind;
+use wrsn_core::{bounds, ChargingProblem, PlannerConfig, Schedule};
+use wrsn_net::{Network, NetworkBuilder};
+use wrsn_sim::{SimConfig, Simulation};
+
+use crate::args::Args;
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+/// Shared instance parameters pulled from the command line.
+struct Instance {
+    n: usize,
+    k: usize,
+    seed: u64,
+    b_max_kbps: f64,
+    period_days: f64,
+}
+
+impl Instance {
+    fn from_args(args: &Args) -> Result<Self, Box<dyn Error>> {
+        Ok(Instance {
+            n: args.get_or("n", 600usize)?,
+            k: args.get_or("k", 2usize)?,
+            seed: args.get_or("seed", 1u64)?,
+            b_max_kbps: args.get_or("b-max", 50.0f64)?,
+            period_days: args.get_or("period", 5.0f64)?,
+        })
+    }
+
+    fn network(&self) -> Network {
+        NetworkBuilder::new(self.n)
+            .seed(self.seed)
+            .data_rate_bps(1_000.0, self.b_max_kbps * 1_000.0)
+            .build()
+    }
+
+    /// Builds the snapshot problem: requests accumulated for the dispatch
+    /// period after the first threshold crossing.
+    fn snapshot(&self) -> Result<ChargingProblem, Box<dyn Error>> {
+        let mut net = self.network();
+        let requests =
+            Simulation::warm_up_period(&mut net, 0.2, self.period_days * 86_400.0);
+        Ok(ChargingProblem::from_network(&net, &requests, self.k)?)
+    }
+}
+
+fn planner_kind(args: &Args) -> Result<PlannerKind, Box<dyn Error>> {
+    let name = args.get("algorithm").unwrap_or("appro");
+    PlannerKind::from_name(name).ok_or_else(|| {
+        format!("unknown algorithm {name:?}; expected appro|kedf|netwrap|aa|kminmax|mmmatch")
+            .into()
+    })
+}
+
+fn schedule_json(problem: &ChargingProblem, schedule: &Schedule) -> serde_json::Value {
+    json!({
+        "requests": problem.len(),
+        "chargers": problem.charger_count(),
+        "longest_delay_s": schedule.longest_delay_s(),
+        "total_charge_time_s": schedule.total_charge_time_s(),
+        "total_wait_time_s": schedule.total_wait_time_s(),
+        "sojourns": schedule.sojourn_count(),
+        "certified": schedule.certify(problem).is_ok(),
+        "tours": schedule.tours,
+    })
+}
+
+/// `wrsn plan`: one planner, one snapshot instance.
+pub fn plan(args: &Args) -> CliResult {
+    let inst = Instance::from_args(args)?;
+    let kind = planner_kind(args)?;
+    let problem = inst.snapshot()?;
+    let schedule = kind.build(PlannerConfig::default()).plan(&problem)?;
+    schedule.certify(&problem)?;
+
+    if args.flag("json") {
+        println!("{}", serde_json::to_string_pretty(&schedule_json(&problem, &schedule))?);
+        return Ok(());
+    }
+    if args.flag("map") {
+        println!("{}", wrsn_core::render::field_map(&problem, &schedule, 72, 28));
+        println!("{}", wrsn_core::render::gantt(&schedule, 64));
+    }
+    if let Some(path) = args.get("svg") {
+        let field = wrsn_core::svg::field_svg(&problem, &schedule, 720.0);
+        std::fs::write(path, field).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        let gantt_path = format!("{path}.gantt.svg");
+        std::fs::write(&gantt_path, wrsn_core::svg::gantt_svg(&schedule, 900.0))
+            .map_err(|e| format!("cannot write {gantt_path:?}: {e}"))?;
+        println!("wrote {path} and {gantt_path}");
+    }
+    if args.flag("stats") {
+        let st = wrsn_core::stats::schedule_stats(&problem, &schedule);
+        println!(
+            "completion: mean {:.2} h, median {:.2} h, p95 {:.2} h; sharing {:.2}x",
+            st.mean_completion_s / 3600.0,
+            st.median_completion_s / 3600.0,
+            st.p95_completion_s / 3600.0,
+            st.sharing_factor
+        );
+        for (k, b) in st.per_charger.iter().enumerate() {
+            println!(
+                "  MCV {k}: travel {:.2} h, charge {:.2} h, wait {:.2} h",
+                b.travel_s / 3600.0,
+                b.charge_s / 3600.0,
+                b.wait_s / 3600.0
+            );
+        }
+    }
+    println!(
+        "{} on {} requests with K={} → longest delay {:.2} h ({} sojourns, certified)",
+        kind.name(),
+        problem.len(),
+        problem.charger_count(),
+        schedule.longest_delay_s() / 3600.0,
+        schedule.sojourn_count()
+    );
+    for (k, tour) in schedule.tours.iter().enumerate() {
+        if tour.sojourns.is_empty() {
+            println!("  MCV {k}: stays at the depot");
+            continue;
+        }
+        let stops: Vec<String> = tour
+            .sojourns
+            .iter()
+            .map(|s| problem.targets()[s.target].id.to_string())
+            .collect();
+        println!(
+            "  MCV {k} ({:.2} h): depot → {} → depot",
+            tour.return_time_s / 3600.0,
+            stops.join(" → ")
+        );
+    }
+    Ok(())
+}
+
+/// `wrsn compare`: all five planners, one snapshot instance.
+pub fn compare(args: &Args) -> CliResult {
+    let inst = Instance::from_args(args)?;
+    let problem = inst.snapshot()?;
+    println!(
+        "instance: n={} seed={} → {} requests, K={}",
+        inst.n,
+        inst.seed,
+        problem.len(),
+        problem.charger_count()
+    );
+    println!("{:>9} {:>12} {:>10} {:>10}", "planner", "longest (h)", "sojourns", "wait (h)");
+    for kind in PlannerKind::all() {
+        let schedule = kind.build(PlannerConfig::default()).plan(&problem)?;
+        schedule.certify(&problem)?;
+        println!(
+            "{:>9} {:>12.2} {:>10} {:>10.2}",
+            kind.name(),
+            schedule.longest_delay_s() / 3600.0,
+            schedule.sojourn_count(),
+            schedule.total_wait_time_s() / 3600.0
+        );
+    }
+    Ok(())
+}
+
+/// `wrsn simulate`: a monitoring-period simulation.
+pub fn simulate(args: &Args) -> CliResult {
+    let inst = Instance::from_args(args)?;
+    let kind = planner_kind(args)?;
+    let days: f64 = args.get_or("days", 365.0)?;
+    let mut cfg = SimConfig::default();
+    cfg.horizon_s = days * 86_400.0;
+    let planner = kind.build(PlannerConfig::default());
+    let report = match args.get("dispatch").unwrap_or("sync") {
+        "sync" => Simulation::new(inst.network(), cfg).run(planner.as_ref(), inst.k)?,
+        "async" => {
+            wrsn_sim::AsyncSimulation::new(inst.network(), cfg).run(planner.as_ref(), inst.k)?
+        }
+        other => {
+            return Err(format!("unknown dispatch mode {other:?}; expected sync|async").into())
+        }
+    };
+
+    if args.flag("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&json!({
+                "planner": kind.name(),
+                "horizon_days": days,
+                "rounds": report.rounds_dispatched(),
+                "avg_round_longest_delay_s": report.avg_longest_delay_s(),
+                "avg_dead_time_s": report.avg_dead_time_s(),
+                "total_dead_time_s": report.total_dead_time_s(),
+                "energy_delivered_j": report.energy_delivered_j(),
+                "always_alive_fraction": report.always_alive_fraction(),
+            }))?
+        );
+        return Ok(());
+    }
+    println!("{} over {days:.0} days on n={} K={}:", kind.name(), inst.n, inst.k);
+    println!("  rounds:            {}", report.rounds_dispatched());
+    println!("  mean round length: {:.2} h", report.avg_longest_delay_s() / 3600.0);
+    println!("  energy delivered:  {:.1} MJ", report.energy_delivered_j() / 1e6);
+    println!("  avg dead/sensor:   {:.1} min", report.avg_dead_time_s() / 60.0);
+    println!(
+        "  always alive:      {:.1} %",
+        report.always_alive_fraction() * 100.0
+    );
+    Ok(())
+}
+
+/// `wrsn fleet`: minimum chargers needed to keep the network alive.
+pub fn fleet(args: &Args) -> CliResult {
+    let inst = Instance::from_args(args)?;
+    let kind = planner_kind(args)?;
+    let days: f64 = args.get_or("days", 120.0)?;
+    let max_k: usize = args.get_or("max-k", 6)?;
+    let tolerance_min: f64 = args.get_or("tolerance-min", 10.0)?;
+    let mut cfg = SimConfig::default();
+    cfg.horizon_s = days * 86_400.0;
+    let planner = kind.build(PlannerConfig::default());
+    let sizing = wrsn_sim::fleet::minimum_chargers(
+        &inst.network(),
+        planner.as_ref(),
+        &cfg,
+        max_k,
+        tolerance_min * 60.0,
+    )?;
+    println!(
+        "{} on n={} over {days:.0} days (tolerance {tolerance_min:.0} min dead/sensor):",
+        kind.name(),
+        inst.n
+    );
+    for (i, d) in sizing.dead_time_per_k.iter().enumerate() {
+        println!("  K={}: {:.1} min dead/sensor", i + 1, d / 60.0);
+    }
+    match sizing.min_chargers {
+        Some(k) => println!("minimum fleet: {k} chargers"),
+        None => println!("even K={max_k} is not enough"),
+    }
+    Ok(())
+}
+
+/// `wrsn experiment`: run one of the paper's figure sweeps.
+pub fn experiment(args: &Args) -> CliResult {
+    use wrsn_bench::table::ResultTable;
+    use wrsn_bench::{MonitoringExperiment, SnapshotExperiment};
+
+    // A JSON spec file takes precedence over the named figures.
+    if let Some(path) = args.get("spec") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read spec {path:?}: {e}"))?;
+        let spec: wrsn_bench::ExperimentSpec = serde_json::from_str(&text)?;
+        let table = wrsn_bench::run_spec(&spec)?;
+        print!("{}", table.render());
+        if args.flag("csv") {
+            print!("{}", table.render_csv());
+        }
+        return Ok(());
+    }
+
+    let which = args.get("figure").unwrap_or("fig3a");
+    let instances: usize = args.get_or("instances", 5)?;
+    let horizon_days: f64 = args.get_or("horizon-days", 90.0)?;
+
+    match which {
+        "fig3a" | "fig3b" => {
+            let sizes = [200usize, 400, 600, 800, 1000, 1200];
+            if which == "fig3a" {
+                let mut t = ResultTable::new(
+                    "Fig 3(a): longest tour duration vs n",
+                    "n",
+                    3600.0,
+                    "hours",
+                );
+                for &n in &sizes {
+                    let exp = SnapshotExperiment { n, k: 2, instances, ..Default::default() };
+                    t.extend(exp.run_all(n as f64));
+                }
+                print!("{}", t.render());
+            } else {
+                let mut t = ResultTable::new(
+                    "Fig 3(b): dead duration per sensor vs n",
+                    "n",
+                    60.0,
+                    "minutes",
+                );
+                for &n in &sizes {
+                    let exp = MonitoringExperiment {
+                        n,
+                        k: 2,
+                        instances,
+                        horizon_s: horizon_days * 86_400.0,
+                        ..Default::default()
+                    };
+                    t.extend(exp.run_all(n as f64));
+                }
+                print!("{}", t.render());
+            }
+        }
+        "fig5a" => {
+            let mut t =
+                ResultTable::new("Fig 5(a): longest tour duration vs K", "K", 3600.0, "hours");
+            for k in 1..=5 {
+                let exp =
+                    SnapshotExperiment { n: 1000, k, instances, ..Default::default() };
+                t.extend(exp.run_all(k as f64));
+            }
+            print!("{}", t.render());
+        }
+        other => {
+            return Err(format!(
+                "unknown figure {other:?}; expected fig3a|fig3b|fig5a \
+                 (use `cargo bench -p wrsn-bench` for the full set)"
+            )
+            .into())
+        }
+    }
+    Ok(())
+}
+
+/// `wrsn bounds`: lower bounds and the planner's gap to them.
+pub fn bounds(args: &Args) -> CliResult {
+    let inst = Instance::from_args(args)?;
+    let kind = planner_kind(args)?;
+    let problem = inst.snapshot()?;
+    let schedule = kind.build(PlannerConfig::default()).plan(&problem)?;
+    schedule.certify(&problem)?;
+    let reach = bounds::reach_lower_bound(&problem);
+    let work = bounds::work_lower_bound(&problem);
+    let lb = bounds::lower_bound(&problem);
+    let delay = schedule.longest_delay_s();
+    println!("instance: {} requests, K={}", problem.len(), problem.charger_count());
+    println!("  reach lower bound: {:.2} h", reach / 3600.0);
+    println!("  work lower bound:  {:.2} h", work / 3600.0);
+    println!("  {} delay:      {:.2} h", kind.name(), delay / 3600.0);
+    println!("  gap vs best bound: {:.2}x", delay / lb.max(1e-9));
+    println!(
+        "  (Theorem 1 guarantees ≤ {:.0}x; smaller is better)",
+        40.0 * std::f64::consts::PI + 1.0
+    );
+    Ok(())
+}

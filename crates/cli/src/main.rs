@@ -1,0 +1,80 @@
+//! `wrsn` — command-line front end for the charger-scheduling workspace.
+//!
+//! ```text
+//! wrsn plan      --n 800 --k 2 --seed 7 [--algorithm appro] [--json]
+//! wrsn compare   --n 800 --k 2 --seed 7
+//! wrsn simulate  --n 800 --k 2 --seed 7 --days 365 [--algorithm appro] [--json]
+//! wrsn bounds    --n 800 --k 2 --seed 7
+//! wrsn help
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+use args::Args;
+
+const HELP: &str = "\
+wrsn — multi-charger scheduling for wireless rechargeable sensor networks
+(reproduction of Xu et al., ICDCS 2019)
+
+USAGE:
+    wrsn <COMMAND> [OPTIONS]
+
+COMMANDS:
+    plan        Plan charging tours for one snapshot instance
+    compare     Run all five planners on the same snapshot instance
+    simulate    Simulate a monitoring period with repeated charging rounds
+    bounds      Show instance lower bounds and the planner's gap to them
+    experiment  Run a paper figure sweep (--figure fig3a|fig3b|fig5a)
+                or a declarative JSON sweep (--spec file.json [--csv])
+    fleet       Find the minimum fleet size (--max-k, --tolerance-min)
+    help        Show this message
+
+COMMON OPTIONS:
+    --n <int>           Number of sensors (default 600)
+    --k <int>           Number of mobile chargers (default 2)
+    --seed <u64>        Instance seed (default 1)
+    --b-max <kbps>      Maximum data rate (default 50)
+    --period <days>     Request accumulation period before planning (default 5)
+    --algorithm <name>  appro | kedf | netwrap | aa | kminmax | mmmatch (default appro)
+    --json              Emit machine-readable JSON instead of a table
+    --map               (plan) Also print an ASCII field map + timeline
+    --stats             (plan) Also print completion percentiles + per-MCV breakdown
+    --svg <path>        (plan) Write the field and timeline as SVG files
+
+SIMULATE OPTIONS:
+    --days <f64>        Monitoring period in days (default 365)
+    --dispatch <mode>   sync (round barrier) | async (per-charger pipelining)
+";
+
+fn main() -> ExitCode {
+    let parsed = match Args::parse(std::env::args().skip(1)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match parsed.command.as_deref() {
+        Some("plan") => commands::plan(&parsed),
+        Some("compare") => commands::compare(&parsed),
+        Some("simulate") => commands::simulate(&parsed),
+        Some("bounds") => commands::bounds(&parsed),
+        Some("experiment") => commands::experiment(&parsed),
+        Some("fleet") => commands::fleet(&parsed),
+        Some("help") | None => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try `wrsn help`").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

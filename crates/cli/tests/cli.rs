@@ -1,0 +1,119 @@
+//! End-to-end tests of the `wrsn` binary.
+
+use std::process::Command;
+
+fn wrsn() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wrsn"))
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = wrsn().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["plan", "compare", "simulate", "bounds", "experiment"] {
+        assert!(text.contains(cmd), "help must mention {cmd}");
+    }
+}
+
+#[test]
+fn no_args_prints_help() {
+    let out = wrsn().output().expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = wrsn().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn plan_produces_certified_tours() {
+    let out = wrsn()
+        .args(["plan", "--n", "150", "--seed", "2", "--k", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("certified"));
+    assert!(text.contains("MCV 0"));
+    assert!(text.contains("MCV 1"));
+}
+
+#[test]
+fn plan_json_is_valid_json() {
+    let out = wrsn()
+        .args(["plan", "--n", "120", "--seed", "3", "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let v: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(v["certified"], serde_json::Value::Bool(true));
+    assert!(v["longest_delay_s"].as_f64().unwrap() > 0.0);
+    assert!(v["tours"].as_array().is_some());
+}
+
+#[test]
+fn compare_lists_all_five_planners() {
+    let out = wrsn()
+        .args(["compare", "--n", "150", "--seed", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["Appro", "K-EDF", "NETWRAP", "AA", "K-minMax"] {
+        assert!(text.contains(name), "missing {name}:\n{text}");
+    }
+}
+
+#[test]
+fn simulate_reports_rounds() {
+    let out = wrsn()
+        .args(["simulate", "--n", "100", "--days", "40", "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert!(v["rounds"].as_u64().unwrap() >= 1);
+}
+
+#[test]
+fn simulate_async_mode_works() {
+    let out = wrsn()
+        .args(["simulate", "--n", "100", "--days", "40", "--dispatch", "async"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn bounds_reports_ratio() {
+    let out = wrsn()
+        .args(["bounds", "--n", "150", "--seed", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("gap vs best bound"));
+}
+
+#[test]
+fn bad_value_is_a_clean_error() {
+    let out = wrsn().args(["plan", "--n", "many"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid value"));
+}
+
+#[test]
+fn unknown_algorithm_is_a_clean_error() {
+    let out = wrsn()
+        .args(["plan", "--n", "50", "--algorithm", "magic"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
+}

@@ -1,0 +1,172 @@
+//! Lower bounds on the optimal longest charge delay.
+//!
+//! Theorem 1 of the paper proves Appro is within
+//! `ρ = 40π · τ_max/τ_min + 1` of optimal — a large constant. These
+//! instance-specific lower bounds let tests and the `quality` bench
+//! measure how close the algorithm *actually* gets:
+//!
+//! - [`reach_lower_bound`]: the charger serving the farthest sensor must
+//!   travel to within `γ` of it, charge at least `t_v`, and return.
+//! - [`work_lower_bound`]: sensors pairwise farther than `2γ` apart can
+//!   never share a sojourn, so their charge durations are pure serial
+//!   work, split across at most `K` chargers at best.
+//! - [`lower_bound`]: the max of the two.
+//!
+//! Every bound is valid for *any* feasible schedule, including the
+//! optimum, so `schedule.longest_delay_s() / lower_bound(p)` is an upper
+//! estimate of the true approximation ratio on that instance.
+
+use wrsn_algo::Graph;
+use wrsn_geom::Point;
+
+use crate::ChargingProblem;
+
+/// Lower bound from the hardest single sensor: any schedule must send
+/// some charger to within `γ` of every sensor `v`, spend at least `t_v`
+/// charging it (no other charger may overlap it meanwhile), and that
+/// charger must eventually return to the depot.
+///
+/// Returns 0 for an empty instance.
+pub fn reach_lower_bound(problem: &ChargingProblem) -> f64 {
+    let gamma = problem.params().gamma_m;
+    let speed = problem.params().speed_mps;
+    (0..problem.len())
+        .map(|i| {
+            let d = problem.depot().dist(problem.targets()[i].pos);
+            let travel = 2.0 * ((d - gamma).max(0.0)) / speed;
+            travel + problem.charge_duration(i)
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Lower bound from unshareable charging work: greedily pick a set of
+/// sensors pairwise farther than `2γ` apart (an independent set of the
+/// `2γ` disk graph). No two of them can be charged by one sojourn, and
+/// simultaneous charging *of the same sensor* is forbidden, so their
+/// total charge time divided by `K` bounds the longest tour. Travel is
+/// ignored, keeping the bound conservative.
+pub fn work_lower_bound(problem: &ChargingProblem) -> f64 {
+    if problem.is_empty() {
+        return 0.0;
+    }
+    let pts: Vec<Point> = problem.targets().iter().map(|t| t.pos).collect();
+    let g = Graph::unit_disk(&pts, 2.0 * problem.params().gamma_m);
+    // Prefer heavy nodes first so the chosen set carries maximal work.
+    let mut order: Vec<usize> = (0..problem.len()).collect();
+    order.sort_by(|&a, &b| {
+        problem
+            .charge_duration(b)
+            .partial_cmp(&problem.charge_duration(a))
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let mut blocked = vec![false; problem.len()];
+    let mut work = 0.0;
+    for v in order {
+        if !blocked[v] {
+            work += problem.charge_duration(v);
+            blocked[v] = true;
+            for &u in g.neighbors(v) {
+                blocked[u as usize] = true;
+            }
+        }
+    }
+    work / problem.charger_count() as f64
+}
+
+/// The tightest of the implemented lower bounds.
+pub fn lower_bound(problem: &ChargingProblem) -> f64 {
+    reach_lower_bound(problem).max(work_lower_bound(problem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Appro, ChargingParams, ChargingTarget, Planner, PlannerConfig};
+    use wrsn_net::SensorId;
+
+    fn problem(pts: &[(f64, f64, f64)], k: usize) -> ChargingProblem {
+        let targets: Vec<ChargingTarget> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y, t))| ChargingTarget {
+                id: SensorId(i as u32),
+                pos: Point::new(x, y),
+                charge_duration_s: t,
+                residual_lifetime_s: f64::INFINITY,
+            })
+            .collect();
+        ChargingProblem::new(Point::ORIGIN, targets, k, ChargingParams::default()).unwrap()
+    }
+
+    #[test]
+    fn empty_instance_bounds_are_zero() {
+        let p = problem(&[], 2);
+        assert_eq!(reach_lower_bound(&p), 0.0);
+        assert_eq!(work_lower_bound(&p), 0.0);
+        assert_eq!(lower_bound(&p), 0.0);
+    }
+
+    #[test]
+    fn reach_bound_single_sensor_is_exact() {
+        // One sensor 100 m out, t_v = 50 s, γ = 2.7, s = 1.
+        let p = problem(&[(100.0, 0.0, 50.0)], 1);
+        let expected = 2.0 * (100.0 - 2.7) + 50.0;
+        assert!((reach_lower_bound(&p) - expected).abs() < 1e-9);
+        // Appro's schedule on a single sensor stops AT it (slightly
+        // longer than the bound, which allows stopping at distance γ).
+        let s = Appro::new(PlannerConfig::default()).plan(&p).unwrap();
+        assert!(s.longest_delay_s() >= reach_lower_bound(&p) - 1e-9);
+        assert!(s.longest_delay_s() <= expected + 2.0 * 2.7 + 1e-9);
+    }
+
+    #[test]
+    fn work_bound_counts_far_apart_sensors() {
+        // Three sensors pairwise 50 m apart, t = 100 each, K = 1:
+        // at least 300 s of serial charging.
+        let p = problem(&[(0.0, 0.0, 100.0), (50.0, 0.0, 100.0), (0.0, 50.0, 100.0)], 1);
+        assert!((work_lower_bound(&p) - 300.0).abs() < 1e-9);
+        // With K = 3 the work spreads.
+        let p3 = problem(&[(0.0, 0.0, 100.0), (50.0, 0.0, 100.0), (0.0, 50.0, 100.0)], 3);
+        assert!((work_lower_bound(&p3) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_bound_does_not_double_count_shared_coverage() {
+        // Two sensors 1 m apart share every sojourn: only the heavier one
+        // counts.
+        let p = problem(&[(10.0, 0.0, 100.0), (11.0, 0.0, 400.0)], 1);
+        assert!((work_lower_bound(&p) - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_never_exceed_any_certified_schedule() {
+        use wrsn_net::{InitialCharge, NetworkBuilder};
+        for seed in 0..5u64 {
+            let net = NetworkBuilder::new(150)
+                .seed(seed)
+                .initial_charge(InitialCharge::UniformFraction { lo: 0.02, hi: 0.18 })
+                .build();
+            let req = net.default_requesting_sensors();
+            let p = ChargingProblem::from_network(&net, &req, 2).unwrap();
+            let s = Appro::new(PlannerConfig::default()).plan(&p).unwrap();
+            s.certify(&p).unwrap();
+            let lb = lower_bound(&p);
+            assert!(
+                s.longest_delay_s() >= lb - 1e-6,
+                "seed {seed}: schedule {:.1} beat the lower bound {:.1}",
+                s.longest_delay_s(),
+                lb
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_the_max_of_components() {
+        let p = problem(&[(40.0, 0.0, 10.0), (0.0, 40.0, 10.0)], 1);
+        assert_eq!(
+            lower_bound(&p),
+            reach_lower_bound(&p).max(work_lower_bound(&p))
+        );
+    }
+}

@@ -1,0 +1,324 @@
+//! Coverage-overlap predicates and wait-based conflict repair.
+//!
+//! Two MCVs parked at targets `u` and `v` *conflict* when some sensor
+//! lies inside both charging disks: `N_c⁺(u) ∩ N_c⁺(v) ≠ ∅`. The paper's
+//! auxiliary graph `H` has exactly these pairs as edges (over an
+//! independent set of the charging graph), and its hard constraint says
+//! conflicting sojourns must not charge at overlapping times.
+//!
+//! [`repair_waits`] turns any assembled schedule into a certified
+//! conflict-free one by making MCVs idle at their sojourn locations until
+//! conflicting charges elsewhere have finished — a conservative,
+//! always-feasible fallback whose added waiting is charged to the tour
+//! delay. The paper's Algorithm 1 aims to avoid conflicts by
+//! construction; the repair pass makes that claim checkable and the
+//! reported delays honest.
+
+use wrsn_algo::Graph;
+
+use crate::{ChargerTour, ChargingProblem, Schedule, Sojourn};
+
+/// Returns a witness sensor in `N_c⁺(a) ∩ N_c⁺(b)` if the two coverage
+/// disks share a requested sensor, else `None`.
+///
+/// Coverage lists are sorted, so this is a linear merge.
+pub fn coverage_overlap(problem: &ChargingProblem, a: usize, b: usize) -> Option<usize> {
+    let (ca, cb) = (problem.coverage(a), problem.coverage(b));
+    let (mut i, mut j) = (0, 0);
+    while i < ca.len() && j < cb.len() {
+        match ca[i].cmp(&cb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return Some(ca[i] as usize),
+        }
+    }
+    None
+}
+
+/// Builds the paper's auxiliary graph `H` over the given `nodes`
+/// (typically an MIS `S_I` of the charging graph): vertices are positions
+/// in `nodes`, and `i`–`j` is an edge iff the coverage disks of
+/// `nodes[i]` and `nodes[j]` share a sensor.
+///
+/// Only pairs within `2γ` can share coverage, so candidate pairs come
+/// from a `2γ` unit-disk pass and are then confirmed with the exact
+/// witness test.
+pub fn build_conflict_graph(problem: &ChargingProblem, nodes: &[usize]) -> Graph {
+    let pts: Vec<wrsn_geom::Point> =
+        nodes.iter().map(|&i| problem.targets()[i].pos).collect();
+    let candidates = Graph::unit_disk(&pts, 2.0 * problem.params().gamma_m);
+    let mut h = Graph::empty(nodes.len());
+    for i in 0..nodes.len() {
+        for &j in candidates.neighbors(i) {
+            let j = j as usize;
+            if j > i && coverage_overlap(problem, nodes[i], nodes[j]).is_some() {
+                h.add_edge(i, j);
+            }
+        }
+    }
+    h
+}
+
+/// Counts the pairs of sojourns from different chargers whose coverage
+/// disks share a sensor *and* whose charge intervals overlap in time —
+/// the violations [`repair_waits`] exists to fix. Zero on any certified
+/// schedule; the ablation bench reports this for repair-off runs to test
+/// the paper's informal claim that its insertion rule avoids conflicts.
+pub fn conflict_count(problem: &ChargingProblem, schedule: &Schedule) -> usize {
+    let all = schedule.sojourns_by_start();
+    let mut count = 0;
+    for i in 0..all.len() {
+        let (ka, sa) = all[i];
+        for &(kb, sb) in all.iter().skip(i + 1) {
+            if sb.start_s >= sa.finish_s() {
+                break;
+            }
+            if ka != kb
+                && sa.finish_s().min(sb.finish_s()) - sb.start_s > 1e-9
+                && coverage_overlap(problem, sa.target, sb.target).is_some()
+            {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Rebuilds all sojourn times so that no two conflicting sojourns of
+/// different chargers ever charge simultaneously, inserting waiting time
+/// where needed. Visiting orders and charging durations are preserved.
+///
+/// The pass fixes sojourns greedily in order of earliest feasible start:
+/// a sojourn's start is pushed past the finish of every already-fixed
+/// conflicting sojourn it would overlap. Because fixed starts never
+/// move and each newly fixed start is ≥ all previously fixed ones, the
+/// result is conflict-free in one sweep.
+///
+/// Returns the total waiting time added.
+pub fn repair_waits(problem: &ChargingProblem, schedule: &mut Schedule) -> f64 {
+    struct Fixed {
+        charger: usize,
+        target: usize,
+        start: f64,
+        finish: f64,
+    }
+
+    let k = schedule.tours.len();
+    // Per-charger cursor state.
+    let mut next_idx = vec![0usize; k];
+    let mut prev_finish = vec![0.0f64; k]; // depot departure at t = 0
+    let mut prev_target: Vec<Option<usize>> = vec![None; k];
+    let mut fixed: Vec<Fixed> = Vec::with_capacity(schedule.sojourn_count());
+    let mut new_tours: Vec<Vec<Sojourn>> = vec![Vec::new(); k];
+
+    let old: Vec<Vec<Sojourn>> =
+        schedule.tours.iter().map(|t| t.sojourns.clone()).collect();
+
+    loop {
+        // Earliest feasible start among all chargers' next sojourns.
+        let mut best: Option<(f64, f64, usize)> = None; // (start, arrival, charger)
+        for c in 0..k {
+            let Some(&s) = old[c].get(next_idx[c]) else { continue };
+            let travel = match prev_target[c] {
+                None => problem.depot_travel_time(s.target),
+                Some(p) => problem.travel_time(p, s.target),
+            };
+            let arrival = prev_finish[c] + travel;
+            let mut start = arrival;
+            // Push past already-fixed conflicting intervals until stable.
+            let mut moved = true;
+            while moved {
+                moved = false;
+                for f in &fixed {
+                    if f.charger != c
+                        && start < f.finish
+                        && start + s.duration_s > f.start
+                        && coverage_overlap(problem, s.target, f.target).is_some()
+                    {
+                        start = f.finish;
+                        moved = true;
+                    }
+                }
+            }
+            match best {
+                Some((bs, _, _)) if bs <= start => {}
+                _ => best = Some((start, arrival, c)),
+            }
+        }
+        let Some((start, arrival, c)) = best else { break };
+        let s = old[c][next_idx[c]];
+        fixed.push(Fixed {
+            charger: c,
+            target: s.target,
+            start,
+            finish: start + s.duration_s,
+        });
+        new_tours[c].push(Sojourn {
+            target: s.target,
+            arrival_s: arrival,
+            start_s: start,
+            duration_s: s.duration_s,
+        });
+        prev_finish[c] = start + s.duration_s;
+        prev_target[c] = Some(s.target);
+        next_idx[c] += 1;
+    }
+
+    let mut added_wait = 0.0;
+    for c in 0..k {
+        let return_time_s = match prev_target[c] {
+            None => 0.0,
+            Some(p) => prev_finish[c] + problem.depot_travel_time(p),
+        };
+        let sojourns = std::mem::take(&mut new_tours[c]);
+        added_wait += sojourns.iter().map(Sojourn::wait_s).sum::<f64>();
+        schedule.tours[c] = ChargerTour { sojourns, return_time_s };
+    }
+    added_wait
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChargingParams, ChargingTarget};
+    use wrsn_geom::Point;
+    use wrsn_net::SensorId;
+
+    fn problem(pts: &[(f64, f64, f64)], k: usize) -> ChargingProblem {
+        let targets: Vec<ChargingTarget> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y, t))| ChargingTarget {
+                id: SensorId(i as u32),
+                pos: Point::new(x, y),
+                charge_duration_s: t,
+                residual_lifetime_s: f64::INFINITY,
+            })
+            .collect();
+        ChargingProblem::new(Point::ORIGIN, targets, k, ChargingParams::default()).unwrap()
+    }
+
+    #[test]
+    fn overlap_requires_a_shared_sensor() {
+        // a at 0, b at 4: disks of radius 2.7 intersect geometrically,
+        // but only if a sensor sits in the lens do they conflict.
+        let p = problem(&[(0.0, 0.0, 1.0), (4.0, 0.0, 1.0)], 1);
+        assert_eq!(coverage_overlap(&p, 0, 1), None);
+        let p2 = problem(&[(0.0, 0.0, 1.0), (4.0, 0.0, 1.0), (2.0, 0.0, 1.0)], 1);
+        assert_eq!(coverage_overlap(&p2, 0, 1), Some(2));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_reflexive() {
+        let p = problem(&[(0.0, 0.0, 1.0), (2.0, 0.0, 1.0)], 1);
+        assert_eq!(coverage_overlap(&p, 0, 1).is_some(), coverage_overlap(&p, 1, 0).is_some());
+        assert!(coverage_overlap(&p, 0, 0).is_some());
+    }
+
+    #[test]
+    fn conflict_graph_matches_pairwise_predicate() {
+        let p = problem(
+            &[
+                (0.0, 0.0, 1.0),
+                (3.0, 0.0, 1.0),
+                (1.5, 0.0, 1.0), // lens witness for 0–1
+                (20.0, 0.0, 1.0),
+            ],
+            1,
+        );
+        let nodes = vec![0, 1, 3];
+        let h = build_conflict_graph(&p, &nodes);
+        assert!(h.has_edge(0, 1)); // witness at index 2
+        assert!(!h.has_edge(0, 2));
+        assert!(!h.has_edge(1, 2));
+    }
+
+    #[test]
+    fn conflict_count_matches_certify() {
+        let p = problem(&[(10.0, 0.0, 100.0), (12.0, 0.0, 100.0)], 2);
+        let mut s = Schedule::assemble(&p, vec![vec![(0, 100.0)], vec![(1, 100.0)]]);
+        assert_eq!(conflict_count(&p, &s), 1);
+        repair_waits(&p, &mut s);
+        assert_eq!(conflict_count(&p, &s), 0);
+        assert!(s.certify(&p).is_ok());
+    }
+
+    #[test]
+    fn conflict_count_ignores_same_charger_and_disjoint_coverage() {
+        let p = problem(&[(10.0, 0.0, 100.0), (80.0, 0.0, 100.0)], 2);
+        let s = Schedule::assemble(&p, vec![vec![(0, 100.0)], vec![(1, 100.0)]]);
+        assert_eq!(conflict_count(&p, &s), 0);
+    }
+
+    #[test]
+    fn repair_separates_conflicting_chargers() {
+        // Two targets 2 m apart, each needing 100 s: any simultaneous
+        // charge conflicts. After repair the schedule certifies.
+        let p = problem(&[(10.0, 0.0, 100.0), (12.0, 0.0, 100.0)], 2);
+        let mut s = Schedule::assemble(&p, vec![vec![(0, 100.0)], vec![(1, 100.0)]]);
+        assert!(s.certify(&p).is_err());
+        let wait = repair_waits(&p, &mut s);
+        assert!(wait > 0.0);
+        assert!(s.certify(&p).is_ok(), "{:?}", s.certify(&p));
+        assert!((s.total_wait_time_s() - wait).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repair_is_noop_on_conflict_free_schedules() {
+        let p = problem(&[(10.0, 0.0, 50.0), (90.0, 0.0, 50.0)], 2);
+        let mut s = Schedule::assemble(&p, vec![vec![(0, 50.0)], vec![(1, 50.0)]]);
+        let before = s.clone();
+        let wait = repair_waits(&p, &mut s);
+        assert_eq!(wait, 0.0);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn repair_preserves_visit_order_and_durations() {
+        let p = problem(
+            &[(10.0, 0.0, 100.0), (12.0, 0.0, 100.0), (30.0, 0.0, 20.0)],
+            2,
+        );
+        let mut s =
+            Schedule::assemble(&p, vec![vec![(0, 100.0), (2, 20.0)], vec![(1, 100.0)]]);
+        repair_waits(&p, &mut s);
+        assert_eq!(s.tours[0].visited(), vec![0, 2]);
+        assert_eq!(s.tours[1].visited(), vec![1]);
+        assert_eq!(s.tours[0].sojourns[0].duration_s, 100.0);
+        assert!(s.certify(&p).is_ok());
+    }
+
+    #[test]
+    fn repair_handles_empty_and_idle_tours() {
+        let p = problem(&[(10.0, 0.0, 10.0)], 3);
+        let mut s = Schedule::assemble(&p, vec![vec![(0, 10.0)], vec![], vec![]]);
+        let wait = repair_waits(&p, &mut s);
+        assert_eq!(wait, 0.0);
+        assert_eq!(s.tours[1].return_time_s, 0.0);
+        assert!(s.certify(&p).is_ok());
+    }
+
+    #[test]
+    fn repair_chain_of_three_conflicting_chargers() {
+        // Three chargers, three mutually conflicting targets in a 2 m row.
+        let p = problem(
+            &[(10.0, 0.0, 60.0), (11.0, 0.0, 60.0), (12.0, 0.0, 60.0)],
+            3,
+        );
+        let mut s = Schedule::assemble(
+            &p,
+            vec![vec![(0, 60.0)], vec![(1, 60.0)], vec![(2, 60.0)]],
+        );
+        repair_waits(&p, &mut s);
+        assert!(s.certify(&p).is_ok());
+        // The three charge intervals must be pairwise disjoint in time.
+        let mut intervals: Vec<(f64, f64)> = s
+            .tours
+            .iter()
+            .map(|t| (t.sojourns[0].start_s, t.sojourns[0].finish_s()))
+            .collect();
+        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        assert!(intervals[0].1 <= intervals[1].0 + 1e-9);
+        assert!(intervals[1].1 <= intervals[2].0 + 1e-9);
+    }
+}

@@ -1,0 +1,442 @@
+//! The charging problem instance (paper §III).
+
+use std::error::Error;
+use std::fmt;
+
+use wrsn_geom::{GridIndex, Point};
+use wrsn_net::{Network, SensorId};
+
+/// Physical parameters shared by all MCVs (the paper's homogeneous
+/// charger assumption).
+///
+/// Defaults are the paper's §VI-A settings: charging radius
+/// `γ = 2.7 m`, charging rate `η = 2 W`, travel speed `s = 1 m/s`, and
+/// the *full* charging model (every requested sensor is charged to
+/// capacity).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChargingParams {
+    /// Wireless energy transfer radius `γ`, meters.
+    pub gamma_m: f64,
+    /// Charging rate `η`, watts.
+    pub eta_w: f64,
+    /// MCV travel speed `s`, meters/second.
+    pub speed_mps: f64,
+    /// Partial-charging extension: requested sensors are charged up to
+    /// this fraction of capacity instead of to 100 %. The paper's model
+    /// is full charging (`1.0`, the default); the partial model its
+    /// related work discusses (Liang et al. \[15\]) shortens sojourns at
+    /// the cost of more frequent requests. Must be in `(0, 1]`.
+    pub charge_target_fraction: f64,
+}
+
+impl Default for ChargingParams {
+    fn default() -> Self {
+        ChargingParams {
+            gamma_m: 2.7,
+            eta_w: 2.0,
+            speed_mps: 1.0,
+            charge_target_fraction: 1.0,
+        }
+    }
+}
+
+impl ChargingParams {
+    /// The paper's parameters with the partial-charging extension set to
+    /// charge batteries only up to `fraction` of capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `(0, 1]`.
+    pub fn with_partial_charging(fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "charge target fraction must be in (0, 1]"
+        );
+        ChargingParams { charge_target_fraction: fraction, ..Default::default() }
+    }
+}
+
+/// One lifetime-critical sensor in the request set `V_s`.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChargingTarget {
+    /// Identity of the sensor in the originating network.
+    pub id: SensorId,
+    /// Sensor position (also a candidate MCV sojourn location — the
+    /// paper restricts sojourn locations to sensor positions).
+    pub pos: Point,
+    /// Charging duration `t_v = (C_v − RE_v)/η` (Eq. 1), seconds.
+    pub charge_duration_s: f64,
+    /// Residual lifetime at request time, seconds (used by deadline-aware
+    /// baselines such as K-EDF and NETWRAP; `f64::INFINITY` if unknown).
+    pub residual_lifetime_s: f64,
+}
+
+/// Error building a [`ChargingProblem`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProblemError {
+    /// `K` must be at least 1.
+    NoChargers,
+    /// A parameter was non-positive or non-finite.
+    InvalidParam(&'static str),
+    /// A requested [`SensorId`] does not exist in the network.
+    UnknownSensor(SensorId),
+}
+
+impl fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProblemError::NoChargers => write!(f, "need at least one mobile charger"),
+            ProblemError::InvalidParam(p) => {
+                write!(f, "parameter {p} must be positive and finite")
+            }
+            ProblemError::UnknownSensor(id) => write!(f, "unknown sensor {id}"),
+        }
+    }
+}
+
+impl Error for ProblemError {}
+
+/// An instance of the longest charge delay minimization problem
+/// (Definition 1 of the paper).
+///
+/// Holds the depot, the homogeneous charger parameters, the number of
+/// chargers `K`, and the request set `V_s` with precomputed coverage
+/// sets `N_c⁺(v)` (all targets within `γ` of `v`, including `v`) and
+/// charge-duration bounds `τ(v)` (Eq. 2).
+///
+/// # Example
+///
+/// ```
+/// use wrsn_core::{ChargingParams, ChargingProblem, ChargingTarget};
+/// use wrsn_geom::Point;
+/// use wrsn_net::SensorId;
+///
+/// let targets = vec![ChargingTarget {
+///     id: SensorId(0),
+///     pos: Point::new(10.0, 0.0),
+///     charge_duration_s: 3600.0,
+///     residual_lifetime_s: f64::INFINITY,
+/// }];
+/// let p = ChargingProblem::new(Point::ORIGIN, targets, 1, ChargingParams::default())?;
+/// assert_eq!(p.coverage(0), &[0]);
+/// assert_eq!(p.tau(0), 3600.0);
+/// # Ok::<(), wrsn_core::ProblemError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChargingProblem {
+    depot: Point,
+    params: ChargingParams,
+    k: usize,
+    targets: Vec<ChargingTarget>,
+    /// `coverage[i]` = sorted indices of targets within `γ` of target `i`
+    /// (inclusive of `i` itself): the paper's `N_c⁺(v)`.
+    coverage: Vec<Vec<u32>>,
+    /// `tau[i]` = max charge duration over `coverage[i]` (Eq. 2).
+    tau: Vec<f64>,
+}
+
+impl ChargingProblem {
+    /// Builds an instance from explicit targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProblemError::NoChargers`] if `k == 0` and
+    /// [`ProblemError::InvalidParam`] for non-positive/non-finite
+    /// parameters or negative charge durations.
+    pub fn new(
+        depot: Point,
+        targets: Vec<ChargingTarget>,
+        k: usize,
+        params: ChargingParams,
+    ) -> Result<Self, ProblemError> {
+        if k == 0 {
+            return Err(ProblemError::NoChargers);
+        }
+        if params.gamma_m <= 0.0 || !params.gamma_m.is_finite() {
+            return Err(ProblemError::InvalidParam("gamma_m"));
+        }
+        if params.eta_w <= 0.0 || !params.eta_w.is_finite() {
+            return Err(ProblemError::InvalidParam("eta_w"));
+        }
+        if params.speed_mps <= 0.0 || !params.speed_mps.is_finite() {
+            return Err(ProblemError::InvalidParam("speed_mps"));
+        }
+        if params.charge_target_fraction.is_nan()
+            || params.charge_target_fraction <= 0.0
+            || params.charge_target_fraction > 1.0
+        {
+            return Err(ProblemError::InvalidParam("charge_target_fraction"));
+        }
+        if !depot.is_finite() {
+            return Err(ProblemError::InvalidParam("depot"));
+        }
+        if targets
+            .iter()
+            .any(|t| !t.pos.is_finite() || t.charge_duration_s.is_nan() || t.charge_duration_s < 0.0)
+        {
+            return Err(ProblemError::InvalidParam("targets"));
+        }
+
+        let pts: Vec<Point> = targets.iter().map(|t| t.pos).collect();
+        let mut coverage = vec![Vec::new(); targets.len()];
+        if !pts.is_empty() {
+            let idx = GridIndex::build(&pts, params.gamma_m);
+            for i in 0..pts.len() {
+                let mut cov: Vec<u32> =
+                    idx.within(pts[i], params.gamma_m).into_iter().map(|j| j as u32).collect();
+                cov.sort_unstable();
+                coverage[i] = cov;
+            }
+        }
+        let tau: Vec<f64> = (0..targets.len())
+            .map(|i| {
+                coverage[i]
+                    .iter()
+                    .map(|&j| targets[j as usize].charge_duration_s)
+                    .fold(0.0f64, f64::max)
+            })
+            .collect();
+
+        Ok(ChargingProblem { depot, params, k, targets, coverage, tau })
+    }
+
+    /// Builds an instance from a live network: the targets are the given
+    /// `requests` with `t_v` computed from their current residual energy
+    /// (Eq. 1) and residual lifetime from their consumption rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProblemError::UnknownSensor`] for out-of-range ids, plus
+    /// everything [`ChargingProblem::new`] can return.
+    pub fn from_network(
+        net: &Network,
+        requests: &[SensorId],
+        k: usize,
+    ) -> Result<Self, ProblemError> {
+        Self::from_network_with(net, requests, k, ChargingParams::default())
+    }
+
+    /// [`ChargingProblem::from_network`] with explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ChargingProblem::from_network`].
+    pub fn from_network_with(
+        net: &Network,
+        requests: &[SensorId],
+        k: usize,
+        params: ChargingParams,
+    ) -> Result<Self, ProblemError> {
+        let mut targets = Vec::with_capacity(requests.len());
+        for &id in requests {
+            let s = net
+                .sensors()
+                .get(id.index())
+                .ok_or(ProblemError::UnknownSensor(id))?;
+            let target_j = params.charge_target_fraction * s.capacity_j;
+            let deficit = (target_j - s.residual_j).max(0.0);
+            targets.push(ChargingTarget {
+                id,
+                pos: s.pos,
+                charge_duration_s: deficit / params.eta_w,
+                residual_lifetime_s: s.residual_lifetime_s(),
+            });
+        }
+        Self::new(net.depot(), targets, k, params)
+    }
+
+    /// The MCV depot.
+    pub fn depot(&self) -> Point {
+        self.depot
+    }
+
+    /// Charger parameters.
+    pub fn params(&self) -> ChargingParams {
+        self.params
+    }
+
+    /// Number of mobile chargers `K`.
+    pub fn charger_count(&self) -> usize {
+        self.k
+    }
+
+    /// The request set `V_s`, indexed by *target index* (0-based, dense).
+    pub fn targets(&self) -> &[ChargingTarget] {
+        &self.targets
+    }
+
+    /// Number of targets `|V_s|`.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Returns `true` iff the request set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// The coverage set `N_c⁺(i)`: sorted target indices within `γ` of
+    /// target `i`, including `i`.
+    pub fn coverage(&self, i: usize) -> &[u32] {
+        &self.coverage[i]
+    }
+
+    /// The charge-duration upper bound `τ(i) = max_{u ∈ N_c⁺(i)} t_u`
+    /// (Eq. 2), seconds.
+    pub fn tau(&self, i: usize) -> f64 {
+        self.tau[i]
+    }
+
+    /// The charging duration `t_i` of target `i` (Eq. 1), seconds.
+    pub fn charge_duration(&self, i: usize) -> f64 {
+        self.targets[i].charge_duration_s
+    }
+
+    /// Travel time between targets `a` and `b`, seconds.
+    pub fn travel_time(&self, a: usize, b: usize) -> f64 {
+        self.targets[a].pos.dist(self.targets[b].pos) / self.params.speed_mps
+    }
+
+    /// Travel time between the depot and target `i`, seconds.
+    pub fn depot_travel_time(&self, i: usize) -> f64 {
+        self.depot.dist(self.targets[i].pos) / self.params.speed_mps
+    }
+
+    /// Dense travel-time matrix between all targets, seconds.
+    pub fn travel_matrix(&self) -> Vec<Vec<f64>> {
+        let pts: Vec<Point> = self.targets.iter().map(|t| t.pos).collect();
+        let mut m = wrsn_geom::dist_matrix(&pts);
+        for row in &mut m {
+            for x in row.iter_mut() {
+                *x /= self.params.speed_mps;
+            }
+        }
+        m
+    }
+
+    /// Depot travel-time vector, seconds.
+    pub fn depot_travel_vector(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.depot_travel_time(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(id: u32, x: f64, y: f64, t: f64) -> ChargingTarget {
+        ChargingTarget {
+            id: SensorId(id),
+            pos: Point::new(x, y),
+            charge_duration_s: t,
+            residual_lifetime_s: f64::INFINITY,
+        }
+    }
+
+    fn params() -> ChargingParams {
+        ChargingParams::default()
+    }
+
+    #[test]
+    fn coverage_and_tau_follow_eq2() {
+        // Targets at x = 0, 2, 10. γ = 2.7 → {0,1} mutually covered.
+        let targets =
+            vec![target(0, 0.0, 0.0, 100.0), target(1, 2.0, 0.0, 500.0), target(2, 10.0, 0.0, 50.0)];
+        let p = ChargingProblem::new(Point::ORIGIN, targets, 1, params()).unwrap();
+        assert_eq!(p.coverage(0), &[0, 1]);
+        assert_eq!(p.coverage(1), &[0, 1]);
+        assert_eq!(p.coverage(2), &[2]);
+        assert_eq!(p.tau(0), 500.0); // max over {100, 500}
+        assert_eq!(p.tau(1), 500.0);
+        assert_eq!(p.tau(2), 50.0);
+    }
+
+    #[test]
+    fn travel_times_divide_by_speed() {
+        let targets = vec![target(0, 3.0, 4.0, 1.0), target(1, 3.0, 0.0, 1.0)];
+        let mut prm = params();
+        prm.speed_mps = 2.0;
+        let p = ChargingProblem::new(Point::ORIGIN, targets, 1, prm).unwrap();
+        assert_eq!(p.depot_travel_time(0), 2.5);
+        assert_eq!(p.travel_time(0, 1), 2.0);
+        let m = p.travel_matrix();
+        assert_eq!(m[0][1], 2.0);
+        assert_eq!(p.depot_travel_vector(), vec![2.5, 1.5]);
+    }
+
+    #[test]
+    fn zero_chargers_rejected() {
+        assert_eq!(
+            ChargingProblem::new(Point::ORIGIN, Vec::new(), 0, params()).unwrap_err(),
+            ProblemError::NoChargers
+        );
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let mut prm = params();
+        prm.gamma_m = 0.0;
+        assert_eq!(
+            ChargingProblem::new(Point::ORIGIN, Vec::new(), 1, prm).unwrap_err(),
+            ProblemError::InvalidParam("gamma_m")
+        );
+        let mut prm = params();
+        prm.eta_w = -1.0;
+        assert!(ChargingProblem::new(Point::ORIGIN, Vec::new(), 1, prm).is_err());
+        let mut prm = params();
+        prm.speed_mps = f64::NAN;
+        assert!(ChargingProblem::new(Point::ORIGIN, Vec::new(), 1, prm).is_err());
+    }
+
+    #[test]
+    fn negative_charge_duration_rejected() {
+        let t = target(0, 0.0, 0.0, -1.0);
+        assert_eq!(
+            ChargingProblem::new(Point::ORIGIN, vec![t], 1, params()).unwrap_err(),
+            ProblemError::InvalidParam("targets")
+        );
+    }
+
+    #[test]
+    fn empty_instance_is_valid() {
+        let p = ChargingProblem::new(Point::ORIGIN, Vec::new(), 3, params()).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.charger_count(), 3);
+    }
+
+    #[test]
+    fn from_network_uses_residual_energy() {
+        use wrsn_net::{InitialCharge, NetworkBuilder};
+        let net = NetworkBuilder::new(50)
+            .seed(2)
+            .initial_charge(InitialCharge::UniformFraction { lo: 0.0, hi: 0.1 })
+            .build();
+        let req = net.default_requesting_sensors();
+        assert_eq!(req.len(), 50);
+        let p = ChargingProblem::from_network(&net, &req, 2).unwrap();
+        assert_eq!(p.len(), 50);
+        for (i, t) in p.targets().iter().enumerate() {
+            let s = net.sensor(t.id);
+            assert!((t.charge_duration_s - s.deficit_j() / 2.0).abs() < 1e-9);
+            assert_eq!(t.pos, s.pos);
+            assert!(p.charge_duration(i) >= 0.9 * 10_800.0 / 2.0);
+        }
+    }
+
+    #[test]
+    fn from_network_rejects_unknown_id() {
+        use wrsn_net::NetworkBuilder;
+        let net = NetworkBuilder::new(3).build();
+        let err =
+            ChargingProblem::from_network(&net, &[SensorId(99)], 1).unwrap_err();
+        assert_eq!(err, ProblemError::UnknownSensor(SensorId(99)));
+    }
+
+    #[test]
+    fn error_display_is_lowercase_and_concise() {
+        assert_eq!(ProblemError::NoChargers.to_string(), "need at least one mobile charger");
+        assert!(ProblemError::UnknownSensor(SensorId(5)).to_string().contains("s5"));
+    }
+}

@@ -1,0 +1,166 @@
+//! The NP-hardness reduction, as executable code.
+//!
+//! The paper states (§III-C) that the longest charge delay minimization
+//! problem is NP-hard "since the well-known NP-hard TSP problem can be
+//! reduced to it", omitting the proof. This module *implements* that
+//! reduction: a metric TSP instance becomes a charging instance with
+//!
+//! - `K = 1` charger,
+//! - zero charge durations (`t_v = 0`, i.e. sensors request at full
+//!   capacity — boundary-valid under Eq. 1),
+//! - a charging radius smaller than half the minimum pairwise distance,
+//!   so every coverage set is the singleton `{v}` and every sensor
+//!   must be visited in person.
+//!
+//! Under that mapping a feasible schedule is exactly a closed tour
+//! through the depot and all sensors, and its delay is the tour length
+//! divided by the travel speed — so an exact solver for the charging
+//! problem would solve TSP. The tests below exercise the mapping with
+//! the exact Held–Karp optimum on small instances.
+
+use wrsn_geom::Point;
+use wrsn_net::SensorId;
+
+use crate::{ChargingParams, ChargingProblem, ChargingTarget, ProblemError};
+
+/// Builds the charging instance that encodes the TSP over
+/// `depot ∪ points`.
+///
+/// # Errors
+///
+/// Returns [`ProblemError::InvalidParam`] if two points (or a point and
+/// the depot) coincide — the reduction needs singleton coverage sets —
+/// or if any coordinate is non-finite.
+pub fn tsp_as_charging_problem(
+    points: &[Point],
+    depot: Point,
+) -> Result<ChargingProblem, ProblemError> {
+    // Minimum pairwise distance, depot included.
+    let mut min_d = f64::INFINITY;
+    for (i, a) in points.iter().enumerate() {
+        min_d = min_d.min(a.dist(depot));
+        for b in points.iter().skip(i + 1) {
+            min_d = min_d.min(a.dist(*b));
+        }
+    }
+    if points.is_empty() {
+        min_d = 1.0;
+    }
+    if min_d.is_nan() || min_d <= 0.0 {
+        return Err(ProblemError::InvalidParam("targets"));
+    }
+
+    let params = ChargingParams {
+        gamma_m: min_d / 4.0,
+        ..ChargingParams::default()
+    };
+    let targets: Vec<ChargingTarget> = points
+        .iter()
+        .enumerate()
+        .map(|(i, &pos)| ChargingTarget {
+            id: SensorId::from(i),
+            pos,
+            charge_duration_s: 0.0,
+            residual_lifetime_s: f64::INFINITY,
+        })
+        .collect();
+    ChargingProblem::new(depot, targets, 1, params)
+}
+
+/// The delay a closed tour `depot → order… → depot` has in the reduced
+/// instance: pure travel time (all charge durations are zero).
+pub fn tour_delay_of(problem: &ChargingProblem, order: &[usize]) -> f64 {
+    if order.is_empty() {
+        return 0.0;
+    }
+    let mut t = problem.depot_travel_time(order[0]);
+    for w in order.windows(2) {
+        t += problem.travel_time(w[0], w[1]);
+    }
+    t + problem.depot_travel_time(*order.last().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Appro, Planner, PlannerConfig};
+    use wrsn_algo::exact::held_karp;
+    use wrsn_geom::dist_matrix;
+
+    fn pts(n: usize, salt: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                Point::new(
+                    ((i * 37 + salt * 11) % 89) as f64 + 1.0,
+                    ((i * 53 + salt * 23) % 83) as f64 + 1.0,
+                )
+            })
+            .collect()
+    }
+
+    /// Exact TSP optimum over depot + points (cycle length).
+    fn tsp_opt(points: &[Point], depot: Point) -> f64 {
+        let mut all = points.to_vec();
+        all.push(depot);
+        held_karp(&dist_matrix(&all)).1
+    }
+
+    #[test]
+    fn coverage_sets_are_singletons() {
+        let p = tsp_as_charging_problem(&pts(8, 1), Point::ORIGIN).unwrap();
+        for i in 0..p.len() {
+            assert_eq!(p.coverage(i), &[i as u32]);
+            assert_eq!(p.tau(i), 0.0);
+        }
+        assert_eq!(p.charger_count(), 1);
+    }
+
+    #[test]
+    fn any_feasible_schedule_is_a_tour_of_cost_geq_tsp() {
+        for salt in 0..4 {
+            let points = pts(9, salt);
+            let depot = Point::new(45.0, 45.0);
+            let problem = tsp_as_charging_problem(&points, depot).unwrap();
+            let opt = tsp_opt(&points, depot);
+            let schedule = Appro::new(PlannerConfig::default()).plan(&problem).unwrap();
+            schedule.certify(&problem).unwrap();
+            // The schedule's delay can never beat the TSP optimum...
+            assert!(
+                schedule.longest_delay_s() >= opt - 1e-6,
+                "salt {salt}: delay {} below TSP optimum {opt}",
+                schedule.longest_delay_s()
+            );
+            // ...and the heuristic stays within a modest factor of it.
+            assert!(
+                schedule.longest_delay_s() <= 1.6 * opt + 1e-6,
+                "salt {salt}: delay {} too far above optimum {opt}",
+                schedule.longest_delay_s()
+            );
+        }
+    }
+
+    #[test]
+    fn tour_delay_matches_schedule_delay() {
+        let points = pts(7, 2);
+        let depot = Point::new(45.0, 45.0);
+        let problem = tsp_as_charging_problem(&points, depot).unwrap();
+        let schedule = Appro::new(PlannerConfig::default()).plan(&problem).unwrap();
+        let order = schedule.tours[0].visited();
+        assert!(
+            (tour_delay_of(&problem, &order) - schedule.longest_delay_s()).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn coincident_points_are_rejected() {
+        let points = vec![Point::new(1.0, 1.0), Point::new(1.0, 1.0)];
+        assert!(tsp_as_charging_problem(&points, Point::ORIGIN).is_err());
+    }
+
+    #[test]
+    fn empty_tsp_is_fine() {
+        let p = tsp_as_charging_problem(&[], Point::ORIGIN).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(tour_delay_of(&p, &[]), 0.0);
+    }
+}

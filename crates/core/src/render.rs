@@ -1,0 +1,246 @@
+//! Plain-text rendering of instances and schedules.
+//!
+//! Terminal-friendly views for debugging and the examples: a field map
+//! showing the depot, the request set and each charger's sojourn
+//! locations, and a Gantt-style timeline of when each charger travels,
+//! waits and charges.
+
+use crate::{ChargingProblem, Schedule};
+
+/// Renders the field as an ASCII map of `cols × rows` characters.
+///
+/// Legend: `D` depot, digits `0..=9` sojourn locations of that charger
+/// (`#` for chargers beyond 9), `.` a requested sensor covered by some
+/// sojourn but not itself a stop, space = empty field.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_core::{render, Appro, ChargingProblem, Planner, PlannerConfig};
+/// use wrsn_net::{InitialCharge, NetworkBuilder};
+///
+/// let net = NetworkBuilder::new(80)
+///     .seed(5)
+///     .initial_charge(InitialCharge::UniformFraction { lo: 0.05, hi: 0.15 })
+///     .build();
+/// let requests = net.default_requesting_sensors();
+/// let problem = ChargingProblem::from_network(&net, &requests, 2)?;
+/// let schedule = Appro::new(PlannerConfig::default()).plan(&problem)?;
+/// let map = render::field_map(&problem, &schedule, 40, 20);
+/// assert!(map.contains('D'));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn field_map(
+    problem: &ChargingProblem,
+    schedule: &Schedule,
+    cols: usize,
+    rows: usize,
+) -> String {
+    let cols = cols.max(2);
+    let rows = rows.max(2);
+
+    // Bounding box over depot + targets.
+    let mut min_x = problem.depot().x;
+    let mut max_x = problem.depot().x;
+    let mut min_y = problem.depot().y;
+    let mut max_y = problem.depot().y;
+    for t in problem.targets() {
+        min_x = min_x.min(t.pos.x);
+        max_x = max_x.max(t.pos.x);
+        min_y = min_y.min(t.pos.y);
+        max_y = max_y.max(t.pos.y);
+    }
+    let w = (max_x - min_x).max(1e-9);
+    let h = (max_y - min_y).max(1e-9);
+    let cell = |x: f64, y: f64| -> (usize, usize) {
+        let cx = (((x - min_x) / w) * (cols - 1) as f64).round() as usize;
+        let cy = (((y - min_y) / h) * (rows - 1) as f64).round() as usize;
+        (cx.min(cols - 1), cy.min(rows - 1))
+    };
+
+    let mut grid = vec![vec![' '; cols]; rows];
+    for t in problem.targets() {
+        let (cx, cy) = cell(t.pos.x, t.pos.y);
+        grid[cy][cx] = '.';
+    }
+    for (k, tour) in schedule.tours.iter().enumerate() {
+        let mark = if k < 10 {
+            char::from_digit(k as u32, 10).expect("k < 10")
+        } else {
+            '#'
+        };
+        for s in &tour.sojourns {
+            let t = &problem.targets()[s.target];
+            let (cx, cy) = cell(t.pos.x, t.pos.y);
+            grid[cy][cx] = mark;
+        }
+    }
+    let (dx, dy) = cell(problem.depot().x, problem.depot().y);
+    grid[dy][dx] = 'D';
+
+    // y grows upward in the field; render top row first.
+    let mut out = String::with_capacity((cols + 1) * rows);
+    for row in grid.iter().rev() {
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a Gantt-style timeline, one row per charger: `-` travel,
+/// `w` waiting, `#` charging, `.` back at the depot. The timeline is
+/// scaled so the longest tour spans `cols` characters.
+///
+/// Returns an empty string for an all-idle schedule.
+pub fn gantt(schedule: &Schedule, cols: usize) -> String {
+    let cols = cols.max(10);
+    let horizon = schedule.longest_delay_s();
+    if horizon <= 0.0 {
+        return String::new();
+    }
+    let col_of = |t: f64| -> usize {
+        (((t / horizon) * cols as f64).floor() as usize).min(cols - 1)
+    };
+    let mut out = String::new();
+    for (k, tour) in schedule.tours.iter().enumerate() {
+        let mut row = vec!['-'; cols];
+        for s in &tour.sojourns {
+            for c in row
+                .iter_mut()
+                .take(col_of(s.start_s).max(col_of(s.arrival_s)))
+                .skip(col_of(s.arrival_s))
+            {
+                *c = 'w';
+            }
+            for c in row
+                .iter_mut()
+                .take(col_of(s.finish_s()) + 1)
+                .skip(col_of(s.start_s))
+            {
+                *c = '#';
+            }
+        }
+        for c in row.iter_mut().skip(col_of(tour.return_time_s) + 1) {
+            *c = '.';
+        }
+        if tour.sojourns.is_empty() {
+            row.fill('.');
+        }
+        out.push_str(&format!("MCV {k:<2} |"));
+        out.extend(row.iter());
+        out.push_str(&format!("| {:.1} h\n", tour.return_time_s / 3600.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Appro, ChargingParams, ChargingTarget, Planner, PlannerConfig};
+    use wrsn_geom::Point;
+    use wrsn_net::SensorId;
+
+    fn demo() -> (ChargingProblem, Schedule) {
+        let targets = vec![
+            ChargingTarget {
+                id: SensorId(0),
+                pos: Point::new(10.0, 10.0),
+                charge_duration_s: 100.0,
+                residual_lifetime_s: f64::INFINITY,
+            },
+            ChargingTarget {
+                id: SensorId(1),
+                pos: Point::new(90.0, 90.0),
+                charge_duration_s: 200.0,
+                residual_lifetime_s: f64::INFINITY,
+            },
+        ];
+        let problem = ChargingProblem::new(
+            Point::new(50.0, 50.0),
+            targets,
+            2,
+            ChargingParams::default(),
+        )
+        .unwrap();
+        let schedule = Appro::new(PlannerConfig::default()).plan(&problem).unwrap();
+        (problem, schedule)
+    }
+
+    #[test]
+    fn field_map_has_depot_and_stops() {
+        let (problem, schedule) = demo();
+        let map = field_map(&problem, &schedule, 30, 15);
+        assert!(map.contains('D'));
+        // Both sojourns drawn with charger digits.
+        assert!(map.contains('0') || map.contains('1'));
+        assert_eq!(map.lines().count(), 15);
+        assert!(map.lines().all(|l| l.chars().count() == 30));
+    }
+
+    #[test]
+    fn gantt_rows_match_chargers() {
+        let (problem, schedule) = demo();
+        let g = gantt(&schedule, 40);
+        assert_eq!(g.lines().count(), problem.charger_count());
+        assert!(g.contains('#'), "charging must appear");
+        assert!(g.contains("MCV 0"));
+    }
+
+    #[test]
+    fn idle_schedule_renders_empty_gantt() {
+        assert_eq!(gantt(&Schedule::idle(3), 40), "");
+    }
+
+    #[test]
+    fn degenerate_single_point_field() {
+        let targets = vec![ChargingTarget {
+            id: SensorId(0),
+            pos: Point::new(50.0, 50.0),
+            charge_duration_s: 10.0,
+            residual_lifetime_s: f64::INFINITY,
+        }];
+        let problem = ChargingProblem::new(
+            Point::new(50.0, 50.0),
+            targets,
+            1,
+            ChargingParams::default(),
+        )
+        .unwrap();
+        let schedule = Appro::new(PlannerConfig::default()).plan(&problem).unwrap();
+        let map = field_map(&problem, &schedule, 10, 5);
+        assert!(map.contains('D')); // depot overdraws the sojourn
+    }
+
+    #[test]
+    fn waiting_appears_in_gantt() {
+        let targets = vec![
+            ChargingTarget {
+                id: SensorId(0),
+                pos: Point::new(48.0, 50.0),
+                charge_duration_s: 10_000.0,
+                residual_lifetime_s: f64::INFINITY,
+            },
+            ChargingTarget {
+                id: SensorId(1),
+                pos: Point::new(49.0, 50.0),
+                charge_duration_s: 10_000.0,
+                residual_lifetime_s: f64::INFINITY,
+            },
+        ];
+        let problem = ChargingProblem::new(
+            Point::new(0.0, 50.0),
+            targets,
+            2,
+            ChargingParams::default(),
+        )
+        .unwrap();
+        // Force a conflicting one-to-one assignment, then repair.
+        let mut schedule = Schedule::assemble(
+            &problem,
+            vec![vec![(0, 10_000.0)], vec![(1, 10_000.0)]],
+        );
+        crate::conflict::repair_waits(&problem, &mut schedule);
+        let g = gantt(&schedule, 60);
+        assert!(g.contains('w'), "repair wait must be visible:\n{g}");
+    }
+}

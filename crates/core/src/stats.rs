@@ -1,0 +1,195 @@
+//! Descriptive statistics of a schedule.
+//!
+//! The experiment tables aggregate one number per schedule (the longest
+//! delay). This module computes the richer breakdown used by the CLI's
+//! `--stats` view and by analysis notebooks reading the JSON output:
+//! where each charger's time goes, how long sensors wait for their
+//! charge, and how much multi-node sharing the schedule achieved.
+
+use crate::{ChargingProblem, Schedule};
+
+/// Time breakdown of one charger's tour.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct ChargerBreakdown {
+    /// Time spent driving, seconds.
+    pub travel_s: f64,
+    /// Time spent charging, seconds.
+    pub charge_s: f64,
+    /// Time spent idling for conflict avoidance, seconds.
+    pub wait_s: f64,
+    /// Total tour delay (sum of the above for a consistent tour), seconds.
+    pub total_s: f64,
+}
+
+/// Aggregate statistics of a schedule against its problem.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct ScheduleStats {
+    /// Per-charger time breakdowns, indexed by charger.
+    pub per_charger: Vec<ChargerBreakdown>,
+    /// Mean time until a requested sensor is fully charged, seconds.
+    pub mean_completion_s: f64,
+    /// Median completion time, seconds.
+    pub median_completion_s: f64,
+    /// 95th-percentile completion time, seconds.
+    pub p95_completion_s: f64,
+    /// Requested sensors per sojourn — the multi-node sharing factor
+    /// (1.0 means pure one-to-one; the paper's gains require > 1).
+    pub sharing_factor: f64,
+}
+
+/// Computes [`ScheduleStats`] for a schedule.
+///
+/// Completion percentiles treat never-charged sensors as completing at
+/// `f64::INFINITY`; on certified schedules every sensor completes.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_core::{stats, Appro, ChargingProblem, Planner, PlannerConfig};
+/// use wrsn_net::{InitialCharge, NetworkBuilder};
+///
+/// let net = NetworkBuilder::new(120)
+///     .seed(4)
+///     .initial_charge(InitialCharge::UniformFraction { lo: 0.05, hi: 0.15 })
+///     .build();
+/// let requests = net.default_requesting_sensors();
+/// let problem = ChargingProblem::from_network(&net, &requests, 2)?;
+/// let schedule = Appro::new(PlannerConfig::default()).plan(&problem)?;
+/// let s = stats::schedule_stats(&problem, &schedule);
+/// assert!(s.sharing_factor >= 1.0);
+/// assert!(s.median_completion_s <= s.p95_completion_s);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn schedule_stats(problem: &ChargingProblem, schedule: &Schedule) -> ScheduleStats {
+    let per_charger: Vec<ChargerBreakdown> = schedule
+        .tours
+        .iter()
+        .map(|tour| {
+            let charge_s = tour.charge_time_s();
+            let wait_s = tour.wait_time_s();
+            let travel_s = (tour.return_time_s - charge_s - wait_s).max(0.0);
+            ChargerBreakdown { travel_s, charge_s, wait_s, total_s: tour.return_time_s }
+        })
+        .collect();
+
+    let mut completions: Vec<f64> = schedule
+        .charge_completion_times(problem)
+        .into_iter()
+        .map(|c| c.unwrap_or(f64::INFINITY))
+        .collect();
+    completions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let percentile = |q: f64| -> f64 {
+        if completions.is_empty() {
+            0.0
+        } else {
+            let idx = ((completions.len() as f64 - 1.0) * q).round() as usize;
+            completions[idx]
+        }
+    };
+    let mean_completion_s = if completions.is_empty() {
+        0.0
+    } else {
+        completions.iter().sum::<f64>() / completions.len() as f64
+    };
+
+    let sojourns = schedule.sojourn_count();
+    let sharing_factor = if sojourns == 0 {
+        1.0
+    } else {
+        problem.len() as f64 / sojourns as f64
+    };
+
+    ScheduleStats {
+        per_charger,
+        mean_completion_s,
+        median_completion_s: percentile(0.5),
+        p95_completion_s: percentile(0.95),
+        sharing_factor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Appro, ChargingParams, ChargingTarget, Planner, PlannerConfig};
+    use wrsn_geom::Point;
+    use wrsn_net::SensorId;
+
+    fn target(id: u32, x: f64, y: f64, t: f64) -> ChargingTarget {
+        ChargingTarget {
+            id: SensorId(id),
+            pos: Point::new(x, y),
+            charge_duration_s: t,
+            residual_lifetime_s: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn single_stop_breakdown_adds_up() {
+        let p = ChargingProblem::new(
+            Point::ORIGIN,
+            vec![target(0, 30.0, 40.0, 600.0)],
+            1,
+            ChargingParams::default(),
+        )
+        .unwrap();
+        let s = Appro::new(PlannerConfig::default()).plan(&p).unwrap();
+        let st = schedule_stats(&p, &s);
+        let b = st.per_charger[0];
+        assert!((b.travel_s - 100.0).abs() < 1e-6); // 50 m out + back at 1 m/s
+        assert_eq!(b.charge_s, 600.0);
+        assert_eq!(b.wait_s, 0.0);
+        assert!((b.total_s - (b.travel_s + b.charge_s)).abs() < 1e-6);
+        // One sensor, completes at arrival + duration.
+        assert!((st.mean_completion_s - 650.0).abs() < 1e-6);
+        assert_eq!(st.median_completion_s, st.p95_completion_s);
+        assert_eq!(st.sharing_factor, 1.0);
+    }
+
+    #[test]
+    fn sharing_factor_reflects_multi_node_coverage() {
+        // Five sensors in one disk: one sojourn serves all.
+        let targets: Vec<ChargingTarget> = (0..5)
+            .map(|i| target(i, 20.0 + 0.3 * i as f64, 20.0, 100.0 + i as f64))
+            .collect();
+        let p =
+            ChargingProblem::new(Point::ORIGIN, targets, 1, ChargingParams::default()).unwrap();
+        let s = Appro::new(PlannerConfig::default()).plan(&p).unwrap();
+        let st = schedule_stats(&p, &s);
+        assert_eq!(st.sharing_factor, 5.0);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        use wrsn_net::{InitialCharge, NetworkBuilder};
+        let net = NetworkBuilder::new(150)
+            .seed(2)
+            .initial_charge(InitialCharge::UniformFraction { lo: 0.02, hi: 0.18 })
+            .build();
+        let req = net.default_requesting_sensors();
+        let p = ChargingProblem::from_network(&net, &req, 2).unwrap();
+        let s = Appro::new(PlannerConfig::default()).plan(&p).unwrap();
+        let st = schedule_stats(&p, &s);
+        assert!(st.median_completion_s <= st.p95_completion_s);
+        assert!(st.p95_completion_s <= s.longest_delay_s() + 1e-6);
+        assert!(st.mean_completion_s > 0.0);
+        assert!(st.sharing_factor > 1.0, "dense sets must share coverage");
+    }
+
+    #[test]
+    fn empty_schedule_stats() {
+        let p = ChargingProblem::new(
+            Point::ORIGIN,
+            Vec::new(),
+            2,
+            ChargingParams::default(),
+        )
+        .unwrap();
+        let st = schedule_stats(&p, &Schedule::idle(2));
+        assert_eq!(st.per_charger.len(), 2);
+        assert_eq!(st.mean_completion_s, 0.0);
+        assert_eq!(st.sharing_factor, 1.0);
+    }
+}

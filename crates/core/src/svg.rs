@@ -1,0 +1,309 @@
+//! SVG rendering of instances and schedules.
+//!
+//! The ASCII views in [`crate::render`] are for terminals; this module
+//! emits standalone SVG documents for reports and papers: the field with
+//! coverage disks and per-charger tour polylines, and a timeline (Gantt)
+//! with travel/wait/charge phases. No external dependencies — the SVG is
+//! assembled as a string.
+
+use std::fmt::Write as _;
+
+use crate::{ChargingProblem, Schedule};
+
+/// Distinct, print-friendly colors for up to ten chargers (cycled beyond).
+const CHARGER_COLORS: [&str; 10] = [
+    "#1b6ca8", "#c44536", "#2e7d32", "#7b1fa2", "#ef6c00", "#00838f", "#5d4037", "#c2185b",
+    "#558b2f", "#4527a0",
+];
+
+fn color(k: usize) -> &'static str {
+    CHARGER_COLORS[k % CHARGER_COLORS.len()]
+}
+
+/// Renders the field as an SVG document: requested sensors (dots), each
+/// sojourn's coverage disk (radius `γ`, charger-colored), tour polylines
+/// from the depot through the sojourn locations, and the depot (black
+/// square).
+///
+/// `size_px` is the width and height of the (square) image.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_core::{svg, Appro, ChargingProblem, Planner, PlannerConfig};
+/// use wrsn_net::{InitialCharge, NetworkBuilder};
+///
+/// let net = NetworkBuilder::new(80)
+///     .seed(5)
+///     .initial_charge(InitialCharge::UniformFraction { lo: 0.05, hi: 0.15 })
+///     .build();
+/// let requests = net.default_requesting_sensors();
+/// let problem = ChargingProblem::from_network(&net, &requests, 2)?;
+/// let schedule = Appro::new(PlannerConfig::default()).plan(&problem)?;
+/// let doc = svg::field_svg(&problem, &schedule, 480.0);
+/// assert!(doc.starts_with("<svg"));
+/// assert!(doc.ends_with("</svg>\n"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn field_svg(problem: &ChargingProblem, schedule: &Schedule, size_px: f64) -> String {
+    let size_px = size_px.max(64.0);
+
+    // Bounding box over depot + targets, padded by γ.
+    let gamma = problem.params().gamma_m;
+    let depot = problem.depot();
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (depot.x, depot.x, depot.y, depot.y);
+    for t in problem.targets() {
+        min_x = min_x.min(t.pos.x);
+        max_x = max_x.max(t.pos.x);
+        min_y = min_y.min(t.pos.y);
+        max_y = max_y.max(t.pos.y);
+    }
+    min_x -= gamma + 1.0;
+    min_y -= gamma + 1.0;
+    max_x += gamma + 1.0;
+    max_y += gamma + 1.0;
+    let span = (max_x - min_x).max(max_y - min_y).max(1e-9);
+    let scale = size_px / span;
+    // SVG y grows downward; the field's y grows upward.
+    let sx = |x: f64| (x - min_x) * scale;
+    let sy = |y: f64| size_px - (y - min_y) * scale;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{size_px}" height="{size_px}" viewBox="0 0 {size_px} {size_px}">"##
+    );
+    let _ = writeln!(out, r##"<rect width="100%" height="100%" fill="#fbfaf7"/>"##);
+
+    // Coverage disks under everything else.
+    for (k, tour) in schedule.tours.iter().enumerate() {
+        for s in &tour.sojourns {
+            let p = problem.targets()[s.target].pos;
+            let _ = writeln!(
+                out,
+                r##"<circle cx="{:.2}" cy="{:.2}" r="{:.2}" fill="{}" fill-opacity="0.15" stroke="none"/>"##,
+                sx(p.x),
+                sy(p.y),
+                gamma * scale,
+                color(k)
+            );
+        }
+    }
+
+    // Tour polylines: depot -> stops -> depot.
+    for (k, tour) in schedule.tours.iter().enumerate() {
+        if tour.sojourns.is_empty() {
+            continue;
+        }
+        let mut points = format!("{:.2},{:.2}", sx(depot.x), sy(depot.y));
+        for s in &tour.sojourns {
+            let p = problem.targets()[s.target].pos;
+            let _ = write!(points, " {:.2},{:.2}", sx(p.x), sy(p.y));
+        }
+        let _ = write!(points, " {:.2},{:.2}", sx(depot.x), sy(depot.y));
+        let _ = writeln!(
+            out,
+            r##"<polyline points="{points}" fill="none" stroke="{}" stroke-width="1.5" stroke-opacity="0.85"/>"##,
+            color(k)
+        );
+    }
+
+    // Requested sensors.
+    for t in problem.targets() {
+        let _ = writeln!(
+            out,
+            r##"<circle cx="{:.2}" cy="{:.2}" r="1.6" fill="#444"/>"##,
+            sx(t.pos.x),
+            sy(t.pos.y)
+        );
+    }
+    // Sojourn markers on top.
+    for (k, tour) in schedule.tours.iter().enumerate() {
+        for s in &tour.sojourns {
+            let p = problem.targets()[s.target].pos;
+            let _ = writeln!(
+                out,
+                r##"<circle cx="{:.2}" cy="{:.2}" r="3.0" fill="{}" stroke="#fff" stroke-width="0.8"/>"##,
+                sx(p.x),
+                sy(p.y),
+                color(k)
+            );
+        }
+    }
+    // Depot.
+    let _ = writeln!(
+        out,
+        r##"<rect x="{:.2}" y="{:.2}" width="8" height="8" fill="#111"/>"##,
+        sx(depot.x) - 4.0,
+        sy(depot.y) - 4.0
+    );
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders the schedule timeline as an SVG Gantt chart: one lane per
+/// charger; travel in light gray, waiting hatched amber, charging in the
+/// charger's color; a time axis in hours underneath.
+pub fn gantt_svg(schedule: &Schedule, width_px: f64) -> String {
+    let width_px = width_px.max(120.0);
+    let lane_h = 26.0;
+    let gap = 8.0;
+    let axis_h = 22.0;
+    let k = schedule.tours.len();
+    let height = k as f64 * (lane_h + gap) + axis_h;
+    let horizon = schedule.longest_delay_s().max(1e-9);
+    let sx = |t: f64| t / horizon * (width_px - 60.0) + 50.0;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" height="{height:.0}" viewBox="0 0 {width_px} {height:.0}">"##
+    );
+    let _ = writeln!(out, r##"<rect width="100%" height="100%" fill="#fbfaf7"/>"##);
+
+    for (ki, tour) in schedule.tours.iter().enumerate() {
+        let y = ki as f64 * (lane_h + gap) + 4.0;
+        let _ = writeln!(
+            out,
+            r##"<text x="4" y="{:.1}" font-family="sans-serif" font-size="11" fill="#333">MCV {ki}</text>"##,
+            y + lane_h * 0.65
+        );
+        // Travel background bar to the return time.
+        let _ = writeln!(
+            out,
+            r##"<rect x="{:.2}" y="{y:.1}" width="{:.2}" height="{lane_h}" fill="#ddd"/>"##,
+            sx(0.0),
+            (sx(tour.return_time_s) - sx(0.0)).max(0.0)
+        );
+        for s in &tour.sojourns {
+            if s.wait_s() > 0.0 {
+                let _ = writeln!(
+                    out,
+                    r##"<rect x="{:.2}" y="{y:.1}" width="{:.2}" height="{lane_h}" fill="#e8b84b"/>"##,
+                    sx(s.arrival_s),
+                    (sx(s.start_s) - sx(s.arrival_s)).max(0.5)
+                );
+            }
+            let _ = writeln!(
+                out,
+                r##"<rect x="{:.2}" y="{y:.1}" width="{:.2}" height="{lane_h}" fill="{}"/>"##,
+                sx(s.start_s),
+                (sx(s.finish_s()) - sx(s.start_s)).max(0.5),
+                color(ki)
+            );
+        }
+    }
+    // Axis: a tick every quarter of the horizon.
+    let axis_y = k as f64 * (lane_h + gap) + 12.0;
+    for q in 0..=4 {
+        let t = horizon * q as f64 / 4.0;
+        let _ = writeln!(
+            out,
+            r##"<text x="{:.2}" y="{axis_y:.1}" font-family="sans-serif" font-size="10" fill="#666" text-anchor="middle">{:.1} h</text>"##,
+            sx(t),
+            t / 3600.0
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Appro, ChargingParams, ChargingTarget, Planner, PlannerConfig};
+    use wrsn_geom::Point;
+    use wrsn_net::SensorId;
+
+    fn demo(k: usize) -> (ChargingProblem, Schedule) {
+        let targets: Vec<ChargingTarget> = (0..6)
+            .map(|i| ChargingTarget {
+                id: SensorId(i as u32),
+                pos: Point::new(10.0 + 12.0 * i as f64, 30.0 + 7.0 * (i % 3) as f64),
+                charge_duration_s: 300.0 + 50.0 * i as f64,
+                residual_lifetime_s: f64::INFINITY,
+            })
+            .collect();
+        let problem =
+            ChargingProblem::new(Point::ORIGIN, targets, k, ChargingParams::default()).unwrap();
+        let schedule = Appro::new(PlannerConfig::default()).plan(&problem).unwrap();
+        (problem, schedule)
+    }
+
+    #[test]
+    fn field_svg_is_well_formed() {
+        let (p, s) = demo(2);
+        let doc = field_svg(&p, &s, 480.0);
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.ends_with("</svg>\n"));
+        // One dot per target plus markers and disks per sojourn.
+        assert_eq!(doc.matches("r=\"1.6\"").count(), p.len());
+        assert_eq!(doc.matches("fill-opacity=\"0.15\"").count(), s.sojourn_count());
+        // Balanced tags, and no Rust source leaked through raw-string
+        // delimiter mishaps.
+        assert_eq!(doc.matches("<svg").count(), 1);
+        assert_eq!(doc.matches("</svg>").count(), 1);
+        assert!(!doc.contains("writeln"));
+        assert!(!doc.contains("r##"));
+        assert_eq!(doc.matches('<').count(), doc.matches('>').count());
+    }
+
+    #[test]
+    fn gantt_svg_has_one_lane_per_charger() {
+        let (_, s) = demo(3);
+        let doc = gantt_svg(&s, 640.0);
+        for k in 0..3 {
+            assert!(doc.contains(&format!("MCV {k}")), "missing lane {k}");
+        }
+        assert!(doc.contains("h</text>"));
+    }
+
+    #[test]
+    fn empty_schedule_renders_without_panicking() {
+        let p = ChargingProblem::new(
+            Point::ORIGIN,
+            Vec::new(),
+            2,
+            ChargingParams::default(),
+        )
+        .unwrap();
+        let s = Schedule::idle(2);
+        let field = field_svg(&p, &s, 300.0);
+        let gantt = gantt_svg(&s, 300.0);
+        assert!(field.contains("</svg>"));
+        assert!(gantt.contains("</svg>"));
+    }
+
+    #[test]
+    fn waiting_is_drawn_when_present() {
+        // Force a conflict + repair so a wait bar exists.
+        let targets = vec![
+            ChargingTarget {
+                id: SensorId(0),
+                pos: Point::new(20.0, 0.0),
+                charge_duration_s: 500.0,
+                residual_lifetime_s: f64::INFINITY,
+            },
+            ChargingTarget {
+                id: SensorId(1),
+                pos: Point::new(21.0, 0.0),
+                charge_duration_s: 500.0,
+                residual_lifetime_s: f64::INFINITY,
+            },
+        ];
+        let p = ChargingProblem::new(Point::ORIGIN, targets, 2, ChargingParams::default())
+            .unwrap();
+        let mut s =
+            crate::Schedule::assemble(&p, vec![vec![(0, 500.0)], vec![(1, 500.0)]]);
+        crate::conflict::repair_waits(&p, &mut s);
+        assert!(s.total_wait_time_s() > 0.0);
+        let doc = gantt_svg(&s, 640.0);
+        assert!(doc.contains("#e8b84b"), "wait bar color missing");
+    }
+
+    #[test]
+    fn colors_cycle_beyond_ten_chargers() {
+        assert_eq!(color(0), color(10));
+        assert_ne!(color(0), color(1));
+    }
+}

@@ -1,0 +1,365 @@
+//! A uniform-grid spatial index over a fixed set of points.
+
+use crate::Point;
+
+/// A uniform-grid spatial index over a fixed point set.
+///
+/// The charging-graph construction in the paper needs, for every sensor
+/// `v`, the set `N_c(v)` of sensors within the charging radius `γ`. A
+/// naive all-pairs scan is O(n²); with up to 1 200 sensors per instance and
+/// hundreds of instances per experiment that cost is felt. `GridIndex`
+/// buckets points into square cells of a caller-chosen size (pick the
+/// typical query radius) so a radius query touches only the O(1) cells
+/// overlapping the query disk.
+///
+/// Points are addressed by their index in the slice passed to
+/// [`GridIndex::build`]; the index never stores the points' identities
+/// beyond that.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_geom::{GridIndex, Point};
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(9.0, 9.0)];
+/// let idx = GridIndex::build(&pts, 2.7);
+/// let mut hits = idx.within(Point::new(1.0, 0.0), 1.5);
+/// hits.sort_unstable();
+/// assert_eq!(hits, vec![0, 1]);
+/// assert_eq!(idx.nearest(Point::new(8.0, 8.0)), Some(2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct GridIndex {
+    pts: Vec<Point>,
+    cell: f64,
+    min: Point,
+    nx: usize,
+    ny: usize,
+    /// `buckets[cy * nx + cx]` lists the indices of points in that cell.
+    buckets: Vec<Vec<u32>>,
+}
+
+impl GridIndex {
+    /// Builds an index over `pts` with square cells of side `cell_size`.
+    ///
+    /// Choose `cell_size` close to the most common query radius; the
+    /// paper's charging radius `γ = 2.7 m` is a good choice for sensor
+    /// fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite, or if
+    /// any point is non-finite.
+    pub fn build(pts: &[Point], cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell_size must be positive and finite"
+        );
+        assert!(pts.iter().all(|p| p.is_finite()), "points must be finite");
+
+        if pts.is_empty() {
+            return GridIndex {
+                pts: Vec::new(),
+                cell: cell_size,
+                min: Point::ORIGIN,
+                nx: 0,
+                ny: 0,
+                buckets: Vec::new(),
+            };
+        }
+
+        let min = Point::new(
+            pts.iter().map(|p| p.x).fold(f64::INFINITY, f64::min),
+            pts.iter().map(|p| p.y).fold(f64::INFINITY, f64::min),
+        );
+        let max = Point::new(
+            pts.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max),
+            pts.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max),
+        );
+        let nx = ((max.x - min.x) / cell_size).floor() as usize + 1;
+        let ny = ((max.y - min.y) / cell_size).floor() as usize + 1;
+        let mut buckets = vec![Vec::new(); nx * ny];
+        for (i, p) in pts.iter().enumerate() {
+            let cx = ((p.x - min.x) / cell_size).floor() as usize;
+            let cy = ((p.y - min.y) / cell_size).floor() as usize;
+            buckets[cy * nx + cx].push(i as u32);
+        }
+        GridIndex { pts: pts.to_vec(), cell: cell_size, min, nx, ny, buckets }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// Returns `true` iff the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.pts.is_empty()
+    }
+
+    /// The indexed points, in build order.
+    pub fn points(&self) -> &[Point] {
+        &self.pts
+    }
+
+    /// Indices of all points within (inclusive) distance `r` of `q`.
+    ///
+    /// The result order is unspecified. A point exactly at distance `r`
+    /// is included (matching the paper's `d(u, v) ≤ γ` definition of the
+    /// charging neighborhood).
+    pub fn within(&self, q: Point, r: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_within(q, r, |i| out.push(i));
+        out
+    }
+
+    /// Calls `f(i)` for every point `i` within distance `r` of `q`.
+    ///
+    /// Allocation-free variant of [`GridIndex::within`] for hot loops.
+    pub fn for_each_within<F: FnMut(usize)>(&self, q: Point, r: f64, mut f: F) {
+        if self.pts.is_empty() || r.is_nan() || r < 0.0 {
+            return;
+        }
+        let r2 = r * r;
+        let (cx0, cy0, cx1, cy1) = self.cell_range(q, r);
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                for &i in &self.buckets[cy * self.nx + cx] {
+                    if self.pts[i as usize].dist2(q) <= r2 {
+                        f(i as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Counts the points within distance `r` of `q`.
+    pub fn count_within(&self, q: Point, r: f64) -> usize {
+        let mut n = 0;
+        self.for_each_within(q, r, |_| n += 1);
+        n
+    }
+
+    /// Index of the point nearest to `q`, or `None` if the index is empty.
+    ///
+    /// Ties are broken toward the lowest index. The search expands ring by
+    /// ring from the query cell, so it stays cheap even on sparse inputs.
+    pub fn nearest(&self, q: Point) -> Option<usize> {
+        if self.pts.is_empty() {
+            return None;
+        }
+        let mut best: Option<(f64, usize)> = None;
+        // Expand the search radius ring by ring until a hit is certain.
+        let max_ring = self.nx.max(self.ny);
+        let qc = self.clamped_cell(q);
+        for ring in 0..=max_ring {
+            self.for_each_in_ring(qc, ring, |i| {
+                let d2 = self.pts[i].dist2(q);
+                match best {
+                    Some((bd2, bi)) if d2 > bd2 || (d2 == bd2 && i >= bi) => {}
+                    _ => best = Some((d2, i)),
+                }
+            });
+            if let Some((bd2, _)) = best {
+                // Any point in a further ring is at least `ring * cell -
+                // diag_slack` away; stop once the found distance is safely
+                // smaller than anything a further ring could offer.
+                let safe = (ring as f64) * self.cell;
+                if bd2.sqrt() <= safe {
+                    break;
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    fn clamped_cell(&self, q: Point) -> (usize, usize) {
+        let cx = ((q.x - self.min.x) / self.cell).floor();
+        let cy = ((q.y - self.min.y) / self.cell).floor();
+        let cx = cx.clamp(0.0, (self.nx - 1) as f64) as usize;
+        let cy = cy.clamp(0.0, (self.ny - 1) as f64) as usize;
+        (cx, cy)
+    }
+
+    fn cell_range(&self, q: Point, r: f64) -> (usize, usize, usize, usize) {
+        let lo_x = ((q.x - r - self.min.x) / self.cell).floor().max(0.0) as usize;
+        let lo_y = ((q.y - r - self.min.y) / self.cell).floor().max(0.0) as usize;
+        let hi_x = (((q.x + r - self.min.x) / self.cell).floor().max(0.0) as usize)
+            .min(self.nx.saturating_sub(1));
+        let hi_y = (((q.y + r - self.min.y) / self.cell).floor().max(0.0) as usize)
+            .min(self.ny.saturating_sub(1));
+        (lo_x.min(self.nx.saturating_sub(1)), lo_y.min(self.ny.saturating_sub(1)), hi_x, hi_y)
+    }
+
+    fn for_each_in_ring<F: FnMut(usize)>(&self, (cx, cy): (usize, usize), ring: usize, mut f: F) {
+        let x0 = cx.saturating_sub(ring);
+        let y0 = cy.saturating_sub(ring);
+        let x1 = (cx + ring).min(self.nx - 1);
+        let y1 = (cy + ring).min(self.ny - 1);
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                // Only the boundary of the square ring; the interior was
+                // visited in earlier rings.
+                let on_ring = y == y0 && cy >= ring
+                    || y == y1 && cy + ring < self.ny
+                    || x == x0 && cx >= ring
+                    || x == x1 && cx + ring < self.nx
+                    || ring == 0
+                    // Clamped rings (near the boundary) degrade to full
+                    // squares; re-visiting is correct, just slower.
+                    || cx < ring
+                    || cy < ring
+                    || cx + ring > self.nx - 1
+                    || cy + ring > self.ny - 1;
+                if on_ring {
+                    for &i in &self.buckets[y * self.nx + x] {
+                        f(i as usize);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_within(pts: &[Point], q: Point, r: f64) -> Vec<usize> {
+        let mut v: Vec<usize> =
+            (0..pts.len()).filter(|&i| pts[i].dist2(q) <= r * r).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = GridIndex::build(&[], 1.0);
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+        assert!(idx.within(Point::ORIGIN, 10.0).is_empty());
+        assert_eq!(idx.nearest(Point::ORIGIN), None);
+    }
+
+    #[test]
+    fn single_point() {
+        let idx = GridIndex::build(&[Point::new(5.0, 5.0)], 2.0);
+        assert_eq!(idx.within(Point::new(5.0, 5.0), 0.0), vec![0]);
+        assert_eq!(idx.nearest(Point::new(100.0, -100.0)), Some(0));
+    }
+
+    #[test]
+    fn within_matches_brute_force_on_grid_of_points() {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                pts.push(Point::new(i as f64 * 0.7, j as f64 * 0.7));
+            }
+        }
+        let idx = GridIndex::build(&pts, 2.7);
+        for &(qx, qy, r) in
+            &[(0.0, 0.0, 2.7), (7.0, 7.0, 1.0), (13.3, 0.1, 5.0), (-3.0, -3.0, 4.0)]
+        {
+            let q = Point::new(qx, qy);
+            let mut got = idx.within(q, r);
+            got.sort_unstable();
+            assert_eq!(got, brute_within(&pts, q, r), "query {q} r={r}");
+        }
+    }
+
+    #[test]
+    fn boundary_distance_is_inclusive() {
+        let pts = [Point::new(0.0, 0.0), Point::new(2.7, 0.0)];
+        let idx = GridIndex::build(&pts, 2.7);
+        let mut hits = idx.within(Point::new(0.0, 0.0), 2.7);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn negative_radius_returns_nothing() {
+        let idx = GridIndex::build(&[Point::ORIGIN], 1.0);
+        assert!(idx.within(Point::ORIGIN, -1.0).is_empty());
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts: Vec<Point> = (0..50)
+            .map(|i| Point::new((i * 37 % 100) as f64, (i * 53 % 100) as f64))
+            .collect();
+        let idx = GridIndex::build(&pts, 5.0);
+        for &(qx, qy) in &[(0.0, 0.0), (50.0, 50.0), (99.0, 1.0), (-20.0, 120.0)] {
+            let q = Point::new(qx, qy);
+            let want = (0..pts.len())
+                .min_by(|&a, &b| pts[a].dist2(q).partial_cmp(&pts[b].dist2(q)).unwrap())
+                .unwrap();
+            let got = idx.nearest(q).unwrap();
+            assert_eq!(
+                pts[got].dist2(q),
+                pts[want].dist2(q),
+                "nearest distance mismatch at {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn count_within_matches_within_len() {
+        let pts: Vec<Point> =
+            (0..30).map(|i| Point::new(i as f64 % 6.0, (i / 6) as f64)).collect();
+        let idx = GridIndex::build(&pts, 1.5);
+        let q = Point::new(2.0, 2.0);
+        assert_eq!(idx.count_within(q, 2.0), idx.within(q, 2.0).len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell_size")]
+    fn zero_cell_size_panics() {
+        let _ = GridIndex::build(&[Point::ORIGIN], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_point_panics() {
+        let _ = GridIndex::build(&[Point::new(f64::NAN, 0.0)], 1.0);
+    }
+
+    #[test]
+    fn coincident_points_all_reported() {
+        let pts = vec![Point::new(1.0, 1.0); 5];
+        let idx = GridIndex::build(&pts, 2.0);
+        assert_eq!(idx.within(Point::new(1.0, 1.0), 0.0).len(), 5);
+    }
+
+    #[test]
+    fn nearest_from_far_outside_the_grid() {
+        let pts: Vec<Point> =
+            (0..10).map(|i| Point::new(i as f64, 0.0)).collect();
+        let idx = GridIndex::build(&pts, 1.0);
+        assert_eq!(idx.nearest(Point::new(-1000.0, 1000.0)), Some(0));
+        assert_eq!(idx.nearest(Point::new(1000.0, -1000.0)), Some(9));
+    }
+
+    #[test]
+    fn single_row_and_single_column_grids() {
+        // Degenerate bounding boxes exercise the ring-search clamping.
+        let row: Vec<Point> = (0..20).map(|i| Point::new(i as f64 * 3.0, 5.0)).collect();
+        let idx = GridIndex::build(&row, 2.0);
+        let mut got = idx.within(Point::new(30.0, 5.0), 4.0);
+        got.sort_unstable();
+        assert_eq!(got, brute_within(&row, Point::new(30.0, 5.0), 4.0));
+        let col: Vec<Point> = (0..20).map(|i| Point::new(5.0, i as f64 * 3.0)).collect();
+        let idx = GridIndex::build(&col, 2.0);
+        let mut got = idx.within(Point::new(5.0, 30.0), 4.0);
+        got.sort_unstable();
+        assert_eq!(got, brute_within(&col, Point::new(5.0, 30.0), 4.0));
+    }
+
+    #[test]
+    fn tiny_cells_on_spread_points_still_answer() {
+        // A very small cell size creates a huge sparse grid; queries must
+        // stay correct (if slow).
+        let pts = vec![Point::new(0.0, 0.0), Point::new(50.0, 50.0)];
+        let idx = GridIndex::build(&pts, 0.6);
+        assert_eq!(idx.count_within(Point::new(0.0, 0.0), 1.0), 1);
+        assert_eq!(idx.nearest(Point::new(49.0, 49.0)), Some(1));
+    }
+}

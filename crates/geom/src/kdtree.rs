@@ -1,0 +1,234 @@
+//! A 2-D kd-tree over a fixed point set.
+//!
+//! [`GridIndex`](crate::GridIndex) is ideal for the paper's uniform
+//! deployments, but its uniform cells degrade on strongly clustered
+//! fields (hotspot deployments put thousands of points into a handful
+//! of cells). [`KdTree`] offers the same query API with balanced
+//! O(log n) structure regardless of the distribution; property tests
+//! pin both indexes to identical answers.
+
+use crate::Point;
+
+/// A static 2-D kd-tree built once over a point slice.
+///
+/// Point identity is the index into the build slice, matching
+/// [`GridIndex`](crate::GridIndex).
+///
+/// # Example
+///
+/// ```
+/// use wrsn_geom::{KdTree, Point};
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(9.0, 9.0)];
+/// let tree = KdTree::build(&pts);
+/// let mut near = tree.within(Point::new(0.5, 0.0), 1.0);
+/// near.sort_unstable();
+/// assert_eq!(near, vec![0, 1]);
+/// assert_eq!(tree.nearest(Point::new(8.0, 8.0)), Some(2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct KdTree {
+    pts: Vec<Point>,
+    /// Indices into `pts`, arranged as a balanced implicit tree by
+    /// recursive median splits; `nodes[lo..hi]` with the median at the
+    /// midpoint, alternating split axes by depth.
+    nodes: Vec<u32>,
+}
+
+impl KdTree {
+    /// Builds the tree in O(n log² n).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point is non-finite.
+    pub fn build(pts: &[Point]) -> Self {
+        assert!(pts.iter().all(|p| p.is_finite()), "points must be finite");
+        let mut nodes: Vec<u32> = (0..pts.len() as u32).collect();
+        fn split(pts: &[Point], nodes: &mut [u32], axis: usize) {
+            if nodes.len() <= 1 {
+                return;
+            }
+            let mid = nodes.len() / 2;
+            nodes.select_nth_unstable_by(mid, |&a, &b| {
+                let (pa, pb) = (pts[a as usize], pts[b as usize]);
+                let (ka, kb) = if axis == 0 { (pa.x, pb.x) } else { (pa.y, pb.y) };
+                ka.partial_cmp(&kb).unwrap().then(a.cmp(&b))
+            });
+            let (left, rest) = nodes.split_at_mut(mid);
+            split(pts, left, 1 - axis);
+            split(pts, &mut rest[1..], 1 - axis);
+        }
+        split(pts, &mut nodes, 0);
+        KdTree { pts: pts.to_vec(), nodes }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// Returns `true` iff the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.pts.is_empty()
+    }
+
+    /// Indices of all points within (inclusive) distance `r` of `q`, in
+    /// unspecified order.
+    pub fn within(&self, q: Point, r: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        if self.pts.is_empty() || r.is_nan() || r < 0.0 {
+            return out;
+        }
+        self.within_rec(0, self.nodes.len(), 0, q, r * r, r, &mut out);
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)] // recursion state, not an API
+    fn within_rec(
+        &self,
+        lo: usize,
+        hi: usize,
+        axis: usize,
+        q: Point,
+        r2: f64,
+        r: f64,
+        out: &mut Vec<usize>,
+    ) {
+        if lo >= hi {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let p = self.pts[self.nodes[mid] as usize];
+        if p.dist2(q) <= r2 {
+            out.push(self.nodes[mid] as usize);
+        }
+        let delta = if axis == 0 { q.x - p.x } else { q.y - p.y };
+        // Children on the near side always searched; far side only when
+        // the splitting plane is within the radius.
+        if delta <= r {
+            self.within_rec(lo, mid, 1 - axis, q, r2, r, out);
+        }
+        if delta >= -r {
+            self.within_rec(mid + 1, hi, 1 - axis, q, r2, r, out);
+        }
+    }
+
+    /// Index of the nearest point to `q`, or `None` when empty. Ties
+    /// break toward the lower index.
+    pub fn nearest(&self, q: Point) -> Option<usize> {
+        if self.pts.is_empty() {
+            return None;
+        }
+        let mut best = (f64::INFINITY, usize::MAX);
+        self.nearest_rec(0, self.nodes.len(), 0, q, &mut best);
+        Some(best.1)
+    }
+
+    fn nearest_rec(&self, lo: usize, hi: usize, axis: usize, q: Point, best: &mut (f64, usize)) {
+        if lo >= hi {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let idx = self.nodes[mid] as usize;
+        let p = self.pts[idx];
+        let d2 = p.dist2(q);
+        if d2 < best.0 || (d2 == best.0 && idx < best.1) {
+            *best = (d2, idx);
+        }
+        let delta = if axis == 0 { q.x - p.x } else { q.y - p.y };
+        let (near, far) = if delta < 0.0 {
+            ((lo, mid), (mid + 1, hi))
+        } else {
+            ((mid + 1, hi), (lo, mid))
+        };
+        self.nearest_rec(near.0, near.1, 1 - axis, q, best);
+        if delta * delta <= best.0 {
+            self.nearest_rec(far.0, far.1, 1 - axis, q, best);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_within(pts: &[Point], q: Point, r: f64) -> Vec<usize> {
+        let mut v: Vec<usize> =
+            (0..pts.len()).filter(|&i| pts[i].dist2(q) <= r * r).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn clustered(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let c = (i % 3) as f64 * 40.0;
+                Point::new(c + (i * 13 % 7) as f64 * 0.4, c + (i * 29 % 11) as f64 * 0.3)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = KdTree::build(&[]);
+        assert!(t.is_empty());
+        assert!(t.within(Point::ORIGIN, 5.0).is_empty());
+        assert_eq!(t.nearest(Point::ORIGIN), None);
+    }
+
+    #[test]
+    fn within_matches_brute_force_on_clusters() {
+        let pts = clustered(90);
+        let t = KdTree::build(&pts);
+        for &(x, y, r) in
+            &[(0.0, 0.0, 3.0), (40.0, 40.0, 5.0), (80.0, 80.0, 2.0), (20.0, 20.0, 60.0)]
+        {
+            let q = Point::new(x, y);
+            let mut got = t.within(q, r);
+            got.sort_unstable();
+            assert_eq!(got, brute_within(&pts, q, r), "query {q} r={r}");
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = clustered(70);
+        let t = KdTree::build(&pts);
+        for &(x, y) in &[(0.0, 0.0), (41.0, 39.0), (100.0, -5.0), (55.5, 55.5)] {
+            let q = Point::new(x, y);
+            let want = (0..pts.len())
+                .min_by(|&a, &b| pts[a].dist2(q).partial_cmp(&pts[b].dist2(q)).unwrap())
+                .unwrap();
+            let got = t.nearest(q).unwrap();
+            assert_eq!(pts[got].dist2(q), pts[want].dist2(q), "at {q}");
+        }
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let pts = [Point::new(0.0, 0.0), Point::new(2.7, 0.0)];
+        let t = KdTree::build(&pts);
+        let mut hits = t.within(Point::ORIGIN, 2.7);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn duplicates_all_found() {
+        let pts = vec![Point::new(5.0, 5.0); 7];
+        let t = KdTree::build(&pts);
+        assert_eq!(t.within(Point::new(5.0, 5.0), 0.0).len(), 7);
+        assert_eq!(t.nearest(Point::new(4.0, 4.0)), Some(0)); // lowest index wins
+    }
+
+    #[test]
+    fn negative_radius_is_empty() {
+        let t = KdTree::build(&[Point::ORIGIN]);
+        assert!(t.within(Point::ORIGIN, -1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_point_panics() {
+        let _ = KdTree::build(&[Point::new(f64::INFINITY, 0.0)]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Plain 2-D points and distance helpers.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A point in the 2-D Euclidean plane, in meters.
+///
+/// `Point` is a passive value type: fields are public, it is `Copy`, and
+/// arithmetic operators act component-wise (useful for centroids in
+/// k-means and for interpolating MCV positions mid-travel).
+///
+/// # Example
+///
+/// ```
+/// use wrsn_geom::Point;
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.dist(b), 5.0);
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Point {
+    /// Horizontal coordinate in meters.
+    pub x: f64,
+    /// Vertical coordinate in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to `other`.
+    pub fn dist(self, other: Point) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Prefer this over [`Point::dist`] for comparisons: it avoids the
+    /// square root and is exact for comparing radii when both sides are
+    /// squared.
+    pub fn dist2(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Returns `true` iff `other` lies within (or on) the disk of radius
+    /// `r` centered at `self`.
+    pub fn within(self, other: Point, r: f64) -> bool {
+        self.dist2(other) <= r * r
+    }
+
+    /// Linear interpolation: the point a fraction `t ∈ [0, 1]` of the way
+    /// from `self` to `other`. Used to position an MCV mid-travel.
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// The midpoint of `self` and `other`.
+    pub fn midpoint(self, other: Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+
+    /// Euclidean norm of the point treated as a vector from the origin.
+    pub fn norm(self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Returns `true` iff both coordinates are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    fn mul(self, k: f64) -> Point {
+        Point::new(self.x * k, self.y * k)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    fn div(self, k: f64) -> Point {
+        Point::new(self.x / k, self.y / k)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// Builds the dense pairwise distance matrix of `pts`.
+///
+/// Entry `[i][j]` is the Euclidean distance between `pts[i]` and `pts[j]`.
+/// Tour algorithms (the `wrsn-algo` crate's TSP heuristics and tour splitting)
+/// consume this matrix so they never recompute square roots in inner loops.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_geom::{dist_matrix, Point};
+/// let m = dist_matrix(&[Point::new(0.0, 0.0), Point::new(3.0, 4.0)]);
+/// assert_eq!(m[0][1], 5.0);
+/// assert_eq!(m[1][0], 5.0);
+/// assert_eq!(m[0][0], 0.0);
+/// ```
+pub fn dist_matrix(pts: &[Point]) -> Vec<Vec<f64>> {
+    let n = pts.len();
+    let mut m = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = pts[i].dist(pts[j]);
+            m[i][j] = d;
+            m[j][i] = d;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_is_symmetric_and_zero_on_diagonal() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.5, 7.25);
+        assert_eq!(a.dist(b), b.dist(a));
+        assert_eq!(a.dist(a), 0.0);
+    }
+
+    #[test]
+    fn dist2_matches_dist() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist2(b), 25.0);
+        assert_eq!(a.dist(b), 5.0);
+    }
+
+    #[test]
+    fn within_is_inclusive_on_boundary() {
+        let a = Point::ORIGIN;
+        let b = Point::new(2.7, 0.0);
+        assert!(a.within(b, 2.7));
+        assert!(!a.within(b, 2.699));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.midpoint(b), Point::new(5.0, -2.0));
+    }
+
+    #[test]
+    fn operators_are_componentwise() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, 5.0);
+        assert_eq!(a + b, Point::new(4.0, 7.0));
+        assert_eq!(b - a, Point::new(2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point::new(1.5, 2.5));
+    }
+
+    #[test]
+    fn display_renders_three_decimals() {
+        assert_eq!(Point::new(1.0, 2.5).to_string(), "(1.000, 2.500)");
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (4.0, 5.0).into();
+        assert_eq!(p, Point::new(4.0, 5.0));
+    }
+
+    #[test]
+    fn dist_matrix_small() {
+        let pts = [Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0)];
+        let m = dist_matrix(&pts);
+        assert_eq!(m[0][1], 1.0);
+        assert_eq!(m[0][2], 1.0);
+        assert!((m[1][2] - 2f64.sqrt()).abs() < 1e-12);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, x) in row.iter().enumerate() {
+                assert_eq!(*x, m[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn dist_matrix_empty_and_singleton() {
+        assert!(dist_matrix(&[]).is_empty());
+        let m = dist_matrix(&[Point::ORIGIN]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0][0], 0.0);
+    }
+
+    #[test]
+    fn norm_and_finite() {
+        assert_eq!(Point::new(3.0, 4.0).norm(), 5.0);
+        assert!(Point::new(1.0, 1.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+}

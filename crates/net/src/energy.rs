@@ -1,0 +1,137 @@
+//! First-order radio energy model.
+//!
+//! The paper's evaluation adopts "a real sensor energy consumption model
+//! from \[12\]" (Li & Mohapatra's energy-hole analysis). That line of work
+//! models per-bit radio costs with the standard first-order model
+//! (Heinzelman et al.): transmitting one bit over distance `d` costs
+//! `e_elec + ε_amp · d^α` joules and receiving one bit costs `e_elec`
+//! joules. Relay traffic concentrates near the sink, so nodes close to
+//! the base station drain fastest — exactly the skew that generates the
+//! charging workload the schedulers must serve.
+
+/// Per-bit radio energy parameters.
+///
+/// Defaults are the first-order model's structure with constants
+/// calibrated for the paper's regime: `e_elec` = 12 nJ/bit, `ε_amp` =
+/// 25 pJ/bit/m², free-space path-loss exponent `α = 2`. (The textbook
+/// 50 nJ/150 pJ values make the aggregate demand of a 1 000-sensor,
+/// 50 kbps network exceed what K = 2 chargers at η = 2 W can ever
+/// deliver; the paper's reported sub-hour dead durations imply a
+/// near-sustainable operating point, so we scale the per-bit constants
+/// to put the largest evaluated configuration just below capacity. The
+/// relative load across n, b_max and K — all the paper varies — is
+/// unaffected. See DESIGN.md §5.)
+///
+/// # Example
+///
+/// ```
+/// use wrsn_net::energy::RadioModel;
+/// let m = RadioModel::default();
+/// // Sending costs strictly more than receiving over any distance > 0.
+/// assert!(m.tx_j_per_bit(10.0) > m.rx_j_per_bit());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RadioModel {
+    /// Electronics energy per bit (both TX and RX), joules/bit.
+    pub e_elec_j_per_bit: f64,
+    /// Amplifier energy per bit per m^α, joules/bit/m^α.
+    pub eps_amp_j_per_bit_m: f64,
+    /// Path-loss exponent `α` (2 for free space, up to 4 for multipath).
+    pub path_loss_exponent: f64,
+    /// Constant sensing + processing power overhead, watts.
+    ///
+    /// A small floor so even an isolated idle sensor drains (and
+    /// eventually requests charging), matching the paper's premise that
+    /// *all* sensors are rechargeable consumers.
+    pub idle_w: f64,
+}
+
+impl Default for RadioModel {
+    fn default() -> Self {
+        RadioModel {
+            e_elec_j_per_bit: 12e-9,
+            eps_amp_j_per_bit_m: 25e-12,
+            path_loss_exponent: 2.0,
+            idle_w: 5e-5,
+        }
+    }
+}
+
+impl RadioModel {
+    /// Energy to transmit one bit over distance `d_m` meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_m` is negative.
+    pub fn tx_j_per_bit(&self, d_m: f64) -> f64 {
+        assert!(d_m >= 0.0, "distance must be non-negative");
+        self.e_elec_j_per_bit + self.eps_amp_j_per_bit_m * d_m.powf(self.path_loss_exponent)
+    }
+
+    /// Energy to receive one bit.
+    pub fn rx_j_per_bit(&self) -> f64 {
+        self.e_elec_j_per_bit
+    }
+
+    /// Steady-state power draw (watts) of a node that originates
+    /// `own_bps` bits/s, relays `relay_bps` bits/s (received then
+    /// retransmitted), and forwards everything over a link of `d_m`
+    /// meters.
+    ///
+    /// `P = idle + rx · relay + tx(d) · (own + relay)`
+    pub fn node_power_w(&self, own_bps: f64, relay_bps: f64, d_m: f64) -> f64 {
+        debug_assert!(own_bps >= 0.0 && relay_bps >= 0.0);
+        self.idle_w
+            + self.rx_j_per_bit() * relay_bps
+            + self.tx_j_per_bit(d_m) * (own_bps + relay_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_values_are_first_order_model() {
+        let m = RadioModel::default();
+        assert_eq!(m.e_elec_j_per_bit, 12e-9);
+        assert_eq!(m.eps_amp_j_per_bit_m, 25e-12);
+        assert_eq!(m.path_loss_exponent, 2.0);
+    }
+
+    #[test]
+    fn tx_grows_with_distance() {
+        let m = RadioModel::default();
+        assert!(m.tx_j_per_bit(20.0) > m.tx_j_per_bit(10.0));
+        assert_eq!(m.tx_j_per_bit(0.0), m.e_elec_j_per_bit);
+    }
+
+    #[test]
+    fn tx_cost_at_10m_matches_hand_calculation() {
+        let m = RadioModel::default();
+        // 12 nJ + 25 pJ * 100 m² = 12 nJ + 2.5 nJ = 14.5 nJ.
+        assert!((m.tx_j_per_bit(10.0) - 14.5e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn node_power_accounts_for_relay_both_ways() {
+        let m = RadioModel::default();
+        let leaf = m.node_power_w(1_000.0, 0.0, 10.0);
+        let relay = m.node_power_w(1_000.0, 1_000.0, 10.0);
+        // Relaying 1 kbps adds rx + tx for those bits.
+        let expected_delta = 1_000.0 * (m.rx_j_per_bit() + m.tx_j_per_bit(10.0));
+        assert!((relay - leaf - expected_delta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_floor_applies_with_zero_traffic() {
+        let m = RadioModel::default();
+        assert_eq!(m.node_power_w(0.0, 0.0, 0.0), m.idle_w);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_distance_panics() {
+        let _ = RadioModel::default().tx_j_per_bit(-1.0);
+    }
+}

@@ -1,0 +1,434 @@
+//! Seeded random WRSN instance generation (paper §VI-A settings).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use wrsn_geom::{Point, Rect};
+
+use crate::energy::RadioModel;
+use crate::{Network, Sensor, SensorId, DEFAULT_CAPACITY_J};
+
+/// Builder for random WRSN instances matching the paper's experimental
+/// environment: `n` sensors uniformly distributed in a 100×100 m² square,
+/// base station and depot co-located at the center, battery capacity
+/// 10.8 kJ, data rates `b_i ~ U[b_min, b_max]` with defaults 1–50 kbps.
+///
+/// Instances are deterministic given a seed, so experiments are
+/// reproducible and every algorithm sees identical inputs.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_net::NetworkBuilder;
+///
+/// let a = NetworkBuilder::new(300).seed(1).build();
+/// let b = NetworkBuilder::new(300).seed(1).build();
+/// assert_eq!(a.sensors()[17].pos, b.sensors()[17].pos); // same seed, same instance
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetworkBuilder {
+    n: usize,
+    field: Rect,
+    b_min_bps: f64,
+    b_max_bps: f64,
+    capacity_j: f64,
+    capacity_jitter: f64,
+    comm_range_m: f64,
+    radio: RadioModel,
+    seed: u64,
+    initial_charge: InitialCharge,
+    deployment: Deployment,
+}
+
+/// Spatial distribution of the deployed sensors.
+///
+/// The paper deploys uniformly at random; the other models support
+/// robustness experiments (the relative behaviour of the planners
+/// should survive non-uniform fields).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Deployment {
+    /// Uniform over the field (the paper's §VI-A setting).
+    Uniform,
+    /// Points drawn around `clusters` uniformly-placed hotspot centers
+    /// with an isotropic Gaussian of the given standard deviation,
+    /// clamped to the field. Models hotspot monitoring deployments.
+    GaussianClusters {
+        /// Number of hotspot centers (≥ 1).
+        clusters: usize,
+        /// Standard deviation of each cluster, meters.
+        sigma_m: f64,
+    },
+    /// A near-regular √n × √n grid with per-point uniform jitter.
+    /// Models planned installations.
+    Grid {
+        /// Maximum absolute jitter applied to each coordinate, meters.
+        jitter_m: f64,
+    },
+}
+
+/// How residual energies are initialized.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InitialCharge {
+    /// All batteries full (the natural start of a monitoring period).
+    Full,
+    /// Residual energy uniformly random in `[lo, hi]` fractions of
+    /// capacity. Handy for generating snapshot instances where a batch of
+    /// sensors is already lifetime-critical.
+    UniformFraction {
+        /// Lower bound as a fraction of capacity, in `[0, 1]`.
+        lo: f64,
+        /// Upper bound as a fraction of capacity, in `[0, 1]`.
+        hi: f64,
+    },
+}
+
+impl NetworkBuilder {
+    /// Starts a builder for an `n`-sensor instance with all of the
+    /// paper's defaults.
+    pub fn new(n: usize) -> Self {
+        NetworkBuilder {
+            n,
+            field: Rect::square(100.0),
+            b_min_bps: 1_000.0,
+            b_max_bps: 50_000.0,
+            capacity_j: DEFAULT_CAPACITY_J,
+            capacity_jitter: 0.0,
+            comm_range_m: 10.0,
+            radio: RadioModel::default(),
+            seed: 0,
+            initial_charge: InitialCharge::Full,
+            deployment: Deployment::Uniform,
+        }
+    }
+
+    /// Sets the RNG seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the monitoring field (default 100×100 m²).
+    pub fn field(mut self, field: Rect) -> Self {
+        self.field = field;
+        self
+    }
+
+    /// Sets the data-rate interval `[b_min, b_max]` in bits/s
+    /// (defaults 1 kbps and 50 kbps). Fig. 4 varies `b_max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b_min > b_max` or either is negative.
+    pub fn data_rate_bps(mut self, b_min: f64, b_max: f64) -> Self {
+        assert!(0.0 <= b_min && b_min <= b_max, "need 0 <= b_min <= b_max");
+        self.b_min_bps = b_min;
+        self.b_max_bps = b_max;
+        self
+    }
+
+    /// Sets battery capacity in joules (default 10.8 kJ).
+    pub fn capacity_j(mut self, c: f64) -> Self {
+        assert!(c > 0.0, "capacity must be positive");
+        self.capacity_j = c;
+        self.capacity_jitter = 0.0;
+        self
+    }
+
+    /// Makes battery capacities heterogeneous: each sensor's capacity is
+    /// drawn uniformly from `capacity · [1 − jitter, 1 + jitter]`.
+    /// Heterogeneous capacities widen the `τ_max/τ_min` ratio in the
+    /// paper's approximation bound (Theorem 1), so this knob feeds the
+    /// quality experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is outside `[0, 1)`.
+    pub fn capacity_jitter(mut self, jitter: f64) -> Self {
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+        self.capacity_jitter = jitter;
+        self
+    }
+
+    /// Sets the communication range for routing (default 10 m).
+    pub fn comm_range_m(mut self, r: f64) -> Self {
+        assert!(r > 0.0, "communication range must be positive");
+        self.comm_range_m = r;
+        self
+    }
+
+    /// Sets the radio model (default: first-order model).
+    pub fn radio(mut self, radio: RadioModel) -> Self {
+        self.radio = radio;
+        self
+    }
+
+    /// Sets the spatial deployment model (default: uniform, per the
+    /// paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a Gaussian deployment has zero clusters or a
+    /// non-positive sigma, or if a grid deployment has negative jitter.
+    pub fn deployment(mut self, d: Deployment) -> Self {
+        match d {
+            Deployment::Uniform => {}
+            Deployment::GaussianClusters { clusters, sigma_m } => {
+                assert!(clusters >= 1, "need at least one cluster");
+                assert!(sigma_m > 0.0, "sigma must be positive");
+            }
+            Deployment::Grid { jitter_m } => {
+                assert!(jitter_m >= 0.0, "jitter must be non-negative");
+            }
+        }
+        self.deployment = d;
+        self
+    }
+
+    /// Sets how residual energies are initialized (default: full).
+    pub fn initial_charge(mut self, ic: InitialCharge) -> Self {
+        if let InitialCharge::UniformFraction { lo, hi } = ic {
+            assert!(
+                (0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi) && lo <= hi,
+                "need 0 <= lo <= hi <= 1"
+            );
+        }
+        self.initial_charge = ic;
+        self
+    }
+
+    /// Generates the instance.
+    pub fn build(&self) -> Network {
+        let mut rng = ChaCha12Rng::seed_from_u64(self.seed);
+        let bs = self.field.center();
+        let positions = self.sample_positions(&mut rng);
+        let mut sensors = Vec::with_capacity(self.n);
+        for (i, &pos) in positions.iter().enumerate() {
+            let rate = if self.b_max_bps > self.b_min_bps {
+                rng.gen_range(self.b_min_bps..=self.b_max_bps)
+            } else {
+                self.b_min_bps
+            };
+            let capacity = if self.capacity_jitter > 0.0 {
+                self.capacity_j
+                    * rng.gen_range(1.0 - self.capacity_jitter..=1.0 + self.capacity_jitter)
+            } else {
+                self.capacity_j
+            };
+            let mut s = Sensor::new(SensorId::from(i), pos, capacity, rate);
+            if let InitialCharge::UniformFraction { lo, hi } = self.initial_charge {
+                let f = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+                s.residual_j = f * self.capacity_j;
+            }
+            sensors.push(s);
+        }
+        Network::assemble(self.field, bs, bs, sensors, self.radio, self.comm_range_m)
+    }
+
+    /// Samples `n` positions according to the deployment model.
+    fn sample_positions(&self, rng: &mut ChaCha12Rng) -> Vec<Point> {
+        let f = self.field;
+        match self.deployment {
+            Deployment::Uniform => (0..self.n)
+                .map(|_| {
+                    Point::new(
+                        rng.gen_range(f.min.x..=f.max.x),
+                        rng.gen_range(f.min.y..=f.max.y),
+                    )
+                })
+                .collect(),
+            Deployment::GaussianClusters { clusters, sigma_m } => {
+                let centers: Vec<Point> = (0..clusters)
+                    .map(|_| {
+                        Point::new(
+                            rng.gen_range(f.min.x..=f.max.x),
+                            rng.gen_range(f.min.y..=f.max.y),
+                        )
+                    })
+                    .collect();
+                (0..self.n)
+                    .map(|_| {
+                        let c = centers[rng.gen_range(0..centers.len())];
+                        // Box–Muller for a 2-D isotropic Gaussian.
+                        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                        let r = sigma_m * (-2.0 * u1.ln()).sqrt();
+                        f.clamp(Point::new(c.x + r * u2.cos(), c.y + r * u2.sin()))
+                    })
+                    .collect()
+            }
+            Deployment::Grid { jitter_m } => {
+                let cols = (self.n as f64).sqrt().ceil().max(1.0) as usize;
+                let rows = self.n.div_ceil(cols);
+                let dx = f.width() / cols as f64;
+                let dy = f.height() / rows as f64;
+                (0..self.n)
+                    .map(|i| {
+                        let (cx, cy) = (i % cols, i / cols);
+                        let base = Point::new(
+                            f.min.x + (cx as f64 + 0.5) * dx,
+                            f.min.y + (cy as f64 + 0.5) * dy,
+                        );
+                        let jx = if jitter_m > 0.0 {
+                            rng.gen_range(-jitter_m..=jitter_m)
+                        } else {
+                            0.0
+                        };
+                        let jy = if jitter_m > 0.0 {
+                            rng.gen_range(-jitter_m..=jitter_m)
+                        } else {
+                            0.0
+                        };
+                        f.clamp(Point::new(base.x + jx, base.y + jy))
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_requested_size_inside_field() {
+        let net = NetworkBuilder::new(250).seed(3).build();
+        assert_eq!(net.sensors().len(), 250);
+        let f = net.field();
+        assert!(net.sensors().iter().all(|s| f.contains(s.pos)));
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        let a = NetworkBuilder::new(50).seed(9).build();
+        let b = NetworkBuilder::new(50).seed(9).build();
+        let c = NetworkBuilder::new(50).seed(10).build();
+        for i in 0..50 {
+            assert_eq!(a.sensors()[i].pos, b.sensors()[i].pos);
+        }
+        assert!((0..50).any(|i| a.sensors()[i].pos != c.sensors()[i].pos));
+    }
+
+    #[test]
+    fn data_rates_respect_interval() {
+        let net = NetworkBuilder::new(100)
+            .seed(1)
+            .data_rate_bps(1_000.0, 10_000.0)
+            .build();
+        assert!(net
+            .sensors()
+            .iter()
+            .all(|s| (1_000.0..=10_000.0).contains(&s.data_rate_bps)));
+    }
+
+    #[test]
+    fn degenerate_rate_interval_is_constant() {
+        let net = NetworkBuilder::new(10).data_rate_bps(5_000.0, 5_000.0).build();
+        assert!(net.sensors().iter().all(|s| s.data_rate_bps == 5_000.0));
+    }
+
+    #[test]
+    fn uniform_fraction_initializes_partial_charges() {
+        let net = NetworkBuilder::new(200)
+            .seed(5)
+            .initial_charge(InitialCharge::UniformFraction { lo: 0.05, hi: 0.15 })
+            .build();
+        assert!(net
+            .sensors()
+            .iter()
+            .all(|s| (0.05..=0.15).contains(&(s.residual_j / s.capacity_j))));
+        // All of them are below the 20 % request threshold.
+        assert_eq!(net.default_requesting_sensors().len(), 200);
+    }
+
+    #[test]
+    fn zero_sensor_network_is_fine() {
+        let net = NetworkBuilder::new(0).build();
+        assert!(net.sensors().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "b_min")]
+    fn inverted_rate_interval_panics() {
+        let _ = NetworkBuilder::new(1).data_rate_bps(10.0, 1.0);
+    }
+
+    #[test]
+    fn gaussian_deployment_concentrates_points() {
+        let net = NetworkBuilder::new(300)
+            .seed(9)
+            .deployment(Deployment::GaussianClusters { clusters: 3, sigma_m: 5.0 })
+            .build();
+        assert_eq!(net.sensors().len(), 300);
+        let f = net.field();
+        assert!(net.sensors().iter().all(|s| f.contains(s.pos)));
+        // Concentration: mean nearest-neighbor distance is far below the
+        // uniform expectation (~0.5 / sqrt(density) ≈ 2.9 m at n=300).
+        let pts: Vec<_> = net.sensors().iter().map(|s| s.pos).collect();
+        let mean_nn: f64 = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                pts.iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, q)| p.dist(*q))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum::<f64>()
+            / pts.len() as f64;
+        assert!(mean_nn < 2.0, "clustered deployment too spread: {mean_nn}");
+    }
+
+    #[test]
+    fn grid_deployment_is_regular_without_jitter() {
+        let net = NetworkBuilder::new(100)
+            .deployment(Deployment::Grid { jitter_m: 0.0 })
+            .build();
+        // 10×10 grid on 100 m: spacing 10 m, first point at (5, 5).
+        assert_eq!(net.sensors()[0].pos, Point::new(5.0, 5.0));
+        assert_eq!(net.sensors()[1].pos, Point::new(15.0, 5.0));
+        assert_eq!(net.sensors()[10].pos, Point::new(5.0, 15.0));
+    }
+
+    #[test]
+    fn grid_deployment_with_jitter_stays_in_field() {
+        let net = NetworkBuilder::new(37)
+            .seed(4)
+            .deployment(Deployment::Grid { jitter_m: 4.0 })
+            .build();
+        assert_eq!(net.sensors().len(), 37);
+        let f = net.field();
+        assert!(net.sensors().iter().all(|s| f.contains(s.pos)));
+    }
+
+    #[test]
+    fn capacity_jitter_spreads_capacities() {
+        let net = NetworkBuilder::new(100).seed(3).capacity_jitter(0.3).build();
+        let caps: Vec<f64> = net.sensors().iter().map(|s| s.capacity_j).collect();
+        let lo = caps.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = caps.iter().cloned().fold(0.0f64, f64::max);
+        assert!(lo >= 0.7 * 10_800.0 - 1e-6 && hi <= 1.3 * 10_800.0 + 1e-6);
+        assert!(hi - lo > 0.2 * 10_800.0, "jitter must actually spread");
+        // Residuals start at the (jittered) capacity.
+        assert!(net.sensors().iter().all(|s| s.residual_j == s.capacity_j));
+    }
+
+    #[test]
+    fn zero_jitter_is_homogeneous() {
+        let net = NetworkBuilder::new(20).seed(3).build();
+        assert!(net.sensors().iter().all(|s| s.capacity_j == 10_800.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn out_of_range_jitter_panics() {
+        let _ = NetworkBuilder::new(1).capacity_jitter(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster")]
+    fn zero_clusters_panics() {
+        let _ = NetworkBuilder::new(1)
+            .deployment(Deployment::GaussianClusters { clusters: 0, sigma_m: 1.0 });
+    }
+}

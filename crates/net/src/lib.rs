@@ -1,0 +1,50 @@
+//! Wireless Rechargeable Sensor Network (WRSN) model.
+//!
+//! This crate is the *substrate* beneath the ICDCS'19 charger-scheduling
+//! algorithms: it models the network whose sensors the mobile chargers
+//! must keep alive.
+//!
+//! - [`Sensor`] / [`SensorId`]: a stationary sensor with a rechargeable
+//!   battery (capacity `C_v`, residual `RE_v`) and a data sensing rate.
+//! - [`energy::RadioModel`]: the first-order radio energy
+//!   model used to turn data rates into battery drain, concretizing the
+//!   Li–Mohapatra energy-hole model the paper cites for its evaluation.
+//! - [`routing`]: ring-spreading routing loads toward the base station,
+//!   which determine each sensor's *relay load* and hence its
+//!   consumption rate (sensors near the sink die fastest — the effect
+//!   that drives the charging workload).
+//! - [`Network`]: the assembled instance — field, base station, depot,
+//!   sensors, consumption rates.
+//! - [`NetworkBuilder`]: seeded random instance generation following the
+//!   paper's §VI-A settings.
+//!
+//! # Example
+//!
+//! ```
+//! use wrsn_net::NetworkBuilder;
+//!
+//! let net = NetworkBuilder::new(200).seed(42).build();
+//! assert_eq!(net.sensors().len(), 200);
+//! // Every sensor drains at a strictly positive rate.
+//! assert!(net.sensors().iter().all(|s| s.consumption_w > 0.0));
+//! ```
+
+pub mod energy;
+mod generator;
+mod network;
+pub mod routing;
+mod sensor;
+
+pub use generator::{Deployment, InitialCharge, NetworkBuilder};
+pub use network::Network;
+pub use sensor::{Sensor, SensorId};
+
+/// Seconds in the paper's monitoring period `T_M` (one year).
+pub const YEAR_SECS: f64 = 365.0 * 24.0 * 3600.0;
+
+/// The paper's default battery capacity `C_v`: 10.8 kJ.
+pub const DEFAULT_CAPACITY_J: f64 = 10_800.0;
+
+/// The paper's default charging-request threshold: a sensor requests
+/// charging when residual energy falls below 20 % of capacity.
+pub const DEFAULT_REQUEST_FRACTION: f64 = 0.2;

@@ -1,0 +1,280 @@
+//! Energy-hole routing loads: ring-wise load spreading toward the sink.
+//!
+//! The paper adopts the sensor energy-consumption model of Li &
+//! Mohapatra's energy-hole analysis \[12\]: sensors forward data to the
+//! base station over multi-hop paths, and because *everything* funnels
+//! through the nodes nearest the sink, per-node relay load grows sharply
+//! as the distance to the sink shrinks. The analytical model spreads each
+//! ring's transit traffic uniformly over the nodes of the next ring
+//! inward; we concretize it per-node:
+//!
+//! - a sensor within communication range of the base station transmits
+//!   directly to it;
+//! - any other sensor splits its outgoing traffic (own + received)
+//!   **equally among all neighbors strictly closer to the base
+//!   station** (distance is a strictly decreasing potential, so the
+//!   routing graph is a DAG and loads are well defined);
+//! - a sensor with no closer neighbor falls back to a direct (long)
+//!   link to the base station.
+//!
+//! The result is the paper's driving effect: sensors near the sink drain
+//! fastest and become the lifetime-critical charging workload.
+
+use wrsn_geom::{GridIndex, Point};
+
+use crate::energy::RadioModel;
+use crate::Sensor;
+
+/// Per-node routing loads and radio costs toward the base station.
+#[derive(Clone, Debug)]
+pub struct RoutingLoads {
+    /// Bits/s received from farther sensors (relay traffic in).
+    pub relay_in_bps: Vec<f64>,
+    /// Bits/s transmitted (own data + relayed).
+    pub out_bps: Vec<f64>,
+    /// Radio transmit power in watts, already weighted over the node's
+    /// outgoing links (`Σ share_bps · tx_j_per_bit(d_link)`).
+    pub tx_power_w: Vec<f64>,
+    /// `next_hops[i]`: `(neighbor, fraction)` pairs the node forwards
+    /// through; empty means a direct link to the base station.
+    pub next_hops: Vec<Vec<(usize, f64)>>,
+    /// Length of the direct link to the base station, meters (used when
+    /// `next_hops` is empty; informational otherwise).
+    pub bs_link_m: Vec<f64>,
+}
+
+impl RoutingLoads {
+    /// Bits/s arriving at the base station across all direct links.
+    ///
+    /// Conservation check: equals the sum of all sensors' data rates.
+    pub fn arriving_at_bs_bps(&self) -> f64 {
+        self.next_hops
+            .iter()
+            .zip(&self.out_bps)
+            .filter(|(h, _)| h.is_empty())
+            .map(|(_, &o)| o)
+            .sum()
+    }
+
+    /// Number of sensors transmitting directly to the base station.
+    pub fn direct_links(&self) -> usize {
+        self.next_hops.iter().filter(|h| h.is_empty()).count()
+    }
+}
+
+/// Computes ring-spreading routing loads for `sensors` toward `bs`.
+///
+/// See the [module docs](self) for the model. Runs in
+/// O(n · avg-degree + n log n).
+///
+/// # Panics
+///
+/// Panics if `comm_range_m` is not strictly positive.
+pub fn compute_loads(
+    sensors: &[Sensor],
+    bs: Point,
+    comm_range_m: f64,
+    model: &RadioModel,
+) -> RoutingLoads {
+    assert!(comm_range_m > 0.0, "communication range must be positive");
+    let n = sensors.len();
+    let pts: Vec<Point> = sensors.iter().map(|s| s.pos).collect();
+    let bs_dist: Vec<f64> = pts.iter().map(|p| p.dist(bs)).collect();
+
+    let mut next_hops: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    if n > 0 {
+        let index = GridIndex::build(&pts, comm_range_m);
+        for v in 0..n {
+            if bs_dist[v] <= comm_range_m {
+                continue; // direct to BS
+            }
+            let mut closer: Vec<usize> = Vec::new();
+            index.for_each_within(pts[v], comm_range_m, |u| {
+                if u != v && bs_dist[u] < bs_dist[v] {
+                    closer.push(u);
+                }
+            });
+            if !closer.is_empty() {
+                let frac = 1.0 / closer.len() as f64;
+                next_hops[v] = closer.into_iter().map(|u| (u, frac)).collect();
+            } // else: disconnected — direct long link to BS
+        }
+    }
+
+    // Process nodes farthest-first so every node's inbound relay traffic
+    // is final before it is forwarded (the closer-neighbor relation is a
+    // DAG under the strictly-decreasing distance potential).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| bs_dist[b].partial_cmp(&bs_dist[a]).unwrap());
+
+    let mut relay_in = vec![0.0f64; n];
+    let mut out = vec![0.0f64; n];
+    let mut tx_power = vec![0.0f64; n];
+    for &v in &order {
+        let o = sensors[v].data_rate_bps + relay_in[v];
+        out[v] = o;
+        if next_hops[v].is_empty() {
+            tx_power[v] = o * model.tx_j_per_bit(bs_dist[v]);
+        } else {
+            for &(u, frac) in &next_hops[v] {
+                let share = o * frac;
+                relay_in[u] += share;
+                tx_power[v] += share * model.tx_j_per_bit(pts[v].dist(pts[u]));
+            }
+        }
+    }
+
+    RoutingLoads {
+        relay_in_bps: relay_in,
+        out_bps: out,
+        tx_power_w: tx_power,
+        next_hops,
+        bs_link_m: bs_dist,
+    }
+}
+
+/// Fills in `consumption_w` for every sensor from its routing loads:
+/// `P_i = idle + rx_per_bit · relay_in_i + tx_power_i`.
+pub fn apply_consumption(sensors: &mut [Sensor], loads: &RoutingLoads, model: &RadioModel) {
+    for (i, s) in sensors.iter_mut().enumerate() {
+        s.consumption_w =
+            model.idle_w + model.rx_j_per_bit() * loads.relay_in_bps[i] + loads.tx_power_w[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SensorId;
+
+    fn mk(id: u32, x: f64, y: f64, bps: f64) -> Sensor {
+        Sensor::new(SensorId(id), Point::new(x, y), 10_800.0, bps)
+    }
+
+    #[test]
+    fn empty_network() {
+        let l = compute_loads(&[], Point::ORIGIN, 10.0, &RadioModel::default());
+        assert!(l.out_bps.is_empty());
+        assert_eq!(l.direct_links(), 0);
+        assert_eq!(l.arriving_at_bs_bps(), 0.0);
+    }
+
+    #[test]
+    fn chain_accumulates_load_toward_bs() {
+        // BS at origin; sensors at x = 5, 10, 15 with range 6: a chain.
+        let sensors =
+            vec![mk(0, 5.0, 0.0, 100.0), mk(1, 10.0, 0.0, 100.0), mk(2, 15.0, 0.0, 100.0)];
+        let l = compute_loads(&sensors, Point::ORIGIN, 6.0, &RadioModel::default());
+        assert!(l.next_hops[0].is_empty()); // within range of BS: direct
+        assert_eq!(l.next_hops[1], vec![(0, 1.0)]);
+        assert_eq!(l.next_hops[2], vec![(1, 1.0)]);
+        assert_eq!(l.out_bps[0], 300.0);
+        assert_eq!(l.out_bps[1], 200.0);
+        assert_eq!(l.out_bps[2], 100.0);
+        assert_eq!(l.relay_in_bps[0], 200.0);
+        assert_eq!(l.relay_in_bps[2], 0.0);
+    }
+
+    #[test]
+    fn traffic_splits_equally_among_closer_neighbors() {
+        // Two equidistant relays between the source and the BS.
+        let sensors = vec![
+            mk(0, 5.0, 2.0, 100.0),  // relay A
+            mk(1, 5.0, -2.0, 100.0), // relay B
+            mk(2, 10.0, 0.0, 100.0), // source
+        ];
+        let l = compute_loads(&sensors, Point::ORIGIN, 7.0, &RadioModel::default());
+        assert_eq!(l.next_hops[2].len(), 2);
+        assert!((l.relay_in_bps[0] - 50.0).abs() < 1e-9);
+        assert!((l.relay_in_bps[1] - 50.0).abs() < 1e-9);
+        assert_eq!(l.out_bps[2], 100.0);
+    }
+
+    #[test]
+    fn disconnected_sensor_links_directly() {
+        let sensors = vec![mk(0, 5.0, 0.0, 50.0), mk(1, 90.0, 90.0, 50.0)];
+        let l = compute_loads(&sensors, Point::ORIGIN, 10.0, &RadioModel::default());
+        assert!(l.next_hops[1].is_empty());
+        assert!((l.bs_link_m[1] - Point::new(90.0, 90.0).dist(Point::ORIGIN)).abs() < 1e-9);
+        assert_eq!(l.direct_links(), 2);
+    }
+
+    #[test]
+    fn consumption_is_higher_for_relays() {
+        let mut sensors =
+            vec![mk(0, 5.0, 0.0, 100.0), mk(1, 10.0, 0.0, 100.0), mk(2, 15.0, 0.0, 100.0)];
+        let model = RadioModel::default();
+        let l = compute_loads(&sensors, Point::ORIGIN, 6.0, &model);
+        apply_consumption(&mut sensors, &l, &model);
+        assert!(sensors[0].consumption_w > sensors[1].consumption_w);
+        assert!(sensors[1].consumption_w > sensors[2].consumption_w);
+        assert!(sensors[2].consumption_w > 0.0);
+    }
+
+    #[test]
+    fn loads_conserve_total_traffic() {
+        let sensors: Vec<Sensor> = (0..25)
+            .map(|i| mk(i, (i % 5) as f64 * 4.0 + 1.0, (i / 5) as f64 * 4.0 + 1.0, 10.0))
+            .collect();
+        let l = compute_loads(&sensors, Point::new(10.0, 10.0), 7.0, &RadioModel::default());
+        let total: f64 = sensors.iter().map(|s| s.data_rate_bps).sum();
+        assert!((l.arriving_at_bs_bps() - total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let sensors: Vec<Sensor> = (0..60)
+            .map(|i| mk(i, (i * 13 % 50) as f64, (i * 29 % 50) as f64, 5.0))
+            .collect();
+        let l = compute_loads(&sensors, Point::new(25.0, 25.0), 12.0, &RadioModel::default());
+        for hops in &l.next_hops {
+            if !hops.is_empty() {
+                let s: f64 = hops.iter().map(|&(_, f)| f).sum();
+                assert!((s - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn inner_ring_drains_fastest_on_uniform_fields() {
+        // Uniform grid: the nodes nearest the BS must carry the most load
+        // (the energy-hole effect the whole charging workload relies on).
+        let mut sensors: Vec<Sensor> = Vec::new();
+        let mut id = 0;
+        for i in 0..15 {
+            for j in 0..15 {
+                sensors.push(mk(id, i as f64 * 6.0 + 3.0, j as f64 * 6.0 + 3.0, 10_000.0));
+                id += 1;
+            }
+        }
+        let bs = Point::new(45.0, 45.0);
+        let model = RadioModel::default();
+        let l = compute_loads(&sensors, bs, 10.0, &model);
+        let mut s = sensors.clone();
+        apply_consumption(&mut s, &l, &model);
+        // Mean consumption of nodes within 12 m of the BS vs beyond 30 m.
+        let near: Vec<f64> = s
+            .iter()
+            .filter(|x| x.pos.dist(bs) <= 12.0)
+            .map(|x| x.consumption_w)
+            .collect();
+        let far: Vec<f64> = s
+            .iter()
+            .filter(|x| x.pos.dist(bs) >= 30.0)
+            .map(|x| x.consumption_w)
+            .collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&near) > 3.0 * mean(&far),
+            "near {} vs far {}",
+            mean(&near),
+            mean(&far)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "communication range")]
+    fn zero_range_panics() {
+        let _ = compute_loads(&[], Point::ORIGIN, 0.0, &RadioModel::default());
+    }
+}

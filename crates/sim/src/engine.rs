@@ -1,0 +1,629 @@
+//! The simulation engine: drain, batch, dispatch, recharge, repeat.
+
+use wrsn_core::{ChargingParams, ChargingProblem, PlanError, Planner};
+use wrsn_net::{Network, SensorId, DEFAULT_REQUEST_FRACTION, YEAR_SECS};
+
+use crate::report::{RoundStats, SimReport};
+use crate::drain_with_dead_accounting;
+
+/// Simulation parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Monitoring period `T_M`, seconds (default: one year).
+    pub horizon_s: f64,
+    /// Charging-request threshold as a fraction of capacity (default 0.2).
+    pub request_fraction: f64,
+    /// A round is dispatched once at least `max(min_batch,
+    /// batch_fraction · n)` sensors are pending. The default fraction is
+    /// 0 — dispatch as soon as any request is pending and the chargers
+    /// are home — which lets round sizes find their own equilibrium
+    /// (backlog grows exactly when a planner cannot keep up).
+    pub batch_fraction: f64,
+    /// Absolute lower bound on the dispatch batch (default 1).
+    pub min_batch: usize,
+    /// Charger parameters handed to [`ChargingProblem`].
+    pub params: ChargingParams,
+    /// Collect a per-event [`crate::Trace`] (default off; traces of
+    /// stressed year-long runs hold hundreds of thousands of events).
+    pub collect_trace: bool,
+    /// Failure injection: expected permanent hardware failures per sensor
+    /// per year (exponential inter-failure model; default 0 = none).
+    /// A failed sensor stops consuming, never requests charging, and
+    /// accrues no dead time — it is simply gone, shrinking the workload
+    /// the planners see mid-run.
+    pub failure_rate_per_year: f64,
+    /// Seed for the failure draw (failures are deterministic per seed).
+    pub failure_seed: u64,
+    /// Time the MCVs need at the depot between rounds to replenish their
+    /// own batteries (§III-B: chargers "return the depot to replenish
+    /// energy"); default 0 = instantaneous turnaround.
+    pub charger_turnaround_s: f64,
+}
+
+impl SimConfig {
+    /// Validates the configuration, panicking on inconsistent values.
+    /// Called by both engines' constructors.
+    pub(crate) fn validate(&self) {
+        assert!(self.horizon_s > 0.0, "horizon must be positive");
+        assert!(
+            self.request_fraction > 0.0 && self.request_fraction <= 1.0,
+            "request fraction must be in (0, 1]"
+        );
+        assert!(self.batch_fraction >= 0.0, "batch fraction must be non-negative");
+        assert!(
+            self.params.charge_target_fraction > self.request_fraction,
+            "charge target must exceed the request threshold or sensors re-request instantly"
+        );
+        assert!(self.failure_rate_per_year >= 0.0, "failure rate must be non-negative");
+        assert!(self.charger_turnaround_s >= 0.0, "turnaround must be non-negative");
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            horizon_s: YEAR_SECS,
+            request_fraction: DEFAULT_REQUEST_FRACTION,
+            batch_fraction: 0.0,
+            min_batch: 1,
+            params: ChargingParams::default(),
+            collect_trace: false,
+            failure_rate_per_year: 0.0,
+            failure_seed: 0,
+            charger_turnaround_s: 0.0,
+        }
+    }
+}
+
+/// A monitoring-period simulation of one network instance.
+///
+/// Owns a mutable copy of the network; [`Simulation::run`] consumes the
+/// simulation and produces a [`SimReport`]. See the
+/// [crate docs](crate) for the round model.
+#[derive(Clone, Debug)]
+pub struct Simulation {
+    net: Network,
+    config: SimConfig,
+}
+
+impl Simulation {
+    /// Creates a simulation over `net` with the given config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the horizon is non-positive, the request fraction is
+    /// outside `(0, 1]`, or the batch fraction is negative.
+    pub fn new(net: Network, config: SimConfig) -> Self {
+        config.validate();
+        Simulation { net, config }
+    }
+
+    /// The dispatch batch size for this network.
+    pub fn batch_size(&self) -> usize {
+        let frac = (self.config.batch_fraction * self.net.sensors().len() as f64).ceil()
+            as usize;
+        frac.max(self.config.min_batch).max(1)
+    }
+
+    /// Runs the simulation to the horizon using `planner` and `k` MCVs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from the planner (problem construction
+    /// cannot fail: the simulator always passes valid ids and `k ≥ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn run(mut self, planner: &dyn Planner, k: usize) -> Result<SimReport, PlanError> {
+        assert!(k >= 1, "need at least one charger");
+        let n = self.net.sensors().len();
+        let batch = self.batch_size();
+        let mut t = 0.0f64;
+        let mut dead = vec![0.0f64; n];
+        let mut rounds = Vec::new();
+        let tracing = self.config.collect_trace;
+        let mut trace = crate::Trace::default();
+        // Failure injection: pre-draw each sensor's permanent failure
+        // time from an exponential with the configured yearly rate.
+        let mut fail_at: Vec<f64> = vec![f64::INFINITY; n];
+        let mut failed_sensors = 0usize;
+        if self.config.failure_rate_per_year > 0.0 {
+            use rand::Rng;
+            use rand::SeedableRng;
+            let mut rng =
+                rand_chacha::ChaCha12Rng::seed_from_u64(self.config.failure_seed);
+            let lambda = self.config.failure_rate_per_year / wrsn_net::YEAR_SECS;
+            for f in fail_at.iter_mut() {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                *f = -u.ln() / lambda;
+            }
+        }
+        // Applies any failures due by time `now`: the sensor stops
+        // consuming and is forgotten by the request logic.
+        let apply_failures =
+            |net: &mut wrsn_net::Network, now: f64, fail_at: &mut [f64], count: &mut usize| {
+                for (i, f) in fail_at.iter_mut().enumerate() {
+                    if *f <= now {
+                        net.sensors_mut()[i].consumption_w = 0.0;
+                        net.sensors_mut()[i].residual_j = net.sensors()[i].capacity_j;
+                        *f = f64::INFINITY;
+                        *count += 1;
+                    }
+                }
+            };
+        // When tracing: the time each currently-dead sensor died.
+        let mut dead_since: Vec<Option<f64>> = vec![None; n];
+        // Records deaths occurring while `sensors[..]` advances by `dt`
+        // from time `now` into `buf` (timestamps may interleave across
+        // sensors; the caller sorts the buffer before appending).
+        let note_deaths = |sensors: &[wrsn_net::Sensor],
+                           now: f64,
+                           dt: f64,
+                           dead_since: &mut [Option<f64>],
+                           buf: &mut Vec<crate::TraceEvent>| {
+            for s in sensors {
+                let i = s.id.index();
+                if dead_since[i].is_none() && s.consumption_w > 0.0 && s.residual_j > 0.0 {
+                    let life = s.residual_j / s.consumption_w;
+                    if life < dt {
+                        dead_since[i] = Some(now + life);
+                        buf.push(crate::TraceEvent::SensorDied { at_s: now + life, sensor: s.id });
+                    }
+                }
+            }
+        };
+
+        while t < self.config.horizon_s {
+            apply_failures(&mut self.net, t, &mut fail_at, &mut failed_sensors);
+            let pending = self.net.requesting_sensors(self.config.request_fraction);
+            if pending.len() >= batch.min(n.max(1)) && !pending.is_empty() {
+                // Dispatch a round on the current state.
+                let problem =
+                    ChargingProblem::from_network_with(&self.net, &pending, k, self.config.params)
+                        .expect("simulator always builds valid problems");
+                let schedule = planner.plan(&problem)?;
+                let completions = schedule.charge_completion_times(&problem);
+                let round_len = schedule.longest_delay_s();
+                let target_frac = self.config.params.charge_target_fraction;
+                let energy: f64 = pending
+                    .iter()
+                    .map(|&id| {
+                        let s = self.net.sensor(id);
+                        (target_frac * s.capacity_j - s.residual_j).max(0.0)
+                    })
+                    .sum();
+
+                // Advance all sensors across the round; requested sensors
+                // are topped up at their completion instants.
+                let mut completion_at: Vec<Option<f64>> = vec![None; n];
+                for (ti, c) in completions.iter().enumerate() {
+                    completion_at[problem.targets()[ti].id.index()] = *c;
+                }
+                let mut buf: Vec<crate::TraceEvent> = Vec::new();
+                if tracing {
+                    buf.push(crate::TraceEvent::RoundDispatched {
+                        at_s: t,
+                        round: rounds.len(),
+                        requests: pending.len(),
+                    });
+                }
+                for (i, s) in self.net.sensors_mut().iter_mut().enumerate() {
+                    match completion_at[i] {
+                        Some(c) => {
+                            let c = c.min(round_len);
+                            if tracing {
+                                note_deaths(
+                                    std::slice::from_ref(s),
+                                    t,
+                                    c,
+                                    &mut dead_since,
+                                    &mut buf,
+                                );
+                            }
+                            drain_with_dead_accounting(
+                                std::slice::from_mut(s),
+                                c,
+                                std::slice::from_mut(&mut dead[i]),
+                            );
+                            s.recharge_to(target_frac);
+                            if tracing {
+                                let ended = dead_since[i].map_or(0.0, |d| t + c - d);
+                                dead_since[i] = None;
+                                buf.push(crate::TraceEvent::SensorRecharged {
+                                    at_s: t + c,
+                                    sensor: s.id,
+                                    ended_dead_s: ended,
+                                });
+                                note_deaths(
+                                    std::slice::from_ref(s),
+                                    t + c,
+                                    round_len - c,
+                                    &mut dead_since,
+                                    &mut buf,
+                                );
+                            }
+                            drain_with_dead_accounting(
+                                std::slice::from_mut(s),
+                                round_len - c,
+                                std::slice::from_mut(&mut dead[i]),
+                            );
+                        }
+                        None => {
+                            if tracing {
+                                note_deaths(
+                                    std::slice::from_ref(s),
+                                    t,
+                                    round_len,
+                                    &mut dead_since,
+                                    &mut buf,
+                                );
+                            }
+                            drain_with_dead_accounting(
+                                std::slice::from_mut(s),
+                                round_len,
+                                std::slice::from_mut(&mut dead[i]),
+                            );
+                        }
+                    }
+                }
+                if tracing {
+                    buf.sort_by(|a, b| a.at_s().partial_cmp(&b.at_s()).unwrap());
+                    for e in buf {
+                        trace.push(e);
+                    }
+                    trace.push(crate::TraceEvent::RoundCompleted {
+                        at_s: t + round_len,
+                        round: rounds.len(),
+                        longest_delay_s: round_len,
+                    });
+                }
+
+                rounds.push(RoundStats {
+                    dispatch_time_s: t,
+                    request_count: pending.len(),
+                    longest_delay_s: round_len,
+                    total_wait_s: schedule.total_wait_time_s(),
+                    sojourn_count: schedule.sojourn_count(),
+                    energy_delivered_j: energy,
+                });
+                // Chargers replenish themselves before the next dispatch.
+                let turnaround = self.config.charger_turnaround_s;
+                if turnaround > 0.0 {
+                    drain_with_dead_accounting(self.net.sensors_mut(), turnaround, &mut dead);
+                }
+                t += round_len.max(1.0) + turnaround;
+                continue;
+            }
+
+            // Not enough pending requests: advance to the next threshold
+            // crossing (or the horizon).
+            let mut dt = match self.net.time_to_next_crossing(self.config.request_fraction) {
+                Some(dt) => (dt + 1e-9).min(self.config.horizon_s - t),
+                None => self.config.horizon_s - t,
+            };
+            // Stop at the next injected failure so it takes effect promptly.
+            if let Some(ft) = fail_at
+                .iter()
+                .copied()
+                .filter(|f| f.is_finite())
+                .fold(None::<f64>, |acc, f| Some(acc.map_or(f, |a| a.min(f))))
+            {
+                if ft > t {
+                    dt = dt.min(ft - t + 1e-9);
+                }
+            }
+            if dt <= 0.0 {
+                break;
+            }
+            if tracing {
+                let mut buf = Vec::new();
+                note_deaths(self.net.sensors(), t, dt, &mut dead_since, &mut buf);
+                buf.sort_by(|a, b| a.at_s().partial_cmp(&b.at_s()).unwrap());
+                for e in buf {
+                    trace.push(e);
+                }
+            }
+            drain_with_dead_accounting(self.net.sensors_mut(), dt, &mut dead);
+            t += dt;
+        }
+
+        Ok(SimReport {
+            rounds,
+            dead_time_s: dead,
+            horizon_s: self.config.horizon_s,
+            trace,
+            failed_sensors,
+        })
+    }
+
+    /// Drains the network (no charging) until the first threshold
+    /// crossing, then for `period_s` more seconds, and returns everything
+    /// pending — the request set a base station dispatching every
+    /// `period_s` would hand the chargers. This is the *snapshot
+    /// instance* of the Fig. (a)-type experiments: its size grows with
+    /// the network's demand (more sensors or higher data rates → more
+    /// requests per dispatch), the mechanism the paper cites for Fig. 4.
+    ///
+    /// Returns an empty set only if no sensor can ever cross.
+    pub fn warm_up_period(
+        net: &mut Network,
+        request_fraction: f64,
+        period_s: f64,
+    ) -> Vec<SensorId> {
+        match net.time_to_next_crossing(request_fraction) {
+            Some(dt) => net.drain_all(dt + 1e-9),
+            None => return Vec::new(),
+        }
+        net.drain_all(period_s);
+        net.requesting_sensors(request_fraction)
+    }
+
+    /// Drains the network (no charging) until `batch` sensors are pending
+    /// and returns that request set — a fixed-size variant of
+    /// [`Simulation::warm_up_period`]. Returns fewer than `batch` ids
+    /// only if no further sensor can ever cross the threshold.
+    pub fn warm_up_requests(net: &mut Network, request_fraction: f64, batch: usize) -> Vec<SensorId> {
+        let mut guard = net.sensors().len() + 1;
+        loop {
+            let pending = net.requesting_sensors(request_fraction);
+            if pending.len() >= batch || guard == 0 {
+                return pending;
+            }
+            match net.time_to_next_crossing(request_fraction) {
+                Some(dt) => net.drain_all(dt + 1e-9),
+                None => return pending,
+            }
+            guard -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrsn_core::{Appro, PlannerConfig};
+    use wrsn_net::NetworkBuilder;
+
+    fn month() -> f64 {
+        30.0 * 24.0 * 3600.0
+    }
+
+    #[test]
+    fn runs_and_dispatches_rounds() {
+        let net = NetworkBuilder::new(80).seed(1).build();
+        let mut cfg = SimConfig::default();
+        cfg.horizon_s = month();
+        let report = Simulation::new(net, cfg)
+            .run(&Appro::new(PlannerConfig::default()), 2)
+            .unwrap();
+        assert!(report.rounds_dispatched() >= 1, "a month must trigger rounds");
+        for r in &report.rounds {
+            assert!(r.request_count >= 1);
+            assert!(r.longest_delay_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn dead_time_zero_when_chargers_plentiful() {
+        // Tiny network, 3 chargers, very aggressive batch (dispatch on the
+        // first request): nobody should ever die.
+        let net = NetworkBuilder::new(20).seed(2).build();
+        let mut cfg = SimConfig::default();
+        cfg.horizon_s = month();
+        cfg.batch_fraction = 0.0;
+        let report = Simulation::new(net, cfg)
+            .run(&Appro::new(PlannerConfig::default()), 3)
+            .unwrap();
+        assert_eq!(report.total_dead_time_s(), 0.0);
+        assert_eq!(report.always_alive_fraction(), 1.0);
+    }
+
+    #[test]
+    fn horizon_bounds_dead_time() {
+        let net = NetworkBuilder::new(40).seed(3).build();
+        let mut cfg = SimConfig::default();
+        cfg.horizon_s = month();
+        let report = Simulation::new(net, cfg)
+            .run(&Appro::new(PlannerConfig::default()), 1)
+            .unwrap();
+        for &d in &report.dead_time_s {
+            assert!(d <= cfg.horizon_s);
+        }
+    }
+
+    #[test]
+    fn energy_delivered_matches_deficits() {
+        let net = NetworkBuilder::new(30).seed(4).build();
+        let mut cfg = SimConfig::default();
+        cfg.horizon_s = month();
+        let report = Simulation::new(net, cfg)
+            .run(&Appro::new(PlannerConfig::default()), 2)
+            .unwrap();
+        // Energy delivered is positive and bounded by what the batteries
+        // could possibly absorb over the rounds.
+        let e = report.energy_delivered_j();
+        assert!(e > 0.0);
+        let max_per_round = 30.0 * 10_800.0;
+        assert!(e <= max_per_round * report.rounds_dispatched() as f64);
+    }
+
+    #[test]
+    fn warm_up_returns_requested_batch() {
+        let mut net = NetworkBuilder::new(60).seed(5).build();
+        let req = Simulation::warm_up_requests(&mut net, 0.2, 6);
+        assert!(req.len() >= 6);
+        for id in &req {
+            assert!(net.sensor(*id).charge_fraction() < 0.2 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn batch_size_respects_minimum() {
+        let net = NetworkBuilder::new(10).seed(6).build();
+        let mut cfg = SimConfig::default();
+        cfg.batch_fraction = 0.0;
+        cfg.min_batch = 4;
+        assert_eq!(Simulation::new(net, cfg).batch_size(), 4);
+    }
+
+    #[test]
+    fn trace_records_rounds_and_lifecycle() {
+        let net = NetworkBuilder::new(60).seed(8).build();
+        let mut cfg = SimConfig::default();
+        cfg.horizon_s = month();
+        cfg.collect_trace = true;
+        let report = Simulation::new(net, cfg)
+            .run(&Appro::new(PlannerConfig::default()), 2)
+            .unwrap();
+        assert!(!report.trace.is_empty());
+        // One dispatched + one completed event per round.
+        let dispatched = report
+            .trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, crate::TraceEvent::RoundDispatched { .. }))
+            .count();
+        let completed = report
+            .trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, crate::TraceEvent::RoundCompleted { .. }))
+            .count();
+        assert_eq!(dispatched, report.rounds_dispatched());
+        assert_eq!(completed, report.rounds_dispatched());
+        // Chronological order.
+        for w in report.trace.events.windows(2) {
+            assert!(w[0].at_s() <= w[1].at_s() + 1e-6);
+        }
+        // Deaths in the trace are consistent with dead-time accounting.
+        if report.total_dead_time_s() == 0.0 {
+            assert_eq!(report.trace.deaths(), 0);
+        }
+    }
+
+    #[test]
+    fn trace_is_empty_by_default() {
+        let net = NetworkBuilder::new(30).seed(9).build();
+        let mut cfg = SimConfig::default();
+        cfg.horizon_s = month();
+        let report = Simulation::new(net, cfg)
+            .run(&Appro::new(PlannerConfig::default()), 2)
+            .unwrap();
+        assert!(report.trace.is_empty());
+    }
+
+    #[test]
+    fn trace_dead_time_matches_recharge_events() {
+        // A stressed instance: deaths must appear in the trace and the
+        // ended_dead_s sums approximate the accounted dead time of
+        // sensors that were eventually recharged.
+        let net = NetworkBuilder::new(600).seed(10).build();
+        let mut cfg = SimConfig::default();
+        cfg.horizon_s = 120.0 * 24.0 * 3600.0;
+        cfg.collect_trace = true;
+        let report = Simulation::new(net, cfg)
+            .run(&Appro::new(PlannerConfig::default()), 1)
+            .unwrap();
+        if report.total_dead_time_s() > 0.0 {
+            assert!(report.trace.deaths() > 0);
+            let ended: f64 = report
+                .trace
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    crate::TraceEvent::SensorRecharged { ended_dead_s, .. } => {
+                        Some(*ended_dead_s)
+                    }
+                    _ => None,
+                })
+                .sum();
+            // Recharge-ended dead time can't exceed total accounted dead
+            // time (the tail may still be dead at the horizon).
+            assert!(ended <= report.total_dead_time_s() + 1.0);
+        }
+    }
+
+    #[test]
+    fn charger_turnaround_slows_service() {
+        let run = |turnaround: f64| {
+            let net = NetworkBuilder::new(900).seed(15).build();
+            let mut cfg = SimConfig::default();
+            cfg.horizon_s = 120.0 * 24.0 * 3600.0;
+            cfg.charger_turnaround_s = turnaround;
+            Simulation::new(net, cfg)
+                .run(&Appro::new(PlannerConfig::default()), 2)
+                .unwrap()
+        };
+        let instant = run(0.0);
+        let slow = run(2.0 * 3600.0); // two hours of depot recharge per round
+        assert!(slow.rounds_dispatched() < instant.rounds_dispatched());
+        assert!(
+            slow.avg_dead_time_s() >= instant.avg_dead_time_s(),
+            "turnaround can only hurt: {} vs {}",
+            slow.avg_dead_time_s(),
+            instant.avg_dead_time_s()
+        );
+    }
+
+    #[test]
+    fn failure_injection_removes_sensors() {
+        let net = NetworkBuilder::new(120).seed(12).build();
+        let mut cfg = SimConfig::default();
+        cfg.horizon_s = 120.0 * 24.0 * 3600.0;
+        cfg.failure_rate_per_year = 2.0; // aggressive: ~50% fail in 120 days
+        let report = Simulation::new(net, cfg)
+            .run(&Appro::new(PlannerConfig::default()), 2)
+            .unwrap();
+        assert!(
+            report.failed_sensors > 10,
+            "expected many failures, got {}",
+            report.failed_sensors
+        );
+        assert!(report.failed_sensors <= 120);
+    }
+
+    #[test]
+    fn failures_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let net = NetworkBuilder::new(80).seed(13).build();
+            let mut cfg = SimConfig::default();
+            cfg.horizon_s = 60.0 * 24.0 * 3600.0;
+            cfg.failure_rate_per_year = 1.0;
+            cfg.failure_seed = seed;
+            Simulation::new(net, cfg)
+                .run(&Appro::new(PlannerConfig::default()), 2)
+                .unwrap()
+                .failed_sensors
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn zero_failure_rate_fails_nobody() {
+        let net = NetworkBuilder::new(60).seed(14).build();
+        let mut cfg = SimConfig::default();
+        cfg.horizon_s = 60.0 * 24.0 * 3600.0;
+        let report = Simulation::new(net, cfg)
+            .run(&Appro::new(PlannerConfig::default()), 2)
+            .unwrap();
+        assert_eq!(report.failed_sensors, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_panics() {
+        let net = NetworkBuilder::new(5).build();
+        let mut cfg = SimConfig::default();
+        cfg.horizon_s = 0.0;
+        let _ = Simulation::new(net, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "charger")]
+    fn zero_chargers_panics() {
+        let net = NetworkBuilder::new(5).build();
+        let _ = Simulation::new(net, SimConfig::default())
+            .run(&Appro::new(PlannerConfig::default()), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Fleet sizing: the minimum number of chargers that keeps a network
+//! alive.
+//!
+//! The paper's companion line of work (Liang et al. \[13\]\[14\]) asks
+//! the dual question to the scheduling problem: *how many* mobile
+//! chargers does a deployment need? This module answers it empirically:
+//! simulate the monitoring period with `K = 1, 2, …` chargers and return
+//! the smallest `K` whose average dead duration stays within a
+//! tolerance. Because a smarter scheduler needs fewer chargers, fleet
+//! size doubles as a cost-oriented comparison metric between planners
+//! (the `fleet` rows of the extensions bench).
+
+use wrsn_core::{PlanError, Planner};
+use wrsn_net::Network;
+
+use crate::{SimConfig, Simulation};
+
+/// Result of a fleet-size search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetSizing {
+    /// The smallest sufficient `K`, if one was found within the cap.
+    pub min_chargers: Option<usize>,
+    /// Average dead seconds per sensor measured at each tried `K`
+    /// (index 0 is `K = 1`).
+    pub dead_time_per_k: Vec<f64>,
+}
+
+/// Finds the minimum `K ≤ max_k` whose simulated average dead duration
+/// per sensor is at most `dead_tolerance_s`.
+///
+/// Scans `K` upward (dead time is not guaranteed strictly monotone in
+/// `K`, so a scan is more robust than bisection) and stops at the first
+/// sufficient fleet.
+///
+/// # Errors
+///
+/// Propagates planner failures.
+///
+/// # Panics
+///
+/// Panics if `max_k == 0` or the tolerance is negative.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_core::{Appro, PlannerConfig};
+/// use wrsn_net::NetworkBuilder;
+/// use wrsn_sim::{fleet, SimConfig};
+///
+/// let net = NetworkBuilder::new(150).seed(8).build();
+/// let mut cfg = SimConfig::default();
+/// cfg.horizon_s = 30.0 * 24.0 * 3600.0;
+/// let sizing = fleet::minimum_chargers(
+///     &net,
+///     &Appro::new(PlannerConfig::default()),
+///     &cfg,
+///     4,
+///     60.0, // tolerate up to a minute of dead time per sensor
+/// )?;
+/// assert_eq!(sizing.min_chargers, Some(1)); // a light load needs one MCV
+/// # Ok::<(), wrsn_core::PlanError>(())
+/// ```
+pub fn minimum_chargers(
+    net: &Network,
+    planner: &dyn Planner,
+    config: &SimConfig,
+    max_k: usize,
+    dead_tolerance_s: f64,
+) -> Result<FleetSizing, PlanError> {
+    assert!(max_k >= 1, "need a positive charger cap");
+    assert!(dead_tolerance_s >= 0.0, "tolerance must be non-negative");
+
+    let mut dead_time_per_k = Vec::new();
+    let mut min_chargers = None;
+    for k in 1..=max_k {
+        let report = Simulation::new(net.clone(), *config).run(planner, k)?;
+        let dead = report.avg_dead_time_s();
+        dead_time_per_k.push(dead);
+        if dead <= dead_tolerance_s {
+            min_chargers = Some(k);
+            break;
+        }
+    }
+    Ok(FleetSizing { min_chargers, dead_time_per_k })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrsn_core::{Appro, PlannerConfig};
+    use wrsn_net::NetworkBuilder;
+
+    fn cfg(days: f64) -> SimConfig {
+        let mut c = SimConfig::default();
+        c.horizon_s = days * 24.0 * 3600.0;
+        c
+    }
+
+    #[test]
+    fn light_load_needs_one_charger() {
+        let net = NetworkBuilder::new(100).seed(1).build();
+        let sizing = minimum_chargers(
+            &net,
+            &Appro::new(PlannerConfig::default()),
+            &cfg(40.0),
+            4,
+            60.0,
+        )
+        .unwrap();
+        assert_eq!(sizing.min_chargers, Some(1));
+        assert_eq!(sizing.dead_time_per_k.len(), 1);
+    }
+
+    #[test]
+    fn heavy_load_needs_more_chargers() {
+        let net = NetworkBuilder::new(1000).seed(2).build();
+        let sizing = minimum_chargers(
+            &net,
+            &Appro::new(PlannerConfig::default()),
+            &cfg(90.0),
+            5,
+            600.0,
+        )
+        .unwrap();
+        let k = sizing.min_chargers.expect("5 chargers suffice at n=1000");
+        assert!(k >= 2, "n=1000 must need more than one charger, got {k}");
+        // The recorded series is exactly the failed Ks plus the winner.
+        assert_eq!(sizing.dead_time_per_k.len(), k);
+        for &d in &sizing.dead_time_per_k[..k - 1] {
+            assert!(d > 600.0);
+        }
+        assert!(sizing.dead_time_per_k[k - 1] <= 600.0);
+    }
+
+    #[test]
+    fn cap_too_low_reports_none() {
+        let net = NetworkBuilder::new(1000).seed(3).build();
+        let sizing = minimum_chargers(
+            &net,
+            &Appro::new(PlannerConfig::default()),
+            &cfg(60.0),
+            1,
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(sizing.min_chargers, None);
+        assert_eq!(sizing.dead_time_per_k.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive charger cap")]
+    fn zero_cap_panics() {
+        let net = NetworkBuilder::new(5).build();
+        let _ = minimum_chargers(
+            &net,
+            &Appro::new(PlannerConfig::default()),
+            &SimConfig::default(),
+            0,
+            0.0,
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Optional event traces for simulation runs.
+//!
+//! The aggregate [`SimReport`](crate::SimReport) answers "how much dead
+//! time"; a trace answers "what happened when": every dispatch, death
+//! and recharge with its timestamp, in chronological order. Traces are
+//! opt-in ([`SimConfig::collect_trace`](crate::SimConfig)) because a
+//! year-long run on a stressed network generates hundreds of thousands
+//! of events.
+
+use wrsn_net::SensorId;
+
+/// One timestamped simulation event.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A charging round was dispatched.
+    RoundDispatched {
+        /// Simulation time, seconds.
+        at_s: f64,
+        /// Round index (0-based).
+        round: usize,
+        /// Size of the request set.
+        requests: usize,
+    },
+    /// A sensor's battery reached zero.
+    SensorDied {
+        /// Simulation time, seconds.
+        at_s: f64,
+        /// The sensor.
+        sensor: SensorId,
+    },
+    /// A sensor was recharged by a charging round.
+    SensorRecharged {
+        /// Simulation time, seconds.
+        at_s: f64,
+        /// The sensor.
+        sensor: SensorId,
+        /// Dead time this recharge ended, seconds (0 if it was alive).
+        ended_dead_s: f64,
+    },
+    /// A round's chargers all returned to the depot.
+    RoundCompleted {
+        /// Simulation time, seconds.
+        at_s: f64,
+        /// Round index (0-based).
+        round: usize,
+        /// The round's longest tour delay, seconds.
+        longest_delay_s: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp, seconds from simulation start.
+    pub fn at_s(&self) -> f64 {
+        match *self {
+            TraceEvent::RoundDispatched { at_s, .. }
+            | TraceEvent::SensorDied { at_s, .. }
+            | TraceEvent::SensorRecharged { at_s, .. }
+            | TraceEvent::RoundCompleted { at_s, .. } => at_s,
+        }
+    }
+}
+
+/// A chronological list of [`TraceEvent`]s with query helpers.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    /// Events in the order they were recorded (non-decreasing time).
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Records an event.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `event` is earlier than the last recorded one.
+    pub fn push(&mut self, event: TraceEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|l| l.at_s() <= event.at_s() + 1e-6),
+            "trace must be chronological"
+        );
+        self.events.push(event);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` iff no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Count of death events.
+    pub fn deaths(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::SensorDied { .. }))
+            .count()
+    }
+
+    /// Count of recharge events.
+    pub fn recharges(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::SensorRecharged { .. }))
+            .count()
+    }
+
+    /// Events within the half-open time window `[from_s, to_s)`.
+    pub fn window(&self, from_s: f64, to_s: f64) -> impl Iterator<Item = &TraceEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.at_s() >= from_s && e.at_s() < to_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut t = Trace::default();
+        assert!(t.is_empty());
+        t.push(TraceEvent::RoundDispatched { at_s: 0.0, round: 0, requests: 3 });
+        t.push(TraceEvent::SensorDied { at_s: 5.0, sensor: SensorId(1) });
+        t.push(TraceEvent::SensorRecharged {
+            at_s: 9.0,
+            sensor: SensorId(1),
+            ended_dead_s: 4.0,
+        });
+        t.push(TraceEvent::RoundCompleted { at_s: 10.0, round: 0, longest_delay_s: 10.0 });
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.deaths(), 1);
+        assert_eq!(t.recharges(), 1);
+    }
+
+    #[test]
+    fn window_filters_by_time() {
+        let mut t = Trace::default();
+        for i in 0..10 {
+            t.push(TraceEvent::SensorDied { at_s: i as f64, sensor: SensorId(i) });
+        }
+        assert_eq!(t.window(2.0, 5.0).count(), 3);
+        assert_eq!(t.window(0.0, 100.0).count(), 10);
+        assert_eq!(t.window(100.0, 200.0).count(), 0);
+    }
+
+    #[test]
+    fn at_s_extracts_timestamps() {
+        let e = TraceEvent::RoundCompleted { at_s: 7.5, round: 1, longest_delay_s: 2.0 };
+        assert_eq!(e.at_s(), 7.5);
+    }
+}

@@ -1,0 +1,56 @@
+//! The NP-hardness reduction, demonstrated live.
+//!
+//! §III-C of the paper asserts the longest charge delay minimization
+//! problem is NP-hard by reduction from TSP, omitting the proof. This
+//! example *runs* the reduction (`wrsn_core::reduction`): a metric TSP
+//! instance becomes a charging instance whose feasible schedules are
+//! exactly closed tours, compares the exact TSP optimum (Held–Karp) with
+//! what the approximation algorithm achieves on the reduced instance,
+//! and shows the encoding's coverage sets are singletons as required.
+//!
+//! Run with: `cargo run --release --example np_hardness`
+
+use wrsn::algo::exact::held_karp;
+use wrsn::core::{reduction, Appro, Planner, PlannerConfig};
+use wrsn::geom::{dist_matrix, Point};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 12-city TSP instance.
+    let cities: Vec<Point> = (0..12)
+        .map(|i| {
+            Point::new(
+                ((i * 37 + 11) % 89) as f64 + 3.0,
+                ((i * 53 + 29) % 83) as f64 + 3.0,
+            )
+        })
+        .collect();
+    let depot = Point::new(45.0, 45.0);
+
+    // Exact TSP optimum over depot + cities.
+    let mut all = cities.clone();
+    all.push(depot);
+    let (_, tsp_opt) = held_karp(&dist_matrix(&all));
+    println!("TSP optimum over depot + 12 cities: {tsp_opt:.1} m");
+
+    // Encode as a charging instance: K = 1, t_v = 0, tiny γ.
+    let problem = reduction::tsp_as_charging_problem(&cities, depot)?;
+    println!(
+        "reduced instance: {} sensors, γ = {:.3} m, all coverage sets singletons: {}",
+        problem.len(),
+        problem.params().gamma_m,
+        (0..problem.len()).all(|i| problem.coverage(i).len() == 1)
+    );
+
+    // Any feasible schedule IS a closed tour; its delay is its length.
+    let schedule = Appro::new(PlannerConfig::default()).plan(&problem)?;
+    schedule.certify(&problem)?;
+    let delay = schedule.longest_delay_s(); // speed = 1 m/s → meters
+    println!("Appro tour on the reduced instance: {delay:.1} m");
+    println!(
+        "gap vs TSP optimum: {:.1}% (an exact longest-delay solver would close it to 0,\n\
+         which is why one cannot exist unless P = NP)",
+        (delay / tsp_opt - 1.0) * 100.0
+    );
+    assert!(delay >= tsp_opt - 1e-6, "no schedule can beat the TSP optimum");
+    Ok(())
+}

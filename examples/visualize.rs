@@ -1,0 +1,32 @@
+//! Visualize a charging plan: field map and charger timeline.
+//!
+//! Plans one snapshot instance with Appro and prints (a) an ASCII map of
+//! the field — depot, requested sensors, and each MCV's sojourn
+//! locations — and (b) a Gantt-style timeline showing when each MCV
+//! travels, waits and charges.
+//!
+//! Run with: `cargo run --release --example visualize`
+
+use wrsn::core::{render, Appro, ChargingProblem, Planner, PlannerConfig};
+use wrsn::net::NetworkBuilder;
+use wrsn::sim::Simulation;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut net = NetworkBuilder::new(700).seed(21).build();
+    let requests = Simulation::warm_up_period(&mut net, 0.2, 5.0 * 86_400.0);
+    let problem = ChargingProblem::from_network(&net, &requests, 3)?;
+    let schedule = Appro::new(PlannerConfig::default()).plan(&problem)?;
+    schedule.certify(&problem)?;
+
+    println!(
+        "{} requesting sensors, K = {} chargers; longest delay {:.2} h\n",
+        problem.len(),
+        problem.charger_count(),
+        schedule.longest_delay_s() / 3600.0
+    );
+    println!("field map (D = depot, digits = that MCV's stops, . = covered sensor):\n");
+    println!("{}", render::field_map(&problem, &schedule, 72, 28));
+    println!("timeline (- travel, w wait, # charge, . home):\n");
+    println!("{}", render::gantt(&schedule, 64));
+    Ok(())
+}

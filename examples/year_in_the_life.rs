@@ -1,0 +1,59 @@
+//! A year in the life of a WRSN: repeated charging rounds and dead time.
+//!
+//! Simulates the paper's monitoring period `T_M` (one year) on an
+//! 800-sensor network with K = 2 chargers, once with Appro and once with
+//! the strongest one-to-one baseline (K-minMax), and compares the round
+//! dynamics and the average dead duration per sensor — the metric of the
+//! paper's Fig. 3(b).
+//!
+//! Run with: `cargo run --release --example year_in_the_life`
+
+use wrsn::core::PlannerConfig;
+use wrsn::net::NetworkBuilder;
+use wrsn::sim::{SimConfig, Simulation};
+use wrsn_bench::PlannerKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for kind in [PlannerKind::Appro, PlannerKind::KMinMax] {
+        let net = NetworkBuilder::new(800).seed(3).build();
+        let planner = kind.build(PlannerConfig::default());
+        let report = Simulation::new(net, SimConfig::default()).run(planner.as_ref(), 2)?;
+
+        println!("== {} ==", kind.name());
+        println!("  rounds dispatched:        {}", report.rounds_dispatched());
+        println!(
+            "  mean round length:        {:.2} h",
+            report.avg_longest_delay_s() / 3600.0
+        );
+        println!(
+            "  mean request-set size:    {:.1}",
+            report.rounds.iter().map(|r| r.request_count as f64).sum::<f64>()
+                / report.rounds_dispatched().max(1) as f64
+        );
+        println!(
+            "  energy delivered:         {:.1} MJ",
+            report.energy_delivered_j() / 1e6
+        );
+        println!(
+            "  avg dead time per sensor: {:.1} min over the year",
+            report.avg_dead_time_s() / 60.0
+        );
+        println!(
+            "  sensors never dead:       {:.1} %",
+            report.always_alive_fraction() * 100.0
+        );
+
+        // A small round-length timeline (first 10 rounds).
+        print!("  first rounds (h):        ");
+        for r in report.rounds.iter().take(10) {
+            print!(" {:.1}", r.longest_delay_s / 3600.0);
+        }
+        println!("\n");
+    }
+    println!(
+        "Multi-node charging lets Appro serve the same demand with far \
+         shorter rounds,\nwhich is exactly why its sensors spend so much \
+         less time dead."
+    );
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! # wrsn — multi-charger scheduling for wireless rechargeable sensor networks
+//!
+//! Umbrella crate for the reproduction of *"Minimizing the Longest Charge
+//! Delay of Multiple Mobile Chargers for Wireless Rechargeable Sensor
+//! Networks by Charging Multiple Sensors Simultaneously"* (Xu, Liang, Kan,
+//! Xu, Zhang — ICDCS 2019).
+//!
+//! Re-exports the workspace crates under stable module names:
+//!
+//! - [`geom`] — 2-D geometry and spatial indexing,
+//! - [`net`] — the WRSN model (sensors, energy, routing, generators),
+//! - [`algo`] — graph/combinatorial substrate (MIS, TSP, tour splitting,
+//!   Hungarian assignment, k-means),
+//! - [`core`] — the charging problem, schedules, the conflict validator,
+//!   and the paper's approximation algorithm **Appro**,
+//! - [`baselines`] — K-EDF, NETWRAP, K-minMax and AA comparison planners,
+//! - [`sim`] — the one-year discrete-event network simulator.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wrsn::net::{InitialCharge, NetworkBuilder};
+//! use wrsn::core::{Appro, ChargingProblem, Planner, PlannerConfig};
+//!
+//! // A 200-sensor field where some sensors are already lifetime-critical.
+//! let net = NetworkBuilder::new(200)
+//!     .seed(42)
+//!     .initial_charge(InitialCharge::UniformFraction { lo: 0.05, hi: 0.6 })
+//!     .build();
+//! let requests = net.default_requesting_sensors();
+//! let problem = ChargingProblem::from_network(&net, &requests, 2).unwrap();
+//!
+//! let schedule = Appro::new(PlannerConfig::default()).plan(&problem).unwrap();
+//! assert!(schedule.certify(&problem).is_ok());          // no sensor double-charged
+//! println!("longest tour: {:.1} h", schedule.longest_delay_s() / 3600.0);
+//! ```
+
+pub use wrsn_algo as algo;
+pub use wrsn_baselines as baselines;
+pub use wrsn_core as core;
+pub use wrsn_geom as geom;
+pub use wrsn_net as net;
+pub use wrsn_sim as sim;

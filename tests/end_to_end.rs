@@ -1,0 +1,174 @@
+//! End-to-end integration tests: network generation → problem → all five
+//! planners → certification → metric sanity.
+
+use wrsn::core::{Appro, ChargingProblem, Planner, PlannerConfig};
+use wrsn::net::{InitialCharge, NetworkBuilder};
+use wrsn::sim::Simulation;
+use wrsn_bench::PlannerKind;
+
+/// A snapshot problem as the experiments build them: drain a fresh
+/// network until `batch` sensors are lifetime-critical.
+fn snapshot(n: usize, k: usize, seed: u64, batch: usize) -> ChargingProblem {
+    let mut net = NetworkBuilder::new(n).seed(seed).build();
+    let requests = Simulation::warm_up_requests(&mut net, 0.2, batch);
+    ChargingProblem::from_network(&net, &requests, k).unwrap()
+}
+
+#[test]
+fn all_planners_certify_on_snapshot_instances() {
+    for &(n, k, seed) in &[(200usize, 1usize, 1u64), (400, 2, 2), (600, 3, 3)] {
+        let problem = snapshot(n, k, seed, n / 10);
+        for kind in PlannerKind::all() {
+            let schedule = kind.build(PlannerConfig::default()).plan(&problem).unwrap();
+            assert!(
+                schedule.certify(&problem).is_ok(),
+                "{} failed on n={n} k={k}: {:?}",
+                kind.name(),
+                schedule.certify(&problem)
+            );
+            assert_eq!(schedule.tours.len(), k);
+        }
+    }
+}
+
+#[test]
+fn appro_beats_every_baseline_at_scale() {
+    // The paper's headline claim, at reproduction scale: on dense request
+    // sets the multi-node algorithm wins by a wide margin.
+    let problem = snapshot(1000, 2, 4, 100);
+    let appro = PlannerKind::Appro
+        .build(PlannerConfig::default())
+        .plan(&problem)
+        .unwrap()
+        .longest_delay_s();
+    for kind in [
+        PlannerKind::KEdf,
+        PlannerKind::Netwrap,
+        PlannerKind::Aa,
+        PlannerKind::KMinMax,
+    ] {
+        let other = kind
+            .build(PlannerConfig::default())
+            .plan(&problem)
+            .unwrap()
+            .longest_delay_s();
+        assert!(
+            appro < 0.75 * other,
+            "Appro {appro:.0}s should be at least 25% below {} {other:.0}s",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn appro_stays_within_a_constant_factor_of_the_lower_bound() {
+    // Two trivial lower bounds on the optimum: (a) the farthest single
+    // mandatory stop, (b) charging work divided by K. Theorem 1 proves a
+    // constant ratio; empirically Appro should stay well within 10x.
+    for seed in 0..5u64 {
+        let problem = snapshot(600, 2, 100 + seed, 60);
+        let schedule = Appro::new(PlannerConfig::default()).plan(&problem).unwrap();
+        let lb_travel = (0..problem.len())
+            .map(|i| 2.0 * problem.depot_travel_time(i) + problem.charge_duration(i))
+            .fold(0.0f64, f64::max);
+        // Work lower bound: every sensor needs t_v of charging; one stop
+        // can serve many sensors at once, so divide by the max coverage.
+        let max_cov = (0..problem.len())
+            .map(|i| problem.coverage(i).len())
+            .max()
+            .unwrap_or(1) as f64;
+        let lb_work: f64 = (0..problem.len())
+            .map(|i| problem.charge_duration(i))
+            .sum::<f64>()
+            / (max_cov * problem.charger_count() as f64);
+        let lb = lb_travel.max(lb_work);
+        let ratio = schedule.longest_delay_s() / lb;
+        assert!(ratio >= 1.0 - 1e-9, "delay cannot beat a lower bound");
+        assert!(ratio < 10.0, "seed {seed}: ratio {ratio:.2} suspiciously large");
+    }
+}
+
+#[test]
+fn planners_are_deterministic_end_to_end() {
+    let problem = snapshot(300, 2, 9, 30);
+    for kind in PlannerKind::all() {
+        let a = kind.build(PlannerConfig::default()).plan(&problem).unwrap();
+        let b = kind.build(PlannerConfig::default()).plan(&problem).unwrap();
+        assert_eq!(a, b, "{} is not deterministic", kind.name());
+    }
+}
+
+#[test]
+fn one_to_one_planners_visit_everyone_appro_visits_fewer() {
+    let problem = snapshot(800, 2, 12, 80);
+    let appro = PlannerKind::Appro.build(PlannerConfig::default()).plan(&problem).unwrap();
+    let kedf = PlannerKind::KEdf.build(PlannerConfig::default()).plan(&problem).unwrap();
+    assert_eq!(kedf.sojourn_count(), problem.len());
+    assert!(
+        appro.sojourn_count() < problem.len(),
+        "multi-node charging must need fewer stops ({} vs {})",
+        appro.sojourn_count(),
+        problem.len()
+    );
+}
+
+#[test]
+fn degenerate_instances_are_handled_by_all_planners() {
+    // n < K, a single sensor, and all-coincident sensors.
+    use wrsn::core::{ChargingParams, ChargingTarget};
+    use wrsn::geom::Point;
+    use wrsn::net::SensorId;
+
+    let coincident: Vec<ChargingTarget> = (0..5)
+        .map(|i| ChargingTarget {
+            id: SensorId(i),
+            pos: Point::new(30.0, 30.0),
+            charge_duration_s: 1000.0 + i as f64,
+            residual_lifetime_s: 1e5,
+        })
+        .collect();
+    let cases = vec![
+        ChargingProblem::new(Point::ORIGIN, Vec::new(), 3, ChargingParams::default()).unwrap(),
+        ChargingProblem::new(Point::ORIGIN, coincident.clone(), 4, ChargingParams::default())
+            .unwrap(),
+        ChargingProblem::new(Point::ORIGIN, coincident[..1].to_vec(), 5, ChargingParams::default())
+            .unwrap(),
+    ];
+    for problem in &cases {
+        for kind in PlannerKind::all() {
+            let schedule = kind.build(PlannerConfig::default()).plan(problem).unwrap();
+            assert!(
+                schedule.certify(problem).is_ok(),
+                "{} failed on degenerate case: {:?}",
+                kind.name(),
+                schedule.certify(problem)
+            );
+        }
+    }
+}
+
+#[test]
+fn partially_charged_targets_shorten_durations() {
+    // Sensors with more residual energy need less charging; Appro's
+    // total charge time must reflect Eq. 1.
+    let full_drain = NetworkBuilder::new(100)
+        .seed(5)
+        .initial_charge(InitialCharge::UniformFraction { lo: 0.0, hi: 0.01 })
+        .build();
+    let light_drain = NetworkBuilder::new(100)
+        .seed(5)
+        .initial_charge(InitialCharge::UniformFraction { lo: 0.15, hi: 0.19 })
+        .build();
+    let p_full =
+        ChargingProblem::from_network(&full_drain, &full_drain.default_requesting_sensors(), 2)
+            .unwrap();
+    let p_light = ChargingProblem::from_network(
+        &light_drain,
+        &light_drain.default_requesting_sensors(),
+        2,
+    )
+    .unwrap();
+    let s_full = Appro::new(PlannerConfig::default()).plan(&p_full).unwrap();
+    let s_light = Appro::new(PlannerConfig::default()).plan(&p_light).unwrap();
+    assert!(s_light.total_charge_time_s() < s_full.total_charge_time_s());
+}

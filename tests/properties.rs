@@ -1,0 +1,131 @@
+//! Cross-crate property tests: random instances through the full
+//! pipeline, with every schedule certified.
+
+use proptest::prelude::*;
+use wrsn::core::{
+    conflict, Appro, ChargingParams, ChargingProblem, ChargingTarget, Planner, PlannerConfig,
+    Schedule,
+};
+use wrsn::geom::Point;
+use wrsn::net::SensorId;
+use wrsn_bench::PlannerKind;
+
+fn arb_targets(max: usize) -> impl Strategy<Value = Vec<ChargingTarget>> {
+    proptest::collection::vec(
+        (0.0f64..100.0, 0.0f64..100.0, 10.0f64..5400.0, 1e3f64..1e7),
+        0..max,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, t, life))| ChargingTarget {
+                id: SensorId(i as u32),
+                pos: Point::new(x, y),
+                charge_duration_s: t,
+                residual_lifetime_s: life,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every planner yields a certified schedule on arbitrary instances.
+    #[test]
+    fn all_planners_certify_on_arbitrary_instances(
+        targets in arb_targets(60),
+        k in 1usize..5,
+    ) {
+        let problem = ChargingProblem::new(
+            Point::new(50.0, 50.0),
+            targets,
+            k,
+            ChargingParams::default(),
+        ).unwrap();
+        for kind in PlannerKind::all() {
+            let schedule = kind.build(PlannerConfig::default()).plan(&problem).unwrap();
+            prop_assert!(
+                schedule.certify(&problem).is_ok(),
+                "{}: {:?}", kind.name(), schedule.certify(&problem)
+            );
+        }
+    }
+
+    /// Appro's MIS artifacts satisfy Algorithm 1's set relations.
+    #[test]
+    fn appro_artifacts_are_consistent(targets in arb_targets(60), k in 1usize..4) {
+        let problem = ChargingProblem::new(
+            Point::new(50.0, 50.0),
+            targets,
+            k,
+            ChargingParams::default(),
+        ).unwrap();
+        let report = Appro::new(PlannerConfig::default()).plan_detailed(&problem).unwrap();
+        // V'_H ⊆ S_I ⊆ V_s.
+        prop_assert!(report.core.iter().all(|c| report.mis.contains(c)));
+        prop_assert!(report.mis.iter().all(|&m| m < problem.len()));
+        // Every target is covered by some S_I node (MIS of G_c).
+        let mut covered = vec![false; problem.len()];
+        for &m in &report.mis {
+            for &u in problem.coverage(m) {
+                covered[u as usize] = true;
+            }
+        }
+        prop_assert!(covered.into_iter().all(|c| c));
+        // Core nodes are pairwise conflict-free.
+        for (i, &a) in report.core.iter().enumerate() {
+            for &b in report.core.iter().skip(i + 1) {
+                prop_assert!(conflict::coverage_overlap(&problem, a, b).is_none());
+            }
+        }
+    }
+
+    /// The wait-based repair always terminates with a certified schedule,
+    /// and is a no-op when run twice.
+    #[test]
+    fn repair_is_idempotent(targets in arb_targets(40), k in 2usize..4) {
+        let problem = ChargingProblem::new(
+            Point::new(50.0, 50.0),
+            targets,
+            k,
+            ChargingParams::default(),
+        ).unwrap();
+        // Round-robin every target to a charger: adversarial conflicts.
+        let mut stops: Vec<Vec<(usize, f64)>> = vec![Vec::new(); k];
+        for i in 0..problem.len() {
+            stops[i % k].push((i, problem.charge_duration(i)));
+        }
+        let mut schedule = Schedule::assemble(&problem, stops);
+        conflict::repair_waits(&problem, &mut schedule);
+        prop_assert!(schedule.certify(&problem).is_ok());
+        let again = {
+            let mut s = schedule.clone();
+            let w = conflict::repair_waits(&problem, &mut s);
+            prop_assert!(w.abs() - schedule.total_wait_time_s() <= 1e-6);
+            s
+        };
+        prop_assert!(again.certify(&problem).is_ok());
+    }
+
+    /// Longest delay dominates every tour and equals the max return time.
+    #[test]
+    fn longest_delay_is_max_over_tours(targets in arb_targets(50), k in 1usize..4) {
+        let problem = ChargingProblem::new(
+            Point::new(50.0, 50.0),
+            targets,
+            k,
+            ChargingParams::default(),
+        ).unwrap();
+        let schedule = Appro::new(PlannerConfig::default()).plan(&problem).unwrap();
+        let max = schedule
+            .tours
+            .iter()
+            .map(|t| t.return_time_s)
+            .fold(0.0f64, f64::max);
+        prop_assert_eq!(schedule.longest_delay_s(), max);
+        for tour in &schedule.tours {
+            prop_assert!(tour.return_time_s >= tour.charge_time_s());
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Integration tests for the monitoring-period simulator.
+
+use wrsn::core::PlannerConfig;
+use wrsn::net::NetworkBuilder;
+use wrsn::sim::{SimConfig, Simulation};
+use wrsn_bench::PlannerKind;
+
+fn days(d: f64) -> f64 {
+    d * 24.0 * 3600.0
+}
+
+#[test]
+fn light_load_keeps_everyone_alive() {
+    // 200 sensors, demand far below capacity: zero dead time under every
+    // planner.
+    for kind in PlannerKind::all() {
+        let net = NetworkBuilder::new(200).seed(1).build();
+        let mut cfg = SimConfig::default();
+        cfg.horizon_s = days(120.0);
+        let report = Simulation::new(net, cfg)
+            .run(kind.build(PlannerConfig::default()).as_ref(), 2)
+            .unwrap();
+        assert_eq!(
+            report.total_dead_time_s(),
+            0.0,
+            "{} let sensors die on a light load",
+            kind.name()
+        );
+        assert!(report.rounds_dispatched() > 0);
+    }
+}
+
+#[test]
+fn appro_has_least_dead_time_under_stress() {
+    // 1000 sensors at K = 2 puts one-to-one planners beyond their service
+    // capacity; Appro's multi-node sharing keeps it far lower.
+    let dead_for = |kind: PlannerKind| {
+        let net = NetworkBuilder::new(1000).seed(2).build();
+        let mut cfg = SimConfig::default();
+        cfg.horizon_s = days(180.0);
+        Simulation::new(net, cfg)
+            .run(kind.build(PlannerConfig::default()).as_ref(), 2)
+            .unwrap()
+            .avg_dead_time_s()
+    };
+    let appro = dead_for(PlannerKind::Appro);
+    for kind in [PlannerKind::KEdf, PlannerKind::KMinMax, PlannerKind::Aa] {
+        let other = dead_for(kind);
+        assert!(
+            appro < other,
+            "Appro {appro:.0}s must beat {} {other:.0}s",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn more_chargers_never_increase_dead_time_much() {
+    let dead_for = |k: usize| {
+        let net = NetworkBuilder::new(600).seed(3).build();
+        let mut cfg = SimConfig::default();
+        cfg.horizon_s = days(120.0);
+        Simulation::new(net, cfg)
+            .run(PlannerKind::Appro.build(PlannerConfig::default()).as_ref(), k)
+            .unwrap()
+            .avg_dead_time_s()
+    };
+    let k1 = dead_for(1);
+    let k3 = dead_for(3);
+    assert!(k3 <= k1 + 60.0, "K=3 ({k3:.0}s) should not lose to K=1 ({k1:.0}s)");
+}
+
+#[test]
+fn higher_data_rates_increase_pressure() {
+    let dead_for = |b_max: f64| {
+        let net = NetworkBuilder::new(900)
+            .seed(4)
+            .data_rate_bps(1_000.0, b_max)
+            .build();
+        let mut cfg = SimConfig::default();
+        cfg.horizon_s = days(180.0);
+        Simulation::new(net, cfg)
+            .run(PlannerKind::KMinMax.build(PlannerConfig::default()).as_ref(), 2)
+            .unwrap()
+            .avg_dead_time_s()
+    };
+    let low = dead_for(10_000.0);
+    let high = dead_for(50_000.0);
+    assert!(
+        high >= low,
+        "b_max=50 kbps ({high:.0}s dead) must be at least as stressed as 10 kbps ({low:.0}s)"
+    );
+    assert!(high > 0.0, "the stressed configuration must show dead time");
+}
+
+#[test]
+fn round_stats_are_internally_consistent() {
+    let net = NetworkBuilder::new(300).seed(5).build();
+    let mut cfg = SimConfig::default();
+    cfg.horizon_s = days(60.0);
+    let report = Simulation::new(net, cfg)
+        .run(PlannerKind::Appro.build(PlannerConfig::default()).as_ref(), 2)
+        .unwrap();
+    let mut prev_end = 0.0;
+    for r in &report.rounds {
+        assert!(r.dispatch_time_s >= prev_end - 1e-6, "rounds must not overlap");
+        assert!(r.request_count > 0);
+        assert!(r.longest_delay_s > 0.0);
+        assert!(r.sojourn_count > 0);
+        assert!(r.energy_delivered_j > 0.0);
+        prev_end = r.dispatch_time_s + r.longest_delay_s;
+    }
+    assert!(report.energy_delivered_j() > 0.0);
+    // Delivered energy cannot exceed chargers' total output over the year
+    // (2 chargers × 2 W × horizon) plus slack for the final round.
+    let cap = 2.0 * 2.0 * (cfg.horizon_s + days(10.0));
+    assert!(report.energy_delivered_j() <= cap);
+}
+
+#[test]
+fn batched_dispatch_accumulates_requests() {
+    let net = NetworkBuilder::new(400).seed(6).build();
+    let mut cfg = SimConfig::default();
+    cfg.horizon_s = days(90.0);
+    cfg.batch_fraction = 0.1;
+    let report = Simulation::new(net, cfg)
+        .run(PlannerKind::Appro.build(PlannerConfig::default()).as_ref(), 2)
+        .unwrap();
+    for r in &report.rounds {
+        assert!(r.request_count >= 40, "batched rounds must hold >= 10% of n");
+    }
+}

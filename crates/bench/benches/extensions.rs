@@ -13,10 +13,13 @@
 //! 4. **Fleet sizing** — the minimum `K` each planner needs to keep the
 //!    network essentially alive (the \[13\]\[14\] question): a smarter
 //!    scheduler is directly worth chargers.
+//! 5. **Resilience** — dead time vs charger MTBF: how gracefully each
+//!    planner's schedules truncate and re-plan when MCVs break down
+//!    mid-tour and recovery rounds run on the surviving fleet.
 //!
 //! Knobs: `WRSN_INSTANCES` (default 5), `WRSN_HORIZON_DAYS` (default 120).
 
-use wrsn_bench::{env_f64, env_usize, PlannerKind};
+use wrsn_bench::{env_f64, env_usize, PlannerKind, ResilienceExperiment};
 use wrsn_core::{ChargingParams, ChargingProblem, PlannerConfig};
 use wrsn_net::{Deployment, NetworkBuilder};
 use wrsn_sim::{AsyncSimulation, SimConfig, Simulation};
@@ -70,7 +73,7 @@ fn main() {
             let mut cfg = SimConfig::default();
             cfg.horizon_s = horizon_s;
             cfg.params = ChargingParams::with_partial_charging(frac);
-            let report = Simulation::new(net, cfg)
+            let report = Simulation::new(net, cfg).unwrap()
                 .run(
                     PlannerKind::Appro.build(PlannerConfig::default()).as_ref(),
                     2,
@@ -101,11 +104,11 @@ fn main() {
             cfg.horizon_s = horizon_s;
             let planner = PlannerKind::Appro.build(PlannerConfig::default());
             let net = NetworkBuilder::new(n).seed(5_000 + i as u64).build();
-            sync_dead += Simulation::new(net.clone(), cfg)
+            sync_dead += Simulation::new(net.clone(), cfg).unwrap()
                 .run(planner.as_ref(), 2)
                 .expect("planner is complete")
                 .avg_dead_time_s();
-            async_dead += AsyncSimulation::new(net, cfg)
+            async_dead += AsyncSimulation::new(net, cfg).unwrap()
                 .run(planner.as_ref(), 2)
                 .expect("planner is complete")
                 .avg_dead_time_s();
@@ -138,5 +141,26 @@ fn main() {
         }
         let mean = needed.iter().sum::<f64>() / needed.len() as f64;
         println!("{:>10} {:>14.1}", kind.name(), mean);
+    }
+
+    println!(
+        "\n## Resilience (n=900, K=2, {:.0}-day horizon, dead min/sensor vs charger MTBF)\n",
+        horizon_s / 86_400.0
+    );
+    let resilience = ResilienceExperiment { instances, horizon_s, ..Default::default() };
+    print!("{:>16}", "MTBF (horizons)");
+    for kind in PlannerKind::extended() {
+        print!("{:>11}", kind.name());
+    }
+    println!();
+    for mtbf_fraction in [0.0f64, 1.0, 0.5, 0.25] {
+        let label =
+            if mtbf_fraction == 0.0 { "no faults".to_string() } else { format!("{mtbf_fraction}") };
+        print!("{label:>16}");
+        for kind in PlannerKind::extended() {
+            let row = resilience.run_planner(kind, mtbf_fraction);
+            print!("{:>11.1}", row.mean / 60.0);
+        }
+        println!();
     }
 }

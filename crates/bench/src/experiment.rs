@@ -1,6 +1,5 @@
 //! Experiment runners: snapshot (Fig. (a)) and monitoring (Fig. (b)).
 
-use serde::Serialize;
 use wrsn_core::{ChargingProblem, PlannerConfig};
 use wrsn_net::NetworkBuilder;
 use wrsn_sim::{SimConfig, Simulation};
@@ -51,7 +50,7 @@ fn mean_std(xs: &[f64]) -> (f64, f64) {
 }
 
 /// One aggregated data point: a planner's metric at one x-value.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct PointSummary {
     /// Planner display name.
     pub planner: &'static str,
@@ -184,7 +183,7 @@ impl MonitoringExperiment {
                 .build();
             let mut sim_cfg = self.sim;
             sim_cfg.horizon_s = self.horizon_s;
-            let report = Simulation::new(net, sim_cfg)
+            let report = Simulation::new(net, sim_cfg).expect("valid experiment config")
                 .run(planner.as_ref(), self.k)
                 .expect("planners are complete");
             report.avg_dead_time_s()
@@ -196,6 +195,90 @@ impl MonitoringExperiment {
     /// Runs all five planners.
     pub fn run_all(&self, x: f64) -> Vec<PointSummary> {
         PlannerKind::all().iter().map(|&kind| self.run_planner(kind, x)).collect()
+    }
+}
+
+/// A resilience experiment: simulate the monitoring period under
+/// injected charger breakdowns and record how each planner's average
+/// dead duration degrades as the charger MTBF shrinks.
+///
+/// The x-axis is the MTBF expressed as a *fraction of the horizon*
+/// (e.g. `0.25` means a charger breaks down four times per monitoring
+/// period in expectation); `mtbf_fraction = 0` is the fault-free
+/// baseline. Because recovery re-plans run on the surviving fleet, the
+/// gap between a planner's faulted and fault-free rows measures how
+/// gracefully its schedules truncate and re-plan.
+#[derive(Clone, Debug)]
+pub struct ResilienceExperiment {
+    /// Network size `n`.
+    pub n: usize,
+    /// Number of chargers `K`.
+    pub k: usize,
+    /// Maximum data rate `b_max`, kbps.
+    pub b_max_kbps: f64,
+    /// Instances (seeds) per data point.
+    pub instances: usize,
+    /// First seed; instance `i` uses `base_seed + i` for both the
+    /// network and the fault stream, so every point is reproducible.
+    pub base_seed: u64,
+    /// Monitoring period, seconds.
+    pub horizon_s: f64,
+    /// Repair downtime after each breakdown, seconds.
+    pub repair_s: f64,
+    /// Simulation config the fault model is layered onto.
+    pub sim: SimConfig,
+    /// Shared planner config.
+    pub config: PlannerConfig,
+}
+
+impl Default for ResilienceExperiment {
+    fn default() -> Self {
+        ResilienceExperiment {
+            n: 900,
+            k: 2,
+            b_max_kbps: 50.0,
+            instances: 5,
+            base_seed: 3_000,
+            horizon_s: 90.0 * 24.0 * 3600.0,
+            repair_s: 24.0 * 3600.0,
+            sim: SimConfig::default(),
+            config: PlannerConfig::default(),
+        }
+    }
+}
+
+impl ResilienceExperiment {
+    /// Runs one planner at one MTBF point (in parallel over instances);
+    /// metric is the average dead duration per sensor (**seconds**).
+    /// `mtbf_fraction <= 0` disables faults entirely.
+    pub fn run_planner(&self, kind: PlannerKind, mtbf_fraction: f64) -> PointSummary {
+        let dead = parallel_instances(self.instances, |i| {
+            let planner = kind.build(self.config);
+            let net = NetworkBuilder::new(self.n)
+                .seed(self.base_seed + i as u64)
+                .data_rate_bps(1_000.0, self.b_max_kbps * 1_000.0)
+                .build();
+            let mut sim_cfg = self.sim;
+            sim_cfg.horizon_s = self.horizon_s;
+            if mtbf_fraction > 0.0 {
+                sim_cfg.fault.charger_mtbf_s = mtbf_fraction * self.horizon_s;
+                sim_cfg.fault.charger_repair_s = self.repair_s;
+                sim_cfg.fault.seed = self.base_seed + i as u64;
+            }
+            let report = Simulation::new(net, sim_cfg)
+                .expect("valid resilience config")
+                .run(planner.as_ref(), self.k)
+                .expect("recovery re-planning must not fail");
+            debug_assert!(report.service_reconciles());
+            report.avg_dead_time_s()
+        });
+        let (mean, std) = mean_std(&dead);
+        PointSummary { planner: kind.name(), x: mtbf_fraction, mean, std, instances: self.instances }
+    }
+
+    /// Runs all five planners at one MTBF point.
+    pub fn run_all(&self, mtbf_fraction: f64) -> Vec<PointSummary> {
+        PlannerKind::all().iter().map(|&kind| self.run_planner(kind, mtbf_fraction)).collect()
     }
 }
 
@@ -242,5 +325,20 @@ mod tests {
         let row = exp.run_planner(PlannerKind::Appro, 40.0);
         assert_eq!(row.planner, "Appro");
         assert!(row.mean >= 0.0);
+    }
+
+    #[test]
+    fn resilience_runs_with_and_without_faults() {
+        let exp = ResilienceExperiment {
+            n: 40,
+            instances: 1,
+            horizon_s: 20.0 * 24.0 * 3600.0,
+            ..Default::default()
+        };
+        let clean = exp.run_planner(PlannerKind::KEdf, 0.0);
+        let faulted = exp.run_planner(PlannerKind::KEdf, 0.25);
+        assert_eq!(clean.x, 0.0);
+        assert_eq!(faulted.x, 0.25);
+        assert!(clean.mean >= 0.0 && faulted.mean >= 0.0);
     }
 }

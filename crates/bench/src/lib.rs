@@ -25,7 +25,9 @@ pub mod planners;
 pub mod spec;
 pub mod table;
 
-pub use experiment::{MonitoringExperiment, PointSummary, SnapshotExperiment};
+pub use experiment::{
+    MonitoringExperiment, PointSummary, ResilienceExperiment, SnapshotExperiment,
+};
 pub use planners::PlannerKind;
 pub use spec::{run_spec, ExperimentSpec};
 

@@ -15,7 +15,6 @@
 //! }
 //! ```
 
-use serde::{Deserialize, Serialize};
 use wrsn_core::PlannerConfig;
 
 use crate::experiment::{MonitoringExperiment, SnapshotExperiment};
@@ -23,8 +22,7 @@ use crate::table::ResultTable;
 use crate::PlannerKind;
 
 /// Which experiment harness a spec drives.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SpecKind {
     /// Plan once per instance; metric = longest tour duration (hours).
     Snapshot,
@@ -34,8 +32,7 @@ pub enum SpecKind {
 }
 
 /// The swept variable.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SweepVariable {
     /// Network size.
     N,
@@ -46,7 +43,7 @@ pub enum SweepVariable {
 }
 
 /// A one-dimensional sweep.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Sweep {
     /// The variable to sweep.
     pub variable: SweepVariable,
@@ -55,7 +52,7 @@ pub struct Sweep {
 }
 
 /// A declarative experiment.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentSpec {
     /// Title used in the rendered table.
     pub name: String,
@@ -64,22 +61,16 @@ pub struct ExperimentSpec {
     /// The swept variable and its values.
     pub sweep: Sweep,
     /// Fixed network size (overridden when sweeping `n`).
-    #[serde(default = "default_n")]
     pub n: usize,
     /// Fixed charger count (overridden when sweeping `k`).
-    #[serde(default = "default_k")]
     pub k: usize,
     /// Fixed maximum data rate in kbps (overridden when sweeping `b_max`).
-    #[serde(default = "default_b_max")]
     pub b_max_kbps: f64,
     /// Instances per point.
-    #[serde(default = "default_instances")]
     pub instances: usize,
     /// Monitoring horizon in days (monitoring kind only).
-    #[serde(default = "default_horizon_days")]
     pub horizon_days: f64,
     /// Planner names to run (paper names); empty = the paper's five.
-    #[serde(default)]
     pub planners: Vec<String>,
 }
 
@@ -106,6 +97,8 @@ pub enum SpecError {
     UnknownPlanner(String),
     /// The sweep has no values.
     EmptySweep,
+    /// The JSON document did not describe a valid spec.
+    Parse(String),
 }
 
 impl std::fmt::Display for SpecError {
@@ -113,11 +106,92 @@ impl std::fmt::Display for SpecError {
         match self {
             SpecError::UnknownPlanner(p) => write!(f, "unknown planner {p:?}"),
             SpecError::EmptySweep => write!(f, "sweep has no values"),
+            SpecError::Parse(why) => write!(f, "invalid spec: {why}"),
         }
     }
 }
 
 impl std::error::Error for SpecError {}
+
+impl ExperimentSpec {
+    /// Parses a spec from its JSON document form (see the module docs
+    /// for the shape). Missing optional fields take the documented
+    /// defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] on malformed JSON, missing required
+    /// fields, or fields of the wrong type.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let doc = serde_json::from_str(text)
+            .map_err(|e| SpecError::Parse(e.to_string()))?;
+        Self::from_value(&doc)
+    }
+
+    fn from_value(doc: &serde_json::Value) -> Result<Self, SpecError> {
+        let parse = |why: &str| SpecError::Parse(why.to_string());
+        if doc.as_object().is_none() {
+            return Err(parse("top level must be an object"));
+        }
+        let name = doc["name"]
+            .as_str()
+            .ok_or_else(|| parse("\"name\" must be a string"))?
+            .to_string();
+        let kind = match doc["kind"].as_str() {
+            Some("snapshot") => SpecKind::Snapshot,
+            Some("monitoring") => SpecKind::Monitoring,
+            _ => return Err(parse("\"kind\" must be \"snapshot\" or \"monitoring\"")),
+        };
+        let sweep_doc = &doc["sweep"];
+        let variable = match sweep_doc["variable"].as_str() {
+            Some("n") => SweepVariable::N,
+            Some("k") => SweepVariable::K,
+            Some("b_max") => SweepVariable::BMax,
+            _ => return Err(parse("\"sweep.variable\" must be \"n\", \"k\", or \"b_max\"")),
+        };
+        let values = sweep_doc["values"]
+            .as_array()
+            .ok_or_else(|| parse("\"sweep.values\" must be an array"))?
+            .iter()
+            .map(|v| v.as_f64().ok_or_else(|| parse("sweep values must be numbers")))
+            .collect::<Result<Vec<f64>, SpecError>>()?;
+        let opt_usize = |key: &str, default: usize| match &doc[key] {
+            serde_json::Value::Null => Ok(default),
+            v => v
+                .as_u64()
+                .map(|u| u as usize)
+                .ok_or_else(|| parse(&format!("{key:?} must be a non-negative integer"))),
+        };
+        let opt_f64 = |key: &str, default: f64| match &doc[key] {
+            serde_json::Value::Null => Ok(default),
+            v => v.as_f64().ok_or_else(|| parse(&format!("{key:?} must be a number"))),
+        };
+        let planners = match &doc["planners"] {
+            serde_json::Value::Null => Vec::new(),
+            v => v
+                .as_array()
+                .ok_or_else(|| parse("\"planners\" must be an array of strings"))?
+                .iter()
+                .map(|p| {
+                    p.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| parse("planner names must be strings"))
+                })
+                .collect::<Result<Vec<String>, SpecError>>()?,
+        };
+        Ok(ExperimentSpec {
+            name,
+            kind,
+            sweep: Sweep { variable, values },
+            n: opt_usize("n", default_n())?,
+            k: opt_usize("k", default_k())?,
+            b_max_kbps: opt_f64("b_max_kbps", default_b_max())?,
+            instances: opt_usize("instances", default_instances())?,
+            horizon_days: opt_f64("horizon_days", default_horizon_days())?,
+            planners,
+        })
+    }
+}
 
 fn resolve_planners(names: &[String]) -> Result<Vec<PlannerKind>, SpecError> {
     if names.is_empty() {
@@ -194,7 +268,7 @@ mod tests {
     use super::*;
 
     fn tiny_spec() -> ExperimentSpec {
-        serde_json::from_str(
+        ExperimentSpec::from_json(
             r#"{
                 "name": "tiny",
                 "kind": "snapshot",
@@ -263,7 +337,7 @@ mod tests {
 
     #[test]
     fn monitoring_kind_runs() {
-        let spec: ExperimentSpec = serde_json::from_str(
+        let spec: ExperimentSpec = ExperimentSpec::from_json(
             r#"{
                 "name": "mon",
                 "kind": "monitoring",

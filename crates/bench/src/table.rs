@@ -146,8 +146,21 @@ impl ResultTable {
         .join("wrsn-results");
         fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{name}.json"));
-        let json = serde_json::to_string_pretty(&self.points)
-            .expect("PointSummary serializes");
+        let rows = serde_json::Value::Array(
+            self.points
+                .iter()
+                .map(|p| {
+                    serde_json::json!({
+                        "planner": p.planner,
+                        "x": p.x,
+                        "mean": p.mean,
+                        "std": p.std,
+                        "instances": p.instances,
+                    })
+                })
+                .collect(),
+        );
+        let json = serde_json::to_string_pretty(&rows).expect("printing cannot fail");
         fs::write(&path, json)?;
         Ok(path)
     }

@@ -23,13 +23,17 @@ struct Instance {
 
 impl Instance {
     fn from_args(args: &Args) -> Result<Self, Box<dyn Error>> {
-        Ok(Instance {
+        let inst = Instance {
             n: args.get_or("n", 600usize)?,
             k: args.get_or("k", 2usize)?,
             seed: args.get_or("seed", 1u64)?,
             b_max_kbps: args.get_or("b-max", 50.0f64)?,
             period_days: args.get_or("period", 5.0f64)?,
-        })
+        };
+        if inst.k == 0 {
+            return Err("--k must be at least 1".into());
+        }
+        Ok(inst)
     }
 
     fn network(&self) -> Network {
@@ -58,6 +62,28 @@ fn planner_kind(args: &Args) -> Result<PlannerKind, Box<dyn Error>> {
 }
 
 fn schedule_json(problem: &ChargingProblem, schedule: &Schedule) -> serde_json::Value {
+    let tours: Vec<serde_json::Value> = schedule
+        .tours
+        .iter()
+        .map(|tour| {
+            let sojourns: Vec<serde_json::Value> = tour
+                .sojourns
+                .iter()
+                .map(|s| {
+                    json!({
+                        "target": s.target,
+                        "arrival_s": s.arrival_s,
+                        "start_s": s.start_s,
+                        "duration_s": s.duration_s,
+                    })
+                })
+                .collect();
+            json!({
+                "return_time_s": tour.return_time_s,
+                "sojourns": serde_json::Value::Array(sojourns),
+            })
+        })
+        .collect();
     json!({
         "requests": problem.len(),
         "chargers": problem.charger_count(),
@@ -66,7 +92,7 @@ fn schedule_json(problem: &ChargingProblem, schedule: &Schedule) -> serde_json::
         "total_wait_time_s": schedule.total_wait_time_s(),
         "sojourns": schedule.sojourn_count(),
         "certified": schedule.certify(problem).is_ok(),
-        "tours": schedule.tours,
+        "tours": serde_json::Value::Array(tours),
     })
 }
 
@@ -172,11 +198,22 @@ pub fn simulate(args: &Args) -> CliResult {
     let days: f64 = args.get_or("days", 365.0)?;
     let mut cfg = SimConfig::default();
     cfg.horizon_s = days * 86_400.0;
+    // Charger fault injection: `--charger-mtbf <days>` enables seeded
+    // mid-tour breakdowns with `--charger-repair <hours>` of downtime;
+    // `--travel-jitter <frac>` perturbs round lengths. The fault seed
+    // plus the network seed fully determine a run.
+    cfg.fault.charger_mtbf_s = args.get_or("charger-mtbf", 0.0f64)? * 86_400.0;
+    cfg.fault.charger_repair_s = args.get_or("charger-repair", 24.0f64)? * 3_600.0;
+    cfg.fault.travel_jitter = args.get_or("travel-jitter", 0.0f64)?;
+    cfg.fault.seed = args.get_or("fault-seed", 0u64)?;
+    // `--validate` runs the schedule invariant validator on every
+    // dispatched and recovery plan even in release builds.
+    cfg.validate_schedules = args.flag("validate");
     let planner = kind.build(PlannerConfig::default());
     let report = match args.get("dispatch").unwrap_or("sync") {
-        "sync" => Simulation::new(inst.network(), cfg).run(planner.as_ref(), inst.k)?,
+        "sync" => Simulation::new(inst.network(), cfg)?.run(planner.as_ref(), inst.k)?,
         "async" => {
-            wrsn_sim::AsyncSimulation::new(inst.network(), cfg).run(planner.as_ref(), inst.k)?
+            wrsn_sim::AsyncSimulation::new(inst.network(), cfg)?.run(planner.as_ref(), inst.k)?
         }
         other => {
             return Err(format!("unknown dispatch mode {other:?}; expected sync|async").into())
@@ -195,6 +232,11 @@ pub fn simulate(args: &Args) -> CliResult {
                 "total_dead_time_s": report.total_dead_time_s(),
                 "energy_delivered_j": report.energy_delivered_j(),
                 "always_alive_fraction": report.always_alive_fraction(),
+                "charger_failures": report.charger_failures,
+                "recovery_rounds": report.recovery_rounds,
+                "charged_sensors": report.charged_sensors,
+                "recovered_sensors": report.recovered_sensors,
+                "deferred_sensors": report.deferred_sensors,
             }))?
         );
         return Ok(());
@@ -208,6 +250,19 @@ pub fn simulate(args: &Args) -> CliResult {
         "  always alive:      {:.1} %",
         report.always_alive_fraction() * 100.0
     );
+    if cfg.fault.is_active() {
+        println!(
+            "  charger failures:  {} ({} recovery dispatches)",
+            report.charger_failures, report.recovery_rounds
+        );
+        println!(
+            "  service ledger:    {} charged, {} recovered, {} deferred{}",
+            report.charged_sensors,
+            report.recovered_sensors,
+            report.deferred_sensors,
+            if report.service_reconciles() { "" } else { " (IMBALANCED!)" }
+        );
+    }
     Ok(())
 }
 
@@ -252,7 +307,7 @@ pub fn experiment(args: &Args) -> CliResult {
     if let Some(path) = args.get("spec") {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read spec {path:?}: {e}"))?;
-        let spec: wrsn_bench::ExperimentSpec = serde_json::from_str(&text)?;
+        let spec = wrsn_bench::ExperimentSpec::from_json(&text)?;
         let table = wrsn_bench::run_spec(&spec)?;
         print!("{}", table.render());
         if args.flag("csv") {

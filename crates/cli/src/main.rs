@@ -45,8 +45,16 @@ COMMON OPTIONS:
     --svg <path>        (plan) Write the field and timeline as SVG files
 
 SIMULATE OPTIONS:
-    --days <f64>        Monitoring period in days (default 365)
-    --dispatch <mode>   sync (round barrier) | async (per-charger pipelining)
+    --days <f64>           Monitoring period in days (default 365)
+    --dispatch <mode>      sync (round barrier) | async (per-charger pipelining)
+    --charger-mtbf <days>  Mean time between charger breakdowns, days
+                           (0 = faults off, the default)
+    --charger-repair <h>   Repair downtime after a breakdown, hours (default 24)
+    --travel-jitter <f>    Relative round-length jitter, e.g. 0.1 for +/-10 %
+    --fault-seed <u64>     Fault-stream seed; with --seed it fully
+                           determines a faulted run (default 0)
+    --validate             Check schedule invariants on every dispatched and
+                           recovery plan (always on in debug builds)
 ";
 
 fn main() -> ExitCode {

@@ -13,7 +13,6 @@
 use crate::{ChargingProblem, Schedule, Sojourn};
 
 /// A mobile charger's energy budget.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ChargerBudget {
     /// Usable battery capacity per trip, joules.

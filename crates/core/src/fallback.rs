@@ -1,0 +1,204 @@
+//! Planner fallback chain: bounded retry, never a panic.
+//!
+//! A simulation engine recovering from a charger breakdown cannot
+//! afford a planner failure: the stranded sensors must be re-planned
+//! onto the surviving fleet *somehow*, or the run aborts mid-horizon
+//! and the dead-time accounting is lost. [`plan_with_fallback`]
+//! implements the recovery contract: try the primary planner, then each
+//! supplied fallback in order, and finally [`GreedyTour`] — a planner
+//! deliberately simple enough to be infallible — accepting the first
+//! schedule that (optionally) passes [`validate_schedule`]. Only if
+//! even the terminal greedy plan is invalid does the chain return an
+//! error, and that error names the planner and lists the violations.
+
+use crate::validate::validate_schedule;
+use crate::{ChargingProblem, PlanError, Planner, Schedule};
+
+/// The terminal fallback planner: one nearest-neighbor tour over all
+/// targets on charger 0, every other charger idle.
+///
+/// Deliberately artless — its single tour cannot conflict with anything,
+/// visits each target exactly once, and charges each for its full
+/// `t_v` — so it succeeds on every valid [`ChargingProblem`]. Its
+/// longest delay is terrible; that is the accepted price of a recovery
+/// plan that cannot fail.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GreedyTour;
+
+impl Planner for GreedyTour {
+    fn name(&self) -> &'static str {
+        "GreedyTour"
+    }
+
+    fn plan(&self, problem: &ChargingProblem) -> Result<Schedule, PlanError> {
+        let n = problem.len();
+        let mut order = Vec::with_capacity(n);
+        let mut remaining: Vec<usize> = (0..n).collect();
+        let mut prev: Option<usize> = None;
+        while !remaining.is_empty() {
+            let (pos, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(pos, &i)| {
+                    let d = match prev {
+                        None => problem.depot_travel_time(i),
+                        Some(p) => problem.travel_time(p, i),
+                    };
+                    (pos, d)
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("travel times are finite"))
+                .expect("remaining is non-empty");
+            let i = remaining.swap_remove(pos);
+            order.push((i, problem.charge_duration(i)));
+            prev = Some(i);
+        }
+        let mut tours = vec![Vec::new(); problem.charger_count()];
+        tours[0] = order;
+        Ok(Schedule::assemble(problem, tours))
+    }
+}
+
+/// Plans `problem` with a bounded fallback chain: `primary`, then each
+/// of `fallbacks` in order, then [`GreedyTour`].
+///
+/// A candidate schedule is accepted when its planner returns `Ok` and —
+/// if `validate` is set — [`validate_schedule`] finds no violations.
+/// Returns the accepted schedule together with the name of the planner
+/// that produced it, so callers can report when recovery ran degraded.
+///
+/// # Errors
+///
+/// Returns [`PlanError::Rejected`] only if the terminal [`GreedyTour`]
+/// plan itself fails validation — which indicates a malformed problem
+/// or a validator bug, not a planner limitation.
+pub fn plan_with_fallback(
+    problem: &ChargingProblem,
+    primary: &dyn Planner,
+    fallbacks: &[&dyn Planner],
+    validate: bool,
+) -> Result<(Schedule, &'static str), PlanError> {
+    let attempt = |planner: &dyn Planner| -> Result<Schedule, PlanError> {
+        let schedule = planner.plan(problem)?;
+        if validate {
+            validate_schedule(problem, &schedule).map_err(|violations| {
+                PlanError::Rejected { planner: planner.name(), violations }
+            })?;
+        }
+        Ok(schedule)
+    };
+    for planner in std::iter::once(primary).chain(fallbacks.iter().copied()) {
+        if let Ok(schedule) = attempt(planner) {
+            return Ok((schedule, planner.name()));
+        }
+    }
+    let greedy = GreedyTour;
+    let schedule = attempt(&greedy)?;
+    Ok((schedule, greedy.name()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Appro, ChargingParams, ChargingTarget, PlannerConfig};
+    use wrsn_geom::Point;
+    use wrsn_net::{NetworkBuilder, SensorId};
+
+    fn problem(pts: &[(f64, f64, f64)], k: usize) -> ChargingProblem {
+        let targets: Vec<ChargingTarget> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y, t))| ChargingTarget {
+                id: SensorId(i as u32),
+                pos: Point::new(x, y),
+                charge_duration_s: t,
+                residual_lifetime_s: f64::INFINITY,
+            })
+            .collect();
+        ChargingProblem::new(Point::ORIGIN, targets, k, ChargingParams::default()).unwrap()
+    }
+
+    /// A planner that always fails, for exercising the chain.
+    struct Broken;
+    impl Planner for Broken {
+        fn name(&self) -> &'static str {
+            "Broken"
+        }
+        fn plan(&self, _: &ChargingProblem) -> Result<Schedule, PlanError> {
+            Err(PlanError::Internal("always fails"))
+        }
+    }
+
+    /// A planner returning schedules that cannot validate (idle tours
+    /// leave every sensor uncovered).
+    struct Lazy;
+    impl Planner for Lazy {
+        fn name(&self) -> &'static str {
+            "Lazy"
+        }
+        fn plan(&self, problem: &ChargingProblem) -> Result<Schedule, PlanError> {
+            Ok(Schedule::idle(problem.charger_count()))
+        }
+    }
+
+    #[test]
+    fn greedy_tour_is_valid_on_real_instances() {
+        let net = NetworkBuilder::new(150).seed(21).build();
+        let requests = net.default_requesting_sensors();
+        let p = ChargingProblem::from_network(&net, &requests, 3).unwrap();
+        let s = GreedyTour.plan(&p).unwrap();
+        assert_eq!(validate_schedule(&p, &s), Ok(()));
+        assert!(s.certify(&p).is_ok());
+        assert_eq!(s.tours.len(), 3);
+        assert!(s.tours[1].sojourns.is_empty() && s.tours[2].sojourns.is_empty());
+    }
+
+    #[test]
+    fn greedy_tour_handles_empty_problems() {
+        let p = problem(&[], 2);
+        let s = GreedyTour.plan(&p).unwrap();
+        assert_eq!(s.sojourn_count(), 0);
+        assert_eq!(validate_schedule(&p, &s), Ok(()));
+    }
+
+    #[test]
+    fn primary_success_short_circuits() {
+        let p = problem(&[(10.0, 0.0, 100.0), (30.0, 0.0, 60.0)], 2);
+        let appro = Appro::new(PlannerConfig::default());
+        let (schedule, who) =
+            plan_with_fallback(&p, &appro, &[&Broken], true).unwrap();
+        assert_eq!(who, "Appro");
+        assert_eq!(validate_schedule(&p, &schedule), Ok(()));
+    }
+
+    #[test]
+    fn failing_primary_falls_through_to_fallback() {
+        let p = problem(&[(10.0, 0.0, 100.0)], 1);
+        let appro = Appro::new(PlannerConfig::default());
+        let (_, who) = plan_with_fallback(&p, &Broken, &[&appro], true).unwrap();
+        assert_eq!(who, "Appro");
+    }
+
+    #[test]
+    fn invalid_schedules_are_rejected_and_skipped() {
+        let p = problem(&[(10.0, 0.0, 100.0)], 1);
+        let (schedule, who) = plan_with_fallback(&p, &Lazy, &[], true).unwrap();
+        assert_eq!(who, "GreedyTour");
+        assert_eq!(validate_schedule(&p, &schedule), Ok(()));
+    }
+
+    #[test]
+    fn without_validation_any_ok_schedule_is_accepted() {
+        let p = problem(&[(10.0, 0.0, 100.0)], 1);
+        let (_, who) = plan_with_fallback(&p, &Lazy, &[], false).unwrap();
+        assert_eq!(who, "Lazy");
+    }
+
+    #[test]
+    fn all_broken_still_lands_on_greedy() {
+        let p = problem(&[(10.0, 0.0, 100.0), (20.0, 5.0, 60.0)], 2);
+        let (schedule, who) =
+            plan_with_fallback(&p, &Broken, &[&Broken, &Broken], true).unwrap();
+        assert_eq!(who, "GreedyTour");
+        assert!(schedule.certify(&p).is_ok());
+    }
+}

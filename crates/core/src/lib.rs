@@ -44,6 +44,7 @@ mod appro;
 pub mod bounds;
 pub mod budget;
 pub mod conflict;
+mod fallback;
 mod planner;
 mod problem;
 pub mod reduction;
@@ -51,8 +52,11 @@ pub mod render;
 mod schedule;
 pub mod stats;
 pub mod svg;
+mod validate;
 
 pub use appro::Appro;
+pub use fallback::{plan_with_fallback, GreedyTour};
 pub use planner::{InsertionOrder, PlanError, Planner, PlannerConfig};
 pub use problem::{ChargingParams, ChargingProblem, ChargingTarget, ProblemError};
 pub use schedule::{ChargerTour, Schedule, ScheduleError, Sojourn};
+pub use validate::{validate_schedule, ScheduleViolation};

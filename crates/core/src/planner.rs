@@ -62,12 +62,30 @@ impl Default for PlannerConfig {
 pub enum PlanError {
     /// An internal invariant was violated — a bug in the planner.
     Internal(&'static str),
+    /// A produced schedule failed [`crate::validate_schedule`]: the
+    /// planner terminated, but its output breaks replay invariants.
+    Rejected {
+        /// Name of the planner whose schedule was rejected.
+        planner: &'static str,
+        /// Everything wrong with the schedule.
+        violations: Vec<crate::ScheduleViolation>,
+    },
 }
 
 impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlanError::Internal(what) => write!(f, "internal planner invariant violated: {what}"),
+            PlanError::Rejected { planner, violations } => {
+                write!(f, "{planner} produced an invalid schedule: ")?;
+                for (i, v) in violations.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

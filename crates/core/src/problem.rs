@@ -13,7 +13,6 @@ use wrsn_net::{Network, SensorId};
 /// `γ = 2.7 m`, charging rate `η = 2 W`, travel speed `s = 1 m/s`, and
 /// the *full* charging model (every requested sensor is charged to
 /// capacity).
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ChargingParams {
     /// Wireless energy transfer radius `γ`, meters.
@@ -58,7 +57,6 @@ impl ChargingParams {
 }
 
 /// One lifetime-critical sensor in the request set `V_s`.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Debug, PartialEq)]
 pub struct ChargingTarget {
     /// Identity of the sensor in the originating network.

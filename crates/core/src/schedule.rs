@@ -14,7 +14,6 @@ const TOL: f64 = 1e-6;
 /// One stop of an MCV: it arrives at a target's location, possibly waits
 /// (conflict-avoidance), then charges every sensor within `γ` for
 /// `duration_s` seconds.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Sojourn {
     /// Target index (into [`ChargingProblem::targets`]) of the sojourn
@@ -42,7 +41,6 @@ impl Sojourn {
 }
 
 /// The closed tour of one MCV: depot → sojourns… → depot.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct ChargerTour {
     /// Sojourns in visiting order. May be empty (the MCV stays home).
@@ -74,7 +72,6 @@ impl ChargerTour {
 /// Produced by [`crate::Planner`] implementations; consumed by the
 /// simulator and the experiment harness. [`Schedule::certify`] proves the
 /// schedule feasible per the paper's constraints.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct Schedule {
     /// One tour per charger; `tours.len()` equals the problem's `K`.

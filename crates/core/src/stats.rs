@@ -9,7 +9,6 @@
 use crate::{ChargingProblem, Schedule};
 
 /// Time breakdown of one charger's tour.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub struct ChargerBreakdown {
     /// Time spent driving, seconds.
@@ -23,7 +22,6 @@ pub struct ChargerBreakdown {
 }
 
 /// Aggregate statistics of a schedule against its problem.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct ScheduleStats {
     /// Per-charger time breakdowns, indexed by charger.

@@ -17,7 +17,6 @@ use std::ops::{Add, Div, Mul, Sub};
 /// let b = Point::new(3.0, 4.0);
 /// assert_eq!(a.dist(b), 5.0);
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Point {
     /// Horizontal coordinate in meters.

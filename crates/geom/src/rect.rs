@@ -14,7 +14,6 @@ use crate::Point;
 /// assert!(field.contains(Point::new(99.9, 0.1)));
 /// assert!(!field.contains(Point::new(100.1, 50.0)));
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Rect {
     /// Minimum corner (inclusive).

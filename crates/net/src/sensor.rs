@@ -17,7 +17,6 @@ use wrsn_geom::Point;
 /// assert_eq!(id.index(), 3);
 /// assert_eq!(id.to_string(), "s3");
 /// ```
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SensorId(pub u32);
 
@@ -50,7 +49,6 @@ impl From<usize> for SensorId {
 ///
 /// This is a passive data struct; the scheduling algorithms read it and
 /// the simulator mutates `residual_j` over time.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Debug, PartialEq)]
 pub struct Sensor {
     /// Identity (index into the network's sensor array).

@@ -24,14 +24,23 @@
 //!   drains continuously; dead time is accounted exactly as in the
 //!   synchronous engine.
 //!
+//! Under an active [`crate::FaultModel`], a charger can break down
+//! mid-tour: its unfinished sojourns are stranded and requeued, the
+//! charger re-enters service after repair, and the next dispatch that
+//! picks up a stranded sensor — through the `planner` → K-EDF →
+//! [`wrsn_core::GreedyTour`] fallback chain — is the recovery dispatch.
+//!
 //! The `dispatch` extension bench compares the two modes.
 
-use wrsn_core::{ChargingProblem, PlanError, Planner};
+use wrsn_core::{
+    plan_with_fallback, validate_schedule, ChargingProblem, PlanError, Planner, PlannerConfig,
+};
 use wrsn_net::SensorId;
 
-use crate::engine::SimConfig;
+use crate::engine::{SimConfig, SimConfigError};
+use crate::fault::FaultState;
 use crate::report::{RoundStats, SimReport};
-use crate::drain_with_dead_accounting;
+use crate::{drain_with_dead_accounting, Trace, TraceEvent};
 #[cfg(test)]
 use crate::Simulation;
 
@@ -59,10 +68,10 @@ struct FlightSojourn {
 /// let net = NetworkBuilder::new(100).seed(5).build();
 /// let mut config = SimConfig::default();
 /// config.horizon_s = 30.0 * 24.0 * 3600.0;
-/// let report = AsyncSimulation::new(net, config)
-///     .run(&Appro::new(PlannerConfig::default()), 2)
-///     .unwrap();
+/// let report = AsyncSimulation::new(net, config)?
+///     .run(&Appro::new(PlannerConfig::default()), 2)?;
 /// assert!(report.rounds_dispatched() >= 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Clone, Debug)]
 pub struct AsyncSimulation {
@@ -73,19 +82,23 @@ pub struct AsyncSimulation {
 impl AsyncSimulation {
     /// Creates the simulation.
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// Same validation as [`Simulation::new`].
-    pub fn new(net: wrsn_net::Network, config: SimConfig) -> Self {
-        config.validate();
-        AsyncSimulation { net, config }
+    pub fn new(net: wrsn_net::Network, config: SimConfig) -> Result<Self, SimConfigError> {
+        config.validate()?;
+        Ok(AsyncSimulation { net, config })
     }
 
     /// Runs to the horizon with `k` chargers dispatched independently.
     ///
     /// # Errors
     ///
-    /// Propagates planner failures.
+    /// Propagates planner failures, including [`PlanError::Rejected`]
+    /// when schedule validation is on (debug builds, or
+    /// [`SimConfig::validate_schedules`]) and a plan breaks a replay
+    /// invariant — every plan is validated *before* its sojourns are
+    /// shifted to absolute time.
     ///
     /// # Panics
     ///
@@ -101,10 +114,27 @@ impl AsyncSimulation {
                 (self.config.batch_fraction * n as f64).ceil() as usize;
             frac.max(self.config.min_batch).max(1)
         };
+        let validate_plans = cfg!(debug_assertions) || self.config.validate_schedules;
+        let mut fault = FaultState::new(&self.config.fault, k);
+        let kedf = wrsn_baselines::KEdf::new(PlannerConfig::default());
 
         let mut t = 0.0f64;
         let mut dead = vec![0.0f64; n];
         let mut rounds: Vec<RoundStats> = Vec::new();
+        let mut charger_failures = 0usize;
+        let mut recovery_rounds = 0usize;
+        let mut charged_sensors = 0usize;
+        let mut recovered_sensors = 0usize;
+        let mut deferred_sensors = 0usize;
+        // Sensors whose dispatched service never completed (breakdown or
+        // an uncovered plan); the next dispatch serving one is a
+        // recovery dispatch.
+        let mut stranded_flag = vec![false; n];
+        // Fault events are buffered and sorted once at the end: a
+        // breakdown is timestamped at its (future) failure instant,
+        // which may interleave with later dispatches.
+        let mut events: Vec<TraceEvent> = Vec::new();
+        let tracing = self.config.collect_trace;
 
         let mut free_at = vec![0.0f64; k];
         // In-flight sojourns per charger (emptied on return).
@@ -121,7 +151,8 @@ impl AsyncSimulation {
                     flight[c].clear();
                 }
             }
-            // A charger is dispatchable if home now.
+            // A charger is dispatchable if home now (a broken one's
+            // `free_at` already includes its repair downtime).
             let free: Vec<usize> = (0..k).filter(|&c| free_at[c] <= t).collect();
             let pending: Vec<SensorId> = self
                 .net
@@ -142,6 +173,8 @@ impl AsyncSimulation {
                 });
                 share.truncate(pending.len().div_ceil(k));
                 let pending = share;
+                let stranded_in_share =
+                    pending.iter().filter(|id| stranded_flag[id.index()]).count();
                 let problem = ChargingProblem::from_network_with(
                     &self.net,
                     &pending,
@@ -149,7 +182,31 @@ impl AsyncSimulation {
                     self.config.params,
                 )
                 .expect("simulator always builds valid problems");
-                let mut schedule = planner.plan(&problem)?;
+                // A dispatch picking up stranded sensors is the recovery
+                // re-plan: it must not fail, so it runs the bounded
+                // fallback chain. Ordinary dispatches propagate planner
+                // errors as before.
+                let mut schedule = if stranded_in_share > 0 {
+                    plan_with_fallback(&problem, planner, &[&kedf], validate_plans)?.0
+                } else {
+                    let s = planner.plan(&problem)?;
+                    if validate_plans {
+                        validate_schedule(&problem, &s).map_err(|violations| {
+                            PlanError::Rejected { planner: planner.name(), violations }
+                        })?;
+                    }
+                    s
+                };
+                if stranded_in_share > 0 {
+                    recovery_rounds += 1;
+                    if tracing {
+                        events.push(TraceEvent::RecoveryDispatched {
+                            at_s: t,
+                            stranded: stranded_in_share,
+                            chargers: free.len(),
+                        });
+                    }
+                }
 
                 // Shift to absolute time and push starts past conflicting
                 // in-flight sojourns (conservative 2γ distance test).
@@ -190,39 +247,102 @@ impl AsyncSimulation {
                 };
                 tour.return_time_s = return_abs;
 
-                // Register state: flights, assignment, recharges.
+                // Fault layer: jitter/degradation stretch this tour's
+                // real timeline around the dispatch instant, and the
+                // charger breaks down mid-tour if the stretched busy
+                // time outlives its remaining operating life.
+                let fault_active = fault.is_some();
+                let factor = match fault.as_mut() {
+                    Some(fs) => fs.round_factor(),
+                    None => 1.0,
+                };
+                let scale =
+                    |x: f64| if fault_active { t + (x - t) * factor } else { x };
+                let return_real = scale(return_abs);
+                let mut cutoff_abs = f64::INFINITY;
+                if let Some(fs) = fault.as_mut() {
+                    let busy_real = return_real - t;
+                    if busy_real > 0.0 && fs.life_left[c] < busy_real {
+                        let life = fs.life_left[c];
+                        cutoff_abs = t + life;
+                        fs.breakdown(c, cutoff_abs);
+                        charger_failures += 1;
+                        if tracing {
+                            events.push(TraceEvent::ChargerFailed {
+                                at_s: cutoff_abs,
+                                charger: c,
+                            });
+                        }
+                    } else if busy_real > 0.0 {
+                        fs.life_left[c] -= busy_real;
+                    }
+                }
+
+                // Register state: flights, assignment, recharges. A
+                // broken charger's sojourns past the cutoff never happen.
                 flight[c] = tour
                     .sojourns
                     .iter()
                     .map(|s| FlightSojourn {
                         pos: problem.targets()[s.target].pos,
-                        start_s: s.start_s,
-                        finish_s: s.finish_s(),
+                        start_s: scale(s.start_s),
+                        finish_s: scale(s.finish_s()).min(cutoff_abs),
                     })
+                    .filter(|f| f.start_s < cutoff_abs)
                     .collect();
                 for id in &pending {
                     assigned[id.index()] = true;
                 }
                 // Completion replay over absolute-timed sojourns.
                 let completions = schedule.charge_completion_times(&problem);
+                let mut completed = vec![false; n];
                 for (ti, comp) in completions.iter().enumerate() {
                     let idx = problem.targets()[ti].id.index();
-                    match comp {
-                        Some(at) => recharges.push((*at, idx)),
-                        None => assigned[idx] = false, // never charged: requeue
+                    match comp.map(scale) {
+                        Some(at) if at <= cutoff_abs => {
+                            recharges.push((at, idx));
+                            completed[idx] = true;
+                        }
+                        // Stranded mid-tour or never covered: requeue.
+                        _ => assigned[idx] = false,
                     }
                 }
                 recharges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-                free_at[c] = return_abs.max(t + 1.0);
+                let back_at = if cutoff_abs.is_finite() {
+                    cutoff_abs + self.config.fault.charger_repair_s
+                } else {
+                    return_real
+                };
+                free_at[c] = back_at.max(t + 1.0);
+
+                // Service ledger, settled at dispatch time: each request
+                // either completes within this tour (charged, or
+                // recovered if it had been stranded) or is requeued and
+                // counted deferred.
+                for id in &pending {
+                    let idx = id.index();
+                    if completed[idx] {
+                        if stranded_flag[idx] {
+                            stranded_flag[idx] = false;
+                            recovered_sensors += 1;
+                        } else {
+                            charged_sensors += 1;
+                        }
+                    } else {
+                        stranded_flag[idx] = true;
+                        deferred_sensors += 1;
+                    }
+                }
 
                 rounds.push(RoundStats {
                     dispatch_time_s: t,
                     request_count: pending.len(),
-                    longest_delay_s: return_abs - t,
+                    longest_delay_s: return_real - t,
                     total_wait_s: schedule.total_wait_time_s(),
                     sojourn_count: schedule.sojourn_count(),
                     energy_delivered_j: pending
                         .iter()
+                        .filter(|id| completed[id.index()])
                         .map(|&id| {
                             let s = self.net.sensor(id);
                             (target_frac * s.capacity_j - s.residual_j).max(0.0)
@@ -263,12 +383,22 @@ impl AsyncSimulation {
             }
         }
 
+        let mut trace = Trace::with_capacity_limit(self.config.trace_capacity);
+        events.sort_by(|a, b| a.at_s().partial_cmp(&b.at_s()).unwrap());
+        for e in events {
+            trace.push(e);
+        }
         Ok(SimReport {
             rounds,
             dead_time_s: dead,
             horizon_s: horizon,
-            trace: crate::Trace::default(),
+            trace,
             failed_sensors: 0,
+            charger_failures,
+            recovery_rounds,
+            charged_sensors,
+            recovered_sensors,
+            deferred_sensors,
         })
     }
 }
@@ -289,10 +419,13 @@ mod tests {
         let mut cfg = SimConfig::default();
         cfg.horizon_s = days(60.0);
         let report = AsyncSimulation::new(net, cfg)
+            .unwrap()
             .run(&Appro::new(PlannerConfig::default()), 2)
             .unwrap();
         assert!(report.rounds_dispatched() >= 2);
         assert_eq!(report.total_dead_time_s(), 0.0);
+        assert!(report.service_reconciles());
+        assert_eq!(report.charger_failures, 0);
     }
 
     #[test]
@@ -303,6 +436,7 @@ mod tests {
         let mut cfg = SimConfig::default();
         cfg.horizon_s = days(90.0);
         let report = AsyncSimulation::new(net, cfg)
+            .unwrap()
             .run(&Appro::new(PlannerConfig::default()), 3)
             .unwrap();
         let overlapping = report
@@ -325,10 +459,12 @@ mod tests {
         let mut cfg = SimConfig::default();
         cfg.horizon_s = days(120.0);
         let sync = Simulation::new(mk(), cfg)
+            .unwrap()
             .run(&Appro::new(PlannerConfig::default()), 2)
             .unwrap()
             .avg_dead_time_s();
         let asyn = AsyncSimulation::new(mk(), cfg)
+            .unwrap()
             .run(&Appro::new(PlannerConfig::default()), 2)
             .unwrap()
             .avg_dead_time_s();
@@ -344,6 +480,7 @@ mod tests {
         let mut cfg = SimConfig::default();
         cfg.horizon_s = days(60.0);
         let report = AsyncSimulation::new(net, cfg)
+            .unwrap()
             .run(&Appro::new(PlannerConfig::default()), 2)
             .unwrap();
         for r in &report.rounds {
@@ -353,10 +490,50 @@ mod tests {
     }
 
     #[test]
+    fn breakdowns_strand_and_recover() {
+        let net = NetworkBuilder::new(300).seed(1).build();
+        let mut cfg = SimConfig::default();
+        cfg.horizon_s = days(365.0);
+        cfg.collect_trace = true;
+        cfg.fault.charger_mtbf_s = 0.25 * cfg.horizon_s;
+        cfg.fault.charger_repair_s = 24.0 * 3600.0;
+        cfg.fault.seed = 7;
+        let report = AsyncSimulation::new(net, cfg)
+            .unwrap()
+            .run(&Appro::new(PlannerConfig::default()), 3)
+            .unwrap();
+        assert!(report.charger_failures >= 1, "a year at quarter-horizon MTBF must fail");
+        assert!(report.recovery_rounds >= 1, "stranded sensors must be re-dispatched");
+        assert!(report.recovered_sensors >= 1);
+        assert!(report.service_reconciles());
+        assert_eq!(report.trace.charger_failures(), report.charger_failures);
+        assert_eq!(report.trace.recoveries(), report.recovery_rounds);
+    }
+
+    #[test]
+    fn faulted_async_runs_are_deterministic() {
+        let run = || {
+            let net = NetworkBuilder::new(150).seed(4).build();
+            let mut cfg = SimConfig::default();
+            cfg.horizon_s = days(90.0);
+            cfg.fault.charger_mtbf_s = 0.2 * cfg.horizon_s;
+            cfg.fault.charger_repair_s = 12.0 * 3600.0;
+            cfg.fault.travel_jitter = 0.2;
+            cfg.fault.seed = 11;
+            AsyncSimulation::new(net, cfg)
+                .unwrap()
+                .run(&Appro::new(PlannerConfig::default()), 2)
+                .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
     #[should_panic(expected = "charger")]
     fn zero_chargers_panics() {
         let net = NetworkBuilder::new(5).build();
         let _ = AsyncSimulation::new(net, SimConfig::default())
+            .unwrap()
             .run(&Appro::new(PlannerConfig::default()), 0);
     }
 }

@@ -1,10 +1,64 @@
 //! The simulation engine: drain, batch, dispatch, recharge, repeat.
 
-use wrsn_core::{ChargingParams, ChargingProblem, PlanError, Planner};
-use wrsn_net::{Network, SensorId, DEFAULT_REQUEST_FRACTION, YEAR_SECS};
+use wrsn_core::{
+    plan_with_fallback, validate_schedule, ChargerTour, ChargingParams, ChargingProblem,
+    PlanError, Planner, PlannerConfig, Schedule,
+};
+use wrsn_net::{Network, Sensor, SensorId, DEFAULT_REQUEST_FRACTION, YEAR_SECS};
 
+use crate::fault::{FaultModel, FaultState};
 use crate::report::{RoundStats, SimReport};
-use crate::drain_with_dead_accounting;
+use crate::{drain_with_dead_accounting, Trace, TraceEvent};
+
+/// An inconsistent [`SimConfig`], reported by [`SimConfig::validate`]
+/// and the engines' constructors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimConfigError {
+    /// `horizon_s` is not a positive finite number.
+    NonPositiveHorizon,
+    /// `request_fraction` is outside `(0, 1]`.
+    RequestFractionOutOfRange,
+    /// `batch_fraction` is negative (or NaN).
+    NegativeBatchFraction,
+    /// `params.charge_target_fraction` does not exceed
+    /// `request_fraction`, so recharged sensors re-request instantly.
+    ChargeTargetNotAboveThreshold,
+    /// `failure_rate_per_year` is negative (or NaN).
+    NegativeFailureRate,
+    /// `charger_turnaround_s` is negative (or NaN).
+    NegativeTurnaround,
+    /// The [`FaultModel`] has an out-of-range parameter.
+    InvalidFaultModel(&'static str),
+}
+
+impl std::fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimConfigError::NonPositiveHorizon => write!(f, "horizon must be positive"),
+            SimConfigError::RequestFractionOutOfRange => {
+                write!(f, "request fraction must be in (0, 1]")
+            }
+            SimConfigError::NegativeBatchFraction => {
+                write!(f, "batch fraction must be non-negative")
+            }
+            SimConfigError::ChargeTargetNotAboveThreshold => write!(
+                f,
+                "charge target must exceed the request threshold or sensors re-request instantly"
+            ),
+            SimConfigError::NegativeFailureRate => {
+                write!(f, "failure rate must be non-negative")
+            }
+            SimConfigError::NegativeTurnaround => {
+                write!(f, "turnaround must be non-negative")
+            }
+            SimConfigError::InvalidFaultModel(what) => {
+                write!(f, "invalid fault model: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {}
 
 /// Simulation parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -26,6 +80,10 @@ pub struct SimConfig {
     /// Collect a per-event [`crate::Trace`] (default off; traces of
     /// stressed year-long runs hold hundreds of thousands of events).
     pub collect_trace: bool,
+    /// Ring-buffer cap on the collected trace: at most this many events
+    /// are retained, oldest evicted first ([`Trace::dropped`] counts the
+    /// evictions). 0 (the default) = unbounded.
+    pub trace_capacity: usize,
     /// Failure injection: expected permanent hardware failures per sensor
     /// per year (exponential inter-failure model; default 0 = none).
     /// A failed sensor stops consuming, never requests charging, and
@@ -38,24 +96,61 @@ pub struct SimConfig {
     /// own batteries (§III-B: chargers "return the depot to replenish
     /// energy"); default 0 = instantaneous turnaround.
     pub charger_turnaround_s: f64,
+    /// Charger-side fault injection: breakdowns, travel jitter and
+    /// charge-rate degradation. The default is fully inert and leaves
+    /// fault-free runs bit-identical (no random values are drawn).
+    pub fault: FaultModel,
+    /// Run [`validate_schedule`] on every dispatched and recovery plan
+    /// even in release builds (debug builds always validate). A plan
+    /// that fails validation surfaces as [`PlanError::Rejected`].
+    pub validate_schedules: bool,
 }
 
 impl SimConfig {
-    /// Validates the configuration, panicking on inconsistent values.
-    /// Called by both engines' constructors.
-    pub(crate) fn validate(&self) {
-        assert!(self.horizon_s > 0.0, "horizon must be positive");
-        assert!(
-            self.request_fraction > 0.0 && self.request_fraction <= 1.0,
-            "request fraction must be in (0, 1]"
-        );
-        assert!(self.batch_fraction >= 0.0, "batch fraction must be non-negative");
-        assert!(
-            self.params.charge_target_fraction > self.request_fraction,
-            "charge target must exceed the request threshold or sensors re-request instantly"
-        );
-        assert!(self.failure_rate_per_year >= 0.0, "failure rate must be non-negative");
-        assert!(self.charger_turnaround_s >= 0.0, "turnaround must be non-negative");
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimConfigError`] found; `Ok(())` when every
+    /// parameter is in range.
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        if self.horizon_s.is_nan() || self.horizon_s <= 0.0 {
+            return Err(SimConfigError::NonPositiveHorizon);
+        }
+        if self.request_fraction.is_nan()
+            || self.request_fraction <= 0.0
+            || self.request_fraction > 1.0
+        {
+            return Err(SimConfigError::RequestFractionOutOfRange);
+        }
+        if self.batch_fraction.is_nan() || self.batch_fraction < 0.0 {
+            return Err(SimConfigError::NegativeBatchFraction);
+        }
+        if self.params.charge_target_fraction.is_nan()
+            || self.params.charge_target_fraction <= self.request_fraction
+        {
+            return Err(SimConfigError::ChargeTargetNotAboveThreshold);
+        }
+        if self.failure_rate_per_year.is_nan() || self.failure_rate_per_year < 0.0 {
+            return Err(SimConfigError::NegativeFailureRate);
+        }
+        if self.charger_turnaround_s.is_nan() || self.charger_turnaround_s < 0.0 {
+            return Err(SimConfigError::NegativeTurnaround);
+        }
+        self.fault.validate().map_err(SimConfigError::InvalidFaultModel)
+    }
+
+    /// [`SimConfig::validate`], panicking with the error's message on an
+    /// inconsistent configuration — for contexts (examples, quick
+    /// scripts) that want infallible construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics iff `validate()` returns an error.
+    pub fn validate_or_panic(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -68,9 +163,149 @@ impl Default for SimConfig {
             min_batch: 1,
             params: ChargingParams::default(),
             collect_trace: false,
+            trace_capacity: 0,
             failure_rate_per_year: 0.0,
             failure_seed: 0,
             charger_turnaround_s: 0.0,
+            fault: FaultModel::default(),
+            validate_schedules: false,
+        }
+    }
+}
+
+/// Records deaths occurring while `sensors[..]` advance by `dt` from
+/// time `now` into `buf` (timestamps may interleave across sensors; the
+/// caller sorts the buffer before appending to the trace).
+fn note_deaths(
+    sensors: &[Sensor],
+    now: f64,
+    dt: f64,
+    dead_since: &mut [Option<f64>],
+    buf: &mut Vec<TraceEvent>,
+) {
+    for s in sensors {
+        let i = s.id.index();
+        if dead_since[i].is_none() && s.consumption_w > 0.0 && s.residual_j > 0.0 {
+            let life = s.residual_j / s.consumption_w;
+            if life < dt {
+                dead_since[i] = Some(now + life);
+                buf.push(TraceEvent::SensorDied { at_s: now + life, sensor: s.id });
+            }
+        }
+    }
+}
+
+/// Advances every sensor across a round of real length `round_len`
+/// starting at `start_s`: sensors with a completion instant are topped
+/// up there, everyone drains throughout, dead time is accounted.
+#[allow(clippy::too_many_arguments)]
+fn advance_round(
+    net: &mut Network,
+    start_s: f64,
+    round_len: f64,
+    completion_at: &[Option<f64>],
+    target_frac: f64,
+    dead: &mut [f64],
+    dead_since: &mut [Option<f64>],
+    tracing: bool,
+    buf: &mut Vec<TraceEvent>,
+) {
+    for (i, s) in net.sensors_mut().iter_mut().enumerate() {
+        match completion_at[i] {
+            Some(c) => {
+                let c = c.min(round_len);
+                if tracing {
+                    note_deaths(std::slice::from_ref(s), start_s, c, dead_since, buf);
+                }
+                drain_with_dead_accounting(
+                    std::slice::from_mut(s),
+                    c,
+                    std::slice::from_mut(&mut dead[i]),
+                );
+                s.recharge_to(target_frac);
+                if tracing {
+                    let ended = dead_since[i].map_or(0.0, |d| start_s + c - d);
+                    dead_since[i] = None;
+                    buf.push(TraceEvent::SensorRecharged {
+                        at_s: start_s + c,
+                        sensor: s.id,
+                        ended_dead_s: ended,
+                    });
+                    note_deaths(
+                        std::slice::from_ref(s),
+                        start_s + c,
+                        round_len - c,
+                        dead_since,
+                        buf,
+                    );
+                }
+                drain_with_dead_accounting(
+                    std::slice::from_mut(s),
+                    round_len - c,
+                    std::slice::from_mut(&mut dead[i]),
+                );
+            }
+            None => {
+                if tracing {
+                    note_deaths(std::slice::from_ref(s), start_s, round_len, dead_since, buf);
+                }
+                drain_with_dead_accounting(
+                    std::slice::from_mut(s),
+                    round_len,
+                    std::slice::from_mut(&mut dead[i]),
+                );
+            }
+        }
+    }
+}
+
+/// Truncates `tour` at schedule-time `cutoff_s`: sojourns finishing by
+/// the cutoff are kept, one straddling it is clipped, the rest are
+/// dropped, and the charger "returns" (is towed) at the cutoff.
+fn truncate_tour(tour: &mut ChargerTour, cutoff_s: f64) {
+    let mut kept = Vec::new();
+    for s in tour.sojourns.drain(..) {
+        if s.finish_s() <= cutoff_s {
+            kept.push(s);
+        } else if s.start_s < cutoff_s {
+            let mut clipped = s;
+            clipped.duration_s = cutoff_s - s.start_s;
+            kept.push(clipped);
+            break;
+        } else {
+            break;
+        }
+    }
+    tour.sojourns = kept;
+    tour.return_time_s = cutoff_s;
+}
+
+/// Consumes charger operating life for one dispatched round and
+/// truncates the tours of chargers that break down mid-tour.
+///
+/// `avail[j]` is the fleet index driving `exec.tours[j]`; `factor`
+/// scales schedule time to real time. Breakdowns are appended to
+/// `events` as `(charger, absolute fail time)`.
+fn apply_breakdowns(
+    fs: &mut FaultState,
+    avail: &[usize],
+    exec: &mut Schedule,
+    factor: f64,
+    dispatch_s: f64,
+    events: &mut Vec<(usize, f64)>,
+) {
+    for (j, &c) in avail.iter().enumerate() {
+        let busy_real = exec.tours[j].return_time_s * factor;
+        if busy_real <= 0.0 {
+            continue;
+        }
+        if fs.life_left[c] < busy_real {
+            let life = fs.life_left[c];
+            truncate_tour(&mut exec.tours[j], life / factor);
+            fs.breakdown(c, dispatch_s + life);
+            events.push((c, dispatch_s + life));
+        } else {
+            fs.life_left[c] -= busy_real;
         }
     }
 }
@@ -89,13 +324,14 @@ pub struct Simulation {
 impl Simulation {
     /// Creates a simulation over `net` with the given config.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the horizon is non-positive, the request fraction is
-    /// outside `(0, 1]`, or the batch fraction is negative.
-    pub fn new(net: Network, config: SimConfig) -> Self {
-        config.validate();
-        Simulation { net, config }
+    /// Returns [`SimConfigError`] if the horizon is non-positive, the
+    /// request fraction is outside `(0, 1]`, the batch fraction is
+    /// negative, or the fault model is out of range.
+    pub fn new(net: Network, config: SimConfig) -> Result<Self, SimConfigError> {
+        config.validate()?;
+        Ok(Simulation { net, config })
     }
 
     /// The dispatch batch size for this network.
@@ -107,10 +343,21 @@ impl Simulation {
 
     /// Runs the simulation to the horizon using `planner` and `k` MCVs.
     ///
+    /// With an active [`SimConfig::fault`] model, chargers can break
+    /// down mid-tour: the unfinished sojourns are stranded, the failed
+    /// charger enters repair, and the stranded plus any newly-pending
+    /// sensors are immediately re-planned onto the surviving chargers
+    /// through a bounded fallback chain (`planner` → K-EDF →
+    /// [`wrsn_core::GreedyTour`]) that cannot panic. Sensors still
+    /// unserved after recovery defer to the next round; the report's
+    /// [`SimReport::service_reconciles`] ties the ledger together.
+    ///
     /// # Errors
     ///
-    /// Propagates [`PlanError`] from the planner (problem construction
-    /// cannot fail: the simulator always passes valid ids and `k ≥ 1`).
+    /// Propagates [`PlanError`] from the planner, including
+    /// [`PlanError::Rejected`] when schedule validation is on
+    /// (debug builds, or [`SimConfig::validate_schedules`]) and a plan
+    /// breaks a replay invariant.
     ///
     /// # Panics
     ///
@@ -123,7 +370,17 @@ impl Simulation {
         let mut dead = vec![0.0f64; n];
         let mut rounds = Vec::new();
         let tracing = self.config.collect_trace;
-        let mut trace = crate::Trace::default();
+        let mut trace = Trace::with_capacity_limit(self.config.trace_capacity);
+        let validate_plans = cfg!(debug_assertions) || self.config.validate_schedules;
+        // Fault layer: `None` when the model is inert — that path draws
+        // zero random values and is bit-identical to the pre-fault engine.
+        let mut fault = FaultState::new(&self.config.fault, k);
+        let kedf = wrsn_baselines::KEdf::new(PlannerConfig::default());
+        let mut charger_failures = 0usize;
+        let mut recovery_rounds = 0usize;
+        let mut charged_sensors = 0usize;
+        let mut recovered_sensors = 0usize;
+        let mut deferred_sensors = 0usize;
         // Failure injection: pre-draw each sensor's permanent failure
         // time from an exponential with the configured yearly rate.
         let mut fail_at: Vec<f64> = vec![f64::INFINITY; n];
@@ -142,7 +399,7 @@ impl Simulation {
         // Applies any failures due by time `now`: the sensor stops
         // consuming and is forgotten by the request logic.
         let apply_failures =
-            |net: &mut wrsn_net::Network, now: f64, fail_at: &mut [f64], count: &mut usize| {
+            |net: &mut Network, now: f64, fail_at: &mut [f64], count: &mut usize| {
                 for (i, f) in fail_at.iter_mut().enumerate() {
                     if *f <= now {
                         net.sensors_mut()[i].consumption_w = 0.0;
@@ -154,137 +411,259 @@ impl Simulation {
             };
         // When tracing: the time each currently-dead sensor died.
         let mut dead_since: Vec<Option<f64>> = vec![None; n];
-        // Records deaths occurring while `sensors[..]` advances by `dt`
-        // from time `now` into `buf` (timestamps may interleave across
-        // sensors; the caller sorts the buffer before appending).
-        let note_deaths = |sensors: &[wrsn_net::Sensor],
-                           now: f64,
-                           dt: f64,
-                           dead_since: &mut [Option<f64>],
-                           buf: &mut Vec<crate::TraceEvent>| {
-            for s in sensors {
-                let i = s.id.index();
-                if dead_since[i].is_none() && s.consumption_w > 0.0 && s.residual_j > 0.0 {
-                    let life = s.residual_j / s.consumption_w;
-                    if life < dt {
-                        dead_since[i] = Some(now + life);
-                        buf.push(crate::TraceEvent::SensorDied { at_s: now + life, sensor: s.id });
-                    }
-                }
-            }
-        };
 
         while t < self.config.horizon_s {
             apply_failures(&mut self.net, t, &mut fail_at, &mut failed_sensors);
             let pending = self.net.requesting_sensors(self.config.request_fraction);
             if pending.len() >= batch.min(n.max(1)) && !pending.is_empty() {
-                // Dispatch a round on the current state.
-                let problem =
-                    ChargingProblem::from_network_with(&self.net, &pending, k, self.config.params)
-                        .expect("simulator always builds valid problems");
+                let avail: Vec<usize> = match fault.as_ref() {
+                    Some(fs) => fs.available(t),
+                    None => (0..k).collect(),
+                };
+                if avail.is_empty() {
+                    // The whole fleet is in repair: requests must wait
+                    // for the earliest charger to return to service.
+                    let next = fault
+                        .as_ref()
+                        .and_then(|fs| fs.next_available_at(t))
+                        .expect("an empty fleet implies a pending repair");
+                    let dt = (next - t + 1e-9).min(self.config.horizon_s - t);
+                    if dt <= 0.0 {
+                        break;
+                    }
+                    if tracing {
+                        let mut buf = Vec::new();
+                        note_deaths(self.net.sensors(), t, dt, &mut dead_since, &mut buf);
+                        buf.sort_by(|a, b| a.at_s().partial_cmp(&b.at_s()).unwrap());
+                        for e in buf {
+                            trace.push(e);
+                        }
+                    }
+                    drain_with_dead_accounting(self.net.sensors_mut(), dt, &mut dead);
+                    t += dt;
+                    continue;
+                }
+
+                // Dispatch a round on the current state, on whatever
+                // part of the fleet is in service.
+                let problem = ChargingProblem::from_network_with(
+                    &self.net,
+                    &pending,
+                    avail.len(),
+                    self.config.params,
+                )
+                .expect("simulator always builds valid problems");
                 let schedule = planner.plan(&problem)?;
-                let completions = schedule.charge_completion_times(&problem);
-                let round_len = schedule.longest_delay_s();
+                if validate_plans {
+                    validate_schedule(&problem, &schedule).map_err(|violations| {
+                        PlanError::Rejected { planner: planner.name(), violations }
+                    })?;
+                }
+                let factor = match fault.as_mut() {
+                    Some(fs) => fs.round_factor(),
+                    None => 1.0,
+                };
+                let mut exec = schedule.clone();
+                let mut breakdowns: Vec<(usize, f64)> = Vec::new();
+                if let Some(fs) = fault.as_mut() {
+                    apply_breakdowns(fs, &avail, &mut exec, factor, t, &mut breakdowns);
+                }
+                charger_failures += breakdowns.len();
+                let completions = exec.charge_completion_times(&problem);
+                let round_len = exec.longest_delay_s() * factor;
                 let target_frac = self.config.params.charge_target_fraction;
-                let energy: f64 = pending
+
+                let mut completion_at: Vec<Option<f64>> = vec![None; n];
+                for (ti, c) in completions.iter().enumerate() {
+                    completion_at[problem.targets()[ti].id.index()] = c.map(|c| c * factor);
+                }
+                // Energy actually delivered: the deficit of every
+                // pending sensor whose charge completed (stranded
+                // sensors received nothing they could keep).
+                let energy_main: f64 = pending
                     .iter()
+                    .filter(|id| completion_at[id.index()].is_some())
                     .map(|&id| {
                         let s = self.net.sensor(id);
                         (target_frac * s.capacity_j - s.residual_j).max(0.0)
                     })
                     .sum();
 
-                // Advance all sensors across the round; requested sensors
-                // are topped up at their completion instants.
-                let mut completion_at: Vec<Option<f64>> = vec![None; n];
-                for (ti, c) in completions.iter().enumerate() {
-                    completion_at[problem.targets()[ti].id.index()] = *c;
-                }
-                let mut buf: Vec<crate::TraceEvent> = Vec::new();
+                let mut buf: Vec<TraceEvent> = Vec::new();
                 if tracing {
-                    buf.push(crate::TraceEvent::RoundDispatched {
+                    buf.push(TraceEvent::RoundDispatched {
                         at_s: t,
                         round: rounds.len(),
                         requests: pending.len(),
                     });
-                }
-                for (i, s) in self.net.sensors_mut().iter_mut().enumerate() {
-                    match completion_at[i] {
-                        Some(c) => {
-                            let c = c.min(round_len);
-                            if tracing {
-                                note_deaths(
-                                    std::slice::from_ref(s),
-                                    t,
-                                    c,
-                                    &mut dead_since,
-                                    &mut buf,
-                                );
-                            }
-                            drain_with_dead_accounting(
-                                std::slice::from_mut(s),
-                                c,
-                                std::slice::from_mut(&mut dead[i]),
-                            );
-                            s.recharge_to(target_frac);
-                            if tracing {
-                                let ended = dead_since[i].map_or(0.0, |d| t + c - d);
-                                dead_since[i] = None;
-                                buf.push(crate::TraceEvent::SensorRecharged {
-                                    at_s: t + c,
-                                    sensor: s.id,
-                                    ended_dead_s: ended,
-                                });
-                                note_deaths(
-                                    std::slice::from_ref(s),
-                                    t + c,
-                                    round_len - c,
-                                    &mut dead_since,
-                                    &mut buf,
-                                );
-                            }
-                            drain_with_dead_accounting(
-                                std::slice::from_mut(s),
-                                round_len - c,
-                                std::slice::from_mut(&mut dead[i]),
-                            );
-                        }
-                        None => {
-                            if tracing {
-                                note_deaths(
-                                    std::slice::from_ref(s),
-                                    t,
-                                    round_len,
-                                    &mut dead_since,
-                                    &mut buf,
-                                );
-                            }
-                            drain_with_dead_accounting(
-                                std::slice::from_mut(s),
-                                round_len,
-                                std::slice::from_mut(&mut dead[i]),
-                            );
-                        }
+                    for &(c, at) in &breakdowns {
+                        buf.push(TraceEvent::ChargerFailed { at_s: at, charger: c });
                     }
                 }
+                advance_round(
+                    &mut self.net,
+                    t,
+                    round_len,
+                    &completion_at,
+                    target_frac,
+                    &mut dead,
+                    &mut dead_since,
+                    tracing,
+                    &mut buf,
+                );
                 if tracing {
                     buf.sort_by(|a, b| a.at_s().partial_cmp(&b.at_s()).unwrap());
                     for e in buf {
                         trace.push(e);
                     }
-                    trace.push(crate::TraceEvent::RoundCompleted {
-                        at_s: t + round_len,
-                        round: rounds.len(),
-                        longest_delay_s: round_len,
-                    });
                 }
 
+                let mut charged_this = 0usize;
+                let mut stranded: Vec<SensorId> = Vec::new();
+                for &id in &pending {
+                    if completion_at[id.index()].is_some() {
+                        charged_this += 1;
+                    } else {
+                        stranded.push(id);
+                    }
+                }
+
+                let mut request_total = pending.len();
+                let mut recovery_len = 0.0f64;
+                let mut recovered_this = 0usize;
+                let mut energy = energy_main;
+                let mut wait_total = schedule.total_wait_time_s();
+                let mut sojourns_total = schedule.sojourn_count();
+
+                // Mid-round recovery: re-plan the stranded (plus anyone
+                // who crossed the threshold during the round) onto the
+                // surviving chargers, through a chain that cannot panic.
+                if !stranded.is_empty() {
+                    if let Some(fs) = fault.as_mut() {
+                        let t_end = t + round_len;
+                        let avail2 = fs.available(t_end);
+                        if !avail2.is_empty() && t_end < self.config.horizon_s {
+                            let mut in_main = vec![false; n];
+                            for &id in &pending {
+                                in_main[id.index()] = true;
+                            }
+                            let recovery_pending =
+                                self.net.requesting_sensors(self.config.request_fraction);
+                            if !recovery_pending.is_empty() {
+                                let problem2 = ChargingProblem::from_network_with(
+                                    &self.net,
+                                    &recovery_pending,
+                                    avail2.len(),
+                                    self.config.params,
+                                )
+                                .expect("simulator always builds valid problems");
+                                let (schedule2, _via) = plan_with_fallback(
+                                    &problem2,
+                                    planner,
+                                    &[&kedf],
+                                    validate_plans,
+                                )?;
+                                let factor2 = fs.round_factor();
+                                let mut exec2 = schedule2.clone();
+                                let mut breakdowns2: Vec<(usize, f64)> = Vec::new();
+                                apply_breakdowns(
+                                    fs,
+                                    &avail2,
+                                    &mut exec2,
+                                    factor2,
+                                    t_end,
+                                    &mut breakdowns2,
+                                );
+                                charger_failures += breakdowns2.len();
+                                let completions2 = exec2.charge_completion_times(&problem2);
+                                recovery_len = exec2.longest_delay_s() * factor2;
+                                let mut completion_at2: Vec<Option<f64>> = vec![None; n];
+                                for (ti, c) in completions2.iter().enumerate() {
+                                    completion_at2[problem2.targets()[ti].id.index()] =
+                                        c.map(|c| c * factor2);
+                                }
+                                energy += recovery_pending
+                                    .iter()
+                                    .filter(|id| completion_at2[id.index()].is_some())
+                                    .map(|&id| {
+                                        let s = self.net.sensor(id);
+                                        (target_frac * s.capacity_j - s.residual_j).max(0.0)
+                                    })
+                                    .sum::<f64>();
+                                wait_total += schedule2.total_wait_time_s();
+                                sojourns_total += schedule2.sojourn_count();
+                                recovery_rounds += 1;
+                                let mut buf2: Vec<TraceEvent> = Vec::new();
+                                if tracing {
+                                    trace.push(TraceEvent::RecoveryDispatched {
+                                        at_s: t_end,
+                                        stranded: stranded.len(),
+                                        chargers: avail2.len(),
+                                    });
+                                    for &(c, at) in &breakdowns2 {
+                                        buf2.push(TraceEvent::ChargerFailed {
+                                            at_s: at,
+                                            charger: c,
+                                        });
+                                    }
+                                }
+                                advance_round(
+                                    &mut self.net,
+                                    t_end,
+                                    recovery_len,
+                                    &completion_at2,
+                                    target_frac,
+                                    &mut dead,
+                                    &mut dead_since,
+                                    tracing,
+                                    &mut buf2,
+                                );
+                                if tracing {
+                                    buf2.sort_by(|a, b| {
+                                        a.at_s().partial_cmp(&b.at_s()).unwrap()
+                                    });
+                                    for e in buf2 {
+                                        trace.push(e);
+                                    }
+                                }
+                                // Ledger: recovery newcomers extend the
+                                // round's request set; a stranded sensor
+                                // completed here counts as recovered.
+                                for &id in &recovery_pending {
+                                    if !in_main[id.index()] {
+                                        request_total += 1;
+                                        if completion_at2[id.index()].is_some() {
+                                            charged_this += 1;
+                                        }
+                                    }
+                                }
+                                for &id in &stranded {
+                                    if completion_at2[id.index()].is_some() {
+                                        recovered_this += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                charged_sensors += charged_this;
+                recovered_sensors += recovered_this;
+                deferred_sensors += request_total - charged_this - recovered_this;
+
+                let total_len = round_len + recovery_len;
+                if tracing {
+                    trace.push(TraceEvent::RoundCompleted {
+                        at_s: t + total_len,
+                        round: rounds.len(),
+                        longest_delay_s: total_len,
+                    });
+                }
                 rounds.push(RoundStats {
                     dispatch_time_s: t,
-                    request_count: pending.len(),
-                    longest_delay_s: round_len,
-                    total_wait_s: schedule.total_wait_time_s(),
-                    sojourn_count: schedule.sojourn_count(),
+                    request_count: request_total,
+                    longest_delay_s: total_len,
+                    total_wait_s: wait_total,
+                    sojourn_count: sojourns_total,
                     energy_delivered_j: energy,
                 });
                 // Chargers replenish themselves before the next dispatch.
@@ -292,7 +671,7 @@ impl Simulation {
                 if turnaround > 0.0 {
                     drain_with_dead_accounting(self.net.sensors_mut(), turnaround, &mut dead);
                 }
-                t += round_len.max(1.0) + turnaround;
+                t += total_len.max(1.0) + turnaround;
                 continue;
             }
 
@@ -334,6 +713,11 @@ impl Simulation {
             horizon_s: self.config.horizon_s,
             trace,
             failed_sensors,
+            charger_failures,
+            recovery_rounds,
+            charged_sensors,
+            recovered_sensors,
+            deferred_sensors,
         })
     }
 
@@ -395,6 +779,7 @@ mod tests {
         let mut cfg = SimConfig::default();
         cfg.horizon_s = month();
         let report = Simulation::new(net, cfg)
+            .unwrap()
             .run(&Appro::new(PlannerConfig::default()), 2)
             .unwrap();
         assert!(report.rounds_dispatched() >= 1, "a month must trigger rounds");
@@ -402,6 +787,10 @@ mod tests {
             assert!(r.request_count >= 1);
             assert!(r.longest_delay_s > 0.0);
         }
+        assert!(report.service_reconciles());
+        assert_eq!(report.charger_failures, 0);
+        assert_eq!(report.recovery_rounds, 0);
+        assert_eq!(report.recovered_sensors, 0);
     }
 
     #[test]
@@ -413,6 +802,7 @@ mod tests {
         cfg.horizon_s = month();
         cfg.batch_fraction = 0.0;
         let report = Simulation::new(net, cfg)
+            .unwrap()
             .run(&Appro::new(PlannerConfig::default()), 3)
             .unwrap();
         assert_eq!(report.total_dead_time_s(), 0.0);
@@ -425,6 +815,7 @@ mod tests {
         let mut cfg = SimConfig::default();
         cfg.horizon_s = month();
         let report = Simulation::new(net, cfg)
+            .unwrap()
             .run(&Appro::new(PlannerConfig::default()), 1)
             .unwrap();
         for &d in &report.dead_time_s {
@@ -438,6 +829,7 @@ mod tests {
         let mut cfg = SimConfig::default();
         cfg.horizon_s = month();
         let report = Simulation::new(net, cfg)
+            .unwrap()
             .run(&Appro::new(PlannerConfig::default()), 2)
             .unwrap();
         // Energy delivered is positive and bounded by what the batteries
@@ -464,7 +856,7 @@ mod tests {
         let mut cfg = SimConfig::default();
         cfg.batch_fraction = 0.0;
         cfg.min_batch = 4;
-        assert_eq!(Simulation::new(net, cfg).batch_size(), 4);
+        assert_eq!(Simulation::new(net, cfg).unwrap().batch_size(), 4);
     }
 
     #[test]
@@ -474,26 +866,26 @@ mod tests {
         cfg.horizon_s = month();
         cfg.collect_trace = true;
         let report = Simulation::new(net, cfg)
+            .unwrap()
             .run(&Appro::new(PlannerConfig::default()), 2)
             .unwrap();
         assert!(!report.trace.is_empty());
         // One dispatched + one completed event per round.
         let dispatched = report
             .trace
-            .events
             .iter()
-            .filter(|e| matches!(e, crate::TraceEvent::RoundDispatched { .. }))
+            .filter(|e| matches!(e, TraceEvent::RoundDispatched { .. }))
             .count();
         let completed = report
             .trace
-            .events
             .iter()
-            .filter(|e| matches!(e, crate::TraceEvent::RoundCompleted { .. }))
+            .filter(|e| matches!(e, TraceEvent::RoundCompleted { .. }))
             .count();
         assert_eq!(dispatched, report.rounds_dispatched());
         assert_eq!(completed, report.rounds_dispatched());
         // Chronological order.
-        for w in report.trace.events.windows(2) {
+        let events: Vec<TraceEvent> = report.trace.iter().copied().collect();
+        for w in events.windows(2) {
             assert!(w[0].at_s() <= w[1].at_s() + 1e-6);
         }
         // Deaths in the trace are consistent with dead-time accounting.
@@ -508,9 +900,25 @@ mod tests {
         let mut cfg = SimConfig::default();
         cfg.horizon_s = month();
         let report = Simulation::new(net, cfg)
+            .unwrap()
             .run(&Appro::new(PlannerConfig::default()), 2)
             .unwrap();
         assert!(report.trace.is_empty());
+    }
+
+    #[test]
+    fn trace_capacity_caps_memory() {
+        let net = NetworkBuilder::new(60).seed(8).build();
+        let mut cfg = SimConfig::default();
+        cfg.horizon_s = month();
+        cfg.collect_trace = true;
+        cfg.trace_capacity = 16;
+        let report = Simulation::new(net, cfg)
+            .unwrap()
+            .run(&Appro::new(PlannerConfig::default()), 2)
+            .unwrap();
+        assert!(report.trace.len() <= 16);
+        assert!(report.trace.dropped() > 0, "a month of events must overflow 16 slots");
     }
 
     #[test]
@@ -523,18 +931,16 @@ mod tests {
         cfg.horizon_s = 120.0 * 24.0 * 3600.0;
         cfg.collect_trace = true;
         let report = Simulation::new(net, cfg)
+            .unwrap()
             .run(&Appro::new(PlannerConfig::default()), 1)
             .unwrap();
         if report.total_dead_time_s() > 0.0 {
             assert!(report.trace.deaths() > 0);
             let ended: f64 = report
                 .trace
-                .events
                 .iter()
                 .filter_map(|e| match e {
-                    crate::TraceEvent::SensorRecharged { ended_dead_s, .. } => {
-                        Some(*ended_dead_s)
-                    }
+                    TraceEvent::SensorRecharged { ended_dead_s, .. } => Some(*ended_dead_s),
                     _ => None,
                 })
                 .sum();
@@ -552,6 +958,7 @@ mod tests {
             cfg.horizon_s = 120.0 * 24.0 * 3600.0;
             cfg.charger_turnaround_s = turnaround;
             Simulation::new(net, cfg)
+                .unwrap()
                 .run(&Appro::new(PlannerConfig::default()), 2)
                 .unwrap()
         };
@@ -573,6 +980,7 @@ mod tests {
         cfg.horizon_s = 120.0 * 24.0 * 3600.0;
         cfg.failure_rate_per_year = 2.0; // aggressive: ~50% fail in 120 days
         let report = Simulation::new(net, cfg)
+            .unwrap()
             .run(&Appro::new(PlannerConfig::default()), 2)
             .unwrap();
         assert!(
@@ -592,6 +1000,7 @@ mod tests {
             cfg.failure_rate_per_year = 1.0;
             cfg.failure_seed = seed;
             Simulation::new(net, cfg)
+                .unwrap()
                 .run(&Appro::new(PlannerConfig::default()), 2)
                 .unwrap()
                 .failed_sensors
@@ -605,18 +1014,50 @@ mod tests {
         let mut cfg = SimConfig::default();
         cfg.horizon_s = 60.0 * 24.0 * 3600.0;
         let report = Simulation::new(net, cfg)
+            .unwrap()
             .run(&Appro::new(PlannerConfig::default()), 2)
             .unwrap();
         assert_eq!(report.failed_sensors, 0);
     }
 
     #[test]
-    #[should_panic(expected = "horizon")]
-    fn zero_horizon_panics() {
+    fn zero_horizon_is_rejected() {
         let net = NetworkBuilder::new(5).build();
         let mut cfg = SimConfig::default();
         cfg.horizon_s = 0.0;
-        let _ = Simulation::new(net, cfg);
+        assert_eq!(
+            Simulation::new(net, cfg).err(),
+            Some(SimConfigError::NonPositiveHorizon)
+        );
+    }
+
+    #[test]
+    fn invalid_fault_model_is_rejected() {
+        let net = NetworkBuilder::new(5).build();
+        let mut cfg = SimConfig::default();
+        cfg.fault.travel_jitter = 1.5;
+        assert!(matches!(
+            Simulation::new(net, cfg).err(),
+            Some(SimConfigError::InvalidFaultModel(_))
+        ));
+    }
+
+    #[test]
+    fn config_errors_display_and_panic_shim() {
+        let mut cfg = SimConfig::default();
+        cfg.request_fraction = 0.0;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("request fraction"));
+        let ok = SimConfig::default();
+        ok.validate_or_panic(); // must not panic on a valid config
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn validate_or_panic_panics_on_bad_config() {
+        let mut cfg = SimConfig::default();
+        cfg.horizon_s = -1.0;
+        cfg.validate_or_panic();
     }
 
     #[test]
@@ -624,6 +1065,146 @@ mod tests {
     fn zero_chargers_panics() {
         let net = NetworkBuilder::new(5).build();
         let _ = Simulation::new(net, SimConfig::default())
+            .unwrap()
             .run(&Appro::new(PlannerConfig::default()), 0);
+    }
+
+    #[test]
+    fn inert_fault_model_is_bit_identical() {
+        let run = |fault: FaultModel| {
+            let net = NetworkBuilder::new(80).seed(1).build();
+            let mut cfg = SimConfig::default();
+            cfg.horizon_s = month();
+            cfg.fault = fault;
+            Simulation::new(net, cfg)
+                .unwrap()
+                .run(&Appro::new(PlannerConfig::default()), 2)
+                .unwrap()
+        };
+        // A non-default seed on an otherwise inert model must not change
+        // anything: inactive models draw zero random values.
+        let mut seeded = FaultModel::default();
+        seeded.seed = 999;
+        assert_eq!(run(FaultModel::default()), run(seeded));
+    }
+
+    #[test]
+    fn year_with_breakdowns_completes_and_recovers() {
+        // The issue's acceptance scenario: charger MTBF a quarter of the
+        // horizon, K = 3, a year-long run. Must complete without
+        // panicking, report breakdowns with matching recoveries, pass
+        // schedule validation on every plan, and keep the ledger exact.
+        let net = NetworkBuilder::new(300).seed(1).build();
+        let mut cfg = SimConfig::default();
+        cfg.validate_schedules = true;
+        cfg.fault.charger_mtbf_s = 0.25 * cfg.horizon_s;
+        cfg.fault.charger_repair_s = 24.0 * 3600.0;
+        cfg.fault.seed = 7;
+        let report = Simulation::new(net, cfg)
+            .unwrap()
+            .run(&Appro::new(PlannerConfig::default()), 3)
+            .unwrap();
+        assert!(
+            report.charger_failures >= 1,
+            "a year at quarter-horizon MTBF must break something"
+        );
+        assert!(
+            report.recovery_rounds >= 1,
+            "breakdowns strand sensors, so recovery must have dispatched"
+        );
+        assert!(report.recovered_sensors >= 1);
+        assert!(report.service_reconciles(), "service ledger must balance exactly");
+    }
+
+    #[test]
+    fn breakdown_trace_pairs_failures_with_recoveries() {
+        let net = NetworkBuilder::new(300).seed(1).build();
+        let mut cfg = SimConfig::default();
+        cfg.horizon_s = 180.0 * 24.0 * 3600.0;
+        cfg.collect_trace = true;
+        cfg.fault.charger_mtbf_s = 0.1 * cfg.horizon_s;
+        cfg.fault.charger_repair_s = 48.0 * 3600.0;
+        cfg.fault.seed = 3;
+        let report = Simulation::new(net, cfg)
+            .unwrap()
+            .run(&Appro::new(PlannerConfig::default()), 3)
+            .unwrap();
+        assert_eq!(report.trace.charger_failures(), report.charger_failures);
+        assert_eq!(report.trace.recoveries(), report.recovery_rounds);
+        assert!(report.charger_failures >= 1);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let run = || {
+            let net = NetworkBuilder::new(150).seed(4).build();
+            let mut cfg = SimConfig::default();
+            cfg.horizon_s = 90.0 * 24.0 * 3600.0;
+            cfg.fault.charger_mtbf_s = 0.2 * cfg.horizon_s;
+            cfg.fault.charger_repair_s = 12.0 * 3600.0;
+            cfg.fault.travel_jitter = 0.2;
+            cfg.fault.degrade_prob = 0.1;
+            cfg.fault.degrade_factor = 1.5;
+            cfg.fault.seed = 11;
+            Simulation::new(net, cfg)
+                .unwrap()
+                .run(&Appro::new(PlannerConfig::default()), 2)
+                .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn jitter_changes_round_lengths_but_keeps_ledger() {
+        let run = |jitter: f64| {
+            let net = NetworkBuilder::new(100).seed(6).build();
+            let mut cfg = SimConfig::default();
+            cfg.horizon_s = month();
+            cfg.fault.travel_jitter = jitter;
+            cfg.fault.seed = 5;
+            Simulation::new(net, cfg)
+                .unwrap()
+                .run(&Appro::new(PlannerConfig::default()), 2)
+                .unwrap()
+        };
+        let calm = run(0.0);
+        let rough = run(0.4);
+        assert!(calm.service_reconciles() && rough.service_reconciles());
+        // Same network, same planner: jitter must have perturbed at
+        // least one round's length.
+        let calm_delays: Vec<f64> = calm.rounds.iter().map(|r| r.longest_delay_s).collect();
+        let rough_delays: Vec<f64> =
+            rough.rounds.iter().map(|r| r.longest_delay_s).collect();
+        assert_ne!(calm_delays, rough_delays);
+    }
+
+    #[test]
+    fn truncate_tour_clips_and_drops() {
+        use wrsn_core::Sojourn;
+        let mut tour = ChargerTour {
+            sojourns: vec![
+                Sojourn { target: 0, arrival_s: 10.0, start_s: 10.0, duration_s: 20.0 },
+                Sojourn { target: 1, arrival_s: 40.0, start_s: 40.0, duration_s: 20.0 },
+                Sojourn { target: 2, arrival_s: 70.0, start_s: 70.0, duration_s: 20.0 },
+            ],
+            return_time_s: 100.0,
+        };
+        truncate_tour(&mut tour, 50.0);
+        assert_eq!(tour.sojourns.len(), 2);
+        assert_eq!(tour.sojourns[1].duration_s, 10.0); // clipped at 50
+        assert_eq!(tour.return_time_s, 50.0);
+
+        let mut early = ChargerTour {
+            sojourns: vec![Sojourn {
+                target: 0,
+                arrival_s: 10.0,
+                start_s: 10.0,
+                duration_s: 20.0,
+            }],
+            return_time_s: 40.0,
+        };
+        truncate_tour(&mut early, 5.0); // fails before the first arrival
+        assert!(early.sojourns.is_empty());
+        assert_eq!(early.return_time_s, 5.0);
     }
 }

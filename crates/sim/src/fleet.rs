@@ -13,7 +13,7 @@
 use wrsn_core::{PlanError, Planner};
 use wrsn_net::Network;
 
-use crate::{SimConfig, Simulation};
+use crate::{SimConfig, SimConfigError, Simulation};
 
 /// Result of a fleet-size search.
 #[derive(Clone, Debug, PartialEq)]
@@ -25,6 +25,45 @@ pub struct FleetSizing {
     pub dead_time_per_k: Vec<f64>,
 }
 
+/// Why a fleet-size search could not run (or aborted).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FleetError {
+    /// `max_k` was 0 — the search space is empty.
+    ZeroChargerCap,
+    /// `dead_tolerance_s` was negative (or NaN) — no dead-time average
+    /// can ever satisfy it.
+    NegativeTolerance,
+    /// The simulation configuration is inconsistent.
+    Config(SimConfigError),
+    /// A simulated planner failed mid-search.
+    Plan(PlanError),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::ZeroChargerCap => write!(f, "need a positive charger cap"),
+            FleetError::NegativeTolerance => write!(f, "tolerance must be non-negative"),
+            FleetError::Config(e) => write!(f, "invalid simulation config: {e}"),
+            FleetError::Plan(e) => write!(f, "planner failed during fleet sizing: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<SimConfigError> for FleetError {
+    fn from(e: SimConfigError) -> Self {
+        FleetError::Config(e)
+    }
+}
+
+impl From<PlanError> for FleetError {
+    fn from(e: PlanError) -> Self {
+        FleetError::Plan(e)
+    }
+}
+
 /// Finds the minimum `K ≤ max_k` whose simulated average dead duration
 /// per sensor is at most `dead_tolerance_s`.
 ///
@@ -34,11 +73,10 @@ pub struct FleetSizing {
 ///
 /// # Errors
 ///
-/// Propagates planner failures.
-///
-/// # Panics
-///
-/// Panics if `max_k == 0` or the tolerance is negative.
+/// Returns [`FleetError::ZeroChargerCap`] when `max_k == 0`,
+/// [`FleetError::NegativeTolerance`] for a negative (or NaN) tolerance,
+/// and wraps configuration and planner failures — this function never
+/// panics on bad inputs.
 ///
 /// # Example
 ///
@@ -58,7 +96,7 @@ pub struct FleetSizing {
 ///     60.0, // tolerate up to a minute of dead time per sensor
 /// )?;
 /// assert_eq!(sizing.min_chargers, Some(1)); // a light load needs one MCV
-/// # Ok::<(), wrsn_core::PlanError>(())
+/// # Ok::<(), wrsn_sim::fleet::FleetError>(())
 /// ```
 pub fn minimum_chargers(
     net: &Network,
@@ -66,14 +104,18 @@ pub fn minimum_chargers(
     config: &SimConfig,
     max_k: usize,
     dead_tolerance_s: f64,
-) -> Result<FleetSizing, PlanError> {
-    assert!(max_k >= 1, "need a positive charger cap");
-    assert!(dead_tolerance_s >= 0.0, "tolerance must be non-negative");
+) -> Result<FleetSizing, FleetError> {
+    if max_k == 0 {
+        return Err(FleetError::ZeroChargerCap);
+    }
+    if dead_tolerance_s.is_nan() || dead_tolerance_s < 0.0 {
+        return Err(FleetError::NegativeTolerance);
+    }
 
     let mut dead_time_per_k = Vec::new();
     let mut min_chargers = None;
     for k in 1..=max_k {
-        let report = Simulation::new(net.clone(), *config).run(planner, k)?;
+        let report = Simulation::new(net.clone(), *config)?.run(planner, k)?;
         let dead = report.avg_dead_time_s();
         dead_time_per_k.push(dead);
         if dead <= dead_tolerance_s {
@@ -148,15 +190,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive charger cap")]
-    fn zero_cap_panics() {
+    fn zero_cap_is_an_error_not_a_panic() {
         let net = NetworkBuilder::new(5).build();
-        let _ = minimum_chargers(
+        let err = minimum_chargers(
             &net,
             &Appro::new(PlannerConfig::default()),
             &SimConfig::default(),
             0,
             0.0,
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, FleetError::ZeroChargerCap);
+        assert!(err.to_string().contains("charger cap"));
+    }
+
+    #[test]
+    fn negative_tolerance_is_an_error_not_a_panic() {
+        let net = NetworkBuilder::new(5).build();
+        let err = minimum_chargers(
+            &net,
+            &Appro::new(PlannerConfig::default()),
+            &SimConfig::default(),
+            2,
+            -1.0,
+        )
+        .unwrap_err();
+        assert_eq!(err, FleetError::NegativeTolerance);
+    }
+
+    #[test]
+    fn bad_config_is_wrapped() {
+        let net = NetworkBuilder::new(5).build();
+        let mut bad = SimConfig::default();
+        bad.horizon_s = -1.0;
+        let err = minimum_chargers(
+            &net,
+            &Appro::new(PlannerConfig::default()),
+            &bad,
+            2,
+            0.0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FleetError::Config(_)));
     }
 }

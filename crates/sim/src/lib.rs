@@ -31,20 +31,22 @@
 //! let net = NetworkBuilder::new(100).seed(5).build();
 //! let mut config = SimConfig::default();
 //! config.horizon_s = 30.0 * 24.0 * 3600.0; // one month, for the example
-//! let report = Simulation::new(net, config)
-//!     .run(&Appro::new(PlannerConfig::default()), 2)
-//!     .unwrap();
+//! let report = Simulation::new(net, config)?
+//!     .run(&Appro::new(PlannerConfig::default()), 2)?;
 //! assert!(report.rounds_dispatched() >= 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 mod async_engine;
 mod engine;
+mod fault;
 pub mod fleet;
 mod report;
 pub mod trace;
 
 pub use async_engine::AsyncSimulation;
-pub use engine::{SimConfig, Simulation};
+pub use engine::{SimConfig, SimConfigError, Simulation};
+pub use fault::FaultModel;
 pub use report::{RoundStats, SimReport};
 pub use trace::{Trace, TraceEvent};
 

@@ -1,12 +1,13 @@
 //! Simulation outputs: per-round statistics and the aggregate report.
 
 /// Statistics of one charging round (one dispatch of the `K` MCVs).
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Debug, PartialEq)]
 pub struct RoundStats {
     /// Simulation time of the dispatch, seconds.
     pub dispatch_time_s: f64,
-    /// Number of sensors in the round's request set `V_s`.
+    /// Number of sensors in the round's request set `V_s`; if a charger
+    /// breakdown triggered a recovery re-plan, sensors that first
+    /// appeared in the recovery request set are counted here too.
     pub request_count: usize,
     /// Longest per-charger delay of the round's schedule, seconds — the
     /// paper's objective.
@@ -20,7 +21,6 @@ pub struct RoundStats {
 }
 
 /// Aggregate outcome of a monitoring-period simulation.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct SimReport {
     /// Every charging round, in dispatch order.
@@ -35,6 +35,21 @@ pub struct SimReport {
     /// Sensors permanently lost to injected hardware failures
     /// ([`SimConfig::failure_rate_per_year`](crate::SimConfig)).
     pub failed_sensors: usize,
+    /// Mid-tour charger breakdowns over the horizon
+    /// ([`FaultModel::charger_mtbf_s`](crate::FaultModel)).
+    pub charger_failures: usize,
+    /// Recovery re-plans dispatched after breakdowns stranded sensors.
+    pub recovery_rounds: usize,
+    /// Service requests completed by their own round (main dispatch, or
+    /// a recovery round they first appeared in).
+    pub charged_sensors: usize,
+    /// Service requests stranded by a breakdown and then completed by
+    /// that round's recovery re-plan.
+    pub recovered_sensors: usize,
+    /// Service requests left unserved by their round (stranded with no
+    /// surviving charger, or stranded again during recovery); they
+    /// re-request and are counted again in a later round.
+    pub deferred_sensors: usize,
 }
 
 impl SimReport {
@@ -87,6 +102,15 @@ impl SimReport {
         self.energy_delivered_j() / (k as f64 * eta_w * self.horizon_s)
     }
 
+    /// Checks the service ledger: every request counted in
+    /// [`RoundStats::request_count`] must be exactly one of charged,
+    /// recovered, or deferred. Holds for every run, faulted or not —
+    /// breakdowns may delay service but can never lose a sensor.
+    pub fn service_reconciles(&self) -> bool {
+        self.rounds.iter().map(|r| r.request_count).sum::<usize>()
+            == self.charged_sensors + self.recovered_sensors + self.deferred_sensors
+    }
+
     /// Fraction of sensors that were never dead.
     pub fn always_alive_fraction(&self) -> f64 {
         if self.dead_time_s.is_empty() {
@@ -127,8 +151,7 @@ mod tests {
             rounds: vec![round(100.0), round(300.0)],
             dead_time_s: vec![0.0, 60.0, 0.0],
             horizon_s: 1e6,
-            trace: Default::default(),
-            failed_sensors: 0,
+            ..Default::default()
         };
         assert_eq!(r.avg_longest_delay_s(), 200.0);
         assert_eq!(r.avg_dead_time_s(), 20.0);
@@ -138,13 +161,25 @@ mod tests {
     }
 
     #[test]
+    fn ledger_reconciliation() {
+        let mut r = SimReport {
+            rounds: vec![round(1.0), round(1.0)], // 2 requests total
+            charged_sensors: 1,
+            recovered_sensors: 1,
+            ..Default::default()
+        };
+        assert!(r.service_reconciles());
+        r.deferred_sensors = 1;
+        assert!(!r.service_reconciles());
+    }
+
+    #[test]
     fn utilization_is_delivered_over_capacity() {
         let r = SimReport {
             rounds: vec![round(1.0), round(1.0)],
             dead_time_s: vec![0.0],
             horizon_s: 10.0,
-            trace: Default::default(),
-            failed_sensors: 0,
+            ..Default::default()
         };
         // 20 J delivered over 10 s with K=1 at 2 W: 20 / 20 = 1.0.
         assert!((r.charger_utilization(1, 2.0) - 1.0).abs() < 1e-12);

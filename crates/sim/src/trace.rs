@@ -1,16 +1,21 @@
 //! Optional event traces for simulation runs.
 //!
 //! The aggregate [`SimReport`](crate::SimReport) answers "how much dead
-//! time"; a trace answers "what happened when": every dispatch, death
-//! and recharge with its timestamp, in chronological order. Traces are
-//! opt-in ([`SimConfig::collect_trace`](crate::SimConfig)) because a
-//! year-long run on a stressed network generates hundreds of thousands
-//! of events.
+//! time"; a trace answers "what happened when": every dispatch, death,
+//! recharge, charger breakdown and recovery with its timestamp, in
+//! chronological order. Traces are opt-in
+//! ([`SimConfig::collect_trace`](crate::SimConfig)) because a year-long
+//! run on a stressed network generates hundreds of thousands of events;
+//! [`SimConfig::trace_capacity`](crate::SimConfig) additionally caps the
+//! buffer as a ring — the newest events win, and
+//! [`Trace::dropped`] reports how many old ones were evicted — so
+//! fault-heavy traces cannot exhaust memory.
+
+use std::collections::VecDeque;
 
 use wrsn_net::SensorId;
 
 /// One timestamped simulation event.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum TraceEvent {
     /// A charging round was dispatched.
@@ -47,6 +52,24 @@ pub enum TraceEvent {
         /// The round's longest tour delay, seconds.
         longest_delay_s: f64,
     },
+    /// A mobile charger broke down mid-tour
+    /// ([`FaultModel`](crate::FaultModel) breakdown channel); its
+    /// unfinished sojourns are stranded.
+    ChargerFailed {
+        /// Simulation time of the breakdown, seconds.
+        at_s: f64,
+        /// The failed charger's index.
+        charger: usize,
+    },
+    /// Stranded sensors were re-planned onto the surviving fleet.
+    RecoveryDispatched {
+        /// Simulation time of the recovery dispatch, seconds.
+        at_s: f64,
+        /// Number of stranded sensors in the recovery request set.
+        stranded: usize,
+        /// Surviving chargers the recovery plan runs on.
+        chargers: usize,
+    },
 }
 
 impl TraceEvent {
@@ -56,64 +79,100 @@ impl TraceEvent {
             TraceEvent::RoundDispatched { at_s, .. }
             | TraceEvent::SensorDied { at_s, .. }
             | TraceEvent::SensorRecharged { at_s, .. }
-            | TraceEvent::RoundCompleted { at_s, .. } => at_s,
+            | TraceEvent::RoundCompleted { at_s, .. }
+            | TraceEvent::ChargerFailed { at_s, .. }
+            | TraceEvent::RecoveryDispatched { at_s, .. } => at_s,
         }
     }
 }
 
-/// A chronological list of [`TraceEvent`]s with query helpers.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+/// A chronological ring of [`TraceEvent`]s with query helpers.
+///
+/// Unbounded by default; [`Trace::with_capacity_limit`] installs a cap
+/// under which the **oldest** events are evicted first, so the tail of
+/// a long run — usually the part under investigation — is always
+/// retained.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Trace {
-    /// Events in the order they were recorded (non-decreasing time).
-    pub events: Vec<TraceEvent>,
+    events: VecDeque<TraceEvent>,
+    /// Maximum retained events; 0 = unbounded.
+    capacity: usize,
+    /// Events evicted to respect the capacity.
+    dropped: usize,
 }
 
 impl Trace {
-    /// Records an event.
+    /// An empty trace retaining at most `capacity` events
+    /// (0 = unbounded).
+    pub fn with_capacity_limit(capacity: usize) -> Self {
+        Trace { events: VecDeque::new(), capacity, dropped: 0 }
+    }
+
+    /// Records an event, evicting the oldest if the ring is full.
     ///
     /// # Panics
     ///
     /// Debug-panics if `event` is earlier than the last recorded one.
     pub fn push(&mut self, event: TraceEvent) {
         debug_assert!(
-            self.events.last().is_none_or(|l| l.at_s() <= event.at_s() + 1e-6),
+            self.events.back().is_none_or(|l| l.at_s() <= event.at_s() + 1e-6),
             "trace must be chronological"
         );
-        self.events.push(event);
+        if self.capacity > 0 && self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
     }
 
-    /// Number of events.
+    /// Iterates over the retained events in chronological order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
-    /// Returns `true` iff no events were recorded.
+    /// Returns `true` iff no events are retained.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
 
+    /// Events evicted by the ring to honor the capacity limit.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// The configured capacity limit (0 = unbounded).
+    pub fn capacity_limit(&self) -> usize {
+        self.capacity
+    }
+
     /// Count of death events.
     pub fn deaths(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::SensorDied { .. }))
-            .count()
+        self.iter().filter(|e| matches!(e, TraceEvent::SensorDied { .. })).count()
     }
 
     /// Count of recharge events.
     pub fn recharges(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::SensorRecharged { .. }))
-            .count()
+        self.iter().filter(|e| matches!(e, TraceEvent::SensorRecharged { .. })).count()
+    }
+
+    /// Count of charger breakdown events.
+    pub fn charger_failures(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::ChargerFailed { .. })).count()
+    }
+
+    /// Count of recovery dispatches.
+    pub fn recoveries(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::RecoveryDispatched { .. })).count()
     }
 
     /// Events within the half-open time window `[from_s, to_s)`.
     pub fn window(&self, from_s: f64, to_s: f64) -> impl Iterator<Item = &TraceEvent> {
-        self.events
-            .iter()
-            .filter(move |e| e.at_s() >= from_s && e.at_s() < to_s)
+        self.iter().filter(move |e| e.at_s() >= from_s && e.at_s() < to_s)
     }
 }
 
@@ -136,6 +195,7 @@ mod tests {
         assert_eq!(t.len(), 4);
         assert_eq!(t.deaths(), 1);
         assert_eq!(t.recharges(), 1);
+        assert_eq!(t.dropped(), 0);
     }
 
     #[test]
@@ -153,5 +213,42 @@ mod tests {
     fn at_s_extracts_timestamps() {
         let e = TraceEvent::RoundCompleted { at_s: 7.5, round: 1, longest_delay_s: 2.0 };
         assert_eq!(e.at_s(), 7.5);
+        let e = TraceEvent::ChargerFailed { at_s: 3.0, charger: 1 };
+        assert_eq!(e.at_s(), 3.0);
+        let e = TraceEvent::RecoveryDispatched { at_s: 4.0, stranded: 2, chargers: 1 };
+        assert_eq!(e.at_s(), 4.0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_first() {
+        let mut t = Trace::with_capacity_limit(3);
+        for i in 0..5 {
+            t.push(TraceEvent::SensorDied { at_s: i as f64, sensor: SensorId(i) });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.capacity_limit(), 3);
+        let times: Vec<f64> = t.iter().map(TraceEvent::at_s).collect();
+        assert_eq!(times, vec![2.0, 3.0, 4.0]); // newest retained
+    }
+
+    #[test]
+    fn zero_capacity_is_unbounded() {
+        let mut t = Trace::with_capacity_limit(0);
+        for i in 0..1000 {
+            t.push(TraceEvent::SensorDied { at_s: i as f64, sensor: SensorId(0) });
+        }
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn fault_event_counters() {
+        let mut t = Trace::default();
+        t.push(TraceEvent::ChargerFailed { at_s: 1.0, charger: 0 });
+        t.push(TraceEvent::ChargerFailed { at_s: 2.0, charger: 1 });
+        t.push(TraceEvent::RecoveryDispatched { at_s: 3.0, stranded: 4, chargers: 1 });
+        assert_eq!(t.charger_failures(), 2);
+        assert_eq!(t.recoveries(), 1);
     }
 }

@@ -27,7 +27,7 @@ fn energy_balance_holds() {
 
     let mut cfg = SimConfig::default();
     cfg.horizon_s = days(90.0);
-    let report = Simulation::new(net, cfg)
+    let report = Simulation::new(net, cfg).unwrap()
         .run(&Appro::new(PlannerConfig::default()), 2)
         .unwrap();
     let delivered = report.energy_delivered_j();
@@ -52,7 +52,7 @@ fn dead_time_is_monotone_in_horizon() {
         let net = NetworkBuilder::new(900).seed(22).build();
         let mut cfg = SimConfig::default();
         cfg.horizon_s = days(d);
-        Simulation::new(net, cfg)
+        Simulation::new(net, cfg).unwrap()
             .run(&Appro::new(PlannerConfig::default()), 1)
             .unwrap()
             .total_dead_time_s()
@@ -69,10 +69,10 @@ fn sync_and_async_agree_on_light_load() {
     let mk = || NetworkBuilder::new(150).seed(23).build();
     let mut cfg = SimConfig::default();
     cfg.horizon_s = days(60.0);
-    let sync = Simulation::new(mk(), cfg)
+    let sync = Simulation::new(mk(), cfg).unwrap()
         .run(&Appro::new(PlannerConfig::default()), 2)
         .unwrap();
-    let asyn = AsyncSimulation::new(mk(), cfg)
+    let asyn = AsyncSimulation::new(mk(), cfg).unwrap()
         .run(&Appro::new(PlannerConfig::default()), 2)
         .unwrap();
     assert_eq!(sync.total_dead_time_s(), 0.0);
@@ -89,7 +89,7 @@ fn rounds_cover_the_horizon_without_overlap() {
     let net = NetworkBuilder::new(400).seed(24).build();
     let mut cfg = SimConfig::default();
     cfg.horizon_s = days(60.0);
-    let report = Simulation::new(net, cfg)
+    let report = Simulation::new(net, cfg).unwrap()
         .run(&Appro::new(PlannerConfig::default()), 2)
         .unwrap();
     let mut prev_end = 0.0f64;
@@ -111,7 +111,7 @@ fn failure_injection_reduces_workload() {
         let mut cfg = SimConfig::default();
         cfg.horizon_s = days(90.0);
         cfg.failure_rate_per_year = rate;
-        Simulation::new(net, cfg)
+        Simulation::new(net, cfg).unwrap()
             .run(&Appro::new(PlannerConfig::default()), 2)
             .unwrap()
     };

@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for kind in [PlannerKind::Appro, PlannerKind::KMinMax] {
         let net = NetworkBuilder::new(800).seed(3).build();
         let planner = kind.build(PlannerConfig::default());
-        let report = Simulation::new(net, SimConfig::default()).run(planner.as_ref(), 2)?;
+        let report = Simulation::new(net, SimConfig::default())?.run(planner.as_ref(), 2)?;
 
         println!("== {} ==", kind.name());
         println!("  rounds dispatched:        {}", report.rounds_dispatched());

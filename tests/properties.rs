@@ -129,3 +129,47 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Each case simulates a faulted monitoring period; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Charger breakdowns never lose a sensor: under arbitrary fault
+    /// seeds and MTBFs every service request reconciles to exactly one
+    /// of charged / stranded-then-recovered / deferred, with every
+    /// dispatched and recovery plan validated, and the trace agrees
+    /// with the report's failure and recovery counters.
+    #[test]
+    fn breakdowns_never_drop_requests(
+        net_seed in 1u64..500,
+        fault_seed in 1u64..500,
+        mtbf_frac in 0.1f64..0.6,
+        k in 2usize..4,
+    ) {
+        let net = wrsn::net::NetworkBuilder::new(150)
+            .seed(net_seed)
+            .data_rate_bps(1_000.0, 50_000.0)
+            .build();
+        let mut cfg = wrsn::sim::SimConfig::default();
+        cfg.horizon_s = 60.0 * 86_400.0;
+        cfg.batch_fraction = 0.05;
+        cfg.collect_trace = true;
+        cfg.validate_schedules = true;
+        cfg.fault.charger_mtbf_s = mtbf_frac * cfg.horizon_s;
+        cfg.fault.charger_repair_s = 12.0 * 3_600.0;
+        cfg.fault.seed = fault_seed;
+        let report = wrsn::sim::Simulation::new(net, cfg)
+            .unwrap()
+            .run(&Appro::new(PlannerConfig::default()), k)
+            .unwrap();
+        prop_assert!(report.service_reconciles(),
+            "ledger imbalance: {} requests vs {} charged + {} recovered + {} deferred",
+            report.rounds.iter().map(|r| r.request_count).sum::<usize>(),
+            report.charged_sensors, report.recovered_sensors, report.deferred_sensors);
+        prop_assert_eq!(report.trace.charger_failures(), report.charger_failures);
+        prop_assert_eq!(report.trace.recoveries(), report.recovery_rounds);
+        if report.charger_failures == 0 {
+            prop_assert_eq!(report.recovered_sensors + report.deferred_sensors, 0);
+        }
+    }
+}

@@ -17,7 +17,7 @@ fn light_load_keeps_everyone_alive() {
         let net = NetworkBuilder::new(200).seed(1).build();
         let mut cfg = SimConfig::default();
         cfg.horizon_s = days(120.0);
-        let report = Simulation::new(net, cfg)
+        let report = Simulation::new(net, cfg).unwrap()
             .run(kind.build(PlannerConfig::default()).as_ref(), 2)
             .unwrap();
         assert_eq!(
@@ -38,7 +38,7 @@ fn appro_has_least_dead_time_under_stress() {
         let net = NetworkBuilder::new(1000).seed(2).build();
         let mut cfg = SimConfig::default();
         cfg.horizon_s = days(180.0);
-        Simulation::new(net, cfg)
+        Simulation::new(net, cfg).unwrap()
             .run(kind.build(PlannerConfig::default()).as_ref(), 2)
             .unwrap()
             .avg_dead_time_s()
@@ -60,7 +60,7 @@ fn more_chargers_never_increase_dead_time_much() {
         let net = NetworkBuilder::new(600).seed(3).build();
         let mut cfg = SimConfig::default();
         cfg.horizon_s = days(120.0);
-        Simulation::new(net, cfg)
+        Simulation::new(net, cfg).unwrap()
             .run(PlannerKind::Appro.build(PlannerConfig::default()).as_ref(), k)
             .unwrap()
             .avg_dead_time_s()
@@ -79,7 +79,7 @@ fn higher_data_rates_increase_pressure() {
             .build();
         let mut cfg = SimConfig::default();
         cfg.horizon_s = days(180.0);
-        Simulation::new(net, cfg)
+        Simulation::new(net, cfg).unwrap()
             .run(PlannerKind::KMinMax.build(PlannerConfig::default()).as_ref(), 2)
             .unwrap()
             .avg_dead_time_s()
@@ -98,7 +98,7 @@ fn round_stats_are_internally_consistent() {
     let net = NetworkBuilder::new(300).seed(5).build();
     let mut cfg = SimConfig::default();
     cfg.horizon_s = days(60.0);
-    let report = Simulation::new(net, cfg)
+    let report = Simulation::new(net, cfg).unwrap()
         .run(PlannerKind::Appro.build(PlannerConfig::default()).as_ref(), 2)
         .unwrap();
     let mut prev_end = 0.0;
@@ -123,7 +123,7 @@ fn batched_dispatch_accumulates_requests() {
     let mut cfg = SimConfig::default();
     cfg.horizon_s = days(90.0);
     cfg.batch_fraction = 0.1;
-    let report = Simulation::new(net, cfg)
+    let report = Simulation::new(net, cfg).unwrap()
         .run(PlannerKind::Appro.build(PlannerConfig::default()).as_ref(), 2)
         .unwrap();
     for r in &report.rounds {

@@ -1,0 +1,70 @@
+//! Test-runner plumbing: configuration, case outcomes, and the
+//! deterministic per-test RNG.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// The RNG strategies draw from.
+pub type TestRng = ChaCha12Rng;
+
+/// Per-test configuration, accepted via
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single drawn case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; draw a fresh case.
+    Reject(&'static str),
+    /// A `prop_assert*` failed; the whole test fails.
+    Fail(String),
+}
+
+/// Builds the deterministic RNG for one named test: the seed is a
+/// 64-bit FNV-1a hash of the fully qualified test name, so every test
+/// explores a distinct but reproducible case sequence.
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn distinct_tests_get_distinct_streams() {
+        let mut a = rng_for("crate::mod::test_a");
+        let mut b = rng_for("crate::mod::test_b");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn same_name_reproduces() {
+        let mut a = rng_for("x");
+        let mut b = rng_for("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

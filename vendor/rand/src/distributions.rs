@@ -1,0 +1,121 @@
+//! Distribution sampling: the `Distribution` trait and `WeightedIndex`.
+
+use std::borrow::Borrow;
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a [`WeightedIndex`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WeightedError {
+    /// The weight list was empty.
+    NoItem,
+    /// A weight was negative or non-finite.
+    InvalidWeight,
+    /// All weights were zero.
+    AllWeightsZero,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no items to sample from"),
+            WeightedError::InvalidWeight => write!(f, "negative or non-finite weight"),
+            WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Samples indices `0..n` proportionally to a list of `f64` weights.
+#[derive(Clone, Debug)]
+pub struct WeightedIndex {
+    /// Cumulative weight up to and including each index.
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    /// Builds the sampler from an iterator of non-negative weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeightedError`] on an empty list, a negative or
+    /// non-finite weight, or an all-zero list.
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: Borrow<f64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = *w.borrow();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+        let u = (rng.next_u64() >> 11) as f64 * SCALE * self.total;
+        // First index whose cumulative weight exceeds u.
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(matches!(
+            WeightedIndex::new(Vec::<f64>::new()),
+            Err(WeightedError::NoItem)
+        ));
+        assert!(matches!(WeightedIndex::new([0.0, 0.0]), Err(WeightedError::AllWeightsZero)));
+        assert!(matches!(WeightedIndex::new([1.0, -2.0]), Err(WeightedError::InvalidWeight)));
+    }
+
+    #[test]
+    fn zero_weight_items_are_never_drawn() {
+        let d = WeightedIndex::new([0.0, 1.0, 0.0, 3.0]).unwrap();
+        let mut rng = Counter(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[2], 0);
+        assert!(counts[3] > counts[1], "weight 3 beats weight 1: {counts:?}");
+    }
+}

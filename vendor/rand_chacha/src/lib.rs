@@ -1,0 +1,138 @@
+//! Offline vendored ChaCha12 random number generator.
+//!
+//! Implements the real ChaCha stream cipher with 12 rounds as a
+//! deterministic RNG behind the vendored [`rand`] traits. The keystream
+//! is a faithful ChaCha12 (RFC 8439 layout, 64-bit block counter), so
+//! statistical quality matches upstream `rand_chacha`; the word-to-
+//! integer packing is not guaranteed byte-identical to upstream, which
+//! the workspace does not rely on.
+
+use rand::{RngCore, SeedableRng};
+
+/// The four "expand 32-byte k" setup constants.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A ChaCha stream cipher with 12 rounds, used as an RNG.
+#[derive(Clone, Debug)]
+pub struct ChaCha12Rng {
+    /// Cipher input block: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word of `block`; 16 forces a refill.
+    word_idx: usize,
+}
+
+impl ChaCha12Rng {
+    fn quarter_round(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(16);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(12);
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(8);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(7);
+    }
+
+    /// Generates the next keystream block and advances the counter.
+    fn refill(&mut self) {
+        let mut x = self.state;
+        for _ in 0..6 {
+            // One double round: 4 column rounds + 4 diagonal rounds.
+            Self::quarter_round(&mut x, 0, 4, 8, 12);
+            Self::quarter_round(&mut x, 1, 5, 9, 13);
+            Self::quarter_round(&mut x, 2, 6, 10, 14);
+            Self::quarter_round(&mut x, 3, 7, 11, 15);
+            Self::quarter_round(&mut x, 0, 5, 10, 15);
+            Self::quarter_round(&mut x, 1, 6, 11, 12);
+            Self::quarter_round(&mut x, 2, 7, 8, 13);
+            Self::quarter_round(&mut x, 3, 4, 9, 14);
+        }
+        for (out, inp) in x.iter_mut().zip(self.state.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = x;
+        self.word_idx = 0;
+        // 64-bit block counter in words 12–13.
+        let counter = ((u64::from(self.state[13]) << 32) | u64::from(self.state[12]))
+            .wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+    }
+
+    fn next_word(&mut self) -> u32 {
+        if self.word_idx >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.word_idx];
+        self.word_idx += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha12Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Words 12..16 (counter + nonce) start at zero.
+        ChaCha12Rng { state, block: [0; 16], word_idx: 16 }
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word();
+        let hi = self.next_word();
+        u64::from(lo) | (u64::from(hi) << 32)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha12Rng::seed_from_u64(17);
+        let mut b = ChaCha12Rng::seed_from_u64(17);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha12Rng::seed_from_u64(1);
+        let mut b = ChaCha12Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_f64_mean_is_centered() {
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha12Rng::seed_from_u64(9);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,146 @@
+//! Compact and pretty JSON printers.
+
+use crate::{Number, Value};
+
+/// Renders a value as compact JSON.
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    out
+}
+
+/// Renders a value as pretty JSON (2-space indent), mirroring the
+/// upstream signature by returning `Result` (printing cannot fail
+/// here).
+///
+/// # Errors
+///
+/// Never returns `Err`; the `Result` exists for upstream parity.
+pub fn to_string_pretty(value: &Value) -> Result<String, crate::Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::U(u) => out.push_str(&u.to_string()),
+        Number::I(i) => out.push_str(&i.to_string()),
+        // JSON has no NaN/Infinity; print null like browsers do.
+        Number::F(f) if !f.is_finite() => out.push_str("null"),
+        Number::F(f) => {
+            let s = format!("{f}");
+            out.push_str(&s);
+            // Keep floats re-parseable as floats.
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{from_str, json, Value};
+
+    #[test]
+    fn compact_roundtrips() {
+        let v = json!({
+            "n": 3usize,
+            "f": 1.5f64,
+            "s": "a\"b\\c\n",
+            "xs": json!([1u32, 2u32]),
+            "none": json!(null),
+        });
+        let text = super::to_string(&v);
+        assert_eq!(from_str(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = json!({ "a": json!([1u32]) });
+        let text = super::to_string_pretty(&v).unwrap();
+        assert!(text.contains("\n  \"a\": [\n    1\n  ]\n"), "{text}");
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        let text = super::to_string(&Value::from(2.0f64));
+        assert_eq!(text, "2.0");
+        assert_eq!(super::to_string(&Value::from(7u64)), "7");
+    }
+}

@@ -9,8 +9,9 @@
 //! alternative to [`crate::tsp::greedy_edge`] for the tour-splitting
 //! core; the ablation bench compares them.
 
-use crate::mst::prim;
+use crate::mst::prim_metric;
 use crate::tsp;
+use wrsn_geom::{DistanceMatrix, Metric};
 
 /// Builds a closed tour with the MST + greedy-matching + Euler-shortcut
 /// construction, followed by 2-opt descent.
@@ -39,12 +40,30 @@ use crate::tsp;
 pub fn christofides_tour(dist: &[Vec<f64>], improvement_passes: usize) -> Vec<usize> {
     let n = dist.len();
     assert!(dist.iter().all(|r| r.len() == n), "distance matrix must be square");
+    christofides_tour_metric(dist, improvement_passes)
+}
+
+/// [`christofides_tour`] on a memoized [`DistanceMatrix`].
+pub fn christofides_tour_with_matrix(
+    dist: &DistanceMatrix,
+    improvement_passes: usize,
+) -> Vec<usize> {
+    christofides_tour_metric(dist, improvement_passes)
+}
+
+/// [`christofides_tour`] over any [`Metric`]; same construction, same
+/// tie-breaking.
+pub fn christofides_tour_metric<M: Metric + ?Sized>(
+    dist: &M,
+    improvement_passes: usize,
+) -> Vec<usize> {
+    let n = dist.len();
     if n <= 3 {
         return (0..n).collect();
     }
 
     // 1. MST.
-    let mst = prim(dist, 0);
+    let mst = prim_metric(dist, 0);
 
     // Multigraph adjacency: MST edges...
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -66,7 +85,7 @@ pub fn christofides_tour(dist: &[Vec<f64>], improvement_passes: usize) -> Vec<us
             pairs.push((odd[i], odd[j]));
         }
     }
-    pairs.sort_by(|&(a, b), &(c, d)| dist[a][b].partial_cmp(&dist[c][d]).unwrap());
+    pairs.sort_by(|&(a, b), &(c, d)| dist.at(a, b).partial_cmp(&dist.at(c, d)).unwrap());
     let mut matched = vec![false; n];
     for (a, b) in pairs {
         if !matched[a] && !matched[b] {
@@ -191,8 +210,16 @@ mod tests {
     fn respects_mst_lower_bound() {
         let d = dist_matrix(&scatter(40, 1));
         let t = christofides_tour(&d, 20);
-        let mst = prim(&d, 0);
+        let mst = crate::mst::prim(&d, 0);
         assert!(tour_length(&d, &t) >= mst.weight - 1e-9);
+    }
+
+    #[test]
+    fn matrix_entry_point_matches_nested() {
+        let pts = scatter(40, 2);
+        let nested = dist_matrix(&pts);
+        let flat = wrsn_geom::DistanceMatrix::from_points(&pts);
+        assert_eq!(christofides_tour(&nested, 20), christofides_tour_with_matrix(&flat, 20));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! 4. the smallest `λ` needing at most `K` segments yields the tours.
 
 use crate::tsp;
+use wrsn_geom::{DistanceMatrix, Metric};
 
 /// A solution to the min–max `K` rooted tour problem.
 #[derive(Clone, Debug, PartialEq)]
@@ -37,8 +38,8 @@ pub struct KTourSolution {
 ///
 /// `depot[v]` is the depot→`v` travel time; `service[v]` the node's
 /// service time; `dist` the node-to-node travel times.
-pub fn tour_delay(
-    dist: &[Vec<f64>],
+pub fn tour_delay<M: Metric + ?Sized>(
+    dist: &M,
     depot: &[f64],
     service: &[f64],
     nodes: &[usize],
@@ -48,15 +49,15 @@ pub fn tour_delay(
     }
     let mut t = depot[nodes[0]] + depot[*nodes.last().unwrap()];
     for w in nodes.windows(2) {
-        t += dist[w[0]][w[1]];
+        t += dist.at(w[0], w[1]);
     }
     t + nodes.iter().map(|&v| service[v]).sum::<f64>()
 }
 
 /// Greedily splits the path `order` into closed tours of delay ≤
 /// `lambda`. Returns `None` if some single node alone exceeds `lambda`.
-fn split_with_bound(
-    dist: &[Vec<f64>],
+fn split_with_bound<M: Metric + ?Sized>(
+    dist: &M,
     depot: &[f64],
     service: &[f64],
     order: &[usize],
@@ -75,7 +76,7 @@ fn split_with_bound(
         while j + 1 < order.len() {
             let cur = order[j];
             let nxt = order[j + 1];
-            let extended = cost - depot[cur] + dist[cur][nxt] + service[nxt] + depot[nxt];
+            let extended = cost - depot[cur] + dist.at(cur, nxt) + service[nxt] + depot[nxt];
             if extended > lambda + 1e-9 {
                 break;
             }
@@ -148,6 +149,30 @@ pub fn min_max_ktours(
     min_max_ktours_along(dist, depot, service, k, &order)
 }
 
+/// [`min_max_ktours`] on a memoized [`DistanceMatrix`], avoiding the
+/// nested-matrix copy: the depot is appended as a virtual node via
+/// [`DistanceMatrix::with_virtual_node`] (same values, same index
+/// layout, hence the same tour bit for bit).
+pub fn min_max_ktours_with_matrix(
+    dist: &DistanceMatrix,
+    depot: &[f64],
+    service: &[f64],
+    k: usize,
+    improvement_passes: usize,
+) -> KTourSolution {
+    let n = dist.len();
+    if n == 0 {
+        assert!(k >= 1, "need at least one vehicle");
+        return KTourSolution { tours: vec![Vec::new(); k], max_delay: 0.0 };
+    }
+    let ext = dist.with_virtual_node(depot);
+    let mut tour = tsp::build_tour(&ext, improvement_passes);
+    let dpos = tour.iter().position(|&v| v == n).expect("depot in tour");
+    tour.rotate_left(dpos);
+    let order: Vec<usize> = tour[1..].to_vec();
+    min_max_ktours_along(dist, depot, service, k, &order)
+}
+
 /// [`min_max_ktours`] splitting a *caller-provided* visiting order
 /// (a permutation of `0..n`, depot excluded). Use to compare underlying
 /// tour constructions (greedy-edge vs Christofides vs exact) while
@@ -157,8 +182,8 @@ pub fn min_max_ktours(
 ///
 /// Panics if `k == 0`, input lengths disagree, or `order` is not a
 /// permutation of `0..n`.
-pub fn min_max_ktours_along(
-    dist: &[Vec<f64>],
+pub fn min_max_ktours_along<M: Metric + ?Sized>(
+    dist: &M,
     depot: &[f64],
     service: &[f64],
     k: usize,

@@ -1,5 +1,7 @@
 //! Prim's minimum spanning tree on a dense metric.
 
+use wrsn_geom::{DistanceMatrix, Metric};
+
 /// A minimum spanning tree of a complete graph given by a dense,
 /// symmetric distance matrix.
 #[derive(Clone, Debug, PartialEq)]
@@ -69,6 +71,17 @@ impl Mst {
 pub fn prim(dist: &[Vec<f64>], root: usize) -> Mst {
     let n = dist.len();
     assert!(dist.iter().all(|r| r.len() == n), "distance matrix must be square");
+    prim_metric(dist, root)
+}
+
+/// [`prim`] over any [`Metric`] (nested rows, slices, or a memoized
+/// [`DistanceMatrix`]); same algorithm, same tie-breaking.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range (non-empty metric).
+pub fn prim_metric<M: Metric + ?Sized>(dist: &M, root: usize) -> Mst {
+    let n = dist.len();
     if n == 0 {
         return Mst { parent: Vec::new(), root: 0, weight: 0.0 };
     }
@@ -89,13 +102,18 @@ pub fn prim(dist: &[Vec<f64>], root: usize) -> Mst {
             weight += best[u];
         }
         for v in 0..n {
-            if !in_tree[v] && dist[u][v] < best[v] {
-                best[v] = dist[u][v];
+            if !in_tree[v] && dist.at(u, v) < best[v] {
+                best[v] = dist.at(u, v);
                 parent[v] = u;
             }
         }
     }
     Mst { parent, root, weight }
+}
+
+/// [`prim`] on a memoized [`DistanceMatrix`].
+pub fn prim_with_matrix(dist: &DistanceMatrix, root: usize) -> Mst {
+    prim_metric(dist, root)
 }
 
 #[cfg(test)]

@@ -6,6 +6,8 @@
 //! sweeps, O(n³) per pass — use on the moderate tour sizes of the k-tour
 //! core (hundreds of nodes), not on raw 10⁴-node inputs.
 
+use wrsn_geom::{DistanceMatrix, Metric};
+
 /// One 3-opt reconnection case; `a..b`, `b..c`, `c..` (wrapping) are the
 /// three arcs obtained by cutting after positions `i`, `j`, `k`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,7 +41,7 @@ enum Move {
 /// three_opt(&d, &mut tour, 10);
 /// assert!(tour_length(&d, &tour) <= before + 1e-9);
 /// ```
-pub fn three_opt(dist: &[Vec<f64>], tour: &mut Vec<usize>, max_passes: usize) {
+pub fn three_opt<M: Metric + ?Sized>(dist: &M, tour: &mut Vec<usize>, max_passes: usize) {
     let n = tour.len();
     if n < 5 {
         return;
@@ -54,13 +56,13 @@ pub fn three_opt(dist: &[Vec<f64>], tour: &mut Vec<usize>, max_passes: usize) {
                     let (a, b) = (tour[i], tour[i + 1]);
                     let (c, d) = (tour[j], tour[j + 1]);
                     let (e, f) = (tour[k], tour[(k + 1) % n]);
-                    let base = dist[a][b] + dist[c][d] + dist[e][f];
+                    let base = dist.at(a, b) + dist.at(c, d) + dist.at(e, f);
 
                     let candidates = [
-                        (Move::RevFirst, dist[a][c] + dist[b][d] + dist[e][f]),
-                        (Move::RevSecond, dist[a][b] + dist[c][e] + dist[d][f]),
-                        (Move::RevBoth, dist[a][c] + dist[b][e] + dist[d][f]),
-                        (Move::Exchange, dist[a][d] + dist[e][b] + dist[c][f]),
+                        (Move::RevFirst, dist.at(a, c) + dist.at(b, d) + dist.at(e, f)),
+                        (Move::RevSecond, dist.at(a, b) + dist.at(c, e) + dist.at(d, f)),
+                        (Move::RevBoth, dist.at(a, c) + dist.at(b, e) + dist.at(d, f)),
+                        (Move::Exchange, dist.at(a, d) + dist.at(e, b) + dist.at(c, f)),
                     ];
                     let best = candidates
                         .iter()
@@ -103,8 +105,17 @@ fn apply(tour: &mut Vec<usize>, i: usize, j: usize, k: usize, mv: Move) {
 }
 
 /// Convenience: 2-opt to a local optimum, then 3-opt on top.
-pub fn two_then_three_opt(dist: &[Vec<f64>], tour: &mut Vec<usize>, max_passes: usize) {
+pub fn two_then_three_opt<M: Metric + ?Sized>(
+    dist: &M,
+    tour: &mut Vec<usize>,
+    max_passes: usize,
+) {
     crate::tsp::two_opt(dist, tour, max_passes);
+    three_opt(dist, tour, max_passes);
+}
+
+/// [`three_opt`] on a memoized [`DistanceMatrix`].
+pub fn three_opt_with_matrix(dist: &DistanceMatrix, tour: &mut Vec<usize>, max_passes: usize) {
     three_opt(dist, tour, max_passes);
 }
 

@@ -14,19 +14,26 @@
 //!
 //! Tours are permutations of `0..n`, interpreted cyclically (the edge
 //! from `tour[n-1]` back to `tour[0]` is implied).
+//!
+//! Every function is generic over [`Metric`], so nested `Vec<Vec<f64>>`
+//! matrices and the flat memoized [`DistanceMatrix`] work
+//! interchangeably — with identical float operations, hence identical
+//! tours.
+
+use wrsn_geom::{DistanceMatrix, Metric};
 
 /// Total length of the closed tour `tour` under metric `dist`.
 ///
 /// Returns 0 for tours with fewer than 2 nodes.
-pub fn tour_length(dist: &[Vec<f64>], tour: &[usize]) -> f64 {
+pub fn tour_length<M: Metric + ?Sized>(dist: &M, tour: &[usize]) -> f64 {
     if tour.len() < 2 {
         return 0.0;
     }
     let mut len = 0.0;
     for w in tour.windows(2) {
-        len += dist[w[0]][w[1]];
+        len += dist.at(w[0], w[1]);
     }
-    len + dist[*tour.last().unwrap()][tour[0]]
+    len + dist.at(*tour.last().unwrap(), tour[0])
 }
 
 /// Nearest-neighbor closed tour starting from `start`.
@@ -34,7 +41,7 @@ pub fn tour_length(dist: &[Vec<f64>], tour: &[usize]) -> f64 {
 /// # Panics
 ///
 /// Panics if `start >= dist.len()` (unless the instance is empty).
-pub fn nearest_neighbor(dist: &[Vec<f64>], start: usize) -> Vec<usize> {
+pub fn nearest_neighbor<M: Metric + ?Sized>(dist: &M, start: usize) -> Vec<usize> {
     let n = dist.len();
     if n == 0 {
         return Vec::new();
@@ -48,7 +55,7 @@ pub fn nearest_neighbor(dist: &[Vec<f64>], start: usize) -> Vec<usize> {
     for _ in 1..n {
         let next = (0..n)
             .filter(|&v| !visited[v])
-            .min_by(|&a, &b| dist[cur][a].partial_cmp(&dist[cur][b]).unwrap())
+            .min_by(|&a, &b| dist.at(cur, a).partial_cmp(&dist.at(cur, b)).unwrap())
             .expect("unvisited vertex remains");
         visited[next] = true;
         tour.push(next);
@@ -60,7 +67,7 @@ pub fn nearest_neighbor(dist: &[Vec<f64>], start: usize) -> Vec<usize> {
 /// Greedy-edge tour: repeatedly add the globally cheapest edge that keeps
 /// degrees ≤ 2 and creates no premature cycle, then stitch the resulting
 /// Hamiltonian path into a cycle.
-pub fn greedy_edge(dist: &[Vec<f64>]) -> Vec<usize> {
+pub fn greedy_edge<M: Metric + ?Sized>(dist: &M) -> Vec<usize> {
     let n = dist.len();
     if n <= 2 {
         return (0..n).collect();
@@ -71,7 +78,7 @@ pub fn greedy_edge(dist: &[Vec<f64>]) -> Vec<usize> {
             edges.push((i, j));
         }
     }
-    edges.sort_by(|&(a, b), &(c, d)| dist[a][b].partial_cmp(&dist[c][d]).unwrap());
+    edges.sort_by(|&(a, b), &(c, d)| dist.at(a, b).partial_cmp(&dist.at(c, d)).unwrap());
 
     // Union-find for cycle detection.
     let mut uf: Vec<usize> = (0..n).collect();
@@ -125,18 +132,18 @@ pub fn greedy_edge(dist: &[Vec<f64>]) -> Vec<usize> {
 
 /// MST-doubling tour: preorder walk of Prim's tree rooted at `root`.
 /// The classic metric 2-approximation.
-pub fn mst_preorder(dist: &[Vec<f64>], root: usize) -> Vec<usize> {
+pub fn mst_preorder<M: Metric + ?Sized>(dist: &M, root: usize) -> Vec<usize> {
     if dist.is_empty() {
         return Vec::new();
     }
-    crate::mst::prim(dist, root).preorder()
+    crate::mst::prim_metric(dist, root).preorder()
 }
 
 /// 2-opt descent: repeatedly reverse tour segments while that shortens
 /// the tour; stops at a local optimum or after `max_passes` full sweeps.
 ///
 /// Never increases the tour length. O(n²) per pass.
-pub fn two_opt(dist: &[Vec<f64>], tour: &mut [usize], max_passes: usize) {
+pub fn two_opt<M: Metric + ?Sized>(dist: &M, tour: &mut [usize], max_passes: usize) {
     let n = tour.len();
     if n < 4 {
         return;
@@ -152,7 +159,7 @@ pub fn two_opt(dist: &[Vec<f64>], tour: &mut [usize], max_passes: usize) {
                 }
                 let c = tour[j];
                 let d = tour[(j + 1) % n];
-                let delta = dist[a][c] + dist[b][d] - dist[a][b] - dist[c][d];
+                let delta = dist.at(a, c) + dist.at(b, d) - dist.at(a, b) - dist.at(c, d);
                 if delta < -1e-12 {
                     tour[i + 1..=j].reverse();
                     improved = true;
@@ -172,7 +179,7 @@ pub fn two_opt(dist: &[Vec<f64>], tour: &mut [usize], max_passes: usize) {
 /// Or-opt descent: relocate chains of 1–3 consecutive nodes to a better
 /// position. Complements 2-opt (which cannot move single nodes without
 /// reversing). Never increases the tour length.
-pub fn or_opt(dist: &[Vec<f64>], tour: &mut Vec<usize>, max_passes: usize) {
+pub fn or_opt<M: Metric + ?Sized>(dist: &M, tour: &mut Vec<usize>, max_passes: usize) {
     let n = tour.len();
     if n < 5 {
         return;
@@ -190,7 +197,7 @@ pub fn or_opt(dist: &[Vec<f64>], tour: &mut Vec<usize>, max_passes: usize) {
                 let s0 = tour[i];
                 let s1 = tour[i + seg_len - 1];
                 let q = tour[(i + seg_len) % n];
-                let removal_gain = dist[p][s0] + dist[s1][q] - dist[p][q];
+                let removal_gain = dist.at(p, s0) + dist.at(s1, q) - dist.at(p, q);
                 if removal_gain <= 1e-12 {
                     continue;
                 }
@@ -206,7 +213,7 @@ pub fn or_opt(dist: &[Vec<f64>], tour: &mut Vec<usize>, max_passes: usize) {
                     }
                     let a = tour[j];
                     let b = tour[jn];
-                    let insert_cost = dist[a][s0] + dist[s1][b] - dist[a][b];
+                    let insert_cost = dist.at(a, s0) + dist.at(s1, b) - dist.at(a, b);
                     if insert_cost < removal_gain - 1e-12 {
                         // Perform the move on a copy to keep indexing simple.
                         let chain: Vec<usize> = tour[i..i + seg_len].to_vec();
@@ -234,7 +241,7 @@ pub fn or_opt(dist: &[Vec<f64>], tour: &mut Vec<usize>, max_passes: usize) {
 
 /// Builds a good closed tour: greedy-edge construction followed by 2-opt
 /// and Or-opt descent. The workhorse used by the planners.
-pub fn build_tour(dist: &[Vec<f64>], improvement_passes: usize) -> Vec<usize> {
+pub fn build_tour<M: Metric + ?Sized>(dist: &M, improvement_passes: usize) -> Vec<usize> {
     let n = dist.len();
     if n <= 3 {
         return (0..n).collect();
@@ -244,6 +251,16 @@ pub fn build_tour(dist: &[Vec<f64>], improvement_passes: usize) -> Vec<usize> {
     or_opt(dist, &mut tour, improvement_passes / 2 + 1);
     two_opt(dist, &mut tour, improvement_passes / 2 + 1);
     tour
+}
+
+/// [`build_tour`] on a memoized [`DistanceMatrix`].
+pub fn build_tour_with_matrix(dist: &DistanceMatrix, improvement_passes: usize) -> Vec<usize> {
+    build_tour(dist, improvement_passes)
+}
+
+/// [`two_opt`] on a memoized [`DistanceMatrix`].
+pub fn two_opt_with_matrix(dist: &DistanceMatrix, tour: &mut [usize], max_passes: usize) {
+    two_opt(dist, tour, max_passes);
 }
 
 /// Returns `true` iff `tour` is a permutation of `0..n`.

@@ -62,15 +62,7 @@ impl Planner for Aa {
             }
             // Tour within the cluster: depot + members, rotated to start
             // after the depot.
-            let m = members.len();
-            let mut ext = vec![vec![0.0; m + 1]; m + 1];
-            for i in 0..m {
-                for j in 0..m {
-                    ext[i][j] = problem.travel_time(members[i], members[j]);
-                }
-                ext[i][m] = problem.depot_travel_time(members[i]);
-                ext[m][i] = ext[i][m];
-            }
+            let (ext, m) = problem.context().extended_time_matrix(&members)?;
             let mut tour = tsp::build_tour(&ext, self.config.tsp_passes);
             let dpos = tour.iter().position(|&v| v == m).expect("depot in tour");
             tour.rotate_left(dpos);

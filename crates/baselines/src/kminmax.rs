@@ -7,7 +7,7 @@
 //! without multi-node charging, so it must visit and individually charge
 //! every sensor.
 
-use wrsn_algo::ktour::min_max_ktours;
+use wrsn_algo::ktour::min_max_ktours_with_matrix;
 use wrsn_core::{ChargingProblem, PlanError, Planner, PlannerConfig, Schedule};
 
 /// The K-minMax baseline planner. See the [module docs](self).
@@ -33,11 +33,11 @@ impl Planner for KMinMax {
         if problem.is_empty() {
             return Ok(Schedule::idle(k));
         }
-        let dist = problem.travel_matrix();
+        let dist = problem.context().travel_time_matrix();
         let depot = problem.depot_travel_vector();
         let service: Vec<f64> =
             (0..problem.len()).map(|i| problem.charge_duration(i)).collect();
-        let sol = min_max_ktours(&dist, &depot, &service, k, self.config.tsp_passes);
+        let sol = min_max_ktours_with_matrix(&dist, &depot, &service, k, self.config.tsp_passes);
         let stops: Vec<Vec<(usize, f64)>> = sol
             .tours
             .into_iter()

@@ -1,0 +1,248 @@
+//! Parallel planner fan-out over a shared [`ProblemContext`].
+//!
+//! Evaluates a planner × seed grid concurrently with scoped threads.
+//! All planners of one seed plan against the **same**
+//! [`ChargingProblem`] — and therefore the same memoized
+//! [`ProblemContext`] — so the distance tables, coverage lists and the
+//! charging graph are built once per seed and read lock-free by every
+//! worker (the context is immutable once built). The fan-out reports
+//! context build time separately from per-planner plan time, and a
+//! *cold* mode rebuilds a fresh problem per cell so the two runs bound
+//! what the shared context saves.
+//!
+//! Timing lives here (and in the CLI) only: nothing on the simulation
+//! or planning path ever reads the clock.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use wrsn_core::{ChargingProblem, PlannerConfig, ProblemContext};
+use wrsn_net::NetworkBuilder;
+use wrsn_sim::Simulation;
+
+use crate::planners::PlannerKind;
+
+/// One planner × seed evaluation.
+#[derive(Clone, Debug)]
+pub struct FanoutCell {
+    /// Planner display name.
+    pub planner: &'static str,
+    /// The instance seed.
+    pub seed: u64,
+    /// Longest charge delay of the produced schedule, seconds.
+    pub longest_delay_s: f64,
+    /// Wall-clock spent inside `plan()`, seconds.
+    pub plan_s: f64,
+}
+
+/// Result of a [`PlannerFanout`] run.
+#[derive(Clone, Debug)]
+pub struct FanoutReport {
+    /// Wall-clock spent building problems and warming their shared
+    /// contexts (zero for cold runs, where that cost lands in `plan_s`).
+    pub context_build_s: f64,
+    /// Wall-clock of the parallel planning phase.
+    pub plan_wall_s: f64,
+    /// Per-cell results, ordered planner-major then seed.
+    pub cells: Vec<FanoutCell>,
+}
+
+impl FanoutReport {
+    /// Sum of all per-cell plan times (CPU-ish total, ignores overlap).
+    pub fn total_plan_s(&self) -> f64 {
+        self.cells.iter().map(|c| c.plan_s).sum()
+    }
+}
+
+/// A planner × seed evaluation grid. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct PlannerFanout {
+    /// Network size `n`.
+    pub n: usize,
+    /// Number of chargers `K`.
+    pub k: usize,
+    /// Maximum data rate `b_max`, kbps.
+    pub b_max_kbps: f64,
+    /// Instance seeds (one shared problem per seed).
+    pub seeds: Vec<u64>,
+    /// Planners to evaluate on every seed.
+    pub kinds: Vec<PlannerKind>,
+    /// Request accumulation window for the snapshot, seconds.
+    pub dispatch_period_s: f64,
+    /// Shared planner config.
+    pub config: PlannerConfig,
+}
+
+impl Default for PlannerFanout {
+    fn default() -> Self {
+        PlannerFanout {
+            n: 200,
+            k: 2,
+            b_max_kbps: 50.0,
+            seeds: (1..=5).collect(),
+            kinds: PlannerKind::extended().to_vec(),
+            dispatch_period_s: 5.0 * 24.0 * 3600.0,
+            config: PlannerConfig::default(),
+        }
+    }
+}
+
+impl PlannerFanout {
+    /// Builds the snapshot problem for `seed`.
+    fn problem(&self, seed: u64) -> ChargingProblem {
+        let mut net = NetworkBuilder::new(self.n)
+            .seed(seed)
+            .data_rate_bps(1_000.0, self.b_max_kbps * 1_000.0)
+            .build();
+        let requests = Simulation::warm_up_period(&mut net, 0.2, self.dispatch_period_s);
+        ChargingProblem::from_network(&net, &requests, self.k)
+            .expect("snapshot problems are always valid")
+    }
+
+    /// Forces every memoized table so subsequent `plan()` calls measure
+    /// planning only.
+    fn warm(ctx: &ProblemContext) {
+        let _ = ctx.distance_matrix();
+        let _ = ctx.depot_distances();
+        let _ = ctx.neighbor_lists();
+        let _ = ctx.charging_graph();
+    }
+
+    /// Runs the grid with **one shared problem (and context) per seed**:
+    /// contexts are built and warmed up front (reported separately), then
+    /// every planner × seed cell plans concurrently against the shared,
+    /// immutable instances.
+    pub fn run_shared(&self) -> FanoutReport {
+        let build_start = Instant::now();
+        let problems: Vec<ChargingProblem> = self
+            .seeds
+            .iter()
+            .map(|&s| {
+                let p = self.problem(s);
+                Self::warm(p.context());
+                p
+            })
+            .collect();
+        let context_build_s = build_start.elapsed().as_secs_f64();
+
+        let plan_start = Instant::now();
+        let cells = self.fan_out(|_seed_idx| None, &problems);
+        FanoutReport {
+            context_build_s,
+            plan_wall_s: plan_start.elapsed().as_secs_f64(),
+            cells,
+        }
+    }
+
+    /// Runs the grid **cold**: every cell rebuilds its own problem from
+    /// scratch, so each plan time includes the full geometry
+    /// recomputation — the pre-context cost model, recorded in the same
+    /// run for comparison.
+    pub fn run_cold(&self) -> FanoutReport {
+        let plan_start = Instant::now();
+        let cells = self.fan_out(|seed_idx| Some(self.seeds[seed_idx]), &[]);
+        FanoutReport {
+            context_build_s: 0.0,
+            plan_wall_s: plan_start.elapsed().as_secs_f64(),
+            cells,
+        }
+    }
+
+    /// Work-stealing fan-out over the planner × seed grid. For each
+    /// cell, `rebuild(seed_idx)` returning a seed means "build a fresh
+    /// problem for this cell"; `None` means "use `problems[seed_idx]`".
+    fn fan_out<R>(&self, rebuild: R, problems: &[ChargingProblem]) -> Vec<FanoutCell>
+    where
+        R: Fn(usize) -> Option<u64> + Sync,
+    {
+        let cells = self.kinds.len() * self.seeds.len();
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(cells.max(1));
+        let out: Mutex<Vec<Option<FanoutCell>>> = Mutex::new(vec![None; cells]);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells {
+                        break;
+                    }
+                    let kind = self.kinds[i / self.seeds.len()];
+                    let seed_idx = i % self.seeds.len();
+                    let fresh = rebuild(seed_idx).map(|s| self.problem(s));
+                    let problem = fresh.as_ref().unwrap_or_else(|| &problems[seed_idx]);
+                    let planner = kind.build(self.config);
+                    let t0 = Instant::now();
+                    let schedule =
+                        planner.plan(problem).expect("planners are complete");
+                    let plan_s = t0.elapsed().as_secs_f64();
+                    out.lock().expect("result lock")[i] = Some(FanoutCell {
+                        planner: kind.name(),
+                        seed: self.seeds[seed_idx],
+                        longest_delay_s: schedule.longest_delay_s(),
+                        plan_s,
+                    });
+                });
+            }
+        });
+        out.into_inner()
+            .expect("no poisoned lock")
+            .into_iter()
+            .map(|c| c.expect("every cell evaluated"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PlannerFanout {
+        PlannerFanout {
+            n: 60,
+            seeds: vec![1, 2],
+            kinds: vec![PlannerKind::Appro, PlannerKind::KMinMax, PlannerKind::KEdf],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn shared_grid_covers_every_cell() {
+        let rep = small().run_shared();
+        assert_eq!(rep.cells.len(), 6);
+        for c in &rep.cells {
+            assert!(c.longest_delay_s > 0.0, "{} seed {}", c.planner, c.seed);
+            assert!(c.plan_s >= 0.0);
+        }
+        // Planner-major order.
+        assert_eq!(rep.cells[0].planner, "Appro");
+        assert_eq!(rep.cells[0].seed, 1);
+        assert_eq!(rep.cells[1].seed, 2);
+        assert_eq!(rep.cells[2].planner, "K-minMax");
+        assert!(rep.context_build_s >= 0.0);
+    }
+
+    #[test]
+    fn cold_and_shared_agree_on_schedules() {
+        // Planning against a shared warmed context must produce exactly
+        // the delays of planning against freshly built instances.
+        let f = small();
+        let shared = f.run_shared();
+        let cold = f.run_cold();
+        assert_eq!(shared.cells.len(), cold.cells.len());
+        for (a, b) in shared.cells.iter().zip(&cold.cells) {
+            assert_eq!(a.planner, b.planner);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(
+                a.longest_delay_s.to_bits(),
+                b.longest_delay_s.to_bits(),
+                "{} seed {} drifted between shared and cold",
+                a.planner,
+                a.seed
+            );
+        }
+    }
+}

@@ -21,6 +21,7 @@
 //! `WRSN_SIZES` (comma-separated `n` list for fig3).
 
 pub mod experiment;
+pub mod fanout;
 pub mod planners;
 pub mod spec;
 pub mod table;
@@ -28,6 +29,7 @@ pub mod table;
 pub use experiment::{
     MonitoringExperiment, PointSummary, ResilienceExperiment, SnapshotExperiment,
 };
+pub use fanout::{FanoutCell, FanoutReport, PlannerFanout};
 pub use planners::PlannerKind;
 pub use spec::{run_spec, ExperimentSpec};
 

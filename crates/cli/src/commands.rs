@@ -96,9 +96,76 @@ fn schedule_json(problem: &ChargingProblem, schedule: &Schedule) -> serde_json::
     })
 }
 
+/// `wrsn plan --compare`: every planner (paper five + extensions)
+/// evaluated **concurrently** on one shared problem, whose memoized
+/// [`wrsn_core::ProblemContext`] is built once up front; reports the
+/// shared context build time and each planner's pure plan time.
+fn plan_compare(inst: &Instance) -> CliResult {
+    use std::time::Instant;
+    let problem = inst.snapshot()?;
+
+    // Warm the shared geometry once; the fan-out then only plans.
+    let t0 = Instant::now();
+    let ctx = problem.context();
+    let _ = ctx.distance_matrix();
+    let _ = ctx.depot_distances();
+    let _ = ctx.neighbor_lists();
+    let _ = ctx.charging_graph();
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let kinds = PlannerKind::extended();
+    let results: Vec<Result<(Schedule, f64), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = kinds
+            .iter()
+            .map(|&kind| {
+                let problem = &problem;
+                scope.spawn(move || {
+                    let planner = kind.build(PlannerConfig::default());
+                    let t = Instant::now();
+                    let schedule =
+                        planner.plan(problem).map_err(|e| format!("{}: {e}", kind.name()))?;
+                    let plan_ms = t.elapsed().as_secs_f64() * 1e3;
+                    schedule
+                        .certify(problem)
+                        .map_err(|e| format!("{}: {e}", kind.name()))?;
+                    Ok((schedule, plan_ms))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("planner thread panicked")).collect()
+    });
+
+    println!(
+        "instance: n={} seed={} → {} requests, K={}; shared context built in {build_ms:.1} ms",
+        inst.n,
+        inst.seed,
+        problem.len(),
+        problem.charger_count()
+    );
+    println!(
+        "{:>9} {:>12} {:>10} {:>10} {:>10}",
+        "planner", "longest (h)", "sojourns", "wait (h)", "plan (ms)"
+    );
+    for (kind, result) in kinds.iter().zip(results) {
+        let (schedule, plan_ms) = result?;
+        println!(
+            "{:>9} {:>12.2} {:>10} {:>10.2} {:>10.1}",
+            kind.name(),
+            schedule.longest_delay_s() / 3600.0,
+            schedule.sojourn_count(),
+            schedule.total_wait_time_s() / 3600.0,
+            plan_ms
+        );
+    }
+    Ok(())
+}
+
 /// `wrsn plan`: one planner, one snapshot instance.
 pub fn plan(args: &Args) -> CliResult {
     let inst = Instance::from_args(args)?;
+    if args.flag("compare") {
+        return plan_compare(&inst);
+    }
     let kind = planner_kind(args)?;
     let problem = inst.snapshot()?;
     let schedule = kind.build(PlannerConfig::default()).plan(&problem)?;

@@ -1,7 +1,7 @@
 //! `wrsn` — command-line front end for the charger-scheduling workspace.
 //!
 //! ```text
-//! wrsn plan      --n 800 --k 2 --seed 7 [--algorithm appro] [--json]
+//! wrsn plan      --n 800 --k 2 --seed 7 [--algorithm appro] [--json] [--compare]
 //! wrsn compare   --n 800 --k 2 --seed 7
 //! wrsn simulate  --n 800 --k 2 --seed 7 --days 365 [--algorithm appro] [--json]
 //! wrsn bounds    --n 800 --k 2 --seed 7
@@ -40,6 +40,8 @@ COMMON OPTIONS:
     --period <days>     Request accumulation period before planning (default 5)
     --algorithm <name>  appro | kedf | netwrap | aa | kminmax | mmmatch (default appro)
     --json              Emit machine-readable JSON instead of a table
+    --compare           (plan) Evaluate every planner concurrently on one shared
+                        problem context; reports per-planner plan time
     --map               (plan) Also print an ASCII field map + timeline
     --stats             (plan) Also print completion percentiles + per-MCV breakdown
     --svg <path>        (plan) Write the field and timeline as SVG files

@@ -28,8 +28,7 @@
 //! see `DESIGN.md` for why the paper's insertion rule alone does not
 //! always guarantee this across tours.
 
-use wrsn_algo::{ktour, maximal_independent_set, Graph};
-use wrsn_geom::Point;
+use wrsn_algo::{ktour, maximal_independent_set};
 
 use crate::conflict;
 use crate::{ChargingProblem, PlanError, Planner, PlannerConfig, Schedule};
@@ -103,25 +102,23 @@ impl Appro {
             });
         }
 
-        // Lines 1–2: charging graph and its MIS S_I.
-        let pts: Vec<Point> = problem.targets().iter().map(|t| t.pos).collect();
-        let gc = Graph::unit_disk(&pts, problem.params().gamma_m);
-        let s_i = maximal_independent_set(&gc, self.config.mis_order);
+        // Lines 1–2: charging graph and its MIS S_I. G_c comes memoized
+        // from the shared context.
+        let gc = problem.context().charging_graph();
+        let s_i = maximal_independent_set(gc, self.config.mis_order);
 
         // Lines 3–4: auxiliary graph H over S_I and its MIS V'_H.
         let h = conflict::build_conflict_graph(problem, &s_i);
         let core_local = maximal_independent_set(&h, self.config.mis_order);
         let core: Vec<usize> = core_local.iter().map(|&i| s_i[i]).collect();
 
-        // Line 5: min–max K rooted tours over V'_H with service τ(v).
-        let sub_dist: Vec<Vec<f64>> = core
-            .iter()
-            .map(|&a| core.iter().map(|&b| problem.travel_time(a, b)).collect())
-            .collect();
+        // Line 5: min–max K rooted tours over V'_H with service τ(v),
+        // travel times gathered from the context's distance table.
+        let sub_dist = problem.context().travel_time_matrix_for(&core)?;
         let sub_depot: Vec<f64> =
             core.iter().map(|&a| problem.depot_travel_time(a)).collect();
         let sub_service: Vec<f64> = core.iter().map(|&a| problem.tau(a)).collect();
-        let sol = ktour::min_max_ktours(
+        let sol = ktour::min_max_ktours_with_matrix(
             &sub_dist,
             &sub_depot,
             &sub_service,
@@ -284,16 +281,8 @@ impl Appro {
                 if tour.len() < 3 {
                     continue;
                 }
-                let m = tour.len();
-                // Matrix over depot (index m) + this tour's stops.
-                let mut ext = vec![vec![0.0; m + 1]; m + 1];
-                for a in 0..m {
-                    for b in 0..m {
-                        ext[a][b] = problem.travel_time(tour[a], tour[b]);
-                    }
-                    ext[a][m] = problem.depot_travel_time(tour[a]);
-                    ext[m][a] = ext[a][m];
-                }
+                // Matrix over this tour's stops + the depot (last index).
+                let (ext, m) = problem.context().extended_time_matrix(tour)?;
                 let mut perm: Vec<usize> = (0..=m).collect(); // identity, depot last
                 wrsn_algo::tsp::two_opt(&ext, &mut perm, self.config.tsp_passes);
                 let dpos = perm.iter().position(|&v| v == m).expect("depot in perm");
@@ -336,6 +325,7 @@ impl Planner for Appro {
 mod tests {
     use super::*;
     use crate::{ChargingParams, ChargingTarget};
+    use wrsn_geom::Point;
     use wrsn_net::{InitialCharge, NetworkBuilder, SensorId};
 
     fn problem_from(pts: &[(f64, f64, f64)], k: usize) -> ChargingProblem {

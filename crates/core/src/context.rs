@@ -1,0 +1,550 @@
+//! Shared, memoized per-instance geometry: the [`ProblemContext`].
+//!
+//! Every consumer of a charging instance — Appro, the baselines, the
+//! conflict validator, both simulation engines — needs the same derived
+//! geometry: pairwise travel times, depot distances, the coverage
+//! neighborhoods `N_c⁺(v)` and the charging graph `G_c`. Before this
+//! layer existed each consumer recomputed those from raw points on every
+//! use; the context computes each artifact **once**, lazily, and shares
+//! it behind an [`Arc`].
+//!
+//! # Ownership & invalidation
+//!
+//! A context is **immutable for the life of the instance**: it is built
+//! from a fixed point set and parameter pair and never mutated — the
+//! lazy [`OnceLock`] fields only move from "absent" to "present". There
+//! is no invalidation protocol; when the underlying network changes
+//! (new round, different request set), callers derive a fresh
+//! [`subcontext`](ProblemContext::subcontext) or build a new root. This
+//! is what makes the context safe to share across threads in the
+//! parallel planner fan-out: readers never observe a partially-updated
+//! table.
+//!
+//! # Bit-exactness
+//!
+//! All stored distances are **raw meters** straight from
+//! [`Point::dist`]; travel times divide by the speed on access, exactly
+//! as the pre-context code did inline, so every derived quantity is
+//! bit-identical to the historical computation. Subcontexts *gather*
+//! entries verbatim from their parent's table instead of recomputing,
+//! which is also bit-identical (see `DistanceMatrix::gather`).
+
+use std::error::Error;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use wrsn_algo::Graph;
+use wrsn_geom::{DistanceMatrix, GridIndex, Metric, Point};
+use wrsn_net::Network;
+
+use crate::ChargingParams;
+
+/// Error from a fallible [`ProblemContext`] accessor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ContextError {
+    /// A point index was `>=` the context's point count.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Number of points in the context.
+        len: usize,
+    },
+}
+
+impl fmt::Display for ContextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContextError::IndexOutOfBounds { index, len } => {
+                write!(f, "point index {index} out of range for context of {len} points")
+            }
+        }
+    }
+}
+
+impl Error for ContextError {}
+
+/// Lazily-built, memoized geometry shared by everything that touches one
+/// problem instance. See the [module docs](self).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use wrsn_core::{ChargingParams, ProblemContext};
+/// use wrsn_geom::Point;
+///
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(30.0, 0.0)];
+/// let ctx = ProblemContext::new(Point::ORIGIN, pts, ChargingParams::default());
+/// assert_eq!(ctx.neighbors(0), &[0, 1]); // within γ = 2.7 m, self inclusive
+/// assert_eq!(ctx.travel_time(0, 1), 2.0); // 2 m at 1 m/s
+/// assert_eq!(ctx.depot_travel_time(2), 30.0);
+/// # let _ = Arc::clone(&ctx);
+/// ```
+#[derive(Debug)]
+pub struct ProblemContext {
+    depot: Point,
+    points: Vec<Point>,
+    gamma_m: f64,
+    speed_mps: f64,
+    /// Set for subcontexts: the parent plus this context's point indices
+    /// into it, used to gather instead of recompute.
+    parent: Option<(Arc<ProblemContext>, Vec<usize>)>,
+    /// Raw pairwise distances, meters.
+    dist: OnceLock<DistanceMatrix>,
+    /// Raw depot→point distances, meters.
+    depot_dist: OnceLock<Vec<f64>>,
+    /// `neighbors[i]` = sorted indices within `γ` of point `i`,
+    /// inclusive of `i`: the paper's `N_c⁺(v)`.
+    neighbors: OnceLock<Vec<Vec<u32>>>,
+    /// The charging graph `G_c` (edge iff within `γ`, no self-loops).
+    charging_graph: OnceLock<Graph>,
+}
+
+impl ProblemContext {
+    /// Builds a root context over explicit points.
+    pub fn new(depot: Point, points: Vec<Point>, params: ChargingParams) -> Arc<Self> {
+        Arc::new(ProblemContext {
+            depot,
+            points,
+            gamma_m: params.gamma_m,
+            speed_mps: params.speed_mps,
+            parent: None,
+            dist: OnceLock::new(),
+            depot_dist: OnceLock::new(),
+            neighbors: OnceLock::new(),
+            charging_graph: OnceLock::new(),
+        })
+    }
+
+    /// Builds a root context over **all** sensors of a network, indexed
+    /// by sensor index. Simulation engines build this once per run and
+    /// derive per-round [`subcontext`](Self::subcontext)s from it, so
+    /// the full pairwise table is computed at most once per run.
+    pub fn for_network(net: &Network, params: ChargingParams) -> Arc<Self> {
+        let points = net.sensors().iter().map(|s| s.pos).collect();
+        Self::new(net.depot(), points, params)
+    }
+
+    /// Derives the context over the sub-instance `points[indices]`.
+    ///
+    /// The child's distance table and depot distances are *gathered*
+    /// from this context's memoized tables (forcing their build), never
+    /// recomputed — bit-identical and cheaper than `n²` square roots.
+    /// Indices may repeat and come in any order; the child's point `a`
+    /// is `self.point(indices[a])`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContextError::IndexOutOfBounds`] if any index is out of
+    /// range.
+    pub fn subcontext(
+        self: &Arc<Self>,
+        indices: &[usize],
+    ) -> Result<Arc<Self>, ContextError> {
+        let len = self.len();
+        if let Some(&bad) = indices.iter().find(|&&i| i >= len) {
+            return Err(ContextError::IndexOutOfBounds { index: bad, len });
+        }
+        let points = indices.iter().map(|&i| self.points[i]).collect();
+        Ok(Arc::new(ProblemContext {
+            depot: self.depot,
+            points,
+            gamma_m: self.gamma_m,
+            speed_mps: self.speed_mps,
+            parent: Some((Arc::clone(self), indices.to_vec())),
+            dist: OnceLock::new(),
+            depot_dist: OnceLock::new(),
+            neighbors: OnceLock::new(),
+            charging_graph: OnceLock::new(),
+        }))
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff the context holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The depot position.
+    pub fn depot(&self) -> Point {
+        self.depot
+    }
+
+    /// Position of point `i`.
+    pub fn point(&self, i: usize) -> Point {
+        self.points[i]
+    }
+
+    /// All point positions, in index order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The charging radius `γ`, meters.
+    pub fn gamma_m(&self) -> f64 {
+        self.gamma_m
+    }
+
+    /// The MCV travel speed, meters/second.
+    pub fn speed_mps(&self) -> f64 {
+        self.speed_mps
+    }
+
+    /// The memoized raw pairwise distance table, meters. Built on first
+    /// access: gathered from the parent for subcontexts, computed from
+    /// points for roots.
+    pub fn distance_matrix(&self) -> &DistanceMatrix {
+        self.dist.get_or_init(|| match &self.parent {
+            Some((parent, indices)) if !indices.is_empty() => {
+                parent.distance_matrix().gather(indices)
+            }
+            _ => DistanceMatrix::from_points(&self.points),
+        })
+    }
+
+    /// The memoized raw depot→point distances, meters.
+    pub fn depot_distances(&self) -> &[f64] {
+        self.depot_dist.get_or_init(|| match &self.parent {
+            Some((parent, indices)) if !indices.is_empty() => {
+                let full = parent.depot_distances();
+                indices.iter().map(|&i| full[i]).collect()
+            }
+            _ => self.points.iter().map(|p| self.depot.dist(*p)).collect(),
+        })
+    }
+
+    /// The memoized coverage lists: `neighbors(i)` is the sorted set of
+    /// point indices within `γ` of point `i`, **including `i` itself**
+    /// (the paper's `N_c⁺(v)`).
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.neighbor_lists()[i]
+    }
+
+    /// All coverage lists (see [`neighbors`](Self::neighbors)).
+    pub fn neighbor_lists(&self) -> &[Vec<u32>] {
+        self.neighbors.get_or_init(|| {
+            let pts = &self.points;
+            let mut lists = vec![Vec::new(); pts.len()];
+            if !pts.is_empty() {
+                let idx = GridIndex::build(pts, self.gamma_m);
+                for (i, list) in lists.iter_mut().enumerate() {
+                    let mut cov: Vec<u32> = idx
+                        .within(pts[i], self.gamma_m)
+                        .into_iter()
+                        .map(|j| j as u32)
+                        .collect();
+                    cov.sort_unstable();
+                    *list = cov;
+                }
+            }
+            lists
+        })
+    }
+
+    /// The memoized charging graph `G_c`: points adjacent iff within
+    /// `γ` (boundary inclusive), no self-loops. Identical to
+    /// `Graph::unit_disk(points, γ)`.
+    pub fn charging_graph(&self) -> &Graph {
+        self.charging_graph.get_or_init(|| {
+            let lists = self.neighbor_lists();
+            let mut g = Graph::empty(lists.len());
+            for (i, list) in lists.iter().enumerate() {
+                for &j in list {
+                    if (j as usize) > i {
+                        g.add_edge(i, j as usize);
+                    }
+                }
+            }
+            g
+        })
+    }
+
+    /// Travel time between points `a` and `b`, seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range; see
+    /// [`try_travel_time`](Self::try_travel_time) for the checked form.
+    pub fn travel_time(&self, a: usize, b: usize) -> f64 {
+        self.distance_matrix().at(a, b) / self.speed_mps
+    }
+
+    /// Checked [`travel_time`](Self::travel_time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContextError::IndexOutOfBounds`] for out-of-range
+    /// indices.
+    pub fn try_travel_time(&self, a: usize, b: usize) -> Result<f64, ContextError> {
+        self.check(a)?;
+        self.check(b)?;
+        Ok(self.travel_time(a, b))
+    }
+
+    /// Travel time between the depot and point `i`, seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range; see
+    /// [`try_depot_travel_time`](Self::try_depot_travel_time).
+    pub fn depot_travel_time(&self, i: usize) -> f64 {
+        self.depot_distances()[i] / self.speed_mps
+    }
+
+    /// Checked [`depot_travel_time`](Self::depot_travel_time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContextError::IndexOutOfBounds`] for an out-of-range
+    /// index.
+    pub fn try_depot_travel_time(&self, i: usize) -> Result<f64, ContextError> {
+        self.check(i)?;
+        Ok(self.depot_travel_time(i))
+    }
+
+    /// Dense travel-time matrix over all points, seconds.
+    pub fn travel_time_matrix(&self) -> DistanceMatrix {
+        self.distance_matrix().scaled_down(self.speed_mps)
+    }
+
+    /// Travel-time matrix over the sub-instance `nodes`, seconds; entry
+    /// `(a, b)` is `travel_time(nodes[a], nodes[b])`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContextError::IndexOutOfBounds`] if any node index is
+    /// out of range.
+    pub fn travel_time_matrix_for(
+        &self,
+        nodes: &[usize],
+    ) -> Result<DistanceMatrix, ContextError> {
+        for &i in nodes {
+            self.check(i)?;
+        }
+        Ok(self.distance_matrix().gather(nodes).scaled_down(self.speed_mps))
+    }
+
+    /// Travel-time matrix over `nodes` **plus the depot as the last
+    /// index**: returns `(matrix, depot_index)` where
+    /// `depot_index == nodes.len()`. This is the shared spelling of
+    /// "depot as virtual TSP city" used by tour construction and 2-opt
+    /// post-optimization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContextError::IndexOutOfBounds`] if any node index is
+    /// out of range.
+    pub fn extended_time_matrix(
+        &self,
+        nodes: &[usize],
+    ) -> Result<(DistanceMatrix, usize), ContextError> {
+        let sub = self.travel_time_matrix_for(nodes)?;
+        let depot: Vec<f64> =
+            nodes.iter().map(|&i| self.depot_travel_time(i)).collect();
+        Ok((sub.with_virtual_node(&depot), nodes.len()))
+    }
+
+    /// Depot travel-time vector, seconds.
+    pub fn depot_travel_vector(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.depot_travel_time(i)).collect()
+    }
+
+    fn check(&self, i: usize) -> Result<(), ContextError> {
+        if i < self.len() {
+            Ok(())
+        } else {
+            Err(ContextError::IndexOutOfBounds { index: i, len: self.len() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn params() -> ChargingParams {
+        ChargingParams::default()
+    }
+
+    fn scatter(n: usize, salt: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                Point::new(
+                    ((i * 37 + salt * 7) % 53) as f64 / 3.0,
+                    ((i * 73 + salt * 19) % 47) as f64 / 3.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn distances_match_point_dist_to_zero_ulp() {
+        let pts = scatter(40, 1);
+        let ctx = ProblemContext::new(Point::new(1.0, 2.0), pts.clone(), params());
+        let m = ctx.distance_matrix();
+        for i in 0..pts.len() {
+            for j in 0..pts.len() {
+                assert_eq!(m.at(i, j).to_bits(), pts[i].dist(pts[j]).to_bits());
+            }
+            assert_eq!(
+                ctx.depot_distances()[i].to_bits(),
+                Point::new(1.0, 2.0).dist(pts[i]).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn travel_times_divide_by_speed() {
+        let mut prm = params();
+        prm.speed_mps = 2.0;
+        let pts = vec![Point::new(3.0, 4.0), Point::new(3.0, 0.0)];
+        let ctx = ProblemContext::new(Point::ORIGIN, pts, prm);
+        assert_eq!(ctx.depot_travel_time(0), 2.5);
+        assert_eq!(ctx.travel_time(0, 1), 2.0);
+        assert_eq!(ctx.travel_time_matrix().at(0, 1), 2.0);
+        assert_eq!(ctx.depot_travel_vector(), vec![2.5, 1.5]);
+    }
+
+    #[test]
+    fn neighbors_include_self_and_match_brute_force() {
+        let pts = scatter(60, 2);
+        let ctx = ProblemContext::new(Point::ORIGIN, pts.clone(), params());
+        for i in 0..pts.len() {
+            let brute: Vec<u32> = (0..pts.len())
+                .filter(|&j| pts[i].dist(pts[j]) <= 2.7)
+                .map(|j| j as u32)
+                .collect();
+            assert_eq!(ctx.neighbors(i), &brute[..], "N_c+({i})");
+            assert!(ctx.neighbors(i).contains(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn charging_graph_matches_unit_disk() {
+        let pts = scatter(50, 3);
+        let ctx = ProblemContext::new(Point::ORIGIN, pts.clone(), params());
+        assert_eq!(*ctx.charging_graph(), Graph::unit_disk(&pts, 2.7));
+    }
+
+    #[test]
+    fn subcontext_gathers_bit_identical_tables() {
+        let pts = scatter(30, 4);
+        let ctx = ProblemContext::new(Point::new(5.0, 5.0), pts.clone(), params());
+        // Deliberately unsorted, with a repeat.
+        let idx = vec![7usize, 2, 29, 2, 11];
+        let sub = ctx.subcontext(&idx).unwrap();
+        assert_eq!(sub.len(), idx.len());
+        assert_eq!(sub.depot(), ctx.depot());
+
+        // Fresh root over the same sub-points, for comparison.
+        let sub_pts: Vec<Point> = idx.iter().map(|&i| pts[i]).collect();
+        let fresh = ProblemContext::new(Point::new(5.0, 5.0), sub_pts, params());
+
+        assert_eq!(sub.distance_matrix(), fresh.distance_matrix());
+        for a in 0..idx.len() {
+            assert_eq!(
+                sub.depot_distances()[a].to_bits(),
+                fresh.depot_distances()[a].to_bits()
+            );
+            assert_eq!(sub.neighbors(a), fresh.neighbors(a));
+        }
+        assert_eq!(*sub.charging_graph(), *fresh.charging_graph());
+    }
+
+    #[test]
+    fn subcontext_rejects_out_of_range() {
+        let ctx = ProblemContext::new(Point::ORIGIN, scatter(5, 0), params());
+        assert_eq!(
+            ctx.subcontext(&[0, 5]).unwrap_err(),
+            ContextError::IndexOutOfBounds { index: 5, len: 5 }
+        );
+    }
+
+    #[test]
+    fn try_accessors_check_bounds() {
+        let ctx = ProblemContext::new(Point::ORIGIN, scatter(3, 1), params());
+        assert!(ctx.try_travel_time(0, 2).is_ok());
+        assert_eq!(
+            ctx.try_travel_time(0, 3).unwrap_err(),
+            ContextError::IndexOutOfBounds { index: 3, len: 3 }
+        );
+        assert!(ctx.try_depot_travel_time(2).is_ok());
+        assert!(ctx.try_depot_travel_time(9).is_err());
+        assert_eq!(
+            ctx.travel_time_matrix_for(&[1, 4]).unwrap_err(),
+            ContextError::IndexOutOfBounds { index: 4, len: 3 }
+        );
+        assert!(ctx.extended_time_matrix(&[0, 99]).is_err());
+    }
+
+    #[test]
+    fn extended_matrix_puts_depot_last() {
+        let pts = scatter(10, 5);
+        let ctx = ProblemContext::new(Point::new(1.0, 1.0), pts, params());
+        let nodes = [3usize, 0, 8];
+        let (ext, m) = ctx.extended_time_matrix(&nodes).unwrap();
+        assert_eq!(m, 3);
+        assert_eq!(Metric::len(&ext), 4);
+        for (a, &i) in nodes.iter().enumerate() {
+            assert_eq!(ext.at(a, m).to_bits(), ctx.depot_travel_time(i).to_bits());
+            for (b, &j) in nodes.iter().enumerate() {
+                assert_eq!(ext.at(a, b).to_bits(), ctx.travel_time(i, j).to_bits());
+            }
+        }
+        assert_eq!(ext.at(m, m), 0.0);
+    }
+
+    #[test]
+    fn empty_context_is_fine() {
+        let ctx = ProblemContext::new(Point::ORIGIN, Vec::new(), params());
+        assert!(ctx.is_empty());
+        assert!(Metric::is_empty(ctx.distance_matrix()));
+        assert!(ctx.depot_distances().is_empty());
+        assert!(ctx.charging_graph().is_empty());
+        let sub = ctx.subcontext(&[]).unwrap();
+        assert!(sub.is_empty());
+    }
+
+    #[test]
+    fn error_display_names_index_and_len() {
+        let e = ContextError::IndexOutOfBounds { index: 9, len: 4 };
+        assert_eq!(e.to_string(), "point index 9 out of range for context of 4 points");
+    }
+
+    proptest! {
+        /// `N_c⁺(v)` from the grid-backed build must equal a brute-force
+        /// radius scan for arbitrary point sets, and subcontext gathers
+        /// must stay bit-identical to fresh builds.
+        #[test]
+        fn neighbor_lists_match_brute_force(
+            coords in proptest::collection::vec((0.0f64..40.0, 0.0f64..40.0), 0..50),
+            gamma in 0.5f64..8.0,
+        ) {
+            let pts: Vec<Point> = coords.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let prm = ChargingParams { gamma_m: gamma, ..ChargingParams::default() };
+            let ctx = ProblemContext::new(Point::ORIGIN, pts.clone(), prm);
+            for i in 0..pts.len() {
+                let brute: Vec<u32> = (0..pts.len())
+                    .filter(|&j| pts[i].dist(pts[j]) <= gamma)
+                    .map(|j| j as u32)
+                    .collect();
+                prop_assert_eq!(ctx.neighbors(i), &brute[..]);
+            }
+            if !pts.is_empty() {
+                let idx: Vec<usize> = (0..pts.len()).step_by(2).collect();
+                let sub = ctx.subcontext(&idx).unwrap();
+                let fresh_pts: Vec<Point> = idx.iter().map(|&i| pts[i]).collect();
+                let fresh = ProblemContext::new(Point::ORIGIN, fresh_pts, prm);
+                prop_assert_eq!(sub.distance_matrix(), fresh.distance_matrix());
+                for a in 0..idx.len() {
+                    prop_assert_eq!(sub.neighbors(a), fresh.neighbors(a));
+                }
+            }
+        }
+    }
+}

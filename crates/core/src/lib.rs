@@ -8,6 +8,11 @@
 //!   charging vehicles (MCVs), and the set `V_s` of lifetime-critical
 //!   sensors with their charging durations `t_v` (Eq. 1). Coverage sets
 //!   `N_c⁺(v)` and the bound `τ(v)` (Eq. 2) are precomputed here.
+//! - [`ProblemContext`]: the shared memoized geometry behind every
+//!   instance — pairwise/depot distances, `N_c⁺(v)` and the charging
+//!   graph `G_c`, built lazily once and reused by planners, validators
+//!   and the simulators (including across simulation rounds via
+//!   [`ProblemContext::subcontext`]).
 //! - [`Schedule`] / [`ChargerTour`] / [`Sojourn`]: the output — one
 //!   closed tour per MCV with per-sojourn arrival, charging start and
 //!   duration. [`Schedule::certify`] replays the schedule and proves (or
@@ -44,6 +49,7 @@ mod appro;
 pub mod bounds;
 pub mod budget;
 pub mod conflict;
+mod context;
 mod fallback;
 mod planner;
 mod problem;
@@ -55,6 +61,7 @@ pub mod svg;
 mod validate;
 
 pub use appro::Appro;
+pub use context::{ContextError, ProblemContext};
 pub use fallback::{plan_with_fallback, GreedyTour};
 pub use planner::{InsertionOrder, PlanError, Planner, PlannerConfig};
 pub use problem::{ChargingParams, ChargingProblem, ChargingTarget, ProblemError};

@@ -62,6 +62,10 @@ impl Default for PlannerConfig {
 pub enum PlanError {
     /// An internal invariant was violated — a bug in the planner.
     Internal(&'static str),
+    /// A [`crate::ProblemContext`] lookup failed (e.g. an out-of-bounds
+    /// point index) — typed instead of a panic or a stringified
+    /// [`PlanError::Internal`].
+    Context(crate::ContextError),
     /// A produced schedule failed [`crate::validate_schedule`]: the
     /// planner terminated, but its output breaks replay invariants.
     Rejected {
@@ -76,6 +80,7 @@ impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlanError::Internal(what) => write!(f, "internal planner invariant violated: {what}"),
+            PlanError::Context(e) => write!(f, "problem context lookup failed: {e}"),
             PlanError::Rejected { planner, violations } => {
                 write!(f, "{planner} produced an invalid schedule: ")?;
                 for (i, v) in violations.iter().enumerate() {
@@ -91,6 +96,12 @@ impl fmt::Display for PlanError {
 }
 
 impl Error for PlanError {}
+
+impl From<crate::ContextError> for PlanError {
+    fn from(e: crate::ContextError) -> Self {
+        PlanError::Context(e)
+    }
+}
 
 /// A charging-tour planner: consumes a [`ChargingProblem`], produces a
 /// [`Schedule`] with one closed tour per MCV.

@@ -2,9 +2,12 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
-use wrsn_geom::{GridIndex, Point};
+use wrsn_geom::Point;
 use wrsn_net::{Network, SensorId};
+
+use crate::context::{ContextError, ProblemContext};
 
 /// Physical parameters shared by all MCVs (the paper's homogeneous
 /// charger assumption).
@@ -124,14 +127,13 @@ impl Error for ProblemError {}
 /// ```
 #[derive(Clone, Debug)]
 pub struct ChargingProblem {
-    depot: Point,
     params: ChargingParams,
     k: usize,
     targets: Vec<ChargingTarget>,
-    /// `coverage[i]` = sorted indices of targets within `γ` of target `i`
-    /// (inclusive of `i` itself): the paper's `N_c⁺(v)`.
-    coverage: Vec<Vec<u32>>,
-    /// `tau[i]` = max charge duration over `coverage[i]` (Eq. 2).
+    /// Shared memoized geometry: depot, pairwise/depot distances, the
+    /// coverage sets `N_c⁺(v)` and the charging graph `G_c`.
+    ctx: Arc<ProblemContext>,
+    /// `tau[i]` = max charge duration over `coverage(i)` (Eq. 2).
     tau: Vec<f64>,
 }
 
@@ -149,6 +151,18 @@ impl ChargingProblem {
         k: usize,
         params: ChargingParams,
     ) -> Result<Self, ProblemError> {
+        Self::validate(depot, &targets, k, params)?;
+        let pts: Vec<Point> = targets.iter().map(|t| t.pos).collect();
+        let ctx = ProblemContext::new(depot, pts, params);
+        Ok(Self::finish(ctx, targets, k, params))
+    }
+
+    fn validate(
+        depot: Point,
+        targets: &[ChargingTarget],
+        k: usize,
+        params: ChargingParams,
+    ) -> Result<(), ProblemError> {
         if k == 0 {
             return Err(ProblemError::NoChargers);
         }
@@ -176,28 +190,26 @@ impl ChargingProblem {
         {
             return Err(ProblemError::InvalidParam("targets"));
         }
+        Ok(())
+    }
 
-        let pts: Vec<Point> = targets.iter().map(|t| t.pos).collect();
-        let mut coverage = vec![Vec::new(); targets.len()];
-        if !pts.is_empty() {
-            let idx = GridIndex::build(&pts, params.gamma_m);
-            for i in 0..pts.len() {
-                let mut cov: Vec<u32> =
-                    idx.within(pts[i], params.gamma_m).into_iter().map(|j| j as u32).collect();
-                cov.sort_unstable();
-                coverage[i] = cov;
-            }
-        }
+    /// Assembles the instance around an already-built context. `τ` is
+    /// computed eagerly (it forces the coverage lists once).
+    fn finish(
+        ctx: Arc<ProblemContext>,
+        targets: Vec<ChargingTarget>,
+        k: usize,
+        params: ChargingParams,
+    ) -> Self {
         let tau: Vec<f64> = (0..targets.len())
             .map(|i| {
-                coverage[i]
+                ctx.neighbors(i)
                     .iter()
                     .map(|&j| targets[j as usize].charge_duration_s)
                     .fold(0.0f64, f64::max)
             })
             .collect();
-
-        Ok(ChargingProblem { depot, params, k, targets, coverage, tau })
+        ChargingProblem { params, k, targets, ctx, tau }
     }
 
     /// Builds an instance from a live network: the targets are the given
@@ -227,6 +239,48 @@ impl ChargingProblem {
         k: usize,
         params: ChargingParams,
     ) -> Result<Self, ProblemError> {
+        let targets = Self::targets_from_network(net, requests, params)?;
+        Self::new(net.depot(), targets, k, params)
+    }
+
+    /// [`ChargingProblem::from_network_with`] reusing an existing
+    /// network-wide [`ProblemContext`] (from
+    /// [`ProblemContext::for_network`] with the **same** network and
+    /// parameters): the instance's distance tables are gathered from the
+    /// shared context instead of recomputed, so repeated rounds over the
+    /// same network pay for the full pairwise table once.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ChargingProblem::from_network_with`]; a request index
+    /// outside the context also maps to
+    /// [`ProblemError::UnknownSensor`].
+    pub fn from_network_in_context(
+        ctx: &Arc<ProblemContext>,
+        net: &Network,
+        requests: &[SensorId],
+        k: usize,
+        params: ChargingParams,
+    ) -> Result<Self, ProblemError> {
+        debug_assert_eq!(ctx.len(), net.sensors().len(), "context must cover the network");
+        debug_assert_eq!(ctx.gamma_m(), params.gamma_m, "context/params gamma mismatch");
+        debug_assert_eq!(ctx.speed_mps(), params.speed_mps, "context/params speed mismatch");
+        let targets = Self::targets_from_network(net, requests, params)?;
+        Self::validate(net.depot(), &targets, k, params)?;
+        let indices: Vec<usize> = requests.iter().map(|id| id.index()).collect();
+        let sub = ctx.subcontext(&indices).map_err(|e| match e {
+            ContextError::IndexOutOfBounds { index, .. } => {
+                ProblemError::UnknownSensor(SensorId(index as u32))
+            }
+        })?;
+        Ok(Self::finish(sub, targets, k, params))
+    }
+
+    fn targets_from_network(
+        net: &Network,
+        requests: &[SensorId],
+        params: ChargingParams,
+    ) -> Result<Vec<ChargingTarget>, ProblemError> {
         let mut targets = Vec::with_capacity(requests.len());
         for &id in requests {
             let s = net
@@ -242,12 +296,17 @@ impl ChargingProblem {
                 residual_lifetime_s: s.residual_lifetime_s(),
             });
         }
-        Self::new(net.depot(), targets, k, params)
+        Ok(targets)
     }
 
     /// The MCV depot.
     pub fn depot(&self) -> Point {
-        self.depot
+        self.ctx.depot()
+    }
+
+    /// The shared memoized geometry this instance was built on.
+    pub fn context(&self) -> &Arc<ProblemContext> {
+        &self.ctx
     }
 
     /// Charger parameters.
@@ -278,7 +337,7 @@ impl ChargingProblem {
     /// The coverage set `N_c⁺(i)`: sorted target indices within `γ` of
     /// target `i`, including `i`.
     pub fn coverage(&self, i: usize) -> &[u32] {
-        &self.coverage[i]
+        self.ctx.neighbors(i)
     }
 
     /// The charge-duration upper bound `τ(i) = max_{u ∈ N_c⁺(i)} t_u`
@@ -292,31 +351,26 @@ impl ChargingProblem {
         self.targets[i].charge_duration_s
     }
 
-    /// Travel time between targets `a` and `b`, seconds.
+    /// Travel time between targets `a` and `b`, seconds (memoized in the
+    /// shared context).
     pub fn travel_time(&self, a: usize, b: usize) -> f64 {
-        self.targets[a].pos.dist(self.targets[b].pos) / self.params.speed_mps
+        self.ctx.travel_time(a, b)
     }
 
     /// Travel time between the depot and target `i`, seconds.
     pub fn depot_travel_time(&self, i: usize) -> f64 {
-        self.depot.dist(self.targets[i].pos) / self.params.speed_mps
+        self.ctx.depot_travel_time(i)
     }
 
     /// Dense travel-time matrix between all targets, seconds.
     pub fn travel_matrix(&self) -> Vec<Vec<f64>> {
-        let pts: Vec<Point> = self.targets.iter().map(|t| t.pos).collect();
-        let mut m = wrsn_geom::dist_matrix(&pts);
-        for row in &mut m {
-            for x in row.iter_mut() {
-                *x /= self.params.speed_mps;
-            }
-        }
-        m
+        let m = self.ctx.travel_time_matrix();
+        (0..self.len()).map(|i| m.row(i).to_vec()).collect()
     }
 
     /// Depot travel-time vector, seconds.
     pub fn depot_travel_vector(&self) -> Vec<f64> {
-        (0..self.len()).map(|i| self.depot_travel_time(i)).collect()
+        self.ctx.depot_travel_vector()
     }
 }
 

@@ -10,7 +10,9 @@
 //! - [`GridIndex`]: a uniform-grid spatial index answering
 //!   radius ("who is within `γ` of here?") and nearest-neighbor queries
 //!   in expected near-constant time for the point densities the paper uses,
-//! - [`dist_matrix`]: a dense pairwise distance matrix for tour algorithms.
+//! - [`dist_matrix`]: a dense pairwise distance matrix for tour algorithms,
+//! - [`DistanceMatrix`] / [`Metric`]: a flat memoized distance table and
+//!   the index-based lookup trait the algorithm layer is generic over.
 //!
 //! # Example
 //!
@@ -26,10 +28,12 @@
 
 mod grid;
 mod kdtree;
+mod matrix;
 mod point;
 mod rect;
 
 pub use grid::GridIndex;
 pub use kdtree::KdTree;
+pub use matrix::{DistanceMatrix, Metric};
 pub use point::{dist_matrix, Point};
 pub use rect::Rect;

@@ -1,0 +1,326 @@
+//! Memoized pairwise-distance storage and the [`Metric`] abstraction.
+//!
+//! Every layer above geometry — MST, Christofides, TSP improvement, the
+//! min–max tour splitter, the planners, the simulators — consumes
+//! pairwise distances. Recomputing `Point::dist` per lookup is wasteful
+//! once the same instance is queried repeatedly (bench sweeps, repeated
+//! simulation rounds, recovery re-planning), so [`DistanceMatrix`]
+//! computes each pair once into a flat symmetric table.
+//!
+//! [`Metric`] is the index-based distance abstraction the algorithm
+//! crate's cores are generic over: a nested `Vec<Vec<f64>>`, a slice of
+//! rows, and a flat [`DistanceMatrix`] all satisfy it, so callers can
+//! hand whichever representation they already have without a copy.
+//!
+//! Bit-exactness contract: `DistanceMatrix::from_points` performs the
+//! *same* float operations in the same order as [`crate::dist_matrix`]
+//! (one `Point::dist` per unordered pair, mirrored), so a stored entry
+//! is bit-identical to the direct computation. Gathered sub-matrices
+//! copy entries verbatim.
+
+use crate::Point;
+
+/// Index-based symmetric distance lookup.
+///
+/// `at(i, j)` must be defined for all `i, j < len()`. Implementations
+/// are expected (not enforced) to be symmetric with a zero diagonal.
+pub trait Metric {
+    /// Number of indexed points.
+    fn len(&self) -> usize;
+
+    /// Distance between points `i` and `j`.
+    fn at(&self, i: usize, j: usize) -> f64;
+
+    /// True iff the metric indexes no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Metric for [Vec<f64>] {
+    fn len(&self) -> usize {
+        <[Vec<f64>]>::len(self)
+    }
+
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self[i][j]
+    }
+}
+
+impl Metric for Vec<Vec<f64>> {
+    fn len(&self) -> usize {
+        <[Vec<f64>]>::len(self)
+    }
+
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self[i][j]
+    }
+}
+
+/// A dense symmetric pairwise-distance table in one flat allocation.
+///
+/// Stores the full `n × n` grid (both triangles) so `at` is a single
+/// multiply-add index with no branch on `i ≶ j`.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_geom::{DistanceMatrix, Metric, Point};
+///
+/// let pts = [Point::new(0.0, 0.0), Point::new(3.0, 4.0)];
+/// let m = DistanceMatrix::from_points(&pts);
+/// assert_eq!(m.at(0, 1), 5.0);
+/// assert_eq!(m.at(1, 0), 5.0);
+/// assert_eq!(m.at(1, 1), 0.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Builds the Euclidean distance matrix of `pts`.
+    ///
+    /// Performs exactly one [`Point::dist`] per unordered pair and
+    /// mirrors it, matching [`crate::dist_matrix`] bit for bit.
+    pub fn from_points(pts: &[Point]) -> DistanceMatrix {
+        let n = pts.len();
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = pts[i].dist(pts[j]);
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Builds an `n × n` matrix from an entry function, mirroring
+    /// `f(i, j)` for `i < j` with a zero diagonal.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(n: usize, mut f: F) -> DistanceMatrix {
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = f(i, j);
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// The sub-matrix over `indices`, copying entries verbatim (so
+    /// gathered distances are bit-identical to the parent's).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn gather(&self, indices: &[usize]) -> DistanceMatrix {
+        let m = indices.len();
+        let mut data = vec![0.0; m * m];
+        for (a, &i) in indices.iter().enumerate() {
+            assert!(i < self.n, "gather index out of range");
+            for (b, &j) in indices.iter().enumerate() {
+                data[a * m + b] = self.data[i * self.n + j];
+            }
+        }
+        DistanceMatrix { n: m, data }
+    }
+
+    /// Extends the matrix with one virtual node whose distance to
+    /// existing node `i` is `extra[i]` (and `0` to itself). The virtual
+    /// node gets the **last** index `len()`.
+    ///
+    /// This is the shared spelling of "append the depot as a virtual
+    /// TSP city" used by the tour splitter and the planners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra.len() != self.len()`.
+    pub fn with_virtual_node(&self, extra: &[f64]) -> DistanceMatrix {
+        assert_eq!(extra.len(), self.n, "virtual node needs one distance per node");
+        let n = self.n;
+        let m = n + 1;
+        let mut data = vec![0.0; m * m];
+        for i in 0..n {
+            data[i * m..i * m + n].copy_from_slice(&self.data[i * n..(i + 1) * n]);
+            data[i * m + n] = extra[i];
+            data[n * m + i] = extra[i];
+        }
+        DistanceMatrix { n: m, data }
+    }
+
+    /// Returns a copy with every entry divided by `scale` (e.g. metres →
+    /// seconds at a given speed). Division order matches computing
+    /// `dist / scale` inline on each access.
+    pub fn scaled_down(&self, scale: f64) -> DistanceMatrix {
+        let mut data = self.data.clone();
+        for x in &mut data {
+            *x /= scale;
+        }
+        DistanceMatrix { n: self.n, data }
+    }
+
+    /// Row `i` as a slice (distances from `i` to every node).
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+}
+
+impl Metric for DistanceMatrix {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist_matrix;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha12Rng;
+
+    fn random_points(seed: u64, n: usize) -> Vec<Point> {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect()
+    }
+
+    #[test]
+    fn matches_nested_dist_matrix_to_zero_ulp() {
+        for seed in 0..5u64 {
+            let pts = random_points(seed, 40);
+            let flat = DistanceMatrix::from_points(&pts);
+            let nested = dist_matrix(&pts);
+            for i in 0..pts.len() {
+                for j in 0..pts.len() {
+                    assert_eq!(
+                        flat.at(i, j).to_bits(),
+                        nested[i][j].to_bits(),
+                        "entry ({i},{j}) differs from dist_matrix"
+                    );
+                    assert_eq!(
+                        flat.at(i, j).to_bits(),
+                        pts[i].dist(pts[j]).to_bits(),
+                        "entry ({i},{j}) differs from Point::dist"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_with_zero_diagonal() {
+        let pts = random_points(9, 30);
+        let m = DistanceMatrix::from_points(&pts);
+        for i in 0..pts.len() {
+            assert_eq!(m.at(i, i), 0.0);
+            for j in 0..pts.len() {
+                assert_eq!(m.at(i, j).to_bits(), m.at(j, i).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds_within_rounding() {
+        let pts = random_points(3, 25);
+        let m = DistanceMatrix::from_points(&pts);
+        for i in 0..pts.len() {
+            for j in 0..pts.len() {
+                for k in 0..pts.len() {
+                    assert!(
+                        m.at(i, j) <= m.at(i, k) + m.at(k, j) + 1e-9,
+                        "triangle inequality violated at ({i},{j},{k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_copies_entries_verbatim() {
+        let pts = random_points(7, 20);
+        let m = DistanceMatrix::from_points(&pts);
+        let idx = [3usize, 17, 0, 8];
+        let sub = m.gather(&idx);
+        assert_eq!(Metric::len(&sub), 4);
+        for (a, &i) in idx.iter().enumerate() {
+            for (b, &j) in idx.iter().enumerate() {
+                assert_eq!(sub.at(a, b).to_bits(), m.at(i, j).to_bits());
+            }
+        }
+        // And therefore bit-identical to building from the sub-points.
+        let sub_pts: Vec<Point> = idx.iter().map(|&i| pts[i]).collect();
+        let direct = DistanceMatrix::from_points(&sub_pts);
+        assert_eq!(sub, direct);
+    }
+
+    #[test]
+    fn virtual_node_is_last_index() {
+        let pts = random_points(11, 6);
+        let m = DistanceMatrix::from_points(&pts);
+        let extra: Vec<f64> = (0..6).map(|i| i as f64 + 0.5).collect();
+        let ext = m.with_virtual_node(&extra);
+        assert_eq!(Metric::len(&ext), 7);
+        for (i, &d) in extra.iter().enumerate() {
+            assert_eq!(ext.at(i, 6), d);
+            assert_eq!(ext.at(6, i), d);
+            for j in 0..6 {
+                assert_eq!(ext.at(i, j).to_bits(), m.at(i, j).to_bits());
+            }
+        }
+        assert_eq!(ext.at(6, 6), 0.0);
+    }
+
+    #[test]
+    fn scaled_down_matches_inline_division() {
+        let pts = random_points(13, 12);
+        let m = DistanceMatrix::from_points(&pts);
+        let s = m.scaled_down(5.0);
+        for i in 0..12 {
+            for j in 0..12 {
+                assert_eq!(s.at(i, j).to_bits(), (m.at(i, j) / 5.0).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn metric_impls_agree() {
+        let pts = random_points(1, 10);
+        let flat = DistanceMatrix::from_points(&pts);
+        let nested = dist_matrix(&pts);
+        let slice: &[Vec<f64>] = &nested;
+        assert_eq!(Metric::len(&nested), Metric::len(&flat));
+        assert_eq!(Metric::len(slice), 10);
+        for i in 0..10 {
+            for j in 0..10 {
+                assert_eq!(Metric::at(&nested, i, j).to_bits(), flat.at(i, j).to_bits());
+                assert_eq!(Metric::at(slice, i, j).to_bits(), flat.at(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let m = DistanceMatrix::from_points(&[]);
+        assert!(Metric::is_empty(&m));
+        let one = DistanceMatrix::from_points(&[Point::new(1.0, 2.0)]);
+        assert_eq!(Metric::len(&one), 1);
+        assert_eq!(one.at(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gather index out of range")]
+    fn gather_rejects_bad_index() {
+        let m = DistanceMatrix::from_points(&[Point::ORIGIN]);
+        let _ = m.gather(&[1]);
+    }
+}

@@ -34,6 +34,7 @@
 
 use wrsn_core::{
     plan_with_fallback, validate_schedule, ChargingProblem, PlanError, Planner, PlannerConfig,
+    ProblemContext,
 };
 use wrsn_net::SensorId;
 
@@ -106,6 +107,9 @@ impl AsyncSimulation {
     pub fn run(mut self, planner: &dyn Planner, k: usize) -> Result<SimReport, PlanError> {
         assert!(k >= 1, "need at least one charger");
         let n = self.net.sensors().len();
+        // One memoized geometry context for the whole run; per-dispatch
+        // problems gather their distance tables from it.
+        let full_ctx = ProblemContext::for_network(&self.net, self.config.params);
         let horizon = self.config.horizon_s;
         let gamma2 = 2.0 * self.config.params.gamma_m;
         let target_frac = self.config.params.charge_target_fraction;
@@ -175,7 +179,8 @@ impl AsyncSimulation {
                 let pending = share;
                 let stranded_in_share =
                     pending.iter().filter(|id| stranded_flag[id.index()]).count();
-                let problem = ChargingProblem::from_network_with(
+                let problem = ChargingProblem::from_network_in_context(
+                    &full_ctx,
                     &self.net,
                     &pending,
                     1,

@@ -2,7 +2,7 @@
 
 use wrsn_core::{
     plan_with_fallback, validate_schedule, ChargerTour, ChargingParams, ChargingProblem,
-    PlanError, Planner, PlannerConfig, Schedule,
+    PlanError, Planner, PlannerConfig, ProblemContext, Schedule,
 };
 use wrsn_net::{Network, Sensor, SensorId, DEFAULT_REQUEST_FRACTION, YEAR_SECS};
 
@@ -365,6 +365,10 @@ impl Simulation {
     pub fn run(mut self, planner: &dyn Planner, k: usize) -> Result<SimReport, PlanError> {
         assert!(k >= 1, "need at least one charger");
         let n = self.net.sensors().len();
+        // Shared geometry for the whole run: positions never change, so
+        // every round's problem (and any recovery re-plan) gathers its
+        // distance tables from this one memoized context.
+        let full_ctx = ProblemContext::for_network(&self.net, self.config.params);
         let batch = self.batch_size();
         let mut t = 0.0f64;
         let mut dead = vec![0.0f64; n];
@@ -446,7 +450,8 @@ impl Simulation {
 
                 // Dispatch a round on the current state, on whatever
                 // part of the fleet is in service.
-                let problem = ChargingProblem::from_network_with(
+                let problem = ChargingProblem::from_network_in_context(
+                    &full_ctx,
                     &self.net,
                     &pending,
                     avail.len(),
@@ -550,7 +555,8 @@ impl Simulation {
                             let recovery_pending =
                                 self.net.requesting_sensors(self.config.request_fraction);
                             if !recovery_pending.is_empty() {
-                                let problem2 = ChargingProblem::from_network_with(
+                                let problem2 = ChargingProblem::from_network_in_context(
+                                    &full_ctx,
                                     &self.net,
                                     &recovery_pending,
                                     avail2.len(),

@@ -22,6 +22,10 @@
 //!    model). Context build time and per-planner plan time are
 //!    reported separately and archived as
 //!    `target/wrsn-results/context_fanout.json`.
+//! 7. **Channel degradation** — longest round delay and shed rate vs
+//!    request-loss probability per planner, on a saturated K=1 fleet
+//!    with admission control active; archived as
+//!    `target/wrsn-results/channel_degradation.json`.
 //!
 //! Knobs: `WRSN_INSTANCES` (default 5), `WRSN_HORIZON_DAYS` (default 120).
 
@@ -227,6 +231,74 @@ fn main() {
     if std::fs::create_dir_all(&dir).is_ok() {
         let path = dir.join("context_fanout.json");
         let json = serde_json::to_string_pretty(&doc).expect("printing cannot fail");
+        if std::fs::write(&path, json).is_ok() {
+            println!("wrote {}", path.display());
+        }
+    }
+
+    println!(
+        "\n## Channel degradation (n=700, K=1, {:.0}-day horizon, admission bound 8 h)\n",
+        horizon_s / 86_400.0
+    );
+    println!(
+        "{:>10} {:>6} {:>14} {:>12} {:>12} {:>12}",
+        "planner", "loss", "mean round (h)", "shed rate", "lost reqs", "dead (min)"
+    );
+    let mut degradation_rows = Vec::new();
+    for kind in PlannerKind::all() {
+        let planner = kind.build(PlannerConfig::default());
+        for loss in [0.0f64, 0.1, 0.3] {
+            let (mut round_len, mut shed, mut requests, mut lost, mut dead) =
+                (0.0, 0usize, 0usize, 0usize, 0.0);
+            for i in 0..instances {
+                let net = NetworkBuilder::new(700).seed(7_000 + i as u64).build();
+                let mut cfg = SimConfig::default();
+                cfg.horizon_s = horizon_s;
+                cfg.channel.loss_prob = loss;
+                cfg.channel.delay_max_s = 600.0;
+                cfg.channel.seed = 70 + i as u64;
+                cfg.admission_bound_s = 8.0 * 3_600.0;
+                let report = Simulation::new(net, cfg).unwrap()
+                    .run(planner.as_ref(), 1)
+                    .expect("planner is complete");
+                assert!(report.service_reconciles(), "ledger must balance");
+                round_len += report.avg_longest_delay_s();
+                shed += report.shed_sensors;
+                requests += report.rounds.iter().map(|r| r.request_count).sum::<usize>();
+                lost += report.lost_requests;
+                dead += report.avg_dead_time_s();
+            }
+            let f = instances as f64;
+            let shed_rate = shed as f64 / (requests.max(1)) as f64;
+            println!(
+                "{:>10} {:>6.1} {:>14.2} {:>12.3} {:>12.1} {:>12.1}",
+                kind.name(),
+                loss,
+                round_len / f / 3600.0,
+                shed_rate,
+                lost as f64 / f,
+                dead / f / 60.0
+            );
+            degradation_rows.push(serde_json::json!({
+                "planner": kind.name(),
+                "loss": loss,
+                "mean_round_s": round_len / f,
+                "shed_rate": shed_rate,
+                "lost_requests": lost as f64 / f,
+                "dead_s": dead / f,
+            }));
+        }
+    }
+    let degradation = serde_json::json!({
+        "n": 700,
+        "k": 1,
+        "horizon_days": horizon_s / 86_400.0,
+        "admission_bound_h": 8.0,
+        "rows": degradation_rows,
+    });
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("channel_degradation.json");
+        let json = serde_json::to_string_pretty(&degradation).expect("printing cannot fail");
         if std::fs::write(&path, json).is_ok() {
             println!("wrote {}", path.display());
         }

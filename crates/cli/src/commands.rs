@@ -273,19 +273,75 @@ pub fn simulate(args: &Args) -> CliResult {
     cfg.fault.charger_repair_s = args.get_or("charger-repair", 24.0f64)? * 3_600.0;
     cfg.fault.travel_jitter = args.get_or("travel-jitter", 0.0f64)?;
     cfg.fault.seed = args.get_or("fault-seed", 0u64)?;
+    // Unreliable request channel: `--request-loss <prob>` drops request
+    // messages (sensors retry with exponential backoff),
+    // `--request-delay <min>` bounds a uniform delivery delay, and
+    // `--request-dup <prob>` injects duplicates (dropped and counted on
+    // arrival). `--channel-seed` makes the stream reproducible.
+    cfg.channel.loss_prob = args.get_or("request-loss", 0.0f64)?;
+    cfg.channel.delay_max_s = args.get_or("request-delay", 0.0f64)? * 60.0;
+    cfg.channel.duplicate_prob = args.get_or("request-dup", 0.0f64)?;
+    cfg.channel.seed = args.get_or("channel-seed", 0u64)?;
+    // Saturation-aware degraded mode: `--admission-bound <hours>` sheds
+    // the least-critical requests whenever the theoretical delay bound
+    // of a batch exceeds it; a request deferred more than
+    // `--max-deferrals` times is escalated past the bound.
+    cfg.admission_bound_s = args.get_or("admission-bound", 0.0f64)? * 3_600.0;
+    cfg.max_deferrals = args.get_or("max-deferrals", 4u32)?;
     // `--validate` runs the schedule invariant validator on every
-    // dispatched and recovery plan even in release builds.
+    // dispatched and recovery plan (always on in debug builds).
     cfg.validate_schedules = args.flag("validate");
+    let checkpoint_every: usize = args.get_or("checkpoint-every", 0usize)?;
+    let resume_path = args.get("resume").map(std::path::PathBuf::from);
     let planner = kind.build(PlannerConfig::default());
     let report = match args.get("dispatch").unwrap_or("sync") {
-        "sync" => Simulation::new(inst.network(), cfg)?.run(planner.as_ref(), inst.k)?,
+        "sync" => {
+            let mut sim = Simulation::new(inst.network(), cfg)?;
+            if checkpoint_every > 0 {
+                let dir = std::path::PathBuf::from(
+                    std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
+                )
+                .join("wrsn-results");
+                sim = sim.checkpoint_to(dir, checkpoint_every);
+            }
+            if let Some(path) = &resume_path {
+                let snap = wrsn_sim::Snapshot::read(path)
+                    .map_err(|e| format!("cannot resume from {}: {e}", path.display()))?;
+                eprintln!(
+                    "resuming from round {} (t = {:.2} days)",
+                    snap.round(),
+                    snap.time_s() / 86_400.0
+                );
+                sim = sim.resume_from(snap);
+            }
+            sim.run(planner.as_ref(), inst.k)?
+        }
         "async" => {
+            if checkpoint_every > 0 || resume_path.is_some() {
+                return Err(
+                    "--checkpoint-every/--resume require the sync dispatcher \
+                     (snapshots capture round-barrier state)"
+                        .into(),
+                );
+            }
             wrsn_sim::AsyncSimulation::new(inst.network(), cfg)?.run(planner.as_ref(), inst.k)?
         }
         other => {
             return Err(format!("unknown dispatch mode {other:?}; expected sync|async").into())
         }
     };
+    if !report.service_reconciles() {
+        return Err(format!(
+            "service ledger failed to reconcile: {} requests vs {} charged + {} recovered \
+             + {} deferred + {} shed",
+            report.rounds.iter().map(|r| r.request_count).sum::<usize>(),
+            report.charged_sensors,
+            report.recovered_sensors,
+            report.deferred_sensors,
+            report.shed_sensors
+        )
+        .into());
+    }
 
     if args.flag("json") {
         println!(
@@ -304,6 +360,11 @@ pub fn simulate(args: &Args) -> CliResult {
                 "charged_sensors": report.charged_sensors,
                 "recovered_sensors": report.recovered_sensors,
                 "deferred_sensors": report.deferred_sensors,
+                "shed_sensors": report.shed_sensors,
+                "escalated_requests": report.escalated_requests,
+                "lost_requests": report.lost_requests,
+                "duplicates_dropped": report.duplicates_dropped,
+                "ledger_reconciles": report.service_reconciles(),
             }))?
         );
         return Ok(());
@@ -322,13 +383,25 @@ pub fn simulate(args: &Args) -> CliResult {
             "  charger failures:  {} ({} recovery dispatches)",
             report.charger_failures, report.recovery_rounds
         );
+    }
+    if cfg.channel.is_active() {
         println!(
-            "  service ledger:    {} charged, {} recovered, {} deferred{}",
+            "  request channel:   {} lost, {} duplicates dropped",
+            report.lost_requests, report.duplicates_dropped
+        );
+    }
+    if cfg.fault.is_active() || cfg.channel.is_active() || cfg.admission_bound_s > 0.0 {
+        println!(
+            "  service ledger:    {} charged, {} recovered, {} deferred, {} shed{}",
             report.charged_sensors,
             report.recovered_sensors,
             report.deferred_sensors,
+            report.shed_sensors,
             if report.service_reconciles() { "" } else { " (IMBALANCED!)" }
         );
+        if report.escalated_requests > 0 {
+            println!("  escalations:       {}", report.escalated_requests);
+        }
     }
     Ok(())
 }

@@ -55,6 +55,24 @@ SIMULATE OPTIONS:
     --travel-jitter <f>    Relative round-length jitter, e.g. 0.1 for +/-10 %
     --fault-seed <u64>     Fault-stream seed; with --seed it fully
                            determines a faulted run (default 0)
+    --request-loss <p>     Per-message request loss probability in [0, 1)
+                           (0 = reliable channel, the default); lost requests
+                           are retried with capped exponential backoff
+    --request-delay <min>  Maximum uniform request delivery delay, minutes
+    --request-dup <p>      Per-message duplication probability in [0, 1];
+                           duplicate arrivals are dropped and counted
+    --channel-seed <u64>   Channel-stream seed (default 0)
+    --admission-bound <h>  Degraded mode: shed the least-critical requests
+                           once the batch's theoretical delay bound exceeds
+                           this many hours (0 = admit everything, default)
+    --max-deferrals <int>  Escalate a request past the admission bound after
+                           this many sheds/deferrals (default 4)
+    --checkpoint-every <N> Write a crash-safe snapshot of the full simulation
+                           state to target/wrsn-results/ every N rounds
+                           (sync dispatcher only)
+    --resume <path>        Resume a simulation from a snapshot file; the run
+                           completes bit-identically to one never interrupted
+                           (sync dispatcher only)
     --validate             Check schedule invariants on every dispatched and
                            recovery plan (always on in debug builds)
 ";

@@ -91,6 +91,85 @@ fn simulate_async_mode_works() {
 }
 
 #[test]
+fn simulate_with_lossy_channel_reconciles() {
+    let out = wrsn()
+        .args([
+            "simulate", "--n", "100", "--days", "60", "--k", "1", "--json", "--validate",
+            "--request-loss", "0.3", "--request-delay", "5", "--request-dup", "0.05",
+            "--channel-seed", "9",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(v["ledger_reconciles"], serde_json::Value::Bool(true));
+    assert!(v["lost_requests"].as_u64().unwrap() > 0, "0.3 loss must lose requests");
+}
+
+#[test]
+fn simulate_checkpoint_and_resume_agree() {
+    let dir = std::env::temp_dir().join("wrsn_cli_ckpt_test");
+    std::fs::remove_dir_all(&dir).ok();
+    let base = [
+        "simulate", "--n", "100", "--days", "60", "--k", "1", "--json",
+        "--request-loss", "0.2", "--channel-seed", "4",
+    ];
+    let full = wrsn().args(base).output().expect("binary runs");
+    assert!(full.status.success(), "{}", String::from_utf8_lossy(&full.stderr));
+
+    let ckpt = wrsn()
+        .args(base)
+        .args(["--checkpoint-every", "2"])
+        .env("CARGO_TARGET_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert!(ckpt.status.success(), "{}", String::from_utf8_lossy(&ckpt.stderr));
+    assert_eq!(full.stdout, ckpt.stdout, "checkpointing must not perturb the run");
+
+    let snap = dir.join("wrsn-results").join("checkpoint_round0002.json");
+    assert!(snap.exists(), "expected {}", snap.display());
+    let resumed = wrsn()
+        .args(base)
+        .args(["--resume", snap.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(resumed.status.success(), "{}", String::from_utf8_lossy(&resumed.stderr));
+    assert_eq!(full.stdout, resumed.stdout, "resumed run must match uninterrupted");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_rejects_async_dispatch() {
+    let out = wrsn()
+        .args([
+            "simulate", "--n", "50", "--days", "30", "--dispatch", "async",
+            "--checkpoint-every", "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("sync dispatcher"));
+}
+
+#[test]
+fn help_documents_channel_and_checkpoint_flags() {
+    let out = wrsn().arg("help").output().expect("binary runs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for flag in [
+        "--request-loss",
+        "--request-delay",
+        "--request-dup",
+        "--channel-seed",
+        "--admission-bound",
+        "--max-deferrals",
+        "--checkpoint-every",
+        "--resume",
+    ] {
+        assert!(text.contains(flag), "help must mention {flag}");
+    }
+}
+
+#[test]
 fn bounds_reports_ratio() {
     let out = wrsn()
         .args(["bounds", "--n", "150", "--seed", "2"])

@@ -79,6 +79,74 @@ pub fn lower_bound(problem: &ChargingProblem) -> f64 {
     reach_lower_bound(problem).max(work_lower_bound(problem))
 }
 
+/// Incremental, conservative estimate of the delay bound a request set
+/// imposes on a `K`-charger fleet — the admission-control side of the
+/// instance bounds above.
+///
+/// Where [`lower_bound`] *under*-estimates the optimum (it is a lower
+/// bound on any schedule), an admission controller needs the opposite
+/// direction: a cheap *over*-estimate of the demand, so that shedding
+/// decisions are safe — a set the estimator accepts is genuinely
+/// serviceable within the bound by at least one schedule shape. The
+/// estimator therefore treats all charging work as serial (ignoring
+/// `2γ`-disk sharing, which can only help) and adds the worst
+/// depot-reach term:
+///
+/// `bound = max(reach, total_charge_work / K)`
+///
+/// with `reach = max_v 2·(d_v − γ)⁺/s + t_v`, exactly the per-sensor
+/// term of [`reach_lower_bound`]. Both components are `O(1)` to update
+/// per admitted request, so a dispatcher can rank candidates and admit
+/// greedily without rebuilding a [`ChargingProblem`] per prefix.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionEstimator {
+    k: f64,
+    gamma_m: f64,
+    speed_mps: f64,
+    work_s: f64,
+    reach_s: f64,
+}
+
+impl AdmissionEstimator {
+    /// An empty estimator for `k` chargers with transfer radius
+    /// `gamma_m` and travel speed `speed_mps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `speed_mps` is not strictly positive.
+    pub fn new(k: usize, gamma_m: f64, speed_mps: f64) -> Self {
+        assert!(k >= 1, "need at least one charger");
+        assert!(speed_mps > 0.0, "travel speed must be positive");
+        AdmissionEstimator { k: k as f64, gamma_m, speed_mps, work_s: 0.0, reach_s: 0.0 }
+    }
+
+    /// The per-sensor reach term: round trip to within `γ` plus the
+    /// charge duration.
+    fn reach_term(&self, depot_dist_m: f64, charge_s: f64) -> f64 {
+        2.0 * (depot_dist_m - self.gamma_m).max(0.0) / self.speed_mps + charge_s
+    }
+
+    /// The estimated delay bound if a request at `depot_dist_m` meters
+    /// from the depot needing `charge_s` seconds of charging were
+    /// admitted on top of the already-admitted set.
+    pub fn bound_with(&self, depot_dist_m: f64, charge_s: f64) -> f64 {
+        let reach = self.reach_s.max(self.reach_term(depot_dist_m, charge_s));
+        reach.max((self.work_s + charge_s) / self.k)
+    }
+
+    /// Admits the request, folding it into the running estimate.
+    pub fn admit(&mut self, depot_dist_m: f64, charge_s: f64) {
+        self.reach_s = self.reach_s.max(self.reach_term(depot_dist_m, charge_s));
+        self.work_s += charge_s;
+    }
+
+    /// The estimated delay bound of the admitted set so far (0 when
+    /// empty).
+    pub fn bound_s(&self) -> f64 {
+        self.reach_s.max(self.work_s / self.k)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +227,59 @@ mod tests {
                 lb
             );
         }
+    }
+
+    #[test]
+    fn admission_estimator_dominates_lower_bound() {
+        // The estimator is the safe over-approximation: feeding it every
+        // target of an instance must never land below the certified
+        // lower bound of that instance.
+        use wrsn_net::{InitialCharge, NetworkBuilder};
+        for seed in 0..3u64 {
+            let net = NetworkBuilder::new(120)
+                .seed(seed)
+                .initial_charge(InitialCharge::UniformFraction { lo: 0.02, hi: 0.18 })
+                .build();
+            let req = net.default_requesting_sensors();
+            let p = ChargingProblem::from_network(&net, &req, 2).unwrap();
+            let params = p.params();
+            let mut est = AdmissionEstimator::new(2, params.gamma_m, params.speed_mps);
+            for i in 0..p.len() {
+                est.admit(p.depot().dist(p.targets()[i].pos), p.charge_duration(i));
+            }
+            assert!(
+                est.bound_s() >= lower_bound(&p) - 1e-9,
+                "seed {seed}: estimate {:.1} below lower bound {:.1}",
+                est.bound_s(),
+                lower_bound(&p)
+            );
+        }
+    }
+
+    #[test]
+    fn admission_estimator_is_incremental() {
+        let mut est = AdmissionEstimator::new(2, 2.7, 1.0);
+        assert_eq!(est.bound_s(), 0.0);
+        // One sensor 50 m out needing 100 s: reach dominates.
+        let first = est.bound_with(50.0, 100.0);
+        assert!((first - (2.0 * 47.3 + 100.0)).abs() < 1e-9);
+        est.admit(50.0, 100.0);
+        assert_eq!(est.bound_s(), first);
+        // Lots of nearby work: the serial-work term takes over at K=2.
+        for _ in 0..10 {
+            est.admit(1.0, 500.0);
+        }
+        assert!((est.bound_s() - (100.0 + 5_000.0) / 2.0).abs() < 1e-9);
+        // bound_with previews without mutating.
+        let preview = est.bound_with(0.0, 1_000.0);
+        assert!(preview > est.bound_s());
+        assert!((est.bound_s() - 2_550.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "charger")]
+    fn admission_estimator_rejects_zero_chargers() {
+        let _ = AdmissionEstimator::new(0, 2.7, 1.0);
     }
 
     #[test]

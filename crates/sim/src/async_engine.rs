@@ -38,7 +38,8 @@ use wrsn_core::{
 };
 use wrsn_net::SensorId;
 
-use crate::engine::{SimConfig, SimConfigError};
+use crate::channel::ChannelState;
+use crate::engine::{admit_requests, SimConfig, SimConfigError};
 use crate::fault::FaultState;
 use crate::report::{RoundStats, SimReport};
 use crate::{drain_with_dead_accounting, Trace, TraceEvent};
@@ -120,6 +121,10 @@ impl AsyncSimulation {
         };
         let validate_plans = cfg!(debug_assertions) || self.config.validate_schedules;
         let mut fault = FaultState::new(&self.config.fault, k);
+        // Request-channel layer: `None` when inert (zero draws, pending
+        // sets identical to the pre-channel engine).
+        let mut channel = ChannelState::new(&self.config.channel, n);
+        let admission_on = self.config.admission_bound_s > 0.0;
         let kedf = wrsn_baselines::KEdf::new(PlannerConfig::default());
 
         let mut t = 0.0f64;
@@ -130,6 +135,11 @@ impl AsyncSimulation {
         let mut charged_sensors = 0usize;
         let mut recovered_sensors = 0usize;
         let mut deferred_sensors = 0usize;
+        let mut shed_sensors = 0usize;
+        let mut escalated_requests = 0usize;
+        // Rounds each sensor's current request has been shed/deferred;
+        // only maintained when admission control is on.
+        let mut deferral_count = vec![0u32; n];
         // Sensors whose dispatched service never completed (breakdown or
         // an uncovered plan); the next dispatch serving one is a
         // recovery dispatch.
@@ -158,24 +168,80 @@ impl AsyncSimulation {
             // A charger is dispatchable if home now (a broken one's
             // `free_at` already includes its repair downtime).
             let free: Vec<usize> = (0..k).filter(|&c| free_at[c] <= t).collect();
-            let pending: Vec<SensorId> = self
-                .net
-                .requesting_sensors(self.config.request_fraction)
-                .into_iter()
-                .filter(|id| !assigned[id.index()])
-                .collect();
+            // Requests the base station knows of: delivered ones under an
+            // active channel, every below-threshold sensor otherwise.
+            let known: Vec<SensorId> = match channel.as_mut() {
+                Some(ch) => {
+                    let mut cbuf = Vec::new();
+                    ch.advance(&self.net, self.config.request_fraction, t, tracing, &mut cbuf);
+                    events.extend(cbuf);
+                    ch.pending(&self.net, self.config.request_fraction)
+                }
+                None => self.net.requesting_sensors(self.config.request_fraction),
+            };
+            let pending: Vec<SensorId> =
+                known.into_iter().filter(|id| !assigned[id.index()]).collect();
 
             if !free.is_empty() && pending.len() >= batch {
                 let c = free[0];
                 // Fair share: the most urgent ⌈pending / K⌉ sensors, so
-                // the rest of the fleet keeps work to pick up.
+                // the rest of the fleet keeps work to pick up. Starved
+                // (escalated) requests jump the queue when admission
+                // control is on, so shedding can never stall them out of
+                // the share indefinitely.
                 let mut share: Vec<SensorId> = pending.clone();
                 share.sort_by(|a, b| {
+                    let starved = |id: &SensorId| {
+                        admission_on
+                            && deferral_count[id.index()] >= self.config.max_deferrals
+                    };
                     let la = self.net.sensor(*a).residual_lifetime_s();
                     let lb = self.net.sensor(*b).residual_lifetime_s();
-                    la.partial_cmp(&lb).unwrap().then(a.cmp(b))
+                    starved(b)
+                        .cmp(&starved(a))
+                        .then(la.partial_cmp(&lb).unwrap())
+                        .then(a.cmp(b))
                 });
                 share.truncate(pending.len().div_ceil(k));
+                // Admission control over this charger's share (a single
+                // charger serves it, hence the K = 1 estimator).
+                let (share, shed_now, escalated_now) = if admission_on {
+                    admit_requests(
+                        &self.net,
+                        &full_ctx,
+                        &share,
+                        1,
+                        &self.config.params,
+                        self.config.admission_bound_s,
+                        self.config.max_deferrals,
+                        &deferral_count,
+                    )
+                } else {
+                    (share, Vec::new(), Vec::new())
+                };
+                escalated_requests += escalated_now.len();
+                shed_sensors += shed_now.len();
+                if tracing {
+                    for &id in &escalated_now {
+                        events.push(TraceEvent::RequestEscalated {
+                            at_s: t,
+                            sensor: id,
+                            deferrals: deferral_count[id.index()],
+                        });
+                    }
+                }
+                for &id in &shed_now {
+                    // Prior deferrals, as in the sync engine: a shed
+                    // always shows `deferrals < max_deferrals`.
+                    if tracing {
+                        events.push(TraceEvent::RequestShed {
+                            at_s: t,
+                            sensor: id,
+                            deferrals: deferral_count[id.index()],
+                        });
+                    }
+                    deferral_count[id.index()] = deferral_count[id.index()].saturating_add(1);
+                }
                 let pending = share;
                 let stranded_in_share =
                     pending.iter().filter(|id| stranded_flag[id.index()]).count();
@@ -333,15 +399,19 @@ impl AsyncSimulation {
                         } else {
                             charged_sensors += 1;
                         }
+                        deferral_count[idx] = 0;
                     } else {
                         stranded_flag[idx] = true;
                         deferred_sensors += 1;
+                        if admission_on {
+                            deferral_count[idx] = deferral_count[idx].saturating_add(1);
+                        }
                     }
                 }
 
                 rounds.push(RoundStats {
                     dispatch_time_s: t,
-                    request_count: pending.len(),
+                    request_count: pending.len() + shed_now.len(),
                     longest_delay_s: return_real - t,
                     total_wait_s: schedule.total_wait_time_s(),
                     sojourn_count: schedule.sojourn_count(),
@@ -372,6 +442,14 @@ impl AsyncSimulation {
             {
                 next = next.min(t + dt + 1e-9);
             }
+            // Wake for the next channel delivery or retry: an
+            // undelivered request must not sleep to the horizon.
+            if let Some(ch) = channel.as_ref() {
+                let ev = ch.next_event_s(t);
+                if ev.is_finite() {
+                    next = next.min(ev + 1e-9);
+                }
+            }
             if next <= t {
                 next = t + 1.0; // guard against stalls
             }
@@ -393,6 +471,9 @@ impl AsyncSimulation {
         for e in events {
             trace.push(e);
         }
+        let (lost_requests, duplicates_dropped) = channel
+            .as_ref()
+            .map_or((0, 0), |ch| (ch.lost_requests, ch.duplicates_dropped));
         Ok(SimReport {
             rounds,
             dead_time_s: dead,
@@ -404,6 +485,10 @@ impl AsyncSimulation {
             charged_sensors,
             recovered_sensors,
             deferred_sensors,
+            shed_sensors,
+            lost_requests,
+            duplicates_dropped,
+            escalated_requests,
         })
     }
 }

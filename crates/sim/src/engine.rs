@@ -1,13 +1,18 @@
 //! The simulation engine: drain, batch, dispatch, recharge, repeat.
 
+use std::path::PathBuf;
+
+use wrsn_core::bounds::AdmissionEstimator;
 use wrsn_core::{
     plan_with_fallback, validate_schedule, ChargerTour, ChargingParams, ChargingProblem,
     PlanError, Planner, PlannerConfig, ProblemContext, Schedule,
 };
 use wrsn_net::{Network, Sensor, SensorId, DEFAULT_REQUEST_FRACTION, YEAR_SECS};
 
+use crate::channel::{ChannelModel, ChannelState};
 use crate::fault::{FaultModel, FaultState};
 use crate::report::{RoundStats, SimReport};
+use crate::snapshot::Snapshot;
 use crate::{drain_with_dead_accounting, Trace, TraceEvent};
 
 /// An inconsistent [`SimConfig`], reported by [`SimConfig::validate`]
@@ -29,6 +34,10 @@ pub enum SimConfigError {
     NegativeTurnaround,
     /// The [`FaultModel`] has an out-of-range parameter.
     InvalidFaultModel(&'static str),
+    /// The [`ChannelModel`] has an out-of-range parameter.
+    InvalidChannelModel(&'static str),
+    /// `admission_bound_s` is negative (or NaN).
+    NegativeAdmissionBound,
 }
 
 impl std::fmt::Display for SimConfigError {
@@ -53,6 +62,12 @@ impl std::fmt::Display for SimConfigError {
             }
             SimConfigError::InvalidFaultModel(what) => {
                 write!(f, "invalid fault model: {what}")
+            }
+            SimConfigError::InvalidChannelModel(what) => {
+                write!(f, "invalid channel model: {what}")
+            }
+            SimConfigError::NegativeAdmissionBound => {
+                write!(f, "admission bound must be non-negative")
             }
         }
     }
@@ -104,6 +119,22 @@ pub struct SimConfig {
     /// even in release builds (debug builds always validate). A plan
     /// that fails validation surfaces as [`PlanError::Rejected`].
     pub validate_schedules: bool,
+    /// Request-channel fault injection: message loss, delivery delay and
+    /// duplication between sensors and the base station. The default is
+    /// fully inert and leaves runs bit-identical (no random values are
+    /// drawn, and requests arrive instantly as in the paper).
+    pub channel: ChannelModel,
+    /// Saturation-aware admission control: when positive, a round admits
+    /// pending requests (most-critical first, by time-to-depletion) only
+    /// while the [`AdmissionEstimator`]'s conservative delay bound stays
+    /// within this many seconds; the rest are shed to a later round.
+    /// `0` (the default) disables admission control — every delivered
+    /// request is dispatched, as before.
+    pub admission_bound_s: f64,
+    /// Starvation bound for admission control: a request shed or
+    /// deferred this many rounds is escalated — force-admitted ahead of
+    /// the delay bound — so no request starves indefinitely.
+    pub max_deferrals: u32,
 }
 
 impl SimConfig {
@@ -137,20 +168,12 @@ impl SimConfig {
         if self.charger_turnaround_s.is_nan() || self.charger_turnaround_s < 0.0 {
             return Err(SimConfigError::NegativeTurnaround);
         }
-        self.fault.validate().map_err(SimConfigError::InvalidFaultModel)
-    }
-
-    /// [`SimConfig::validate`], panicking with the error's message on an
-    /// inconsistent configuration — for contexts (examples, quick
-    /// scripts) that want infallible construction.
-    ///
-    /// # Panics
-    ///
-    /// Panics iff `validate()` returns an error.
-    pub fn validate_or_panic(&self) {
-        if let Err(e) = self.validate() {
-            panic!("{e}");
+        self.fault.validate().map_err(SimConfigError::InvalidFaultModel)?;
+        self.channel.validate().map_err(SimConfigError::InvalidChannelModel)?;
+        if self.admission_bound_s.is_nan() || self.admission_bound_s < 0.0 {
+            return Err(SimConfigError::NegativeAdmissionBound);
         }
+        Ok(())
     }
 }
 
@@ -169,6 +192,9 @@ impl Default for SimConfig {
             charger_turnaround_s: 0.0,
             fault: FaultModel::default(),
             validate_schedules: false,
+            channel: ChannelModel::default(),
+            admission_bound_s: 0.0,
+            max_deferrals: 4,
         }
     }
 }
@@ -310,6 +336,63 @@ fn apply_breakdowns(
     }
 }
 
+/// Saturation-aware admission control: ranks `pending` most-critical
+/// first (smallest time-to-depletion, ties by id), force-admits starved
+/// requests (deferred at least `max_deferrals` rounds), then admits
+/// while the [`AdmissionEstimator`]'s conservative delay estimate stays
+/// within `bound_s`. The most critical request is always admitted, so
+/// service cannot stall.
+///
+/// Returns `(admitted, shed, escalated)`; `escalated ⊆ admitted`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn admit_requests(
+    net: &Network,
+    ctx: &ProblemContext,
+    pending: &[SensorId],
+    k: usize,
+    params: &ChargingParams,
+    bound_s: f64,
+    max_deferrals: u32,
+    deferral_count: &[u32],
+) -> (Vec<SensorId>, Vec<SensorId>, Vec<SensorId>) {
+    let mut ranked: Vec<SensorId> = pending.to_vec();
+    ranked.sort_by(|a, b| {
+        let la = net.sensor(*a).residual_lifetime_s();
+        let lb = net.sensor(*b).residual_lifetime_s();
+        la.partial_cmp(&lb).expect("lifetimes are not NaN").then(a.0.cmp(&b.0))
+    });
+    let charge_s = |id: SensorId| {
+        let s = net.sensor(id);
+        (params.charge_target_fraction * s.capacity_j - s.residual_j).max(0.0) / params.eta_w
+    };
+    let mut est = AdmissionEstimator::new(k, params.gamma_m, params.speed_mps);
+    let mut admitted = Vec::new();
+    let mut shed = Vec::new();
+    let mut escalated = Vec::new();
+    // Starved requests skip the delay bound entirely.
+    for &id in &ranked {
+        if deferral_count[id.index()] >= max_deferrals {
+            est.admit(ctx.depot_distances()[id.index()], charge_s(id));
+            admitted.push(id);
+            escalated.push(id);
+        }
+    }
+    for &id in &ranked {
+        if deferral_count[id.index()] >= max_deferrals {
+            continue;
+        }
+        let d = ctx.depot_distances()[id.index()];
+        let c = charge_s(id);
+        if admitted.is_empty() || est.bound_with(d, c) <= bound_s {
+            est.admit(d, c);
+            admitted.push(id);
+        } else {
+            shed.push(id);
+        }
+    }
+    (admitted, shed, escalated)
+}
+
 /// A monitoring-period simulation of one network instance.
 ///
 /// Owns a mutable copy of the network; [`Simulation::run`] consumes the
@@ -319,6 +402,10 @@ fn apply_breakdowns(
 pub struct Simulation {
     net: Network,
     config: SimConfig,
+    /// Checkpoint destination directory and round period, if enabled.
+    checkpoint: Option<(PathBuf, usize)>,
+    /// Snapshot to resume from instead of starting at `t = 0`.
+    resume: Option<Snapshot>,
 }
 
 impl Simulation {
@@ -328,10 +415,33 @@ impl Simulation {
     ///
     /// Returns [`SimConfigError`] if the horizon is non-positive, the
     /// request fraction is outside `(0, 1]`, the batch fraction is
-    /// negative, or the fault model is out of range.
+    /// negative, or the fault or channel model is out of range.
     pub fn new(net: Network, config: SimConfig) -> Result<Self, SimConfigError> {
         config.validate()?;
-        Ok(Simulation { net, config })
+        Ok(Simulation { net, config, checkpoint: None, resume: None })
+    }
+
+    /// Enables crash-safe checkpointing: a [`Snapshot`] of the complete
+    /// simulation state (sensor energies, fleet and channel state, RNG
+    /// stream positions, service ledger, trace ring) is written
+    /// atomically to `dir` every `every` dispatched rounds.
+    ///
+    /// # Panics
+    ///
+    /// [`Simulation::run`] panics if a checkpoint file cannot be
+    /// written — a checkpointed run that silently stops checkpointing
+    /// would defeat the purpose.
+    pub fn checkpoint_to(mut self, dir: impl Into<PathBuf>, every: usize) -> Self {
+        self.checkpoint = Some((dir.into(), every.max(1)));
+        self
+    }
+
+    /// Resumes from a [`Snapshot`] taken by a checkpointing run with the
+    /// same network, config, planner and fleet size. The resumed run's
+    /// report is bit-identical to the uninterrupted run's.
+    pub fn resume_from(mut self, snapshot: Snapshot) -> Self {
+        self.resume = Some(snapshot);
+        self
     }
 
     /// The dispatch batch size for this network.
@@ -379,12 +489,20 @@ impl Simulation {
         // Fault layer: `None` when the model is inert — that path draws
         // zero random values and is bit-identical to the pre-fault engine.
         let mut fault = FaultState::new(&self.config.fault, k);
+        // Request-channel layer, same contract: `None` when inert, and
+        // the inert path computes pending sets exactly as before.
+        let mut channel = ChannelState::new(&self.config.channel, n);
         let kedf = wrsn_baselines::KEdf::new(PlannerConfig::default());
         let mut charger_failures = 0usize;
         let mut recovery_rounds = 0usize;
         let mut charged_sensors = 0usize;
         let mut recovered_sensors = 0usize;
         let mut deferred_sensors = 0usize;
+        let mut shed_sensors = 0usize;
+        let mut escalated_requests = 0usize;
+        // Rounds each sensor's current request has been shed/deferred;
+        // reaching `max_deferrals` escalates it past admission control.
+        let mut deferral_count = vec![0u32; n];
         // Failure injection: pre-draw each sensor's permanent failure
         // time from an exponential with the configured yearly rate.
         let mut fail_at: Vec<f64> = vec![f64::INFINITY; n];
@@ -416,9 +534,70 @@ impl Simulation {
         // When tracing: the time each currently-dead sensor died.
         let mut dead_since: Vec<Option<f64>> = vec![None; n];
 
+        // Resume: overwrite the freshly-initialized state with the
+        // snapshot's. The failure pre-draw above already consumed its
+        // whole RNG stream, so restoring `fail_at` alone is exact; the
+        // fault and channel streams are restored mid-flight.
+        if let Some(snap) = self.resume.take() {
+            assert_eq!(snap.sensors.len(), n, "snapshot is for a different network");
+            assert_eq!(snap.k, k, "snapshot is for a different fleet size");
+            for (s, &(res, cons)) in self.net.sensors_mut().iter_mut().zip(&snap.sensors) {
+                s.residual_j = res;
+                s.consumption_w = cons;
+            }
+            t = snap.t;
+            dead = snap.dead;
+            dead_since = snap.dead_since;
+            fail_at = snap.fail_at;
+            failed_sensors = snap.failed_sensors;
+            charger_failures = snap.charger_failures;
+            recovery_rounds = snap.recovery_rounds;
+            charged_sensors = snap.charged_sensors;
+            recovered_sensors = snap.recovered_sensors;
+            deferred_sensors = snap.deferred_sensors;
+            shed_sensors = snap.shed_sensors;
+            escalated_requests = snap.escalated_requests;
+            deferral_count = snap.deferral_count;
+            rounds = snap.rounds;
+            trace = Trace::from_parts(
+                self.config.trace_capacity,
+                snap.trace_dropped,
+                snap.trace_events,
+            );
+            fault = snap.fault.map(|f| {
+                FaultState::from_parts(&self.config.fault, &f.rng, f.life_left, f.available_at)
+            });
+            channel = snap.channel.map(|c| {
+                ChannelState::from_parts(
+                    &self.config.channel,
+                    &c.rng,
+                    c.wants,
+                    c.delivered,
+                    c.attempts,
+                    c.next_attempt_s,
+                    c.inflight,
+                    c.lost_requests,
+                    c.duplicates_dropped,
+                )
+            });
+        }
+
         while t < self.config.horizon_s {
             apply_failures(&mut self.net, t, &mut fail_at, &mut failed_sensors);
-            let pending = self.net.requesting_sensors(self.config.request_fraction);
+            // The requests the base station actually knows of: with an
+            // active channel only delivered ones, else every sensor below
+            // the threshold (the paper's instant lossless control plane).
+            let pending = match channel.as_mut() {
+                Some(ch) => {
+                    let mut cbuf = Vec::new();
+                    ch.advance(&self.net, self.config.request_fraction, t, tracing, &mut cbuf);
+                    for e in cbuf {
+                        trace.push(e);
+                    }
+                    ch.pending(&self.net, self.config.request_fraction)
+                }
+                None => self.net.requesting_sensors(self.config.request_fraction),
+            };
             if pending.len() >= batch.min(n.max(1)) && !pending.is_empty() {
                 let avail: Vec<usize> = match fault.as_ref() {
                     Some(fs) => fs.available(t),
@@ -448,12 +627,57 @@ impl Simulation {
                     continue;
                 }
 
+                // Saturation watchdog: admit what the in-service fleet
+                // can plausibly serve within the configured delay bound,
+                // shed the rest to a later round (most-critical first,
+                // starved requests escalated past the bound).
+                let (dispatch, shed_now, escalated_now) = if self.config.admission_bound_s
+                    > 0.0
+                {
+                    admit_requests(
+                        &self.net,
+                        &full_ctx,
+                        &pending,
+                        avail.len(),
+                        &self.config.params,
+                        self.config.admission_bound_s,
+                        self.config.max_deferrals,
+                        &deferral_count,
+                    )
+                } else {
+                    (pending, Vec::new(), Vec::new())
+                };
+                escalated_requests += escalated_now.len();
+                shed_sensors += shed_now.len();
+                if tracing {
+                    for &id in &escalated_now {
+                        trace.push(TraceEvent::RequestEscalated {
+                            at_s: t,
+                            sensor: id,
+                            deferrals: deferral_count[id.index()],
+                        });
+                    }
+                }
+                for &id in &shed_now {
+                    // The event carries the deferrals suffered *before*
+                    // this shed (matching `RequestEscalated`), so a shed
+                    // always shows `deferrals < max_deferrals`.
+                    if tracing {
+                        trace.push(TraceEvent::RequestShed {
+                            at_s: t,
+                            sensor: id,
+                            deferrals: deferral_count[id.index()],
+                        });
+                    }
+                    deferral_count[id.index()] = deferral_count[id.index()].saturating_add(1);
+                }
+
                 // Dispatch a round on the current state, on whatever
                 // part of the fleet is in service.
                 let problem = ChargingProblem::from_network_in_context(
                     &full_ctx,
                     &self.net,
-                    &pending,
+                    &dispatch,
                     avail.len(),
                     self.config.params,
                 )
@@ -483,9 +707,9 @@ impl Simulation {
                     completion_at[problem.targets()[ti].id.index()] = c.map(|c| c * factor);
                 }
                 // Energy actually delivered: the deficit of every
-                // pending sensor whose charge completed (stranded
+                // dispatched sensor whose charge completed (stranded
                 // sensors received nothing they could keep).
-                let energy_main: f64 = pending
+                let energy_main: f64 = dispatch
                     .iter()
                     .filter(|id| completion_at[id.index()].is_some())
                     .map(|&id| {
@@ -499,7 +723,7 @@ impl Simulation {
                     buf.push(TraceEvent::RoundDispatched {
                         at_s: t,
                         round: rounds.len(),
-                        requests: pending.len(),
+                        requests: dispatch.len(),
                     });
                     for &(c, at) in &breakdowns {
                         buf.push(TraceEvent::ChargerFailed { at_s: at, charger: c });
@@ -525,7 +749,7 @@ impl Simulation {
 
                 let mut charged_this = 0usize;
                 let mut stranded: Vec<SensorId> = Vec::new();
-                for &id in &pending {
+                for &id in &dispatch {
                     if completion_at[id.index()].is_some() {
                         charged_this += 1;
                     } else {
@@ -533,7 +757,8 @@ impl Simulation {
                     }
                 }
 
-                let mut request_total = pending.len();
+                let mut request_total = dispatch.len() + shed_now.len();
+                let mut recovery_completed: Vec<SensorId> = Vec::new();
                 let mut recovery_len = 0.0f64;
                 let mut recovered_this = 0usize;
                 let mut energy = energy_main;
@@ -549,11 +774,31 @@ impl Simulation {
                         let avail2 = fs.available(t_end);
                         if !avail2.is_empty() && t_end < self.config.horizon_s {
                             let mut in_main = vec![false; n];
-                            for &id in &pending {
+                            for &id in &dispatch {
                                 in_main[id.index()] = true;
                             }
-                            let recovery_pending =
-                                self.net.requesting_sensors(self.config.request_fraction);
+                            // A shed request served here re-enters the
+                            // ledger as a fresh request, so it is *not*
+                            // marked as part of the main round.
+                            let recovery_pending = match channel.as_mut() {
+                                Some(ch) => {
+                                    let mut cbuf = Vec::new();
+                                    ch.advance(
+                                        &self.net,
+                                        self.config.request_fraction,
+                                        t_end,
+                                        tracing,
+                                        &mut cbuf,
+                                    );
+                                    for e in cbuf {
+                                        trace.push(e);
+                                    }
+                                    ch.pending(&self.net, self.config.request_fraction)
+                                }
+                                None => self
+                                    .net
+                                    .requesting_sensors(self.config.request_fraction),
+                            };
                             if !recovery_pending.is_empty() {
                                 let problem2 = ChargingProblem::from_network_in_context(
                                     &full_ctx,
@@ -642,6 +887,9 @@ impl Simulation {
                                             charged_this += 1;
                                         }
                                     }
+                                    if completion_at2[id.index()].is_some() {
+                                        recovery_completed.push(id);
+                                    }
                                 }
                                 for &id in &stranded {
                                     if completion_at2[id.index()].is_some() {
@@ -654,7 +902,24 @@ impl Simulation {
                 }
                 charged_sensors += charged_this;
                 recovered_sensors += recovered_this;
-                deferred_sensors += request_total - charged_this - recovered_this;
+                deferred_sensors +=
+                    request_total - charged_this - recovered_this - shed_now.len();
+                // Starvation bookkeeping: a served request resets its
+                // deferral clock; one left stranded keeps accumulating.
+                for &id in &dispatch {
+                    if completion_at[id.index()].is_some() {
+                        deferral_count[id.index()] = 0;
+                    }
+                }
+                for &id in &recovery_completed {
+                    deferral_count[id.index()] = 0;
+                }
+                for &id in &stranded {
+                    if !recovery_completed.contains(&id) {
+                        deferral_count[id.index()] =
+                            deferral_count[id.index()].saturating_add(1);
+                    }
+                }
 
                 let total_len = round_len + recovery_len;
                 if tracing {
@@ -678,6 +943,36 @@ impl Simulation {
                     drain_with_dead_accounting(self.net.sensors_mut(), turnaround, &mut dead);
                 }
                 t += total_len.max(1.0) + turnaround;
+                // Crash safety: persist the complete state at the round
+                // boundary — exactly the loop-top state a resumed run
+                // re-enters with.
+                if let Some((dir, every)) = self.checkpoint.as_ref() {
+                    if rounds.len() % *every == 0 {
+                        let snap = Snapshot::capture(
+                            k,
+                            t,
+                            &self.net,
+                            &dead,
+                            &dead_since,
+                            &fail_at,
+                            failed_sensors,
+                            charger_failures,
+                            recovery_rounds,
+                            charged_sensors,
+                            recovered_sensors,
+                            deferred_sensors,
+                            shed_sensors,
+                            escalated_requests,
+                            &deferral_count,
+                            &rounds,
+                            fault.as_ref(),
+                            channel.as_ref(),
+                            &trace,
+                        );
+                        snap.write_to_dir(dir, rounds.len())
+                            .expect("checkpoint write failed");
+                    }
+                }
                 continue;
             }
 
@@ -698,6 +993,14 @@ impl Simulation {
                     dt = dt.min(ft - t + 1e-9);
                 }
             }
+            // Wake for the next channel event (a delivery or a retry):
+            // an undelivered request must not sleep to the horizon.
+            if let Some(ch) = channel.as_ref() {
+                let ev = ch.next_event_s(t);
+                if ev.is_finite() {
+                    dt = dt.min(ev - t + 1e-9);
+                }
+            }
             if dt <= 0.0 {
                 break;
             }
@@ -713,6 +1016,9 @@ impl Simulation {
             t += dt;
         }
 
+        let (lost_requests, duplicates_dropped) = channel
+            .as_ref()
+            .map_or((0, 0), |ch| (ch.lost_requests, ch.duplicates_dropped));
         Ok(SimReport {
             rounds,
             dead_time_s: dead,
@@ -724,6 +1030,10 @@ impl Simulation {
             charged_sensors,
             recovered_sensors,
             deferred_sensors,
+            shed_sensors,
+            lost_requests,
+            duplicates_dropped,
+            escalated_requests,
         })
     }
 
@@ -1049,21 +1359,26 @@ mod tests {
     }
 
     #[test]
-    fn config_errors_display_and_panic_shim() {
+    fn config_errors_display() {
         let mut cfg = SimConfig::default();
         cfg.request_fraction = 0.0;
         let err = cfg.validate().unwrap_err();
         assert!(err.to_string().contains("request fraction"));
-        let ok = SimConfig::default();
-        ok.validate_or_panic(); // must not panic on a valid config
+        assert_eq!(SimConfig::default().validate(), Ok(()));
     }
 
     #[test]
-    #[should_panic(expected = "horizon")]
-    fn validate_or_panic_panics_on_bad_config() {
+    fn invalid_channel_model_is_rejected() {
+        let net = NetworkBuilder::new(5).build();
         let mut cfg = SimConfig::default();
-        cfg.horizon_s = -1.0;
-        cfg.validate_or_panic();
+        cfg.channel.loss_prob = 1.0;
+        assert!(matches!(
+            Simulation::new(net, cfg).err(),
+            Some(SimConfigError::InvalidChannelModel(_))
+        ));
+        let mut cfg = SimConfig::default();
+        cfg.admission_bound_s = -1.0;
+        assert_eq!(cfg.validate(), Err(SimConfigError::NegativeAdmissionBound));
     }
 
     #[test]
@@ -1212,5 +1527,131 @@ mod tests {
         truncate_tour(&mut early, 5.0); // fails before the first arrival
         assert!(early.sojourns.is_empty());
         assert_eq!(early.return_time_s, 5.0);
+    }
+
+    #[test]
+    fn inert_channel_layer_is_bit_identical() {
+        let run = |channel: ChannelModel| {
+            let net = NetworkBuilder::new(80).seed(1).build();
+            let mut cfg = SimConfig::default();
+            cfg.horizon_s = month();
+            cfg.channel = channel;
+            Simulation::new(net, cfg)
+                .unwrap()
+                .run(&Appro::new(PlannerConfig::default()), 2)
+                .unwrap()
+        };
+        // As with the fault layer: an inert channel (all probabilities and
+        // delays zero) must draw zero random values, whatever its seed.
+        let mut seeded = ChannelModel::default();
+        seeded.seed = 31_337;
+        let base = run(ChannelModel::default());
+        assert_eq!(base, run(seeded));
+        assert_eq!(base.lost_requests, 0);
+        assert_eq!(base.duplicates_dropped, 0);
+        assert_eq!(base.shed_sensors, 0);
+    }
+
+    #[test]
+    fn lossy_channel_reconciles_and_is_deterministic() {
+        // The issue's acceptance scenario: 30 % request loss on a
+        // saturated fleet (K = 1). No panics, exact ledger, reproducible.
+        let run = || {
+            let net = NetworkBuilder::new(200).seed(9).build();
+            let mut cfg = SimConfig::default();
+            cfg.horizon_s = 120.0 * 24.0 * 3600.0;
+            cfg.channel.loss_prob = 0.3;
+            cfg.channel.delay_max_s = 300.0;
+            cfg.channel.duplicate_prob = 0.05;
+            cfg.channel.seed = 42;
+            cfg.validate_schedules = true;
+            Simulation::new(net, cfg)
+                .unwrap()
+                .run(&Appro::new(PlannerConfig::default()), 1)
+                .unwrap()
+        };
+        let report = run();
+        assert!(report.service_reconciles(), "ledger must balance under loss");
+        assert!(report.lost_requests > 0, "30 % loss over 4 months must lose requests");
+        assert!(report.rounds_dispatched() >= 1);
+        assert_eq!(report, run());
+    }
+
+    #[test]
+    fn admission_control_sheds_but_never_starves() {
+        let net = NetworkBuilder::new(250).seed(12).build();
+        let mut cfg = SimConfig::default();
+        cfg.horizon_s = 120.0 * 24.0 * 3600.0;
+        cfg.collect_trace = true;
+        // A bound tight enough to refuse parts of every large batch.
+        cfg.admission_bound_s = 4.0 * 3600.0;
+        cfg.max_deferrals = 3;
+        let report = Simulation::new(net, cfg)
+            .unwrap()
+            .run(&Appro::new(PlannerConfig::default()), 1)
+            .unwrap();
+        assert!(report.shed_sensors > 0, "a 4 h bound on K = 1 must shed");
+        assert!(report.service_reconciles());
+        assert_eq!(report.trace.sheds(), report.shed_sensors);
+        assert_eq!(report.trace.escalations(), report.escalated_requests);
+        // The starvation guarantee: a request is only ever shed while its
+        // deferral count is still below the escalation bound.
+        for ev in report.trace.iter() {
+            if let TraceEvent::RequestShed { deferrals, .. } = ev {
+                assert!(
+                    *deferrals < cfg.max_deferrals,
+                    "request shed after reaching the escalation bound"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        // Acceptance criterion: a run killed at a checkpoint and resumed
+        // from the snapshot must produce a report bit-identical to the
+        // uninterrupted run — with both the fault and channel RNG streams
+        // mid-flight at the capture point.
+        let make = || {
+            let net = NetworkBuilder::new(120).seed(21).build();
+            let mut cfg = SimConfig::default();
+            cfg.horizon_s = 120.0 * 24.0 * 3600.0;
+            cfg.collect_trace = true;
+            cfg.fault.charger_mtbf_s = 0.3 * cfg.horizon_s;
+            cfg.fault.charger_repair_s = 24.0 * 3600.0;
+            cfg.fault.travel_jitter = 0.1;
+            cfg.fault.seed = 5;
+            cfg.channel.loss_prob = 0.2;
+            cfg.channel.delay_max_s = 600.0;
+            cfg.channel.duplicate_prob = 0.1;
+            cfg.channel.seed = 17;
+            (net, cfg)
+        };
+        let planner = Appro::new(PlannerConfig::default());
+
+        let (net, cfg) = make();
+        let uninterrupted = Simulation::new(net, cfg).unwrap().run(&planner, 2).unwrap();
+        assert!(uninterrupted.rounds_dispatched() >= 4, "need rounds to checkpoint");
+
+        let dir = std::env::temp_dir().join("wrsn_engine_ckpt_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let (net, cfg) = make();
+        let checkpointed = Simulation::new(net, cfg)
+            .unwrap()
+            .checkpoint_to(&dir, 2)
+            .run(&planner, 2)
+            .unwrap();
+        assert_eq!(uninterrupted, checkpointed, "checkpointing must not perturb");
+
+        let snap = Snapshot::read(&dir.join("checkpoint_round0002.json")).expect("read ckpt");
+        assert_eq!(snap.round(), 2);
+        let (net, cfg) = make();
+        let resumed = Simulation::new(net, cfg)
+            .unwrap()
+            .resume_from(snap)
+            .run(&planner, 2)
+            .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(uninterrupted, resumed, "resumed run must be bit-identical");
     }
 }

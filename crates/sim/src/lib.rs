@@ -38,16 +38,20 @@
 //! ```
 
 mod async_engine;
+mod channel;
 mod engine;
 mod fault;
 pub mod fleet;
 mod report;
+mod snapshot;
 pub mod trace;
 
 pub use async_engine::AsyncSimulation;
+pub use channel::ChannelModel;
 pub use engine::{SimConfig, SimConfigError, Simulation};
 pub use fault::FaultModel;
 pub use report::{RoundStats, SimReport};
+pub use snapshot::{Snapshot, SnapshotError};
 pub use trace::{Trace, TraceEvent};
 
 /// Advances every sensor of `sensors` by `dt` seconds of drain and adds

@@ -50,6 +50,23 @@ pub struct SimReport {
     /// surviving charger, or stranded again during recovery); they
     /// re-request and are counted again in a later round.
     pub deferred_sensors: usize,
+    /// Service requests shed by saturation-aware admission control
+    /// ([`SimConfig::admission_bound_s`](crate::SimConfig)); like
+    /// deferred requests they stay pending and are counted again — at
+    /// escalated priority — in a later round.
+    pub shed_sensors: usize,
+    /// Request transmissions dropped by the unreliable channel
+    /// ([`ChannelModel::loss_prob`](crate::ChannelModel)). Channel-level
+    /// losses precede admission, so they are *not* part of the service
+    /// ledger — the sensor retries until delivered or dead.
+    pub lost_requests: usize,
+    /// Duplicate request copies discarded at the base station
+    /// ([`ChannelModel::duplicate_prob`](crate::ChannelModel)); never
+    /// double-counted in the ledger.
+    pub duplicates_dropped: usize,
+    /// Requests force-admitted after being deferred or shed for more
+    /// than [`SimConfig::max_deferrals`](crate::SimConfig) rounds.
+    pub escalated_requests: usize,
 }
 
 impl SimReport {
@@ -104,11 +121,15 @@ impl SimReport {
 
     /// Checks the service ledger: every request counted in
     /// [`RoundStats::request_count`] must be exactly one of charged,
-    /// recovered, or deferred. Holds for every run, faulted or not —
-    /// breakdowns may delay service but can never lose a sensor.
+    /// recovered, deferred, or shed. Holds for every run — faulted,
+    /// lossy-channel, or saturated — breakdowns and admission control
+    /// may delay service but can never lose a request.
     pub fn service_reconciles(&self) -> bool {
         self.rounds.iter().map(|r| r.request_count).sum::<usize>()
-            == self.charged_sensors + self.recovered_sensors + self.deferred_sensors
+            == self.charged_sensors
+                + self.recovered_sensors
+                + self.deferred_sensors
+                + self.shed_sensors
     }
 
     /// Fraction of sensors that were never dead.
@@ -171,6 +192,20 @@ mod tests {
         assert!(r.service_reconciles());
         r.deferred_sensors = 1;
         assert!(!r.service_reconciles());
+    }
+
+    #[test]
+    fn ledger_reconciliation_counts_shed() {
+        let r = SimReport {
+            rounds: vec![round(1.0), round(1.0), round(1.0)], // 3 requests
+            charged_sensors: 1,
+            deferred_sensors: 1,
+            shed_sensors: 1,
+            lost_requests: 7,       // channel-level, outside the ledger
+            duplicates_dropped: 2,  // likewise
+            ..Default::default()
+        };
+        assert!(r.service_reconciles());
     }
 
     #[test]

@@ -1,0 +1,778 @@
+//! Crash-safe checkpointing of the synchronous simulation engine.
+//!
+//! A [`Snapshot`] captures the *complete* state of a
+//! [`Simulation::run`](crate::Simulation::run) at a round boundary:
+//! sensor energies and consumption rates, the dead-time ledger, the
+//! pre-drawn sensor-failure schedule, every service-ledger counter, the
+//! per-round statistics so far, the fault and request-channel states
+//! including their exact ChaCha stream positions
+//! ([`ChaCha12Rng::state_words`](rand_chacha::ChaCha12Rng::state_words)),
+//! and the trace ring. Restoring it re-enters the engine loop with
+//! bit-identical state, so a killed-and-resumed run produces a report
+//! equal to the uninterrupted one down to the last `f64` bit.
+//!
+//! The on-disk format is JSON, but every `f64` is stored as its
+//! `to_bits()` `u64` — the vendored `serde_json` preserves `u64`
+//! integers exactly, so no decimal round-trip can perturb the state
+//! (this also round-trips infinities, which the engine uses as "never"
+//! sentinels). Files are written atomically (temp file + rename) so a
+//! crash mid-write can never leave a truncated checkpoint behind.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde_json::{Map, Number, Value};
+
+use wrsn_net::{Network, SensorId};
+
+use crate::channel::{ChannelState, InFlight};
+use crate::fault::FaultState;
+use crate::report::RoundStats;
+use crate::{Trace, TraceEvent};
+
+/// Current snapshot format version; bumped on incompatible changes.
+const FORMAT_VERSION: u64 = 1;
+
+/// A failed checkpoint write or an unreadable/corrupt snapshot file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Filesystem error (message includes the OS detail).
+    Io(String),
+    /// The file is not valid JSON.
+    Json(String),
+    /// The JSON parses but is not a valid snapshot; the field names the
+    /// first offending element.
+    Corrupt(&'static str),
+    /// The snapshot's format version is not supported.
+    Version(u64),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Json(e) => write!(f, "snapshot is not valid JSON: {e}"),
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapshotError::Version(v) => {
+                write!(f, "unsupported snapshot format version {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Checkpointed fault-layer state ([`FaultState`] mid-run).
+#[derive(Clone, Debug)]
+pub(crate) struct FaultSnap {
+    pub rng: [u32; 33],
+    pub life_left: Vec<f64>,
+    pub available_at: Vec<f64>,
+}
+
+/// Checkpointed request-channel state ([`ChannelState`] mid-run).
+#[derive(Clone, Debug)]
+pub(crate) struct ChannelSnap {
+    pub rng: [u32; 33],
+    pub wants: Vec<bool>,
+    pub delivered: Vec<bool>,
+    pub attempts: Vec<u32>,
+    pub next_attempt_s: Vec<f64>,
+    pub inflight: Vec<InFlight>,
+    pub lost_requests: usize,
+    pub duplicates_dropped: usize,
+}
+
+/// The complete mid-run state of a synchronous [`Simulation`]
+/// (`crate::Simulation`) at a round boundary. Obtain one from a
+/// checkpointing run (`Simulation::checkpoint_to`) via [`Snapshot::read`]
+/// and feed it to `Simulation::resume_from`.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    pub(crate) k: usize,
+    pub(crate) round: usize,
+    pub(crate) t: f64,
+    /// Per-sensor `(residual_j, consumption_w)` — consumption too,
+    /// because failure injection zeroes it mid-run.
+    pub(crate) sensors: Vec<(f64, f64)>,
+    pub(crate) dead: Vec<f64>,
+    pub(crate) dead_since: Vec<Option<f64>>,
+    pub(crate) fail_at: Vec<f64>,
+    pub(crate) failed_sensors: usize,
+    pub(crate) charger_failures: usize,
+    pub(crate) recovery_rounds: usize,
+    pub(crate) charged_sensors: usize,
+    pub(crate) recovered_sensors: usize,
+    pub(crate) deferred_sensors: usize,
+    pub(crate) shed_sensors: usize,
+    pub(crate) escalated_requests: usize,
+    pub(crate) deferral_count: Vec<u32>,
+    pub(crate) rounds: Vec<RoundStats>,
+    pub(crate) fault: Option<FaultSnap>,
+    pub(crate) channel: Option<ChannelSnap>,
+    pub(crate) trace_dropped: usize,
+    pub(crate) trace_events: Vec<TraceEvent>,
+}
+
+fn bits(x: f64) -> Value {
+    Value::Number(Number::U(x.to_bits()))
+}
+
+fn uint(x: usize) -> Value {
+    Value::Number(Number::U(x as u64))
+}
+
+fn f64_of(v: &Value, what: &'static str) -> Result<f64, SnapshotError> {
+    v.as_u64().map(f64::from_bits).ok_or(SnapshotError::Corrupt(what))
+}
+
+fn usize_of(v: &Value, what: &'static str) -> Result<usize, SnapshotError> {
+    v.as_u64()
+        .and_then(|u| usize::try_from(u).ok())
+        .ok_or(SnapshotError::Corrupt(what))
+}
+
+fn u32_of(v: &Value, what: &'static str) -> Result<u32, SnapshotError> {
+    v.as_u64()
+        .and_then(|u| u32::try_from(u).ok())
+        .ok_or(SnapshotError::Corrupt(what))
+}
+
+fn bool_of(v: &Value, what: &'static str) -> Result<bool, SnapshotError> {
+    v.as_bool().ok_or(SnapshotError::Corrupt(what))
+}
+
+fn array<'v>(v: &'v Value, what: &'static str) -> Result<&'v [Value], SnapshotError> {
+    v.as_array().map(Vec::as_slice).ok_or(SnapshotError::Corrupt(what))
+}
+
+fn f64_vec(v: &Value, what: &'static str) -> Result<Vec<f64>, SnapshotError> {
+    array(v, what)?.iter().map(|x| f64_of(x, what)).collect()
+}
+
+fn bits_vec(xs: &[f64]) -> Value {
+    Value::Array(xs.iter().map(|&x| bits(x)).collect())
+}
+
+fn rng_to_json(words: &[u32; 33]) -> Value {
+    Value::Array(words.iter().map(|&w| Value::Number(Number::U(u64::from(w)))).collect())
+}
+
+fn rng_of(v: &Value) -> Result<[u32; 33], SnapshotError> {
+    let arr = array(v, "rng")?;
+    if arr.len() != 33 {
+        return Err(SnapshotError::Corrupt("rng word count"));
+    }
+    let mut words = [0u32; 33];
+    for (w, x) in words.iter_mut().zip(arr) {
+        *w = u32_of(x, "rng word")?;
+    }
+    Ok(words)
+}
+
+fn event_to_json(e: &TraceEvent) -> Value {
+    let v = match *e {
+        TraceEvent::RoundDispatched { at_s, round, requests } => {
+            vec![Value::from("rd"), bits(at_s), uint(round), uint(requests)]
+        }
+        TraceEvent::SensorDied { at_s, sensor } => {
+            vec![Value::from("sd"), bits(at_s), uint(sensor.index())]
+        }
+        TraceEvent::SensorRecharged { at_s, sensor, ended_dead_s } => {
+            vec![Value::from("sr"), bits(at_s), uint(sensor.index()), bits(ended_dead_s)]
+        }
+        TraceEvent::RoundCompleted { at_s, round, longest_delay_s } => {
+            vec![Value::from("rc"), bits(at_s), uint(round), bits(longest_delay_s)]
+        }
+        TraceEvent::ChargerFailed { at_s, charger } => {
+            vec![Value::from("cf"), bits(at_s), uint(charger)]
+        }
+        TraceEvent::RecoveryDispatched { at_s, stranded, chargers } => {
+            vec![Value::from("rv"), bits(at_s), uint(stranded), uint(chargers)]
+        }
+        TraceEvent::RequestLost { at_s, sensor, attempt } => {
+            vec![Value::from("rl"), bits(at_s), uint(sensor.index()), uint(attempt as usize)]
+        }
+        TraceEvent::DuplicateDropped { at_s, sensor } => {
+            vec![Value::from("dd"), bits(at_s), uint(sensor.index())]
+        }
+        TraceEvent::RequestShed { at_s, sensor, deferrals } => {
+            vec![Value::from("rs"), bits(at_s), uint(sensor.index()), uint(deferrals as usize)]
+        }
+        TraceEvent::RequestEscalated { at_s, sensor, deferrals } => {
+            vec![Value::from("re"), bits(at_s), uint(sensor.index()), uint(deferrals as usize)]
+        }
+    };
+    Value::Array(v)
+}
+
+fn sensor_id_of(v: &Value) -> Result<SensorId, SnapshotError> {
+    Ok(SensorId(u32_of(v, "trace sensor id")?))
+}
+
+fn event_of(v: &Value) -> Result<TraceEvent, SnapshotError> {
+    let arr = array(v, "trace event")?;
+    let tag = arr
+        .first()
+        .and_then(Value::as_str)
+        .ok_or(SnapshotError::Corrupt("trace event tag"))?;
+    let field = |i: usize| arr.get(i).ok_or(SnapshotError::Corrupt("trace event arity"));
+    let e = match tag {
+        "rd" => TraceEvent::RoundDispatched {
+            at_s: f64_of(field(1)?, "trace time")?,
+            round: usize_of(field(2)?, "trace round")?,
+            requests: usize_of(field(3)?, "trace requests")?,
+        },
+        "sd" => TraceEvent::SensorDied {
+            at_s: f64_of(field(1)?, "trace time")?,
+            sensor: sensor_id_of(field(2)?)?,
+        },
+        "sr" => TraceEvent::SensorRecharged {
+            at_s: f64_of(field(1)?, "trace time")?,
+            sensor: sensor_id_of(field(2)?)?,
+            ended_dead_s: f64_of(field(3)?, "trace dead time")?,
+        },
+        "rc" => TraceEvent::RoundCompleted {
+            at_s: f64_of(field(1)?, "trace time")?,
+            round: usize_of(field(2)?, "trace round")?,
+            longest_delay_s: f64_of(field(3)?, "trace delay")?,
+        },
+        "cf" => TraceEvent::ChargerFailed {
+            at_s: f64_of(field(1)?, "trace time")?,
+            charger: usize_of(field(2)?, "trace charger")?,
+        },
+        "rv" => TraceEvent::RecoveryDispatched {
+            at_s: f64_of(field(1)?, "trace time")?,
+            stranded: usize_of(field(2)?, "trace stranded")?,
+            chargers: usize_of(field(3)?, "trace chargers")?,
+        },
+        "rl" => TraceEvent::RequestLost {
+            at_s: f64_of(field(1)?, "trace time")?,
+            sensor: sensor_id_of(field(2)?)?,
+            attempt: u32_of(field(3)?, "trace attempt")?,
+        },
+        "dd" => TraceEvent::DuplicateDropped {
+            at_s: f64_of(field(1)?, "trace time")?,
+            sensor: sensor_id_of(field(2)?)?,
+        },
+        "rs" => TraceEvent::RequestShed {
+            at_s: f64_of(field(1)?, "trace time")?,
+            sensor: sensor_id_of(field(2)?)?,
+            deferrals: u32_of(field(3)?, "trace deferrals")?,
+        },
+        "re" => TraceEvent::RequestEscalated {
+            at_s: f64_of(field(1)?, "trace time")?,
+            sensor: sensor_id_of(field(2)?)?,
+            deferrals: u32_of(field(3)?, "trace deferrals")?,
+        },
+        _ => return Err(SnapshotError::Corrupt("unknown trace event tag")),
+    };
+    Ok(e)
+}
+
+impl Snapshot {
+    /// Captures the engine's loop state. Called by the engine at a round
+    /// boundary; all arguments are its live locals.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn capture(
+        k: usize,
+        t: f64,
+        net: &Network,
+        dead: &[f64],
+        dead_since: &[Option<f64>],
+        fail_at: &[f64],
+        failed_sensors: usize,
+        charger_failures: usize,
+        recovery_rounds: usize,
+        charged_sensors: usize,
+        recovered_sensors: usize,
+        deferred_sensors: usize,
+        shed_sensors: usize,
+        escalated_requests: usize,
+        deferral_count: &[u32],
+        rounds: &[RoundStats],
+        fault: Option<&FaultState>,
+        channel: Option<&ChannelState>,
+        trace: &Trace,
+    ) -> Snapshot {
+        Snapshot {
+            k,
+            round: rounds.len(),
+            t,
+            sensors: net.sensors().iter().map(|s| (s.residual_j, s.consumption_w)).collect(),
+            dead: dead.to_vec(),
+            dead_since: dead_since.to_vec(),
+            fail_at: fail_at.to_vec(),
+            failed_sensors,
+            charger_failures,
+            recovery_rounds,
+            charged_sensors,
+            recovered_sensors,
+            deferred_sensors,
+            shed_sensors,
+            escalated_requests,
+            deferral_count: deferral_count.to_vec(),
+            rounds: rounds.to_vec(),
+            fault: fault.map(|fs| FaultSnap {
+                rng: fs.rng_words(),
+                life_left: fs.life_left.clone(),
+                available_at: fs.available_at.clone(),
+            }),
+            channel: channel.map(|ch| ChannelSnap {
+                rng: ch.rng_words(),
+                wants: ch.wants.clone(),
+                delivered: ch.delivered.clone(),
+                attempts: ch.attempts.clone(),
+                next_attempt_s: ch.next_attempt_s.clone(),
+                inflight: ch.inflight.clone(),
+                lost_requests: ch.lost_requests,
+                duplicates_dropped: ch.duplicates_dropped,
+            }),
+            trace_dropped: trace.dropped(),
+            trace_events: trace.iter().copied().collect(),
+        }
+    }
+
+    /// The number of rounds dispatched before this snapshot was taken.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The simulation clock at the capture point, seconds.
+    pub fn time_s(&self) -> f64 {
+        self.t
+    }
+
+    /// Serializes to the on-disk JSON document.
+    pub fn to_json(&self) -> Value {
+        let mut root = Map::new();
+        root.insert("version".into(), Value::Number(Number::U(FORMAT_VERSION)));
+        root.insert("engine".into(), Value::from("sync"));
+        root.insert("k".into(), uint(self.k));
+        root.insert("round".into(), uint(self.round));
+        root.insert("t".into(), bits(self.t));
+        root.insert(
+            "sensors".into(),
+            Value::Array(
+                self.sensors
+                    .iter()
+                    .map(|&(r, c)| Value::Array(vec![bits(r), bits(c)]))
+                    .collect(),
+            ),
+        );
+        root.insert("dead".into(), bits_vec(&self.dead));
+        root.insert(
+            "dead_since".into(),
+            Value::Array(
+                self.dead_since.iter().map(|d| d.map_or(Value::Null, bits)).collect(),
+            ),
+        );
+        root.insert("fail_at".into(), bits_vec(&self.fail_at));
+        let mut counters = Map::new();
+        counters.insert("failed_sensors".into(), uint(self.failed_sensors));
+        counters.insert("charger_failures".into(), uint(self.charger_failures));
+        counters.insert("recovery_rounds".into(), uint(self.recovery_rounds));
+        counters.insert("charged_sensors".into(), uint(self.charged_sensors));
+        counters.insert("recovered_sensors".into(), uint(self.recovered_sensors));
+        counters.insert("deferred_sensors".into(), uint(self.deferred_sensors));
+        counters.insert("shed_sensors".into(), uint(self.shed_sensors));
+        counters.insert("escalated_requests".into(), uint(self.escalated_requests));
+        root.insert("counters".into(), Value::Object(counters));
+        root.insert(
+            "deferral_count".into(),
+            Value::Array(self.deferral_count.iter().map(|&d| uint(d as usize)).collect()),
+        );
+        root.insert(
+            "rounds".into(),
+            Value::Array(
+                self.rounds
+                    .iter()
+                    .map(|r| {
+                        Value::Array(vec![
+                            bits(r.dispatch_time_s),
+                            uint(r.request_count),
+                            bits(r.longest_delay_s),
+                            bits(r.total_wait_s),
+                            uint(r.sojourn_count),
+                            bits(r.energy_delivered_j),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "fault".into(),
+            self.fault.as_ref().map_or(Value::Null, |f| {
+                let mut m = Map::new();
+                m.insert("rng".into(), rng_to_json(&f.rng));
+                m.insert("life_left".into(), bits_vec(&f.life_left));
+                m.insert("available_at".into(), bits_vec(&f.available_at));
+                Value::Object(m)
+            }),
+        );
+        root.insert(
+            "channel".into(),
+            self.channel.as_ref().map_or(Value::Null, |c| {
+                let mut m = Map::new();
+                m.insert("rng".into(), rng_to_json(&c.rng));
+                m.insert(
+                    "wants".into(),
+                    Value::Array(c.wants.iter().map(|&b| Value::Bool(b)).collect()),
+                );
+                m.insert(
+                    "delivered".into(),
+                    Value::Array(c.delivered.iter().map(|&b| Value::Bool(b)).collect()),
+                );
+                m.insert(
+                    "attempts".into(),
+                    Value::Array(c.attempts.iter().map(|&a| uint(a as usize)).collect()),
+                );
+                m.insert("next_attempt".into(), bits_vec(&c.next_attempt_s));
+                m.insert(
+                    "inflight".into(),
+                    Value::Array(
+                        c.inflight
+                            .iter()
+                            .map(|m| {
+                                Value::Array(vec![
+                                    bits(m.deliver_at_s),
+                                    uint(m.sensor as usize),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                );
+                m.insert("lost".into(), uint(c.lost_requests));
+                m.insert("dup_dropped".into(), uint(c.duplicates_dropped));
+                Value::Object(m)
+            }),
+        );
+        let mut tr = Map::new();
+        tr.insert("dropped".into(), uint(self.trace_dropped));
+        tr.insert(
+            "events".into(),
+            Value::Array(self.trace_events.iter().map(event_to_json).collect()),
+        );
+        root.insert("trace".into(), Value::Object(tr));
+        Value::Object(root)
+    }
+
+    /// Deserializes a snapshot from its JSON document.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Corrupt`] naming the first invalid element, or
+    /// [`SnapshotError::Version`] for an unsupported format version.
+    pub fn from_json(v: &Value) -> Result<Snapshot, SnapshotError> {
+        let version = v["version"].as_u64().ok_or(SnapshotError::Corrupt("version"))?;
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::Version(version));
+        }
+        if v["engine"].as_str() != Some("sync") {
+            return Err(SnapshotError::Corrupt("engine"));
+        }
+        let sensors = array(&v["sensors"], "sensors")?
+            .iter()
+            .map(|p| {
+                let pair = array(p, "sensor pair")?;
+                if pair.len() != 2 {
+                    return Err(SnapshotError::Corrupt("sensor pair"));
+                }
+                Ok((f64_of(&pair[0], "sensor residual")?, f64_of(&pair[1], "sensor rate")?))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let dead_since = array(&v["dead_since"], "dead_since")?
+            .iter()
+            .map(|d| {
+                if d.is_null() {
+                    Ok(None)
+                } else {
+                    f64_of(d, "dead_since").map(Some)
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let counters = &v["counters"];
+        let rounds = array(&v["rounds"], "rounds")?
+            .iter()
+            .map(|r| {
+                let f = array(r, "round stats")?;
+                if f.len() != 6 {
+                    return Err(SnapshotError::Corrupt("round stats arity"));
+                }
+                Ok(RoundStats {
+                    dispatch_time_s: f64_of(&f[0], "round dispatch time")?,
+                    request_count: usize_of(&f[1], "round request count")?,
+                    longest_delay_s: f64_of(&f[2], "round delay")?,
+                    total_wait_s: f64_of(&f[3], "round wait")?,
+                    sojourn_count: usize_of(&f[4], "round sojourns")?,
+                    energy_delivered_j: f64_of(&f[5], "round energy")?,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let fault = match &v["fault"] {
+            Value::Null => None,
+            f => Some(FaultSnap {
+                rng: rng_of(&f["rng"])?,
+                life_left: f64_vec(&f["life_left"], "fault life")?,
+                available_at: f64_vec(&f["available_at"], "fault availability")?,
+            }),
+        };
+        let channel = match &v["channel"] {
+            Value::Null => None,
+            c => Some(ChannelSnap {
+                rng: rng_of(&c["rng"])?,
+                wants: array(&c["wants"], "channel wants")?
+                    .iter()
+                    .map(|b| bool_of(b, "channel wants"))
+                    .collect::<Result<_, _>>()?,
+                delivered: array(&c["delivered"], "channel delivered")?
+                    .iter()
+                    .map(|b| bool_of(b, "channel delivered"))
+                    .collect::<Result<_, _>>()?,
+                attempts: array(&c["attempts"], "channel attempts")?
+                    .iter()
+                    .map(|a| u32_of(a, "channel attempts"))
+                    .collect::<Result<_, _>>()?,
+                next_attempt_s: f64_vec(&c["next_attempt"], "channel retry times")?,
+                inflight: array(&c["inflight"], "channel inflight")?
+                    .iter()
+                    .map(|m| {
+                        let pair = array(m, "inflight pair")?;
+                        if pair.len() != 2 {
+                            return Err(SnapshotError::Corrupt("inflight pair"));
+                        }
+                        Ok(InFlight {
+                            deliver_at_s: f64_of(&pair[0], "inflight time")?,
+                            sensor: u32_of(&pair[1], "inflight sensor")?,
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+                lost_requests: usize_of(&c["lost"], "channel lost")?,
+                duplicates_dropped: usize_of(&c["dup_dropped"], "channel duplicates")?,
+            }),
+        };
+        let trace_events = array(&v["trace"]["events"], "trace events")?
+            .iter()
+            .map(event_of)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Snapshot {
+            k: usize_of(&v["k"], "k")?,
+            round: usize_of(&v["round"], "round")?,
+            t: f64_of(&v["t"], "t")?,
+            sensors,
+            dead: f64_vec(&v["dead"], "dead")?,
+            dead_since,
+            fail_at: f64_vec(&v["fail_at"], "fail_at")?,
+            failed_sensors: usize_of(&counters["failed_sensors"], "failed_sensors")?,
+            charger_failures: usize_of(&counters["charger_failures"], "charger_failures")?,
+            recovery_rounds: usize_of(&counters["recovery_rounds"], "recovery_rounds")?,
+            charged_sensors: usize_of(&counters["charged_sensors"], "charged_sensors")?,
+            recovered_sensors: usize_of(
+                &counters["recovered_sensors"],
+                "recovered_sensors",
+            )?,
+            deferred_sensors: usize_of(&counters["deferred_sensors"], "deferred_sensors")?,
+            shed_sensors: usize_of(&counters["shed_sensors"], "shed_sensors")?,
+            escalated_requests: usize_of(
+                &counters["escalated_requests"],
+                "escalated_requests",
+            )?,
+            deferral_count: array(&v["deferral_count"], "deferral_count")?
+                .iter()
+                .map(|d| u32_of(d, "deferral_count"))
+                .collect::<Result<_, _>>()?,
+            rounds,
+            fault,
+            channel,
+            trace_dropped: usize_of(&v["trace"]["dropped"], "trace dropped")?,
+            trace_events,
+        })
+    }
+
+    /// Writes the snapshot atomically to
+    /// `dir/checkpoint_round{NNNN}.json` (temp file + rename) and
+    /// returns the final path. Creates `dir` if needed.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on any filesystem failure.
+    pub fn write_to_dir(&self, dir: &Path, round: usize) -> Result<PathBuf, SnapshotError> {
+        std::fs::create_dir_all(dir).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        let path = dir.join(format!("checkpoint_round{round:04}.json"));
+        let tmp = dir.join(format!(".checkpoint_round{round:04}.json.tmp"));
+        let body = serde_json::to_string_pretty(&self.to_json())
+            .map_err(|e| SnapshotError::Json(e.to_string()))?;
+        {
+            let mut f =
+                std::fs::File::create(&tmp).map_err(|e| SnapshotError::Io(e.to_string()))?;
+            f.write_all(body.as_bytes()).map_err(|e| SnapshotError::Io(e.to_string()))?;
+            f.sync_all().map_err(|e| SnapshotError::Io(e.to_string()))?;
+        }
+        std::fs::rename(&tmp, &path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        Ok(path)
+    }
+
+    /// Reads and parses a snapshot file written by [`Snapshot::write_to_dir`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] if the file cannot be read,
+    /// [`SnapshotError::Json`] / [`SnapshotError::Corrupt`] /
+    /// [`SnapshotError::Version`] if its contents are invalid.
+    pub fn read(path: &Path) -> Result<Snapshot, SnapshotError> {
+        let body =
+            std::fs::read_to_string(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        let v = serde_json::from_str(&body).map_err(|e| SnapshotError::Json(e.to_string()))?;
+        Snapshot::from_json(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            k: 2,
+            round: 3,
+            t: 12_345.678_901_234,
+            sensors: vec![(123.456, 0.05), (10_800.0, 0.0)],
+            dead: vec![0.0, 42.25],
+            dead_since: vec![None, Some(99.5)],
+            fail_at: vec![f64::INFINITY, 1.0e7],
+            failed_sensors: 1,
+            charger_failures: 2,
+            recovery_rounds: 1,
+            charged_sensors: 10,
+            recovered_sensors: 2,
+            deferred_sensors: 3,
+            shed_sensors: 4,
+            escalated_requests: 1,
+            deferral_count: vec![0, 5],
+            rounds: vec![RoundStats {
+                dispatch_time_s: 100.125,
+                request_count: 7,
+                longest_delay_s: 5_000.5,
+                total_wait_s: 12.0,
+                sojourn_count: 9,
+                energy_delivered_j: 80_000.0,
+            }],
+            fault: Some(FaultSnap {
+                rng: {
+                    use rand::SeedableRng;
+                    rand_chacha::ChaCha12Rng::seed_from_u64(1).state_words()
+                },
+                life_left: vec![1.5, f64::INFINITY],
+                available_at: vec![0.0, 7_200.0],
+            }),
+            channel: Some(ChannelSnap {
+                rng: {
+                    use rand::SeedableRng;
+                    rand_chacha::ChaCha12Rng::seed_from_u64(2).state_words()
+                },
+                wants: vec![true, false],
+                delivered: vec![false, false],
+                attempts: vec![3, 0],
+                next_attempt_s: vec![600.0, f64::INFINITY],
+                inflight: vec![InFlight { deliver_at_s: 650.0, sensor: 0 }],
+                lost_requests: 3,
+                duplicates_dropped: 1,
+            }),
+            trace_dropped: 2,
+            trace_events: vec![
+                TraceEvent::RoundDispatched { at_s: 0.0, round: 0, requests: 3 },
+                TraceEvent::SensorDied { at_s: 1.5, sensor: SensorId(1) },
+                TraceEvent::SensorRecharged {
+                    at_s: 2.0,
+                    sensor: SensorId(1),
+                    ended_dead_s: 0.5,
+                },
+                TraceEvent::RoundCompleted { at_s: 3.0, round: 0, longest_delay_s: 3.0 },
+                TraceEvent::ChargerFailed { at_s: 4.0, charger: 1 },
+                TraceEvent::RecoveryDispatched { at_s: 5.0, stranded: 2, chargers: 1 },
+                TraceEvent::RequestLost { at_s: 6.0, sensor: SensorId(0), attempt: 2 },
+                TraceEvent::DuplicateDropped { at_s: 7.0, sensor: SensorId(0) },
+                TraceEvent::RequestShed { at_s: 8.0, sensor: SensorId(1), deferrals: 1 },
+                TraceEvent::RequestEscalated { at_s: 9.0, sensor: SensorId(1), deferrals: 4 },
+            ],
+        }
+    }
+
+    fn assert_round_trip_equal(a: &Snapshot, b: &Snapshot) {
+        assert_eq!(a.k, b.k);
+        assert_eq!(a.round, b.round);
+        assert_eq!(a.t.to_bits(), b.t.to_bits());
+        assert_eq!(a.sensors.len(), b.sensors.len());
+        for (x, y) in a.sensors.iter().zip(&b.sensors) {
+            assert_eq!(x.0.to_bits(), y.0.to_bits());
+            assert_eq!(x.1.to_bits(), y.1.to_bits());
+        }
+        assert_eq!(a.dead_since, b.dead_since);
+        assert_eq!(
+            a.fail_at.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            b.fail_at.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(a.deferral_count, b.deferral_count);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.trace_dropped, b.trace_dropped);
+        assert_eq!(a.trace_events, b.trace_events);
+        let (fa, fb) = (a.fault.as_ref().unwrap(), b.fault.as_ref().unwrap());
+        assert_eq!(fa.rng, fb.rng);
+        assert_eq!(
+            fa.life_left.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            fb.life_left.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+        );
+        let (ca, cb) = (a.channel.as_ref().unwrap(), b.channel.as_ref().unwrap());
+        assert_eq!(ca.rng, cb.rng);
+        assert_eq!(ca.wants, cb.wants);
+        assert_eq!(ca.inflight, cb.inflight);
+        assert_eq!(ca.lost_requests, cb.lost_requests);
+    }
+
+    #[test]
+    fn json_round_trip_is_bit_exact() {
+        let snap = sample();
+        let text = serde_json::to_string_pretty(&snap.to_json()).expect("printable");
+        let parsed = serde_json::from_str(&text).expect("snapshot JSON must parse");
+        let back = Snapshot::from_json(&parsed).expect("snapshot must deserialize");
+        assert_round_trip_equal(&snap, &back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("wrsn_snapshot_test");
+        let snap = sample();
+        let path = snap.write_to_dir(&dir, snap.round()).expect("write");
+        assert!(path.ends_with("checkpoint_round0003.json"));
+        let back = Snapshot::read(&path).expect("read");
+        assert_round_trip_equal(&snap, &back);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut v = sample().to_json();
+        if let Value::Object(m) = &mut v {
+            m.insert("version".into(), Value::Number(Number::U(99)));
+        }
+        assert_eq!(Snapshot::from_json(&v).err(), Some(SnapshotError::Version(99)));
+    }
+
+    #[test]
+    fn corrupt_field_names_the_culprit() {
+        let mut v = sample().to_json();
+        if let Value::Object(m) = &mut v {
+            m.insert("t".into(), Value::from("not a number"));
+        }
+        match Snapshot::from_json(&v) {
+            Err(SnapshotError::Corrupt(what)) => assert_eq!(what, "t"),
+            other => panic!("expected Corrupt(t), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = Snapshot::read(Path::new("/nonexistent/checkpoint.json")).unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)));
+    }
+}

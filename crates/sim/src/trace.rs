@@ -70,6 +70,46 @@ pub enum TraceEvent {
         /// Surviving chargers the recovery plan runs on.
         chargers: usize,
     },
+    /// A charging request transmission was dropped by the unreliable
+    /// channel ([`ChannelModel`](crate::ChannelModel) loss); the sensor
+    /// retries with exponential backoff.
+    RequestLost {
+        /// Simulation time of the lost transmission, seconds.
+        at_s: f64,
+        /// The requesting sensor.
+        sensor: SensorId,
+        /// Transmission attempt number this episode (1-based).
+        attempt: u32,
+    },
+    /// A duplicated request copy arrived after the original was already
+    /// delivered; the base station discarded it.
+    DuplicateDropped {
+        /// Simulation time of the duplicate arrival, seconds.
+        at_s: f64,
+        /// The sensor whose request was duplicated.
+        sensor: SensorId,
+    },
+    /// Admission control shed a delivered request because serving it
+    /// would push the round past the configured delay bound; the sensor
+    /// stays pending and is re-considered next round at higher priority.
+    RequestShed {
+        /// Simulation time of the shedding decision, seconds.
+        at_s: f64,
+        /// The shed sensor.
+        sensor: SensorId,
+        /// Rounds this request has now been deferred in total.
+        deferrals: u32,
+    },
+    /// A request deferred past the starvation bound was escalated and
+    /// force-admitted regardless of the admission delay bound.
+    RequestEscalated {
+        /// Simulation time of the escalation, seconds.
+        at_s: f64,
+        /// The escalated sensor.
+        sensor: SensorId,
+        /// Rounds the request had been deferred before escalation.
+        deferrals: u32,
+    },
 }
 
 impl TraceEvent {
@@ -81,7 +121,11 @@ impl TraceEvent {
             | TraceEvent::SensorRecharged { at_s, .. }
             | TraceEvent::RoundCompleted { at_s, .. }
             | TraceEvent::ChargerFailed { at_s, .. }
-            | TraceEvent::RecoveryDispatched { at_s, .. } => at_s,
+            | TraceEvent::RecoveryDispatched { at_s, .. }
+            | TraceEvent::RequestLost { at_s, .. }
+            | TraceEvent::DuplicateDropped { at_s, .. }
+            | TraceEvent::RequestShed { at_s, .. }
+            | TraceEvent::RequestEscalated { at_s, .. } => at_s,
         }
     }
 }
@@ -170,6 +214,30 @@ impl Trace {
         self.iter().filter(|e| matches!(e, TraceEvent::RecoveryDispatched { .. })).count()
     }
 
+    /// Count of request transmissions dropped by the channel.
+    pub fn lost_requests(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::RequestLost { .. })).count()
+    }
+
+    /// Count of requests shed by admission control.
+    pub fn sheds(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::RequestShed { .. })).count()
+    }
+
+    /// Count of starvation escalations.
+    pub fn escalations(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::RequestEscalated { .. })).count()
+    }
+
+    /// Rebuilds a trace from checkpointed parts (snapshot restore).
+    pub(crate) fn from_parts(
+        capacity: usize,
+        dropped: usize,
+        events: Vec<TraceEvent>,
+    ) -> Self {
+        Trace { events: events.into(), capacity, dropped }
+    }
+
     /// Events within the half-open time window `[from_s, to_s)`.
     pub fn window(&self, from_s: f64, to_s: f64) -> impl Iterator<Item = &TraceEvent> {
         self.iter().filter(move |e| e.at_s() >= from_s && e.at_s() < to_s)
@@ -240,6 +308,34 @@ mod tests {
         }
         assert_eq!(t.len(), 1000);
         assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn channel_event_counters() {
+        let mut t = Trace::default();
+        t.push(TraceEvent::RequestLost { at_s: 1.0, sensor: SensorId(0), attempt: 1 });
+        t.push(TraceEvent::RequestLost { at_s: 2.0, sensor: SensorId(0), attempt: 2 });
+        t.push(TraceEvent::DuplicateDropped { at_s: 3.0, sensor: SensorId(1) });
+        t.push(TraceEvent::RequestShed { at_s: 4.0, sensor: SensorId(2), deferrals: 1 });
+        t.push(TraceEvent::RequestEscalated { at_s: 5.0, sensor: SensorId(2), deferrals: 3 });
+        assert_eq!(t.lost_requests(), 2);
+        assert_eq!(t.sheds(), 1);
+        assert_eq!(t.escalations(), 1);
+        assert_eq!(t.iter().last().unwrap().at_s(), 5.0);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut t = Trace::with_capacity_limit(2);
+        for i in 0..4 {
+            t.push(TraceEvent::SensorDied { at_s: i as f64, sensor: SensorId(i) });
+        }
+        let rebuilt = Trace::from_parts(
+            t.capacity_limit(),
+            t.dropped(),
+            t.iter().copied().collect(),
+        );
+        assert_eq!(rebuilt, t);
     }
 
     #[test]

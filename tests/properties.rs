@@ -172,4 +172,63 @@ proptest! {
             prop_assert_eq!(report.recovered_sensors + report.deferred_sensors, 0);
         }
     }
+
+    /// Request conservation under an unreliable request channel: with
+    /// arbitrary loss, delay and duplication every admitted request
+    /// reconciles to exactly one of charged / recovered / deferred /
+    /// shed, duplicates never double-count (the shed and duplicate
+    /// tallies agree with the trace), and no request is ever shed after
+    /// reaching the escalation bound.
+    #[test]
+    fn channel_faults_conserve_requests(
+        net_seed in 1u64..500,
+        channel_seed in 1u64..500,
+        loss in 0.0f64..0.5,
+        delay_s in 0.0f64..1_800.0,
+        dup in 0.0f64..0.3,
+        admit in any::<bool>(),
+    ) {
+        let net = wrsn::net::NetworkBuilder::new(150)
+            .seed(net_seed)
+            .data_rate_bps(1_000.0, 50_000.0)
+            .build();
+        let mut cfg = wrsn::sim::SimConfig::default();
+        cfg.horizon_s = 60.0 * 86_400.0;
+        cfg.batch_fraction = 0.05;
+        cfg.collect_trace = true;
+        cfg.validate_schedules = true;
+        cfg.channel.loss_prob = loss;
+        cfg.channel.delay_max_s = delay_s;
+        cfg.channel.duplicate_prob = dup;
+        cfg.channel.seed = channel_seed;
+        if admit {
+            cfg.admission_bound_s = 6.0 * 3_600.0;
+            cfg.max_deferrals = 3;
+        }
+        let max_deferrals = cfg.max_deferrals;
+        let report = wrsn::sim::Simulation::new(net, cfg)
+            .unwrap()
+            .run(&Appro::new(PlannerConfig::default()), 1)
+            .unwrap();
+        prop_assert!(report.service_reconciles(),
+            "ledger imbalance: {} requests vs {} charged + {} recovered + {} deferred + {} shed",
+            report.rounds.iter().map(|r| r.request_count).sum::<usize>(),
+            report.charged_sensors, report.recovered_sensors,
+            report.deferred_sensors, report.shed_sensors);
+        prop_assert_eq!(report.trace.lost_requests(), report.lost_requests);
+        prop_assert_eq!(report.trace.sheds(), report.shed_sensors);
+        prop_assert_eq!(report.trace.escalations(), report.escalated_requests);
+        if !admit {
+            prop_assert_eq!(report.shed_sensors + report.escalated_requests, 0);
+        }
+        for ev in report.trace.iter() {
+            if let wrsn::sim::TraceEvent::RequestShed { deferrals, .. } = ev {
+                prop_assert!(*deferrals < max_deferrals,
+                    "request shed after reaching the escalation bound");
+            }
+        }
+        if loss == 0.0 && dup == 0.0 {
+            prop_assert_eq!(report.lost_requests + report.duplicates_dropped, 0);
+        }
+    }
 }

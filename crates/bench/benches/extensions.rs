@@ -26,6 +26,11 @@
 //!    request-loss probability per planner, on a saturated K=1 fleet
 //!    with admission control active; archived as
 //!    `target/wrsn-results/channel_degradation.json`.
+//! 8. **Telemetry guard margins** — dead time, overcharged/undercharged
+//!    energy and interval misses vs the guard margin and report cadence
+//!    under noisy residual telemetry (Appro, K=2): how much pessimism
+//!    the base-station estimator should buy. Archived as
+//!    `target/wrsn-results/telemetry_sweep.json`.
 //!
 //! Knobs: `WRSN_INSTANCES` (default 5), `WRSN_HORIZON_DAYS` (default 120).
 
@@ -299,6 +304,78 @@ fn main() {
     if std::fs::create_dir_all(&dir).is_ok() {
         let path = dir.join("channel_degradation.json");
         let json = serde_json::to_string_pretty(&degradation).expect("printing cannot fail");
+        if std::fs::write(&path, json).is_ok() {
+            println!("wrote {}", path.display());
+        }
+    }
+
+    println!(
+        "\n## Telemetry guard margins (n=700, K=2, Appro, {:.0}-day horizon, noise 5 %)\n",
+        horizon_s / 86_400.0
+    );
+    println!(
+        "{:>14} {:>8} {:>12} {:>12} {:>12} {:>8} {:>10}",
+        "interval (min)", "margin", "dead (min)", "over (MJ)", "under (MJ)", "misses", "p95 (J)"
+    );
+    let mut telemetry_rows = Vec::new();
+    let planner = PlannerKind::Appro.build(PlannerConfig::default());
+    for interval_min in [60.0f64, 600.0] {
+        for margin in [0.0f64, 0.5, 1.0, 2.0] {
+            let (mut dead, mut over, mut under, mut misses, mut p95) =
+                (0.0, 0.0, 0.0, 0usize, 0.0);
+            for i in 0..instances {
+                let net = NetworkBuilder::new(700).seed(8_000 + i as u64).build();
+                let mut cfg = SimConfig::default();
+                cfg.horizon_s = horizon_s;
+                cfg.telemetry.noise = 0.05;
+                cfg.telemetry.report_interval_s = interval_min * 60.0;
+                cfg.telemetry.quantize_j = 10.0;
+                cfg.telemetry.guard_margin = margin;
+                cfg.telemetry.seed = 80 + i as u64;
+                let report = Simulation::new(net, cfg).unwrap()
+                    .run(planner.as_ref(), 2)
+                    .expect("planner is complete");
+                assert!(report.service_reconciles(), "ledger must balance");
+                assert!(report.energy_reconciles(), "energy ledger must balance");
+                dead += report.avg_dead_time_s();
+                over += report.overcharge_j;
+                under += report.undercharge_j;
+                misses += report.estimate_misses;
+                p95 += report.estimator_error_percentile(95.0);
+            }
+            let f = instances as f64;
+            println!(
+                "{:>14.0} {:>8.1} {:>12.1} {:>12.2} {:>12.2} {:>8.1} {:>10.1}",
+                interval_min,
+                margin,
+                dead / f / 60.0,
+                over / f / 1e6,
+                under / f / 1e6,
+                misses as f64 / f,
+                p95 / f
+            );
+            telemetry_rows.push(serde_json::json!({
+                "interval_min": interval_min,
+                "guard_margin": margin,
+                "dead_s": dead / f,
+                "overcharge_j": over / f,
+                "undercharge_j": under / f,
+                "estimate_misses": misses as f64 / f,
+                "estimate_err_p95_j": p95 / f,
+            }));
+        }
+    }
+    let telemetry = serde_json::json!({
+        "n": 700,
+        "k": 2,
+        "horizon_days": horizon_s / 86_400.0,
+        "noise": 0.05,
+        "quantize_j": 10.0,
+        "rows": telemetry_rows,
+    });
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("telemetry_sweep.json");
+        let json = serde_json::to_string_pretty(&telemetry).expect("printing cannot fail");
         if std::fs::write(&path, json).is_ok() {
             println!("wrote {}", path.display());
         }

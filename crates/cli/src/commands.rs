@@ -288,6 +288,16 @@ pub fn simulate(args: &Args) -> CliResult {
     // `--max-deferrals` times is escalated past the bound.
     cfg.admission_bound_s = args.get_or("admission-bound", 0.0f64)? * 3_600.0;
     cfg.max_deferrals = args.get_or("max-deferrals", 4u32)?;
+    // Imperfect telemetry: `--telemetry-noise <frac>` perturbs residual
+    // reports, `--telemetry-interval <min>` spaces them out (0 =
+    // continuous), `--telemetry-quantize-j <J>` coarsens them, and the
+    // base station plans from estimates `--guard-margin` half-widths
+    // below its belief. `--telemetry-seed` fixes the noise stream.
+    cfg.telemetry.noise = args.get_or("telemetry-noise", 0.0f64)?;
+    cfg.telemetry.report_interval_s = args.get_or("telemetry-interval", 0.0f64)? * 60.0;
+    cfg.telemetry.quantize_j = args.get_or("telemetry-quantize-j", 0.0f64)?;
+    cfg.telemetry.guard_margin = args.get_or("guard-margin", 1.0f64)?;
+    cfg.telemetry.seed = args.get_or("telemetry-seed", 0u64)?;
     // `--validate` runs the schedule invariant validator on every
     // dispatched and recovery plan (always on in debug builds).
     cfg.validate_schedules = args.flag("validate");
@@ -365,6 +375,16 @@ pub fn simulate(args: &Args) -> CliResult {
                 "lost_requests": report.lost_requests,
                 "duplicates_dropped": report.duplicates_dropped,
                 "ledger_reconciles": report.service_reconciles(),
+                "telemetry_reports": report.telemetry_reports,
+                "estimate_misses": report.estimate_misses,
+                "undetected_deaths": report.undetected_deaths,
+                "estimate_err_p50_j": report.estimator_error_percentile(50.0),
+                "estimate_err_p95_j": report.estimator_error_percentile(95.0),
+                "planned_energy_j": report.planned_energy_j,
+                "reconciled_energy_j": report.reconciled_energy_j,
+                "overcharge_j": report.overcharge_j,
+                "undercharge_j": report.undercharge_j,
+                "energy_reconciles": report.energy_reconciles(),
             }))?
         );
         return Ok(());
@@ -388,6 +408,26 @@ pub fn simulate(args: &Args) -> CliResult {
         println!(
             "  request channel:   {} lost, {} duplicates dropped",
             report.lost_requests, report.duplicates_dropped
+        );
+    }
+    if cfg.telemetry.is_active() {
+        println!(
+            "  telemetry:         {} reports, {} misses, {} undetected deaths",
+            report.telemetry_reports, report.estimate_misses, report.undetected_deaths
+        );
+        println!(
+            "  estimator error:   p50 {:.1} J, p95 {:.1} J",
+            report.estimator_error_percentile(50.0),
+            report.estimator_error_percentile(95.0)
+        );
+        println!(
+            "  energy ledger:     {:.2} MJ planned = {:.2} MJ delivered + {:.2} MJ over; \
+             {:.2} MJ short{}",
+            report.planned_energy_j / 1e6,
+            report.reconciled_energy_j / 1e6,
+            report.overcharge_j / 1e6,
+            report.undercharge_j / 1e6,
+            if report.energy_reconciles() { "" } else { " (IMBALANCED!)" }
         );
     }
     if cfg.fault.is_active() || cfg.channel.is_active() || cfg.admission_bound_s > 0.0 {

@@ -67,6 +67,19 @@ SIMULATE OPTIONS:
                            this many hours (0 = admit everything, default)
     --max-deferrals <int>  Escalate a request past the admission bound after
                            this many sheds/deferrals (default 4)
+    --telemetry-noise <f>  Relative residual-report noise amplitude in [0, 1),
+                           as a fraction of battery capacity (0 = exact
+                           telemetry, the default)
+    --telemetry-interval <min>
+                           Minutes between periodic residual reports
+                           (0 = continuous reporting, the default)
+    --telemetry-quantize-j <J>
+                           Round reported residuals to this many joules
+                           (0 = no quantization, the default)
+    --guard-margin <f>     Plan from estimates this many uncertainty
+                           half-widths below the belief (default 1; higher
+                           overcharges rather than undershoots)
+    --telemetry-seed <u64> Telemetry-noise stream seed (default 0)
     --checkpoint-every <N> Write a crash-safe snapshot of the full simulation
                            state to target/wrsn-results/ every N rounds
                            (sync dispatcher only)

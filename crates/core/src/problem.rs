@@ -276,6 +276,79 @@ impl ChargingProblem {
         Ok(Self::finish(sub, targets, k, params))
     }
 
+    /// [`ChargingProblem::from_network_in_context`] planning from
+    /// *estimated* residual energies instead of ground truth:
+    /// `residual_j[i]` is the base station's belief about
+    /// `requests[i]`'s residual (e.g. a telemetry estimator's guarded
+    /// lower-confidence value), and both the charging duration `t_v`
+    /// (Eq. 1) and the residual lifetime are computed from it. Geometry
+    /// still comes from the live network and shared context; only the
+    /// energy column of the instance is substituted. With
+    /// `residual_j[i] == requests[i]`'s true residual, this is
+    /// bit-identical to [`ChargingProblem::from_network_in_context`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ChargingProblem::from_network_in_context`];
+    /// additionally [`ProblemError::InvalidParam`] when `residual_j` and
+    /// `requests` have different lengths or any estimate is negative or
+    /// non-finite.
+    pub fn from_residuals_in_context(
+        ctx: &Arc<ProblemContext>,
+        net: &Network,
+        requests: &[SensorId],
+        residual_j: &[f64],
+        k: usize,
+        params: ChargingParams,
+    ) -> Result<Self, ProblemError> {
+        debug_assert_eq!(ctx.len(), net.sensors().len(), "context must cover the network");
+        debug_assert_eq!(ctx.gamma_m(), params.gamma_m, "context/params gamma mismatch");
+        debug_assert_eq!(ctx.speed_mps(), params.speed_mps, "context/params speed mismatch");
+        let targets = Self::targets_from_residuals(net, requests, residual_j, params)?;
+        Self::validate(net.depot(), &targets, k, params)?;
+        let indices: Vec<usize> = requests.iter().map(|id| id.index()).collect();
+        let sub = ctx.subcontext(&indices).map_err(|e| match e {
+            ContextError::IndexOutOfBounds { index, .. } => {
+                ProblemError::UnknownSensor(SensorId(index as u32))
+            }
+        })?;
+        Ok(Self::finish(sub, targets, k, params))
+    }
+
+    fn targets_from_residuals(
+        net: &Network,
+        requests: &[SensorId],
+        residual_j: &[f64],
+        params: ChargingParams,
+    ) -> Result<Vec<ChargingTarget>, ProblemError> {
+        if residual_j.len() != requests.len() {
+            return Err(ProblemError::InvalidParam(
+                "estimated residuals must match the request set length",
+            ));
+        }
+        let mut targets = Vec::with_capacity(requests.len());
+        for (&id, &r) in requests.iter().zip(residual_j) {
+            let s = net
+                .sensors()
+                .get(id.index())
+                .ok_or(ProblemError::UnknownSensor(id))?;
+            if !r.is_finite() || r < 0.0 {
+                return Err(ProblemError::InvalidParam(
+                    "estimated residuals must be non-negative and finite",
+                ));
+            }
+            let target_j = params.charge_target_fraction * s.capacity_j;
+            let deficit = (target_j - r).max(0.0);
+            targets.push(ChargingTarget {
+                id,
+                pos: s.pos,
+                charge_duration_s: deficit / params.eta_w,
+                residual_lifetime_s: s.lifetime_for_residual(r),
+            });
+        }
+        Ok(targets)
+    }
+
     fn targets_from_network(
         net: &Network,
         requests: &[SensorId],
@@ -475,6 +548,78 @@ mod tests {
             assert_eq!(t.pos, s.pos);
             assert!(p.charge_duration(i) >= 0.9 * 10_800.0 / 2.0);
         }
+    }
+
+    #[test]
+    fn from_residuals_matches_truth_when_estimates_are_exact() {
+        use crate::context::ProblemContext;
+        use wrsn_net::{InitialCharge, NetworkBuilder};
+        let net = NetworkBuilder::new(40)
+            .seed(5)
+            .initial_charge(InitialCharge::UniformFraction { lo: 0.0, hi: 0.1 })
+            .build();
+        let req = net.default_requesting_sensors();
+        let ctx = ProblemContext::for_network(&net, params());
+        let truth: Vec<f64> = req.iter().map(|id| net.sensor(*id).residual_j).collect();
+        let a = ChargingProblem::from_network_in_context(&ctx, &net, &req, 2, params()).unwrap();
+        let b =
+            ChargingProblem::from_residuals_in_context(&ctx, &net, &req, &truth, 2, params())
+                .unwrap();
+        for (ta, tb) in a.targets().iter().zip(b.targets()) {
+            assert_eq!(ta.charge_duration_s.to_bits(), tb.charge_duration_s.to_bits());
+            assert_eq!(ta.residual_lifetime_s.to_bits(), tb.residual_lifetime_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn from_residuals_pessimism_lengthens_sojourns() {
+        use crate::context::ProblemContext;
+        use wrsn_net::{InitialCharge, NetworkBuilder};
+        let net = NetworkBuilder::new(20)
+            .seed(5)
+            .initial_charge(InitialCharge::UniformFraction { lo: 0.05, hi: 0.1 })
+            .build();
+        let req = net.default_requesting_sensors();
+        let ctx = ProblemContext::for_network(&net, params());
+        // A guarded (lower) residual must never shorten the planned
+        // sojourn or lengthen the assumed lifetime.
+        let guarded: Vec<f64> =
+            req.iter().map(|id| (net.sensor(*id).residual_j - 100.0).max(0.0)).collect();
+        let truth = ChargingProblem::from_network_in_context(&ctx, &net, &req, 1, params()).unwrap();
+        let pess =
+            ChargingProblem::from_residuals_in_context(&ctx, &net, &req, &guarded, 1, params())
+                .unwrap();
+        for (tt, tp) in truth.targets().iter().zip(pess.targets()) {
+            assert!(tp.charge_duration_s >= tt.charge_duration_s);
+            assert!(tp.residual_lifetime_s <= tt.residual_lifetime_s);
+        }
+    }
+
+    #[test]
+    fn from_residuals_rejects_bad_estimates() {
+        use crate::context::ProblemContext;
+        use wrsn_net::NetworkBuilder;
+        let net = NetworkBuilder::new(3).build();
+        let ctx = ProblemContext::for_network(&net, params());
+        let req = vec![SensorId(0), SensorId(1)];
+        for bad in [vec![1.0], vec![-1.0, 2.0], vec![f64::NAN, 2.0], vec![1.0, f64::INFINITY]] {
+            assert!(matches!(
+                ChargingProblem::from_residuals_in_context(&ctx, &net, &req, &bad, 1, params()),
+                Err(ProblemError::InvalidParam(_))
+            ));
+        }
+        assert_eq!(
+            ChargingProblem::from_residuals_in_context(
+                &ctx,
+                &net,
+                &[SensorId(99)],
+                &[1.0],
+                1,
+                params()
+            )
+            .unwrap_err(),
+            ProblemError::UnknownSensor(SensorId(99))
+        );
     }
 
     #[test]

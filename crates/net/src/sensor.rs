@@ -100,11 +100,35 @@ impl Sensor {
     ///
     /// Returns `f64::INFINITY` for a sensor that consumes no energy.
     pub fn residual_lifetime_s(&self) -> f64 {
+        self.lifetime_for_residual(self.residual_j)
+    }
+
+    /// Residual lifetime the sensor *would* have at `residual_j` joules,
+    /// in seconds — the same formula as [`Sensor::residual_lifetime_s`]
+    /// applied to a hypothetical residual. Used by the base station to
+    /// rank requests from *estimated* residuals when telemetry is
+    /// imperfect; calling it with the true residual is bit-identical to
+    /// [`Sensor::residual_lifetime_s`].
+    ///
+    /// Returns `f64::INFINITY` for a sensor that consumes no energy.
+    pub fn lifetime_for_residual(&self, residual_j: f64) -> f64 {
         if self.consumption_w <= 0.0 {
             f64::INFINITY
         } else {
-            (self.residual_j / self.consumption_w).max(0.0)
+            (residual_j / self.consumption_w).max(0.0)
         }
+    }
+
+    /// The true residual, measured on site.
+    ///
+    /// Semantically distinct from reading `residual_j`: this is the
+    /// value an MCV obtains by *physically visiting* the sensor, the
+    /// one ground-truth observation available to a base station whose
+    /// remote telemetry is noisy, quantized, or stale. The simulator's
+    /// arrival-reconciliation path goes through this accessor so the
+    /// information model stays explicit at the call sites.
+    pub fn measured_residual_j(&self) -> f64 {
+        self.residual_j
     }
 
     /// Energy missing from a full battery, `C_v − RE_v`, in joules.
@@ -143,6 +167,23 @@ impl Sensor {
     pub fn recharge_to(&mut self, fraction: f64) {
         assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
         self.residual_j = self.residual_j.max(fraction * self.capacity_j);
+    }
+
+    /// Adds `energy_j` joules to the battery, capped at capacity, and
+    /// returns the energy actually absorbed. The fixed-duration side of
+    /// the partial-charging model: when a sojourn's length was planned
+    /// from an (estimated) deficit, the battery absorbs exactly the
+    /// energy transferred during that sojourn — no more, no less —
+    /// rather than snapping to a target fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy_j` is negative or not finite.
+    pub fn recharge_by(&mut self, energy_j: f64) -> f64 {
+        assert!(energy_j >= 0.0 && energy_j.is_finite(), "energy must be non-negative and finite");
+        let absorbed = energy_j.min(self.capacity_j - self.residual_j).max(0.0);
+        self.residual_j += absorbed;
+        absorbed
     }
 }
 
@@ -198,6 +239,46 @@ mod tests {
         s.residual_j = 12.0;
         s.recharge_full();
         assert_eq!(s.residual_j, s.capacity_j);
+    }
+
+    #[test]
+    fn lifetime_for_residual_matches_true_lifetime() {
+        let s = sensor();
+        assert_eq!(
+            s.lifetime_for_residual(s.residual_j).to_bits(),
+            s.residual_lifetime_s().to_bits()
+        );
+        assert_eq!(s.lifetime_for_residual(5_400.0), 5_400.0 / 0.01);
+        assert_eq!(s.lifetime_for_residual(-3.0), 0.0);
+        let mut free = sensor();
+        free.consumption_w = 0.0;
+        assert_eq!(free.lifetime_for_residual(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn measured_residual_is_ground_truth() {
+        let mut s = sensor();
+        s.residual_j = 123.5;
+        assert_eq!(s.measured_residual_j(), 123.5);
+    }
+
+    #[test]
+    fn recharge_by_caps_at_capacity() {
+        let mut s = sensor();
+        s.residual_j = 10_000.0;
+        let absorbed = s.recharge_by(500.0);
+        assert_eq!(absorbed, 500.0);
+        assert_eq!(s.residual_j, 10_500.0);
+        let absorbed = s.recharge_by(1_000.0);
+        assert_eq!(absorbed, 300.0);
+        assert_eq!(s.residual_j, s.capacity_j);
+        assert_eq!(s.recharge_by(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "energy")]
+    fn negative_recharge_by_panics() {
+        sensor().recharge_by(-1.0);
     }
 
     #[test]

@@ -42,6 +42,7 @@ use crate::channel::ChannelState;
 use crate::engine::{admit_requests, SimConfig, SimConfigError};
 use crate::fault::FaultState;
 use crate::report::{RoundStats, SimReport};
+use crate::telemetry::EnergyEstimator;
 use crate::{drain_with_dead_accounting, Trace, TraceEvent};
 #[cfg(test)]
 use crate::Simulation;
@@ -124,6 +125,9 @@ impl AsyncSimulation {
         // Request-channel layer: `None` when inert (zero draws, pending
         // sets identical to the pre-channel engine).
         let mut channel = ChannelState::new(&self.config.channel, n);
+        // Telemetry layer: `None` when inert — dispatches then plan from
+        // true residuals and recharges snap to the target, bit-identically.
+        let mut telemetry = EnergyEstimator::new(&self.config.telemetry, &self.net);
         let admission_on = self.config.admission_bound_s > 0.0;
         let kedf = wrsn_baselines::KEdf::new(PlannerConfig::default());
 
@@ -155,8 +159,12 @@ impl AsyncSimulation {
         let mut flight: Vec<Vec<FlightSojourn>> = vec![Vec::new(); k];
         // Sensors already assigned to an in-flight tour.
         let mut assigned = vec![false; n];
-        // Future recharge events: (time, sensor index), kept sorted asc.
-        let mut recharges: Vec<(f64, usize)> = Vec::new();
+        // Future recharge events: (time, sensor index, planned energy),
+        // kept sorted ascending. The planned energy is the sojourn's
+        // budget from the *estimated* deficit when telemetry is
+        // imperfect; `INFINITY` marks the perfect-telemetry path, where
+        // the recharge snaps to the target fraction as before.
+        let mut recharges: Vec<(f64, usize, f64)> = Vec::new();
 
         while t < horizon {
             // Clear returned chargers' flights and assignments.
@@ -168,6 +176,14 @@ impl AsyncSimulation {
             // A charger is dispatchable if home now (a broken one's
             // `free_at` already includes its repair downtime).
             let free: Vec<usize> = (0..k).filter(|&c| free_at[c] <= t).collect();
+            // Telemetry reports land at loop instants; the event-sleep
+            // below wakes at scheduled report times so staleness stamps
+            // stay exact.
+            if let Some(tel) = telemetry.as_mut() {
+                let mut tbuf = Vec::new();
+                tel.advance(&self.net, t, tracing, &mut tbuf);
+                events.extend(tbuf);
+            }
             // Requests the base station knows of: delivered ones under an
             // active channel, every below-threshold sensor otherwise.
             let known: Vec<SensorId> = match channel.as_mut() {
@@ -184,6 +200,18 @@ impl AsyncSimulation {
 
             if !free.is_empty() && pending.len() >= batch {
                 let c = free[0];
+                // The base station's residual beliefs at this dispatch
+                // instant (guarded pessimistic estimates when telemetry
+                // is imperfect, `None` = ground truth).
+                let planning: Option<Vec<f64>> =
+                    telemetry.as_ref().map(|tel| tel.planning_residuals(&self.net, t));
+                let est_lifetime = |id: &SensorId| {
+                    let s = self.net.sensor(*id);
+                    match planning.as_ref() {
+                        Some(est) => s.lifetime_for_residual(est[id.index()]),
+                        None => s.residual_lifetime_s(),
+                    }
+                };
                 // Fair share: the most urgent ⌈pending / K⌉ sensors, so
                 // the rest of the fleet keeps work to pick up. Starved
                 // (escalated) requests jump the queue when admission
@@ -195,8 +223,8 @@ impl AsyncSimulation {
                         admission_on
                             && deferral_count[id.index()] >= self.config.max_deferrals
                     };
-                    let la = self.net.sensor(*a).residual_lifetime_s();
-                    let lb = self.net.sensor(*b).residual_lifetime_s();
+                    let la = est_lifetime(a);
+                    let lb = est_lifetime(b);
                     starved(b)
                         .cmp(&starved(a))
                         .then(la.partial_cmp(&lb).unwrap())
@@ -215,6 +243,7 @@ impl AsyncSimulation {
                         self.config.admission_bound_s,
                         self.config.max_deferrals,
                         &deferral_count,
+                        planning.as_deref(),
                     )
                 } else {
                     (share, Vec::new(), Vec::new())
@@ -245,13 +274,27 @@ impl AsyncSimulation {
                 let pending = share;
                 let stranded_in_share =
                     pending.iter().filter(|id| stranded_flag[id.index()]).count();
-                let problem = ChargingProblem::from_network_in_context(
-                    &full_ctx,
-                    &self.net,
-                    &pending,
-                    1,
-                    self.config.params,
-                )
+                let problem = match planning.as_deref() {
+                    Some(est) => {
+                        let res: Vec<f64> =
+                            pending.iter().map(|id| est[id.index()]).collect();
+                        ChargingProblem::from_residuals_in_context(
+                            &full_ctx,
+                            &self.net,
+                            &pending,
+                            &res,
+                            1,
+                            self.config.params,
+                        )
+                    }
+                    None => ChargingProblem::from_network_in_context(
+                        &full_ctx,
+                        &self.net,
+                        &pending,
+                        1,
+                        self.config.params,
+                    ),
+                }
                 .expect("simulator always builds valid problems");
                 // A dispatch picking up stranded sensors is the recovery
                 // re-plan: it must not fail, so it runs the bounded
@@ -364,14 +407,25 @@ impl AsyncSimulation {
                 for id in &pending {
                     assigned[id.index()] = true;
                 }
-                // Completion replay over absolute-timed sojourns.
+                // Completion replay over absolute-timed sojourns. With
+                // imperfect telemetry each completing sojourn carries
+                // its fixed energy budget from the estimated deficit.
                 let completions = schedule.charge_completion_times(&problem);
                 let mut completed = vec![false; n];
+                let mut planned_sum = 0.0f64;
                 for (ti, comp) in completions.iter().enumerate() {
                     let idx = problem.targets()[ti].id.index();
                     match comp.map(scale) {
                         Some(at) if at <= cutoff_abs => {
-                            recharges.push((at, idx));
+                            let planned = if telemetry.is_some() {
+                                let p = problem.targets()[ti].charge_duration_s
+                                    * self.config.params.eta_w;
+                                planned_sum += p;
+                                p
+                            } else {
+                                f64::INFINITY
+                            };
+                            recharges.push((at, idx, planned));
                             completed[idx] = true;
                         }
                         // Stranded mid-tour or never covered: requeue.
@@ -415,14 +469,22 @@ impl AsyncSimulation {
                     longest_delay_s: return_real - t,
                     total_wait_s: schedule.total_wait_time_s(),
                     sojourn_count: schedule.sojourn_count(),
-                    energy_delivered_j: pending
-                        .iter()
-                        .filter(|id| completed[id.index()])
-                        .map(|&id| {
-                            let s = self.net.sensor(id);
-                            (target_frac * s.capacity_j - s.residual_j).max(0.0)
-                        })
-                        .sum(),
+                    // With imperfect telemetry, a round's energy is the
+                    // *planned* budget settled at dispatch (delivery is
+                    // only known at each sojourn's later reconciliation;
+                    // the report's reconciled totals carry the truth).
+                    energy_delivered_j: if telemetry.is_some() {
+                        planned_sum
+                    } else {
+                        pending
+                            .iter()
+                            .filter(|id| completed[id.index()])
+                            .map(|&id| {
+                                let s = self.net.sensor(id);
+                                (target_frac * s.capacity_j - s.residual_j).max(0.0)
+                            })
+                            .sum()
+                    },
                 });
                 continue;
             }
@@ -430,7 +492,7 @@ impl AsyncSimulation {
             // Advance to the next event: recharge completion, charger
             // return, threshold crossing, or the horizon.
             let mut next = horizon;
-            if let Some(&(rt, _)) = recharges.first() {
+            if let Some(&(rt, _, _)) = recharges.first() {
                 next = next.min(rt);
             }
             for &fa in &free_at {
@@ -450,18 +512,48 @@ impl AsyncSimulation {
                     next = next.min(ev + 1e-9);
                 }
             }
+            // Wake at the next scheduled telemetry report so its
+            // staleness stamp is exact.
+            if let Some(tel) = telemetry.as_ref() {
+                let ev = tel.next_event_s(t);
+                if ev.is_finite() {
+                    next = next.min(ev + 1e-9);
+                }
+            }
             if next <= t {
                 next = t + 1.0; // guard against stalls
             }
             drain_with_dead_accounting(self.net.sensors_mut(), next - t, &mut dead);
             t = next;
-            // Apply due recharges.
-            while let Some(&(rt, idx)) = recharges.first() {
+            // Apply due recharges; with imperfect telemetry the arriving
+            // MCV measures the true residual, the estimator reconciles,
+            // and the battery absorbs at most the sojourn's fixed budget.
+            while let Some(&(rt, idx, planned)) = recharges.first() {
                 if rt > t + 1e-9 {
                     break;
                 }
                 recharges.remove(0);
-                self.net.sensors_mut()[idx].recharge_to(target_frac);
+                match telemetry.as_mut() {
+                    None => self.net.sensors_mut()[idx].recharge_to(target_frac),
+                    Some(tel) => {
+                        let (id, cap, cons, truth) = {
+                            let s = &self.net.sensors()[idx];
+                            (s.id, s.capacity_j, s.consumption_w, s.measured_residual_j())
+                        };
+                        let delivered = tel.reconcile(
+                            id,
+                            cap,
+                            cons,
+                            truth,
+                            planned,
+                            target_frac * cap,
+                            rt,
+                            tracing,
+                            &mut events,
+                        );
+                        self.net.sensors_mut()[idx].recharge_by(delivered);
+                    }
+                }
                 assigned[idx] = false;
             }
         }
@@ -474,7 +566,7 @@ impl AsyncSimulation {
         let (lost_requests, duplicates_dropped) = channel
             .as_ref()
             .map_or((0, 0), |ch| (ch.lost_requests, ch.duplicates_dropped));
-        Ok(SimReport {
+        let mut report = SimReport {
             rounds,
             dead_time_s: dead,
             horizon_s: horizon,
@@ -489,7 +581,19 @@ impl AsyncSimulation {
             lost_requests,
             duplicates_dropped,
             escalated_requests,
-        })
+            ..SimReport::default()
+        };
+        if let Some(tel) = telemetry {
+            report.telemetry_reports = tel.reports;
+            report.estimate_errors_j = tel.errors_j;
+            report.estimate_misses = tel.estimate_misses;
+            report.undetected_deaths = tel.undetected_deaths;
+            report.planned_energy_j = tel.planned_energy_j;
+            report.reconciled_energy_j = tel.delivered_energy_j;
+            report.overcharge_j = tel.overcharge_j;
+            report.undercharge_j = tel.undercharge_j;
+        }
+        Ok(report)
     }
 }
 

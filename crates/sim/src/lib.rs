@@ -44,6 +44,7 @@ mod fault;
 pub mod fleet;
 mod report;
 mod snapshot;
+mod telemetry;
 pub mod trace;
 
 pub use async_engine::AsyncSimulation;
@@ -52,6 +53,7 @@ pub use engine::{SimConfig, SimConfigError, Simulation};
 pub use fault::FaultModel;
 pub use report::{RoundStats, SimReport};
 pub use snapshot::{Snapshot, SnapshotError};
+pub use telemetry::{EnergyEstimator, TelemetryModel};
 pub use trace::{Trace, TraceEvent};
 
 /// Advances every sensor of `sensors` by `dt` seconds of drain and adds

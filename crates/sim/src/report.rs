@@ -67,6 +67,30 @@ pub struct SimReport {
     /// Requests force-admitted after being deferred or shed for more
     /// than [`SimConfig::max_deferrals`](crate::SimConfig) rounds.
     pub escalated_requests: usize,
+    /// Residual-energy reports processed by the base-station estimator
+    /// ([`TelemetryModel`](crate::TelemetryModel)); 0 when telemetry is
+    /// inert (the engines plan from ground truth).
+    pub telemetry_reports: usize,
+    /// Signed estimator error (`estimate − truth`, joules) at every MCV
+    /// arrival reconciliation, in reconciliation order.
+    pub estimate_errors_j: Vec<f64>,
+    /// Arrival measurements that fell outside the estimator's carried
+    /// uncertainty interval.
+    pub estimate_misses: usize,
+    /// Sensor deaths that occurred while the estimator still believed
+    /// the sensor alive.
+    pub undetected_deaths: usize,
+    /// Energy budgeted by planned sojourn durations (from guarded
+    /// residual estimates), joules.
+    pub planned_energy_j: f64,
+    /// Energy actually delivered at arrival reconciliation, joules.
+    pub reconciled_energy_j: f64,
+    /// Charger energy wasted on sojourns planned longer than the true
+    /// deficit (the guard margin's cost), joules.
+    pub overcharge_j: f64,
+    /// Energy shortfall of sojourns planned shorter than the true
+    /// deficit (optimistic estimates' cost), joules.
+    pub undercharge_j: f64,
 }
 
 impl SimReport {
@@ -130,6 +154,37 @@ impl SimReport {
                 + self.recovered_sensors
                 + self.deferred_sensors
                 + self.shed_sensors
+    }
+
+    /// The `p`-th percentile (0–100) of the *absolute* estimator error
+    /// at arrival reconciliations, joules — how far the base station's
+    /// belief was from truth when an MCV actually measured. Zero when no
+    /// reconciliation happened (inert telemetry or no completed
+    /// sojourn). Nearest-rank on the sorted absolute errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn estimator_error_percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.estimate_errors_j.is_empty() {
+            return 0.0;
+        }
+        let mut abs: Vec<f64> = self.estimate_errors_j.iter().map(|e| e.abs()).collect();
+        abs.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+        let rank = ((p / 100.0) * abs.len() as f64).ceil() as usize;
+        abs[rank.saturating_sub(1)]
+    }
+
+    /// Checks the telemetry energy ledger: every joule budgeted by a
+    /// planned sojourn is either delivered to the sensor or accounted
+    /// as overcharge waste, `planned = reconciled + overcharge` (within
+    /// floating-point tolerance). Trivially true when telemetry is
+    /// inert, where all three totals stay 0.
+    pub fn energy_reconciles(&self) -> bool {
+        let lhs = self.planned_energy_j;
+        let rhs = self.reconciled_energy_j + self.overcharge_j;
+        (lhs - rhs).abs() <= 1e-6 * lhs.abs().max(rhs.abs()).max(1.0)
     }
 
     /// Fraction of sensors that were never dead.
@@ -206,6 +261,41 @@ mod tests {
             ..Default::default()
         };
         assert!(r.service_reconciles());
+    }
+
+    #[test]
+    fn estimator_error_percentiles_use_absolute_errors() {
+        let r = SimReport {
+            estimate_errors_j: vec![-50.0, 10.0, -20.0, 40.0, 30.0],
+            ..Default::default()
+        };
+        // Sorted absolute errors: 10, 20, 30, 40, 50.
+        assert_eq!(r.estimator_error_percentile(0.0), 10.0);
+        assert_eq!(r.estimator_error_percentile(50.0), 30.0);
+        assert_eq!(r.estimator_error_percentile(100.0), 50.0);
+        assert_eq!(SimReport::default().estimator_error_percentile(95.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn out_of_range_percentile_panics() {
+        let _ = SimReport::default().estimator_error_percentile(101.0);
+    }
+
+    #[test]
+    fn energy_ledger_reconciliation() {
+        let mut r = SimReport {
+            planned_energy_j: 1_000.0,
+            reconciled_energy_j: 940.0,
+            overcharge_j: 60.0,
+            undercharge_j: 15.0, // outside the identity: energy never sent
+            ..Default::default()
+        };
+        assert!(r.energy_reconciles());
+        r.overcharge_j = 0.0;
+        assert!(!r.energy_reconciles());
+        // Inert telemetry: all totals zero, trivially reconciled.
+        assert!(SimReport::default().energy_reconciles());
     }
 
     #[test]

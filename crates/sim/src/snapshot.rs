@@ -4,7 +4,8 @@
 //! [`Simulation::run`](crate::Simulation::run) at a round boundary:
 //! sensor energies and consumption rates, the dead-time ledger, the
 //! pre-drawn sensor-failure schedule, every service-ledger counter, the
-//! per-round statistics so far, the fault and request-channel states
+//! per-round statistics so far, the fault, request-channel and
+//! telemetry-estimator states
 //! including their exact ChaCha stream positions
 //! ([`ChaCha12Rng::state_words`](rand_chacha::ChaCha12Rng::state_words)),
 //! and the trace ring. Restoring it re-enters the engine loop with
@@ -28,10 +29,20 @@ use wrsn_net::{Network, SensorId};
 use crate::channel::{ChannelState, InFlight};
 use crate::fault::FaultState;
 use crate::report::RoundStats;
+use crate::telemetry::EnergyEstimator;
 use crate::{Trace, TraceEvent};
 
 /// Current snapshot format version; bumped on incompatible changes.
-const FORMAT_VERSION: u64 = 1;
+///
+/// Version history:
+/// - 1: PR 3 — fault, channel, trace.
+/// - 2: adds the optional `telemetry` section (energy-estimator state).
+///   Version-1 files are still accepted; they restore with no estimator,
+///   which is exactly the state of a pre-telemetry run.
+const FORMAT_VERSION: u64 = 2;
+
+/// Oldest format version [`Snapshot::from_json`] still accepts.
+const OLDEST_SUPPORTED_VERSION: u64 = 1;
 
 /// A failed checkpoint write or an unreadable/corrupt snapshot file.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -68,6 +79,25 @@ pub(crate) struct FaultSnap {
     pub rng: [u32; 33],
     pub life_left: Vec<f64>,
     pub available_at: Vec<f64>,
+}
+
+/// Checkpointed base-station energy-estimator state
+/// ([`EnergyEstimator`] mid-run).
+#[derive(Clone, Debug)]
+pub(crate) struct TelemetrySnap {
+    pub rng: [u32; 33],
+    pub reported_j: Vec<f64>,
+    pub report_at_s: Vec<f64>,
+    pub next_report_s: Vec<f64>,
+    pub death_flagged: Vec<bool>,
+    pub reports: usize,
+    pub estimate_misses: usize,
+    pub undetected_deaths: usize,
+    pub errors_j: Vec<f64>,
+    pub planned_energy_j: f64,
+    pub delivered_energy_j: f64,
+    pub overcharge_j: f64,
+    pub undercharge_j: f64,
 }
 
 /// Checkpointed request-channel state ([`ChannelState`] mid-run).
@@ -110,6 +140,7 @@ pub struct Snapshot {
     pub(crate) rounds: Vec<RoundStats>,
     pub(crate) fault: Option<FaultSnap>,
     pub(crate) channel: Option<ChannelSnap>,
+    pub(crate) telemetry: Option<TelemetrySnap>,
     pub(crate) trace_dropped: usize,
     pub(crate) trace_events: Vec<TraceEvent>,
 }
@@ -202,6 +233,15 @@ fn event_to_json(e: &TraceEvent) -> Value {
         TraceEvent::RequestEscalated { at_s, sensor, deferrals } => {
             vec![Value::from("re"), bits(at_s), uint(sensor.index()), uint(deferrals as usize)]
         }
+        TraceEvent::TelemetryCorrected { at_s, sensor, error_j } => {
+            vec![Value::from("tc"), bits(at_s), uint(sensor.index()), bits(error_j)]
+        }
+        TraceEvent::EstimateMiss { at_s, sensor, error_j } => {
+            vec![Value::from("em"), bits(at_s), uint(sensor.index()), bits(error_j)]
+        }
+        TraceEvent::SensorDiedUndetected { at_s, sensor, error_j } => {
+            vec![Value::from("du"), bits(at_s), uint(sensor.index()), bits(error_j)]
+        }
     };
     Value::Array(v)
 }
@@ -265,6 +305,21 @@ fn event_of(v: &Value) -> Result<TraceEvent, SnapshotError> {
             sensor: sensor_id_of(field(2)?)?,
             deferrals: u32_of(field(3)?, "trace deferrals")?,
         },
+        "tc" => TraceEvent::TelemetryCorrected {
+            at_s: f64_of(field(1)?, "trace time")?,
+            sensor: sensor_id_of(field(2)?)?,
+            error_j: f64_of(field(3)?, "trace error")?,
+        },
+        "em" => TraceEvent::EstimateMiss {
+            at_s: f64_of(field(1)?, "trace time")?,
+            sensor: sensor_id_of(field(2)?)?,
+            error_j: f64_of(field(3)?, "trace error")?,
+        },
+        "du" => TraceEvent::SensorDiedUndetected {
+            at_s: f64_of(field(1)?, "trace time")?,
+            sensor: sensor_id_of(field(2)?)?,
+            error_j: f64_of(field(3)?, "trace error")?,
+        },
         _ => return Err(SnapshotError::Corrupt("unknown trace event tag")),
     };
     Ok(e)
@@ -293,6 +348,7 @@ impl Snapshot {
         rounds: &[RoundStats],
         fault: Option<&FaultState>,
         channel: Option<&ChannelState>,
+        telemetry: Option<&EnergyEstimator>,
         trace: &Trace,
     ) -> Snapshot {
         Snapshot {
@@ -327,6 +383,21 @@ impl Snapshot {
                 inflight: ch.inflight.clone(),
                 lost_requests: ch.lost_requests,
                 duplicates_dropped: ch.duplicates_dropped,
+            }),
+            telemetry: telemetry.map(|tel| TelemetrySnap {
+                rng: tel.rng_words(),
+                reported_j: tel.reported_j.clone(),
+                report_at_s: tel.report_at_s.clone(),
+                next_report_s: tel.next_report_s.clone(),
+                death_flagged: tel.death_flagged.clone(),
+                reports: tel.reports,
+                estimate_misses: tel.estimate_misses,
+                undetected_deaths: tel.undetected_deaths,
+                errors_j: tel.errors_j.clone(),
+                planned_energy_j: tel.planned_energy_j,
+                delivered_energy_j: tel.delivered_energy_j,
+                overcharge_j: tel.overcharge_j,
+                undercharge_j: tel.undercharge_j,
             }),
             trace_dropped: trace.dropped(),
             trace_events: trace.iter().copied().collect(),
@@ -447,6 +518,31 @@ impl Snapshot {
                 Value::Object(m)
             }),
         );
+        root.insert(
+            "telemetry".into(),
+            self.telemetry.as_ref().map_or(Value::Null, |tel| {
+                let mut m = Map::new();
+                m.insert("rng".into(), rng_to_json(&tel.rng));
+                m.insert("reported".into(), bits_vec(&tel.reported_j));
+                m.insert("report_at".into(), bits_vec(&tel.report_at_s));
+                m.insert("next_report".into(), bits_vec(&tel.next_report_s));
+                m.insert(
+                    "death_flagged".into(),
+                    Value::Array(
+                        tel.death_flagged.iter().map(|&b| Value::Bool(b)).collect(),
+                    ),
+                );
+                m.insert("reports".into(), uint(tel.reports));
+                m.insert("misses".into(), uint(tel.estimate_misses));
+                m.insert("undetected".into(), uint(tel.undetected_deaths));
+                m.insert("errors".into(), bits_vec(&tel.errors_j));
+                m.insert("planned".into(), bits(tel.planned_energy_j));
+                m.insert("delivered".into(), bits(tel.delivered_energy_j));
+                m.insert("overcharge".into(), bits(tel.overcharge_j));
+                m.insert("undercharge".into(), bits(tel.undercharge_j));
+                Value::Object(m)
+            }),
+        );
         let mut tr = Map::new();
         tr.insert("dropped".into(), uint(self.trace_dropped));
         tr.insert(
@@ -465,7 +561,7 @@ impl Snapshot {
     /// [`SnapshotError::Version`] for an unsupported format version.
     pub fn from_json(v: &Value) -> Result<Snapshot, SnapshotError> {
         let version = v["version"].as_u64().ok_or(SnapshotError::Corrupt("version"))?;
-        if version != FORMAT_VERSION {
+        if !(OLDEST_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(SnapshotError::Version(version));
         }
         if v["engine"].as_str() != Some("sync") {
@@ -551,6 +647,29 @@ impl Snapshot {
                 duplicates_dropped: usize_of(&c["dup_dropped"], "channel duplicates")?,
             }),
         };
+        // Version-1 files have no "telemetry" key; indexing a missing key
+        // yields Null, so both "absent" and explicit null restore as None.
+        let telemetry = match &v["telemetry"] {
+            Value::Null => None,
+            tel => Some(TelemetrySnap {
+                rng: rng_of(&tel["rng"])?,
+                reported_j: f64_vec(&tel["reported"], "telemetry reported")?,
+                report_at_s: f64_vec(&tel["report_at"], "telemetry report times")?,
+                next_report_s: f64_vec(&tel["next_report"], "telemetry schedule")?,
+                death_flagged: array(&tel["death_flagged"], "telemetry death flags")?
+                    .iter()
+                    .map(|b| bool_of(b, "telemetry death flags"))
+                    .collect::<Result<_, _>>()?,
+                reports: usize_of(&tel["reports"], "telemetry report count")?,
+                estimate_misses: usize_of(&tel["misses"], "telemetry misses")?,
+                undetected_deaths: usize_of(&tel["undetected"], "telemetry undetected")?,
+                errors_j: f64_vec(&tel["errors"], "telemetry errors")?,
+                planned_energy_j: f64_of(&tel["planned"], "telemetry planned")?,
+                delivered_energy_j: f64_of(&tel["delivered"], "telemetry delivered")?,
+                overcharge_j: f64_of(&tel["overcharge"], "telemetry overcharge")?,
+                undercharge_j: f64_of(&tel["undercharge"], "telemetry undercharge")?,
+            }),
+        };
         let trace_events = array(&v["trace"]["events"], "trace events")?
             .iter()
             .map(event_of)
@@ -584,6 +703,7 @@ impl Snapshot {
             rounds,
             fault,
             channel,
+            telemetry,
             trace_dropped: usize_of(&v["trace"]["dropped"], "trace dropped")?,
             trace_events,
         })
@@ -678,6 +798,24 @@ mod tests {
                 lost_requests: 3,
                 duplicates_dropped: 1,
             }),
+            telemetry: Some(TelemetrySnap {
+                rng: {
+                    use rand::SeedableRng;
+                    rand_chacha::ChaCha12Rng::seed_from_u64(3).state_words()
+                },
+                reported_j: vec![5_000.25, 10_800.0],
+                report_at_s: vec![600.0, 0.0],
+                next_report_s: vec![1_200.0, f64::INFINITY],
+                death_flagged: vec![false, true],
+                reports: 4,
+                estimate_misses: 1,
+                undetected_deaths: 1,
+                errors_j: vec![-12.5, 3.0],
+                planned_energy_j: 9_000.0,
+                delivered_energy_j: 8_500.0,
+                overcharge_j: 500.0,
+                undercharge_j: 25.0,
+            }),
             trace_dropped: 2,
             trace_events: vec![
                 TraceEvent::RoundDispatched { at_s: 0.0, round: 0, requests: 3 },
@@ -694,6 +832,17 @@ mod tests {
                 TraceEvent::DuplicateDropped { at_s: 7.0, sensor: SensorId(0) },
                 TraceEvent::RequestShed { at_s: 8.0, sensor: SensorId(1), deferrals: 1 },
                 TraceEvent::RequestEscalated { at_s: 9.0, sensor: SensorId(1), deferrals: 4 },
+                TraceEvent::TelemetryCorrected {
+                    at_s: 10.0,
+                    sensor: SensorId(0),
+                    error_j: -42.5,
+                },
+                TraceEvent::EstimateMiss { at_s: 11.0, sensor: SensorId(0), error_j: 99.0 },
+                TraceEvent::SensorDiedUndetected {
+                    at_s: 12.0,
+                    sensor: SensorId(1),
+                    error_j: 7.25,
+                },
             ],
         }
     }
@@ -727,6 +876,21 @@ mod tests {
         assert_eq!(ca.wants, cb.wants);
         assert_eq!(ca.inflight, cb.inflight);
         assert_eq!(ca.lost_requests, cb.lost_requests);
+        let (ta, tb) = (a.telemetry.as_ref().unwrap(), b.telemetry.as_ref().unwrap());
+        assert_eq!(ta.rng, tb.rng);
+        let bits_of = |xs: &[f64]| xs.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits_of(&ta.reported_j), bits_of(&tb.reported_j));
+        assert_eq!(bits_of(&ta.report_at_s), bits_of(&tb.report_at_s));
+        assert_eq!(bits_of(&ta.next_report_s), bits_of(&tb.next_report_s));
+        assert_eq!(bits_of(&ta.errors_j), bits_of(&tb.errors_j));
+        assert_eq!(ta.death_flagged, tb.death_flagged);
+        assert_eq!(ta.reports, tb.reports);
+        assert_eq!(ta.estimate_misses, tb.estimate_misses);
+        assert_eq!(ta.undetected_deaths, tb.undetected_deaths);
+        assert_eq!(ta.planned_energy_j.to_bits(), tb.planned_energy_j.to_bits());
+        assert_eq!(ta.delivered_energy_j.to_bits(), tb.delivered_energy_j.to_bits());
+        assert_eq!(ta.overcharge_j.to_bits(), tb.overcharge_j.to_bits());
+        assert_eq!(ta.undercharge_j.to_bits(), tb.undercharge_j.to_bits());
     }
 
     #[test]
@@ -756,6 +920,64 @@ mod tests {
             m.insert("version".into(), Value::Number(Number::U(99)));
         }
         assert_eq!(Snapshot::from_json(&v).err(), Some(SnapshotError::Version(99)));
+    }
+
+    #[test]
+    fn version_1_without_telemetry_key_still_parses() {
+        // A file written by the previous release: version 1, no
+        // "telemetry" key at all (not even an explicit null), and none of
+        // the PR 4 trace tags. It must restore with `telemetry: None`.
+        // The vendored Map has no `remove`, so rebuild the document
+        // entry by entry, skipping/patching as a v1 writer would.
+        let v = sample().to_json();
+        let mut root = Map::new();
+        root.insert("version".into(), Value::Number(Number::U(1)));
+        if let Value::Object(m) = &v {
+            for (key, val) in m.iter() {
+                match key.as_str() {
+                    "version" | "telemetry" => {}
+                    "trace" => {
+                        let mut tr = Map::new();
+                        tr.insert("dropped".into(), val["dropped"].clone());
+                        let events = val["events"]
+                            .as_array()
+                            .expect("trace events array")
+                            .iter()
+                            .filter(|e| {
+                                !matches!(
+                                    e.as_array()
+                                        .and_then(|a| a.first())
+                                        .and_then(Value::as_str),
+                                    Some("tc" | "em" | "du")
+                                )
+                            })
+                            .cloned()
+                            .collect();
+                        tr.insert("events".into(), Value::Array(events));
+                        root.insert(key.clone(), Value::Object(tr));
+                    }
+                    _ => root.insert(key.clone(), val.clone()),
+                }
+            }
+        }
+        let v = Value::Object(root);
+        let back = Snapshot::from_json(&v).expect("v1 snapshot must parse");
+        assert!(back.telemetry.is_none());
+        assert_eq!(back.round, sample().round);
+        assert!(back
+            .trace_events
+            .iter()
+            .all(|e| !matches!(e, TraceEvent::TelemetryCorrected { .. })));
+    }
+
+    #[test]
+    fn explicit_null_telemetry_parses_as_none() {
+        let mut v = sample().to_json();
+        if let Value::Object(m) = &mut v {
+            m.insert("telemetry".into(), Value::Null);
+        }
+        let back = Snapshot::from_json(&v).expect("null telemetry must parse");
+        assert!(back.telemetry.is_none());
     }
 
     #[test]

@@ -110,6 +110,43 @@ pub enum TraceEvent {
         /// Rounds the request had been deferred before escalation.
         deferrals: u32,
     },
+    /// An arriving MCV measured a sensor's true residual and corrected
+    /// the base station's telemetry estimate
+    /// ([`TelemetryModel`](crate::TelemetryModel)); emitted at every
+    /// on-site reconciliation.
+    TelemetryCorrected {
+        /// Simulation time of the arrival measurement, seconds.
+        at_s: f64,
+        /// The measured sensor.
+        sensor: SensorId,
+        /// Signed estimator error, `estimate − truth`, joules
+        /// (positive = the base station was optimistic).
+        error_j: f64,
+    },
+    /// An arrival measurement fell **outside** the estimator's carried
+    /// uncertainty interval — the belief was not just noisy but
+    /// overconfident. Always paired with a
+    /// [`TraceEvent::TelemetryCorrected`] at the same instant.
+    EstimateMiss {
+        /// Simulation time of the arrival measurement, seconds.
+        at_s: f64,
+        /// The measured sensor.
+        sensor: SensorId,
+        /// Signed estimator error, `estimate − truth`, joules.
+        error_j: f64,
+    },
+    /// A sensor's battery hit zero while the telemetry estimator still
+    /// believed it alive — a death that stale or noisy reports hid from
+    /// the base station.
+    SensorDiedUndetected {
+        /// Simulation time the discrepancy was detected, seconds.
+        at_s: f64,
+        /// The dead sensor.
+        sensor: SensorId,
+        /// The estimator's residual belief at that instant, joules
+        /// (all of it error, since the truth is 0).
+        error_j: f64,
+    },
 }
 
 impl TraceEvent {
@@ -125,7 +162,10 @@ impl TraceEvent {
             | TraceEvent::RequestLost { at_s, .. }
             | TraceEvent::DuplicateDropped { at_s, .. }
             | TraceEvent::RequestShed { at_s, .. }
-            | TraceEvent::RequestEscalated { at_s, .. } => at_s,
+            | TraceEvent::RequestEscalated { at_s, .. }
+            | TraceEvent::TelemetryCorrected { at_s, .. }
+            | TraceEvent::EstimateMiss { at_s, .. }
+            | TraceEvent::SensorDiedUndetected { at_s, .. } => at_s,
         }
     }
 }
@@ -229,6 +269,21 @@ impl Trace {
         self.iter().filter(|e| matches!(e, TraceEvent::RequestEscalated { .. })).count()
     }
 
+    /// Count of arrival-time telemetry reconciliations.
+    pub fn telemetry_corrections(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::TelemetryCorrected { .. })).count()
+    }
+
+    /// Count of arrival measurements outside the estimator's interval.
+    pub fn estimate_misses(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::EstimateMiss { .. })).count()
+    }
+
+    /// Count of deaths the telemetry estimator failed to anticipate.
+    pub fn undetected_deaths(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::SensorDiedUndetected { .. })).count()
+    }
+
     /// Rebuilds a trace from checkpointed parts (snapshot restore).
     pub(crate) fn from_parts(
         capacity: usize,
@@ -322,6 +377,19 @@ mod tests {
         assert_eq!(t.sheds(), 1);
         assert_eq!(t.escalations(), 1);
         assert_eq!(t.iter().last().unwrap().at_s(), 5.0);
+    }
+
+    #[test]
+    fn telemetry_event_counters() {
+        let mut t = Trace::default();
+        t.push(TraceEvent::TelemetryCorrected { at_s: 1.0, sensor: SensorId(0), error_j: 12.5 });
+        t.push(TraceEvent::EstimateMiss { at_s: 1.0, sensor: SensorId(0), error_j: 12.5 });
+        t.push(TraceEvent::TelemetryCorrected { at_s: 2.0, sensor: SensorId(1), error_j: -3.0 });
+        t.push(TraceEvent::SensorDiedUndetected { at_s: 3.0, sensor: SensorId(2), error_j: 40.0 });
+        assert_eq!(t.telemetry_corrections(), 2);
+        assert_eq!(t.estimate_misses(), 1);
+        assert_eq!(t.undetected_deaths(), 1);
+        assert_eq!(t.iter().last().unwrap().at_s(), 3.0);
     }
 
     #[test]

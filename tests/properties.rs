@@ -232,3 +232,64 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The base-station estimator's uncertainty interval always contains
+    /// the true residual, under arbitrary noise, quantization, report
+    /// cadence and drain patterns; with exact telemetry the central
+    /// estimate tracks the truth to float-accumulation error; and an
+    /// inert model builds no estimator at all (the engine's inert path
+    /// is bit-identical by construction).
+    #[test]
+    fn estimator_never_exceeds_truth_bounds(
+        net_seed in 1u64..500,
+        tel_seed in 0u64..500,
+        noise in 0.0f64..0.2,
+        quantize in 0.0f64..50.0,
+        interval_s in 60.0f64..7_200.0,
+        steps in 1usize..40,
+        step_s in 50.0f64..900.0,
+    ) {
+        let inert = wrsn::sim::TelemetryModel::default();
+        let probe = wrsn::net::NetworkBuilder::new(5).seed(net_seed).build();
+        prop_assert!(wrsn::sim::EnergyEstimator::new(&inert, &probe).is_none());
+
+        let mut net = wrsn::net::NetworkBuilder::new(40)
+            .seed(net_seed)
+            .data_rate_bps(1_000.0, 50_000.0)
+            .build();
+        let model = wrsn::sim::TelemetryModel {
+            noise,
+            quantize_j: quantize,
+            report_interval_s: interval_s,
+            seed: tel_seed,
+            ..Default::default()
+        };
+        let mut est = wrsn::sim::EnergyEstimator::new(&model, &net)
+            .expect("a positive report interval activates the layer");
+        let mut buf = Vec::new();
+        let mut now = 0.0;
+        for _ in 0..steps {
+            net.drain_all(step_s);
+            now += step_s;
+            est.advance(&net, now, false, &mut buf);
+            for s in net.sensors() {
+                let (lo, hi) = est.interval(s, now);
+                prop_assert!(lo <= hi + 1e-9);
+                prop_assert!(
+                    lo - 1e-9 <= s.residual_j && s.residual_j <= hi + 1e-9,
+                    "truth {} escaped [{}, {}] (noise {}, quantize {}, stale {})",
+                    s.residual_j, lo, hi, noise, quantize, now
+                );
+                if noise == 0.0 && quantize == 0.0 {
+                    prop_assert!(
+                        (est.estimate(s, now) - s.residual_j).abs() <= 1e-6,
+                        "exact telemetry must dead-reckon the truth"
+                    );
+                }
+            }
+        }
+    }
+}

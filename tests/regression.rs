@@ -159,6 +159,39 @@ fn inert_channel_matches_pinned_digests() {
     }
 }
 
+/// The telemetry layer (`TelemetryModel`) is held to the same inertness
+/// contract: a default model with a non-default seed and guard margin
+/// builds no estimator, draws zero RNG values, and leaves every pinned
+/// digest untouched on both engines.
+#[test]
+fn inert_telemetry_matches_pinned_digests() {
+    let mut telemetry = wrsn_sim::TelemetryModel::default();
+    telemetry.seed = 123; // seed alone must never matter
+    telemetry.guard_margin = 2.5; // nor the margin, with nothing to guard
+    let run = |seed: u64, kind: PlannerKind, sync: bool| {
+        let planner = kind.build(PlannerConfig::default());
+        let mut cfg = sim_config();
+        cfg.telemetry = telemetry;
+        let report = if sync {
+            Simulation::new(network(seed), cfg)
+                .expect("valid config")
+                .run(planner.as_ref(), K)
+                .expect("planners are complete")
+        } else {
+            AsyncSimulation::new(network(seed), cfg)
+                .expect("valid config")
+                .run(planner.as_ref(), K)
+                .expect("planners are complete")
+        };
+        digest(&report)
+    };
+    let kind = PlannerKind::all()[0];
+    for (s, &seed) in SEEDS.iter().enumerate() {
+        assert_eq!(run(seed, kind, true), EXPECTED_SYNC[0][s], "sync drift, seed {seed}");
+        assert_eq!(run(seed, kind, false), EXPECTED_ASYNC[0][s], "async drift, seed {seed}");
+    }
+}
+
 /// Regenerates the tables above: `cargo test --test regression -- --ignored --nocapture`.
 #[test]
 #[ignore = "digest printer, run manually to refresh the pinned tables"]

@@ -31,6 +31,12 @@
 //!    under noisy residual telemetry (Appro, K=2): how much pessimism
 //!    the base-station estimator should buy. Archived as
 //!    `target/wrsn-results/telemetry_sweep.json`.
+//! 9. **Churn cascade sweep** — permanent sensor hardware failures vs
+//!    the cascade-alarm threshold (Appro, K=2): how many routing
+//!    repairs, cascade escalations and partitions a given sensor MTBF
+//!    causes, and what that does to dead time. Post-repair traffic
+//!    conservation is asserted on every cell. Archived as
+//!    `target/wrsn-results/churn_cascade.json`.
 //!
 //! Knobs: `WRSN_INSTANCES` (default 5), `WRSN_HORIZON_DAYS` (default 120).
 
@@ -376,6 +382,80 @@ fn main() {
     if std::fs::create_dir_all(&dir).is_ok() {
         let path = dir.join("telemetry_sweep.json");
         let json = serde_json::to_string_pretty(&telemetry).expect("printing cannot fail");
+        if std::fs::write(&path, json).is_ok() {
+            println!("wrote {}", path.display());
+        }
+    }
+
+    println!(
+        "\n## Churn cascade sweep (n=700, K=2, Appro, {:.0}-day horizon)\n",
+        horizon_s / 86_400.0
+    );
+    println!(
+        "{:>16} {:>8} {:>8} {:>9} {:>10} {:>11} {:>12}",
+        "MTBF (horizons)", "factor", "failed", "repairs", "cascades", "partitions", "dead (min)"
+    );
+    let mut churn_rows = Vec::new();
+    let planner = PlannerKind::Appro.build(PlannerConfig::default());
+    for mtbf_fraction in [0.0f64, 2.0, 1.0, 0.5] {
+        // With churn off the cascade threshold is inert; one row suffices.
+        let factors: &[f64] = if mtbf_fraction == 0.0 { &[1.5] } else { &[1.2, 1.5, 2.0] };
+        for &factor in factors {
+            let (mut failed, mut repairs, mut cascades, mut partitions, mut dead) =
+                (0usize, 0usize, 0usize, 0usize, 0.0);
+            for i in 0..instances {
+                let net = NetworkBuilder::new(700).seed(9_000 + i as u64).build();
+                let mut cfg = SimConfig::default();
+                cfg.horizon_s = horizon_s;
+                cfg.churn.sensor_mtbf_s = mtbf_fraction * horizon_s;
+                cfg.churn.cascade_factor = factor;
+                cfg.churn.seed = 90 + i as u64;
+                let report = Simulation::new(net, cfg).unwrap()
+                    .run(planner.as_ref(), 2)
+                    .expect("planner is complete");
+                assert!(report.service_reconciles(), "ledger must balance");
+                assert!(report.traffic_conserved(), "post-repair traffic must conserve");
+                failed += report.failed_sensors;
+                repairs += report.routing_repairs;
+                cascades += report.cascade_alerts;
+                partitions += report.partitioned_sensors;
+                dead += report.avg_dead_time_s();
+            }
+            let f = instances as f64;
+            let label = if mtbf_fraction == 0.0 {
+                "no churn".to_string()
+            } else {
+                format!("{mtbf_fraction}")
+            };
+            println!(
+                "{label:>16} {:>8.1} {:>8.1} {:>9.1} {:>10.1} {:>11.1} {:>12.1}",
+                factor,
+                failed as f64 / f,
+                repairs as f64 / f,
+                cascades as f64 / f,
+                partitions as f64 / f,
+                dead / f / 60.0
+            );
+            churn_rows.push(serde_json::json!({
+                "mtbf_horizons": mtbf_fraction,
+                "cascade_factor": factor,
+                "failed_sensors": failed as f64 / f,
+                "routing_repairs": repairs as f64 / f,
+                "cascade_alerts": cascades as f64 / f,
+                "partitioned_sensors": partitions as f64 / f,
+                "dead_s": dead / f,
+            }));
+        }
+    }
+    let churn_doc = serde_json::json!({
+        "n": 700,
+        "k": 2,
+        "horizon_days": horizon_s / 86_400.0,
+        "rows": churn_rows,
+    });
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("churn_cascade.json");
+        let json = serde_json::to_string_pretty(&churn_doc).expect("printing cannot fail");
         if std::fs::write(&path, json).is_ok() {
             println!("wrote {}", path.display());
         }

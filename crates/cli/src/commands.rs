@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 use std::error::Error;
+use std::fmt;
 
 use serde_json::json;
 use wrsn_bench::PlannerKind;
@@ -11,6 +12,41 @@ use wrsn_sim::{SimConfig, Simulation};
 use crate::args::Args;
 
 type CliResult = Result<(), Box<dyn Error>>;
+
+/// `--resume` refused: the churn flags on the command line contradict
+/// the models recorded in the snapshot.
+///
+/// A snapshot pins the stochastic layers that produced it; resuming
+/// under different ones would silently diverge from the uninterrupted
+/// run instead of completing it bit-identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResumeConflict {
+    /// The snapshot recorded an active churn model but the command
+    /// line leaves churn off (`--sensor-mtbf` absent or 0).
+    SnapshotChurnedFlagsInert,
+    /// The command line enables churn but the snapshot carries no
+    /// churn state to resume it from.
+    SnapshotInertFlagsChurned,
+}
+
+impl fmt::Display for ResumeConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeConflict::SnapshotChurnedFlagsInert => write!(
+                f,
+                "cannot resume: snapshot was taken with sensor churn active, but the \
+                 command line disables it; pass the original --sensor-mtbf/--churn-seed"
+            ),
+            ResumeConflict::SnapshotInertFlagsChurned => write!(
+                f,
+                "cannot resume: --sensor-mtbf enables sensor churn, but the snapshot \
+                 carries no churn state; drop the churn flags or restart from round 0"
+            ),
+        }
+    }
+}
+
+impl Error for ResumeConflict {}
 
 /// Shared instance parameters pulled from the command line.
 struct Instance {
@@ -298,6 +334,14 @@ pub fn simulate(args: &Args) -> CliResult {
     cfg.telemetry.quantize_j = args.get_or("telemetry-quantize-j", 0.0f64)?;
     cfg.telemetry.guard_margin = args.get_or("guard-margin", 1.0f64)?;
     cfg.telemetry.seed = args.get_or("telemetry-seed", 0u64)?;
+    // Topology churn: `--sensor-mtbf <days>` enables seeded permanent
+    // sensor hardware failures with incremental routing repair;
+    // `--cascade-factor` sets the post-repair consumption-jump alarm
+    // threshold and `--churn-seed` fixes the failure stream. Range
+    // checks live in `SimConfig::validate` (InvalidChurnModel).
+    cfg.churn.sensor_mtbf_s = args.get_or("sensor-mtbf", 0.0f64)? * 86_400.0;
+    cfg.churn.cascade_factor = args.get_or("cascade-factor", 1.5f64)?;
+    cfg.churn.seed = args.get_or("churn-seed", 0u64)?;
     // `--validate` runs the schedule invariant validator on every
     // dispatched and recovery plan (always on in debug builds).
     cfg.validate_schedules = args.flag("validate");
@@ -317,6 +361,15 @@ pub fn simulate(args: &Args) -> CliResult {
             if let Some(path) = &resume_path {
                 let snap = wrsn_sim::Snapshot::read(path)
                     .map_err(|e| format!("cannot resume from {}: {e}", path.display()))?;
+                match (snap.churn_active(), cfg.churn.is_active()) {
+                    (true, false) => {
+                        return Err(ResumeConflict::SnapshotChurnedFlagsInert.into())
+                    }
+                    (false, true) => {
+                        return Err(ResumeConflict::SnapshotInertFlagsChurned.into())
+                    }
+                    _ => {}
+                }
                 eprintln!(
                     "resuming from round {} (t = {:.2} days)",
                     snap.round(),
@@ -349,6 +402,17 @@ pub fn simulate(args: &Args) -> CliResult {
             report.recovered_sensors,
             report.deferred_sensors,
             report.shed_sensors
+        )
+        .into());
+    }
+    // A post-repair routing tree that loses or invents traffic is as
+    // disqualifying as a service-ledger imbalance: fail loudly rather
+    // than report results computed on a broken tree.
+    if !report.traffic_conserved() {
+        return Err(format!(
+            "post-repair traffic conservation violated {} time(s): \
+             base-station arrivals no longer match the surviving sensors' generation",
+            report.traffic_violations
         )
         .into());
     }
@@ -385,6 +449,11 @@ pub fn simulate(args: &Args) -> CliResult {
                 "overcharge_j": report.overcharge_j,
                 "undercharge_j": report.undercharge_j,
                 "energy_reconciles": report.energy_reconciles(),
+                "failed_sensors": report.failed_sensors,
+                "routing_repairs": report.routing_repairs,
+                "cascade_alerts": report.cascade_alerts,
+                "partitioned_sensors": report.partitioned_sensors,
+                "traffic_conserved": report.traffic_conserved(),
             }))?
         );
         return Ok(());
@@ -428,6 +497,18 @@ pub fn simulate(args: &Args) -> CliResult {
             report.overcharge_j / 1e6,
             report.undercharge_j / 1e6,
             if report.energy_reconciles() { "" } else { " (IMBALANCED!)" }
+        );
+    }
+    if cfg.churn.is_active() {
+        println!(
+            "  sensor churn:      {} hardware failures, {} routing repairs",
+            report.failed_sensors, report.routing_repairs
+        );
+        println!(
+            "  cascade watch:     {} alerts escalated, {} sensors partitioned{}",
+            report.cascade_alerts,
+            report.partitioned_sensors,
+            if report.traffic_conserved() { "" } else { " (TRAFFIC IMBALANCED!)" }
         );
     }
     if cfg.fault.is_active() || cfg.channel.is_active() || cfg.admission_bound_s > 0.0 {

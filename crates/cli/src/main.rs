@@ -80,6 +80,13 @@ SIMULATE OPTIONS:
                            half-widths below the belief (default 1; higher
                            overcharges rather than undershoots)
     --telemetry-seed <u64> Telemetry-noise stream seed (default 0)
+    --sensor-mtbf <days>   Mean time between permanent sensor hardware
+                           failures (0 = churn off, the default); deaths
+                           trigger incremental routing repair
+    --cascade-factor <f>   Escalate charging priority of survivors whose
+                           post-repair consumption jumps past this factor
+                           (> 1; default 1.5)
+    --churn-seed <u64>     Sensor-failure stream seed (default 0)
     --checkpoint-every <N> Write a crash-safe snapshot of the full simulation
                            state to target/wrsn-results/ every N rounds
                            (sync dispatcher only)

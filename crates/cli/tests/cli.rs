@@ -170,6 +170,110 @@ fn help_documents_channel_and_checkpoint_flags() {
 }
 
 #[test]
+fn help_documents_churn_flags() {
+    let out = wrsn().arg("help").output().expect("binary runs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for flag in ["--sensor-mtbf", "--cascade-factor", "--churn-seed"] {
+        assert!(text.contains(flag), "help must mention {flag}");
+    }
+}
+
+#[test]
+fn simulate_with_churn_repairs_and_conserves_traffic() {
+    let out = wrsn()
+        .args([
+            "simulate", "--n", "100", "--days", "60", "--k", "1", "--json", "--validate",
+            "--sensor-mtbf", "120", "--churn-seed", "13", "--cascade-factor", "1.1",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert!(v["failed_sensors"].as_u64().unwrap() >= 1, "mtbf 120d must kill sensors");
+    assert!(v["routing_repairs"].as_u64().unwrap() >= 1, "deaths must trigger repairs");
+    assert_eq!(v["traffic_conserved"], serde_json::Value::Bool(true));
+    assert_eq!(v["ledger_reconciles"], serde_json::Value::Bool(true));
+}
+
+#[test]
+fn invalid_cascade_factor_is_a_clean_error() {
+    let out = wrsn()
+        .args([
+            "simulate", "--n", "50", "--days", "10", "--sensor-mtbf", "30",
+            "--cascade-factor", "0.5",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid churn model"));
+}
+
+#[test]
+fn resume_rejects_contradictory_churn_flags() {
+    let dir = std::env::temp_dir().join("wrsn_cli_churn_ckpt_test");
+    std::fs::remove_dir_all(&dir).ok();
+    let churned = [
+        "simulate", "--n", "100", "--days", "60", "--k", "1", "--json",
+        "--sensor-mtbf", "120", "--churn-seed", "5",
+    ];
+    let full = wrsn().args(churned).output().expect("binary runs");
+    assert!(full.status.success(), "{}", String::from_utf8_lossy(&full.stderr));
+
+    let ckpt = wrsn()
+        .args(churned)
+        .args(["--checkpoint-every", "2"])
+        .env("CARGO_TARGET_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert!(ckpt.status.success(), "{}", String::from_utf8_lossy(&ckpt.stderr));
+    assert_eq!(full.stdout, ckpt.stdout, "checkpointing must not perturb a churned run");
+
+    let snap = dir.join("wrsn-results").join("checkpoint_round0002.json");
+    assert!(snap.exists(), "expected {}", snap.display());
+
+    // Resuming the churned snapshot without the churn flags must fail.
+    let bare = wrsn()
+        .args(["simulate", "--n", "100", "--days", "60", "--k", "1", "--json"])
+        .args(["--resume", snap.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!bare.status.success(), "churned snapshot + inert flags must be rejected");
+    assert!(String::from_utf8_lossy(&bare.stderr).contains("churn active"));
+
+    // Resuming with matching flags completes bit-identically.
+    let resumed = wrsn()
+        .args(churned)
+        .args(["--resume", snap.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(resumed.status.success(), "{}", String::from_utf8_lossy(&resumed.stderr));
+    assert_eq!(full.stdout, resumed.stdout, "resumed churned run must match uninterrupted");
+
+    // The converse: a churn-free snapshot cannot be resumed with churn on.
+    let dir2 = std::env::temp_dir().join("wrsn_cli_inert_ckpt_test");
+    std::fs::remove_dir_all(&dir2).ok();
+    let inert = ["simulate", "--n", "100", "--days", "60", "--k", "1", "--json"];
+    let ik = wrsn()
+        .args(inert)
+        .args(["--checkpoint-every", "2"])
+        .env("CARGO_TARGET_DIR", &dir2)
+        .output()
+        .expect("binary runs");
+    assert!(ik.status.success(), "{}", String::from_utf8_lossy(&ik.stderr));
+    let snap2 = dir2.join("wrsn-results").join("checkpoint_round0002.json");
+    let churn_on = wrsn()
+        .args(churned)
+        .args(["--resume", snap2.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!churn_on.status.success(), "inert snapshot + churn flags must be rejected");
+    assert!(String::from_utf8_lossy(&churn_on.stderr).contains("no churn state"));
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir2).ok();
+}
+
+#[test]
 fn bounds_reports_ratio() {
     let out = wrsn()
         .args(["bounds", "--n", "150", "--seed", "2"])

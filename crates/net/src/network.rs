@@ -3,7 +3,7 @@
 use wrsn_geom::{Point, Rect};
 
 use crate::energy::RadioModel;
-use crate::routing::{apply_consumption, compute_loads, RoutingLoads};
+use crate::routing::{apply_consumption, apply_consumption_alive, compute_loads, RoutingLoads};
 use crate::{Sensor, SensorId, DEFAULT_REQUEST_FRACTION};
 
 /// A wireless rechargeable sensor network instance.
@@ -92,6 +92,28 @@ impl Network {
     /// Per-sensor routing loads toward the base station.
     pub fn routing(&self) -> &RoutingLoads {
         &self.routing
+    }
+
+    /// Excises dead sensors from the routing tree and recomputes the
+    /// survivors' loads and consumption rates (see
+    /// [`RoutingLoads::repair`]). Dead sensors' consumption is left
+    /// untouched — the simulators decide whether a dead node still
+    /// accrues dead time (depletion) or is gone for good (hardware
+    /// failure). Returns the survivors whose routing state changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alive.len()` differs from the sensor count.
+    pub fn repair_routing(&mut self, alive: &[bool]) -> Vec<usize> {
+        let changed = self.routing.repair(
+            &self.sensors,
+            self.base_station,
+            self.comm_range_m,
+            &self.radio,
+            alive,
+        );
+        apply_consumption_alive(&mut self.sensors, &self.routing, &self.radio, alive);
+        changed
     }
 
     /// Sensor lookup by id.
@@ -225,6 +247,32 @@ mod tests {
         assert!(t > 0.0);
         net.drain_all(t + 1e-6);
         assert!(!net.default_requesting_sensors().is_empty());
+    }
+
+    #[test]
+    fn repair_routing_updates_survivor_consumption() {
+        let mut net = tiny_net();
+        let relay_rate = net.sensors()[0].consumption_w;
+        let middle_rate = net.sensors()[1].consumption_w;
+        // Kill the relay nearest the BS: survivors reroute around it.
+        let alive = vec![false, true, true];
+        let changed = net.repair_routing(&alive);
+        assert!(!changed.is_empty());
+        assert!(changed.iter().all(|&v| alive[v]));
+        // The dead relay keeps its stale rate (caller's business)...
+        assert_eq!(net.sensors()[0].consumption_w, relay_rate);
+        // ...while the next node inward is forced onto a direct long
+        // link to the BS, so its transmit cost (and drain) changes.
+        assert!(net.routing().is_long_link(1, net.comm_range_m()));
+        assert!(net.sensors()[1].consumption_w != middle_rate);
+        let total: f64 = net
+            .sensors()
+            .iter()
+            .zip(&alive)
+            .filter(|(_, &a)| a)
+            .map(|(s, _)| s.data_rate_bps)
+            .sum();
+        assert!((net.routing().arriving_at_bs_bps_alive(&alive) - total).abs() < 1e-9);
     }
 
     #[test]

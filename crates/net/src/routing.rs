@@ -60,6 +60,72 @@ impl RoutingLoads {
     pub fn direct_links(&self) -> usize {
         self.next_hops.iter().filter(|h| h.is_empty()).count()
     }
+
+    /// Bits/s arriving at the base station across the direct links of
+    /// *surviving* sensors only.
+    ///
+    /// The plain [`RoutingLoads::arriving_at_bs_bps`] identity is stated
+    /// against the sum of **all** data rates and silently breaks once any
+    /// node dies mid-run; this variant restricts both sides of the
+    /// conservation check to the alive set, and is what the simulators
+    /// audit after every routing repair.
+    pub fn arriving_at_bs_bps_alive(&self, alive: &[bool]) -> f64 {
+        self.next_hops
+            .iter()
+            .zip(&self.out_bps)
+            .zip(alive)
+            .filter(|((h, _), &a)| a && h.is_empty())
+            .map(|((_, &o), _)| o)
+            .sum()
+    }
+
+    /// Whether node `v` transmits to the base station over a direct link
+    /// *longer* than the communication range — the fallback of a sensor
+    /// left without a closer neighbor, i.e. one effectively partitioned
+    /// from the relay mesh.
+    pub fn is_long_link(&self, v: usize, comm_range_m: f64) -> bool {
+        self.next_hops[v].is_empty() && self.bs_link_m[v] > comm_range_m
+    }
+
+    /// Excises dead nodes (`alive[v] == false`) and recomputes the
+    /// routing among survivors: traffic re-splits equally over the
+    /// remaining strictly-closer neighbors, nodes left without one fall
+    /// back to a direct long link to the base station, and every load
+    /// and transmit power is rebuilt. Dead nodes end with zero loads and
+    /// no next hops.
+    ///
+    /// Returns the indices of *surviving* nodes whose routing state
+    /// (hops, loads, or transmit power) changed, in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alive.len() != sensors.len()`, if the loads were built
+    /// for a different sensor count, or if `comm_range_m` is not
+    /// strictly positive.
+    pub fn repair(
+        &mut self,
+        sensors: &[Sensor],
+        bs: Point,
+        comm_range_m: f64,
+        model: &RadioModel,
+        alive: &[bool],
+    ) -> Vec<usize> {
+        assert_eq!(alive.len(), sensors.len(), "alive mask length mismatch");
+        assert_eq!(self.next_hops.len(), sensors.len(), "loads/sensors length mismatch");
+        let fresh = loads_among(sensors, bs, comm_range_m, model, alive);
+        let mut changed = Vec::new();
+        for (v, &is_alive) in alive.iter().enumerate() {
+            let differs = self.next_hops[v] != fresh.next_hops[v]
+                || self.relay_in_bps[v].to_bits() != fresh.relay_in_bps[v].to_bits()
+                || self.out_bps[v].to_bits() != fresh.out_bps[v].to_bits()
+                || self.tx_power_w[v].to_bits() != fresh.tx_power_w[v].to_bits();
+            if is_alive && differs {
+                changed.push(v);
+            }
+        }
+        *self = fresh;
+        changed
+    }
 }
 
 /// Computes ring-spreading routing loads for `sensors` toward `bs`.
@@ -76,6 +142,20 @@ pub fn compute_loads(
     comm_range_m: f64,
     model: &RadioModel,
 ) -> RoutingLoads {
+    loads_among(sensors, bs, comm_range_m, model, &vec![true; sensors.len()])
+}
+
+/// Shared core of [`compute_loads`] and [`RoutingLoads::repair`]:
+/// ring-spreading loads over the sub-network of `alive` nodes. Dead
+/// nodes keep their `bs_link_m` distance (informational) but carry no
+/// traffic, no hops, and no transmit power.
+fn loads_among(
+    sensors: &[Sensor],
+    bs: Point,
+    comm_range_m: f64,
+    model: &RadioModel,
+    alive: &[bool],
+) -> RoutingLoads {
     assert!(comm_range_m > 0.0, "communication range must be positive");
     let n = sensors.len();
     let pts: Vec<Point> = sensors.iter().map(|s| s.pos).collect();
@@ -85,12 +165,12 @@ pub fn compute_loads(
     if n > 0 {
         let index = GridIndex::build(&pts, comm_range_m);
         for v in 0..n {
-            if bs_dist[v] <= comm_range_m {
-                continue; // direct to BS
+            if !alive[v] || bs_dist[v] <= comm_range_m {
+                continue; // dead, or direct to BS
             }
             let mut closer: Vec<usize> = Vec::new();
             index.for_each_within(pts[v], comm_range_m, |u| {
-                if u != v && bs_dist[u] < bs_dist[v] {
+                if u != v && alive[u] && bs_dist[u] < bs_dist[v] {
                     closer.push(u);
                 }
             });
@@ -111,6 +191,9 @@ pub fn compute_loads(
     let mut out = vec![0.0f64; n];
     let mut tx_power = vec![0.0f64; n];
     for &v in &order {
+        if !alive[v] {
+            continue;
+        }
         let o = sensors[v].data_rate_bps + relay_in[v];
         out[v] = o;
         if next_hops[v].is_empty() {
@@ -139,6 +222,24 @@ pub fn apply_consumption(sensors: &mut [Sensor], loads: &RoutingLoads, model: &R
     for (i, s) in sensors.iter_mut().enumerate() {
         s.consumption_w =
             model.idle_w + model.rx_j_per_bit() * loads.relay_in_bps[i] + loads.tx_power_w[i];
+    }
+}
+
+/// Like [`apply_consumption`], but only touches surviving sensors: dead
+/// nodes keep whatever consumption the caller assigned them. (The
+/// simulators keep a depleted sensor's rate positive so it continues to
+/// accrue dead time until recharged, and zero a hardware-failed one.)
+pub fn apply_consumption_alive(
+    sensors: &mut [Sensor],
+    loads: &RoutingLoads,
+    model: &RadioModel,
+    alive: &[bool],
+) {
+    for (i, s) in sensors.iter_mut().enumerate() {
+        if alive[i] {
+            s.consumption_w =
+                model.idle_w + model.rx_j_per_bit() * loads.relay_in_bps[i] + loads.tx_power_w[i];
+        }
     }
 }
 
@@ -276,5 +377,117 @@ mod tests {
     #[should_panic(expected = "communication range")]
     fn zero_range_panics() {
         let _ = compute_loads(&[], Point::ORIGIN, 0.0, &RadioModel::default());
+    }
+
+    #[test]
+    fn repair_with_all_alive_is_identity() {
+        let sensors: Vec<Sensor> = (0..40)
+            .map(|i| mk(i, (i * 13 % 50) as f64, (i * 29 % 50) as f64, 50.0))
+            .collect();
+        let model = RadioModel::default();
+        let baseline = compute_loads(&sensors, Point::new(25.0, 25.0), 12.0, &model);
+        let mut repaired = baseline.clone();
+        let changed =
+            repaired.repair(&sensors, Point::new(25.0, 25.0), 12.0, &model, &[true; 40]);
+        assert!(changed.is_empty(), "all-alive repair must be a no-op, got {changed:?}");
+        for v in 0..40 {
+            assert_eq!(baseline.next_hops[v], repaired.next_hops[v]);
+            assert_eq!(baseline.out_bps[v].to_bits(), repaired.out_bps[v].to_bits());
+            assert_eq!(baseline.tx_power_w[v].to_bits(), repaired.tx_power_w[v].to_bits());
+        }
+    }
+
+    #[test]
+    fn repair_reroutes_around_dead_relay() {
+        // Two equidistant relays between the source and the BS; kill one
+        // and the source must re-split 100 % through the survivor.
+        let sensors = vec![
+            mk(0, 5.0, 2.0, 100.0),  // relay A
+            mk(1, 5.0, -2.0, 100.0), // relay B
+            mk(2, 10.0, 0.0, 100.0), // source
+        ];
+        let model = RadioModel::default();
+        let mut l = compute_loads(&sensors, Point::ORIGIN, 7.0, &model);
+        assert_eq!(l.next_hops[2].len(), 2);
+        let alive = vec![false, true, true];
+        let changed = l.repair(&sensors, Point::ORIGIN, 7.0, &model, &alive);
+        assert_eq!(changed, vec![1, 2], "both survivors change routing state");
+        assert_eq!(l.next_hops[2], vec![(1, 1.0)]);
+        assert!((l.relay_in_bps[1] - 100.0).abs() < 1e-9);
+        // The corpse carries nothing.
+        assert_eq!(l.out_bps[0], 0.0);
+        assert_eq!(l.tx_power_w[0], 0.0);
+        assert!(l.next_hops[0].is_empty());
+        // Surviving traffic still reaches the BS.
+        let total: f64 = sensors.iter().zip(&alive).filter(|(_, &a)| a)
+            .map(|(s, _)| s.data_rate_bps).sum();
+        assert!((l.arriving_at_bs_bps_alive(&alive) - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repair_falls_back_to_long_link() {
+        // Chain 0-1-2: killing the middle relay partitions the tail,
+        // which must fall back to a direct long link to the BS.
+        let sensors =
+            vec![mk(0, 5.0, 0.0, 100.0), mk(1, 10.0, 0.0, 100.0), mk(2, 15.0, 0.0, 100.0)];
+        let model = RadioModel::default();
+        let mut l = compute_loads(&sensors, Point::ORIGIN, 6.0, &model);
+        assert!(!l.is_long_link(2, 6.0));
+        let alive = vec![true, false, true];
+        let changed = l.repair(&sensors, Point::ORIGIN, 6.0, &model, &alive);
+        // The head loses its relay traffic, the tail loses its hop.
+        assert_eq!(changed, vec![0, 2]);
+        assert!(l.next_hops[2].is_empty());
+        assert!(l.is_long_link(2, 6.0));
+        assert_eq!(l.out_bps[2], 100.0);
+        assert!((l.arriving_at_bs_bps_alive(&alive) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repair_conserves_surviving_traffic() {
+        let sensors: Vec<Sensor> = (0..25)
+            .map(|i| mk(i, (i % 5) as f64 * 4.0 + 1.0, (i / 5) as f64 * 4.0 + 1.0, 10.0))
+            .collect();
+        let model = RadioModel::default();
+        let mut l = compute_loads(&sensors, Point::new(10.0, 10.0), 7.0, &model);
+        let mut alive = vec![true; 25];
+        for dead in [12usize, 7, 18, 0] {
+            alive[dead] = false;
+            l.repair(&sensors, Point::new(10.0, 10.0), 7.0, &model, &alive);
+            let total: f64 = sensors.iter().zip(&alive).filter(|(_, &a)| a)
+                .map(|(s, _)| s.data_rate_bps).sum();
+            assert!(
+                (l.arriving_at_bs_bps_alive(&alive) - total).abs() < 1e-6,
+                "conservation broke after killing {dead}"
+            );
+        }
+    }
+
+    #[test]
+    fn alive_variant_excludes_stale_dead_traffic() {
+        // The satellite bugfix scenario: a direct-link node dies but the
+        // loads are NOT repaired. The plain conservation sum still counts
+        // the corpse's traffic; the alive-aware variant drops it.
+        let sensors = vec![mk(0, 5.0, 0.0, 100.0), mk(1, 3.0, 3.0, 40.0)];
+        let l = compute_loads(&sensors, Point::ORIGIN, 6.0, &RadioModel::default());
+        let alive = vec![true, false];
+        assert!((l.arriving_at_bs_bps() - 140.0).abs() < 1e-9);
+        assert!((l.arriving_at_bs_bps_alive(&alive) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apply_consumption_alive_leaves_dead_untouched() {
+        let mut sensors =
+            vec![mk(0, 5.0, 0.0, 100.0), mk(1, 10.0, 0.0, 100.0), mk(2, 15.0, 0.0, 100.0)];
+        let model = RadioModel::default();
+        let mut l = compute_loads(&sensors, Point::ORIGIN, 6.0, &model);
+        apply_consumption(&mut sensors, &l, &model);
+        let dead_rate = sensors[1].consumption_w;
+        let alive = vec![true, false, true];
+        l.repair(&sensors, Point::ORIGIN, 6.0, &model, &alive);
+        apply_consumption_alive(&mut sensors, &l, &model, &alive);
+        assert_eq!(sensors[1].consumption_w, dead_rate);
+        // The head no longer relays for anyone: consumption drops.
+        assert!((sensors[0].consumption_w - (model.idle_w + 100.0 * model.tx_j_per_bit(5.0))).abs() < 1e-12);
     }
 }

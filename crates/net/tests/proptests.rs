@@ -68,6 +68,51 @@ proptest! {
         }
     }
 
+    /// After ANY sequence of node deaths, repaired loads still conserve
+    /// the surviving traffic, `next_hops` fractions sum to 1, and every
+    /// hop leads to a strictly-closer *surviving* neighbor.
+    #[test]
+    fn repair_survives_any_death_sequence(
+        sensors in arb_sensors(60),
+        range in 5.0f64..30.0,
+        deaths in proptest::collection::vec(0usize..60, 0..12),
+    ) {
+        let bs = Point::new(50.0, 50.0);
+        let model = RadioModel::default();
+        let mut loads = compute_loads(&sensors, bs, range, &model);
+        let mut alive = vec![true; sensors.len()];
+        for d in deaths {
+            if sensors.is_empty() {
+                break;
+            }
+            alive[d % sensors.len()] = false;
+            let changed = loads.repair(&sensors, bs, range, &model, &alive);
+            prop_assert!(changed.iter().all(|&v| alive[v]));
+            let total: f64 = sensors.iter().zip(&alive)
+                .filter(|(_, &a)| a)
+                .map(|(s, _)| s.data_rate_bps)
+                .sum();
+            prop_assert!(
+                (loads.arriving_at_bs_bps_alive(&alive) - total).abs() < 1e-6 * total.max(1.0)
+            );
+            for (i, a) in alive.iter().enumerate() {
+                if !a {
+                    prop_assert_eq!(loads.out_bps[i], 0.0);
+                    prop_assert!(loads.next_hops[i].is_empty());
+                    continue;
+                }
+                if !loads.next_hops[i].is_empty() {
+                    let f: f64 = loads.next_hops[i].iter().map(|&(_, f)| f).sum();
+                    prop_assert!((f - 1.0).abs() < 1e-9);
+                    for &(u, _) in &loads.next_hops[i] {
+                        prop_assert!(alive[u], "hop through a corpse");
+                        prop_assert!(loads.bs_link_m[u] < loads.bs_link_m[i]);
+                    }
+                }
+            }
+        }
+    }
+
     /// Built networks have positive consumption everywhere and sensors
     /// inside the field.
     #[test]

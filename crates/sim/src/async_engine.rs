@@ -39,6 +39,7 @@ use wrsn_core::{
 use wrsn_net::SensorId;
 
 use crate::channel::ChannelState;
+use crate::churn::ChurnState;
 use crate::engine::{admit_requests, SimConfig, SimConfigError};
 use crate::fault::FaultState;
 use crate::report::{RoundStats, SimReport};
@@ -128,6 +129,10 @@ impl AsyncSimulation {
         // Telemetry layer: `None` when inert — dispatches then plan from
         // true residuals and recharges snap to the target, bit-identically.
         let mut telemetry = EnergyEstimator::new(&self.config.telemetry, &self.net);
+        // Churn layer: `None` when inert — the routing tree then stays
+        // fixed for the whole run, bit-identically.
+        let mut churn = ChurnState::new(&self.config.churn, n);
+        let mut failed_sensors = 0usize;
         let admission_on = self.config.admission_bound_s > 0.0;
         let kedf = wrsn_baselines::KEdf::new(PlannerConfig::default());
 
@@ -167,6 +172,19 @@ impl AsyncSimulation {
         let mut recharges: Vec<(f64, usize, f64)> = Vec::new();
 
         while t < horizon {
+            // Churn: retire expired hardware, excise corpses (hardware
+            // and depletion) from the routing tree, fold revived sensors
+            // back in, and escalate cascade-flagged survivors.
+            if let Some(cs) = churn.as_mut() {
+                failed_sensors += cs.step(
+                    &mut self.net,
+                    t,
+                    self.config.max_deferrals,
+                    &mut deferral_count,
+                    tracing,
+                    &mut events,
+                );
+            }
             // Clear returned chargers' flights and assignments.
             for c in 0..k {
                 if free_at[c] <= t && !flight[c].is_empty() {
@@ -520,6 +538,19 @@ impl AsyncSimulation {
                     next = next.min(ev + 1e-9);
                 }
             }
+            // Wake at the next hardware failure — and at the next
+            // depletion — so the churn step excises the corpse promptly
+            // instead of relaying through it until the next dispatch.
+            if let Some(cs) = churn.as_ref() {
+                if let Some(ft) = cs.next_failure_at() {
+                    if ft > t {
+                        next = next.min(ft + 1e-9);
+                    }
+                }
+                if let Some(dz) = self.net.time_to_next_crossing(0.0) {
+                    next = next.min(t + dz + 1e-9);
+                }
+            }
             if next <= t {
                 next = t + 1.0; // guard against stalls
             }
@@ -571,7 +602,7 @@ impl AsyncSimulation {
             dead_time_s: dead,
             horizon_s: horizon,
             trace,
-            failed_sensors: 0,
+            failed_sensors,
             charger_failures,
             recovery_rounds,
             charged_sensors,
@@ -583,6 +614,12 @@ impl AsyncSimulation {
             escalated_requests,
             ..SimReport::default()
         };
+        if let Some(cs) = churn {
+            report.routing_repairs = cs.repairs;
+            report.cascade_alerts = cs.cascades;
+            report.partitioned_sensors = cs.partitioned;
+            report.traffic_violations = cs.violations;
+        }
         if let Some(tel) = telemetry {
             report.telemetry_reports = tel.reports;
             report.estimate_errors_j = tel.errors_j;
@@ -729,5 +766,51 @@ mod tests {
         let _ = AsyncSimulation::new(net, SimConfig::default())
             .unwrap()
             .run(&Appro::new(PlannerConfig::default()), 0);
+    }
+
+    #[test]
+    fn inert_churn_layer_is_bit_identical() {
+        let run = |churn: crate::ChurnModel| {
+            let net = NetworkBuilder::new(80).seed(1).build();
+            let mut cfg = SimConfig::default();
+            cfg.horizon_s = days(30.0);
+            cfg.churn = churn;
+            AsyncSimulation::new(net, cfg)
+                .unwrap()
+                .run(&Appro::new(PlannerConfig::default()), 2)
+                .unwrap()
+        };
+        let mut seeded = crate::ChurnModel::default();
+        seeded.seed = 90_210;
+        seeded.cascade_factor = 2.0;
+        let base = run(crate::ChurnModel::default());
+        assert_eq!(base, run(seeded));
+        assert_eq!(base.routing_repairs, 0);
+        assert_eq!(base.failed_sensors, 0);
+    }
+
+    #[test]
+    fn churned_async_runs_repair_and_are_deterministic() {
+        let run = || {
+            let net = NetworkBuilder::new(150).seed(7).build();
+            let mut cfg = SimConfig::default();
+            cfg.horizon_s = days(180.0);
+            cfg.collect_trace = true;
+            cfg.churn.sensor_mtbf_s = 2.0 * cfg.horizon_s;
+            cfg.churn.cascade_factor = 1.02;
+            cfg.churn.seed = 13;
+            AsyncSimulation::new(net, cfg)
+                .unwrap()
+                .run(&Appro::new(PlannerConfig::default()), 2)
+                .unwrap()
+        };
+        let report = run();
+        assert!(report.failed_sensors > 5, "MTBF at 2x horizon must kill sensors");
+        assert!(report.routing_repairs >= 1, "deaths must trigger repairs");
+        assert!(report.traffic_conserved(), "post-repair audits must pass");
+        assert!(report.service_reconciles());
+        assert_eq!(report.trace.sensor_failures(), report.failed_sensors);
+        assert_eq!(report.trace.routing_repairs(), report.routing_repairs);
+        assert_eq!(report, run(), "churned async runs are seed-deterministic");
     }
 }

@@ -10,6 +10,7 @@ use wrsn_core::{
 use wrsn_net::{Network, Sensor, SensorId, DEFAULT_REQUEST_FRACTION, YEAR_SECS};
 
 use crate::channel::{ChannelModel, ChannelState};
+use crate::churn::{ChurnModel, ChurnState};
 use crate::fault::{FaultModel, FaultState};
 use crate::report::{RoundStats, SimReport};
 use crate::snapshot::Snapshot;
@@ -44,6 +45,8 @@ pub enum SimConfigError {
     /// A [`ChargingParams`] field is out of range (NaN, non-positive
     /// rate/speed, or a charge target outside `(0, 1]`).
     InvalidChargingParams(&'static str),
+    /// The [`ChurnModel`] has an out-of-range parameter.
+    InvalidChurnModel(&'static str),
 }
 
 impl std::fmt::Display for SimConfigError {
@@ -80,6 +83,9 @@ impl std::fmt::Display for SimConfigError {
             }
             SimConfigError::InvalidChargingParams(what) => {
                 write!(f, "invalid charging params: {what}")
+            }
+            SimConfigError::InvalidChurnModel(what) => {
+                write!(f, "invalid churn model: {what}")
             }
         }
     }
@@ -155,6 +161,16 @@ pub struct SimConfig {
     /// inert and leaves runs bit-identical (no random values are drawn,
     /// and planning sees true residuals as in the paper).
     pub telemetry: TelemetryModel,
+    /// Topology churn: seeded permanent sensor hardware failures with
+    /// incremental routing repair, cascade (energy-hole) containment and
+    /// partition detection. Unlike [`SimConfig::failure_rate_per_year`]
+    /// (which only silences the failed sensor), churn re-splits the
+    /// corpse's relayed traffic among survivors and recomputes their
+    /// consumption; depletion deaths are excised and folded back in the
+    /// same way. The default is fully inert and leaves runs
+    /// bit-identical (no random values are drawn, and the routing tree
+    /// stays fixed for the whole run as in the paper).
+    pub churn: ChurnModel,
 }
 
 impl SimConfig {
@@ -194,6 +210,7 @@ impl SimConfig {
             return Err(SimConfigError::NegativeAdmissionBound);
         }
         self.telemetry.validate().map_err(SimConfigError::InvalidTelemetryModel)?;
+        self.churn.validate().map_err(SimConfigError::InvalidChurnModel)?;
         // Charger parameters were previously vetted only when a problem
         // was built mid-run, where a NaN surfaced as a panic; reject
         // them up front with a typed error instead.
@@ -243,6 +260,7 @@ impl Default for SimConfig {
             admission_bound_s: 0.0,
             max_deferrals: 4,
             telemetry: TelemetryModel::default(),
+            churn: ChurnModel::default(),
         }
     }
 }
@@ -575,6 +593,10 @@ impl Simulation {
         // Telemetry layer: `None` when inert — planning then reads true
         // residuals and the recharge path is untouched, bit-identically.
         let mut telemetry = EnergyEstimator::new(&self.config.telemetry, &self.net);
+        // Churn layer: `None` when inert — the routing tree then stays
+        // fixed for the whole run, bit-identically to the pre-churn
+        // engine.
+        let mut churn = ChurnState::new(&self.config.churn, n);
         let kedf = wrsn_baselines::KEdf::new(PlannerConfig::default());
         let mut charger_failures = 0usize;
         let mut recovery_rounds = 0usize;
@@ -681,10 +703,53 @@ impl Simulation {
                     ts.undercharge_j,
                 )
             });
+            churn = snap.churn.map(|c| {
+                ChurnState::from_parts(
+                    &self.config.churn,
+                    &c.rng,
+                    c.fail_at,
+                    c.failed,
+                    c.alive,
+                    c.repairs,
+                    c.cascades,
+                    c.partitioned,
+                    c.violations,
+                )
+            });
+            if let Some(cs) = churn.as_ref() {
+                // Replay the last repair so the routing tree matches the
+                // checkpoint, then re-restore the snapshot's consumption
+                // rates: depletion-dead sensors keep values from *older*
+                // repairs that the replayed mask cannot reproduce.
+                self.net.repair_routing(&cs.alive);
+                for (s, &(res, cons)) in
+                    self.net.sensors_mut().iter_mut().zip(&snap.sensors)
+                {
+                    s.residual_j = res;
+                    s.consumption_w = cons;
+                }
+            }
         }
 
         while t < self.config.horizon_s {
             apply_failures(&mut self.net, t, &mut fail_at, &mut failed_sensors);
+            // Churn: retire expired hardware, excise corpses (hardware
+            // and depletion) from the routing tree, fold revived sensors
+            // back in, and escalate cascade-flagged survivors.
+            if let Some(cs) = churn.as_mut() {
+                let mut cbuf = Vec::new();
+                failed_sensors += cs.step(
+                    &mut self.net,
+                    t,
+                    self.config.max_deferrals,
+                    &mut deferral_count,
+                    tracing,
+                    &mut cbuf,
+                );
+                for e in cbuf {
+                    trace.push(e);
+                }
+            }
             // Telemetry reports land at engine touch points: reports due
             // mid-round are deferred to the round boundary (the control
             // plane piggybacks on it), and the sleep path below wakes at
@@ -1215,6 +1280,7 @@ impl Simulation {
                             fault.as_ref(),
                             channel.as_ref(),
                             telemetry.as_ref(),
+                            churn.as_ref(),
                             &trace,
                         );
                         snap.write_to_dir(dir, rounds.len())
@@ -1257,6 +1323,19 @@ impl Simulation {
                     dt = dt.min(ev - t + 1e-9);
                 }
             }
+            // Wake at the next hardware failure — and at the next
+            // depletion — so the churn step excises the corpse promptly
+            // instead of relaying through it until the next request.
+            if let Some(cs) = churn.as_ref() {
+                if let Some(ft) = cs.next_failure_at() {
+                    if ft > t {
+                        dt = dt.min(ft - t + 1e-9);
+                    }
+                }
+                if let Some(dz) = self.net.time_to_next_crossing(0.0) {
+                    dt = dt.min(dz + 1e-9);
+                }
+            }
             if dt <= 0.0 {
                 break;
             }
@@ -1292,6 +1371,12 @@ impl Simulation {
             escalated_requests,
             ..SimReport::default()
         };
+        if let Some(cs) = churn {
+            report.routing_repairs = cs.repairs;
+            report.cascade_alerts = cs.cascades;
+            report.partitioned_sensors = cs.partitioned;
+            report.traffic_violations = cs.violations;
+        }
         if let Some(tel) = telemetry {
             report.telemetry_reports = tel.reports;
             report.estimate_errors_j = tel.errors_j;
@@ -2107,5 +2192,125 @@ mod tests {
             .unwrap();
         std::fs::remove_dir_all(&dir).ok();
         assert_eq!(uninterrupted, resumed, "resumed telemetry run must be bit-identical");
+    }
+
+    #[test]
+    fn invalid_churn_model_is_rejected() {
+        let net = NetworkBuilder::new(5).build();
+        let mut cfg = SimConfig::default();
+        cfg.churn.sensor_mtbf_s = -1.0;
+        assert!(matches!(
+            Simulation::new(net, cfg).err(),
+            Some(SimConfigError::InvalidChurnModel(_))
+        ));
+        let mut cfg = SimConfig::default();
+        cfg.churn.cascade_factor = 0.9;
+        assert!(matches!(
+            cfg.validate(),
+            Err(SimConfigError::InvalidChurnModel(_))
+        ));
+    }
+
+    #[test]
+    fn inert_churn_layer_is_bit_identical() {
+        let run = |churn: ChurnModel| {
+            let net = NetworkBuilder::new(80).seed(1).build();
+            let mut cfg = SimConfig::default();
+            cfg.horizon_s = month();
+            cfg.churn = churn;
+            Simulation::new(net, cfg)
+                .unwrap()
+                .run(&Appro::new(PlannerConfig::default()), 2)
+                .unwrap()
+        };
+        // As with every other stochastic layer: an inert churn model
+        // (MTBF 0) must draw zero random values, whatever its seed or
+        // cascade factor.
+        let mut seeded = ChurnModel::default();
+        seeded.seed = 424_242;
+        seeded.cascade_factor = 1.01;
+        let base = run(ChurnModel::default());
+        assert_eq!(base, run(seeded));
+        assert_eq!(base.routing_repairs, 0);
+        assert_eq!(base.cascade_alerts, 0);
+        assert_eq!(base.partitioned_sensors, 0);
+        assert!(base.traffic_conserved());
+    }
+
+    #[test]
+    fn churned_run_repairs_and_conserves() {
+        // The issue's acceptance scenario: relay deaths over a long run
+        // must produce RoutingRepaired events, keep the post-repair
+        // traffic audit clean, and stay seed-deterministic.
+        let run = || {
+            let net = NetworkBuilder::new(150).seed(7).build();
+            let mut cfg = SimConfig::default();
+            cfg.horizon_s = 180.0 * 24.0 * 3600.0;
+            cfg.collect_trace = true;
+            cfg.validate_schedules = true;
+            cfg.churn.sensor_mtbf_s = 2.0 * cfg.horizon_s; // ~40% fail
+            cfg.churn.cascade_factor = 1.02;
+            cfg.churn.seed = 13;
+            Simulation::new(net, cfg)
+                .unwrap()
+                .run(&Appro::new(PlannerConfig::default()), 2)
+                .unwrap()
+        };
+        let report = run();
+        assert!(report.failed_sensors > 5, "MTBF at 2x horizon must kill sensors");
+        assert!(report.routing_repairs >= 1, "deaths must trigger repairs");
+        assert!(report.traffic_conserved(), "post-repair audits must pass");
+        assert!(report.service_reconciles());
+        assert_eq!(report.trace.sensor_failures(), report.failed_sensors);
+        assert_eq!(report.trace.routing_repairs(), report.routing_repairs);
+        assert_eq!(report.trace.cascades(), report.cascade_alerts);
+        assert_eq!(report.trace.partitions(), report.partitioned_sensors);
+        assert_eq!(report, run(), "churned runs are seed-deterministic");
+    }
+
+    #[test]
+    fn churn_checkpoint_resume_is_bit_identical() {
+        // The issue's acceptance criterion: a checkpointed run with
+        // churn ACTIVE must resume bit-identically — the churn RNG
+        // mid-flight and the repaired routing tree replayed from the
+        // snapshot's alive mask.
+        let make = || {
+            let net = NetworkBuilder::new(120).seed(21).build();
+            let mut cfg = SimConfig::default();
+            cfg.horizon_s = 120.0 * 24.0 * 3600.0;
+            cfg.collect_trace = true;
+            cfg.churn.sensor_mtbf_s = 1.5 * cfg.horizon_s;
+            cfg.churn.cascade_factor = 1.05;
+            cfg.churn.seed = 33;
+            cfg.channel.loss_prob = 0.1;
+            cfg.channel.seed = 17;
+            (net, cfg)
+        };
+        let planner = Appro::new(PlannerConfig::default());
+
+        let (net, cfg) = make();
+        let uninterrupted = Simulation::new(net, cfg).unwrap().run(&planner, 2).unwrap();
+        assert!(uninterrupted.rounds_dispatched() >= 4, "need rounds to checkpoint");
+        assert!(uninterrupted.routing_repairs >= 1, "churn must have repaired");
+
+        let dir = std::env::temp_dir().join("wrsn_churn_ckpt_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let (net, cfg) = make();
+        let checkpointed = Simulation::new(net, cfg)
+            .unwrap()
+            .checkpoint_to(&dir, 2)
+            .run(&planner, 2)
+            .unwrap();
+        assert_eq!(uninterrupted, checkpointed, "checkpointing must not perturb");
+
+        let snap = Snapshot::read(&dir.join("checkpoint_round0002.json")).expect("read ckpt");
+        let (net, cfg) = make();
+        let resumed = Simulation::new(net, cfg)
+            .unwrap()
+            .resume_from(snap)
+            .run(&planner, 2)
+            .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(uninterrupted, resumed, "resumed churned run must be bit-identical");
     }
 }

@@ -39,6 +39,7 @@
 
 mod async_engine;
 mod channel;
+mod churn;
 mod engine;
 mod fault;
 pub mod fleet;
@@ -49,6 +50,7 @@ pub mod trace;
 
 pub use async_engine::AsyncSimulation;
 pub use channel::ChannelModel;
+pub use churn::ChurnModel;
 pub use engine::{SimConfig, SimConfigError, Simulation};
 pub use fault::FaultModel;
 pub use report::{RoundStats, SimReport};

@@ -91,6 +91,20 @@ pub struct SimReport {
     /// Energy shortfall of sojourns planned shorter than the true
     /// deficit (optimistic estimates' cost), joules.
     pub undercharge_j: f64,
+    /// Routing repairs performed after the alive set changed
+    /// ([`ChurnModel`](crate::ChurnModel)); 0 when churn is inert.
+    pub routing_repairs: usize,
+    /// Cascade (energy-hole) alarms: repairs that multiplied some
+    /// survivor's consumption by more than
+    /// [`ChurnModel::cascade_factor`](crate::ChurnModel).
+    pub cascade_alerts: usize,
+    /// Survivors a repair forced onto direct long links to the base
+    /// station (partitioned from the relay mesh).
+    pub partitioned_sensors: usize,
+    /// Post-repair traffic-conservation audits that failed. Always 0
+    /// unless the repair logic is broken; the CLI treats a violation
+    /// like a ledger imbalance and fails the run.
+    pub traffic_violations: usize,
 }
 
 impl SimReport {
@@ -185,6 +199,14 @@ impl SimReport {
         let lhs = self.planned_energy_j;
         let rhs = self.reconciled_energy_j + self.overcharge_j;
         (lhs - rhs).abs() <= 1e-6 * lhs.abs().max(rhs.abs()).max(1.0)
+    }
+
+    /// Checks the traffic ledger: every post-repair audit found the
+    /// surviving sensors' aggregate data rate arriving at the base
+    /// station. Trivially true when churn is inert (routing is never
+    /// repaired, so no audit runs).
+    pub fn traffic_conserved(&self) -> bool {
+        self.traffic_violations == 0
     }
 
     /// Fraction of sensors that were never dead.
@@ -296,6 +318,16 @@ mod tests {
         assert!(!r.energy_reconciles());
         // Inert telemetry: all totals zero, trivially reconciled.
         assert!(SimReport::default().energy_reconciles());
+    }
+
+    #[test]
+    fn traffic_ledger_reconciliation() {
+        let mut r = SimReport::default();
+        assert!(r.traffic_conserved()); // inert churn: trivially true
+        r.routing_repairs = 3;
+        assert!(r.traffic_conserved());
+        r.traffic_violations = 1;
+        assert!(!r.traffic_conserved());
     }
 
     #[test]

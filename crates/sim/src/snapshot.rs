@@ -4,8 +4,8 @@
 //! [`Simulation::run`](crate::Simulation::run) at a round boundary:
 //! sensor energies and consumption rates, the dead-time ledger, the
 //! pre-drawn sensor-failure schedule, every service-ledger counter, the
-//! per-round statistics so far, the fault, request-channel and
-//! telemetry-estimator states
+//! per-round statistics so far, the fault, request-channel,
+//! telemetry-estimator and topology-churn states
 //! including their exact ChaCha stream positions
 //! ([`ChaCha12Rng::state_words`](rand_chacha::ChaCha12Rng::state_words)),
 //! and the trace ring. Restoring it re-enters the engine loop with
@@ -27,6 +27,7 @@ use serde_json::{Map, Number, Value};
 use wrsn_net::{Network, SensorId};
 
 use crate::channel::{ChannelState, InFlight};
+use crate::churn::ChurnState;
 use crate::fault::FaultState;
 use crate::report::RoundStats;
 use crate::telemetry::EnergyEstimator;
@@ -39,7 +40,14 @@ use crate::{Trace, TraceEvent};
 /// - 2: adds the optional `telemetry` section (energy-estimator state).
 ///   Version-1 files are still accepted; they restore with no estimator,
 ///   which is exactly the state of a pre-telemetry run.
-const FORMAT_VERSION: u64 = 2;
+/// - 3: adds the optional `churn` section (topology-churn state: RNG,
+///   hardware-failure schedule, failed/alive masks, repair counters).
+///   Version-1 and -2 files are still accepted; they restore with no
+///   churn state, which is exactly the state of a pre-churn run. The
+///   repaired routing tree itself is not stored — the engine replays
+///   [`wrsn_net::Network::repair_routing`] with the snapshot's alive
+///   mask on resume, which reproduces it bit-exactly.
+const FORMAT_VERSION: u64 = 3;
 
 /// Oldest format version [`Snapshot::from_json`] still accepts.
 const OLDEST_SUPPORTED_VERSION: u64 = 1;
@@ -100,6 +108,19 @@ pub(crate) struct TelemetrySnap {
     pub undercharge_j: f64,
 }
 
+/// Checkpointed topology-churn state ([`ChurnState`] mid-run).
+#[derive(Clone, Debug)]
+pub(crate) struct ChurnSnap {
+    pub rng: [u32; 33],
+    pub fail_at: Vec<f64>,
+    pub failed: Vec<bool>,
+    pub alive: Vec<bool>,
+    pub repairs: usize,
+    pub cascades: usize,
+    pub partitioned: usize,
+    pub violations: usize,
+}
+
 /// Checkpointed request-channel state ([`ChannelState`] mid-run).
 #[derive(Clone, Debug)]
 pub(crate) struct ChannelSnap {
@@ -141,6 +162,7 @@ pub struct Snapshot {
     pub(crate) fault: Option<FaultSnap>,
     pub(crate) channel: Option<ChannelSnap>,
     pub(crate) telemetry: Option<TelemetrySnap>,
+    pub(crate) churn: Option<ChurnSnap>,
     pub(crate) trace_dropped: usize,
     pub(crate) trace_events: Vec<TraceEvent>,
 }
@@ -242,6 +264,18 @@ fn event_to_json(e: &TraceEvent) -> Value {
         TraceEvent::SensorDiedUndetected { at_s, sensor, error_j } => {
             vec![Value::from("du"), bits(at_s), uint(sensor.index()), bits(error_j)]
         }
+        TraceEvent::SensorFailed { at_s, sensor } => {
+            vec![Value::from("sf"), bits(at_s), uint(sensor.index())]
+        }
+        TraceEvent::RoutingRepaired { at_s, changed } => {
+            vec![Value::from("rr"), bits(at_s), uint(changed)]
+        }
+        TraceEvent::CascadeDetected { at_s, sensor, factor } => {
+            vec![Value::from("cd"), bits(at_s), uint(sensor.index()), bits(factor)]
+        }
+        TraceEvent::SensorPartitioned { at_s, sensor } => {
+            vec![Value::from("sp"), bits(at_s), uint(sensor.index())]
+        }
     };
     Value::Array(v)
 }
@@ -320,6 +354,23 @@ fn event_of(v: &Value) -> Result<TraceEvent, SnapshotError> {
             sensor: sensor_id_of(field(2)?)?,
             error_j: f64_of(field(3)?, "trace error")?,
         },
+        "sf" => TraceEvent::SensorFailed {
+            at_s: f64_of(field(1)?, "trace time")?,
+            sensor: sensor_id_of(field(2)?)?,
+        },
+        "rr" => TraceEvent::RoutingRepaired {
+            at_s: f64_of(field(1)?, "trace time")?,
+            changed: usize_of(field(2)?, "trace changed")?,
+        },
+        "cd" => TraceEvent::CascadeDetected {
+            at_s: f64_of(field(1)?, "trace time")?,
+            sensor: sensor_id_of(field(2)?)?,
+            factor: f64_of(field(3)?, "trace factor")?,
+        },
+        "sp" => TraceEvent::SensorPartitioned {
+            at_s: f64_of(field(1)?, "trace time")?,
+            sensor: sensor_id_of(field(2)?)?,
+        },
         _ => return Err(SnapshotError::Corrupt("unknown trace event tag")),
     };
     Ok(e)
@@ -349,6 +400,7 @@ impl Snapshot {
         fault: Option<&FaultState>,
         channel: Option<&ChannelState>,
         telemetry: Option<&EnergyEstimator>,
+        churn: Option<&ChurnState>,
         trace: &Trace,
     ) -> Snapshot {
         Snapshot {
@@ -399,6 +451,16 @@ impl Snapshot {
                 overcharge_j: tel.overcharge_j,
                 undercharge_j: tel.undercharge_j,
             }),
+            churn: churn.map(|cs| ChurnSnap {
+                rng: cs.rng_words(),
+                fail_at: cs.fail_at.clone(),
+                failed: cs.failed.clone(),
+                alive: cs.alive.clone(),
+                repairs: cs.repairs,
+                cascades: cs.cascades,
+                partitioned: cs.partitioned,
+                violations: cs.violations,
+            }),
             trace_dropped: trace.dropped(),
             trace_events: trace.iter().copied().collect(),
         }
@@ -412,6 +474,13 @@ impl Snapshot {
     /// The simulation clock at the capture point, seconds.
     pub fn time_s(&self) -> f64 {
         self.t
+    }
+
+    /// Whether the snapshot was taken by a run with an active topology
+    /// churn layer. The CLI uses this to reject a `--resume` whose
+    /// flags contradict the snapshot's recorded models.
+    pub fn churn_active(&self) -> bool {
+        self.churn.is_some()
     }
 
     /// Serializes to the on-disk JSON document.
@@ -543,6 +612,27 @@ impl Snapshot {
                 Value::Object(m)
             }),
         );
+        root.insert(
+            "churn".into(),
+            self.churn.as_ref().map_or(Value::Null, |c| {
+                let mut m = Map::new();
+                m.insert("rng".into(), rng_to_json(&c.rng));
+                m.insert("fail_at".into(), bits_vec(&c.fail_at));
+                m.insert(
+                    "failed".into(),
+                    Value::Array(c.failed.iter().map(|&b| Value::Bool(b)).collect()),
+                );
+                m.insert(
+                    "alive".into(),
+                    Value::Array(c.alive.iter().map(|&b| Value::Bool(b)).collect()),
+                );
+                m.insert("repairs".into(), uint(c.repairs));
+                m.insert("cascades".into(), uint(c.cascades));
+                m.insert("partitioned".into(), uint(c.partitioned));
+                m.insert("violations".into(), uint(c.violations));
+                Value::Object(m)
+            }),
+        );
         let mut tr = Map::new();
         tr.insert("dropped".into(), uint(self.trace_dropped));
         tr.insert(
@@ -670,6 +760,27 @@ impl Snapshot {
                 undercharge_j: f64_of(&tel["undercharge"], "telemetry undercharge")?,
             }),
         };
+        // Version-1/-2 files have no "churn" key; indexing a missing key
+        // yields Null, so both "absent" and explicit null restore as None.
+        let churn = match &v["churn"] {
+            Value::Null => None,
+            c => Some(ChurnSnap {
+                rng: rng_of(&c["rng"])?,
+                fail_at: f64_vec(&c["fail_at"], "churn fail times")?,
+                failed: array(&c["failed"], "churn failed mask")?
+                    .iter()
+                    .map(|b| bool_of(b, "churn failed mask"))
+                    .collect::<Result<_, _>>()?,
+                alive: array(&c["alive"], "churn alive mask")?
+                    .iter()
+                    .map(|b| bool_of(b, "churn alive mask"))
+                    .collect::<Result<_, _>>()?,
+                repairs: usize_of(&c["repairs"], "churn repairs")?,
+                cascades: usize_of(&c["cascades"], "churn cascades")?,
+                partitioned: usize_of(&c["partitioned"], "churn partitioned")?,
+                violations: usize_of(&c["violations"], "churn violations")?,
+            }),
+        };
         let trace_events = array(&v["trace"]["events"], "trace events")?
             .iter()
             .map(event_of)
@@ -704,6 +815,7 @@ impl Snapshot {
             fault,
             channel,
             telemetry,
+            churn,
             trace_dropped: usize_of(&v["trace"]["dropped"], "trace dropped")?,
             trace_events,
         })
@@ -816,6 +928,19 @@ mod tests {
                 overcharge_j: 500.0,
                 undercharge_j: 25.0,
             }),
+            churn: Some(ChurnSnap {
+                rng: {
+                    use rand::SeedableRng;
+                    rand_chacha::ChaCha12Rng::seed_from_u64(4).state_words()
+                },
+                fail_at: vec![f64::INFINITY, 2.5e6],
+                failed: vec![true, false],
+                alive: vec![false, true],
+                repairs: 3,
+                cascades: 1,
+                partitioned: 1,
+                violations: 0,
+            }),
             trace_dropped: 2,
             trace_events: vec![
                 TraceEvent::RoundDispatched { at_s: 0.0, round: 0, requests: 3 },
@@ -843,6 +968,14 @@ mod tests {
                     sensor: SensorId(1),
                     error_j: 7.25,
                 },
+                TraceEvent::SensorFailed { at_s: 13.0, sensor: SensorId(0) },
+                TraceEvent::RoutingRepaired { at_s: 13.0, changed: 2 },
+                TraceEvent::CascadeDetected {
+                    at_s: 13.0,
+                    sensor: SensorId(1),
+                    factor: 1.75,
+                },
+                TraceEvent::SensorPartitioned { at_s: 13.0, sensor: SensorId(1) },
             ],
         }
     }
@@ -891,6 +1024,15 @@ mod tests {
         assert_eq!(ta.delivered_energy_j.to_bits(), tb.delivered_energy_j.to_bits());
         assert_eq!(ta.overcharge_j.to_bits(), tb.overcharge_j.to_bits());
         assert_eq!(ta.undercharge_j.to_bits(), tb.undercharge_j.to_bits());
+        let (ua, ub) = (a.churn.as_ref().unwrap(), b.churn.as_ref().unwrap());
+        assert_eq!(ua.rng, ub.rng);
+        assert_eq!(bits_of(&ua.fail_at), bits_of(&ub.fail_at));
+        assert_eq!(ua.failed, ub.failed);
+        assert_eq!(ua.alive, ub.alive);
+        assert_eq!(ua.repairs, ub.repairs);
+        assert_eq!(ua.cascades, ub.cascades);
+        assert_eq!(ua.partitioned, ub.partitioned);
+        assert_eq!(ua.violations, ub.violations);
     }
 
     #[test]
@@ -935,7 +1077,7 @@ mod tests {
         if let Value::Object(m) = &v {
             for (key, val) in m.iter() {
                 match key.as_str() {
-                    "version" | "telemetry" => {}
+                    "version" | "telemetry" | "churn" => {}
                     "trace" => {
                         let mut tr = Map::new();
                         tr.insert("dropped".into(), val["dropped"].clone());
@@ -948,7 +1090,7 @@ mod tests {
                                     e.as_array()
                                         .and_then(|a| a.first())
                                         .and_then(Value::as_str),
-                                    Some("tc" | "em" | "du")
+                                    Some("tc" | "em" | "du" | "sf" | "rr" | "cd" | "sp")
                                 )
                             })
                             .cloned()
@@ -968,6 +1110,67 @@ mod tests {
             .trace_events
             .iter()
             .all(|e| !matches!(e, TraceEvent::TelemetryCorrected { .. })));
+    }
+
+    #[test]
+    fn version_2_without_churn_key_still_parses() {
+        // A file written by the previous release: version 2, no "churn"
+        // key at all (not even an explicit null), and none of the PR 5
+        // trace tags. It must restore with `churn: None`. The vendored
+        // Map has no `remove`, so rebuild the document entry by entry,
+        // skipping/patching as a v2 writer would.
+        let v = sample().to_json();
+        let mut root = Map::new();
+        root.insert("version".into(), Value::Number(Number::U(2)));
+        if let Value::Object(m) = &v {
+            for (key, val) in m.iter() {
+                match key.as_str() {
+                    "version" | "churn" => {}
+                    "trace" => {
+                        let mut tr = Map::new();
+                        tr.insert("dropped".into(), val["dropped"].clone());
+                        let events = val["events"]
+                            .as_array()
+                            .expect("trace events array")
+                            .iter()
+                            .filter(|e| {
+                                !matches!(
+                                    e.as_array()
+                                        .and_then(|a| a.first())
+                                        .and_then(Value::as_str),
+                                    Some("sf" | "rr" | "cd" | "sp")
+                                )
+                            })
+                            .cloned()
+                            .collect();
+                        tr.insert("events".into(), Value::Array(events));
+                        root.insert(key.clone(), Value::Object(tr));
+                    }
+                    _ => root.insert(key.clone(), val.clone()),
+                }
+            }
+        }
+        let v = Value::Object(root);
+        let back = Snapshot::from_json(&v).expect("v2 snapshot must parse");
+        assert!(back.churn.is_none());
+        assert!(!back.churn_active());
+        assert!(back.telemetry.is_some(), "v2 telemetry section must survive");
+        assert_eq!(back.round, sample().round);
+        assert!(back
+            .trace_events
+            .iter()
+            .all(|e| !matches!(e, TraceEvent::RoutingRepaired { .. })));
+    }
+
+    #[test]
+    fn explicit_null_churn_parses_as_none() {
+        let mut v = sample().to_json();
+        if let Value::Object(m) = &mut v {
+            m.insert("churn".into(), Value::Null);
+        }
+        let back = Snapshot::from_json(&v).expect("null churn must parse");
+        assert!(back.churn.is_none());
+        assert!(!back.churn_active());
     }
 
     #[test]

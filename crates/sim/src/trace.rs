@@ -147,6 +147,48 @@ pub enum TraceEvent {
         /// (all of it error, since the truth is 0).
         error_j: f64,
     },
+    /// A sensor was permanently lost to a hardware failure injected by
+    /// the churn layer ([`ChurnModel`](crate::ChurnModel)); unlike a
+    /// depletion death it never revives. Stamped at the simulation
+    /// instant the engine *detected* the failure (deaths surface at
+    /// loop boundaries, like the legacy failure path).
+    SensorFailed {
+        /// Simulation time the failure was detected, seconds.
+        at_s: f64,
+        /// The lost sensor.
+        sensor: SensorId,
+    },
+    /// The routing tree was repaired after the set of alive sensors
+    /// changed: corpses excised, their upstream traffic re-split among
+    /// surviving closer neighbors, survivor consumption recomputed.
+    RoutingRepaired {
+        /// Simulation time of the repair, seconds.
+        at_s: f64,
+        /// Survivors whose routing state (hops, loads, or transmit
+        /// power) changed.
+        changed: usize,
+    },
+    /// A routing repair multiplied a survivor's consumption by more
+    /// than [`ChurnModel::cascade_factor`](crate::ChurnModel) — the
+    /// seed of an energy hole. The sensor's charging priority is
+    /// escalated past the admission bound in response.
+    CascadeDetected {
+        /// Simulation time of the repair that raised the alarm, seconds.
+        at_s: f64,
+        /// The overloaded survivor.
+        sensor: SensorId,
+        /// Consumption growth ratio, `after / before` (> 1).
+        factor: f64,
+    },
+    /// A routing repair left a survivor without any closer neighbor: it
+    /// fell back to a direct long link to the base station — reachable,
+    /// but effectively partitioned from the relay mesh.
+    SensorPartitioned {
+        /// Simulation time of the repair, seconds.
+        at_s: f64,
+        /// The partitioned survivor.
+        sensor: SensorId,
+    },
 }
 
 impl TraceEvent {
@@ -165,7 +207,11 @@ impl TraceEvent {
             | TraceEvent::RequestEscalated { at_s, .. }
             | TraceEvent::TelemetryCorrected { at_s, .. }
             | TraceEvent::EstimateMiss { at_s, .. }
-            | TraceEvent::SensorDiedUndetected { at_s, .. } => at_s,
+            | TraceEvent::SensorDiedUndetected { at_s, .. }
+            | TraceEvent::SensorFailed { at_s, .. }
+            | TraceEvent::RoutingRepaired { at_s, .. }
+            | TraceEvent::CascadeDetected { at_s, .. }
+            | TraceEvent::SensorPartitioned { at_s, .. } => at_s,
         }
     }
 }
@@ -282,6 +328,26 @@ impl Trace {
     /// Count of deaths the telemetry estimator failed to anticipate.
     pub fn undetected_deaths(&self) -> usize {
         self.iter().filter(|e| matches!(e, TraceEvent::SensorDiedUndetected { .. })).count()
+    }
+
+    /// Count of permanent hardware failures injected by the churn layer.
+    pub fn sensor_failures(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::SensorFailed { .. })).count()
+    }
+
+    /// Count of routing repairs.
+    pub fn routing_repairs(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::RoutingRepaired { .. })).count()
+    }
+
+    /// Count of cascade (energy-hole) alarms.
+    pub fn cascades(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::CascadeDetected { .. })).count()
+    }
+
+    /// Count of survivors forced onto direct long links by a repair.
+    pub fn partitions(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::SensorPartitioned { .. })).count()
     }
 
     /// Rebuilds a trace from checkpointed parts (snapshot restore).
@@ -404,6 +470,21 @@ mod tests {
             t.iter().copied().collect(),
         );
         assert_eq!(rebuilt, t);
+    }
+
+    #[test]
+    fn churn_event_counters() {
+        let mut t = Trace::default();
+        t.push(TraceEvent::SensorFailed { at_s: 1.0, sensor: SensorId(3) });
+        t.push(TraceEvent::RoutingRepaired { at_s: 1.0, changed: 5 });
+        t.push(TraceEvent::CascadeDetected { at_s: 1.0, sensor: SensorId(4), factor: 2.5 });
+        t.push(TraceEvent::SensorPartitioned { at_s: 1.0, sensor: SensorId(9) });
+        t.push(TraceEvent::RoutingRepaired { at_s: 2.0, changed: 1 });
+        assert_eq!(t.sensor_failures(), 1);
+        assert_eq!(t.routing_repairs(), 2);
+        assert_eq!(t.cascades(), 1);
+        assert_eq!(t.partitions(), 1);
+        assert_eq!(t.iter().last().unwrap().at_s(), 2.0);
     }
 
     #[test]

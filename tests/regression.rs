@@ -192,6 +192,40 @@ fn inert_telemetry_matches_pinned_digests() {
     }
 }
 
+/// The churn layer (`ChurnModel`) joins the fault/channel/telemetry
+/// inertness contract: with `sensor_mtbf_s == 0` no failure times are
+/// drawn (the RNG is never even seeded), no repair runs, and every
+/// pinned digest survives with the churn config explicitly populated —
+/// non-default seed and cascade factor included — on both engines.
+#[test]
+fn inert_churn_matches_pinned_digests() {
+    let mut churn = wrsn_sim::ChurnModel::default();
+    churn.seed = 0x00C0_FFEE; // seed alone must never matter
+    churn.cascade_factor = 1.01; // nor the alarm threshold, with no deaths
+    let run = |seed: u64, kind: PlannerKind, sync: bool| {
+        let planner = kind.build(PlannerConfig::default());
+        let mut cfg = sim_config();
+        cfg.churn = churn;
+        let report = if sync {
+            Simulation::new(network(seed), cfg)
+                .expect("valid config")
+                .run(planner.as_ref(), K)
+                .expect("planners are complete")
+        } else {
+            AsyncSimulation::new(network(seed), cfg)
+                .expect("valid config")
+                .run(planner.as_ref(), K)
+                .expect("planners are complete")
+        };
+        digest(&report)
+    };
+    let kind = PlannerKind::all()[0];
+    for (s, &seed) in SEEDS.iter().enumerate() {
+        assert_eq!(run(seed, kind, true), EXPECTED_SYNC[0][s], "sync drift, seed {seed}");
+        assert_eq!(run(seed, kind, false), EXPECTED_ASYNC[0][s], "async drift, seed {seed}");
+    }
+}
+
 /// Regenerates the tables above: `cargo test --test regression -- --ignored --nocapture`.
 #[test]
 #[ignore = "digest printer, run manually to refresh the pinned tables"]

@@ -37,6 +37,13 @@
 //!    causes, and what that does to dead time. Post-repair traffic
 //!    conservation is asserted on every cell. Archived as
 //!    `target/wrsn-results/churn_cascade.json`.
+//! 10. **Charger energy sweep** — finite MCV batteries (capacity ×
+//!    fleet size, Appro): how many depot detours, exhaustions and
+//!    rescues a given tank forces, how much of the fleet's energy goes
+//!    to travel vs transfer, and what the resulting service degradation
+//!    costs in dead time. The charger energy ledger is asserted to
+//!    reconcile on every cell. Archived as
+//!    `target/wrsn-results/charger_energy.json`.
 //!
 //! Knobs: `WRSN_INSTANCES` (default 5), `WRSN_HORIZON_DAYS` (default 120).
 
@@ -456,6 +463,103 @@ fn main() {
     if std::fs::create_dir_all(&dir).is_ok() {
         let path = dir.join("churn_cascade.json");
         let json = serde_json::to_string_pretty(&churn_doc).expect("printing cannot fail");
+        if std::fs::write(&path, json).is_ok() {
+            println!("wrote {}", path.display());
+        }
+    }
+
+    println!(
+        "\n## Charger energy sweep (n=700, Appro, {:.0}-day horizon, \
+         50 J/m travel, eta 0.9, 200 W depot, 30 % jitter, rescue on)\n",
+        horizon_s / 86_400.0
+    );
+    println!(
+        "{:>10} {:>4} {:>10} {:>8} {:>8} {:>9} {:>10} {:>11} {:>12}",
+        "cap (kJ)", "K", "recharges", "exhaust", "rescues", "dropped", "travel MJ", "transfer MJ", "dead (min)"
+    );
+    let mut energy_rows = Vec::new();
+    let planner = PlannerKind::Appro.build(PlannerConfig::default());
+    for capacity_kj in [f64::INFINITY, 100.0, 50.0, 25.0] {
+        for k in [1usize, 2, 3] {
+            let (mut recharges, mut exhaustions, mut rescues, mut dropped) =
+                (0usize, 0usize, 0usize, 0usize);
+            let (mut travel, mut transfer, mut dead) = (0.0, 0.0, 0.0);
+            for i in 0..instances {
+                let net = NetworkBuilder::new(700).seed(10_000 + i as u64).build();
+                let mut cfg = SimConfig::default();
+                cfg.horizon_s = horizon_s;
+                cfg.energy.capacity_j = capacity_kj * 1e3;
+                cfg.energy.travel_j_per_m = 50.0;
+                cfg.energy.transfer_efficiency = 0.9;
+                cfg.energy.recharge_w = 200.0;
+                cfg.energy.rescue = true;
+                // Travel jitter is what actually strands a charger: the
+                // energy budget is planned from nominal tour lengths, so
+                // a long-jittered leg can drain the tank mid-tour.
+                cfg.fault.travel_jitter = 0.3;
+                cfg.fault.seed = 100 + i as u64;
+                let report = Simulation::new(net, cfg).unwrap()
+                    .run(planner.as_ref(), k)
+                    .expect("planner is complete");
+                assert!(report.service_reconciles(), "ledger must balance");
+                assert!(
+                    report.charger_energy_reconciles(),
+                    "charger energy ledger must balance"
+                );
+                recharges += report.depot_recharges;
+                exhaustions += report.charger_exhaustions;
+                rescues += report.rescue_dispatches;
+                dropped += report.energy_dropped_stops;
+                travel += report.charger_travel_j;
+                transfer += report.charger_transfer_j;
+                dead += report.avg_dead_time_s();
+            }
+            let f = instances as f64;
+            let cap_label = if capacity_kj.is_finite() {
+                format!("{capacity_kj:.0}")
+            } else {
+                "unlimited".to_string()
+            };
+            println!(
+                "{cap_label:>10} {k:>4} {:>10.1} {:>8.1} {:>8.1} {:>9.1} {:>10.2} {:>11.2} {:>12.1}",
+                recharges as f64 / f,
+                exhaustions as f64 / f,
+                rescues as f64 / f,
+                dropped as f64 / f,
+                travel / f / 1e6,
+                transfer / f / 1e6,
+                dead / f / 60.0
+            );
+            energy_rows.push(serde_json::json!({
+                "capacity_kj": if capacity_kj.is_finite() {
+                    serde_json::json!(capacity_kj)
+                } else {
+                    serde_json::json!(null)
+                },
+                "k": k,
+                "depot_recharges": recharges as f64 / f,
+                "charger_exhaustions": exhaustions as f64 / f,
+                "rescue_dispatches": rescues as f64 / f,
+                "energy_dropped_stops": dropped as f64 / f,
+                "charger_travel_j": travel / f,
+                "charger_transfer_j": transfer / f,
+                "dead_s": dead / f,
+            }));
+        }
+    }
+    let energy_doc = serde_json::json!({
+        "n": 700,
+        "horizon_days": horizon_s / 86_400.0,
+        "travel_j_per_m": 50.0,
+        "transfer_efficiency": 0.9,
+        "recharge_w": 200.0,
+        "travel_jitter": 0.3,
+        "rescue": true,
+        "rows": energy_rows,
+    });
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("charger_energy.json");
+        let json = serde_json::to_string_pretty(&energy_doc).expect("printing cannot fail");
         if std::fs::write(&path, json).is_ok() {
             println!("wrote {}", path.display());
         }

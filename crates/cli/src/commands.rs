@@ -27,6 +27,12 @@ pub enum ResumeConflict {
     /// The command line enables churn but the snapshot carries no
     /// churn state to resume it from.
     SnapshotInertFlagsChurned,
+    /// The snapshot recorded an active charger energy model but the
+    /// command line leaves it off (`--charger-capacity` absent or ∞).
+    SnapshotEnergizedFlagsInert,
+    /// The command line enables finite charger energy but the snapshot
+    /// carries no charger battery state to resume it from.
+    SnapshotInertFlagsEnergized,
 }
 
 impl fmt::Display for ResumeConflict {
@@ -41,6 +47,18 @@ impl fmt::Display for ResumeConflict {
                 f,
                 "cannot resume: --sensor-mtbf enables sensor churn, but the snapshot \
                  carries no churn state; drop the churn flags or restart from round 0"
+            ),
+            ResumeConflict::SnapshotEnergizedFlagsInert => write!(
+                f,
+                "cannot resume: snapshot was taken with finite charger energy active, \
+                 but the command line disables it; pass the original --charger-capacity/\
+                 --travel-cost/--transfer-efficiency/--recharge-rate flags"
+            ),
+            ResumeConflict::SnapshotInertFlagsEnergized => write!(
+                f,
+                "cannot resume: --charger-capacity enables finite charger energy, but \
+                 the snapshot carries no charger battery state; drop the energy flags \
+                 or restart from round 0"
             ),
         }
     }
@@ -342,6 +360,18 @@ pub fn simulate(args: &Args) -> CliResult {
     cfg.churn.sensor_mtbf_s = args.get_or("sensor-mtbf", 0.0f64)? * 86_400.0;
     cfg.churn.cascade_factor = args.get_or("cascade-factor", 1.5f64)?;
     cfg.churn.seed = args.get_or("churn-seed", 0u64)?;
+    // Finite charger energy: `--charger-capacity <kJ>` bounds each
+    // MCV's own battery (absent = infinite, layer off),
+    // `--travel-cost <J/m>` prices driving, `--transfer-efficiency`
+    // in (0, 1] prices wireless transfer, `--recharge-rate <W>` sets
+    // the depot trickle a finite tank refills at, and `--rescue`
+    // sends the richest feasible peer to tow a stranded charger home.
+    // Range checks live in `SimConfig::validate` (InvalidEnergyModel).
+    cfg.energy.capacity_j = args.get_or("charger-capacity", f64::INFINITY)? * 1_000.0;
+    cfg.energy.travel_j_per_m = args.get_or("travel-cost", 0.0f64)?;
+    cfg.energy.transfer_efficiency = args.get_or("transfer-efficiency", 1.0f64)?;
+    cfg.energy.recharge_w = args.get_or("recharge-rate", 0.0f64)?;
+    cfg.energy.rescue = args.flag("rescue");
     // `--validate` runs the schedule invariant validator on every
     // dispatched and recovery plan (always on in debug builds).
     cfg.validate_schedules = args.flag("validate");
@@ -370,6 +400,15 @@ pub fn simulate(args: &Args) -> CliResult {
                     }
                     _ => {}
                 }
+                match (snap.energy_active(), cfg.energy.is_active()) {
+                    (true, false) => {
+                        return Err(ResumeConflict::SnapshotEnergizedFlagsInert.into())
+                    }
+                    (false, true) => {
+                        return Err(ResumeConflict::SnapshotInertFlagsEnergized.into())
+                    }
+                    _ => {}
+                }
                 eprintln!(
                     "resuming from round {} (t = {:.2} days)",
                     snap.round(),
@@ -393,28 +432,11 @@ pub fn simulate(args: &Args) -> CliResult {
             return Err(format!("unknown dispatch mode {other:?}; expected sync|async").into())
         }
     };
-    if !report.service_reconciles() {
-        return Err(format!(
-            "service ledger failed to reconcile: {} requests vs {} charged + {} recovered \
-             + {} deferred + {} shed",
-            report.rounds.iter().map(|r| r.request_count).sum::<usize>(),
-            report.charged_sensors,
-            report.recovered_sensors,
-            report.deferred_sensors,
-            report.shed_sensors
-        )
-        .into());
-    }
-    // A post-repair routing tree that loses or invents traffic is as
-    // disqualifying as a service-ledger imbalance: fail loudly rather
-    // than report results computed on a broken tree.
-    if !report.traffic_conserved() {
-        return Err(format!(
-            "post-repair traffic conservation violated {} time(s): \
-             base-station arrivals no longer match the surviving sensors' generation",
-            report.traffic_violations
-        )
-        .into());
+    // One place decides what makes a run unsound (service ledger,
+    // telemetry energy ledger, traffic conservation, charger energy
+    // ledger): fail loudly rather than report results off broken books.
+    if let Some(failure) = report.audit_failure() {
+        return Err(failure.into());
     }
 
     if args.flag("json") {
@@ -454,6 +476,17 @@ pub fn simulate(args: &Args) -> CliResult {
                 "cascade_alerts": report.cascade_alerts,
                 "partitioned_sensors": report.partitioned_sensors,
                 "traffic_conserved": report.traffic_conserved(),
+                "charger_exhaustions": report.charger_exhaustions,
+                "depot_recharges": report.depot_recharges,
+                "rescue_dispatches": report.rescue_dispatches,
+                "stranded_chargers": report.stranded_chargers,
+                "energy_dropped_stops": report.energy_dropped_stops,
+                "charger_initial_j": report.charger_initial_j,
+                "charger_recharged_j": report.charger_recharged_j,
+                "charger_travel_j": report.charger_travel_j,
+                "charger_transfer_j": report.charger_transfer_j,
+                "charger_residual_j": report.charger_residual_j,
+                "charger_energy_reconciles": report.charger_energy_reconciles(),
             }))?
         );
         return Ok(());
@@ -509,6 +542,26 @@ pub fn simulate(args: &Args) -> CliResult {
             report.cascade_alerts,
             report.partitioned_sensors,
             if report.traffic_conserved() { "" } else { " (TRAFFIC IMBALANCED!)" }
+        );
+    }
+    if cfg.energy.is_active() {
+        println!(
+            "  charger energy:    {} depot recharges, {} exhaustions, {} rescues, \
+             {} stops dropped",
+            report.depot_recharges,
+            report.charger_exhaustions,
+            report.rescue_dispatches,
+            report.energy_dropped_stops
+        );
+        println!(
+            "  charger ledger:    {:.2} MJ initial + {:.2} MJ recharged = {:.2} MJ travel \
+             + {:.2} MJ transfer + {:.2} MJ residual{}",
+            report.charger_initial_j / 1e6,
+            report.charger_recharged_j / 1e6,
+            report.charger_travel_j / 1e6,
+            report.charger_transfer_j / 1e6,
+            report.charger_residual_j / 1e6,
+            if report.charger_energy_reconciles() { "" } else { " (IMBALANCED!)" }
         );
     }
     if cfg.fault.is_active() || cfg.channel.is_active() || cfg.admission_bound_s > 0.0 {

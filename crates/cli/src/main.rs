@@ -87,6 +87,19 @@ SIMULATE OPTIONS:
                            post-repair consumption jumps past this factor
                            (> 1; default 1.5)
     --churn-seed <u64>     Sensor-failure stream seed (default 0)
+    --charger-capacity <kJ>
+                           Each MCV's own battery capacity in kilojoules
+                           (absent/infinite = unlimited, the default); a
+                           finite tank forces depot recharge detours and
+                           can strand an exhausted charger mid-tour
+    --travel-cost <J/m>    Charger battery drain per meter driven (default 0)
+    --transfer-efficiency <f>
+                           Wireless transfer efficiency in (0, 1]: delivering
+                           E joules drains E/f from the tank (default 1)
+    --recharge-rate <W>    Depot recharge power for finite tanks (required
+                           positive when --charger-capacity is finite)
+    --rescue               Tow a stranded charger home with the nearest
+                           energy-feasible peer instead of losing it
     --checkpoint-every <N> Write a crash-safe snapshot of the full simulation
                            state to target/wrsn-results/ every N rounds
                            (sync dispatcher only)

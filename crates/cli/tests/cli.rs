@@ -274,6 +274,135 @@ fn resume_rejects_contradictory_churn_flags() {
 }
 
 #[test]
+fn help_documents_energy_flags() {
+    let out = wrsn().arg("help").output().expect("binary runs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for flag in [
+        "--charger-capacity",
+        "--travel-cost",
+        "--transfer-efficiency",
+        "--recharge-rate",
+        "--rescue",
+    ] {
+        assert!(text.contains(flag), "help must mention {flag}");
+    }
+}
+
+#[test]
+fn invalid_energy_model_is_a_clean_error() {
+    // A finite tank without a depot recharge rate can never refill.
+    let out = wrsn()
+        .args([
+            "simulate", "--n", "50", "--days", "10", "--charger-capacity", "25",
+            "--travel-cost", "50",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid charger energy model"));
+}
+
+#[test]
+fn simulate_with_tight_chargers_recharges_and_reconciles() {
+    let out = wrsn()
+        .args([
+            "simulate", "--n", "150", "--days", "120", "--k", "3", "--json", "--validate",
+            "--charger-capacity", "25", "--travel-cost", "50",
+            "--transfer-efficiency", "0.9", "--recharge-rate", "200", "--rescue",
+            "--travel-jitter", "0.5", "--fault-seed", "9",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert!(v["depot_recharges"].as_u64().unwrap() >= 1, "25 kJ must force detours");
+    assert_eq!(v["charger_energy_reconciles"], serde_json::Value::Bool(true));
+    assert_eq!(v["ledger_reconciles"], serde_json::Value::Bool(true));
+}
+
+#[test]
+fn resume_with_every_layer_active_is_bit_identical() {
+    // Faults, lossy channel, imperfect telemetry, sensor churn and
+    // finite charger energy all at once: a checkpointed run must
+    // resume to byte-identical output, and contradictory energy flags
+    // must be rejected in both directions.
+    let dir = std::env::temp_dir().join("wrsn_cli_energy_ckpt_test");
+    std::fs::remove_dir_all(&dir).ok();
+    let loaded = [
+        "simulate", "--n", "100", "--days", "60", "--k", "2", "--json",
+        "--charger-capacity", "25", "--travel-cost", "50",
+        "--transfer-efficiency", "0.9", "--recharge-rate", "200", "--rescue",
+        "--travel-jitter", "0.5", "--fault-seed", "9",
+        "--request-loss", "0.1", "--channel-seed", "4",
+        "--telemetry-interval", "360", "--telemetry-noise", "0.05",
+        "--telemetry-seed", "29",
+        "--sensor-mtbf", "120", "--churn-seed", "5",
+    ];
+    let full = wrsn().args(loaded).output().expect("binary runs");
+    assert!(full.status.success(), "{}", String::from_utf8_lossy(&full.stderr));
+
+    let ckpt = wrsn()
+        .args(loaded)
+        .args(["--checkpoint-every", "2"])
+        .env("CARGO_TARGET_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert!(ckpt.status.success(), "{}", String::from_utf8_lossy(&ckpt.stderr));
+    assert_eq!(full.stdout, ckpt.stdout, "checkpointing must not perturb the run");
+
+    let snap = dir.join("wrsn-results").join("checkpoint_round0002.json");
+    assert!(snap.exists(), "expected {}", snap.display());
+
+    // Energized snapshot + inert energy flags: rejected. (Churn flags
+    // stay matched so the energy conflict is the one that fires.)
+    let bare = wrsn()
+        .args([
+            "simulate", "--n", "100", "--days", "60", "--k", "2", "--json",
+            "--sensor-mtbf", "120", "--churn-seed", "5",
+        ])
+        .args(["--resume", snap.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!bare.status.success(), "energized snapshot + inert flags must be rejected");
+    assert!(String::from_utf8_lossy(&bare.stderr).contains("charger energy active"));
+
+    // Matching flags: completes bit-identically.
+    let resumed = wrsn()
+        .args(loaded)
+        .args(["--resume", snap.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(resumed.status.success(), "{}", String::from_utf8_lossy(&resumed.stderr));
+    assert_eq!(full.stdout, resumed.stdout, "resumed run must match uninterrupted");
+
+    // The converse: an energy-free snapshot cannot be resumed with a
+    // finite tank.
+    let dir2 = std::env::temp_dir().join("wrsn_cli_energy_inert_ckpt_test");
+    std::fs::remove_dir_all(&dir2).ok();
+    let ik = wrsn()
+        .args([
+            "simulate", "--n", "100", "--days", "60", "--k", "2", "--json",
+            "--sensor-mtbf", "120", "--churn-seed", "5",
+        ])
+        .args(["--checkpoint-every", "2"])
+        .env("CARGO_TARGET_DIR", &dir2)
+        .output()
+        .expect("binary runs");
+    assert!(ik.status.success(), "{}", String::from_utf8_lossy(&ik.stderr));
+    let snap2 = dir2.join("wrsn-results").join("checkpoint_round0002.json");
+    let energized = wrsn()
+        .args(loaded)
+        .args(["--resume", snap2.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!energized.status.success(), "inert snapshot + energy flags must be rejected");
+    assert!(String::from_utf8_lossy(&energized.stderr).contains("no charger battery state"));
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir2).ok();
+}
+
+#[test]
 fn bounds_reports_ratio() {
     let out = wrsn()
         .args(["bounds", "--n", "150", "--seed", "2"])

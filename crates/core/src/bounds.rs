@@ -79,6 +79,32 @@ pub fn lower_bound(problem: &ChargingProblem) -> f64 {
     reach_lower_bound(problem).max(work_lower_bound(problem))
 }
 
+/// Targets no charger of the fleet can ever serve under the given
+/// energy model, ascending: even departing the depot on a full battery,
+/// the round trip to the target plus its wireless transfer exceeds the
+/// battery capacity. These are hard infeasibilities — no tour split or
+/// recharge detour helps — so admission control should shed them up
+/// front rather than let [`crate::split_schedule`] drop them round
+/// after round. Empty for an inactive model.
+pub fn energy_unserviceable(
+    problem: &ChargingProblem,
+    model: &crate::ChargerEnergyModel,
+) -> Vec<usize> {
+    if !model.is_active() {
+        return Vec::new();
+    }
+    let speed = problem.params().speed_mps;
+    let eta = problem.params().eta_w;
+    (0..problem.len())
+        .filter(|&i| {
+            let round_trip =
+                model.travel_energy_j(2.0 * problem.depot_travel_time(i) * speed);
+            let transfer = model.transfer_drain_j(problem.charge_duration(i) * eta);
+            round_trip + transfer > model.capacity_j + 1e-9
+        })
+        .collect()
+}
+
 /// Incremental, conservative estimate of the delay bound a request set
 /// imposes on a `K`-charger fleet — the admission-control side of the
 /// instance bounds above.
@@ -280,6 +306,25 @@ mod tests {
     #[should_panic(expected = "charger")]
     fn admission_estimator_rejects_zero_chargers() {
         let _ = AdmissionEstimator::new(0, 2.7, 1.0);
+    }
+
+    #[test]
+    fn energy_unserviceable_flags_out_of_reach_targets() {
+        use crate::ChargerEnergyModel;
+        let p = problem(&[(10.0, 0.0, 10.0), (200.0, 0.0, 10.0)], 1);
+        let inert = ChargerEnergyModel::default();
+        assert!(energy_unserviceable(&p, &inert).is_empty());
+        let tight = ChargerEnergyModel {
+            capacity_j: 100.0,
+            travel_j_per_m: 1.0,
+            transfer_efficiency: 1.0,
+            recharge_w: 10.0,
+            rescue: false,
+        };
+        // Target 1 needs a 400 m round trip on a 100 J battery.
+        assert_eq!(energy_unserviceable(&p, &tight), vec![1]);
+        let roomy = ChargerEnergyModel { capacity_j: 1_000.0, ..tight };
+        assert!(energy_unserviceable(&p, &roomy).is_empty());
     }
 
     #[test]

@@ -1,0 +1,729 @@
+//! Finite charger energy: battery capacity, travel cost, transfer
+//! efficiency, and depot recharging.
+//!
+//! The paper assumes MCVs with unbounded energy (§III-B): a planned tour
+//! is always physically executable. [`ChargerEnergyModel`] drops that
+//! assumption. An MCV carries a battery of [`ChargerEnergyModel::capacity_j`]
+//! joules, pays [`ChargerEnergyModel::travel_j_per_m`] joules per meter
+//! driven, and drains `delivered / transfer_efficiency` joules from its
+//! battery for every joule it radiates into sensors. Between sorties it
+//! can refill at the depot at [`ChargerEnergyModel::recharge_w`] watts.
+//!
+//! Two operations make planned schedules energy-feasible:
+//!
+//! - [`split_schedule`]: rewrites every tour so that each stop is reached
+//!   with enough energy for travel + transfer + a return-to-depot
+//!   reserve, inserting depot recharge detours where a leg would
+//!   otherwise strand the MCV, and dropping stops that are infeasible
+//!   even on a full battery (the caller must re-queue them — they are
+//!   never silently lost). The rewritten schedule is re-timed with the
+//!   same conflict-avoidance sweep as [`crate::conflict::repair_waits`],
+//!   so it stays certifiable.
+//! - [`execute_tour_energy`]: replays one (possibly truncated) tour
+//!   against the model with a travel-inflation factor (fault jitter /
+//!   degradation), returning an exact energy ledger and, if the battery
+//!   hits zero mid-tour, the schedule time and location of exhaustion so
+//!   the simulator can strand the charger there.
+//!
+//! The model is inert by default (`capacity_j = ∞`): every helper is a
+//! no-op and draws no energy, keeping energy-off runs bit-identical to a
+//! build without this module.
+
+use crate::conflict::coverage_overlap;
+use crate::{ChargerTour, ChargingProblem, Schedule, Sojourn};
+
+/// Numerical slack for energy comparisons, joules.
+const TOL: f64 = 1e-9;
+
+/// Physical energy parameters shared by all MCVs (homogeneous fleet,
+/// matching the paper's homogeneous charger assumption). The default is
+/// fully inert: infinite capacity, free travel, lossless transfer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChargerEnergyModel {
+    /// Battery capacity per MCV, joules. `f64::INFINITY` (the default)
+    /// disables the entire energy layer.
+    pub capacity_j: f64,
+    /// Travel cost, joules per meter driven.
+    pub travel_j_per_m: f64,
+    /// Wireless transfer efficiency in `(0, 1]`: delivering `E` joules
+    /// to sensors drains `E / transfer_efficiency` from the battery.
+    pub transfer_efficiency: f64,
+    /// Depot recharge rate, watts. Must be positive when the layer is
+    /// active (a drained MCV could otherwise never return to service).
+    pub recharge_w: f64,
+    /// When `true`, a stranded MCV may be towed home by the nearest
+    /// energy-feasible peer instead of being lost for the rest of the
+    /// run. Interpreted by the simulators, not by this module.
+    pub rescue: bool,
+}
+
+impl Default for ChargerEnergyModel {
+    fn default() -> Self {
+        ChargerEnergyModel {
+            capacity_j: f64::INFINITY,
+            travel_j_per_m: 0.0,
+            transfer_efficiency: 1.0,
+            recharge_w: 0.0,
+            rescue: false,
+        }
+    }
+}
+
+impl ChargerEnergyModel {
+    /// Returns `true` iff charger batteries are finite. Inactive models
+    /// cost nothing: callers skip the entire energy path.
+    pub fn is_active(&self) -> bool {
+        self.capacity_j.is_finite()
+    }
+
+    /// Checks parameter ranges; returns the offending description.
+    ///
+    /// # Errors
+    ///
+    /// Returns a static description of the first invalid parameter.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.capacity_j.is_nan() || self.capacity_j <= 0.0 {
+            return Err("charger capacity must be positive");
+        }
+        if !self.travel_j_per_m.is_finite() || self.travel_j_per_m < 0.0 {
+            return Err("travel cost must be non-negative and finite");
+        }
+        if !(self.transfer_efficiency > 0.0 && self.transfer_efficiency <= 1.0) {
+            return Err("transfer efficiency must be in (0, 1]");
+        }
+        if !self.recharge_w.is_finite() || self.recharge_w < 0.0 {
+            return Err("recharge rate must be non-negative and finite");
+        }
+        if self.is_active() && self.recharge_w == 0.0 {
+            return Err("finite charger capacity requires a positive recharge rate");
+        }
+        Ok(())
+    }
+
+    /// Battery drain for driving `meters`, joules.
+    pub fn travel_energy_j(&self, meters: f64) -> f64 {
+        meters * self.travel_j_per_m
+    }
+
+    /// Battery drain for delivering `delivered_j` joules into sensors.
+    pub fn transfer_drain_j(&self, delivered_j: f64) -> f64 {
+        delivered_j / self.transfer_efficiency
+    }
+
+    /// Time to take on `deficit_j` joules at the depot, seconds.
+    pub fn recharge_time_s(&self, deficit_j: f64) -> f64 {
+        if deficit_j <= 0.0 {
+            0.0
+        } else {
+            deficit_j / self.recharge_w
+        }
+    }
+}
+
+/// Per-charger outcome of [`split_schedule`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TourEnergyPlan {
+    /// For each sojourn of the rewritten tour: `Some(wait_s)` when the
+    /// MCV detours via the depot *before* this stop and recharges to
+    /// full for `wait_s` seconds, `None` for a direct leg.
+    pub recharge_before: Vec<Option<f64>>,
+    /// Target indices dropped because a full battery cannot cover the
+    /// depot round trip plus the transfer. Callers must re-queue them.
+    pub dropped: Vec<usize>,
+    /// Planned residual energy on the final depot return, joules.
+    pub planned_residual_j: f64,
+    /// Planned joules taken on across all recharge detours.
+    pub planned_recharged_j: f64,
+}
+
+/// An energy-feasible rewrite of a schedule: the re-timed tours plus one
+/// [`TourEnergyPlan`] per charger.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SplitSchedule {
+    /// The rewritten, conflict-free schedule.
+    pub schedule: Schedule,
+    /// Per-charger recharge annotations and dropped stops.
+    pub per_charger: Vec<TourEnergyPlan>,
+}
+
+impl SplitSchedule {
+    /// All dropped target indices across the fleet, ascending.
+    pub fn dropped(&self) -> Vec<usize> {
+        let mut all: Vec<usize> =
+            self.per_charger.iter().flat_map(|p| p.dropped.iter().copied()).collect();
+        all.sort_unstable();
+        all
+    }
+}
+
+/// One stop of the split walk: either kept (with an optional depot
+/// detour) or dropped.
+enum SplitStop {
+    Direct { target: usize, duration_s: f64 },
+    ViaDepot { target: usize, duration_s: f64, wait_s: f64 },
+}
+
+/// Rewrites `schedule` so every tour is energy-feasible from its
+/// charger's `start_j` residual: each leg is checked for travel +
+/// transfer + return-to-depot reserve, depot recharge detours are
+/// inserted where the reserve would break, and stops infeasible even on
+/// a full battery are dropped (reported in
+/// [`TourEnergyPlan::dropped`] — the caller re-queues them). The
+/// surviving stops are re-timed with the conflict-avoidance sweep of
+/// [`crate::conflict::repair_waits`], with detour and recharge time
+/// folded into arrivals, so the result still certifies.
+///
+/// With an inactive model this returns the input schedule unchanged and
+/// empty annotations.
+///
+/// # Panics
+///
+/// Panics if `start_j.len()` differs from the schedule's tour count.
+pub fn split_schedule(
+    problem: &ChargingProblem,
+    schedule: &Schedule,
+    start_j: &[f64],
+    model: &ChargerEnergyModel,
+) -> SplitSchedule {
+    assert_eq!(start_j.len(), schedule.tours.len(), "one start residual per charger");
+    if !model.is_active() {
+        return SplitSchedule {
+            schedule: schedule.clone(),
+            per_charger: vec![TourEnergyPlan::default(); schedule.tours.len()],
+        };
+    }
+
+    let speed = problem.params().speed_mps;
+    let eta = problem.params().eta_w;
+
+    // Phase 1: per-charger greedy energy walk producing the stop list.
+    let mut plans: Vec<TourEnergyPlan> = Vec::with_capacity(schedule.tours.len());
+    let mut stop_lists: Vec<Vec<SplitStop>> = Vec::with_capacity(schedule.tours.len());
+    for (c, tour) in schedule.tours.iter().enumerate() {
+        let mut plan = TourEnergyPlan::default();
+        let mut stops = Vec::with_capacity(tour.sojourns.len());
+        let mut energy = start_j[c].min(model.capacity_j);
+        let mut prev: Option<usize> = None;
+        for s in &tour.sojourns {
+            let drain = model.transfer_drain_j(s.duration_s * eta);
+            let reserve = model.travel_energy_j(problem.depot_travel_time(s.target) * speed);
+            let leg = match prev {
+                None => problem.depot_travel_time(s.target),
+                Some(p) => problem.travel_time(p, s.target),
+            };
+            let leg_j = model.travel_energy_j(leg * speed);
+            if energy + TOL >= leg_j + drain + reserve {
+                energy -= leg_j + drain;
+                stops.push(SplitStop::Direct { target: s.target, duration_s: s.duration_s });
+            } else if model.capacity_j + TOL >= 2.0 * reserve + drain {
+                // Detour: drive home, refill to capacity, head back out.
+                let back_j = match prev {
+                    None => 0.0,
+                    Some(p) => model.travel_energy_j(problem.depot_travel_time(p) * speed),
+                };
+                let at_depot = (energy - back_j).max(0.0);
+                let deficit = model.capacity_j - at_depot;
+                plan.planned_recharged_j += deficit;
+                stops.push(SplitStop::ViaDepot {
+                    target: s.target,
+                    duration_s: s.duration_s,
+                    wait_s: model.recharge_time_s(deficit),
+                });
+                energy = model.capacity_j - reserve - drain;
+            } else {
+                plan.dropped.push(s.target);
+                continue;
+            }
+            prev = Some(s.target);
+        }
+        if let Some(p) = prev {
+            energy -= model.travel_energy_j(problem.depot_travel_time(p) * speed);
+        }
+        plan.planned_residual_j = energy.max(0.0);
+        plans.push(plan);
+        stop_lists.push(stops);
+    }
+
+    // Phase 2: conflict-avoidance re-timing (the `repair_waits` sweep,
+    // with the depot detour + recharge wait folded into each arrival).
+    let k = stop_lists.len();
+    let mut next_idx = vec![0usize; k];
+    let mut prev_finish = vec![0.0f64; k];
+    let mut prev_target: Vec<Option<usize>> = vec![None; k];
+    struct Fixed {
+        charger: usize,
+        target: usize,
+        start: f64,
+        finish: f64,
+    }
+    let mut fixed: Vec<Fixed> = Vec::new();
+    let mut new_tours: Vec<Vec<Sojourn>> = vec![Vec::new(); k];
+
+    let stop_info = |stop: &SplitStop| match *stop {
+        SplitStop::Direct { target, duration_s } => (target, duration_s, None),
+        SplitStop::ViaDepot { target, duration_s, wait_s, .. } => {
+            (target, duration_s, Some(wait_s))
+        }
+    };
+    loop {
+        let mut best: Option<(f64, f64, usize)> = None; // (start, arrival, charger)
+        for c in 0..k {
+            let Some(stop) = stop_lists[c].get(next_idx[c]) else { continue };
+            let (target, duration_s, detour) = stop_info(stop);
+            let travel = match detour {
+                None => match prev_target[c] {
+                    None => problem.depot_travel_time(target),
+                    Some(p) => problem.travel_time(p, target),
+                },
+                Some(wait) => {
+                    let back = prev_target[c].map_or(0.0, |p| problem.depot_travel_time(p));
+                    back + wait + problem.depot_travel_time(target)
+                }
+            };
+            let arrival = prev_finish[c] + travel;
+            let mut start = arrival;
+            let mut moved = true;
+            while moved {
+                moved = false;
+                for f in &fixed {
+                    if f.charger != c
+                        && start < f.finish
+                        && start + duration_s > f.start
+                        && coverage_overlap(problem, target, f.target).is_some()
+                    {
+                        start = f.finish;
+                        moved = true;
+                    }
+                }
+            }
+            match best {
+                Some((bs, _, _)) if bs <= start => {}
+                _ => best = Some((start, arrival, c)),
+            }
+        }
+        let Some((start, arrival, c)) = best else { break };
+        let (target, duration_s, detour) = stop_info(&stop_lists[c][next_idx[c]]);
+        plans[c].recharge_before.push(detour);
+        fixed.push(Fixed { charger: c, target, start, finish: start + duration_s });
+        new_tours[c].push(Sojourn { target, arrival_s: arrival, start_s: start, duration_s });
+        prev_finish[c] = start + duration_s;
+        prev_target[c] = Some(target);
+        next_idx[c] += 1;
+    }
+
+    let mut tours = Vec::with_capacity(k);
+    for c in 0..k {
+        let return_time_s = match prev_target[c] {
+            None => 0.0,
+            Some(p) => prev_finish[c] + problem.depot_travel_time(p),
+        };
+        tours.push(ChargerTour { sojourns: std::mem::take(&mut new_tours[c]), return_time_s });
+    }
+    SplitSchedule { schedule: Schedule { tours }, per_charger: plans }
+}
+
+/// Exact energy ledger of one executed tour, from
+/// [`execute_tour_energy`]. Conservation holds by construction:
+/// `start + recharged = traveled + transfer + residual` (all joules).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TourEnergyOutcome {
+    /// Battery drain from driving, joules (includes the travel-inflation
+    /// factor).
+    pub traveled_j: f64,
+    /// Battery drain from wireless transfer, joules (delivered energy
+    /// divided by the transfer efficiency).
+    pub transfer_j: f64,
+    /// Energy actually radiated into sensors, joules.
+    pub delivered_j: f64,
+    /// Joules taken on at depot recharge detours.
+    pub recharged_j: f64,
+    /// Battery level at the end of the walk, joules (zero when
+    /// exhausted).
+    pub residual_j: f64,
+    /// Schedule time (unscaled, seconds from dispatch) at which the
+    /// battery hit zero, if it did.
+    pub exhausted_at_s: Option<f64>,
+    /// Target index nearest the exhaustion point (the stop being
+    /// approached or charged), for strand-location reporting.
+    pub exhausted_near: Option<usize>,
+    /// Completed depot recharge detours: `(completion time, joules)`.
+    pub recharge_events: Vec<(f64, f64)>,
+}
+
+/// Replays one tour against the energy model and returns its exact
+/// ledger. `recharge_before` is the per-stop annotation from
+/// [`split_schedule`] (it may be longer than `sojourns` when the tour
+/// was truncated by a breakdown). `factor >= 1` inflates travel drain
+/// only — jitter and degradation stretch driving, not the radio.
+///
+/// Walks in unscaled schedule time. When cumulative drain would push the
+/// battery below zero the walk stops at the linearly interpolated
+/// instant, reported in [`TourEnergyOutcome::exhausted_at_s`]; drains
+/// accumulated past that instant are not charged, so the ledger is
+/// consistent with a tour truncated there.
+///
+/// With an inactive model this is a no-op returning an infinite
+/// residual.
+pub fn execute_tour_energy(
+    problem: &ChargingProblem,
+    tour: &ChargerTour,
+    recharge_before: &[Option<f64>],
+    start_j: f64,
+    factor: f64,
+    model: &ChargerEnergyModel,
+) -> TourEnergyOutcome {
+    if !model.is_active() {
+        return TourEnergyOutcome { residual_j: f64::INFINITY, ..Default::default() };
+    }
+    let speed = problem.params().speed_mps;
+    let eta = problem.params().eta_w;
+    let mut out = TourEnergyOutcome { residual_j: start_j.min(model.capacity_j), ..Default::default() };
+    let mut prev: Option<usize> = None;
+    let mut t = 0.0f64;
+
+    // Drains `j` joules over `[t0, t1]`; returns the exhaustion time if
+    // the battery empties inside the segment.
+    let drain = |out: &mut TourEnergyOutcome, travel: bool, t0: f64, t1: f64, j: f64| -> Option<f64> {
+        let charged = j.min(out.residual_j);
+        if travel {
+            out.traveled_j += charged;
+        } else {
+            out.transfer_j += charged;
+            out.delivered_j += charged * model.transfer_efficiency;
+        }
+        if j > out.residual_j + TOL {
+            let frac = if j > 0.0 { out.residual_j / j } else { 0.0 };
+            out.residual_j = 0.0;
+            Some(t0 + (t1 - t0) * frac)
+        } else {
+            out.residual_j = (out.residual_j - j).max(0.0);
+            None
+        }
+    };
+
+    for (i, s) in tour.sojourns.iter().enumerate() {
+        let detour = recharge_before.get(i).copied().flatten();
+        if let Some(wait) = detour {
+            let back = prev.map_or(0.0, |p| problem.depot_travel_time(p));
+            let back_j = model.travel_energy_j(back * speed) * factor;
+            if let Some(ex) = drain(&mut out, true, t, t + back, back_j) {
+                out.exhausted_at_s = Some(ex);
+                out.exhausted_near = Some(prev.unwrap_or(s.target));
+                return out;
+            }
+            t += back;
+            let credit = (wait * model.recharge_w).min(model.capacity_j - out.residual_j);
+            out.residual_j += credit;
+            out.recharged_j += credit;
+            t += wait;
+            out.recharge_events.push((t, credit));
+            let leg = problem.depot_travel_time(s.target);
+            let leg_j = model.travel_energy_j(leg * speed) * factor;
+            if let Some(ex) = drain(&mut out, true, t, t + leg, leg_j) {
+                out.exhausted_at_s = Some(ex);
+                out.exhausted_near = Some(s.target);
+                return out;
+            }
+        } else {
+            let leg = match prev {
+                None => problem.depot_travel_time(s.target),
+                Some(p) => problem.travel_time(p, s.target),
+            };
+            let leg_j = model.travel_energy_j(leg * speed) * factor;
+            if let Some(ex) = drain(&mut out, true, t, t + leg, leg_j) {
+                out.exhausted_at_s = Some(ex);
+                out.exhausted_near = Some(s.target);
+                return out;
+            }
+        }
+        // Conflict-avoidance waiting at the stop is idle: no drain.
+        let transfer = model.transfer_drain_j(s.duration_s * eta);
+        if let Some(ex) = drain(&mut out, false, s.start_s, s.finish_s(), transfer) {
+            out.exhausted_at_s = Some(ex);
+            out.exhausted_near = Some(s.target);
+            return out;
+        }
+        t = s.finish_s();
+        prev = Some(s.target);
+    }
+    if let Some(p) = prev {
+        let home = problem.depot_travel_time(p);
+        let home_j = model.travel_energy_j(home * speed) * factor;
+        if let Some(ex) = drain(&mut out, true, t, tour.return_time_s.max(t + home), home_j) {
+            out.exhausted_at_s = Some(ex);
+            out.exhausted_near = Some(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChargingParams, ChargingTarget};
+    use wrsn_geom::Point;
+    use wrsn_net::SensorId;
+
+    fn problem(pts: &[(f64, f64, f64)], k: usize) -> ChargingProblem {
+        let targets: Vec<ChargingTarget> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y, t))| ChargingTarget {
+                id: SensorId(i as u32),
+                pos: Point::new(x, y),
+                charge_duration_s: t,
+                residual_lifetime_s: f64::INFINITY,
+            })
+            .collect();
+        ChargingProblem::new(Point::ORIGIN, targets, k, ChargingParams::default()).unwrap()
+    }
+
+    fn model(capacity: f64) -> ChargerEnergyModel {
+        ChargerEnergyModel {
+            capacity_j: capacity,
+            travel_j_per_m: 1.0,
+            transfer_efficiency: 1.0,
+            recharge_w: 100.0,
+            rescue: false,
+        }
+    }
+
+    #[test]
+    fn default_is_inert_and_valid() {
+        let m = ChargerEnergyModel::default();
+        assert!(!m.is_active());
+        assert_eq!(m.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let mut m = model(100.0);
+        m.capacity_j = 0.0;
+        assert!(m.validate().is_err());
+        let mut m = model(100.0);
+        m.capacity_j = f64::NAN;
+        assert!(m.validate().is_err());
+        let mut m = model(100.0);
+        m.travel_j_per_m = -1.0;
+        assert!(m.validate().is_err());
+        let mut m = model(100.0);
+        m.transfer_efficiency = 0.0;
+        assert!(m.validate().is_err());
+        let mut m = model(100.0);
+        m.transfer_efficiency = 1.5;
+        assert!(m.validate().is_err());
+        let mut m = model(100.0);
+        m.recharge_w = f64::INFINITY;
+        assert!(m.validate().is_err());
+        // Finite capacity with no way to recharge is a dead fleet.
+        let mut m = model(100.0);
+        m.recharge_w = 0.0;
+        assert!(m.validate().is_err());
+        // But zero recharge with infinite capacity is the inert default.
+        let m = ChargerEnergyModel::default();
+        assert_eq!(m.validate(), Ok(()));
+    }
+
+    #[test]
+    fn inactive_split_is_identity() {
+        let p = problem(&[(10.0, 0.0, 100.0)], 1);
+        let s = Schedule::assemble(&p, vec![vec![(0, 100.0)]]);
+        let split = split_schedule(&p, &s, &[f64::INFINITY], &ChargerEnergyModel::default());
+        assert_eq!(split.schedule, s);
+        assert!(split.per_charger[0].recharge_before.is_empty());
+        assert!(split.dropped().is_empty());
+    }
+
+    #[test]
+    fn feasible_tour_passes_through_unchanged() {
+        // 10 m out, 100 s charge at η = 2 W: needs 20 + 200 J, capacity 1000.
+        let p = problem(&[(10.0, 0.0, 100.0)], 1);
+        let s = Schedule::assemble(&p, vec![vec![(0, 100.0)]]);
+        let split = split_schedule(&p, &s, &[1_000.0], &model(1_000.0));
+        assert_eq!(split.schedule, s);
+        assert_eq!(split.per_charger[0].recharge_before, vec![None]);
+        assert!((split.per_charger[0].planned_residual_j - (1_000.0 - 220.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depleted_charger_recharges_before_departing() {
+        let p = problem(&[(10.0, 0.0, 100.0)], 1);
+        let s = Schedule::assemble(&p, vec![vec![(0, 100.0)]]);
+        // Starting at 50 J (< 220 J needed) forces an in-place depot fill.
+        let split = split_schedule(&p, &s, &[50.0], &model(1_000.0));
+        let plan = &split.per_charger[0];
+        let wait = plan.recharge_before[0].expect("detour inserted");
+        assert!((wait - 950.0 / 100.0).abs() < 1e-9);
+        assert!((plan.planned_recharged_j - 950.0).abs() < 1e-9);
+        // Arrival is pushed back by the recharge wait.
+        assert!(
+            (split.schedule.tours[0].sojourns[0].arrival_s - (wait + 10.0)).abs() < 1e-9
+        );
+        assert!(split.schedule.certify(&p).is_ok());
+    }
+
+    #[test]
+    fn mid_tour_detour_splits_the_tour() {
+        // Two far stops; capacity covers one round trip + transfer each,
+        // but not both back to back.
+        let p = problem(&[(100.0, 0.0, 50.0), (100.0, 50.0, 50.0)], 1);
+        let s = Schedule::assemble(&p, vec![vec![(0, 50.0), (1, 50.0)]]);
+        // Per stop from full: 100 out + 100 transfer... transfer is
+        // 50 s · 2 W = 100 J; round trip 200 J → 300 J needed. 350 J
+        // capacity serves exactly one stop per fill.
+        let split = split_schedule(&p, &s, &[350.0], &model(350.0));
+        let plan = &split.per_charger[0];
+        assert_eq!(plan.recharge_before, vec![None, Some(plan.recharge_before[1].unwrap())]);
+        assert!(plan.dropped.is_empty());
+        assert!(split.schedule.certify(&p).is_ok());
+        // Second arrival goes via the depot: finish(0) + 100 back + wait
+        // + ~111.8 out.
+        let t = &split.schedule.tours[0];
+        let wait = plan.recharge_before[1].unwrap();
+        let d1 = p.depot_travel_time(1);
+        assert!(
+            (t.sojourns[1].arrival_s - (t.sojourns[0].finish_s() + 100.0 + wait + d1)).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn infeasible_stop_is_dropped_not_lost() {
+        // Stop 1 needs 300 J from full but capacity is 250: dropped.
+        let p = problem(&[(10.0, 0.0, 10.0), (100.0, 0.0, 50.0)], 1);
+        let s = Schedule::assemble(&p, vec![vec![(0, 10.0), (1, 50.0)]]);
+        let split = split_schedule(&p, &s, &[250.0], &model(250.0));
+        assert_eq!(split.dropped(), vec![1]);
+        assert_eq!(split.schedule.tours[0].visited(), vec![0]);
+    }
+
+    #[test]
+    fn split_preserves_conflict_freedom() {
+        // Two chargers on overlapping disks: the retime sweep must
+        // stagger them even after a recharge detour shifts one tour.
+        let p = problem(&[(10.0, 0.0, 100.0), (12.0, 0.0, 100.0)], 2);
+        let mut s = Schedule::assemble(&p, vec![vec![(0, 100.0)], vec![(1, 100.0)]]);
+        crate::conflict::repair_waits(&p, &mut s);
+        assert!(s.certify(&p).is_ok());
+        let split = split_schedule(&p, &s, &[50.0, 500.0], &model(500.0));
+        assert!(split.schedule.certify(&p).is_ok(), "{:?}", split.schedule.certify(&p));
+    }
+
+    #[test]
+    fn execute_matches_plan_at_factor_one() {
+        let p = problem(&[(10.0, 0.0, 100.0)], 1);
+        let s = Schedule::assemble(&p, vec![vec![(0, 100.0)]]);
+        let m = model(1_000.0);
+        let split = split_schedule(&p, &s, &[1_000.0], &m);
+        let out = execute_tour_energy(
+            &p,
+            &split.schedule.tours[0],
+            &split.per_charger[0].recharge_before,
+            1_000.0,
+            1.0,
+            &m,
+        );
+        assert!(out.exhausted_at_s.is_none());
+        assert!((out.residual_j - split.per_charger[0].planned_residual_j).abs() < 1e-9);
+        assert!((out.traveled_j - 20.0).abs() < 1e-9);
+        assert!((out.transfer_j - 200.0).abs() < 1e-9);
+        assert_eq!(out.delivered_j, out.transfer_j); // efficiency 1
+    }
+
+    #[test]
+    fn conservation_holds_with_detours_and_losses() {
+        let p = problem(&[(100.0, 0.0, 50.0), (100.0, 50.0, 50.0)], 1);
+        let s = Schedule::assemble(&p, vec![vec![(0, 50.0), (1, 50.0)]]);
+        let mut m = model(500.0);
+        m.transfer_efficiency = 0.8;
+        let start = 400.0;
+        let split = split_schedule(&p, &s, &[start], &m);
+        let out = execute_tour_energy(
+            &p,
+            &split.schedule.tours[0],
+            &split.per_charger[0].recharge_before,
+            start,
+            1.0,
+            &m,
+        );
+        let lhs = start + out.recharged_j;
+        let rhs = out.traveled_j + out.transfer_j + out.residual_j;
+        assert!((lhs - rhs).abs() < 1e-6, "{lhs} != {rhs}");
+        assert!((out.delivered_j - out.transfer_j * 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_inflated_travel_can_exhaust_a_tight_tour() {
+        // Plan is feasible at factor 1 with zero slack beyond the
+        // reserve; factor 1.5 drains the battery on the way home.
+        let p = problem(&[(100.0, 0.0, 10.0)], 1);
+        let s = Schedule::assemble(&p, vec![vec![(0, 10.0)]]);
+        let m = model(230.0); // 200 travel + 20 transfer + 10 spare
+        let split = split_schedule(&p, &s, &[230.0], &m);
+        assert_eq!(split.per_charger[0].recharge_before, vec![None]);
+        let ok = execute_tour_energy(
+            &p,
+            &split.schedule.tours[0],
+            &split.per_charger[0].recharge_before,
+            230.0,
+            1.0,
+            &m,
+        );
+        assert!(ok.exhausted_at_s.is_none());
+        let bad = execute_tour_energy(
+            &p,
+            &split.schedule.tours[0],
+            &split.per_charger[0].recharge_before,
+            230.0,
+            1.5,
+            &m,
+        );
+        let ex = bad.exhausted_at_s.expect("factor 1.5 must strand");
+        assert_eq!(bad.exhausted_near, Some(0));
+        assert_eq!(bad.residual_j, 0.0);
+        // Exhaustion happens on the return leg (after the charge ends).
+        assert!(ex > split.schedule.tours[0].sojourns[0].finish_s());
+        // Ledger conserves up to the exhaustion instant.
+        let lhs = 230.0 + bad.recharged_j;
+        let rhs = bad.traveled_j + bad.transfer_j + bad.residual_j;
+        assert!((lhs - rhs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn execute_honors_recharge_credit_cap() {
+        // Arriving at the depot richer than planned (factor < planned)
+        // must not overfill the battery.
+        let p = problem(&[(10.0, 0.0, 100.0)], 1);
+        let s = Schedule::assemble(&p, vec![vec![(0, 100.0)]]);
+        let m = model(1_000.0);
+        let split = split_schedule(&p, &s, &[50.0], &m);
+        let out = execute_tour_energy(
+            &p,
+            &split.schedule.tours[0],
+            &split.per_charger[0].recharge_before,
+            50.0,
+            1.0,
+            &m,
+        );
+        assert!(out.residual_j <= m.capacity_j + 1e-9);
+        assert_eq!(out.recharge_events.len(), 1);
+        assert!((out.recharge_events[0].1 - 950.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inactive_execute_is_a_noop() {
+        let p = problem(&[(10.0, 0.0, 100.0)], 1);
+        let s = Schedule::assemble(&p, vec![vec![(0, 100.0)]]);
+        let out = execute_tour_energy(
+            &p,
+            &s.tours[0],
+            &[],
+            f64::INFINITY,
+            1.0,
+            &ChargerEnergyModel::default(),
+        );
+        assert_eq!(out.traveled_j, 0.0);
+        assert_eq!(out.residual_j, f64::INFINITY);
+        assert!(out.exhausted_at_s.is_none());
+    }
+}

@@ -22,6 +22,10 @@
 //! - [`conflict`]: the coverage-overlap predicate behind the auxiliary
 //!   graph `H`, and a wait-based repair pass that turns any schedule
 //!   into a certified-conflict-free one by idling MCVs.
+//! - [`energy`]: the finite-charger-energy extension — battery
+//!   capacity, travel cost, transfer efficiency, depot recharging —
+//!   with energy-aware tour splitting ([`split_schedule`]) and exact
+//!   execution ledgers ([`execute_tour_energy`]). Inert by default.
 //! - [`Appro`]: Algorithm 1 — MIS of the charging graph, MIS of `H`,
 //!   min–max `K`-tour cover of the conflict-free core, then
 //!   finish-time-ordered insertion of the remaining sojourn candidates.
@@ -50,6 +54,7 @@ pub mod bounds;
 pub mod budget;
 pub mod conflict;
 mod context;
+pub mod energy;
 mod fallback;
 mod planner;
 mod problem;
@@ -62,6 +67,10 @@ mod validate;
 
 pub use appro::Appro;
 pub use context::{ContextError, ProblemContext};
+pub use energy::{
+    execute_tour_energy, split_schedule, ChargerEnergyModel, SplitSchedule, TourEnergyOutcome,
+    TourEnergyPlan,
+};
 pub use fallback::{plan_with_fallback, GreedyTour};
 pub use planner::{InsertionOrder, PlanError, Planner, PlannerConfig};
 pub use problem::{ChargingParams, ChargingProblem, ChargingTarget, ProblemError};

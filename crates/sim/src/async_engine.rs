@@ -33,14 +33,15 @@
 //! The `dispatch` extension bench compares the two modes.
 
 use wrsn_core::{
-    plan_with_fallback, validate_schedule, ChargingProblem, PlanError, Planner, PlannerConfig,
-    ProblemContext,
+    execute_tour_energy, plan_with_fallback, split_schedule, validate_schedule,
+    ChargingProblem, PlanError, Planner, PlannerConfig, ProblemContext, TourEnergyPlan,
 };
 use wrsn_net::SensorId;
 
 use crate::channel::ChannelState;
 use crate::churn::ChurnState;
-use crate::engine::{admit_requests, SimConfig, SimConfigError};
+use crate::energy_state::EnergyFleet;
+use crate::engine::{admit_requests, truncate_tour, SimConfig, SimConfigError};
 use crate::fault::FaultState;
 use crate::report::{RoundStats, SimReport};
 use crate::telemetry::EnergyEstimator;
@@ -132,6 +133,10 @@ impl AsyncSimulation {
         // Churn layer: `None` when inert — the routing tree then stays
         // fixed for the whole run, bit-identically.
         let mut churn = ChurnState::new(&self.config.churn, n);
+        // Charger energy layer: `None` when inert — dispatch feasibility,
+        // stranding and rescue then never touch a run, bit-identically.
+        // The layer is deterministic (zero RNG draws even when active).
+        let mut energy = EnergyFleet::new(&self.config.energy, k);
         let mut failed_sensors = 0usize;
         let admission_on = self.config.admission_bound_s > 0.0;
         let kedf = wrsn_baselines::KEdf::new(PlannerConfig::default());
@@ -191,9 +196,26 @@ impl AsyncSimulation {
                     flight[c].clear();
                 }
             }
+            // Energy layer: docked chargers trickle-charge, then any
+            // stranded charger gets a rescue attempt from the nearest
+            // energy-feasible peer.
+            if let Some(ef) = energy.as_mut() {
+                ef.accrue_idle(t);
+                ef.attempt_rescues(
+                    t,
+                    self.config.params.speed_mps,
+                    fault.as_ref().map(|fs| fs.available_at.as_slice()),
+                    tracing,
+                    &mut events,
+                );
+            }
             // A charger is dispatchable if home now (a broken one's
-            // `free_at` already includes its repair downtime).
-            let free: Vec<usize> = (0..k).filter(|&c| free_at[c] <= t).collect();
+            // `free_at` already includes its repair downtime) and, under
+            // an active energy layer, neither stranded nor mid-refill.
+            let free: Vec<usize> = (0..k)
+                .filter(|&c| free_at[c] <= t)
+                .filter(|&c| energy.as_ref().is_none_or(|ef| ef.in_service(c, t)))
+                .collect();
             // Telemetry reports land at loop instants; the event-sleep
             // below wakes at scheduled report times so staleness stamps
             // stay exact.
@@ -340,17 +362,63 @@ impl AsyncSimulation {
                     }
                 }
 
+                // Energy layer: split the tour around depot recharge
+                // detours and drop what a full battery can never cover.
+                // A dropped sensor is requeued via the usual stranded
+                // path, never lost.
+                let eplan: Option<TourEnergyPlan> = match energy.as_mut() {
+                    Some(ef) => {
+                        let start = vec![ef.residual_j[c]];
+                        let split = split_schedule(&problem, &schedule, &start, &ef.model);
+                        let plan = split.per_charger.into_iter().next().unwrap();
+                        ef.dropped_stops += plan.dropped.len();
+                        schedule = split.schedule;
+                        Some(plan)
+                    }
+                    None => None,
+                };
+                // A tour that splitting emptied entirely must not spin
+                // at one-second retries: hold the charger out of the
+                // pool until its tank has refilled (or to the horizon
+                // if even a full battery cannot cover any stop). The
+                // share stays pending for the rest of the fleet.
+                if let Some(plan) = eplan.as_ref() {
+                    if schedule.tours[0].sojourns.is_empty() && !plan.dropped.is_empty() {
+                        let ef = energy.as_ref().expect("eplan implies active energy");
+                        let wait = if ef.model.recharge_w > 0.0
+                            && ef.residual_j[c] + 1e-6 < ef.model.capacity_j
+                        {
+                            (ef.model.capacity_j - ef.residual_j[c]) / ef.model.recharge_w
+                        } else {
+                            self.config.horizon_s
+                        };
+                        free_at[c] = (t + wait).max(t + 1.0);
+                        continue;
+                    }
+                }
+
                 // Shift to absolute time and push starts past conflicting
-                // in-flight sojourns (conservative 2γ distance test).
+                // in-flight sojourns (conservative 2γ distance test). A
+                // depot recharge detour folds its extra legs and the
+                // refill wait into the next stop's travel.
                 let externals: Vec<FlightSojourn> =
                     flight.iter().flatten().copied().collect();
                 let tour = &mut schedule.tours[0];
                 let mut clock = t;
                 let mut prev: Option<usize> = None;
-                for s in &mut tour.sojourns {
-                    let travel = match prev {
-                        None => problem.depot_travel_time(s.target),
-                        Some(p) => problem.travel_time(p, s.target),
+                for (i, s) in tour.sojourns.iter_mut().enumerate() {
+                    let refill = eplan
+                        .as_ref()
+                        .and_then(|p| p.recharge_before.get(i).copied().flatten());
+                    let travel = match (refill, prev) {
+                        (Some(w), None) => w + problem.depot_travel_time(s.target),
+                        (Some(w), Some(p)) => {
+                            problem.depot_travel_time(p)
+                                + w
+                                + problem.depot_travel_time(s.target)
+                        }
+                        (None, None) => problem.depot_travel_time(s.target),
+                        (None, Some(p)) => problem.travel_time(p, s.target),
                     };
                     let arrival = clock + travel;
                     let pos = problem.targets()[s.target].pos;
@@ -410,6 +478,66 @@ impl AsyncSimulation {
                     }
                 }
 
+                // Energy layer: replay the tour's battery drain (travel
+                // legs inflated by the fault factor) over the absolute
+                // timeline, rebased to the dispatch instant. The walk is
+                // clipped at any fault breakdown first — a broken-down
+                // charger stops driving, so it stops draining too. If
+                // the battery empties before the tour (or breakdown)
+                // does, the charger strands where it died and its
+                // remaining stops requeue exactly like a breakdown's.
+                let mut stranded_charger = false;
+                if let (Some(ef), Some(plan)) = (energy.as_mut(), eplan.as_ref()) {
+                    let mut etour = tour.clone();
+                    for s in &mut etour.sojourns {
+                        s.arrival_s -= t;
+                        s.start_s -= t;
+                    }
+                    etour.return_time_s -= t;
+                    if cutoff_abs.is_finite() {
+                        truncate_tour(&mut etour, (cutoff_abs - t) / factor);
+                    }
+                    let out = execute_tour_energy(
+                        &problem,
+                        &etour,
+                        &plan.recharge_before,
+                        ef.residual_j[c],
+                        factor,
+                        &ef.model,
+                    );
+                    ef.traveled_j += out.traveled_j;
+                    ef.transfer_j += out.transfer_j;
+                    ef.recharged_j += out.recharged_j;
+                    ef.depot_recharges += out.recharge_events.len();
+                    if tracing {
+                        for &(at, recharged_j) in &out.recharge_events {
+                            events.push(TraceEvent::DepotRecharge {
+                                at_s: t + at * factor,
+                                charger: c,
+                                recharged_j,
+                            });
+                        }
+                    }
+                    match out.exhausted_at_s {
+                        Some(ex) => {
+                            let ex_abs = t + ex * factor;
+                            cutoff_abs = cutoff_abs.min(ex_abs);
+                            let dist_m = out.exhausted_near.map_or(0.0, |ti| {
+                                problem.depot_travel_time(ti) * self.config.params.speed_mps
+                            });
+                            ef.strand(c, dist_m);
+                            stranded_charger = true;
+                            if tracing {
+                                events.push(TraceEvent::ChargerExhausted {
+                                    at_s: ex_abs,
+                                    charger: c,
+                                });
+                            }
+                        }
+                        None => ef.residual_j[c] = out.residual_j,
+                    }
+                }
+
                 // Register state: flights, assignment, recharges. A
                 // broken charger's sojourns past the cutoff never happen.
                 flight[c] = tour
@@ -451,12 +579,23 @@ impl AsyncSimulation {
                     }
                 }
                 recharges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-                let back_at = if cutoff_abs.is_finite() {
+                let back_at = if stranded_charger {
+                    // A stranded charger does not come home on its own;
+                    // `in_service` keeps it out of the dispatch pool
+                    // until a rescue tows it in.
+                    cutoff_abs
+                } else if cutoff_abs.is_finite() {
                     cutoff_abs + self.config.fault.charger_repair_s
                 } else {
                     return_real
                 };
                 free_at[c] = back_at.max(t + 1.0);
+                if let Some(ef) = energy.as_mut() {
+                    if !stranded_charger {
+                        // Idle trickle accrues from the real homecoming.
+                        ef.free_at[c] = free_at[c];
+                    }
+                }
 
                 // Service ledger, settled at dispatch time: each request
                 // either completes within this tour (charged, or
@@ -551,6 +690,13 @@ impl AsyncSimulation {
                     next = next.min(t + dz + 1e-9);
                 }
             }
+            // Wake when a towed charger's depot refill completes so it
+            // re-enters the dispatch pool promptly.
+            if let Some(ef) = energy.as_ref() {
+                if let Some(w) = ef.next_in_service_at(t) {
+                    next = next.min(w + 1e-9);
+                }
+            }
             if next <= t {
                 next = t + 1.0; // guard against stalls
             }
@@ -629,6 +775,18 @@ impl AsyncSimulation {
             report.reconciled_energy_j = tel.delivered_energy_j;
             report.overcharge_j = tel.overcharge_j;
             report.undercharge_j = tel.undercharge_j;
+        }
+        if let Some(ef) = energy {
+            report.charger_exhaustions = ef.exhaustions;
+            report.depot_recharges = ef.depot_recharges;
+            report.rescue_dispatches = ef.rescues;
+            report.stranded_chargers = ef.stranded_count();
+            report.energy_dropped_stops = ef.dropped_stops;
+            report.charger_initial_j = ef.initial_j;
+            report.charger_recharged_j = ef.recharged_j;
+            report.charger_travel_j = ef.traveled_j;
+            report.charger_transfer_j = ef.transfer_j;
+            report.charger_residual_j = ef.residual_total_j();
         }
         Ok(report)
     }
@@ -812,5 +970,68 @@ mod tests {
         assert_eq!(report.trace.sensor_failures(), report.failed_sensors);
         assert_eq!(report.trace.routing_repairs(), report.routing_repairs);
         assert_eq!(report, run(), "churned async runs are seed-deterministic");
+    }
+
+    #[test]
+    fn inert_energy_layer_is_bit_identical() {
+        let run = |energy: wrsn_core::ChargerEnergyModel| {
+            let net = NetworkBuilder::new(80).seed(1).build();
+            let mut cfg = SimConfig::default();
+            cfg.horizon_s = days(30.0);
+            cfg.energy = energy;
+            AsyncSimulation::new(net, cfg)
+                .unwrap()
+                .run(&Appro::new(PlannerConfig::default()), 2)
+                .unwrap()
+        };
+        let mut tuned = wrsn_core::ChargerEnergyModel::default();
+        tuned.travel_j_per_m = 50.0;
+        tuned.recharge_w = 100.0;
+        tuned.rescue = true;
+        let base = run(wrsn_core::ChargerEnergyModel::default());
+        assert_eq!(base, run(tuned));
+        assert_eq!(base.charger_exhaustions, 0);
+        assert_eq!(base.depot_recharges, 0);
+        assert_eq!(base.rescue_dispatches, 0);
+        assert_eq!(base.energy_dropped_stops, 0);
+        assert!(base.charger_energy_reconciles());
+    }
+
+    #[test]
+    fn tight_capacity_async_recharges_strands_and_rescues() {
+        let run = || {
+            let net = NetworkBuilder::new(150).seed(7).build();
+            let mut cfg = SimConfig::default();
+            cfg.horizon_s = days(120.0);
+            cfg.collect_trace = true;
+            // Same tank calibration as the sync engine's tight test:
+            // 25 kJ clears the worst single-stop need but cannot chain
+            // two heavy stops. Async shares are small (⌈pending/K⌉), so
+            // the binding case is a dispatch catching a tank the slow
+            // depot trickle has not refilled yet — the split planner
+            // then inserts a refill wait before the first stop.
+            cfg.energy.capacity_j = 25.0e3;
+            cfg.energy.travel_j_per_m = 50.0;
+            cfg.energy.transfer_efficiency = 0.9;
+            cfg.energy.recharge_w = 1.0;
+            cfg.energy.rescue = true;
+            cfg.fault.travel_jitter = 0.5;
+            cfg.fault.seed = 9;
+            AsyncSimulation::new(net, cfg)
+                .unwrap()
+                .run(&Appro::new(PlannerConfig::default()), 3)
+                .unwrap()
+        };
+        let report = run();
+        assert!(report.depot_recharges >= 1, "a 25 kJ tank must force depot detours");
+        assert!(report.charger_energy_reconciles(), "fleet energy ledger must conserve");
+        assert!(report.service_reconciles(), "no request may be silently dropped");
+        assert_eq!(report.trace.depot_recharges(), report.depot_recharges);
+        assert_eq!(report.trace.exhaustions(), report.charger_exhaustions);
+        assert_eq!(report.trace.rescues(), report.rescue_dispatches);
+        assert!(report.charger_recharged_j > 0.0);
+        assert!(report.charger_travel_j > 0.0);
+        assert!(report.charger_transfer_j > 0.0);
+        assert_eq!(report, run(), "energy-active async runs are seed-deterministic");
     }
 }

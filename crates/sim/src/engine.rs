@@ -4,13 +4,15 @@ use std::path::PathBuf;
 
 use wrsn_core::bounds::AdmissionEstimator;
 use wrsn_core::{
-    plan_with_fallback, validate_schedule, ChargerTour, ChargingParams, ChargingProblem,
-    PlanError, Planner, PlannerConfig, ProblemContext, Schedule,
+    execute_tour_energy, plan_with_fallback, split_schedule, validate_schedule,
+    ChargerEnergyModel, ChargerTour, ChargingParams, ChargingProblem, PlanError, Planner,
+    PlannerConfig, ProblemContext, Schedule, TourEnergyPlan,
 };
 use wrsn_net::{Network, Sensor, SensorId, DEFAULT_REQUEST_FRACTION, YEAR_SECS};
 
 use crate::channel::{ChannelModel, ChannelState};
 use crate::churn::{ChurnModel, ChurnState};
+use crate::energy_state::EnergyFleet;
 use crate::fault::{FaultModel, FaultState};
 use crate::report::{RoundStats, SimReport};
 use crate::snapshot::Snapshot;
@@ -47,6 +49,8 @@ pub enum SimConfigError {
     InvalidChargingParams(&'static str),
     /// The [`ChurnModel`] has an out-of-range parameter.
     InvalidChurnModel(&'static str),
+    /// The [`ChargerEnergyModel`] has an out-of-range parameter.
+    InvalidEnergyModel(&'static str),
 }
 
 impl std::fmt::Display for SimConfigError {
@@ -86,6 +90,9 @@ impl std::fmt::Display for SimConfigError {
             }
             SimConfigError::InvalidChurnModel(what) => {
                 write!(f, "invalid churn model: {what}")
+            }
+            SimConfigError::InvalidEnergyModel(what) => {
+                write!(f, "invalid charger energy model: {what}")
             }
         }
     }
@@ -171,6 +178,18 @@ pub struct SimConfig {
     /// bit-identical (no random values are drawn, and the routing tree
     /// stays fixed for the whole run as in the paper).
     pub churn: ChurnModel,
+    /// Finite charger energy: battery capacity, travel cost, transfer
+    /// efficiency and depot recharging. When active, every dispatched
+    /// tour is energy-feasibility-checked and split with depot recharge
+    /// detours ([`wrsn_core::split_schedule`]); a charger that still
+    /// runs dry mid-tour (travel jitter, degradation) is *stranded*
+    /// where its battery died — its remaining stops re-enter the
+    /// recovery/deferral path and, with [`ChargerEnergyModel::rescue`],
+    /// the richest energy-feasible peer tows it home. The default is
+    /// fully inert (infinite capacity) and leaves runs bit-identical;
+    /// the layer is deterministic and draws no random values even when
+    /// active.
+    pub energy: ChargerEnergyModel,
 }
 
 impl SimConfig {
@@ -211,6 +230,7 @@ impl SimConfig {
         }
         self.telemetry.validate().map_err(SimConfigError::InvalidTelemetryModel)?;
         self.churn.validate().map_err(SimConfigError::InvalidChurnModel)?;
+        self.energy.validate().map_err(SimConfigError::InvalidEnergyModel)?;
         // Charger parameters were previously vetted only when a problem
         // was built mid-run, where a NaN surfaced as a panic; reject
         // them up front with a typed error instead.
@@ -261,6 +281,7 @@ impl Default for SimConfig {
             max_deferrals: 4,
             telemetry: TelemetryModel::default(),
             churn: ChurnModel::default(),
+            energy: ChargerEnergyModel::default(),
         }
     }
 }
@@ -375,7 +396,7 @@ fn advance_round(
 /// Truncates `tour` at schedule-time `cutoff_s`: sojourns finishing by
 /// the cutoff are kept, one straddling it is clipped, the rest are
 /// dropped, and the charger "returns" (is towed) at the cutoff.
-fn truncate_tour(tour: &mut ChargerTour, cutoff_s: f64) {
+pub(crate) fn truncate_tour(tour: &mut ChargerTour, cutoff_s: f64) {
     let mut kept = Vec::new();
     for s in tour.sojourns.drain(..) {
         if s.finish_s() <= cutoff_s {
@@ -419,6 +440,68 @@ fn apply_breakdowns(
             events.push((c, dispatch_s + life));
         } else {
             fs.life_left[c] -= busy_real;
+        }
+    }
+}
+
+/// Replays the energy model over one executed round: per-charger
+/// ledgers accumulate into `ef`, a charger whose battery dies mid-tour
+/// has its tour truncated at the exhaustion instant and is stranded
+/// where it died, and survivors' depot-return instants are stamped so
+/// idle trickle recharge accrues from them. Event timestamps scale
+/// schedule time to real time by `factor` from `dispatch_s`.
+#[allow(clippy::too_many_arguments)]
+fn apply_energy(
+    ef: &mut EnergyFleet,
+    problem: &ChargingProblem,
+    avail: &[usize],
+    plans: &[TourEnergyPlan],
+    exec: &mut Schedule,
+    factor: f64,
+    dispatch_s: f64,
+    tracing: bool,
+    buf: &mut Vec<TraceEvent>,
+) {
+    let speed = problem.params().speed_mps;
+    for (j, &c) in avail.iter().enumerate() {
+        let out = execute_tour_energy(
+            problem,
+            &exec.tours[j],
+            &plans[j].recharge_before,
+            ef.residual_j[c],
+            factor,
+            &ef.model,
+        );
+        ef.traveled_j += out.traveled_j;
+        ef.transfer_j += out.transfer_j;
+        ef.recharged_j += out.recharged_j;
+        ef.depot_recharges += out.recharge_events.len();
+        if tracing {
+            for &(at, taken) in &out.recharge_events {
+                buf.push(TraceEvent::DepotRecharge {
+                    at_s: dispatch_s + at * factor,
+                    charger: c,
+                    recharged_j: taken,
+                });
+            }
+        }
+        match out.exhausted_at_s {
+            Some(ex) => {
+                truncate_tour(&mut exec.tours[j], ex);
+                let dist_m =
+                    out.exhausted_near.map_or(0.0, |ti| problem.depot_travel_time(ti) * speed);
+                ef.strand(c, dist_m);
+                if tracing {
+                    buf.push(TraceEvent::ChargerExhausted {
+                        at_s: dispatch_s + ex * factor,
+                        charger: c,
+                    });
+                }
+            }
+            None => {
+                ef.residual_j[c] = out.residual_j;
+                ef.free_at[c] = dispatch_s + exec.tours[j].return_time_s * factor;
+            }
         }
     }
 }
@@ -597,6 +680,10 @@ impl Simulation {
         // fixed for the whole run, bit-identically to the pre-churn
         // engine.
         let mut churn = ChurnState::new(&self.config.churn, n);
+        // Finite charger energy: `None` when inert. The layer is fully
+        // deterministic (zero RNG draws even when active), so the inert
+        // path is trivially bit-identical to the pre-energy engine.
+        let mut energy = EnergyFleet::new(&self.config.energy, k);
         let kedf = wrsn_baselines::KEdf::new(PlannerConfig::default());
         let mut charger_failures = 0usize;
         let mut recovery_rounds = 0usize;
@@ -729,6 +816,23 @@ impl Simulation {
                     s.consumption_w = cons;
                 }
             }
+            energy = snap.energy.map(|e| {
+                EnergyFleet::from_parts(
+                    &self.config.energy,
+                    e.residual_j,
+                    e.free_at,
+                    e.stranded,
+                    e.strand_dist_m,
+                    e.initial_j,
+                    e.recharged_j,
+                    e.traveled_j,
+                    e.transfer_j,
+                    e.exhaustions,
+                    e.depot_recharges,
+                    e.rescues,
+                    e.dropped_stops,
+                )
+            });
         }
 
         while t < self.config.horizon_s {
@@ -775,18 +879,51 @@ impl Simulation {
                 }
                 None => self.net.requesting_sensors(self.config.request_fraction),
             };
+            // Rescue pass: a stranded charger is towed home by the
+            // richest energy-feasible peer (when the model allows
+            // rescues and one is in service), then refills at the depot
+            // before re-entering the fleet.
+            if let Some(ef) = energy.as_mut() {
+                let mut ebuf = Vec::new();
+                ef.attempt_rescues(
+                    t,
+                    self.config.params.speed_mps,
+                    fault.as_ref().map(|fs| fs.available_at.as_slice()),
+                    tracing,
+                    &mut ebuf,
+                );
+                for e in ebuf {
+                    trace.push(e);
+                }
+            }
             if pending.len() >= batch.min(n.max(1)) && !pending.is_empty() {
-                let avail: Vec<usize> = match fault.as_ref() {
+                let mut avail: Vec<usize> = match fault.as_ref() {
                     Some(fs) => fs.available(t),
                     None => (0..k).collect(),
                 };
+                if let Some(ef) = energy.as_mut() {
+                    // Depot trickle since each charger's last return,
+                    // then drop stranded or still-refilling chargers
+                    // from the round: the fleet degrades gracefully and
+                    // admission control sheds what the remainder cannot
+                    // plausibly serve.
+                    ef.accrue_idle(t);
+                    avail.retain(|&c| ef.in_service(c, t));
+                }
                 if avail.is_empty() {
-                    // The whole fleet is in repair: requests must wait
-                    // for the earliest charger to return to service.
-                    let next = fault
-                        .as_ref()
-                        .and_then(|fs| fs.next_available_at(t))
-                        .expect("an empty fleet implies a pending repair");
+                    // The whole fleet is out of service: in repair,
+                    // mid-tow or mid-refill. Wait for the earliest
+                    // return; if nothing ever will (every charger
+                    // stranded beyond rescue), the network degrades
+                    // unattended to the horizon.
+                    let next_fault = fault.as_ref().and_then(|fs| fs.next_available_at(t));
+                    let next_energy = energy.as_ref().and_then(|ef| ef.next_in_service_at(t));
+                    let next = match (next_fault, next_energy) {
+                        (Some(a), Some(b)) => a.min(b),
+                        (Some(a), None) => a,
+                        (None, Some(b)) => b,
+                        (None, None) => f64::INFINITY,
+                    };
                     let dt = (next - t + 1e-9).min(self.config.horizon_s - t);
                     if dt <= 0.0 {
                         break;
@@ -892,12 +1029,75 @@ impl Simulation {
                     Some(fs) => fs.round_factor(),
                     None => 1.0,
                 };
-                let mut exec = schedule.clone();
+                // Energy-aware tour splitting: rewrite the plan so every
+                // tour is feasible from its charger's current battery —
+                // depot recharge detours inserted, stops a full battery
+                // cannot reach dropped (they re-enter service through
+                // the stranded/recovery path below, never silently).
+                let (mut exec, plans): (Schedule, Option<Vec<TourEnergyPlan>>) =
+                    match energy.as_mut() {
+                        Some(ef) => {
+                            let start: Vec<f64> =
+                                avail.iter().map(|&c| ef.residual_j[c]).collect();
+                            let split = split_schedule(&problem, &schedule, &start, &ef.model);
+                            ef.dropped_stops += split
+                                .per_charger
+                                .iter()
+                                .map(|p| p.dropped.len())
+                                .sum::<usize>();
+                            (split.schedule, Some(split.per_charger))
+                        }
+                        None => (schedule.clone(), None),
+                    };
+                // A round that energy splitting emptied entirely (every
+                // stop dropped) must not re-dispatch at this same
+                // instant. Wait until the fleet's best tank has refilled
+                // and retry; if even a full battery cannot reach the
+                // work, the network degrades unattended to the horizon
+                // (the dead-time ledger keeps accounting).
+                if exec.sojourn_count() == 0 && !dispatch.is_empty() {
+                    let refill_s = energy
+                        .as_ref()
+                        .map(|ef| {
+                            let best = avail
+                                .iter()
+                                .map(|&c| ef.residual_j[c])
+                                .fold(0.0f64, f64::max);
+                            if ef.model.recharge_w > 0.0 && best + 1e-6 < ef.model.capacity_j
+                            {
+                                (ef.model.capacity_j - best) / ef.model.recharge_w
+                            } else {
+                                f64::INFINITY
+                            }
+                        })
+                        .unwrap_or(f64::INFINITY);
+                    let dt = refill_s.min(self.config.horizon_s - t);
+                    if dt <= 0.0 {
+                        break;
+                    }
+                    if tracing {
+                        let mut dbuf = Vec::new();
+                        note_deaths(self.net.sensors(), t, dt, &mut dead_since, &mut dbuf);
+                        dbuf.sort_by(|a, b| a.at_s().partial_cmp(&b.at_s()).unwrap());
+                        for e in dbuf {
+                            trace.push(e);
+                        }
+                    }
+                    drain_with_dead_accounting(self.net.sensors_mut(), dt, &mut dead);
+                    t += dt;
+                    continue;
+                }
+                let planned_wait_s = exec.total_wait_time_s();
+                let planned_sojourns = exec.sojourn_count();
+                let mut buf: Vec<TraceEvent> = Vec::new();
                 let mut breakdowns: Vec<(usize, f64)> = Vec::new();
                 if let Some(fs) = fault.as_mut() {
                     apply_breakdowns(fs, &avail, &mut exec, factor, t, &mut breakdowns);
                 }
                 charger_failures += breakdowns.len();
+                if let (Some(ef), Some(plans)) = (energy.as_mut(), plans.as_ref()) {
+                    apply_energy(ef, &problem, &avail, plans, &mut exec, factor, t, tracing, &mut buf);
+                }
                 let completions = exec.charge_completion_times(&problem);
                 let round_len = exec.longest_delay_s() * factor;
                 let target_frac = self.config.params.charge_target_fraction;
@@ -936,7 +1136,6 @@ impl Simulation {
                 let mut truth_by_sensor: Option<Vec<f64>> =
                     telemetry.as_ref().map(|_| vec![0.0f64; n]);
 
-                let mut buf: Vec<TraceEvent> = Vec::new();
                 if tracing {
                     buf.push(TraceEvent::RoundDispatched {
                         at_s: t,
@@ -1006,90 +1205,127 @@ impl Simulation {
                 let mut recovery_completed: Vec<SensorId> = Vec::new();
                 let mut recovery_len = 0.0f64;
                 let mut recovered_this = 0usize;
-                let mut energy = energy_main;
-                let mut wait_total = schedule.total_wait_time_s();
-                let mut sojourns_total = schedule.sojourn_count();
+                let mut energy_round = energy_main;
+                let mut wait_total = planned_wait_s;
+                let mut sojourns_total = planned_sojourns;
 
                 // Mid-round recovery: re-plan the stranded (plus anyone
                 // who crossed the threshold during the round) onto the
                 // surviving chargers, through a chain that cannot panic.
-                if !stranded.is_empty() {
-                    if let Some(fs) = fault.as_mut() {
-                        let t_end = t + round_len;
-                        let avail2 = fs.available(t_end);
-                        if !avail2.is_empty() && t_end < self.config.horizon_s {
-                            let mut in_main = vec![false; n];
-                            for &id in &dispatch {
-                                in_main[id.index()] = true;
+                if !stranded.is_empty() && (fault.is_some() || energy.is_some()) {
+                    let t_end = t + round_len;
+                    let mut avail2: Vec<usize> = match fault.as_ref() {
+                        Some(fs) => fs.available(t_end),
+                        None => (0..k).collect(),
+                    };
+                    if let Some(ef) = energy.as_mut() {
+                        // Survivors trickle-charge at the depot between
+                        // their return and the recovery dispatch;
+                        // stranded or still-refilling chargers sit out.
+                        ef.accrue_idle(t_end);
+                        avail2.retain(|&c| ef.in_service(c, t_end));
+                    }
+                    if !avail2.is_empty() && t_end < self.config.horizon_s {
+                        let mut in_main = vec![false; n];
+                        for &id in &dispatch {
+                            in_main[id.index()] = true;
+                        }
+                        // Reports deferred during the round land now,
+                        // at the boundary the recovery plans from.
+                        if let Some(tel) = telemetry.as_mut() {
+                            let mut tbuf = Vec::new();
+                            tel.advance(&self.net, t_end, tracing, &mut tbuf);
+                            for e in tbuf {
+                                trace.push(e);
                             }
-                            // Reports deferred during the round land now,
-                            // at the boundary the recovery plans from.
-                            if let Some(tel) = telemetry.as_mut() {
-                                let mut tbuf = Vec::new();
-                                tel.advance(&self.net, t_end, tracing, &mut tbuf);
-                                for e in tbuf {
+                        }
+                        // A shed request served here re-enters the
+                        // ledger as a fresh request, so it is *not*
+                        // marked as part of the main round.
+                        let recovery_pending = match channel.as_mut() {
+                            Some(ch) => {
+                                let mut cbuf = Vec::new();
+                                ch.advance(
+                                    &self.net,
+                                    self.config.request_fraction,
+                                    t_end,
+                                    tracing,
+                                    &mut cbuf,
+                                );
+                                for e in cbuf {
                                     trace.push(e);
                                 }
+                                ch.pending(&self.net, self.config.request_fraction)
                             }
-                            // A shed request served here re-enters the
-                            // ledger as a fresh request, so it is *not*
-                            // marked as part of the main round.
-                            let recovery_pending = match channel.as_mut() {
-                                Some(ch) => {
-                                    let mut cbuf = Vec::new();
-                                    ch.advance(
-                                        &self.net,
-                                        self.config.request_fraction,
-                                        t_end,
-                                        tracing,
-                                        &mut cbuf,
-                                    );
-                                    for e in cbuf {
-                                        trace.push(e);
-                                    }
-                                    ch.pending(&self.net, self.config.request_fraction)
-                                }
-                                None => self
-                                    .net
-                                    .requesting_sensors(self.config.request_fraction),
-                            };
-                            if !recovery_pending.is_empty() {
-                                let planning2: Option<Vec<f64>> = telemetry
-                                    .as_ref()
-                                    .map(|tel| tel.planning_residuals(&self.net, t_end));
-                                let problem2 = match planning2.as_deref() {
-                                    Some(est) => {
-                                        let res: Vec<f64> = recovery_pending
-                                            .iter()
-                                            .map(|id| est[id.index()])
-                                            .collect();
-                                        ChargingProblem::from_residuals_in_context(
-                                            &full_ctx,
-                                            &self.net,
-                                            &recovery_pending,
-                                            &res,
-                                            avail2.len(),
-                                            self.config.params,
-                                        )
-                                    }
-                                    None => ChargingProblem::from_network_in_context(
+                            None => {
+                                self.net.requesting_sensors(self.config.request_fraction)
+                            }
+                        };
+                        if !recovery_pending.is_empty() {
+                            let planning2: Option<Vec<f64>> = telemetry
+                                .as_ref()
+                                .map(|tel| tel.planning_residuals(&self.net, t_end));
+                            let problem2 = match planning2.as_deref() {
+                                Some(est) => {
+                                    let res: Vec<f64> = recovery_pending
+                                        .iter()
+                                        .map(|id| est[id.index()])
+                                        .collect();
+                                    ChargingProblem::from_residuals_in_context(
                                         &full_ctx,
                                         &self.net,
                                         &recovery_pending,
+                                        &res,
                                         avail2.len(),
                                         self.config.params,
-                                    ),
+                                    )
                                 }
-                                .expect("simulator always builds valid problems");
-                                let (schedule2, _via) = plan_with_fallback(
-                                    &problem2,
-                                    planner,
-                                    &[&kedf],
-                                    validate_plans,
-                                )?;
-                                let factor2 = fs.round_factor();
-                                let mut exec2 = schedule2.clone();
-                                let mut breakdowns2: Vec<(usize, f64)> = Vec::new();
+                                None => ChargingProblem::from_network_in_context(
+                                    &full_ctx,
+                                    &self.net,
+                                    &recovery_pending,
+                                    avail2.len(),
+                                    self.config.params,
+                                ),
+                            }
+                            .expect("simulator always builds valid problems");
+                            let (schedule2, _via) = plan_with_fallback(
+                                &problem2,
+                                planner,
+                                &[&kedf],
+                                validate_plans,
+                            )?;
+                            let factor2 = match fault.as_mut() {
+                                Some(fs) => fs.round_factor(),
+                                None => 1.0,
+                            };
+                            let (mut exec2, plans2): (Schedule, Option<Vec<TourEnergyPlan>>) =
+                                match energy.as_mut() {
+                                    Some(ef) => {
+                                        let start: Vec<f64> = avail2
+                                            .iter()
+                                            .map(|&c| ef.residual_j[c])
+                                            .collect();
+                                        let split = split_schedule(
+                                            &problem2,
+                                            &schedule2,
+                                            &start,
+                                            &ef.model,
+                                        );
+                                        ef.dropped_stops += split
+                                            .per_charger
+                                            .iter()
+                                            .map(|p| p.dropped.len())
+                                            .sum::<usize>();
+                                        (split.schedule, Some(split.per_charger))
+                                    }
+                                    None => (schedule2.clone(), None),
+                                };
+                            wait_total += exec2.total_wait_time_s();
+                            sojourns_total += exec2.sojourn_count();
+                            let mut buf2: Vec<TraceEvent> = Vec::new();
+                            let mut breakdowns2: Vec<(usize, f64)> = Vec::new();
+                            if let Some(fs) = fault.as_mut() {
                                 apply_breakdowns(
                                     fs,
                                     &avail2,
@@ -1098,115 +1334,123 @@ impl Simulation {
                                     t_end,
                                     &mut breakdowns2,
                                 );
-                                charger_failures += breakdowns2.len();
-                                let completions2 = exec2.charge_completion_times(&problem2);
-                                recovery_len = exec2.longest_delay_s() * factor2;
-                                let mut completion_at2: Vec<Option<f64>> = vec![None; n];
-                                for (ti, c) in completions2.iter().enumerate() {
-                                    completion_at2[problem2.targets()[ti].id.index()] =
-                                        c.map(|c| c * factor2);
-                                }
-                                if telemetry.is_none() {
-                                    energy += recovery_pending
-                                        .iter()
-                                        .filter(|id| completion_at2[id.index()].is_some())
-                                        .map(|&id| {
-                                            let s = self.net.sensor(id);
-                                            (target_frac * s.capacity_j - s.residual_j)
-                                                .max(0.0)
-                                        })
-                                        .sum::<f64>();
-                                }
-                                let planned2: Option<Vec<f64>> =
-                                    telemetry.as_ref().map(|_| {
-                                        let mut v = vec![0.0f64; n];
-                                        for tgt in problem2.targets() {
-                                            v[tgt.id.index()] = tgt.charge_duration_s
-                                                * self.config.params.eta_w;
-                                        }
-                                        v
-                                    });
-                                let mut truth2: Option<Vec<f64>> =
-                                    telemetry.as_ref().map(|_| vec![0.0f64; n]);
-                                wait_total += schedule2.total_wait_time_s();
-                                sojourns_total += schedule2.sojourn_count();
-                                recovery_rounds += 1;
-                                let mut buf2: Vec<TraceEvent> = Vec::new();
-                                if tracing {
-                                    trace.push(TraceEvent::RecoveryDispatched {
-                                        at_s: t_end,
-                                        stranded: stranded.len(),
-                                        chargers: avail2.len(),
-                                    });
-                                    for &(c, at) in &breakdowns2 {
-                                        buf2.push(TraceEvent::ChargerFailed {
-                                            at_s: at,
-                                            charger: c,
-                                        });
-                                    }
-                                }
-                                advance_round(
-                                    &mut self.net,
+                            }
+                            charger_failures += breakdowns2.len();
+                            if let (Some(ef), Some(plans2)) =
+                                (energy.as_mut(), plans2.as_ref())
+                            {
+                                apply_energy(
+                                    ef,
+                                    &problem2,
+                                    &avail2,
+                                    plans2,
+                                    &mut exec2,
+                                    factor2,
                                     t_end,
-                                    recovery_len,
-                                    &completion_at2,
-                                    target_frac,
-                                    planned2.as_deref(),
-                                    truth2.as_deref_mut(),
-                                    &mut dead,
-                                    &mut dead_since,
                                     tracing,
                                     &mut buf2,
                                 );
-                                if let (Some(tel), Some(planned), Some(truth)) = (
-                                    telemetry.as_mut(),
-                                    planned2.as_ref(),
-                                    truth2.as_ref(),
-                                ) {
-                                    for &id in &recovery_pending {
-                                        let i = id.index();
-                                        if let Some(c) = completion_at2[i] {
-                                            let s = self.net.sensor(id);
-                                            energy += tel.reconcile(
-                                                id,
-                                                s.capacity_j,
-                                                s.consumption_w,
-                                                truth[i],
-                                                planned[i],
-                                                target_frac * s.capacity_j,
-                                                t_end + c.min(recovery_len),
-                                                tracing,
-                                                &mut buf2,
-                                            );
-                                        }
-                                    }
+                            }
+                            let completions2 = exec2.charge_completion_times(&problem2);
+                            recovery_len = exec2.longest_delay_s() * factor2;
+                            let mut completion_at2: Vec<Option<f64>> = vec![None; n];
+                            for (ti, c) in completions2.iter().enumerate() {
+                                completion_at2[problem2.targets()[ti].id.index()] =
+                                    c.map(|c| c * factor2);
+                            }
+                            if telemetry.is_none() {
+                                energy_round += recovery_pending
+                                    .iter()
+                                    .filter(|id| completion_at2[id.index()].is_some())
+                                    .map(|&id| {
+                                        let s = self.net.sensor(id);
+                                        (target_frac * s.capacity_j - s.residual_j).max(0.0)
+                                    })
+                                    .sum::<f64>();
+                            }
+                            let planned2: Option<Vec<f64>> = telemetry.as_ref().map(|_| {
+                                let mut v = vec![0.0f64; n];
+                                for tgt in problem2.targets() {
+                                    v[tgt.id.index()] =
+                                        tgt.charge_duration_s * self.config.params.eta_w;
                                 }
-                                if tracing {
-                                    buf2.sort_by(|a, b| {
-                                        a.at_s().partial_cmp(&b.at_s()).unwrap()
+                                v
+                            });
+                            let mut truth2: Option<Vec<f64>> =
+                                telemetry.as_ref().map(|_| vec![0.0f64; n]);
+                            recovery_rounds += 1;
+                            if tracing {
+                                trace.push(TraceEvent::RecoveryDispatched {
+                                    at_s: t_end,
+                                    stranded: stranded.len(),
+                                    chargers: avail2.len(),
+                                });
+                                for &(c, at) in &breakdowns2 {
+                                    buf2.push(TraceEvent::ChargerFailed {
+                                        at_s: at,
+                                        charger: c,
                                     });
-                                    for e in buf2 {
-                                        trace.push(e);
-                                    }
                                 }
-                                // Ledger: recovery newcomers extend the
-                                // round's request set; a stranded sensor
-                                // completed here counts as recovered.
+                            }
+                            advance_round(
+                                &mut self.net,
+                                t_end,
+                                recovery_len,
+                                &completion_at2,
+                                target_frac,
+                                planned2.as_deref(),
+                                truth2.as_deref_mut(),
+                                &mut dead,
+                                &mut dead_since,
+                                tracing,
+                                &mut buf2,
+                            );
+                            if let (Some(tel), Some(planned), Some(truth)) =
+                                (telemetry.as_mut(), planned2.as_ref(), truth2.as_ref())
+                            {
                                 for &id in &recovery_pending {
-                                    if !in_main[id.index()] {
-                                        request_total += 1;
-                                        if completion_at2[id.index()].is_some() {
-                                            charged_this += 1;
-                                        }
-                                    }
-                                    if completion_at2[id.index()].is_some() {
-                                        recovery_completed.push(id);
+                                    let i = id.index();
+                                    if let Some(c) = completion_at2[i] {
+                                        let s = self.net.sensor(id);
+                                        energy_round += tel.reconcile(
+                                            id,
+                                            s.capacity_j,
+                                            s.consumption_w,
+                                            truth[i],
+                                            planned[i],
+                                            target_frac * s.capacity_j,
+                                            t_end + c.min(recovery_len),
+                                            tracing,
+                                            &mut buf2,
+                                        );
                                     }
                                 }
-                                for &id in &stranded {
+                            }
+                            if tracing {
+                                buf2.sort_by(|a, b| {
+                                    a.at_s().partial_cmp(&b.at_s()).unwrap()
+                                });
+                                for e in buf2 {
+                                    trace.push(e);
+                                }
+                            }
+                            // Ledger: recovery newcomers extend the
+                            // round's request set; a stranded sensor
+                            // completed here counts as recovered.
+                            for &id in &recovery_pending {
+                                if !in_main[id.index()] {
+                                    request_total += 1;
                                     if completion_at2[id.index()].is_some() {
-                                        recovered_this += 1;
+                                        charged_this += 1;
                                     }
+                                }
+                                if completion_at2[id.index()].is_some() {
+                                    recovery_completed.push(id);
+                                }
+                            }
+                            for &id in &stranded {
+                                if completion_at2[id.index()].is_some() {
+                                    recovered_this += 1;
                                 }
                             }
                         }
@@ -1247,7 +1491,7 @@ impl Simulation {
                     longest_delay_s: total_len,
                     total_wait_s: wait_total,
                     sojourn_count: sojourns_total,
-                    energy_delivered_j: energy,
+                    energy_delivered_j: energy_round,
                 });
                 // Chargers replenish themselves before the next dispatch.
                 let turnaround = self.config.charger_turnaround_s;
@@ -1281,6 +1525,7 @@ impl Simulation {
                             channel.as_ref(),
                             telemetry.as_ref(),
                             churn.as_ref(),
+                            energy.as_ref(),
                             &trace,
                         );
                         snap.write_to_dir(dir, rounds.len())
@@ -1386,6 +1631,18 @@ impl Simulation {
             report.reconciled_energy_j = tel.delivered_energy_j;
             report.overcharge_j = tel.overcharge_j;
             report.undercharge_j = tel.undercharge_j;
+        }
+        if let Some(ef) = energy {
+            report.charger_exhaustions = ef.exhaustions;
+            report.depot_recharges = ef.depot_recharges;
+            report.rescue_dispatches = ef.rescues;
+            report.stranded_chargers = ef.stranded_count();
+            report.energy_dropped_stops = ef.dropped_stops;
+            report.charger_initial_j = ef.initial_j;
+            report.charger_recharged_j = ef.recharged_j;
+            report.charger_travel_j = ef.traveled_j;
+            report.charger_transfer_j = ef.transfer_j;
+            report.charger_residual_j = ef.residual_total_j();
         }
         Ok(report)
     }
@@ -2313,4 +2570,187 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         assert_eq!(uninterrupted, resumed, "resumed churned run must be bit-identical");
     }
+
+    #[test]
+    fn invalid_energy_model_is_rejected() {
+        let net = NetworkBuilder::new(5).build();
+        let mut cfg = SimConfig::default();
+        cfg.energy.capacity_j = -1.0;
+        assert!(matches!(
+            Simulation::new(net, cfg).err(),
+            Some(SimConfigError::InvalidEnergyModel(_))
+        ));
+        let mut cfg = SimConfig::default();
+        cfg.energy.transfer_efficiency = 0.0;
+        assert!(matches!(cfg.validate(), Err(SimConfigError::InvalidEnergyModel(_))));
+        // A finite tank that can never be refilled would deadlock the
+        // fleet; the config layer rejects it up front.
+        let mut cfg = SimConfig::default();
+        cfg.energy.capacity_j = 1.0e6;
+        cfg.energy.recharge_w = 0.0;
+        assert!(matches!(cfg.validate(), Err(SimConfigError::InvalidEnergyModel(_))));
+    }
+
+    #[test]
+    fn inert_energy_layer_is_bit_identical() {
+        let run = |energy: wrsn_core::ChargerEnergyModel| {
+            let net = NetworkBuilder::new(80).seed(1).build();
+            let mut cfg = SimConfig::default();
+            cfg.horizon_s = month();
+            cfg.energy = energy;
+            Simulation::new(net, cfg)
+                .unwrap()
+                .run(&Appro::new(PlannerConfig::default()), 2)
+                .unwrap()
+        };
+        // The energy layer is deterministic, so "inert" here means the
+        // infinite-capacity default must not perturb a run no matter
+        // what the other knobs say.
+        let mut tuned = wrsn_core::ChargerEnergyModel::default();
+        tuned.travel_j_per_m = 50.0;
+        tuned.recharge_w = 100.0;
+        tuned.rescue = true;
+        let base = run(wrsn_core::ChargerEnergyModel::default());
+        assert_eq!(base, run(tuned));
+        assert_eq!(base.charger_exhaustions, 0);
+        assert_eq!(base.depot_recharges, 0);
+        assert_eq!(base.rescue_dispatches, 0);
+        assert_eq!(base.energy_dropped_stops, 0);
+        assert_eq!(base.charger_initial_j, 0.0);
+        assert!(base.charger_energy_reconciles());
+    }
+
+    fn tight_energy_config(horizon_days: f64) -> SimConfig {
+        let mut cfg = SimConfig::default();
+        cfg.horizon_s = horizon_days * 24.0 * 3600.0;
+        cfg.collect_trace = true;
+        // 25 kJ sits just above the worst single-stop need (~24 kJ:
+        // twice the return reserve plus one full-deficit transfer at
+        // η = 0.9), so no stop is ever dropped, while any tour chaining
+        // two heavy stops must detour through the depot.
+        cfg.energy.capacity_j = 25.0e3;
+        cfg.energy.travel_j_per_m = 50.0;
+        cfg.energy.transfer_efficiency = 0.9;
+        cfg.energy.recharge_w = 200.0;
+        cfg.energy.rescue = true;
+        // Travel jitter inflates travel drain past the split planner's
+        // unjittered reserve, which is what strands chargers mid-tour.
+        cfg.fault.travel_jitter = 0.5;
+        cfg.fault.seed = 9;
+        cfg
+    }
+
+    #[test]
+    fn tight_capacity_recharges_strands_and_rescues() {
+        let run = || {
+            let net = NetworkBuilder::new(150).seed(7).build();
+            Simulation::new(net, tight_energy_config(120.0))
+                .unwrap()
+                .run(&Appro::new(PlannerConfig::default()), 3)
+                .unwrap()
+        };
+        let report = run();
+        assert!(report.depot_recharges >= 1, "a 25 kJ tank must force depot detours");
+        assert!(report.charger_exhaustions >= 1, "travel jitter must strand a charger");
+        assert!(report.rescue_dispatches >= 1, "a stranded charger must be rescued");
+        assert!(report.charger_energy_reconciles(), "fleet energy ledger must conserve");
+        assert!(report.service_reconciles(), "no request may be silently dropped");
+        assert_eq!(report.trace.exhaustions(), report.charger_exhaustions);
+        assert_eq!(
+            report.trace.rescues(),
+            report.rescue_dispatches,
+            "trace and report must agree on rescues"
+        );
+        assert!(report.charger_recharged_j > 0.0);
+        assert!(report.charger_travel_j > 0.0);
+        assert!(report.charger_transfer_j > 0.0);
+        assert_eq!(report, run(), "energy-active runs are seed-deterministic");
+    }
+
+    #[test]
+    fn energy_checkpoint_resume_is_bit_identical() {
+        let make = || {
+            let net = NetworkBuilder::new(120).seed(21).build();
+            let cfg = tight_energy_config(120.0);
+            (net, cfg)
+        };
+        let planner = Appro::new(PlannerConfig::default());
+
+        let (net, cfg) = make();
+        let uninterrupted = Simulation::new(net, cfg).unwrap().run(&planner, 2).unwrap();
+        assert!(uninterrupted.rounds_dispatched() >= 4, "need rounds to checkpoint");
+        assert!(uninterrupted.depot_recharges >= 1, "energy layer must have acted");
+
+        let dir = std::env::temp_dir().join("wrsn_energy_ckpt_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let (net, cfg) = make();
+        let checkpointed = Simulation::new(net, cfg)
+            .unwrap()
+            .checkpoint_to(&dir, 2)
+            .run(&planner, 2)
+            .unwrap();
+        assert_eq!(uninterrupted, checkpointed, "checkpointing must not perturb");
+
+        let snap = Snapshot::read(&dir.join("checkpoint_round0002.json")).expect("read ckpt");
+        assert!(snap.energy_active(), "snapshot must record the energy layer");
+        let (net, cfg) = make();
+        let resumed = Simulation::new(net, cfg)
+            .unwrap()
+            .resume_from(snap)
+            .run(&planner, 2)
+            .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(uninterrupted, resumed, "resumed energy run must be bit-identical");
+    }
+
+    #[test]
+    fn all_layers_checkpoint_resume_is_bit_identical() {
+        // Every injection layer at once — faults, lossy channel,
+        // imperfect telemetry, topology churn, finite charger energy —
+        // and the run must still checkpoint and resume down to the bit.
+        let make = || {
+            let net = NetworkBuilder::new(120).seed(21).build();
+            let mut cfg = tight_energy_config(120.0);
+            cfg.fault.charger_mtbf_s = 2.0 * cfg.horizon_s;
+            cfg.fault.charger_repair_s = 24.0 * 3600.0;
+            cfg.channel.loss_prob = 0.1;
+            cfg.channel.seed = 17;
+            cfg.telemetry.report_interval_s = 6.0 * 3600.0;
+            cfg.telemetry.noise = 0.05;
+            cfg.telemetry.seed = 29;
+            cfg.churn.sensor_mtbf_s = 2.0 * cfg.horizon_s;
+            cfg.churn.seed = 33;
+            (net, cfg)
+        };
+        let planner = Appro::new(PlannerConfig::default());
+
+        let (net, cfg) = make();
+        let uninterrupted = Simulation::new(net, cfg).unwrap().run(&planner, 2).unwrap();
+        assert!(uninterrupted.rounds_dispatched() >= 4, "need rounds to checkpoint");
+
+        let dir = std::env::temp_dir().join("wrsn_all_layers_ckpt_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let (net, cfg) = make();
+        let resumed = {
+            let checkpointed = Simulation::new(net, cfg)
+                .unwrap()
+                .checkpoint_to(&dir, 2)
+                .run(&planner, 2)
+                .unwrap();
+            assert_eq!(uninterrupted, checkpointed, "checkpointing must not perturb");
+            let snap =
+                Snapshot::read(&dir.join("checkpoint_round0002.json")).expect("read ckpt");
+            assert!(snap.energy_active() && snap.churn_active());
+            let (net, cfg) = make();
+            Simulation::new(net, cfg).unwrap().resume_from(snap).run(&planner, 2).unwrap()
+        };
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(
+            uninterrupted, resumed,
+            "all-layers resumed run must be bit-identical"
+        );
+        assert!(uninterrupted.charger_energy_reconciles());
+        assert!(uninterrupted.service_reconciles());
+    }
+
 }

@@ -40,6 +40,7 @@
 mod async_engine;
 mod channel;
 mod churn;
+mod energy_state;
 mod engine;
 mod fault;
 pub mod fleet;

@@ -105,6 +105,40 @@ pub struct SimReport {
     /// unless the repair logic is broken; the CLI treats a violation
     /// like a ledger imbalance and fails the run.
     pub traffic_violations: usize,
+    /// Mid-tour charger battery exhaustions
+    /// ([`ChargerEnergyModel`](wrsn_core::ChargerEnergyModel)); 0 when
+    /// the energy layer is inert.
+    pub charger_exhaustions: usize,
+    /// Completed depot recharges: mid-tour detours inserted by
+    /// energy-aware tour splitting plus post-rescue refills. Idle
+    /// trickle top-ups between rounds are counted in
+    /// [`SimReport::charger_recharged_j`] but not here.
+    pub depot_recharges: usize,
+    /// Rescue tows dispatched for stranded chargers
+    /// ([`ChargerEnergyModel::rescue`](wrsn_core::ChargerEnergyModel)).
+    pub rescue_dispatches: usize,
+    /// Chargers still stranded in the field at the end of the horizon
+    /// (exhausted and never rescued).
+    pub stranded_chargers: usize,
+    /// Planned stops dropped by energy-aware splitting because even a
+    /// full battery cannot cover the depot round trip plus transfer;
+    /// each re-enters the pending set (and the service ledger as a
+    /// deferral), never silently lost.
+    pub energy_dropped_stops: usize,
+    /// Fleet battery energy at simulation start, joules (`K · capacity`
+    /// or the resumed residuals); 0 when the energy layer is inert.
+    pub charger_initial_j: f64,
+    /// Joules taken on at the depot over the horizon: recharge detours,
+    /// rescue refills, and idle trickle top-ups between rounds.
+    pub charger_recharged_j: f64,
+    /// Battery drain from driving over the horizon, joules (includes
+    /// fault-layer travel inflation).
+    pub charger_travel_j: f64,
+    /// Battery drain from wireless transfer over the horizon, joules —
+    /// delivered energy divided by the transfer efficiency.
+    pub charger_transfer_j: f64,
+    /// Fleet battery energy at the end of the horizon, joules.
+    pub charger_residual_j: f64,
 }
 
 impl SimReport {
@@ -207,6 +241,62 @@ impl SimReport {
     /// repaired, so no audit runs).
     pub fn traffic_conserved(&self) -> bool {
         self.traffic_violations == 0
+    }
+
+    /// Checks the charger energy ledger: every joule a charger battery
+    /// ever held is accounted for,
+    /// `initial + recharged = traveled + transfer + residual` (within
+    /// floating-point tolerance; `transfer` already includes the
+    /// `1/efficiency` conversion loss). Trivially true when the energy
+    /// layer is inert, where all five totals stay 0.
+    pub fn charger_energy_reconciles(&self) -> bool {
+        let lhs = self.charger_initial_j + self.charger_recharged_j;
+        let rhs = self.charger_travel_j + self.charger_transfer_j + self.charger_residual_j;
+        (lhs - rhs).abs() <= 1e-6 * lhs.abs().max(rhs.abs()).max(1.0)
+    }
+
+    /// The first failed run-integrity audit, as a human-readable
+    /// description — or `None` when every ledger reconciles. One place
+    /// decides what makes a run unsound; the CLI turns `Some` into a
+    /// non-zero exit for both engines.
+    pub fn audit_failure(&self) -> Option<String> {
+        if !self.service_reconciles() {
+            let total: usize = self.rounds.iter().map(|r| r.request_count).sum();
+            return Some(format!(
+                "service ledger does not reconcile: {} requests vs {} charged + {} \
+                 recovered + {} deferred + {} shed",
+                total,
+                self.charged_sensors,
+                self.recovered_sensors,
+                self.deferred_sensors,
+                self.shed_sensors
+            ));
+        }
+        if !self.energy_reconciles() {
+            return Some(format!(
+                "telemetry energy ledger does not reconcile: planned {:.3} J vs \
+                 reconciled {:.3} J + overcharge {:.3} J",
+                self.planned_energy_j, self.reconciled_energy_j, self.overcharge_j
+            ));
+        }
+        if !self.traffic_conserved() {
+            return Some(format!(
+                "{} traffic-conservation audits failed after routing repairs",
+                self.traffic_violations
+            ));
+        }
+        if !self.charger_energy_reconciles() {
+            return Some(format!(
+                "charger energy ledger does not reconcile: initial {:.3} J + recharged \
+                 {:.3} J vs traveled {:.3} J + transfer {:.3} J + residual {:.3} J",
+                self.charger_initial_j,
+                self.charger_recharged_j,
+                self.charger_travel_j,
+                self.charger_transfer_j,
+                self.charger_residual_j
+            ));
+        }
+        None
     }
 
     /// Fraction of sensors that were never dead.
@@ -328,6 +418,39 @@ mod tests {
         assert!(r.traffic_conserved());
         r.traffic_violations = 1;
         assert!(!r.traffic_conserved());
+    }
+
+    #[test]
+    fn charger_energy_ledger_reconciliation() {
+        let mut r = SimReport {
+            charger_initial_j: 2_000.0,
+            charger_recharged_j: 500.0,
+            charger_travel_j: 800.0,
+            charger_transfer_j: 1_200.0,
+            charger_residual_j: 500.0,
+            ..Default::default()
+        };
+        assert!(r.charger_energy_reconciles());
+        r.charger_residual_j = 400.0;
+        assert!(!r.charger_energy_reconciles());
+        // Inert energy layer: all totals zero, trivially reconciled.
+        assert!(SimReport::default().charger_energy_reconciles());
+    }
+
+    #[test]
+    fn audit_failure_reports_the_first_broken_ledger() {
+        assert_eq!(SimReport::default().audit_failure(), None);
+        let r = SimReport {
+            rounds: vec![round(1.0)],
+            ..Default::default()
+        };
+        assert!(r.audit_failure().unwrap().contains("service ledger"));
+        let r = SimReport { traffic_violations: 2, ..Default::default() };
+        assert!(r.audit_failure().unwrap().contains("traffic-conservation"));
+        let r = SimReport { charger_initial_j: 100.0, ..Default::default() };
+        assert!(r.audit_failure().unwrap().contains("charger energy ledger"));
+        let r = SimReport { planned_energy_j: 10.0, ..Default::default() };
+        assert!(r.audit_failure().unwrap().contains("telemetry energy ledger"));
     }
 
     #[test]

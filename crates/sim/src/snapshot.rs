@@ -28,6 +28,7 @@ use wrsn_net::{Network, SensorId};
 
 use crate::channel::{ChannelState, InFlight};
 use crate::churn::ChurnState;
+use crate::energy_state::EnergyFleet;
 use crate::fault::FaultState;
 use crate::report::RoundStats;
 use crate::telemetry::EnergyEstimator;
@@ -47,7 +48,13 @@ use crate::{Trace, TraceEvent};
 ///   repaired routing tree itself is not stored — the engine replays
 ///   [`wrsn_net::Network::repair_routing`] with the snapshot's alive
 ///   mask on resume, which reproduces it bit-exactly.
-const FORMAT_VERSION: u64 = 3;
+/// - 4: adds the optional `energy` section (charger-battery state:
+///   per-charger residuals, depot-free instants, stranded flags and
+///   strand distances, plus the fleet energy ledger and counters). The
+///   energy layer draws no random values, so the section carries no RNG
+///   words. Version-1/-2/-3 files are still accepted; they restore with
+///   no energy state, which is exactly the state of a pre-energy run.
+const FORMAT_VERSION: u64 = 4;
 
 /// Oldest format version [`Snapshot::from_json`] still accepts.
 const OLDEST_SUPPORTED_VERSION: u64 = 1;
@@ -121,6 +128,25 @@ pub(crate) struct ChurnSnap {
     pub violations: usize,
 }
 
+/// Checkpointed charger-battery state ([`EnergyFleet`] mid-run). The
+/// energy layer is fully deterministic, so unlike the other sections
+/// there are no RNG words to save.
+#[derive(Clone, Debug)]
+pub(crate) struct EnergySnap {
+    pub residual_j: Vec<f64>,
+    pub free_at: Vec<f64>,
+    pub stranded: Vec<bool>,
+    pub strand_dist_m: Vec<f64>,
+    pub initial_j: f64,
+    pub recharged_j: f64,
+    pub traveled_j: f64,
+    pub transfer_j: f64,
+    pub exhaustions: usize,
+    pub depot_recharges: usize,
+    pub rescues: usize,
+    pub dropped_stops: usize,
+}
+
 /// Checkpointed request-channel state ([`ChannelState`] mid-run).
 #[derive(Clone, Debug)]
 pub(crate) struct ChannelSnap {
@@ -163,6 +189,7 @@ pub struct Snapshot {
     pub(crate) channel: Option<ChannelSnap>,
     pub(crate) telemetry: Option<TelemetrySnap>,
     pub(crate) churn: Option<ChurnSnap>,
+    pub(crate) energy: Option<EnergySnap>,
     pub(crate) trace_dropped: usize,
     pub(crate) trace_events: Vec<TraceEvent>,
 }
@@ -276,6 +303,15 @@ fn event_to_json(e: &TraceEvent) -> Value {
         TraceEvent::SensorPartitioned { at_s, sensor } => {
             vec![Value::from("sp"), bits(at_s), uint(sensor.index())]
         }
+        TraceEvent::ChargerExhausted { at_s, charger } => {
+            vec![Value::from("ce"), bits(at_s), uint(charger)]
+        }
+        TraceEvent::DepotRecharge { at_s, charger, recharged_j } => {
+            vec![Value::from("dr"), bits(at_s), uint(charger), bits(recharged_j)]
+        }
+        TraceEvent::RescueDispatched { at_s, rescuer, stranded } => {
+            vec![Value::from("rx"), bits(at_s), uint(rescuer), uint(stranded)]
+        }
     };
     Value::Array(v)
 }
@@ -371,6 +407,20 @@ fn event_of(v: &Value) -> Result<TraceEvent, SnapshotError> {
             at_s: f64_of(field(1)?, "trace time")?,
             sensor: sensor_id_of(field(2)?)?,
         },
+        "ce" => TraceEvent::ChargerExhausted {
+            at_s: f64_of(field(1)?, "trace time")?,
+            charger: usize_of(field(2)?, "trace charger")?,
+        },
+        "dr" => TraceEvent::DepotRecharge {
+            at_s: f64_of(field(1)?, "trace time")?,
+            charger: usize_of(field(2)?, "trace charger")?,
+            recharged_j: f64_of(field(3)?, "trace recharge")?,
+        },
+        "rx" => TraceEvent::RescueDispatched {
+            at_s: f64_of(field(1)?, "trace time")?,
+            rescuer: usize_of(field(2)?, "trace rescuer")?,
+            stranded: usize_of(field(3)?, "trace stranded")?,
+        },
         _ => return Err(SnapshotError::Corrupt("unknown trace event tag")),
     };
     Ok(e)
@@ -401,6 +451,7 @@ impl Snapshot {
         channel: Option<&ChannelState>,
         telemetry: Option<&EnergyEstimator>,
         churn: Option<&ChurnState>,
+        energy: Option<&EnergyFleet>,
         trace: &Trace,
     ) -> Snapshot {
         Snapshot {
@@ -461,6 +512,20 @@ impl Snapshot {
                 partitioned: cs.partitioned,
                 violations: cs.violations,
             }),
+            energy: energy.map(|ef| EnergySnap {
+                residual_j: ef.residual_j.clone(),
+                free_at: ef.free_at.clone(),
+                stranded: ef.stranded.clone(),
+                strand_dist_m: ef.strand_dist_m.clone(),
+                initial_j: ef.initial_j,
+                recharged_j: ef.recharged_j,
+                traveled_j: ef.traveled_j,
+                transfer_j: ef.transfer_j,
+                exhaustions: ef.exhaustions,
+                depot_recharges: ef.depot_recharges,
+                rescues: ef.rescues,
+                dropped_stops: ef.dropped_stops,
+            }),
             trace_dropped: trace.dropped(),
             trace_events: trace.iter().copied().collect(),
         }
@@ -481,6 +546,13 @@ impl Snapshot {
     /// flags contradict the snapshot's recorded models.
     pub fn churn_active(&self) -> bool {
         self.churn.is_some()
+    }
+
+    /// Whether the snapshot was taken by a run with an active charger
+    /// energy layer. The CLI uses this to reject a `--resume` whose
+    /// flags contradict the snapshot's recorded models.
+    pub fn energy_active(&self) -> bool {
+        self.energy.is_some()
     }
 
     /// Serializes to the on-disk JSON document.
@@ -633,6 +705,28 @@ impl Snapshot {
                 Value::Object(m)
             }),
         );
+        root.insert(
+            "energy".into(),
+            self.energy.as_ref().map_or(Value::Null, |e| {
+                let mut m = Map::new();
+                m.insert("residual".into(), bits_vec(&e.residual_j));
+                m.insert("free_at".into(), bits_vec(&e.free_at));
+                m.insert(
+                    "stranded".into(),
+                    Value::Array(e.stranded.iter().map(|&b| Value::Bool(b)).collect()),
+                );
+                m.insert("strand_dist".into(), bits_vec(&e.strand_dist_m));
+                m.insert("initial".into(), bits(e.initial_j));
+                m.insert("recharged".into(), bits(e.recharged_j));
+                m.insert("traveled".into(), bits(e.traveled_j));
+                m.insert("transfer".into(), bits(e.transfer_j));
+                m.insert("exhaustions".into(), uint(e.exhaustions));
+                m.insert("depot_recharges".into(), uint(e.depot_recharges));
+                m.insert("rescues".into(), uint(e.rescues));
+                m.insert("dropped_stops".into(), uint(e.dropped_stops));
+                Value::Object(m)
+            }),
+        );
         let mut tr = Map::new();
         tr.insert("dropped".into(), uint(self.trace_dropped));
         tr.insert(
@@ -781,6 +875,29 @@ impl Snapshot {
                 violations: usize_of(&c["violations"], "churn violations")?,
             }),
         };
+        // Version-1/-2/-3 files have no "energy" key; indexing a missing
+        // key yields Null, so both "absent" and explicit null restore as
+        // None.
+        let energy = match &v["energy"] {
+            Value::Null => None,
+            e => Some(EnergySnap {
+                residual_j: f64_vec(&e["residual"], "energy residuals")?,
+                free_at: f64_vec(&e["free_at"], "energy free times")?,
+                stranded: array(&e["stranded"], "energy stranded mask")?
+                    .iter()
+                    .map(|b| bool_of(b, "energy stranded mask"))
+                    .collect::<Result<_, _>>()?,
+                strand_dist_m: f64_vec(&e["strand_dist"], "energy strand distances")?,
+                initial_j: f64_of(&e["initial"], "energy initial")?,
+                recharged_j: f64_of(&e["recharged"], "energy recharged")?,
+                traveled_j: f64_of(&e["traveled"], "energy traveled")?,
+                transfer_j: f64_of(&e["transfer"], "energy transfer")?,
+                exhaustions: usize_of(&e["exhaustions"], "energy exhaustions")?,
+                depot_recharges: usize_of(&e["depot_recharges"], "energy recharge count")?,
+                rescues: usize_of(&e["rescues"], "energy rescues")?,
+                dropped_stops: usize_of(&e["dropped_stops"], "energy dropped stops")?,
+            }),
+        };
         let trace_events = array(&v["trace"]["events"], "trace events")?
             .iter()
             .map(event_of)
@@ -816,6 +933,7 @@ impl Snapshot {
             channel,
             telemetry,
             churn,
+            energy,
             trace_dropped: usize_of(&v["trace"]["dropped"], "trace dropped")?,
             trace_events,
         })
@@ -941,6 +1059,20 @@ mod tests {
                 partitioned: 1,
                 violations: 0,
             }),
+            energy: Some(EnergySnap {
+                residual_j: vec![250_000.0, 0.0],
+                free_at: vec![12_000.0, 13_500.0],
+                stranded: vec![false, true],
+                strand_dist_m: vec![0.0, 42.5],
+                initial_j: 800_000.0,
+                recharged_j: 150_000.0,
+                traveled_j: 300_000.0,
+                transfer_j: 400_000.0,
+                exhaustions: 1,
+                depot_recharges: 2,
+                rescues: 1,
+                dropped_stops: 3,
+            }),
             trace_dropped: 2,
             trace_events: vec![
                 TraceEvent::RoundDispatched { at_s: 0.0, round: 0, requests: 3 },
@@ -976,6 +1108,9 @@ mod tests {
                     factor: 1.75,
                 },
                 TraceEvent::SensorPartitioned { at_s: 13.0, sensor: SensorId(1) },
+                TraceEvent::ChargerExhausted { at_s: 14.0, charger: 1 },
+                TraceEvent::RescueDispatched { at_s: 15.0, rescuer: 0, stranded: 1 },
+                TraceEvent::DepotRecharge { at_s: 15.0, charger: 1, recharged_j: 640_000.0 },
             ],
         }
     }
@@ -1033,6 +1168,19 @@ mod tests {
         assert_eq!(ua.cascades, ub.cascades);
         assert_eq!(ua.partitioned, ub.partitioned);
         assert_eq!(ua.violations, ub.violations);
+        let (ea, eb) = (a.energy.as_ref().unwrap(), b.energy.as_ref().unwrap());
+        assert_eq!(bits_of(&ea.residual_j), bits_of(&eb.residual_j));
+        assert_eq!(bits_of(&ea.free_at), bits_of(&eb.free_at));
+        assert_eq!(ea.stranded, eb.stranded);
+        assert_eq!(bits_of(&ea.strand_dist_m), bits_of(&eb.strand_dist_m));
+        assert_eq!(ea.initial_j.to_bits(), eb.initial_j.to_bits());
+        assert_eq!(ea.recharged_j.to_bits(), eb.recharged_j.to_bits());
+        assert_eq!(ea.traveled_j.to_bits(), eb.traveled_j.to_bits());
+        assert_eq!(ea.transfer_j.to_bits(), eb.transfer_j.to_bits());
+        assert_eq!(ea.exhaustions, eb.exhaustions);
+        assert_eq!(ea.depot_recharges, eb.depot_recharges);
+        assert_eq!(ea.rescues, eb.rescues);
+        assert_eq!(ea.dropped_stops, eb.dropped_stops);
     }
 
     #[test]
@@ -1181,6 +1329,108 @@ mod tests {
         }
         let back = Snapshot::from_json(&v).expect("null telemetry must parse");
         assert!(back.telemetry.is_none());
+    }
+
+    #[test]
+    fn version_3_without_energy_key_still_parses() {
+        // A file written by the previous release: version 3, no "energy"
+        // key at all (not even an explicit null), and none of the PR 6
+        // trace tags. It must restore with `energy: None`. The vendored
+        // Map has no `remove`, so rebuild the document entry by entry,
+        // skipping/patching as a v3 writer would.
+        let v = sample().to_json();
+        let mut root = Map::new();
+        root.insert("version".into(), Value::Number(Number::U(3)));
+        if let Value::Object(m) = &v {
+            for (key, val) in m.iter() {
+                match key.as_str() {
+                    "version" | "energy" => {}
+                    "trace" => {
+                        let mut tr = Map::new();
+                        tr.insert("dropped".into(), val["dropped"].clone());
+                        let events = val["events"]
+                            .as_array()
+                            .expect("trace events array")
+                            .iter()
+                            .filter(|e| {
+                                !matches!(
+                                    e.as_array()
+                                        .and_then(|a| a.first())
+                                        .and_then(Value::as_str),
+                                    Some("ce" | "dr" | "rx")
+                                )
+                            })
+                            .cloned()
+                            .collect();
+                        tr.insert("events".into(), Value::Array(events));
+                        root.insert(key.clone(), Value::Object(tr));
+                    }
+                    _ => root.insert(key.clone(), val.clone()),
+                }
+            }
+        }
+        let v = Value::Object(root);
+        let back = Snapshot::from_json(&v).expect("v3 snapshot must parse");
+        assert!(back.energy.is_none());
+        assert!(!back.energy_active());
+        assert!(back.churn.is_some(), "v3 churn section must survive");
+        assert_eq!(back.round, sample().round);
+        assert!(back
+            .trace_events
+            .iter()
+            .all(|e| !matches!(e, TraceEvent::ChargerExhausted { .. })));
+    }
+
+    #[test]
+    fn explicit_null_energy_parses_as_none() {
+        let mut v = sample().to_json();
+        if let Value::Object(m) = &mut v {
+            m.insert("energy".into(), Value::Null);
+        }
+        let back = Snapshot::from_json(&v).expect("null energy must parse");
+        assert!(back.energy.is_none());
+        assert!(!back.energy_active());
+    }
+
+    #[test]
+    fn truncated_file_is_clean_json_error() {
+        // A checkpoint chopped mid-write (e.g. by a full disk bypassing
+        // the atomic rename) must surface as a typed error, not a panic.
+        let dir = std::env::temp_dir().join("wrsn_snapshot_truncated_test");
+        let snap = sample();
+        let path = snap.write_to_dir(&dir, snap.round()).expect("write");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        let cut = path.with_extension("truncated.json");
+        std::fs::write(&cut, &body[..body.len() / 2]).expect("write truncated");
+        let err = Snapshot::read(&cut).unwrap_err();
+        assert!(matches!(err, SnapshotError::Json(_)), "got {err:?}");
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(cut).ok();
+    }
+
+    #[test]
+    fn bit_flipped_file_is_clean_error() {
+        // Flip one byte inside the document body: depending on where it
+        // lands this is either invalid JSON or a corrupt/mis-typed field,
+        // but it must never panic and never parse back bit-identical.
+        let dir = std::env::temp_dir().join("wrsn_snapshot_bitflip_test");
+        let snap = sample();
+        let path = snap.write_to_dir(&dir, snap.round()).expect("write");
+        let mut body = std::fs::read(&path).expect("read back");
+        // Corrupt the "version" key itself: a structurally valid
+        // document with an unknown shape, the worst case for a parser.
+        let pos = body.windows(9).position(|w| w == b"\"version\"").expect("version key") + 1;
+        body[pos] = b'x';
+        let bad = path.with_extension("bitflip.json");
+        std::fs::write(&bad, &body).expect("write corrupted");
+        match Snapshot::read(&bad) {
+            Err(
+                SnapshotError::Json(_) | SnapshotError::Corrupt(_) | SnapshotError::Version(_),
+            ) => {}
+            other => panic!("expected a typed error, got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(bad).ok();
     }
 
     #[test]

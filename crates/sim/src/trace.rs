@@ -189,6 +189,37 @@ pub enum TraceEvent {
         /// The partitioned survivor.
         sensor: SensorId,
     },
+    /// A mobile charger's battery hit zero mid-tour
+    /// ([`ChargerEnergyModel`](wrsn_core::ChargerEnergyModel)): it is
+    /// stranded where it stopped, its unfinished sojourns re-enter the
+    /// pending set, and it only returns to service if rescued.
+    ChargerExhausted {
+        /// Simulation time of the exhaustion, seconds.
+        at_s: f64,
+        /// The stranded charger's index.
+        charger: usize,
+    },
+    /// A charger completed a depot recharge: either a mid-tour detour
+    /// inserted by energy-aware tour splitting, or the refill after a
+    /// rescue tow.
+    DepotRecharge {
+        /// Simulation time the recharge completed, seconds.
+        at_s: f64,
+        /// The recharged charger's index.
+        charger: usize,
+        /// Joules taken on.
+        recharged_j: f64,
+    },
+    /// An energy-feasible MCV was dispatched to tow a stranded,
+    /// exhausted peer back to the depot.
+    RescueDispatched {
+        /// Simulation time of the rescue dispatch, seconds.
+        at_s: f64,
+        /// The charger performing the tow.
+        rescuer: usize,
+        /// The stranded charger being towed home.
+        stranded: usize,
+    },
 }
 
 impl TraceEvent {
@@ -211,7 +242,10 @@ impl TraceEvent {
             | TraceEvent::SensorFailed { at_s, .. }
             | TraceEvent::RoutingRepaired { at_s, .. }
             | TraceEvent::CascadeDetected { at_s, .. }
-            | TraceEvent::SensorPartitioned { at_s, .. } => at_s,
+            | TraceEvent::SensorPartitioned { at_s, .. }
+            | TraceEvent::ChargerExhausted { at_s, .. }
+            | TraceEvent::DepotRecharge { at_s, .. }
+            | TraceEvent::RescueDispatched { at_s, .. } => at_s,
         }
     }
 }
@@ -350,6 +384,21 @@ impl Trace {
         self.iter().filter(|e| matches!(e, TraceEvent::SensorPartitioned { .. })).count()
     }
 
+    /// Count of mid-tour charger battery exhaustions.
+    pub fn exhaustions(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::ChargerExhausted { .. })).count()
+    }
+
+    /// Count of completed depot recharges (detours and rescue refills).
+    pub fn depot_recharges(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::DepotRecharge { .. })).count()
+    }
+
+    /// Count of rescue tows dispatched for stranded chargers.
+    pub fn rescues(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::RescueDispatched { .. })).count()
+    }
+
     /// Rebuilds a trace from checkpointed parts (snapshot restore).
     pub(crate) fn from_parts(
         capacity: usize,
@@ -485,6 +534,19 @@ mod tests {
         assert_eq!(t.cascades(), 1);
         assert_eq!(t.partitions(), 1);
         assert_eq!(t.iter().last().unwrap().at_s(), 2.0);
+    }
+
+    #[test]
+    fn energy_event_counters() {
+        let mut t = Trace::default();
+        t.push(TraceEvent::DepotRecharge { at_s: 1.0, charger: 0, recharged_j: 500.0 });
+        t.push(TraceEvent::ChargerExhausted { at_s: 2.0, charger: 1 });
+        t.push(TraceEvent::RescueDispatched { at_s: 3.0, rescuer: 0, stranded: 1 });
+        t.push(TraceEvent::DepotRecharge { at_s: 4.0, charger: 1, recharged_j: 1_000.0 });
+        assert_eq!(t.exhaustions(), 1);
+        assert_eq!(t.depot_recharges(), 2);
+        assert_eq!(t.rescues(), 1);
+        assert_eq!(t.iter().last().unwrap().at_s(), 4.0);
     }
 
     #[test]

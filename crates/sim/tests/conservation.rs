@@ -1,6 +1,7 @@
 //! Physical-conservation and cross-engine consistency tests for the
 //! simulators.
 
+use proptest::prelude::*;
 use wrsn_core::{Appro, PlannerConfig};
 use wrsn_net::NetworkBuilder;
 use wrsn_sim::{AsyncSimulation, SimConfig, Simulation};
@@ -100,6 +101,78 @@ fn rounds_cover_the_horizon_without_overlap() {
     // The last dispatch must start within the horizon.
     if let Some(last) = report.rounds.last() {
         assert!(last.dispatch_time_s < cfg.horizon_s);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under any combination of finite charger energy, charger faults
+    /// and sensor churn, both engines keep their books: the per-charger
+    /// energy ledger conserves (initial + recharged = traveled +
+    /// transferred/η + residual) and no request is silently dropped,
+    /// even when a charger strands mid-tour or splitting drops stops a
+    /// full battery cannot reach. `inert_sel == 0` covers the infinite
+    /// tank; finite tanks sweep from generous down past the worst
+    /// single-stop need, exercising the dropped-stop and refill-wait
+    /// paths too.
+    #[test]
+    fn charger_ledger_conserves_under_fault_churn_energy(
+        energy_raw in (
+            0u8..5,
+            15.0e3..45.0e3f64,
+            20.0..60.0f64,
+            0.7..1.0f64,
+            50.0..400.0f64,
+            any::<bool>(),
+        ),
+        seeds in (1u64..200, 0u64..100, 0u64..100),
+        jitter in 0.0..0.5f64,
+        toggles in (any::<bool>(), any::<bool>(), any::<bool>()),
+    ) {
+        let (inert_sel, capacity_j, travel_j_per_m, transfer_efficiency, recharge_w, rescue) =
+            energy_raw;
+        let (net_seed, fault_seed, churn_seed) = seeds;
+        let (faults_on, churn_on, use_async) = toggles;
+        let net = NetworkBuilder::new(60).seed(net_seed).build();
+        let mut cfg = SimConfig::default();
+        cfg.horizon_s = days(20.0);
+        if inert_sel > 0 {
+            cfg.energy = wrsn_core::ChargerEnergyModel {
+                capacity_j,
+                travel_j_per_m,
+                transfer_efficiency,
+                recharge_w,
+                rescue,
+            };
+        }
+        cfg.fault.travel_jitter = jitter;
+        cfg.fault.seed = fault_seed;
+        if faults_on {
+            cfg.fault.charger_mtbf_s = cfg.horizon_s;
+            cfg.fault.charger_repair_s = 12.0 * 3600.0;
+        }
+        if churn_on {
+            cfg.churn.sensor_mtbf_s = 4.0 * cfg.horizon_s;
+            cfg.churn.seed = churn_seed;
+        }
+        let planner = Appro::new(PlannerConfig::default());
+        let report = if use_async {
+            AsyncSimulation::new(net, cfg).unwrap().run(&planner, 2).unwrap()
+        } else {
+            Simulation::new(net, cfg).unwrap().run(&planner, 2).unwrap()
+        };
+        prop_assert!(
+            report.charger_energy_reconciles(),
+            "charger ledger: initial {} + recharged {} != traveled {} + transfer {} + residual {}",
+            report.charger_initial_j,
+            report.charger_recharged_j,
+            report.charger_travel_j,
+            report.charger_transfer_j,
+            report.charger_residual_j,
+        );
+        prop_assert!(report.service_reconciles(), "request silently lost");
+        prop_assert_eq!(report.audit_failure(), None);
     }
 }
 

@@ -226,6 +226,43 @@ fn inert_churn_matches_pinned_digests() {
     }
 }
 
+/// The charger energy layer (`ChargerEnergyModel`) is held to a stricter
+/// version of the same contract: the layer is fully deterministic (it
+/// never draws RNG values, active or not), so with the default infinite
+/// capacity every pinned digest must survive even with all the *other*
+/// knobs — travel cost, transfer efficiency, recharge rate, rescue —
+/// explicitly populated, on both engines.
+#[test]
+fn inert_energy_matches_pinned_digests() {
+    let mut energy = wrsn_core::ChargerEnergyModel::default();
+    energy.travel_j_per_m = 50.0; // priced travel with nothing to bound
+    energy.transfer_efficiency = 0.9;
+    energy.recharge_w = 200.0;
+    energy.rescue = true;
+    let run = |seed: u64, kind: PlannerKind, sync: bool| {
+        let planner = kind.build(PlannerConfig::default());
+        let mut cfg = sim_config();
+        cfg.energy = energy;
+        let report = if sync {
+            Simulation::new(network(seed), cfg)
+                .expect("valid config")
+                .run(planner.as_ref(), K)
+                .expect("planners are complete")
+        } else {
+            AsyncSimulation::new(network(seed), cfg)
+                .expect("valid config")
+                .run(planner.as_ref(), K)
+                .expect("planners are complete")
+        };
+        digest(&report)
+    };
+    let kind = PlannerKind::all()[0];
+    for (s, &seed) in SEEDS.iter().enumerate() {
+        assert_eq!(run(seed, kind, true), EXPECTED_SYNC[0][s], "sync drift, seed {seed}");
+        assert_eq!(run(seed, kind, false), EXPECTED_ASYNC[0][s], "async drift, seed {seed}");
+    }
+}
+
 /// Regenerates the tables above: `cargo test --test regression -- --ignored --nocapture`.
 #[test]
 #[ignore = "digest printer, run manually to refresh the pinned tables"]

@@ -11,7 +11,7 @@
 
 use crate::mst::prim_metric;
 use crate::tsp;
-use wrsn_geom::{DistanceMatrix, Metric};
+use wrsn_geom::Metric;
 
 /// Builds a closed tour with the MST + greedy-matching + Euler-shortcut
 /// construction, followed by 2-opt descent.
@@ -43,9 +43,10 @@ pub fn christofides_tour(dist: &[Vec<f64>], improvement_passes: usize) -> Vec<us
     christofides_tour_metric(dist, improvement_passes)
 }
 
-/// [`christofides_tour`] on a memoized [`DistanceMatrix`].
-pub fn christofides_tour_with_matrix(
-    dist: &DistanceMatrix,
+/// [`christofides_tour`] on any [`Metric`] — historically a memoized
+/// [`DistanceMatrix`], now also on-demand (sparse) distance sources.
+pub fn christofides_tour_with_matrix<M: Metric + ?Sized>(
+    dist: &M,
     improvement_passes: usize,
 ) -> Vec<usize> {
     christofides_tour_metric(dist, improvement_passes)

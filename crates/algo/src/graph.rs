@@ -1,6 +1,6 @@
 //! Compact undirected graphs.
 
-use wrsn_geom::{DistanceMatrix, GridIndex, Metric, Point};
+use wrsn_geom::{GridIndex, Metric, Point};
 
 /// An undirected graph over vertices `0..n`, stored as sorted adjacency
 /// lists.
@@ -73,15 +73,16 @@ impl Graph {
         g
     }
 
-    /// The unit-disk graph over the points of a memoized
-    /// [`DistanceMatrix`]: `i` and `j` adjacent iff
-    /// `dist.at(i, j) <= radius` (boundary inclusive). Produces the same
-    /// graph as [`Graph::unit_disk`] on the underlying points.
+    /// The unit-disk graph over the points of any [`Metric`]
+    /// (historically a memoized [`DistanceMatrix`]): `i` and `j`
+    /// adjacent iff `dist.at(i, j) <= radius` (boundary inclusive).
+    /// Produces the same graph as [`Graph::unit_disk`] on the underlying
+    /// points.
     ///
     /// # Panics
     ///
     /// Panics if `radius` is negative or non-finite.
-    pub fn unit_disk_with_matrix(dist: &DistanceMatrix, radius: f64) -> Self {
+    pub fn unit_disk_with_matrix<M: Metric + ?Sized>(dist: &M, radius: f64) -> Self {
         assert!(radius.is_finite() && radius >= 0.0, "radius must be non-negative");
         let n = dist.len();
         let mut g = Graph::empty(n);
@@ -194,6 +195,7 @@ impl Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wrsn_geom::DistanceMatrix;
 
     #[test]
     fn empty_graph() {

@@ -8,7 +8,7 @@
 use rand::distributions::{Distribution, WeightedIndex};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
-use wrsn_geom::{DistanceMatrix, Metric, Point};
+use wrsn_geom::{Metric, Point};
 
 /// Result of a k-means run.
 #[derive(Clone, Debug, PartialEq)]
@@ -179,8 +179,8 @@ impl KMedoids {
 /// # Panics
 ///
 /// Panics if `k == 0`.
-pub fn kmedoids_with_matrix(
-    dist: &DistanceMatrix,
+pub fn kmedoids_with_matrix<M: Metric + ?Sized>(
+    dist: &M,
     k: usize,
     seed: u64,
     max_iters: usize,
@@ -262,6 +262,7 @@ pub fn kmedoids_with_matrix(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wrsn_geom::DistanceMatrix;
 
     fn two_blobs() -> Vec<Point> {
         let mut pts = Vec::new();

@@ -19,7 +19,7 @@
 //! 4. the smallest `λ` needing at most `K` segments yields the tours.
 
 use crate::tsp;
-use wrsn_geom::{DistanceMatrix, Metric};
+use wrsn_geom::{Metric, VirtualNodeMetric};
 
 /// A solution to the min–max `K` rooted tour problem.
 #[derive(Clone, Debug, PartialEq)]
@@ -149,12 +149,14 @@ pub fn min_max_ktours(
     min_max_ktours_along(dist, depot, service, k, &order)
 }
 
-/// [`min_max_ktours`] on a memoized [`DistanceMatrix`], avoiding the
-/// nested-matrix copy: the depot is appended as a virtual node via
-/// [`DistanceMatrix::with_virtual_node`] (same values, same index
-/// layout, hence the same tour bit for bit).
-pub fn min_max_ktours_with_matrix(
-    dist: &DistanceMatrix,
+/// [`min_max_ktours`] on any [`Metric`] (historically a memoized
+/// [`DistanceMatrix`]), avoiding the nested-matrix copy: the depot is
+/// appended as a virtual node via a borrowed [`VirtualNodeMetric`] view
+/// (same values, same index layout as
+/// [`DistanceMatrix::with_virtual_node`], hence the same tour bit for
+/// bit).
+pub fn min_max_ktours_with_matrix<M: Metric + ?Sized>(
+    dist: &M,
     depot: &[f64],
     service: &[f64],
     k: usize,
@@ -165,7 +167,7 @@ pub fn min_max_ktours_with_matrix(
         assert!(k >= 1, "need at least one vehicle");
         return KTourSolution { tours: vec![Vec::new(); k], max_delay: 0.0 };
     }
-    let ext = dist.with_virtual_node(depot);
+    let ext = VirtualNodeMetric::new(dist, depot);
     let mut tour = tsp::build_tour(&ext, improvement_passes);
     let dpos = tour.iter().position(|&v| v == n).expect("depot in tour");
     tour.rotate_left(dpos);
@@ -222,7 +224,15 @@ pub fn min_max_ktours_along<M: Metric + ?Sized>(
     }
     let mut tours =
         split_with_bound(dist, depot, service, &order, hi).expect("hi is feasible");
-    debug_assert!(tours.len() <= k);
+    // `hi0` (one tour over the whole path) is summed in a different
+    // order than the splitter's incremental cost, so on long paths
+    // floating-point drift can make the greedy split exceed `k`
+    // segments by one. Merge the overflow into the last kept tour —
+    // never truncate, which would silently drop nodes.
+    while tours.len() > k {
+        let tail = tours.pop().expect("len > k >= 1");
+        tours.last_mut().expect("len >= 1").extend(tail);
+    }
     tours.resize(k, Vec::new());
 
     let max_delay = tours
@@ -417,5 +427,49 @@ mod tests {
     fn along_rejects_bad_orders() {
         let d = vec![vec![0.0]];
         let _ = super::min_max_ktours_along(&d, &[0.0], &[0.0], 1, &[0, 0]);
+    }
+
+    #[test]
+    fn float_drift_never_drops_nodes() {
+        // The splitter accumulates a tour's cost incrementally, in a
+        // different summation order than `tour_delay`. On long tours
+        // with large magnitudes the incremental sum can round above the
+        // binary search's upper bound, making the final split produce
+        // k+1 segments — which `resize(k)` used to silently truncate,
+        // dropping nodes. Trial 69 below hits exactly that drift (the
+        // incremental cost of the whole path exceeds `tour_delay` of
+        // the same path by more than the 1e-9 tolerance); the fix
+        // merges the overflow instead. Keep every trial: the non-drifting
+        // ones pin the ordinary path.
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let n = 50;
+        for trial in 0..=69 {
+            let pts: Vec<(f64, f64)> =
+                (0..n).map(|_| (next() * 10_000.0, next() * 10_000.0)).collect();
+            let dist: Vec<Vec<f64>> = (0..n)
+                .map(|i| {
+                    (0..n)
+                        .map(|j| {
+                            let dx = pts[i].0 - pts[j].0;
+                            let dy = pts[i].1 - pts[j].1;
+                            (dx * dx + dy * dy).sqrt() / 5.0
+                        })
+                        .collect()
+                })
+                .collect();
+            let depot: Vec<f64> =
+                pts.iter().map(|p| (p.0 * p.0 + p.1 * p.1).sqrt() / 5.0).collect();
+            let service: Vec<f64> = (0..n).map(|_| 1_000.0 + next() * 80_000.0).collect();
+            let order: Vec<usize> = (0..n).collect();
+            let sol = super::min_max_ktours_along(&dist, &depot, &service, 1, &order);
+            assert_eq!(sol.tours.len(), 1, "trial {trial}");
+            assert!(coverage(&sol.tours, n), "trial {trial} dropped nodes");
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Prim's minimum spanning tree on a dense metric.
 
-use wrsn_geom::{DistanceMatrix, Metric};
+use wrsn_geom::Metric;
 
 /// A minimum spanning tree of a complete graph given by a dense,
 /// symmetric distance matrix.
@@ -111,8 +111,9 @@ pub fn prim_metric<M: Metric + ?Sized>(dist: &M, root: usize) -> Mst {
     Mst { parent, root, weight }
 }
 
-/// [`prim`] on a memoized [`DistanceMatrix`].
-pub fn prim_with_matrix(dist: &DistanceMatrix, root: usize) -> Mst {
+/// [`prim`] on any [`Metric`] — historically a memoized
+/// [`DistanceMatrix`], now also on-demand (sparse) distance sources.
+pub fn prim_with_matrix<M: Metric + ?Sized>(dist: &M, root: usize) -> Mst {
     prim_metric(dist, root)
 }
 

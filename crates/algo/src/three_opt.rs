@@ -6,7 +6,7 @@
 //! sweeps, O(n³) per pass — use on the moderate tour sizes of the k-tour
 //! core (hundreds of nodes), not on raw 10⁴-node inputs.
 
-use wrsn_geom::{DistanceMatrix, Metric};
+use wrsn_geom::Metric;
 
 /// One 3-opt reconnection case; `a..b`, `b..c`, `c..` (wrapping) are the
 /// three arcs obtained by cutting after positions `i`, `j`, `k`.
@@ -114,8 +114,13 @@ pub fn two_then_three_opt<M: Metric + ?Sized>(
     three_opt(dist, tour, max_passes);
 }
 
-/// [`three_opt`] on a memoized [`DistanceMatrix`].
-pub fn three_opt_with_matrix(dist: &DistanceMatrix, tour: &mut Vec<usize>, max_passes: usize) {
+/// [`three_opt`] on any [`Metric`] — historically a memoized
+/// [`DistanceMatrix`], now also on-demand (sparse) distance sources.
+pub fn three_opt_with_matrix<M: Metric + ?Sized>(
+    dist: &M,
+    tour: &mut Vec<usize>,
+    max_passes: usize,
+) {
     three_opt(dist, tour, max_passes);
 }
 

@@ -20,7 +20,7 @@
 //! interchangeably — with identical float operations, hence identical
 //! tours.
 
-use wrsn_geom::{DistanceMatrix, Metric};
+use wrsn_geom::Metric;
 
 /// Total length of the closed tour `tour` under metric `dist`.
 ///
@@ -253,13 +253,21 @@ pub fn build_tour<M: Metric + ?Sized>(dist: &M, improvement_passes: usize) -> Ve
     tour
 }
 
-/// [`build_tour`] on a memoized [`DistanceMatrix`].
-pub fn build_tour_with_matrix(dist: &DistanceMatrix, improvement_passes: usize) -> Vec<usize> {
+/// [`build_tour`] on any [`Metric`] — historically a memoized
+/// [`DistanceMatrix`], now also on-demand (sparse) distance sources.
+pub fn build_tour_with_matrix<M: Metric + ?Sized>(
+    dist: &M,
+    improvement_passes: usize,
+) -> Vec<usize> {
     build_tour(dist, improvement_passes)
 }
 
-/// [`two_opt`] on a memoized [`DistanceMatrix`].
-pub fn two_opt_with_matrix(dist: &DistanceMatrix, tour: &mut [usize], max_passes: usize) {
+/// [`two_opt`] on any [`Metric`] (see [`build_tour_with_matrix`]).
+pub fn two_opt_with_matrix<M: Metric + ?Sized>(
+    dist: &M,
+    tour: &mut [usize],
+    max_passes: usize,
+) {
     two_opt(dist, tour, max_passes);
 }
 

@@ -33,7 +33,7 @@ impl Planner for KMinMax {
         if problem.is_empty() {
             return Ok(Schedule::idle(k));
         }
-        let dist = problem.context().travel_time_matrix();
+        let dist = problem.context().try_travel_time_matrix()?;
         let depot = problem.depot_travel_vector();
         let service: Vec<f64> =
             (0..problem.len()).map(|i| problem.charge_duration(i)).collect();

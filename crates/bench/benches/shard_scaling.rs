@@ -1,0 +1,132 @@
+//! n-scaling sweep for sparse-context sharded planning.
+//!
+//! For each instance size `n` the sweep builds a constant-density field
+//! (the paper's 600-sensors-per-100×100 m ≈ 0.06 /m², so the side grows
+//! with √n), poses the full-demand snapshot under [`ContextMode::Auto`]
+//! — dense tables below the limit, on-demand sparse above — and plans
+//! it with [`ShardedPlanner`]-wrapped Appro, one shard per charger.
+//! Every plan is replayed through the full-instance conflict counter,
+//! so the numbers come with a feasibility proof, and each row records
+//! the boundary-reconciliation cost (cross-shard fixes and added wait).
+//!
+//! On sizes small enough to densify, the sweep also plans monolithically
+//! (1 shard, dense) for a quality/runtime reference column.
+//!
+//! Archived as `target/wrsn-results/shard_scaling.json`.
+//!
+//! Knobs: `WRSN_SHARD_NS` (comma-separated sizes, default
+//! `2000,10000,50000`; set e.g. `WRSN_SHARD_NS=500000` for the
+//! half-million acceptance run), `WRSN_SHARD_NODES_PER_CHARGER`
+//! (default 2000).
+
+use std::time::Instant;
+
+use wrsn_bench::env_usize_list;
+use wrsn_core::{
+    conflict::conflict_count, Appro, ChargingParams, ChargingProblem, ContextMode, Planner,
+    PlannerConfig, ShardedPlanner, DEFAULT_DENSE_LIMIT,
+};
+use wrsn_geom::Rect;
+use wrsn_net::{InitialCharge, NetworkBuilder};
+
+/// Paper default density: 600 sensors on a 100 m × 100 m field.
+const SENSORS_PER_M2: f64 = 600.0 / (100.0 * 100.0);
+
+fn instance(n: usize, k: usize, mode: ContextMode) -> ChargingProblem {
+    let side = (n as f64 / SENSORS_PER_M2).sqrt();
+    let net = NetworkBuilder::new(n)
+        .seed(42)
+        .field(Rect::square(side))
+        .initial_charge(InitialCharge::UniformFraction { lo: 0.02, hi: 0.18 })
+        .build();
+    let requests = net.default_requesting_sensors();
+    ChargingProblem::from_network_with_mode(
+        &net,
+        &requests,
+        k,
+        ChargingParams::default(),
+        mode,
+    )
+    .expect("valid instance")
+}
+
+fn main() {
+    let sizes = env_usize_list("WRSN_SHARD_NS", &[2_000, 10_000, 50_000]);
+    let nodes_per_charger = wrsn_bench::env_usize("WRSN_SHARD_NODES_PER_CHARGER", 2_000);
+
+    println!("## Sharded planning n-scaling (Appro per shard, one shard per charger)\n");
+    println!(
+        "{:>9} {:>5} {:>7} {:>9} {:>10} {:>12} {:>8} {:>10} {:>10}",
+        "n", "K", "mode", "requests", "plan (s)", "longest (h)", "fixes", "wait (h)", "mono (s)"
+    );
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let k = (n / nodes_per_charger).max(2);
+        let problem = instance(n, k, ContextMode::Auto);
+        let mode = problem.context().mode();
+        let planner = ShardedPlanner::new(Appro::new(PlannerConfig::default()), k);
+
+        let t0 = Instant::now();
+        let (schedule, audit) = planner.plan_with_audit(&problem).expect("shard plan");
+        let plan_s = t0.elapsed().as_secs_f64();
+        assert_eq!(audit.partitioned_targets(), problem.len(), "exact partition");
+        assert_eq!(audit.planned_sojourns(), schedule.sojourn_count(), "stop conservation");
+        assert_eq!(conflict_count(&problem, &schedule), 0, "conflict-free after reconcile");
+        schedule.certify(&problem).expect("stitched schedule certifies");
+
+        // Monolithic dense reference where the O(n²) table still fits.
+        let mono_s = (problem.len() <= DEFAULT_DENSE_LIMIT).then(|| {
+            let dense = instance(n, k, ContextMode::Dense);
+            let appro = Appro::new(PlannerConfig::default());
+            let t = Instant::now();
+            let s = appro.plan(&dense).expect("monolithic plan");
+            debug_assert!(s.certify(&dense).is_ok());
+            t.elapsed().as_secs_f64()
+        });
+
+        println!(
+            "{:>9} {:>5} {:>7} {:>9} {:>10.2} {:>12.2} {:>8} {:>10.2} {:>10}",
+            n,
+            k,
+            mode.to_string(),
+            problem.len(),
+            plan_s,
+            schedule.longest_delay_s() / 3600.0,
+            audit.reconcile_fixes,
+            audit.reconcile_wait_s / 3600.0,
+            mono_s.map_or_else(|| "-".into(), |s| format!("{s:.2}")),
+        );
+        rows.push(serde_json::json!({
+            "n": n,
+            "k": k,
+            "shards": audit.shards.len().max(1),
+            "mode": mode.to_string(),
+            "requests": problem.len(),
+            "plan_s": plan_s,
+            "longest_delay_s": schedule.longest_delay_s(),
+            "sojourns": schedule.sojourn_count(),
+            "reconcile_checked": audit.reconcile_checked,
+            "reconcile_fixes": audit.reconcile_fixes,
+            "reconcile_wait_s": audit.reconcile_wait_s,
+            "monolithic_plan_s": mono_s,
+        }));
+    }
+
+    let doc = serde_json::json!({
+        "density_per_m2": SENSORS_PER_M2,
+        "nodes_per_charger": nodes_per_charger,
+        "rows": rows,
+    });
+    let dir = std::path::PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
+    )
+    .join("wrsn-results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("shard_scaling.json");
+        let json = serde_json::to_string_pretty(&doc).expect("printing cannot fail");
+        if std::fs::write(&path, json).is_ok() {
+            println!("\nwrote {}", path.display());
+        }
+    }
+}

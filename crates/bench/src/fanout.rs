@@ -101,9 +101,12 @@ impl PlannerFanout {
     }
 
     /// Forces every memoized table so subsequent `plan()` calls measure
-    /// planning only.
+    /// planning only. A sparse context has no dense table to warm — the
+    /// whole point of the mode — so that one is skipped.
     fn warm(ctx: &ProblemContext) {
-        let _ = ctx.distance_matrix();
+        if !ctx.is_sparse() {
+            let _ = ctx.distance_matrix();
+        }
         let _ = ctx.depot_distances();
         let _ = ctx.neighbor_lists();
         let _ = ctx.charging_graph();

@@ -75,6 +75,14 @@ impl PlannerKind {
 
     /// Instantiates the planner with the given shared config.
     pub fn build(self, config: PlannerConfig) -> Box<dyn Planner> {
+        self.build_shared(config)
+    }
+
+    /// [`build`](Self::build) as a `Send + Sync` trait object, for
+    /// wrappers that fan the planner out across threads (e.g.
+    /// [`wrsn_core::ShardedPlanner`]). Every planner here is a plain
+    /// config-holding struct, so the tighter bound costs nothing.
+    pub fn build_shared(self, config: PlannerConfig) -> Box<dyn Planner + Send + Sync> {
         match self {
             PlannerKind::Appro => Box::new(Appro::new(config)),
             PlannerKind::KEdf => Box::new(KEdf::new(config)),

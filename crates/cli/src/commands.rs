@@ -5,7 +5,9 @@ use std::fmt;
 
 use serde_json::json;
 use wrsn_bench::PlannerKind;
-use wrsn_core::{bounds, ChargingProblem, PlannerConfig, Schedule};
+use wrsn_core::{
+    bounds, ChargingProblem, ContextMode, Planner, PlannerConfig, Schedule, ShardedPlanner,
+};
 use wrsn_net::{Network, NetworkBuilder};
 use wrsn_sim::{SimConfig, Simulation};
 
@@ -73,6 +75,12 @@ struct Instance {
     seed: u64,
     b_max_kbps: f64,
     period_days: f64,
+    /// Square field side in meters; `None` keeps the generator default.
+    field_m: Option<f64>,
+    /// Geometry backend (`--context dense|sparse|auto`, default auto).
+    context: ContextMode,
+    /// Spatial shards for planning (`--shards`, default 1 = monolithic).
+    shards: usize,
 }
 
 impl Instance {
@@ -83,18 +91,34 @@ impl Instance {
             seed: args.get_or("seed", 1u64)?,
             b_max_kbps: args.get_or("b-max", 50.0f64)?,
             period_days: args.get_or("period", 5.0f64)?,
+            field_m: args.get("field").map(str::parse).transpose().map_err(|_| {
+                format!("invalid value {:?} for --field", args.get("field").unwrap_or(""))
+            })?,
+            context: args.get_or("context", ContextMode::Auto)?,
+            shards: args.get_or("shards", 1usize)?,
         };
         if inst.k == 0 {
             return Err("--k must be at least 1".into());
+        }
+        if let Some(side) = inst.field_m {
+            if !(side > 0.0) || !side.is_finite() {
+                return Err("--field must be a positive side length in meters".into());
+            }
+        }
+        if inst.shards == 0 {
+            return Err("--shards must be at least 1".into());
         }
         Ok(inst)
     }
 
     fn network(&self) -> Network {
-        NetworkBuilder::new(self.n)
+        let mut builder = NetworkBuilder::new(self.n)
             .seed(self.seed)
-            .data_rate_bps(1_000.0, self.b_max_kbps * 1_000.0)
-            .build()
+            .data_rate_bps(1_000.0, self.b_max_kbps * 1_000.0);
+        if let Some(side) = self.field_m {
+            builder = builder.field(wrsn_geom::Rect::square(side));
+        }
+        builder.build()
     }
 
     /// Builds the snapshot problem: requests accumulated for the dispatch
@@ -103,7 +127,26 @@ impl Instance {
         let mut net = self.network();
         let requests =
             Simulation::warm_up_period(&mut net, 0.2, self.period_days * 86_400.0);
-        Ok(ChargingProblem::from_network(&net, &requests, self.k)?)
+        Ok(ChargingProblem::from_network_with_mode(
+            &net,
+            &requests,
+            self.k,
+            wrsn_core::ChargingParams::default(),
+            self.context,
+        )?)
+    }
+
+    /// Builds the requested planner, wrapped in a [`ShardedPlanner`]
+    /// when `--shards` asks for spatial decomposition.
+    fn planner(&self, kind: PlannerKind) -> Box<dyn Planner> {
+        if self.shards > 1 {
+            Box::new(ShardedPlanner::new(
+                kind.build_shared(PlannerConfig::default()),
+                self.shards,
+            ))
+        } else {
+            kind.build(PlannerConfig::default())
+        }
     }
 }
 
@@ -158,10 +201,14 @@ fn plan_compare(inst: &Instance) -> CliResult {
     use std::time::Instant;
     let problem = inst.snapshot()?;
 
-    // Warm the shared geometry once; the fan-out then only plans.
+    // Warm the shared geometry once; the fan-out then only plans. A
+    // sparse context deliberately has no O(n²) table to warm — skip it
+    // rather than force the materialization the mode exists to avoid.
     let t0 = Instant::now();
     let ctx = problem.context();
-    let _ = ctx.distance_matrix();
+    if !ctx.is_sparse() {
+        let _ = ctx.distance_matrix();
+    }
     let _ = ctx.depot_distances();
     let _ = ctx.neighbor_lists();
     let _ = ctx.charging_graph();
@@ -222,7 +269,7 @@ pub fn plan(args: &Args) -> CliResult {
     }
     let kind = planner_kind(args)?;
     let problem = inst.snapshot()?;
-    let schedule = kind.build(PlannerConfig::default()).plan(&problem)?;
+    let schedule = inst.planner(kind).plan(&problem)?;
     schedule.certify(&problem)?;
 
     if args.flag("json") {
@@ -375,9 +422,13 @@ pub fn simulate(args: &Args) -> CliResult {
     // `--validate` runs the schedule invariant validator on every
     // dispatched and recovery plan (always on in debug builds).
     cfg.validate_schedules = args.flag("validate");
+    // Geometry backend for the run-wide context (`--context`, default
+    // auto: dense tables on small networks, on-demand sparse past the
+    // dense limit).
+    cfg.context_mode = inst.context;
     let checkpoint_every: usize = args.get_or("checkpoint-every", 0usize)?;
     let resume_path = args.get("resume").map(std::path::PathBuf::from);
-    let planner = kind.build(PlannerConfig::default());
+    let planner = inst.planner(kind);
     let report = match args.get("dispatch").unwrap_or("sync") {
         "sync" => {
             let mut sim = Simulation::new(inst.network(), cfg)?;
@@ -695,7 +746,7 @@ pub fn bounds(args: &Args) -> CliResult {
     let inst = Instance::from_args(args)?;
     let kind = planner_kind(args)?;
     let problem = inst.snapshot()?;
-    let schedule = kind.build(PlannerConfig::default()).plan(&problem)?;
+    let schedule = inst.planner(kind).plan(&problem)?;
     schedule.certify(&problem)?;
     let reach = bounds::reach_lower_bound(&problem);
     let work = bounds::work_lower_bound(&problem);

@@ -38,6 +38,13 @@ COMMON OPTIONS:
     --seed <u64>        Instance seed (default 1)
     --b-max <kbps>      Maximum data rate (default 50)
     --period <days>     Request accumulation period before planning (default 5)
+    --field <meters>    Square field side length (default 100; scale with sqrt(n)
+                        to hold sensor density constant on large instances)
+    --context <mode>    Geometry backend: dense | sparse | auto (default auto —
+                        memoized O(n^2) tables below 4096 sensors, on-demand
+                        sparse queries above)
+    --shards <int>      Spatial shards planned concurrently and stitched at the
+                        depot with boundary reconciliation (default 1)
     --algorithm <name>  appro | kedf | netwrap | aa | kminmax | mmmatch (default appro)
     --json              Emit machine-readable JSON instead of a table
     --compare           (plan) Evaluate every planner concurrently on one shared

@@ -61,12 +61,13 @@ mod problem;
 pub mod reduction;
 pub mod render;
 mod schedule;
+pub mod shard;
 pub mod stats;
 pub mod svg;
 mod validate;
 
 pub use appro::Appro;
-pub use context::{ContextError, ProblemContext};
+pub use context::{ContextError, ContextMode, ProblemContext, DEFAULT_DENSE_LIMIT};
 pub use energy::{
     execute_tour_energy, split_schedule, ChargerEnergyModel, SplitSchedule, TourEnergyOutcome,
     TourEnergyPlan,
@@ -75,4 +76,5 @@ pub use fallback::{plan_with_fallback, GreedyTour};
 pub use planner::{InsertionOrder, PlanError, Planner, PlannerConfig};
 pub use problem::{ChargingParams, ChargingProblem, ChargingTarget, ProblemError};
 pub use schedule::{ChargerTour, Schedule, ScheduleError, Sojourn};
+pub use shard::{ShardAudit, ShardInfo, ShardedPlanner};
 pub use validate::{validate_schedule, ScheduleViolation};

@@ -121,6 +121,19 @@ pub trait Planner {
     fn plan(&self, problem: &ChargingProblem) -> Result<Schedule, PlanError>;
 }
 
+/// Boxed planners plan by delegation, so trait objects (including
+/// `Box<dyn Planner + Send + Sync>`) slot into generic wrappers such as
+/// [`crate::ShardedPlanner`].
+impl<P: Planner + ?Sized> Planner for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn plan(&self, problem: &ChargingProblem) -> Result<Schedule, PlanError> {
+        (**self).plan(problem)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use wrsn_geom::Point;
 use wrsn_net::{Network, SensorId};
 
-use crate::context::{ContextError, ProblemContext};
+use crate::context::{ContextError, ContextMode, ProblemContext};
 
 /// Physical parameters shared by all MCVs (the paper's homogeneous
 /// charger assumption).
@@ -83,6 +83,9 @@ pub enum ProblemError {
     InvalidParam(&'static str),
     /// A requested [`SensorId`] does not exist in the network.
     UnknownSensor(SensorId),
+    /// The context layer refused the instance (e.g. a forced dense mode
+    /// over more points than the dense limit allows).
+    Context(ContextError),
 }
 
 impl fmt::Display for ProblemError {
@@ -93,11 +96,24 @@ impl fmt::Display for ProblemError {
                 write!(f, "parameter {p} must be positive and finite")
             }
             ProblemError::UnknownSensor(id) => write!(f, "unknown sensor {id}"),
+            ProblemError::Context(e) => write!(f, "context error: {e}"),
         }
     }
 }
 
 impl Error for ProblemError {}
+
+/// Maps a subcontext failure to the problem-layer vocabulary: an
+/// out-of-range gather index means an unknown sensor, anything else
+/// passes through.
+fn subcontext_error(e: ContextError) -> ProblemError {
+    match e {
+        ContextError::IndexOutOfBounds { index, .. } => {
+            ProblemError::UnknownSensor(SensorId(index as u32))
+        }
+        other => ProblemError::Context(other),
+    }
+}
 
 /// An instance of the longest charge delay minimization problem
 /// (Definition 1 of the paper).
@@ -151,9 +167,30 @@ impl ChargingProblem {
         k: usize,
         params: ChargingParams,
     ) -> Result<Self, ProblemError> {
+        Self::new_with_mode(depot, targets, k, params, ContextMode::Auto)
+    }
+
+    /// [`ChargingProblem::new`] with an explicit [`ContextMode`] for the
+    /// instance's geometry context. [`ContextMode::Auto`] (what
+    /// [`new`](Self::new) uses) keeps small instances on the dense
+    /// matrix and switches large ones to the sparse on-demand backend.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ChargingProblem::new`] returns, plus
+    /// [`ProblemError::Context`] when [`ContextMode::Dense`] is forced
+    /// on an instance beyond the dense limit.
+    pub fn new_with_mode(
+        depot: Point,
+        targets: Vec<ChargingTarget>,
+        k: usize,
+        params: ChargingParams,
+        mode: ContextMode,
+    ) -> Result<Self, ProblemError> {
         Self::validate(depot, &targets, k, params)?;
         let pts: Vec<Point> = targets.iter().map(|t| t.pos).collect();
-        let ctx = ProblemContext::new(depot, pts, params);
+        let ctx = ProblemContext::with_mode(depot, pts, params, mode)
+            .map_err(ProblemError::Context)?;
         Ok(Self::finish(ctx, targets, k, params))
     }
 
@@ -243,6 +280,50 @@ impl ChargingProblem {
         Self::new(net.depot(), targets, k, params)
     }
 
+    /// [`ChargingProblem::from_network_with`] with an explicit
+    /// [`ContextMode`] (see [`new_with_mode`](Self::new_with_mode)).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ChargingProblem::from_network_with`], plus
+    /// [`ProblemError::Context`] for a refused dense mode.
+    pub fn from_network_with_mode(
+        net: &Network,
+        requests: &[SensorId],
+        k: usize,
+        params: ChargingParams,
+        mode: ContextMode,
+    ) -> Result<Self, ProblemError> {
+        let targets = Self::targets_from_network(net, requests, params)?;
+        Self::new_with_mode(net.depot(), targets, k, params, mode)
+    }
+
+    /// The sub-instance over `targets[indices]` with `k` chargers: the
+    /// geometry derives through [`ProblemContext::subcontext`] (gathered
+    /// from a dense parent, computed from the gathered points under a
+    /// sparse one — bit-identical either way), targets are cloned, and
+    /// coverage/τ are recomputed **within the sub-instance** (a target
+    /// near the cut loses cross-boundary neighbors, exactly as if the
+    /// sub-instance had been posed directly). This is the shard
+    /// planner's building block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProblemError::NoChargers`] if `k == 0` and
+    /// [`ProblemError::UnknownSensor`] for an out-of-range index.
+    pub fn restrict(&self, indices: &[usize], k: usize) -> Result<Self, ProblemError> {
+        if k == 0 {
+            return Err(ProblemError::NoChargers);
+        }
+        if let Some(&bad) = indices.iter().find(|&&i| i >= self.targets.len()) {
+            return Err(ProblemError::UnknownSensor(SensorId(bad as u32)));
+        }
+        let sub = self.ctx.subcontext(indices).map_err(subcontext_error)?;
+        let targets: Vec<ChargingTarget> =
+            indices.iter().map(|&i| self.targets[i].clone()).collect();
+        Ok(Self::finish(sub, targets, k, self.params))
+    }
+
     /// [`ChargingProblem::from_network_with`] reusing an existing
     /// network-wide [`ProblemContext`] (from
     /// [`ProblemContext::for_network`] with the **same** network and
@@ -268,11 +349,7 @@ impl ChargingProblem {
         let targets = Self::targets_from_network(net, requests, params)?;
         Self::validate(net.depot(), &targets, k, params)?;
         let indices: Vec<usize> = requests.iter().map(|id| id.index()).collect();
-        let sub = ctx.subcontext(&indices).map_err(|e| match e {
-            ContextError::IndexOutOfBounds { index, .. } => {
-                ProblemError::UnknownSensor(SensorId(index as u32))
-            }
-        })?;
+        let sub = ctx.subcontext(&indices).map_err(subcontext_error)?;
         Ok(Self::finish(sub, targets, k, params))
     }
 
@@ -307,11 +384,7 @@ impl ChargingProblem {
         let targets = Self::targets_from_residuals(net, requests, residual_j, params)?;
         Self::validate(net.depot(), &targets, k, params)?;
         let indices: Vec<usize> = requests.iter().map(|id| id.index()).collect();
-        let sub = ctx.subcontext(&indices).map_err(|e| match e {
-            ContextError::IndexOutOfBounds { index, .. } => {
-                ProblemError::UnknownSensor(SensorId(index as u32))
-            }
-        })?;
+        let sub = ctx.subcontext(&indices).map_err(subcontext_error)?;
         Ok(Self::finish(sub, targets, k, params))
     }
 

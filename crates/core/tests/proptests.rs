@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use wrsn_core::{
-    conflict, Appro, ChargingParams, ChargingProblem, ChargingTarget, Planner, PlannerConfig,
-    Schedule,
+    conflict, Appro, ChargingParams, ChargingProblem, ChargingTarget, ContextMode, Planner,
+    PlannerConfig, ProblemContext, Schedule, ShardedPlanner,
 };
 use wrsn_geom::Point;
 use wrsn_net::SensorId;
@@ -215,6 +215,108 @@ proptest! {
             dup.tours[other].sojourns.push(s);
             prop_assert!(dup.certify(&problem).is_err());
         }
+    }
+
+    /// The sparse backend is an exact drop-in for the dense one: every
+    /// pairwise distance and depot distance is bit-identical (0 ULP, not
+    /// approximately equal), and every coverage set N_c(v) contains the
+    /// same sensors.
+    #[test]
+    fn sparse_backend_matches_dense_bit_for_bit(
+        pts in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..80),
+    ) {
+        let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let params = ChargingParams::default();
+        let depot = Point::new(50.0, 50.0);
+        let dense = ProblemContext::with_mode(depot, points.clone(), params, ContextMode::Dense)
+            .unwrap();
+        let sparse = ProblemContext::with_mode(depot, points, params, ContextMode::Sparse)
+            .unwrap();
+        prop_assert!(!dense.is_sparse());
+        prop_assert!(sparse.is_sparse());
+        for a in 0..dense.len() {
+            prop_assert_eq!(
+                dense.depot_distances()[a].to_bits(),
+                sparse.depot_distances()[a].to_bits(),
+                "depot distance of {} drifted", a
+            );
+            let dense_row = dense.distance_row(a);
+            let sparse_row = sparse.distance_row(a);
+            for b in 0..dense.len() {
+                prop_assert_eq!(
+                    dense.distance(a, b).to_bits(),
+                    sparse.distance(a, b).to_bits(),
+                    "distance ({}, {}) drifted", a, b
+                );
+                prop_assert_eq!(dense_row[b].to_bits(), sparse_row[b].to_bits());
+            }
+            let mut dense_cov: Vec<u32> = dense.coverage_set(a).to_vec();
+            let mut sparse_cov: Vec<u32> = sparse.coverage_set(a).to_vec();
+            dense_cov.sort_unstable();
+            sparse_cov.sort_unstable();
+            prop_assert_eq!(dense_cov, sparse_cov, "coverage of {} differs", a);
+        }
+    }
+
+    /// Planning is backend- and wrapper-invariant on small instances:
+    /// dense, sparse, and 1-shard sharded runs of Appro produce the
+    /// same schedule to the last bit.
+    #[test]
+    fn schedules_agree_across_dense_sparse_and_one_shard(
+        pts in proptest::collection::vec(
+            (0.0f64..100.0, 0.0f64..100.0, 60.0f64..5400.0),
+            1..50,
+        ),
+        k in 1usize..4,
+    ) {
+        fn targets(pts: &[(f64, f64, f64)]) -> Vec<ChargingTarget> {
+            pts.iter()
+                .enumerate()
+                .map(|(i, &(x, y, t))| ChargingTarget {
+                    id: SensorId(i as u32),
+                    pos: Point::new(x, y),
+                    charge_duration_s: t,
+                    residual_lifetime_s: f64::INFINITY,
+                })
+                .collect()
+        }
+        fn bits(s: &Schedule) -> Vec<Vec<(usize, u64, u64, u64, u64)>> {
+            s.tours
+                .iter()
+                .map(|t| {
+                    t.sojourns
+                        .iter()
+                        .map(|so| {
+                            (
+                                so.target,
+                                so.arrival_s.to_bits(),
+                                so.start_s.to_bits(),
+                                so.duration_s.to_bits(),
+                                t.return_time_s.to_bits(),
+                            )
+                        })
+                        .collect()
+                })
+                .collect()
+        }
+        let depot = Point::new(50.0, 50.0);
+        let params = ChargingParams::default();
+        let appro = Appro::new(PlannerConfig::default());
+        let dense = ChargingProblem::new_with_mode(
+            depot, targets(&pts), k, params, ContextMode::Dense,
+        )
+        .unwrap();
+        let sparse = ChargingProblem::new_with_mode(
+            depot, targets(&pts), k, params, ContextMode::Sparse,
+        )
+        .unwrap();
+        let on_dense = appro.plan(&dense).unwrap();
+        let on_sparse = appro.plan(&sparse).unwrap();
+        let one_shard = ShardedPlanner::new(Appro::new(PlannerConfig::default()), 1)
+            .plan(&dense)
+            .unwrap();
+        prop_assert_eq!(bits(&on_dense), bits(&on_sparse), "sparse drifted from dense");
+        prop_assert_eq!(bits(&on_dense), bits(&one_shard), "1-shard drifted from direct");
     }
 
     /// Assembling and replaying a one-stop-per-target schedule charges

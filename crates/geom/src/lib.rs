@@ -34,6 +34,6 @@ mod rect;
 
 pub use grid::GridIndex;
 pub use kdtree::KdTree;
-pub use matrix::{DistanceMatrix, Metric};
+pub use matrix::{DistanceMatrix, MatrixTooLarge, Metric, VirtualNodeMetric, DENSE_HARD_LIMIT};
 pub use point::{dist_matrix, Point};
 pub use rect::Rect;

@@ -18,7 +18,39 @@
 //! is bit-identical to the direct computation. Gathered sub-matrices
 //! copy entries verbatim.
 
+use std::error::Error;
+use std::fmt;
+
 use crate::Point;
+
+/// Hard ceiling on dense materialization: [`DistanceMatrix::from_points`]
+/// refuses point sets larger than this (the flat table would exceed
+/// 32 GiB). Callers that might legitimately exceed it must use
+/// [`DistanceMatrix::try_from_points`] with their own threshold, or stay
+/// on an on-demand (sparse) distance source.
+pub const DENSE_HARD_LIMIT: usize = 65_536;
+
+/// A dense pairwise table was requested over more points than the
+/// caller's threshold allows (the allocation would be `len²` floats).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatrixTooLarge {
+    /// Number of points the table was requested over.
+    pub len: usize,
+    /// The threshold that was exceeded.
+    pub limit: usize,
+}
+
+impl fmt::Display for MatrixTooLarge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dense distance matrix over {} points exceeds the {}-point limit",
+            self.len, self.limit
+        )
+    }
+}
+
+impl Error for MatrixTooLarge {}
 
 /// Index-based symmetric distance lookup.
 ///
@@ -84,8 +116,33 @@ impl DistanceMatrix {
     ///
     /// Performs exactly one [`Point::dist`] per unordered pair and
     /// mirrors it, matching [`crate::dist_matrix`] bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pts.len()` exceeds [`DENSE_HARD_LIMIT`] — a clear
+    /// failure instead of a doomed multi-GiB allocation. Use
+    /// [`try_from_points`](Self::try_from_points) for a typed error, or
+    /// keep huge instances on an on-demand distance source.
     pub fn from_points(pts: &[Point]) -> DistanceMatrix {
+        Self::try_from_points(pts, DENSE_HARD_LIMIT)
+            .expect("point set too large for a dense matrix; use a sparse distance source")
+    }
+
+    /// [`from_points`](Self::from_points) guarded by a caller-chosen
+    /// threshold: refuses to allocate the `n²` table when `pts.len() >
+    /// limit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixTooLarge`] when the point count exceeds `limit`.
+    pub fn try_from_points(
+        pts: &[Point],
+        limit: usize,
+    ) -> Result<DistanceMatrix, MatrixTooLarge> {
         let n = pts.len();
+        if n > limit {
+            return Err(MatrixTooLarge { len: n, limit });
+        }
         let mut data = vec![0.0; n * n];
         for i in 0..n {
             for j in (i + 1)..n {
@@ -94,7 +151,7 @@ impl DistanceMatrix {
                 data[j * n + i] = d;
             }
         }
-        DistanceMatrix { n, data }
+        Ok(DistanceMatrix { n, data })
     }
 
     /// Builds an `n × n` matrix from an entry function, mirroring
@@ -177,6 +234,50 @@ impl Metric for DistanceMatrix {
     #[inline]
     fn at(&self, i: usize, j: usize) -> f64 {
         self.data[i * self.n + j]
+    }
+}
+
+/// A borrowed [`Metric`] view appending one virtual node (index
+/// `inner.len()`) whose distance to node `i` is `extra[i]` and `0` to
+/// itself — the same values and index layout as
+/// [`DistanceMatrix::with_virtual_node`], without copying the base
+/// table. Lets the "depot as virtual TSP city" spelling work over any
+/// metric, dense or on-demand.
+#[derive(Clone, Copy, Debug)]
+pub struct VirtualNodeMetric<'a, M: ?Sized> {
+    inner: &'a M,
+    extra: &'a [f64],
+}
+
+impl<'a, M: Metric + ?Sized> VirtualNodeMetric<'a, M> {
+    /// Wraps `inner` with the virtual node's distances `extra`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra.len() != inner.len()`.
+    pub fn new(inner: &'a M, extra: &'a [f64]) -> Self {
+        assert_eq!(extra.len(), inner.len(), "virtual node needs one distance per node");
+        VirtualNodeMetric { inner, extra }
+    }
+}
+
+impl<M: Metric + ?Sized> Metric for VirtualNodeMetric<'_, M> {
+    fn len(&self) -> usize {
+        self.inner.len() + 1
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        let n = self.inner.len();
+        if i == n && j == n {
+            0.0
+        } else if i == n {
+            self.extra[j]
+        } else if j == n {
+            self.extra[i]
+        } else {
+            self.inner.at(i, j)
+        }
     }
 }
 
@@ -322,5 +423,37 @@ mod tests {
     fn gather_rejects_bad_index() {
         let m = DistanceMatrix::from_points(&[Point::ORIGIN]);
         let _ = m.gather(&[1]);
+    }
+
+    #[test]
+    fn try_from_points_enforces_limit() {
+        let pts = random_points(21, 10);
+        let err = DistanceMatrix::try_from_points(&pts, 9).unwrap_err();
+        assert_eq!(err, MatrixTooLarge { len: 10, limit: 9 });
+        assert!(err.to_string().contains("10 points"));
+        let ok = DistanceMatrix::try_from_points(&pts, 10).unwrap();
+        assert_eq!(ok, DistanceMatrix::from_points(&pts));
+    }
+
+    #[test]
+    fn virtual_node_view_matches_materialized_extension() {
+        let pts = random_points(17, 8);
+        let m = DistanceMatrix::from_points(&pts);
+        let extra: Vec<f64> = (0..8).map(|i| 1.5 * i as f64 + 0.25).collect();
+        let owned = m.with_virtual_node(&extra);
+        let view = VirtualNodeMetric::new(&m, &extra);
+        assert_eq!(Metric::len(&view), Metric::len(&owned));
+        for i in 0..9 {
+            for j in 0..9 {
+                assert_eq!(view.at(i, j).to_bits(), owned.at(i, j).to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one distance per node")]
+    fn virtual_node_view_rejects_length_mismatch() {
+        let m = DistanceMatrix::from_points(&[Point::ORIGIN]);
+        let _ = VirtualNodeMetric::new(&m, &[]);
     }
 }

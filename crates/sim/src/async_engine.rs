@@ -111,9 +111,14 @@ impl AsyncSimulation {
     pub fn run(mut self, planner: &dyn Planner, k: usize) -> Result<SimReport, PlanError> {
         assert!(k >= 1, "need at least one charger");
         let n = self.net.sensors().len();
-        // One memoized geometry context for the whole run; per-dispatch
-        // problems gather their distance tables from it.
-        let full_ctx = ProblemContext::for_network(&self.net, self.config.params);
+        // One geometry context for the whole run (dense or sparse per
+        // `config.context_mode`); per-dispatch problems derive their
+        // distance tables from it.
+        let full_ctx = ProblemContext::for_network_with_mode(
+            &self.net,
+            self.config.params,
+            self.config.context_mode,
+        )?;
         let horizon = self.config.horizon_s;
         let gamma2 = 2.0 * self.config.params.gamma_m;
         let target_frac = self.config.params.charge_target_fraction;

@@ -5,8 +5,8 @@ use std::path::PathBuf;
 use wrsn_core::bounds::AdmissionEstimator;
 use wrsn_core::{
     execute_tour_energy, plan_with_fallback, split_schedule, validate_schedule,
-    ChargerEnergyModel, ChargerTour, ChargingParams, ChargingProblem, PlanError, Planner,
-    PlannerConfig, ProblemContext, Schedule, TourEnergyPlan,
+    ChargerEnergyModel, ChargerTour, ChargingParams, ChargingProblem, ContextMode, PlanError,
+    Planner, PlannerConfig, ProblemContext, Schedule, TourEnergyPlan,
 };
 use wrsn_net::{Network, Sensor, SensorId, DEFAULT_REQUEST_FRACTION, YEAR_SECS};
 
@@ -190,6 +190,15 @@ pub struct SimConfig {
     /// the layer is deterministic and draws no random values even when
     /// active.
     pub energy: ChargerEnergyModel,
+    /// Geometry backend for the run-wide [`ProblemContext`]:
+    /// [`ContextMode::Auto`] (the default) memoizes dense distance
+    /// tables on small networks and switches to on-demand sparse
+    /// queries past [`wrsn_core::DEFAULT_DENSE_LIMIT`] sensors, where
+    /// the O(n²) table would not fit. Forcing [`ContextMode::Dense`] on
+    /// an oversized network fails the run with a typed
+    /// [`PlanError::Context`] instead of attempting the allocation.
+    /// Small-network runs are bit-identical across all three modes.
+    pub context_mode: ContextMode,
 }
 
 impl SimConfig {
@@ -282,6 +291,7 @@ impl Default for SimConfig {
             telemetry: TelemetryModel::default(),
             churn: ChurnModel::default(),
             energy: ChargerEnergyModel::default(),
+            context_mode: ContextMode::Auto,
         }
     }
 }
@@ -657,9 +667,14 @@ impl Simulation {
         assert!(k >= 1, "need at least one charger");
         let n = self.net.sensors().len();
         // Shared geometry for the whole run: positions never change, so
-        // every round's problem (and any recovery re-plan) gathers its
-        // distance tables from this one memoized context.
-        let full_ctx = ProblemContext::for_network(&self.net, self.config.params);
+        // every round's problem (and any recovery re-plan) derives its
+        // distance tables from this one context — memoized dense tables
+        // or on-demand sparse queries per `config.context_mode`.
+        let full_ctx = ProblemContext::for_network_with_mode(
+            &self.net,
+            self.config.params,
+            self.config.context_mode,
+        )?;
         let batch = self.batch_size();
         let mut t = 0.0f64;
         let mut dead = vec![0.0f64; n];

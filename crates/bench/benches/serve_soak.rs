@@ -1,0 +1,93 @@
+//! Serve-daemon soak bench: sustained offered load vs service quality.
+//!
+//! Drives the online `ServeEngine` through the seeded open-loop soak
+//! harness on the virtual clock — the acceptance target is 10k req/s
+//! for 60 service seconds with a bounded queue, a reconciling ledger,
+//! zero silent loss, and latency percentiles worth archiving. The
+//! sweep brackets that target (0.2x, 1x, 2x) so the saturation knee
+//! (where shedding starts and dispatch latency inflates) is visible.
+//!
+//! Results are archived as `target/wrsn-results/serve_soak.json`
+//! (consumed by `EXPERIMENTS.md`).
+//!
+//! Knobs: `WRSN_SOAK_RATES` (req/s list, default `2000,10000,20000`),
+//! `WRSN_SOAK_DURATION` (service seconds, default 60),
+//! `WRSN_SOAK_N` (sensors, default 300).
+
+use std::sync::Arc;
+
+use wrsn_bench::{env_f64, env_usize, env_usize_list};
+use wrsn_core::{GreedyTour, Planner};
+use wrsn_net::NetworkBuilder;
+use wrsn_serve::soak::{run_soak, SoakConfig};
+use wrsn_serve::{PlannerFactory, ServeConfig, ServeEngine};
+
+fn main() {
+    let rates = env_usize_list("WRSN_SOAK_RATES", &[2_000, 10_000, 20_000]);
+    let duration_s = env_f64("WRSN_SOAK_DURATION", 60.0);
+    let n = env_usize("WRSN_SOAK_N", 300);
+
+    println!("## Serve soak (n={n}, K=3, {duration_s:.0} service seconds per rate)\n");
+    println!(
+        "{:>10} {:>9} {:>9} {:>8} {:>8} {:>9} {:>11} {:>11} {:>9}",
+        "rate req/s", "offered", "admitted", "shed", "dupes", "maxdepth", "disp p99 s", "chg p99 s", "wall s"
+    );
+
+    let mut rows = Vec::new();
+    for &rate in &rates {
+        let net = NetworkBuilder::new(n).seed(11).build();
+        let factory: Arc<PlannerFactory> =
+            Arc::new(|| Box::new(GreedyTour) as Box<dyn Planner>);
+        let cfg = ServeConfig { k: 3, ..ServeConfig::default() };
+        let engine = ServeEngine::new(net, cfg, factory).expect("valid serve config");
+        let soak = SoakConfig {
+            rate_per_s: rate as f64,
+            duration_s,
+            seed: 11,
+            // A few joules per request keeps sojourns short enough that
+            // charged-latency percentiles populate within the horizon.
+            deficit_fraction: (0.0002, 0.001),
+            ..SoakConfig::default()
+        };
+        let outcome = run_soak(engine, &soak, None).expect("soak runs to completion");
+        let r = &outcome.report;
+        assert!(r.ledger_reconciles, "soak ledger must reconcile at {rate} req/s");
+        assert_eq!(r.silent_loss(), 0, "no silent loss at {rate} req/s");
+        println!(
+            "{:>10} {:>9} {:>9} {:>8} {:>8} {:>9} {:>11.3} {:>11.1} {:>9.2}",
+            rate,
+            outcome.offered,
+            r.ledger.admitted,
+            r.ledger.shed,
+            r.ledger.duplicates,
+            r.max_queue_depth,
+            r.dispatch_latency.p99_s,
+            r.charged_latency.p99_s,
+            outcome.wall_s,
+        );
+        rows.push(serde_json::json!({
+            "rate_per_s": rate,
+            "achieved_rate_per_s": outcome.achieved_rate_per_s,
+            "wall_s": outcome.wall_s,
+            "report": outcome.report.to_json(),
+        }));
+    }
+
+    let doc = serde_json::json!({
+        "n": n,
+        "k": 3,
+        "duration_s": duration_s,
+        "sweep": rows,
+    });
+    let dir = std::path::PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
+    )
+    .join("wrsn-results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("serve_soak.json");
+        let json = serde_json::to_string_pretty(&doc).expect("printing cannot fail");
+        if std::fs::write(&path, json).is_ok() {
+            println!("\nwrote {}", path.display());
+        }
+    }
+}

@@ -150,6 +150,15 @@ impl Instance {
     }
 }
 
+/// Where the tools archive results and checkpoints:
+/// `$CARGO_TARGET_DIR/wrsn-results` (or `target/wrsn-results`).
+fn results_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
+    )
+    .join("wrsn-results")
+}
+
 fn planner_kind(args: &Args) -> Result<PlannerKind, Box<dyn Error>> {
     let name = args.get("algorithm").unwrap_or("appro");
     PlannerKind::from_name(name).ok_or_else(|| {
@@ -433,11 +442,13 @@ pub fn simulate(args: &Args) -> CliResult {
         "sync" => {
             let mut sim = Simulation::new(inst.network(), cfg)?;
             if checkpoint_every > 0 {
-                let dir = std::path::PathBuf::from(
-                    std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
-                )
-                .join("wrsn-results");
+                let dir = results_dir();
                 sim = sim.checkpoint_to(dir, checkpoint_every);
+                // A checkpointing run is one the user cares to resume:
+                // Ctrl-C / SIGTERM writes a final off-period checkpoint
+                // at the next round boundary and exits cleanly instead
+                // of dying mid-round.
+                sim = sim.interrupt_on(wrsn_serve::shutdown::install());
             }
             if let Some(path) = &resume_path {
                 let snap = wrsn_sim::Snapshot::read(path)
@@ -489,6 +500,15 @@ pub fn simulate(args: &Args) -> CliResult {
     if let Some(failure) = report.audit_failure() {
         return Err(failure.into());
     }
+    if report.interrupted {
+        eprintln!(
+            "interrupted after {} rounds; final checkpoint written to {}; \
+             rerun with --resume {}/checkpoint_round*.json to complete the run",
+            report.rounds_dispatched(),
+            results_dir().display(),
+            results_dir().display()
+        );
+    }
 
     if args.flag("json") {
         println!(
@@ -496,6 +516,7 @@ pub fn simulate(args: &Args) -> CliResult {
             serde_json::to_string_pretty(&json!({
                 "planner": kind.name(),
                 "horizon_days": days,
+                "interrupted": report.interrupted,
                 "rounds": report.rounds_dispatched(),
                 "avg_round_longest_delay_s": report.avg_longest_delay_s(),
                 "avg_dead_time_s": report.avg_dead_time_s(),
@@ -761,5 +782,151 @@ pub fn bounds(args: &Args) -> CliResult {
         "  (Theorem 1 guarantees ≤ {:.0}x; smaller is better)",
         40.0 * std::f64::consts::PI + 1.0
     );
+    Ok(())
+}
+
+/// `wrsn serve`: the online charging service — a long-lived daemon (or
+/// a seeded soak run) over the resilient serve engine.
+pub fn serve(args: &Args) -> CliResult {
+    use std::sync::Arc;
+    use wrsn_serve::daemon::{run_daemon, DaemonOptions, Ingress};
+    use wrsn_serve::soak::{run_soak, SoakConfig};
+    use wrsn_serve::{PlannerFactory, ServeConfig, ServeEngine};
+
+    let inst = Instance::from_args(args)?;
+    let kind = planner_kind(args)?;
+    let net = inst.network();
+
+    let tick_ms: f64 = args.get_or("tick-ms", 100.0)?;
+    let plan_budget_ms: f64 = args.get_or("plan-budget-ms", 2_000.0)?;
+    let cfg = ServeConfig {
+        k: inst.k,
+        tick_s: tick_ms / 1_000.0,
+        max_batch: args.get_or("max-batch", 64usize)?,
+        queue_capacity: args.get_or("queue-cap", 4096usize)?,
+        // Hours on the command line, like simulate's --admission-bound.
+        admission_bound_s: args.get_or("admission-bound", 0.0f64)? * 3_600.0,
+        max_deferrals: args.get_or("max-deferrals", 4u32)?,
+        drift_threshold: args.get_or("drift-threshold", 48usize)?,
+        plan_budget_s: plan_budget_ms / 1_000.0,
+        replan_max_stops: args.get_or("replan-max-stops", 512usize)?,
+        snapshot_every_ticks: args.get_or("snapshot-every", 0u64)?,
+        default_deficit_fraction: args.get_or("deficit-fraction", 0.8f64)?,
+        ..ServeConfig::default()
+    };
+    let factory: Arc<PlannerFactory> =
+        Arc::new(move || kind.build(wrsn_core::PlannerConfig::default()));
+
+    // Persistence: default WAL + snapshot under the results dir; the
+    // same paths serve --resume picks the run back up from.
+    let state_dir = args
+        .get("state-dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("serve"));
+    let wal_path = state_dir.join("requests.wal");
+    let snap_path = state_dir.join("serve_checkpoint.json");
+
+    let engine = if args.flag("resume") {
+        let e = ServeEngine::resume(net, cfg, factory, &snap_path, &wal_path)
+            .map_err(|e| format!("cannot resume from {}: {e}", state_dir.display()))?;
+        if e.recovered_torn_tail() {
+            eprintln!("recovered: dropped a torn WAL tail line (crash mid-append)");
+        }
+        eprintln!(
+            "resumed at t = {:.1} s: {} admitted, {} charged, {} shed, {} in flight",
+            e.now_s(),
+            e.ledger().admitted,
+            e.ledger().charged,
+            e.ledger().shed,
+            e.in_flight()
+        );
+        e
+    } else {
+        ServeEngine::new(net, cfg, factory)?
+            .with_wal(&wal_path)?
+            .with_snapshot(&snap_path)
+    };
+
+    let stop = wrsn_serve::shutdown::install();
+    let soak_rate: f64 = args.get_or("soak-rate", 0.0)?;
+    let (report, malformed, outcome_json) = if soak_rate > 0.0 {
+        let soak = SoakConfig {
+            rate_per_s: soak_rate,
+            duration_s: args.get_or("soak-duration", 60.0f64)?,
+            seed: args.get_or("soak-seed", 1u64)?,
+            realtime: args.flag("realtime"),
+            drain: args.flag("drain"),
+            ..SoakConfig::default()
+        };
+        let outcome = run_soak(engine, &soak, Some(&stop))?;
+        eprintln!(
+            "soak: offered {} requests in {:.2} s wall ({:.0} req/s sustained)",
+            outcome.offered, outcome.wall_s, outcome.achieved_rate_per_s
+        );
+        let json = outcome.to_json();
+        std::fs::create_dir_all(results_dir())?;
+        let archive = results_dir().join("serve_soak.json");
+        std::fs::write(&archive, serde_json::to_string_pretty(&json)?)?;
+        eprintln!("archived {}", archive.display());
+        (outcome.report, 0u64, json)
+    } else {
+        let ingress = match args.get("socket") {
+            Some(path) => Ingress::UnixSocket(std::path::PathBuf::from(path)),
+            None => Ingress::Stdin,
+        };
+        let opts = DaemonOptions {
+            pace_wall: !args.flag("no-pace"),
+            drain_on_eof: !args.flag("no-drain"),
+            echo: args.flag("echo"),
+        };
+        let outcome = run_daemon(engine, &ingress, &stop, &opts)?;
+        let json = outcome.report.to_json();
+        (outcome.report, outcome.malformed, json)
+    };
+
+    if args.flag("json") {
+        println!("{}", serde_json::to_string_pretty(&outcome_json)?);
+        return Ok(());
+    }
+    let l = &report.ledger;
+    println!("serve: {} ticks over {:.1} s of service time", report.ticks, report.now_s);
+    println!(
+        "  ledger:     {} admitted = {} charged + {} shed + {} in flight{}",
+        l.admitted,
+        l.charged,
+        l.shed,
+        report.in_flight,
+        if report.ledger_reconciles { "" } else { "  (IMBALANCED!)" }
+    );
+    println!(
+        "  refused:    {} duplicates, {} invalid, {} malformed lines",
+        l.duplicates, l.invalid, malformed
+    );
+    println!(
+        "  admission:  {} deferrals, {} escalations; queue peak {} (cap {}), in-flight peak {}",
+        l.deferrals, l.escalated, report.max_queue_depth, cfg.queue_capacity, report.max_in_flight
+    );
+    println!(
+        "  planning:   {} incremental inserts, {} full re-plans, {} skipped, \
+         {} watchdog trips, {} fallbacks",
+        report.incremental_inserts,
+        report.full_replans,
+        report.replans_skipped,
+        report.watchdog_trips,
+        report.planner_fallbacks
+    );
+    let d = &report.dispatch_latency;
+    let c = &report.charged_latency;
+    println!(
+        "  dispatch:   n={} p50 {:.1} s, p95 {:.1} s, p99 {:.1} s, max {:.1} s",
+        d.count, d.p50_s, d.p95_s, d.p99_s, d.max_s
+    );
+    println!(
+        "  charged:    n={} p50 {:.1} s, p95 {:.1} s, p99 {:.1} s, max {:.1} s",
+        c.count, c.p50_s, c.p95_s, c.p99_s, c.max_s
+    );
+    if !report.ledger_reconciles {
+        return Err("serve ledger does not reconcile: accepted requests were lost".into());
+    }
     Ok(())
 }

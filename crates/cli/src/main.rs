@@ -30,6 +30,8 @@ COMMANDS:
     experiment  Run a paper figure sweep (--figure fig3a|fig3b|fig5a)
                 or a declarative JSON sweep (--spec file.json [--csv])
     fleet       Find the minimum fleet size (--max-k, --tolerance-min)
+    serve       Run the online charging service: a resilient long-lived daemon
+                with micro-batched admission, backpressure, and crash recovery
     help        Show this message
 
 COMMON OPTIONS:
@@ -115,6 +117,44 @@ SIMULATE OPTIONS:
                            (sync dispatcher only)
     --validate             Check schedule invariants on every dispatched and
                            recovery plan (always on in debug builds)
+
+SERVE OPTIONS:
+    Requests arrive as JSON lines ({\"sensor\": 17, \"deficit\": 120.5}) on
+    stdin (default) or a unix socket; SIGINT/SIGTERM shuts down gracefully
+    with a final snapshot. State (WAL + snapshot) lives under
+    target/wrsn-results/serve/ unless --state-dir overrides it.
+    --tick-ms <f64>        Scheduling tick, milliseconds (default 100)
+    --max-batch <int>      Most-critical requests admitted per tick (default 64)
+    --queue-cap <int>      Ingress queue bound; beyond it the least-critical
+                           request is shed — ledgered and traced, never silent
+                           (default 4096)
+    --admission-bound <h>  Defer requests past this delay bound, hours
+                           (0 = admit everything, the default)
+    --max-deferrals <int>  Force-admit (escalate) after this many deferred
+                           batches (default 4)
+    --drift-threshold <n>  Incremental tour edits before a full re-plan
+                           (default 48)
+    --plan-budget-ms <f64> Watchdog budget per full planner run; past it the
+                           batch falls back to the degraded chain (default 2000)
+    --replan-max-stops <n> Skip full re-plans above this many unstarted stops
+                           (default 512)
+    --snapshot-every <n>   Auto-snapshot cadence in ticks (0 = shutdown only)
+    --deficit-fraction <f> Assumed deficit for requests that report none, as a
+                           fraction of capacity (default 0.8)
+    --state-dir <path>     Where the WAL and snapshot live
+    --resume               Resume from the state dir: restore the snapshot and
+                           replay the WAL tail (zero accepted requests lost)
+    --socket <path>        Listen on a unix socket instead of stdin
+    --echo                 Echo one JSON line per admission outcome
+    --no-pace              Do not pace ticks in wall time (tests/benchmarks)
+    --no-drain             Exit on ingress EOF without draining in-flight work
+    --soak-rate <req/s>    Run the seeded soak harness at this offered load
+                           instead of serving an ingress (archives percentiles
+                           to target/wrsn-results/serve_soak.json)
+    --soak-duration <s>    Soak length in service seconds (default 60)
+    --soak-seed <u64>      Soak load-generator seed (default 1)
+    --realtime             Soak in wall time (for kill-mid-soak drills)
+    --drain                Drain in-flight requests after the soak load stops
 ";
 
 fn main() -> ExitCode {
@@ -132,6 +172,7 @@ fn main() -> ExitCode {
         Some("bounds") => commands::bounds(&parsed),
         Some("experiment") => commands::experiment(&parsed),
         Some("fleet") => commands::fleet(&parsed),
+        Some("serve") => commands::serve(&parsed),
         Some("help") | None => {
             print!("{HELP}");
             Ok(())

@@ -429,3 +429,104 @@ fn unknown_algorithm_is_a_clean_error() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
 }
+
+#[test]
+fn serve_soak_reconciles_and_archives_percentiles() {
+    let target = std::env::temp_dir().join(format!("wrsn_cli_soak_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&target);
+    let out = wrsn()
+        .env("CARGO_TARGET_DIR", &target)
+        .args([
+            "serve", "--n", "80", "--k", "2", "--seed", "5", "--soak-rate", "2000",
+            "--soak-duration", "2", "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(v["ledger_reconciles"], serde_json::Value::Bool(true));
+    assert_eq!(v["silent_loss"].as_u64(), Some(0));
+    assert!(v["admitted"].as_u64().unwrap() > 0);
+    assert!(v["dispatch_latency"]["count"].as_u64().unwrap() > 0);
+    // The percentile archive lands in the results dir.
+    let archive = target.join("wrsn-results").join("serve_soak.json");
+    let archived: serde_json::Value =
+        serde_json::from_slice(&std::fs::read(&archive).expect("archive written"))
+            .expect("archive is JSON");
+    assert_eq!(archived["ledger_reconciles"], serde_json::Value::Bool(true));
+    assert!(archived["dispatch_latency"]["p99_s"].as_f64().is_some());
+    let _ = std::fs::remove_dir_all(&target);
+}
+
+#[test]
+fn serve_stdin_daemon_admits_and_shuts_down_on_eof() {
+    use std::io::Write;
+    let target = std::env::temp_dir().join(format!("wrsn_cli_daemon_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&target);
+    let mut child = wrsn()
+        .env("CARGO_TARGET_DIR", &target)
+        .args([
+            "serve", "--n", "60", "--k", "1", "--seed", "4", "--no-pace", "--no-drain",
+            "--echo", "--json",
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    {
+        let stdin = child.stdin.as_mut().expect("piped stdin");
+        writeln!(stdin, "{{\"sensor\": 3, \"deficit\": 12.5}}").unwrap();
+        writeln!(stdin, "{{\"sensor\": 9}}").unwrap();
+        writeln!(stdin, "not json at all").unwrap();
+    }
+    drop(child.stdin.take()); // EOF ends the daemon
+    let out = child.wait_with_output().expect("daemon exits");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Echo lines come first, then the JSON report.
+    assert!(text.contains("\"outcome\": \"accepted\""), "echo lines present:\n{text}");
+    let json_start = text.find("{\n").expect("report JSON");
+    let v: serde_json::Value =
+        serde_json::from_str(&text[json_start..]).expect("valid report JSON");
+    assert_eq!(v["admitted"].as_u64(), Some(2));
+    assert_eq!(v["ledger_reconciles"], serde_json::Value::Bool(true));
+    let _ = std::fs::remove_dir_all(&target);
+}
+
+#[test]
+fn serve_resume_restores_the_ledger() {
+    let target = std::env::temp_dir().join(format!("wrsn_cli_resume_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&target);
+    let args = ["serve", "--n", "70", "--k", "2", "--seed", "6"];
+    // Run 1: a short soak; shutdown writes the final snapshot + WAL.
+    let out = wrsn()
+        .env("CARGO_TARGET_DIR", &target)
+        .args(args)
+        .args(["--soak-rate", "500", "--soak-duration", "2", "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let first: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    let admitted = first["admitted"].as_u64().unwrap();
+    assert!(admitted > 0);
+
+    // Run 2: resume with no new load; the restored books must match.
+    let mut child = wrsn()
+        .env("CARGO_TARGET_DIR", &target)
+        .args(args)
+        .args(["--resume", "--no-pace", "--no-drain", "--json"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    drop(child.stdin.take()); // immediate EOF
+    let out = child.wait_with_output().expect("daemon exits");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let resumed: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(resumed["admitted"].as_u64(), Some(admitted), "ledger restored");
+    assert_eq!(resumed["ledger_reconciles"], serde_json::Value::Bool(true));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("resumed at t ="), "resume banner:\n{stderr}");
+    let _ = std::fs::remove_dir_all(&target);
+}

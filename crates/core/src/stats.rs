@@ -8,6 +8,43 @@
 
 use crate::{ChargingProblem, Schedule};
 
+/// Nearest-rank percentile of an ascending-sorted sample slice.
+///
+/// This is the shared latency/error percentile estimator used by the
+/// simulation report (estimator-error percentiles) and the serve-mode
+/// metrics (admission-to-dispatch / admission-to-charged latency): the
+/// value at rank `⌈p/100 · n⌉` (1-based), so every returned value is an
+/// actual sample, `p = 0` is the minimum and `p = 100` the maximum.
+/// Returns 0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`. Debug-panics if `sorted` is not
+/// ascending.
+///
+/// # Example
+///
+/// ```
+/// use wrsn_core::stats::percentile;
+///
+/// let samples = [10.0, 20.0, 30.0, 40.0, 50.0];
+/// assert_eq!(percentile(&samples, 50.0), 30.0);
+/// assert_eq!(percentile(&samples, 100.0), 50.0);
+/// assert_eq!(percentile(&[], 99.0), 0.0);
+/// ```
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile input must be sorted ascending"
+    );
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
 /// Time breakdown of one charger's tour.
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub struct ChargerBreakdown {
@@ -174,6 +211,25 @@ mod tests {
         assert!(st.p95_completion_s <= s.longest_delay_s() + 1e-6);
         assert!(st.mean_completion_s > 0.0);
         assert!(st.sharing_factor > 1.0, "dense sets must share coverage");
+    }
+
+    #[test]
+    fn nearest_rank_percentile_returns_actual_samples() {
+        let s = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&s, 0.0), 10.0);
+        assert_eq!(percentile(&s, 20.0), 10.0);
+        assert_eq!(percentile(&s, 20.01), 20.0);
+        assert_eq!(percentile(&s, 50.0), 30.0);
+        assert_eq!(percentile(&s, 95.0), 50.0);
+        assert_eq!(percentile(&s, 100.0), 50.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_rejects_out_of_range() {
+        let _ = percentile(&[1.0], 101.0);
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! The real-I/O shell around [`ServeEngine`]: ingress readers, the
+//! tick loop, and graceful shutdown.
+//!
+//! Requests arrive as JSON lines (`{"sensor": 17, "deficit": 120.5}`)
+//! over stdin or a unix domain socket. Reader threads parse and forward
+//! them over a channel; the single-threaded tick loop drains the
+//! channel, submits, and ticks the engine — so the deterministic core
+//! never sees concurrency. On SIGINT/SIGTERM (or ingress EOF) the loop
+//! winds down at a tick boundary: final WAL sync, final snapshot, final
+//! report. Malformed lines are counted and reported, never fatal — a
+//! byte of garbage on the wire must not take the service down.
+
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::mpsc::{self, TryRecvError};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::engine::{Admission, ServeEngine, ServeError, ServeReport};
+use crate::request::{RequestParseError, ServeRequest};
+use crate::shutdown::stop_requested;
+
+/// Where requests come from.
+#[derive(Clone, Debug)]
+pub enum Ingress {
+    /// JSON lines on the daemon's stdin; EOF ends the service.
+    Stdin,
+    /// JSON lines on connections to a unix domain socket at this path.
+    UnixSocket(PathBuf),
+}
+
+/// Daemon behaviour knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonOptions {
+    /// Pace ticks in wall time (sleep `tick_s` per tick). Off, the loop
+    /// spins as fast as requests allow — useful under test.
+    pub pace_wall: bool,
+    /// On ingress EOF, keep ticking until in-flight drains to zero
+    /// before shutting down (a stop signal still exits immediately).
+    pub drain_on_eof: bool,
+    /// Echo one JSON line per submission outcome to stdout.
+    pub echo: bool,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> Self {
+        DaemonOptions { pace_wall: true, drain_on_eof: true, echo: false }
+    }
+}
+
+/// What a daemon run did.
+#[derive(Clone, Debug)]
+pub struct DaemonOutcome {
+    /// The engine's final report.
+    pub report: ServeReport,
+    /// Ingress lines that failed to parse (counted, never fatal).
+    pub malformed: u64,
+}
+
+fn outcome_line(req: &ServeRequest, admission: Admission) -> String {
+    let (verdict, seq) = match admission {
+        Admission::Accepted { seq } => ("accepted", Some(seq)),
+        Admission::ShedOnArrival { seq } => ("shed", Some(seq)),
+        Admission::Duplicate => ("duplicate", None),
+        Admission::Invalid => ("invalid", None),
+    };
+    match seq {
+        Some(seq) => format!(
+            "{{\"sensor\": {}, \"outcome\": \"{verdict}\", \"seq\": {seq}}}",
+            req.sensor
+        ),
+        None => format!("{{\"sensor\": {}, \"outcome\": \"{verdict}\"}}", req.sensor),
+    }
+}
+
+type IngressLine = Result<ServeRequest, RequestParseError>;
+
+fn spawn_stdin_reader(tx: mpsc::Sender<IngressLine>) {
+    std::thread::Builder::new()
+        .name("wrsn-serve-stdin".into())
+        .spawn(move || {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if tx.send(ServeRequest::parse(&line)).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn stdin reader");
+}
+
+#[cfg(unix)]
+fn spawn_socket_acceptor(
+    path: &std::path::Path,
+    tx: mpsc::Sender<IngressLine>,
+    stop: Arc<AtomicBool>,
+) -> Result<(), ServeError> {
+    use std::os::unix::net::UnixListener;
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path).map_err(|e| ServeError::Io(e.to_string()))?;
+    listener.set_nonblocking(true).map_err(|e| ServeError::Io(e.to_string()))?;
+    std::thread::Builder::new()
+        .name("wrsn-serve-accept".into())
+        .spawn(move || {
+            loop {
+                if stop_requested(&stop) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let tx = tx.clone();
+                        let _ = std::thread::Builder::new()
+                            .name("wrsn-serve-conn".into())
+                            .spawn(move || {
+                                let reader = std::io::BufReader::new(stream);
+                                for line in reader.lines() {
+                                    let Ok(line) = line else { break };
+                                    if line.trim().is_empty() {
+                                        continue;
+                                    }
+                                    if tx.send(ServeRequest::parse(&line)).is_err() {
+                                        break;
+                                    }
+                                }
+                            });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+        .map_err(|e| ServeError::Io(e.to_string()))?;
+    Ok(())
+}
+
+/// Runs `engine` as a daemon over `ingress` until a stop signal or
+/// ingress EOF, then shuts it down gracefully.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] for socket-bind or engine I/O failures.
+pub fn run_daemon(
+    mut engine: ServeEngine,
+    ingress: &Ingress,
+    stop: &Arc<AtomicBool>,
+    opts: &DaemonOptions,
+) -> Result<DaemonOutcome, ServeError> {
+    let (tx, rx) = mpsc::channel::<IngressLine>();
+    let socket_path = match ingress {
+        Ingress::Stdin => {
+            spawn_stdin_reader(tx);
+            None
+        }
+        Ingress::UnixSocket(path) => {
+            #[cfg(unix)]
+            {
+                spawn_socket_acceptor(path, tx, Arc::clone(stop))?;
+                Some(path.clone())
+            }
+            #[cfg(not(unix))]
+            {
+                drop(tx);
+                return Err(ServeError::Io(format!(
+                    "unix sockets are unavailable on this platform ({})",
+                    path.display()
+                )));
+            }
+        }
+    };
+
+    let tick_wall = Duration::from_secs_f64(engine.config().tick_s);
+    let mut malformed = 0u64;
+    let mut eof = false;
+    loop {
+        if stop_requested(stop) {
+            break;
+        }
+        loop {
+            match rx.try_recv() {
+                Ok(Ok(req)) => {
+                    let admission = engine.submit(req.sensor, req.deficit_j)?;
+                    if opts.echo {
+                        println!("{}", outcome_line(&req, admission));
+                    }
+                }
+                Ok(Err(_)) => malformed += 1,
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    eof = true;
+                    break;
+                }
+            }
+        }
+        engine.tick()?;
+        if eof && (!opts.drain_on_eof || engine.in_flight() == 0) {
+            break;
+        }
+        if opts.pace_wall {
+            std::thread::sleep(tick_wall);
+        }
+    }
+    let report = engine.shutdown()?;
+    if let Some(path) = socket_path {
+        let _ = std::fs::remove_file(path);
+    }
+    Ok(DaemonOutcome { report, malformed })
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use crate::engine::ServeConfig;
+    use crate::watchdog::PlannerFactory;
+    use std::io::Write;
+    use std::os::unix::net::UnixStream;
+    use std::sync::atomic::Ordering;
+    use wrsn_core::{GreedyTour, Planner};
+    use wrsn_net::NetworkBuilder;
+
+    fn engine(n: usize) -> ServeEngine {
+        let net = NetworkBuilder::new(n).seed(13).build();
+        let factory: Arc<PlannerFactory> =
+            Arc::new(|| Box::new(GreedyTour) as Box<dyn Planner>);
+        let cfg = ServeConfig { k: 1, tick_s: 0.005, ..ServeConfig::default() };
+        ServeEngine::new(net, cfg, factory).unwrap()
+    }
+
+    #[test]
+    fn socket_requests_are_served_and_stop_is_graceful() {
+        let dir = std::env::temp_dir()
+            .join(format!("wrsn_daemon_sock_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("serve.sock");
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let daemon = {
+            let sock = sock.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                run_daemon(
+                    engine(30),
+                    &Ingress::UnixSocket(sock),
+                    &stop,
+                    // Unpaced: the engine's virtual clock races ahead of
+                    // the wall, so the charges finish within the test.
+                    &DaemonOptions { pace_wall: false, drain_on_eof: false, echo: false },
+                )
+            })
+        };
+
+        // Wait for the socket to exist, then send three requests (one
+        // malformed) over a client connection.
+        let mut client = None;
+        for _ in 0..200 {
+            match UnixStream::connect(&sock) {
+                Ok(s) => {
+                    client = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        let mut client = client.expect("daemon socket never appeared");
+        writeln!(client, "{}", ServeRequest { sensor: 3, deficit_j: Some(2.0) }.to_json_line())
+            .unwrap();
+        writeln!(client, "{}", ServeRequest { sensor: 7, deficit_j: None }.to_json_line())
+            .unwrap();
+        writeln!(client, "this is not json").unwrap();
+        client.flush().unwrap();
+        drop(client);
+
+        // Let the daemon ingest and serve, then stop it.
+        let t0 = std::time::Instant::now();
+        std::thread::sleep(Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+        let outcome = daemon.join().unwrap().unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(30), "stop must be prompt");
+        assert_eq!(outcome.report.ledger.admitted, 2);
+        assert_eq!(outcome.malformed, 1);
+        assert!(outcome.report.ledger_reconciles);
+        assert!(!sock.exists(), "socket file is cleaned up");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn outcome_lines_name_the_verdict() {
+        let req = ServeRequest { sensor: 4, deficit_j: None };
+        assert_eq!(
+            outcome_line(&req, Admission::Accepted { seq: 9 }),
+            "{\"sensor\": 4, \"outcome\": \"accepted\", \"seq\": 9}"
+        );
+        assert_eq!(
+            outcome_line(&req, Admission::Duplicate),
+            "{\"sensor\": 4, \"outcome\": \"duplicate\"}"
+        );
+    }
+}

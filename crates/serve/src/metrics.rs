@@ -1,0 +1,141 @@
+//! Service observability: latency samples, depth gauges, and event
+//! counters.
+//!
+//! Latencies are measured on the service's virtual clock from the
+//! moment a request is *accepted* (WAL append): to the moment it enters
+//! a live tour (admission-to-dispatch) and to the moment its charge
+//! completes (admission-to-charged). Percentiles use the shared
+//! nearest-rank estimator in [`wrsn_core::stats::percentile`] — the
+//! same utility behind the simulator's estimator-error percentiles.
+
+use serde_json::Value;
+use wrsn_core::stats::percentile;
+
+/// Summary statistics of one latency population.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean, seconds.
+    pub mean_s: f64,
+    /// Median (nearest-rank), seconds.
+    pub p50_s: f64,
+    /// 95th percentile, seconds.
+    pub p95_s: f64,
+    /// 99th percentile, seconds.
+    pub p99_s: f64,
+    /// Maximum, seconds.
+    pub max_s: f64,
+}
+
+impl LatencySummary {
+    fn of(samples: &[f64]) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        LatencySummary {
+            count: sorted.len(),
+            mean_s: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_s: percentile(&sorted, 50.0),
+            p95_s: percentile(&sorted, 95.0),
+            p99_s: percentile(&sorted, 99.0),
+            max_s: *sorted.last().expect("non-empty"),
+        }
+    }
+
+    /// JSON form used by the serve report.
+    pub fn to_json(&self) -> Value {
+        serde_json::json!({
+            "count": self.count,
+            "mean_s": self.mean_s,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "p99_s": self.p99_s,
+            "max_s": self.max_s,
+        })
+    }
+}
+
+/// Accumulated service metrics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeMetrics {
+    dispatch_latency_s: Vec<f64>,
+    charged_latency_s: Vec<f64>,
+    /// Ticks processed.
+    pub ticks: u64,
+    /// High-water mark of the ingress queue depth.
+    pub max_queue_depth: usize,
+    /// High-water mark of in-flight requests (queued + touring).
+    pub max_in_flight: usize,
+    /// Planning-watchdog aborts (hung, panicked, or failed planner).
+    pub watchdog_trips: u64,
+    /// Full planner runs triggered by tour drift (or watchdog retries).
+    pub full_replans: u64,
+    /// Full re-plans skipped because the unstarted set exceeded the
+    /// configured `replan_max_stops` cap.
+    pub replans_skipped: u64,
+    /// Requests spliced into live tours by cheapest insertion.
+    pub incremental_inserts: u64,
+    /// Batches that fell back to a degraded planner.
+    pub planner_fallbacks: u64,
+}
+
+impl ServeMetrics {
+    /// Records an admission-to-dispatch latency sample.
+    pub fn record_dispatch(&mut self, latency_s: f64) {
+        self.dispatch_latency_s.push(latency_s.max(0.0));
+    }
+
+    /// Records an admission-to-charged latency sample.
+    pub fn record_charged(&mut self, latency_s: f64) {
+        self.charged_latency_s.push(latency_s.max(0.0));
+    }
+
+    /// Updates the depth high-water marks.
+    pub fn note_depth(&mut self, queue_depth: usize, in_flight: usize) {
+        self.max_queue_depth = self.max_queue_depth.max(queue_depth);
+        self.max_in_flight = self.max_in_flight.max(in_flight);
+    }
+
+    /// Summary of the admission-to-dispatch latencies.
+    pub fn dispatch_latency(&self) -> LatencySummary {
+        LatencySummary::of(&self.dispatch_latency_s)
+    }
+
+    /// Summary of the admission-to-charged latencies.
+    pub fn charged_latency(&self) -> LatencySummary {
+        LatencySummary::of(&self.charged_latency_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summaries_use_nearest_rank_percentiles() {
+        let mut m = ServeMetrics::default();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            m.record_dispatch(v);
+        }
+        let s = m.dispatch_latency();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.p50_s, 3.0);
+        assert_eq!(s.p95_s, 5.0);
+        assert_eq!(s.max_s, 5.0);
+        assert!((s.mean_s - 3.0).abs() < 1e-12);
+        assert_eq!(m.charged_latency(), LatencySummary::default());
+    }
+
+    #[test]
+    fn depth_gauges_keep_high_water_marks() {
+        let mut m = ServeMetrics::default();
+        m.note_depth(3, 10);
+        m.note_depth(7, 4);
+        m.note_depth(2, 2);
+        assert_eq!(m.max_queue_depth, 7);
+        assert_eq!(m.max_in_flight, 10);
+    }
+}

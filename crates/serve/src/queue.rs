@@ -1,0 +1,196 @@
+//! Bounded most-critical-first ingress queue with explicit backpressure.
+//!
+//! The queue orders accepted requests by *criticality* — the requesting
+//! sensor's residual lifetime, lower first — so batch draining always
+//! serves the sensors closest to dying, and saturation shedding always
+//! sacrifices the request that can best afford to wait. Shedding is
+//! never silent: [`IngressQueue::offer`] returns the evicted request
+//! (or reports the newcomer rejected) so the engine can ledger and
+//! trace every loss.
+
+use std::collections::BTreeMap;
+
+/// One accepted request waiting for admission.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueuedRequest {
+    /// Write-ahead-log sequence number (unique per accepted request).
+    pub seq: u64,
+    /// The requesting sensor's index.
+    pub sensor: u32,
+    /// Energy deficit to refill, joules.
+    pub deficit_j: f64,
+    /// Service time the request was accepted, seconds.
+    pub admitted_at_s: f64,
+    /// Batches this request has been drained and deferred so far.
+    pub deferrals: u32,
+    /// Criticality key: the sensor's residual lifetime at acceptance,
+    /// seconds (lower = more critical; must be non-negative).
+    pub lifetime_s: f64,
+}
+
+impl QueuedRequest {
+    /// Total-order key: lifetime first (non-negative f64 bits preserve
+    /// order), WAL sequence as the deterministic tiebreak.
+    fn key(&self) -> (u64, u64) {
+        (self.lifetime_s.max(0.0).to_bits(), self.seq)
+    }
+}
+
+/// Outcome of offering a request to the queue.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Offer {
+    /// Room available (or the queue made room): the request is queued.
+    Enqueued,
+    /// The queue was full and the newcomer outranked the least-critical
+    /// entry: that victim was evicted to make room and is returned so
+    /// the caller sheds it explicitly.
+    Displaced(QueuedRequest),
+    /// The queue was full of strictly more-critical requests: the
+    /// newcomer itself is returned for the caller to shed.
+    RejectedSaturated(QueuedRequest),
+}
+
+/// The bounded ingress queue.
+#[derive(Clone, Debug, Default)]
+pub struct IngressQueue {
+    entries: BTreeMap<(u64, u64), QueuedRequest>,
+    capacity: usize,
+    max_depth_seen: usize,
+}
+
+impl IngressQueue {
+    /// An empty queue holding at most `capacity` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` — a service that can hold nothing
+    /// cannot make progress.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        IngressQueue { entries: BTreeMap::new(), capacity, max_depth_seen: 0 }
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` iff no requests are queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// High-water mark of the depth over the queue's lifetime.
+    pub fn max_depth_seen(&self) -> usize {
+        self.max_depth_seen
+    }
+
+    /// Offers a request; see [`Offer`] for the saturation contract.
+    pub fn offer(&mut self, req: QueuedRequest) -> Offer {
+        if self.entries.len() >= self.capacity {
+            let worst_key = *self.entries.keys().next_back().expect("capacity >= 1");
+            if req.key() >= worst_key {
+                return Offer::RejectedSaturated(req);
+            }
+            let victim =
+                self.entries.remove(&worst_key).expect("worst key just observed");
+            self.entries.insert(req.key(), req);
+            return Offer::Displaced(victim);
+        }
+        self.entries.insert(req.key(), req);
+        self.max_depth_seen = self.max_depth_seen.max(self.entries.len());
+        Offer::Enqueued
+    }
+
+    /// Removes and returns the most critical request, if any.
+    pub fn pop_most_critical(&mut self) -> Option<QueuedRequest> {
+        let key = *self.entries.keys().next()?;
+        self.entries.remove(&key)
+    }
+
+    /// Drains up to `max` requests, most critical first.
+    pub fn drain_batch(&mut self, max: usize) -> Vec<QueuedRequest> {
+        let mut batch = Vec::with_capacity(max.min(self.entries.len()));
+        while batch.len() < max {
+            match self.pop_most_critical() {
+                Some(r) => batch.push(r),
+                None => break,
+            }
+        }
+        batch
+    }
+
+    /// Iterates the queued requests, most critical first.
+    pub fn iter(&self) -> impl Iterator<Item = &QueuedRequest> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(seq: u64, lifetime_s: f64) -> QueuedRequest {
+        QueuedRequest {
+            seq,
+            sensor: seq as u32,
+            deficit_j: 100.0,
+            admitted_at_s: 0.0,
+            deferrals: 0,
+            lifetime_s,
+        }
+    }
+
+    #[test]
+    fn drains_most_critical_first() {
+        let mut q = IngressQueue::new(8);
+        for (seq, life) in [(1, 300.0), (2, 100.0), (3, 200.0)] {
+            assert_eq!(q.offer(req(seq, life)), Offer::Enqueued);
+        }
+        let batch = q.drain_batch(2);
+        assert_eq!(batch.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.max_depth_seen(), 3);
+    }
+
+    #[test]
+    fn saturation_keeps_the_most_critical_set() {
+        let mut q = IngressQueue::new(2);
+        assert_eq!(q.offer(req(1, 100.0)), Offer::Enqueued);
+        assert_eq!(q.offer(req(2, 500.0)), Offer::Enqueued);
+        // A more critical newcomer displaces the least-critical entry.
+        match q.offer(req(3, 50.0)) {
+            Offer::Displaced(victim) => assert_eq!(victim.seq, 2),
+            other => panic!("expected displacement, got {other:?}"),
+        }
+        // A less critical newcomer than everything queued is rejected.
+        match q.offer(req(4, 1_000.0)) {
+            Offer::RejectedSaturated(back) => assert_eq!(back.seq, 4),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+        let order: Vec<u64> = q.drain_batch(9).iter().map(|r| r.seq).collect();
+        assert_eq!(order, vec![3, 1]);
+    }
+
+    #[test]
+    fn equal_lifetimes_tiebreak_by_sequence() {
+        let mut q = IngressQueue::new(4);
+        for seq in [7, 5, 6] {
+            q.offer(req(seq, 100.0));
+        }
+        let order: Vec<u64> = q.drain_batch(3).iter().map(|r| r.seq).collect();
+        assert_eq!(order, vec![5, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = IngressQueue::new(0);
+    }
+}

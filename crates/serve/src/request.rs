@@ -1,0 +1,133 @@
+//! The service's wire format: one JSON object per line.
+//!
+//! ```text
+//! {"sensor": 17}
+//! {"sensor": 42, "deficit_j": 5400.0}
+//! ```
+//!
+//! `sensor` is the requesting sensor's index; `deficit_j` optionally
+//! carries the reported energy deficit (defaults to the engine's
+//! configured fraction of the sensor's capacity when absent — a sensor
+//! that only signals "I am low" without telemetry detail).
+
+use serde_json::Value;
+
+/// One parsed charging request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeRequest {
+    /// Index of the requesting sensor.
+    pub sensor: u32,
+    /// Reported energy deficit in joules, if the request carried one.
+    pub deficit_j: Option<f64>,
+}
+
+/// Why a request line was rejected at parse time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestParseError {
+    /// The line is not valid JSON.
+    Json(String),
+    /// The JSON is valid but has no non-negative integer `sensor` field.
+    MissingSensor,
+    /// `deficit_j` is present but not a finite non-negative number.
+    BadDeficit,
+}
+
+impl std::fmt::Display for RequestParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestParseError::Json(e) => write!(f, "request is not valid JSON: {e}"),
+            RequestParseError::MissingSensor => {
+                write!(f, "request needs a non-negative integer \"sensor\" field")
+            }
+            RequestParseError::BadDeficit => {
+                write!(f, "\"deficit_j\" must be a finite non-negative number")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestParseError {}
+
+impl ServeRequest {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// [`RequestParseError`] for malformed JSON, a missing/negative
+    /// `sensor` field, or a non-finite/negative `deficit_j`.
+    pub fn parse(line: &str) -> Result<Self, RequestParseError> {
+        let v: Value = serde_json::from_str(line)
+            .map_err(|e| RequestParseError::Json(format!("{e:?}")))?;
+        let sensor = v
+            .get("sensor")
+            .and_then(Value::as_u64)
+            .and_then(|s| u32::try_from(s).ok())
+            .ok_or(RequestParseError::MissingSensor)?;
+        let deficit_j = match v.get("deficit_j") {
+            None | Some(Value::Null) => None,
+            Some(d) => {
+                let d = d.as_f64().ok_or(RequestParseError::BadDeficit)?;
+                if !d.is_finite() || d < 0.0 {
+                    return Err(RequestParseError::BadDeficit);
+                }
+                Some(d)
+            }
+        };
+        Ok(ServeRequest { sensor, deficit_j })
+    }
+
+    /// Renders the request back to its one-line wire form.
+    pub fn to_json_line(&self) -> String {
+        match self.deficit_j {
+            Some(d) => format!("{{\"sensor\": {}, \"deficit_j\": {}}}", self.sensor, d),
+            None => format!("{{\"sensor\": {}}}", self.sensor),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_and_full_requests() {
+        assert_eq!(
+            ServeRequest::parse("{\"sensor\": 17}"),
+            Ok(ServeRequest { sensor: 17, deficit_j: None })
+        );
+        assert_eq!(
+            ServeRequest::parse("{\"sensor\": 3, \"deficit_j\": 120.5}"),
+            Ok(ServeRequest { sensor: 3, deficit_j: Some(120.5) })
+        );
+    }
+
+    #[test]
+    fn round_trips_through_the_wire_form() {
+        for req in [
+            ServeRequest { sensor: 0, deficit_j: None },
+            ServeRequest { sensor: 9, deficit_j: Some(42.25) },
+        ] {
+            assert_eq!(ServeRequest::parse(&req.to_json_line()), Ok(req));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(matches!(
+            ServeRequest::parse("not json"),
+            Err(RequestParseError::Json(_))
+        ));
+        assert_eq!(
+            ServeRequest::parse("{\"deficit_j\": 10}"),
+            Err(RequestParseError::MissingSensor)
+        );
+        assert_eq!(
+            ServeRequest::parse("{\"sensor\": -4}"),
+            Err(RequestParseError::MissingSensor)
+        );
+        assert_eq!(
+            ServeRequest::parse("{\"sensor\": 1, \"deficit_j\": -5}"),
+            Err(RequestParseError::BadDeficit)
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Soak harness: a seeded open-loop load generator over the engine.
+//!
+//! Arrivals are *open-loop* — the configured rate keeps coming whether
+//! or not the service keeps up, which is exactly the regime where
+//! backpressure, shedding, and the ledger identity must hold. The
+//! generator carries a fractional arrivals-per-tick accumulator, so any
+//! rate (including fractions of a request per tick) is honoured exactly
+//! over time, and every run is reproducible from its seed.
+//!
+//! By default the soak runs on the engine's virtual clock as fast as
+//! the machine allows, which is what the acceptance target measures
+//! (sustained 10k+ req/s of offered load). With
+//! [`SoakConfig::realtime`] each tick also sleeps out its wall-clock
+//! duration — that mode exists for the kill-and-resume CI leg, which
+//! needs a process alive long enough to `kill -9` mid-soak.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+use crate::engine::{ServeEngine, ServeError, ServeReport};
+use crate::shutdown::stop_requested;
+
+/// Soak load profile.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SoakConfig {
+    /// Offered load, requests per second of service time.
+    pub rate_per_s: f64,
+    /// Service time to soak for, seconds.
+    pub duration_s: f64,
+    /// Generator seed (sensor choice and deficit draw).
+    pub seed: u64,
+    /// Requested deficit range as fractions of sensor capacity.
+    pub deficit_fraction: (f64, f64),
+    /// Sleep each tick out in wall time (for kill-mid-soak runs).
+    pub realtime: bool,
+    /// After the load stops, keep ticking until in-flight drains to
+    /// zero (bounded by [`SoakConfig::drain_limit_s`]).
+    pub drain: bool,
+    /// Cap on the drain phase, seconds of service time.
+    pub drain_limit_s: f64,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            rate_per_s: 10_000.0,
+            duration_s: 60.0,
+            seed: 1,
+            deficit_fraction: (0.2, 0.9),
+            realtime: false,
+            drain: false,
+            drain_limit_s: 3600.0,
+        }
+    }
+}
+
+/// What a soak run did.
+#[derive(Clone, Debug)]
+pub struct SoakOutcome {
+    /// The engine's final report.
+    pub report: ServeReport,
+    /// Requests the generator offered.
+    pub offered: u64,
+    /// Wall-clock time the run took, seconds.
+    pub wall_s: f64,
+    /// Offered load per wall-clock second actually sustained.
+    pub achieved_rate_per_s: f64,
+}
+
+impl SoakOutcome {
+    /// The outcome as JSON (what the CLI archives).
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut v = self.report.to_json();
+        if let serde_json::Value::Object(map) = &mut v {
+            map.insert("offered".into(), serde_json::Value::from(self.offered));
+            map.insert("wall_s".into(), serde_json::Value::from(self.wall_s));
+            map.insert(
+                "achieved_rate_per_s".into(),
+                serde_json::Value::from(self.achieved_rate_per_s),
+            );
+        }
+        v
+    }
+}
+
+/// Drives `engine` with `cfg`'s load until the duration elapses or
+/// `stop` trips, then shuts the engine down and reports.
+///
+/// # Errors
+///
+/// Propagates engine I/O failures ([`ServeError::Io`]).
+///
+/// # Panics
+///
+/// If `cfg.rate_per_s` or `cfg.duration_s` is negative or non-finite.
+pub fn run_soak(
+    mut engine: ServeEngine,
+    cfg: &SoakConfig,
+    stop: Option<&Arc<AtomicBool>>,
+) -> Result<SoakOutcome, ServeError> {
+    assert!(
+        cfg.rate_per_s >= 0.0 && cfg.rate_per_s.is_finite(),
+        "soak rate must be non-negative and finite"
+    );
+    assert!(
+        cfg.duration_s >= 0.0 && cfg.duration_s.is_finite(),
+        "soak duration must be non-negative and finite"
+    );
+    let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed);
+    let n = engine.sensor_count();
+    let tick_s = engine.config().tick_s;
+    // An exact tick count, not a `now_s < end` comparison: accumulated
+    // floating-point drift in the clock must not add or drop a tick.
+    let ticks = (cfg.duration_s / tick_s).round() as u64;
+    let (f_lo, f_hi) = cfg.deficit_fraction;
+    let t0 = Instant::now();
+    let mut offered = 0u64;
+    let mut carry = 0.0f64;
+
+    let mut stopped = false;
+    for _ in 0..ticks {
+        if stop.is_some_and(|f| stop_requested(f)) {
+            stopped = true;
+            break;
+        }
+        carry += cfg.rate_per_s * tick_s;
+        let arrivals = carry.floor() as u64;
+        carry -= arrivals as f64;
+        for _ in 0..arrivals {
+            let sensor = rng.gen_range(0..n) as u32;
+            let fraction = if f_hi > f_lo { rng.gen_range(f_lo..=f_hi) } else { f_lo };
+            offered += 1;
+            engine.submit_fraction(sensor, fraction)?;
+        }
+        engine.tick()?;
+        if cfg.realtime {
+            std::thread::sleep(std::time::Duration::from_secs_f64(tick_s));
+        }
+    }
+
+    if cfg.drain && !stopped {
+        let drain_end = engine.now_s() + cfg.drain_limit_s.max(0.0);
+        while engine.in_flight() > 0 && engine.now_s() < drain_end {
+            if stop.is_some_and(|f| stop_requested(f)) {
+                break;
+            }
+            engine.tick()?;
+        }
+    }
+
+    let wall_s = t0.elapsed().as_secs_f64();
+    let report = engine.shutdown()?;
+    Ok(SoakOutcome {
+        report,
+        offered,
+        wall_s,
+        achieved_rate_per_s: if wall_s > 0.0 { offered as f64 / wall_s } else { 0.0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeConfig;
+    use crate::watchdog::PlannerFactory;
+    use wrsn_core::{GreedyTour, Planner};
+    use wrsn_net::NetworkBuilder;
+
+    fn engine(n: usize, cfg: ServeConfig) -> ServeEngine {
+        let net = NetworkBuilder::new(n).seed(11).build();
+        let factory: Arc<PlannerFactory> =
+            Arc::new(|| Box::new(GreedyTour) as Box<dyn Planner>);
+        ServeEngine::new(net, cfg, factory).unwrap()
+    }
+
+    #[test]
+    fn the_accumulator_honours_fractional_rates() {
+        // 2.5 req/s for 8 s at tick 0.1 s must offer exactly 20.
+        let cfg = SoakConfig {
+            rate_per_s: 2.5,
+            duration_s: 8.0,
+            drain: true,
+            ..SoakConfig::default()
+        };
+        let outcome =
+            run_soak(engine(50, ServeConfig { k: 2, ..ServeConfig::default() }), &cfg, None)
+                .unwrap();
+        assert_eq!(outcome.offered, 20);
+        assert!(outcome.report.ledger_reconciles);
+    }
+
+    #[test]
+    fn overload_sheds_but_conserves_the_ledger() {
+        // 2000 req/s into 40 sensors with a 16-slot queue (fewer slots
+        // than sensors, or per-sensor dedup alone would absorb the
+        // overload): heavy saturation, duplicates and sheds — and the
+        // identity still holds exactly.
+        let serve_cfg =
+            ServeConfig { k: 2, queue_capacity: 16, ..ServeConfig::default() };
+        let cfg = SoakConfig {
+            rate_per_s: 2_000.0,
+            duration_s: 2.0,
+            ..SoakConfig::default()
+        };
+        let outcome = run_soak(engine(40, serve_cfg), &cfg, None).unwrap();
+        assert_eq!(outcome.offered, 4_000);
+        assert!(outcome.report.ledger_reconciles);
+        assert_eq!(outcome.report.silent_loss(), 0);
+        assert!(outcome.report.ledger.shed > 0, "saturation must shed");
+        assert!(
+            outcome.report.max_queue_depth <= 16,
+            "queue depth stays bounded under overload"
+        );
+        assert!(outcome.report.ledger.duplicates > 0);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        let serve_cfg = ServeConfig { k: 2, ..ServeConfig::default() };
+        let cfg = SoakConfig {
+            rate_per_s: 300.0,
+            duration_s: 1.0,
+            seed: 42,
+            ..SoakConfig::default()
+        };
+        let a = run_soak(engine(60, serve_cfg), &cfg, None).unwrap();
+        let b = run_soak(engine(60, serve_cfg), &cfg, None).unwrap();
+        assert_eq!(a.offered, b.offered);
+        assert_eq!(a.report.ledger, b.report.ledger);
+        assert_eq!(a.report.dispatch_latency, b.report.dispatch_latency);
+    }
+
+    #[test]
+    fn a_tripped_stop_flag_ends_the_soak_early() {
+        let stop = Arc::new(AtomicBool::new(true)); // already tripped
+        let cfg = SoakConfig { rate_per_s: 100.0, duration_s: 30.0, ..SoakConfig::default() };
+        let outcome = run_soak(
+            engine(50, ServeConfig { k: 1, ..ServeConfig::default() }),
+            &cfg,
+            Some(&stop),
+        )
+        .unwrap();
+        assert_eq!(outcome.offered, 0);
+        assert_eq!(outcome.report.ticks, 0);
+    }
+}

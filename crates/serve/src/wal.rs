@@ -1,0 +1,261 @@
+//! Request write-ahead log.
+//!
+//! Every *accepted* request is appended here — one compact JSON line,
+//! sequence-numbered, with its `f64` fields encoded as `to_bits()`
+//! integers like the simulator snapshots — **before** it enters the
+//! ingress queue. The file is fsynced once per tick (group commit), so
+//! after a `kill -9` at most the requests of the in-flight tick are on
+//! disk without their in-memory effects — and replaying the log tail on
+//! top of the last snapshot reconstructs exactly those. A torn final
+//! line (the crash landed mid-append) is detected and dropped; torn
+//! *interior* lines are corruption and refuse to load.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use serde_json::Value;
+
+/// One logged acceptance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WalEntry {
+    /// Monotonically increasing sequence number, starting at 1.
+    pub seq: u64,
+    /// Service time of the acceptance, seconds.
+    pub at_s: f64,
+    /// The requesting sensor's index.
+    pub sensor: u32,
+    /// Energy deficit to refill, joules.
+    pub deficit_j: f64,
+}
+
+impl WalEntry {
+    fn to_line(self) -> String {
+        format!(
+            "{{\"seq\": {}, \"t\": {}, \"sensor\": {}, \"deficit\": {}}}\n",
+            self.seq,
+            self.at_s.to_bits(),
+            self.sensor,
+            self.deficit_j.to_bits()
+        )
+    }
+
+    fn parse(line: &str) -> Option<WalEntry> {
+        let v: Value = serde_json::from_str(line).ok()?;
+        Some(WalEntry {
+            seq: v.get("seq")?.as_u64()?,
+            at_s: f64::from_bits(v.get("t")?.as_u64()?),
+            sensor: u32::try_from(v.get("sensor")?.as_u64()?).ok()?,
+            deficit_j: f64::from_bits(v.get("deficit")?.as_u64()?),
+        })
+    }
+}
+
+/// The append side of the log.
+#[derive(Debug)]
+pub struct Wal {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    next_seq: u64,
+    dirty: bool,
+}
+
+impl Wal {
+    /// Creates (truncating) a fresh log and fsyncs the parent directory
+    /// so the new file itself survives a crash.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure.
+    pub fn create(path: &Path) -> io::Result<Wal> {
+        if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = File::create(path)?;
+        if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            wrsn_sim::persist::fsync_dir(dir)?;
+        }
+        Ok(Wal { writer: BufWriter::new(file), path: path.to_path_buf(), next_seq: 1, dirty: false })
+    }
+
+    /// Opens an existing log for appending after [`Wal::replay`];
+    /// sequence numbering continues at `next_seq`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure.
+    pub fn open_append(path: &Path, next_seq: u64) -> io::Result<Wal> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Wal { writer: BufWriter::new(file), path: path.to_path_buf(), next_seq, dirty: false })
+    }
+
+    /// Reads every complete entry of the log in order.
+    ///
+    /// Returns the entries plus a flag reporting whether a torn final
+    /// line was dropped (the signature of a crash mid-append). Returns
+    /// an empty log for a missing file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or `InvalidData` for interior corruption:
+    /// unparsable non-final lines or non-increasing sequence numbers.
+    pub fn replay(path: &Path) -> io::Result<(Vec<WalEntry>, bool)> {
+        let body = match std::fs::read_to_string(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), false)),
+            Err(e) => return Err(e),
+        };
+        let lines: Vec<&str> = body.split('\n').filter(|l| !l.is_empty()).collect();
+        let mut entries = Vec::with_capacity(lines.len());
+        let mut torn = false;
+        for (i, line) in lines.iter().enumerate() {
+            match WalEntry::parse(line) {
+                Some(e) => {
+                    if entries.last().is_some_and(|p: &WalEntry| e.seq <= p.seq) {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("WAL sequence regressed at line {}", i + 1),
+                        ));
+                    }
+                    entries.push(e);
+                }
+                None if i + 1 == lines.len() => torn = true,
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("WAL corrupted at interior line {}", i + 1),
+                    ));
+                }
+            }
+        }
+        Ok((entries, torn))
+    }
+
+    /// Appends an acceptance and returns its assigned sequence number.
+    /// The write is buffered; call [`Wal::sync`] at the tick boundary
+    /// to make the batch durable.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure.
+    pub fn append(&mut self, at_s: f64, sensor: u32, deficit_j: f64) -> io::Result<u64> {
+        let seq = self.next_seq;
+        let entry = WalEntry { seq, at_s, sensor, deficit_j };
+        self.writer.write_all(entry.to_line().as_bytes())?;
+        self.next_seq += 1;
+        self.dirty = true;
+        Ok(seq)
+    }
+
+    /// Flushes and fsyncs all appends since the last sync (group
+    /// commit); a no-op when clean.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if !self.dirty {
+            return Ok(());
+        }
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// The sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wrsn_wal_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("requests.wal")
+    }
+
+    #[test]
+    fn append_sync_replay_round_trips() {
+        let path = tmp("roundtrip");
+        let mut wal = Wal::create(&path).unwrap();
+        assert_eq!(wal.append(0.5, 7, 120.25).unwrap(), 1);
+        assert_eq!(wal.append(0.6, 9, 10.0).unwrap(), 2);
+        wal.sync().unwrap();
+        let (entries, torn) = Wal::replay(&path).unwrap();
+        assert!(!torn);
+        assert_eq!(
+            entries,
+            vec![
+                WalEntry { seq: 1, at_s: 0.5, sensor: 7, deficit_j: 120.25 },
+                WalEntry { seq: 2, at_s: 0.6, sensor: 9, deficit_j: 10.0 },
+            ]
+        );
+        // Appending continues the numbering after a reopen.
+        drop(wal);
+        let mut wal = Wal::open_append(&path, 3).unwrap();
+        assert_eq!(wal.append(0.7, 1, 5.0).unwrap(), 3);
+        wal.sync().unwrap();
+        let (entries, _) = Wal::replay(&path).unwrap();
+        assert_eq!(entries.len(), 3);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn missing_log_replays_empty() {
+        let path = tmp("missing").join("nope.wal");
+        assert_eq!(Wal::replay(&path).unwrap(), (Vec::new(), false));
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_flagged() {
+        let path = tmp("torn");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(1.0, 3, 50.0).unwrap();
+        wal.sync().unwrap();
+        // Simulate a crash mid-append: a partial trailing line.
+        let mut body = std::fs::read_to_string(&path).unwrap();
+        body.push_str("{\"seq\": 2, \"t\": 46");
+        std::fs::write(&path, body).unwrap();
+        let (entries, torn) = Wal::replay(&path).unwrap();
+        assert!(torn, "partial tail must be reported");
+        assert_eq!(entries.len(), 1);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn interior_corruption_is_refused() {
+        let path = tmp("corrupt");
+        std::fs::write(
+            &path,
+            "{\"seq\": 1, \"t\": 0, \"sensor\": 1, \"deficit\": 0}\nGARBAGE\n{\"seq\": 3, \"t\": 0, \"sensor\": 2, \"deficit\": 0}\n",
+        )
+        .unwrap();
+        let err = Wal::replay(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn sequence_regression_is_refused() {
+        let path = tmp("regress");
+        std::fs::write(
+            &path,
+            "{\"seq\": 2, \"t\": 0, \"sensor\": 1, \"deficit\": 0}\n{\"seq\": 2, \"t\": 0, \"sensor\": 2, \"deficit\": 0}\n",
+        )
+        .unwrap();
+        let err = Wal::replay(&path).unwrap_err();
+        assert!(err.to_string().contains("sequence"));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

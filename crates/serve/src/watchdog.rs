@@ -1,0 +1,212 @@
+//! Planning watchdog: time-budgeted, panic-isolated full re-plans.
+//!
+//! An online service cannot let one pathological batch take the daemon
+//! down or stall its tick loop: a planner that panics, returns an
+//! error, or simply runs past its time budget must be *abandoned* and
+//! the batch re-planned down the degraded chain — K-EDF first (cheap,
+//! deadline-aware), then the infallible [`GreedyTour`] — mirroring the
+//! simulator's recovery contract
+//! ([`wrsn_core::plan_with_fallback`]). The primary planner runs on a
+//! worker thread behind `catch_unwind`; on a timeout the thread is
+//! detached (std threads cannot be cancelled) and its late result, if
+//! it ever arrives, is discarded with the channel.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use wrsn_baselines::KEdf;
+use wrsn_core::{ChargingProblem, GreedyTour, Planner, Schedule};
+
+/// Builds a fresh primary planner per guarded run, so the planner
+/// itself never has to be `Send` — only the factory crosses threads.
+pub type PlannerFactory = dyn Fn() -> Box<dyn Planner> + Send + Sync;
+
+/// Which planner produced the accepted schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanSource {
+    /// The configured primary planner, within budget.
+    Primary,
+    /// The K-EDF fallback after a watchdog trip.
+    FallbackKEdf,
+    /// The terminal greedy fallback after K-EDF also failed.
+    FallbackGreedy,
+}
+
+/// Why the watchdog abandoned the primary planner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TripReason {
+    /// The planner exceeded the time budget; its thread was detached.
+    TimedOut,
+    /// The planner panicked (caught by `catch_unwind`).
+    Panicked,
+    /// The planner returned a [`wrsn_core::PlanError`].
+    Failed,
+}
+
+/// Outcome of one guarded planning run.
+#[derive(Clone, Debug)]
+pub struct GuardedPlan {
+    /// The accepted schedule.
+    pub schedule: Schedule,
+    /// The planner that produced it.
+    pub source: PlanSource,
+    /// Why the primary was abandoned, when it was.
+    pub tripped: Option<TripReason>,
+}
+
+/// Runs K-EDF, then [`GreedyTour`], unwinding-isolated, accepting the
+/// first schedule. `GreedyTour` cannot fail on a valid problem; if the
+/// impossible happens anyway, the batch degrades to an idle schedule
+/// rather than poisoning the daemon.
+fn degraded_plan(problem: &ChargingProblem) -> (Schedule, PlanSource) {
+    let kedf = catch_unwind(AssertUnwindSafe(|| KEdf::default().plan(problem)));
+    if let Ok(Ok(schedule)) = kedf {
+        return (schedule, PlanSource::FallbackKEdf);
+    }
+    let greedy = catch_unwind(AssertUnwindSafe(|| GreedyTour.plan(problem)));
+    match greedy {
+        Ok(Ok(schedule)) => (schedule, PlanSource::FallbackGreedy),
+        _ => (Schedule::idle(problem.charger_count()), PlanSource::FallbackGreedy),
+    }
+}
+
+/// Plans `problem` with the primary planner under `budget`, falling
+/// back down the degraded chain on a hang, panic, or error.
+///
+/// Never blocks longer than roughly `budget` on the primary (the
+/// fallbacks run inline and are fast by construction), and never
+/// propagates a planner panic to the caller.
+pub fn plan_guarded(
+    problem: &ChargingProblem,
+    primary: &Arc<PlannerFactory>,
+    budget: Duration,
+) -> GuardedPlan {
+    let (tx, rx) = mpsc::channel();
+    let worker_problem = problem.clone();
+    let factory = Arc::clone(primary);
+    let spawned = std::thread::Builder::new()
+        .name("wrsn-serve-plan".into())
+        .spawn(move || {
+            let result =
+                catch_unwind(AssertUnwindSafe(|| factory().plan(&worker_problem)));
+            // The receiver may be gone already (watchdog fired): a late
+            // result is discarded with the channel, by design.
+            let _ = tx.send(result);
+        });
+    if spawned.is_err() {
+        // Thread spawn failure (resource exhaustion): treat like a
+        // failed planner and serve the batch degraded.
+        let (schedule, source) = degraded_plan(problem);
+        return GuardedPlan { schedule, source, tripped: Some(TripReason::Failed) };
+    }
+    let reason = match rx.recv_timeout(budget) {
+        Ok(Ok(Ok(schedule))) => {
+            return GuardedPlan { schedule, source: PlanSource::Primary, tripped: None }
+        }
+        Ok(Ok(Err(_))) => TripReason::Failed,
+        Ok(Err(_)) => TripReason::Panicked,
+        Err(_) => TripReason::TimedOut,
+    };
+    let (schedule, source) = degraded_plan(problem);
+    GuardedPlan { schedule, source, tripped: Some(reason) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrsn_core::{ChargingParams, ChargingTarget, PlanError};
+    use wrsn_geom::Point;
+    use wrsn_net::SensorId;
+
+    fn problem() -> ChargingProblem {
+        let targets = vec![
+            ChargingTarget {
+                id: SensorId(0),
+                pos: Point::new(10.0, 0.0),
+                charge_duration_s: 60.0,
+                residual_lifetime_s: 100.0,
+            },
+            ChargingTarget {
+                id: SensorId(1),
+                pos: Point::new(0.0, 20.0),
+                charge_duration_s: 30.0,
+                residual_lifetime_s: 200.0,
+            },
+        ];
+        ChargingProblem::new(Point::ORIGIN, targets, 2, ChargingParams::default()).unwrap()
+    }
+
+    fn factory_of<P: Planner + 'static>(build: impl Fn() -> P + Send + Sync + 'static)
+    -> Arc<PlannerFactory> {
+        Arc::new(move || Box::new(build()) as Box<dyn Planner>)
+    }
+
+    struct Panicking;
+    impl Planner for Panicking {
+        fn name(&self) -> &'static str {
+            "panics"
+        }
+        fn plan(&self, _: &ChargingProblem) -> Result<Schedule, PlanError> {
+            panic!("planner bug")
+        }
+    }
+
+    struct Hanging;
+    impl Planner for Hanging {
+        fn name(&self) -> &'static str {
+            "hangs"
+        }
+        fn plan(&self, _: &ChargingProblem) -> Result<Schedule, PlanError> {
+            std::thread::sleep(Duration::from_secs(60));
+            Ok(Schedule::idle(1))
+        }
+    }
+
+    struct Failing;
+    impl Planner for Failing {
+        fn name(&self) -> &'static str {
+            "fails"
+        }
+        fn plan(&self, _: &ChargingProblem) -> Result<Schedule, PlanError> {
+            Err(PlanError::Internal("deliberate"))
+        }
+    }
+
+    #[test]
+    fn healthy_primary_is_used() {
+        let p = problem();
+        let plan = plan_guarded(&p, &factory_of(|| GreedyTour), Duration::from_secs(30));
+        assert_eq!(plan.source, PlanSource::Primary);
+        assert_eq!(plan.tripped, None);
+        assert!(plan.schedule.certify(&p).is_ok());
+    }
+
+    #[test]
+    fn panicking_primary_trips_to_fallback() {
+        let p = problem();
+        let plan = plan_guarded(&p, &factory_of(|| Panicking), Duration::from_secs(30));
+        assert_eq!(plan.tripped, Some(TripReason::Panicked));
+        assert_eq!(plan.source, PlanSource::FallbackKEdf);
+        assert_eq!(plan.schedule.tours.len(), 2);
+    }
+
+    #[test]
+    fn failing_primary_trips_to_fallback() {
+        let p = problem();
+        let plan = plan_guarded(&p, &factory_of(|| Failing), Duration::from_secs(30));
+        assert_eq!(plan.tripped, Some(TripReason::Failed));
+        assert_eq!(plan.source, PlanSource::FallbackKEdf);
+    }
+
+    #[test]
+    fn hung_primary_times_out_and_is_detached() {
+        let p = problem();
+        let t0 = std::time::Instant::now();
+        let plan = plan_guarded(&p, &factory_of(|| Hanging), Duration::from_millis(50));
+        assert!(t0.elapsed() < Duration::from_secs(30), "must not wait out the hang");
+        assert_eq!(plan.tripped, Some(TripReason::TimedOut));
+        assert_eq!(plan.source, PlanSource::FallbackKEdf);
+    }
+}

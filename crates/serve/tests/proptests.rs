@@ -1,0 +1,99 @@
+//! Property-based serve-daemon guarantees.
+//!
+//! The two robustness properties the ISSUE pins:
+//!
+//! 1. **Sustained overload never starves a request.** With the
+//!    admission bound set so low that everything is over-bound, every
+//!    queued request is still dispatched (by forced escalation) within
+//!    `max_deferrals + 1` drained batches of arrivals stopping — or it
+//!    was shed, loudly, under backpressure.
+//! 2. **The ledger conserves.** For arbitrary interleavings of
+//!    submissions and ticks, `admitted = charged + shed + in-flight`
+//!    holds at every step and at shutdown.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use wrsn_core::{GreedyTour, Planner};
+use wrsn_net::NetworkBuilder;
+use wrsn_serve::{PlannerFactory, ServeConfig, ServeEngine};
+
+fn factory() -> Arc<PlannerFactory> {
+    Arc::new(|| Box::new(GreedyTour) as Box<dyn Planner>)
+}
+
+/// A request stream: (sensor pick, deficit fraction, ticks after).
+fn stream(n: u32, max_len: usize) -> impl Strategy<Value = Vec<(u32, f64, u8)>> {
+    proptest::collection::vec((0..n, 0.05f64..1.0, 0u8..3), 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Overload never starves: once arrivals stop, the queue fully
+    /// drains within `max_deferrals + 1` batch rounds — deferred
+    /// requests are forcibly escalated, not parked forever.
+    #[test]
+    fn overload_escalates_within_the_deferral_bound(
+        reqs in stream(60, 120),
+        max_deferrals in 0u32..5,
+        max_batch in 1usize..16,
+    ) {
+        let net = NetworkBuilder::new(60).seed(41).build();
+        let cfg = ServeConfig {
+            k: 1,
+            max_batch,
+            admission_bound_s: 1e-9, // everything is over-bound
+            max_deferrals,
+            ..ServeConfig::default()
+        };
+        let mut e = ServeEngine::new(net, cfg, factory()).unwrap();
+        for &(sensor, fraction, ticks) in &reqs {
+            e.submit_fraction(sensor, fraction).unwrap();
+            for _ in 0..ticks {
+                e.tick().unwrap();
+            }
+        }
+        // Arrivals stop. Each batch round drains up to `max_batch`
+        // requests, and each request survives at most `max_deferrals`
+        // deferrals before forced escalation — so the queue must be
+        // empty after this many further ticks.
+        let depth = e.queue_depth();
+        let rounds_per_pass = depth.div_ceil(max_batch).max(1);
+        let bound = rounds_per_pass * (max_deferrals as usize + 1) + 1;
+        for _ in 0..bound {
+            e.tick().unwrap();
+        }
+        prop_assert_eq!(e.queue_depth(), 0, "a request starved past the deferral bound");
+        prop_assert!(e.ledger_reconciles());
+        // Everything over-bound that dispatched must have escalated.
+        let l = e.ledger();
+        prop_assert!(l.escalated > 0 || l.admitted == l.shed + l.charged + e.in_flight() as u64);
+    }
+
+    /// The conservation identity holds at every step of any
+    /// submit/tick interleaving, and silent loss is exactly zero at
+    /// shutdown.
+    #[test]
+    fn ledger_conserves_under_arbitrary_interleavings(
+        reqs in stream(40, 100),
+        queue_capacity in 1usize..24,
+    ) {
+        let net = NetworkBuilder::new(40).seed(43).build();
+        let cfg = ServeConfig { k: 2, queue_capacity, ..ServeConfig::default() };
+        let mut e = ServeEngine::new(net, cfg, factory()).unwrap();
+        for &(sensor, fraction, ticks) in &reqs {
+            e.submit_fraction(sensor, fraction).unwrap();
+            prop_assert!(e.ledger_reconciles(), "identity broken after submit");
+            for _ in 0..ticks {
+                e.tick().unwrap();
+                prop_assert!(e.ledger_reconciles(), "identity broken after tick");
+            }
+        }
+        let report = e.shutdown().unwrap();
+        prop_assert!(report.ledger_reconciles);
+        prop_assert_eq!(report.silent_loss(), 0);
+        // Bounded queue: the high-water mark respects the cap.
+        prop_assert!(report.max_queue_depth <= queue_capacity);
+    }
+}

@@ -1,0 +1,154 @@
+//! End-to-end serve-daemon scenarios: soak through the public API,
+//! crash recovery with a torn WAL tail, and resume continuity.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use wrsn_core::{GreedyTour, Planner};
+use wrsn_net::NetworkBuilder;
+use wrsn_serve::soak::{run_soak, SoakConfig};
+use wrsn_serve::{PlannerFactory, ServeConfig, ServeEngine};
+
+fn factory() -> Arc<PlannerFactory> {
+    Arc::new(|| Box::new(GreedyTour) as Box<dyn Planner>)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wrsn_serve_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn a_full_soak_conserves_and_reports_latencies() {
+    let net = NetworkBuilder::new(120).seed(31).build();
+    let cfg = ServeConfig { k: 3, ..ServeConfig::default() };
+    let engine = ServeEngine::new(net, cfg, factory()).unwrap();
+    let soak = SoakConfig {
+        rate_per_s: 500.0,
+        duration_s: 10.0,
+        seed: 7,
+        // Tiny deficits (a few joules of the 10.8 kJ battery) keep the
+        // charge durations short enough for the drain to finish.
+        deficit_fraction: (0.0002, 0.001),
+        drain: true,
+        drain_limit_s: 20_000.0,
+        ..SoakConfig::default()
+    };
+    let outcome = run_soak(engine, &soak, None).unwrap();
+    assert_eq!(outcome.offered, 5_000);
+    assert!(outcome.report.ledger_reconciles);
+    assert_eq!(outcome.report.silent_loss(), 0);
+    assert!(outcome.report.ledger.admitted > 0);
+    assert!(outcome.report.ledger.charged > 0, "drained soak must charge");
+    assert!(outcome.report.dispatch_latency.count > 0);
+    assert!(outcome.report.charged_latency.count > 0);
+    assert!(outcome.report.dispatch_latency.p50_s <= outcome.report.dispatch_latency.p99_s);
+    assert!(outcome.report.charged_latency.p99_s <= outcome.report.charged_latency.max_s);
+    // Bounded queue: the high-water mark respects the configured cap.
+    assert!(outcome.report.max_queue_depth <= cfg.queue_capacity);
+}
+
+#[test]
+fn kill_mid_soak_and_resume_loses_no_accepted_request() {
+    let dir = tmp_dir("kill_resume");
+    let wal = dir.join("requests.wal");
+    let snap = dir.join("serve_checkpoint.json");
+    let net = NetworkBuilder::new(80).seed(17).build();
+    let cfg = ServeConfig {
+        k: 2,
+        // Snapshot every 20 ticks so the "crash" lands well past the
+        // last checkpoint and the WAL tail carries real entries.
+        snapshot_every_ticks: 20,
+        ..ServeConfig::default()
+    };
+
+    let mut engine = ServeEngine::new(net.clone(), cfg, factory())
+        .unwrap()
+        .with_wal(&wal)
+        .unwrap()
+        .with_snapshot(&snap);
+    // Mixed traffic across 90 ticks (snapshots at 20/40/60/80).
+    let mut submitted = 0u32;
+    for t in 0..90u32 {
+        for j in 0..3u32 {
+            let sensor = (t * 3 + j) % 80;
+            engine.submit(sensor, Some(5.0 + f64::from(j))).unwrap();
+            submitted += 1;
+        }
+        engine.tick().unwrap();
+    }
+    assert!(submitted > 0);
+    let ledger = *engine.ledger();
+    let in_flight = engine.in_flight();
+    assert!(engine.ledger_reconciles());
+    drop(engine); // SIGKILL: no shutdown, snapshot is ~10 ticks stale
+
+    let resumed = ServeEngine::resume(net, cfg, factory(), &snap, &wal).unwrap();
+    assert_eq!(resumed.ledger().admitted, ledger.admitted, "no accepted request lost");
+    assert_eq!(resumed.ledger().charged, ledger.charged);
+    assert_eq!(resumed.ledger().shed, ledger.shed);
+    assert_eq!(resumed.in_flight(), in_flight);
+    assert!(resumed.ledger_reconciles());
+
+    // And the resumed service finishes the job.
+    let soak = SoakConfig { rate_per_s: 0.0, duration_s: 300.0, drain: true, ..SoakConfig::default() };
+    let outcome = run_soak(resumed, &soak, None).unwrap();
+    assert!(outcome.report.ledger_reconciles);
+    assert_eq!(outcome.report.silent_loss(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_torn_wal_tail_is_recovered_not_fatal() {
+    let dir = tmp_dir("torn");
+    let wal = dir.join("requests.wal");
+    let snap = dir.join("serve_checkpoint.json");
+    let net = NetworkBuilder::new(40).seed(23).build();
+    let cfg = ServeConfig { k: 1, ..ServeConfig::default() };
+
+    let mut engine = ServeEngine::new(net.clone(), cfg, factory())
+        .unwrap()
+        .with_wal(&wal)
+        .unwrap()
+        .with_snapshot(&snap);
+    for s in 0..6u32 {
+        engine.submit(s, Some(4.0)).unwrap();
+    }
+    engine.tick().unwrap();
+    drop(engine);
+
+    // The crash landed mid-append: a partial line at the tail.
+    let mut body = std::fs::read_to_string(&wal).unwrap();
+    body.push_str("{\"seq\": 7, \"t\": 46");
+    std::fs::write(&wal, body).unwrap();
+
+    let resumed = ServeEngine::resume(net, cfg, factory(), &snap, &wal).unwrap();
+    assert!(resumed.recovered_torn_tail());
+    assert_eq!(resumed.ledger().admitted, 6, "complete entries all replay");
+    assert!(resumed.ledger_reconciles());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_without_any_files_is_a_cold_start() {
+    let dir = tmp_dir("cold");
+    let net = NetworkBuilder::new(30).seed(3).build();
+    let cfg = ServeConfig { k: 1, ..ServeConfig::default() };
+    let mut engine = ServeEngine::resume(
+        net,
+        cfg,
+        factory(),
+        &dir.join("serve_checkpoint.json"),
+        &dir.join("requests.wal"),
+    )
+    .unwrap();
+    assert_eq!(engine.ledger().admitted, 0);
+    assert!(matches!(
+        engine.submit(0, Some(2.0)).unwrap(),
+        wrsn_serve::Admission::Accepted { seq: 1 }
+    ));
+    assert!(engine.ledger_reconciles());
+    let _ = std::fs::remove_dir_all(&dir);
+}

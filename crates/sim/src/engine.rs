@@ -597,6 +597,10 @@ pub struct Simulation {
     checkpoint: Option<(PathBuf, usize)>,
     /// Snapshot to resume from instead of starting at `t = 0`.
     resume: Option<Snapshot>,
+    /// External interrupt flag (SIGINT/SIGTERM): when it flips true the
+    /// run stops at the next round boundary after writing a final
+    /// checkpoint (if checkpointing is enabled).
+    interrupt: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl Simulation {
@@ -609,7 +613,7 @@ impl Simulation {
     /// negative, or the fault or channel model is out of range.
     pub fn new(net: Network, config: SimConfig) -> Result<Self, SimConfigError> {
         config.validate()?;
-        Ok(Simulation { net, config, checkpoint: None, resume: None })
+        Ok(Simulation { net, config, checkpoint: None, resume: None, interrupt: None })
     }
 
     /// Enables crash-safe checkpointing: a [`Snapshot`] of the complete
@@ -632,6 +636,22 @@ impl Simulation {
     /// report is bit-identical to the uninterrupted run's.
     pub fn resume_from(mut self, snapshot: Snapshot) -> Self {
         self.resume = Some(snapshot);
+        self
+    }
+
+    /// Installs an external interrupt flag (typically flipped by a
+    /// SIGINT/SIGTERM handler). When the flag reads `true` at a round
+    /// boundary the run writes a final checkpoint (if
+    /// [`Simulation::checkpoint_to`] is configured — off-period writes
+    /// included) and returns early with
+    /// [`SimReport::interrupted`](crate::SimReport) set, instead of
+    /// dying mid-round. Resuming from that checkpoint completes the run
+    /// bit-identically to one never interrupted.
+    pub fn interrupt_on(
+        mut self,
+        flag: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    ) -> Self {
+        self.interrupt = Some(flag);
         self
     }
 
@@ -677,6 +697,7 @@ impl Simulation {
         )?;
         let batch = self.batch_size();
         let mut t = 0.0f64;
+        let mut interrupted = false;
         let mut dead = vec![0.0f64; n];
         let mut rounds = Vec::new();
         let tracing = self.config.collect_trace;
@@ -1516,9 +1537,16 @@ impl Simulation {
                 t += total_len.max(1.0) + turnaround;
                 // Crash safety: persist the complete state at the round
                 // boundary — exactly the loop-top state a resumed run
-                // re-enters with.
+                // re-enters with. An external interrupt (SIGINT/SIGTERM
+                // via `interrupt_on`) forces a final off-period
+                // checkpoint here and ends the run gracefully instead
+                // of dying mid-round.
+                let interrupt_now = self
+                    .interrupt
+                    .as_ref()
+                    .is_some_and(|f| f.load(std::sync::atomic::Ordering::Relaxed));
                 if let Some((dir, every)) = self.checkpoint.as_ref() {
-                    if rounds.len() % *every == 0 {
+                    if interrupt_now || rounds.len() % *every == 0 {
                         let snap = Snapshot::capture(
                             k,
                             t,
@@ -1546,6 +1574,10 @@ impl Simulation {
                         snap.write_to_dir(dir, rounds.len())
                             .expect("checkpoint write failed");
                     }
+                }
+                if interrupt_now {
+                    interrupted = true;
+                    break;
                 }
                 continue;
             }
@@ -1629,6 +1661,7 @@ impl Simulation {
             lost_requests,
             duplicates_dropped,
             escalated_requests,
+            interrupted,
             ..SimReport::default()
         };
         if let Some(cs) = churn {
@@ -2278,6 +2311,57 @@ mod tests {
             .unwrap();
         std::fs::remove_dir_all(&dir).ok();
         assert_eq!(uninterrupted, resumed, "resumed run must be bit-identical");
+    }
+
+    #[test]
+    fn interrupt_checkpoints_and_resume_completes_bit_identically() {
+        // SIGINT/SIGTERM semantics: a pre-set interrupt flag stops the
+        // run at the first round boundary, forces an off-period
+        // checkpoint, and marks the partial report interrupted; a run
+        // resumed from that checkpoint finishes bit-identically to one
+        // never interrupted.
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let make = || {
+            let net = NetworkBuilder::new(120).seed(21).build();
+            let mut cfg = SimConfig::default();
+            cfg.horizon_s = 120.0 * 24.0 * 3600.0;
+            cfg.collect_trace = true;
+            (net, cfg)
+        };
+        let planner = Appro::new(PlannerConfig::default());
+
+        let (net, cfg) = make();
+        let full = Simulation::new(net, cfg).unwrap().run(&planner, 2).unwrap();
+        assert!(!full.interrupted);
+        assert!(full.rounds_dispatched() >= 3, "need rounds to interrupt between");
+
+        let dir = std::env::temp_dir().join("wrsn_engine_interrupt_test");
+        std::fs::remove_dir_all(&dir).ok();
+        // Checkpoint period 1000 rounds: the only write must be the
+        // forced one the interrupt triggers at round 1.
+        let flag = Arc::new(AtomicBool::new(true));
+        let (net, cfg) = make();
+        let partial = Simulation::new(net, cfg)
+            .unwrap()
+            .checkpoint_to(&dir, 1000)
+            .interrupt_on(flag)
+            .run(&planner, 2)
+            .unwrap();
+        assert!(partial.interrupted, "flagged run must report the interrupt");
+        assert_eq!(partial.rounds_dispatched(), 1, "stops at the first boundary");
+
+        let snap = Snapshot::read(&dir.join("checkpoint_round0001.json"))
+            .expect("interrupt must leave a checkpoint");
+        assert_eq!(snap.round(), 1);
+        let (net, cfg) = make();
+        let resumed = Simulation::new(net, cfg)
+            .unwrap()
+            .resume_from(snap)
+            .run(&planner, 2)
+            .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(full, resumed, "resumed run must complete bit-identically");
     }
 
     #[test]

@@ -44,6 +44,7 @@ mod energy_state;
 mod engine;
 mod fault;
 pub mod fleet;
+pub mod persist;
 mod report;
 mod snapshot;
 mod telemetry;

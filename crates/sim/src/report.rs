@@ -139,6 +139,11 @@ pub struct SimReport {
     pub charger_transfer_j: f64,
     /// Fleet battery energy at the end of the horizon, joules.
     pub charger_residual_j: f64,
+    /// `true` when the run was cut short by a SIGINT/SIGTERM interrupt
+    /// hook ([`Simulation::interrupt_on`](crate::Simulation)): the
+    /// report covers only the rounds dispatched before the final
+    /// checkpoint was written. Always `false` for uninterrupted runs.
+    pub interrupted: bool,
 }
 
 impl SimReport {
@@ -214,14 +219,9 @@ impl SimReport {
     ///
     /// Panics if `p` is outside `[0, 100]`.
     pub fn estimator_error_percentile(&self, p: f64) -> f64 {
-        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
-        if self.estimate_errors_j.is_empty() {
-            return 0.0;
-        }
         let mut abs: Vec<f64> = self.estimate_errors_j.iter().map(|e| e.abs()).collect();
         abs.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
-        let rank = ((p / 100.0) * abs.len() as f64).ceil() as usize;
-        abs[rank.saturating_sub(1)]
+        wrsn_core::stats::percentile(&abs, p)
     }
 
     /// Checks the telemetry energy ledger: every joule budgeted by a

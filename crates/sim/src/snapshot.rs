@@ -19,7 +19,6 @@
 //! sentinels). Files are written atomically (temp file + rename) so a
 //! crash mid-write can never leave a truncated checkpoint behind.
 
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use serde_json::{Map, Number, Value};
@@ -312,6 +311,9 @@ fn event_to_json(e: &TraceEvent) -> Value {
         TraceEvent::RescueDispatched { at_s, rescuer, stranded } => {
             vec![Value::from("rx"), bits(at_s), uint(rescuer), uint(stranded)]
         }
+        TraceEvent::WatchdogTripped { at_s, batch } => {
+            vec![Value::from("wt"), bits(at_s), uint(batch)]
+        }
     };
     Value::Array(v)
 }
@@ -415,6 +417,10 @@ fn event_of(v: &Value) -> Result<TraceEvent, SnapshotError> {
             at_s: f64_of(field(1)?, "trace time")?,
             charger: usize_of(field(2)?, "trace charger")?,
             recharged_j: f64_of(field(3)?, "trace recharge")?,
+        },
+        "wt" => TraceEvent::WatchdogTripped {
+            at_s: f64_of(field(1)?, "trace time")?,
+            batch: usize_of(field(2)?, "trace batch")?,
         },
         "rx" => TraceEvent::RescueDispatched {
             at_s: f64_of(field(1)?, "trace time")?,
@@ -939,9 +945,13 @@ impl Snapshot {
         })
     }
 
-    /// Writes the snapshot atomically to
-    /// `dir/checkpoint_round{NNNN}.json` (temp file + rename) and
-    /// returns the final path. Creates `dir` if needed.
+    /// Writes the snapshot atomically **and durably** to
+    /// `dir/checkpoint_round{NNNN}.json` and returns the final path.
+    /// Creates `dir` if needed. The body goes through
+    /// [`persist::write_atomic`](crate::persist::write_atomic): temp
+    /// file, file fsync, rename, parent-directory fsync — so a power
+    /// loss at any instant surfaces either the complete previous
+    /// checkpoint or the complete new one, never a torn file.
     ///
     /// # Errors
     ///
@@ -949,16 +959,10 @@ impl Snapshot {
     pub fn write_to_dir(&self, dir: &Path, round: usize) -> Result<PathBuf, SnapshotError> {
         std::fs::create_dir_all(dir).map_err(|e| SnapshotError::Io(e.to_string()))?;
         let path = dir.join(format!("checkpoint_round{round:04}.json"));
-        let tmp = dir.join(format!(".checkpoint_round{round:04}.json.tmp"));
         let body = serde_json::to_string_pretty(&self.to_json())
             .map_err(|e| SnapshotError::Json(e.to_string()))?;
-        {
-            let mut f =
-                std::fs::File::create(&tmp).map_err(|e| SnapshotError::Io(e.to_string()))?;
-            f.write_all(body.as_bytes()).map_err(|e| SnapshotError::Io(e.to_string()))?;
-            f.sync_all().map_err(|e| SnapshotError::Io(e.to_string()))?;
-        }
-        std::fs::rename(&tmp, &path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        crate::persist::write_atomic(&path, body.as_bytes())
+            .map_err(|e| SnapshotError::Io(e.to_string()))?;
         Ok(path)
     }
 
@@ -1201,6 +1205,43 @@ mod tests {
         let back = Snapshot::read(&path).expect("read");
         assert_round_trip_equal(&snap, &back);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn checkpoint_replace_is_torn_write_safe() {
+        // The atomic-write protocol must leave either the complete old
+        // checkpoint or the complete new one — a failed replace (here a
+        // directory squatting on the target path) must not leave a
+        // partial file or a stray temporary, and a successful rewrite
+        // must fully replace the body.
+        let dir = std::env::temp_dir()
+            .join(format!("wrsn_snapshot_torn_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let snap = sample();
+        let path = snap.write_to_dir(&dir, 7).expect("first write");
+        let first = std::fs::read_to_string(&path).expect("readable");
+        // Overwrite with a different round count to change the body.
+        let mut bigger = sample();
+        bigger.rounds.push(bigger.rounds.last().expect("sample has rounds").clone());
+        let path2 = bigger.write_to_dir(&dir, 7).expect("rewrite");
+        assert_eq!(path, path2);
+        let second = std::fs::read_to_string(&path).expect("readable");
+        assert_ne!(first, second, "rewrite must replace the body");
+        let back = Snapshot::read(&path).expect("replaced checkpoint parses");
+        assert_eq!(back.rounds.len(), bigger.rounds.len());
+        // Failure path: target occupied by a directory — the write
+        // errors, the obstruction survives, and no temp file remains.
+        let blocked = dir.join("checkpoint_round0008.json");
+        std::fs::create_dir_all(&blocked).expect("plant obstruction");
+        assert!(matches!(snap.write_to_dir(&dir, 8), Err(SnapshotError::Io(_))));
+        assert!(blocked.is_dir());
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .expect("listable")
+            .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(stray.is_empty(), "no temporaries may survive: {stray:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -220,6 +220,17 @@ pub enum TraceEvent {
         /// The stranded charger being towed home.
         stranded: usize,
     },
+    /// The serve-mode planning watchdog aborted a hung, panicked, or
+    /// over-budget planner run and the batch was re-planned down the
+    /// degraded fallback chain (kEDF, then the infallible greedy tour).
+    /// The orphaned planner thread is detached; its late result, if
+    /// any, is discarded.
+    WatchdogTripped {
+        /// Service time of the abort, seconds.
+        at_s: f64,
+        /// Requests in the batch whose planning was aborted.
+        batch: usize,
+    },
 }
 
 impl TraceEvent {
@@ -245,7 +256,8 @@ impl TraceEvent {
             | TraceEvent::SensorPartitioned { at_s, .. }
             | TraceEvent::ChargerExhausted { at_s, .. }
             | TraceEvent::DepotRecharge { at_s, .. }
-            | TraceEvent::RescueDispatched { at_s, .. } => at_s,
+            | TraceEvent::RescueDispatched { at_s, .. }
+            | TraceEvent::WatchdogTripped { at_s, .. } => at_s,
         }
     }
 }
@@ -397,6 +409,11 @@ impl Trace {
     /// Count of rescue tows dispatched for stranded chargers.
     pub fn rescues(&self) -> usize {
         self.iter().filter(|e| matches!(e, TraceEvent::RescueDispatched { .. })).count()
+    }
+
+    /// Count of planning-watchdog aborts (serve mode).
+    pub fn watchdog_trips(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::WatchdogTripped { .. })).count()
     }
 
     /// Rebuilds a trace from checkpointed parts (snapshot restore).

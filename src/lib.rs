@@ -14,7 +14,10 @@
 //! - [`core`] — the charging problem, schedules, the conflict validator,
 //!   and the paper's approximation algorithm **Appro**,
 //! - [`baselines`] — K-EDF, NETWRAP, K-minMax and AA comparison planners,
-//! - [`sim`] — the one-year discrete-event network simulator.
+//! - [`sim`] — the one-year discrete-event network simulator,
+//! - [`serve`] — the online charging service: a long-lived daemon with
+//!   micro-batched admission, incremental re-planning, backpressure,
+//!   and crash recovery (write-ahead log + snapshot resume).
 //!
 //! # Quickstart
 //!
@@ -40,4 +43,5 @@ pub use wrsn_baselines as baselines;
 pub use wrsn_core as core;
 pub use wrsn_geom as geom;
 pub use wrsn_net as net;
+pub use wrsn_serve as serve;
 pub use wrsn_sim as sim;

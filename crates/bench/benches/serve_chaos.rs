@@ -1,0 +1,128 @@
+//! Serve-daemon chaos drill bench: durability under a hostile disk.
+//!
+//! Runs the seeded chaos drill — the open-loop soak workload under a
+//! deterministic storage-fault schedule (transient EIO, torn writes,
+//! fsync failures, and a persistent ENOSPC window) with repeated
+//! simulated `kill -9` + resume cycles — and asserts the hard
+//! invariants after every recovery: the durable floor is conserved
+//! (group commit's at-most-one-batch exposure), the ledger reconciles,
+//! silent loss stays zero, degraded mode enters *and* exits, and
+//! compaction keeps the WAL bounded by snapshot interval instead of
+//! uptime.
+//!
+//! Results are archived as `target/wrsn-results/serve_chaos.json`
+//! (consumed by `EXPERIMENTS.md` and grepped by the CI chaos job).
+//!
+//! Knobs: `WRSN_CHAOS_RATE` (req/s, default 500),
+//! `WRSN_CHAOS_DURATION` (service seconds, default 30),
+//! `WRSN_CHAOS_KILLS` (kill/resume cycles, default 3),
+//! `WRSN_CHAOS_N` (sensors, default 800),
+//! `WRSN_CHAOS_SEED` (fault-schedule seed, default 21).
+
+use std::sync::Arc;
+
+use wrsn_bench::{env_f64, env_usize};
+use wrsn_core::{GreedyTour, Planner};
+use wrsn_net::NetworkBuilder;
+use wrsn_serve::soak::{run_chaos_drill, SoakConfig};
+use wrsn_serve::{ChaosConfig, PlannerFactory, ServeConfig};
+
+fn main() {
+    let rate = env_f64("WRSN_CHAOS_RATE", 500.0);
+    let duration_s = env_f64("WRSN_CHAOS_DURATION", 30.0);
+    let kills = env_usize("WRSN_CHAOS_KILLS", 3) as u32;
+    let n = env_usize("WRSN_CHAOS_N", 800);
+    let seed = env_usize("WRSN_CHAOS_SEED", 21) as u64;
+
+    let net = NetworkBuilder::new(n).seed(11).build();
+    let factory: Arc<PlannerFactory> =
+        Arc::new(|| Box::new(GreedyTour) as Box<dyn Planner>);
+    let cfg = ServeConfig {
+        k: 3,
+        snapshot_every_ticks: 25,
+        io_retry_backoff_ms: 0, // virtual-clock drill: no wall sleeps
+        ..ServeConfig::default()
+    };
+    let soak = SoakConfig {
+        rate_per_s: rate,
+        duration_s,
+        seed: 11,
+        deficit_fraction: (0.0002, 0.001),
+        ..SoakConfig::default()
+    };
+    // Every error channel armed, plus an early ENOSPC window so the
+    // drill provably crosses degraded mode in both directions: early,
+    // because per-sensor dedup saturates the pool as the run ages and
+    // a late window would find an idle WAL with nothing to degrade.
+    let window = (duration_s / cfg.tick_s * 0.1).round() as u64;
+    let chaos = ChaosConfig {
+        seed,
+        io_error_p: 0.05,
+        torn_write_p: 0.03,
+        fsync_fail_p: 0.03,
+        enospc_from_tick: window.max(1),
+        enospc_ticks: 15,
+        ..ChaosConfig::default()
+    };
+
+    let dir = std::path::PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
+    )
+    .join("wrsn-results");
+    let state_dir = dir.join("serve-chaos-bench");
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    println!(
+        "## Serve chaos drill (n={n}, K=3, {rate:.0} req/s for {duration_s:.0} service \
+         seconds, {kills} kill/resume cycles, chaos seed {seed})\n"
+    );
+    let outcome = run_chaos_drill(&net, cfg, &factory, chaos, &soak, kills, &state_dir)
+        .expect("the drill degrades on storage faults instead of erroring");
+    let r = &outcome.report;
+
+    println!(
+        "{:>9} {:>9} {:>8} {:>9} {:>8} {:>9} {:>9} {:>9} {:>8}",
+        "offered", "admitted", "refused", "injected", "retries", "degraded", "wal peak",
+        "compacts", "wall s"
+    );
+    println!(
+        "{:>9} {:>9} {:>8} {:>9} {:>8} {:>9} {:>9} {:>9} {:>8.2}",
+        outcome.offered,
+        r.ledger.admitted,
+        outcome.refused_degraded,
+        outcome.injections_total,
+        outcome.io_retries,
+        format!("{}/{}", outcome.degraded_entries, outcome.degraded_exits),
+        outcome.wal_max_bytes,
+        outcome.compactions,
+        outcome.wall_s,
+    );
+    println!(
+        "\nkills {} resumes_ok {} conservation_held {} ledger_reconciles {} silent_loss {}",
+        outcome.kills,
+        outcome.resumes_ok,
+        outcome.conservation_held,
+        r.ledger_reconciles,
+        r.silent_loss()
+    );
+
+    assert_eq!(outcome.kills, kills, "every kill cycle must run");
+    assert_eq!(outcome.resumes_ok, kills, "every resume must reconcile");
+    assert!(outcome.conservation_held, "durable floor must be conserved");
+    assert!(r.ledger_reconciles, "final ledger must reconcile");
+    assert_eq!(r.silent_loss(), 0, "zero accepted requests may vanish");
+    assert!(outcome.injections_total > 0, "this schedule must inject faults");
+    assert!(outcome.degraded_entries >= 1, "the ENOSPC window must degrade");
+    assert!(outcome.degraded_exits >= 1, "the probe must re-arm afterwards");
+    assert!(outcome.compactions >= 1, "snapshots must compact the WAL");
+
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("serve_chaos.json");
+        let json =
+            serde_json::to_string_pretty(&outcome.to_json()).expect("printing cannot fail");
+        if std::fs::write(&path, json).is_ok() {
+            println!("\nwrote {}", path.display());
+        }
+    }
+    let _ = std::fs::remove_dir_all(&state_dir);
+}

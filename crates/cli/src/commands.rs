@@ -785,6 +785,83 @@ pub fn bounds(args: &Args) -> CliResult {
     Ok(())
 }
 
+/// Builds the storage-chaos configuration from the `--chaos-*` flags.
+/// With none of them set this is the inert default: no RNG stream is
+/// seeded and the serve output is bit-identical to a chaos-free build.
+fn chaos_from_args(args: &Args) -> Result<wrsn_serve::ChaosConfig, Box<dyn Error>> {
+    let chaos = wrsn_serve::ChaosConfig {
+        seed: args.get_or("chaos-seed", 0u64)?,
+        io_error_p: args.get_or("chaos-io-error-p", 0.0f64)?,
+        fsync_fail_p: args.get_or("chaos-fsync-fail-p", 0.0f64)?,
+        torn_write_p: args.get_or("chaos-torn-write-p", 0.0f64)?,
+        stall_p: args.get_or("chaos-stall-p", 0.0f64)?,
+        stall_ms: args.get_or("chaos-stall-ms", 0u64)?,
+        enospc_from_tick: args.get_or("chaos-enospc-from-tick", 0u64)?,
+        enospc_ticks: args.get_or("chaos-enospc-ticks", 12u64)?,
+        ingress_fault_p: args.get_or("chaos-ingress-fault-p", 0.0f64)?,
+    };
+    chaos.validate()?;
+    Ok(chaos)
+}
+
+/// `wrsn serve --chaos-drill <kills>`: the in-process chaos drill —
+/// a seeded soak under the `--chaos-*` fault schedule with repeated
+/// simulated `kill -9` + resume cycles, archiving the invariants CI
+/// greps to `target/wrsn-results/serve_chaos.json`.
+fn serve_chaos_drill(
+    args: &Args,
+    net: Network,
+    cfg: wrsn_serve::ServeConfig,
+    factory: std::sync::Arc<wrsn_serve::PlannerFactory>,
+    chaos: wrsn_serve::ChaosConfig,
+    state_dir: &std::path::Path,
+    kills: u32,
+) -> CliResult {
+    use wrsn_serve::soak::{run_chaos_drill, SoakConfig};
+    let soak = SoakConfig {
+        rate_per_s: args.get_or("soak-rate", 500.0f64)?,
+        duration_s: args.get_or("soak-duration", 30.0f64)?,
+        seed: args.get_or("soak-seed", 1u64)?,
+        ..SoakConfig::default()
+    };
+    let outcome = run_chaos_drill(&net, cfg, &factory, chaos, &soak, kills, state_dir)?;
+    let json = outcome.to_json();
+    std::fs::create_dir_all(results_dir())?;
+    let archive = results_dir().join("serve_chaos.json");
+    std::fs::write(&archive, serde_json::to_string_pretty(&json)?)?;
+    eprintln!("archived {}", archive.display());
+
+    let r = &outcome.report;
+    println!(
+        "chaos drill: {} kills, {} resumes ok, conservation_held {}",
+        outcome.kills, outcome.resumes_ok, outcome.conservation_held
+    );
+    println!(
+        "  load:       {} offered, {} admitted, {} refused while degraded",
+        outcome.offered, r.ledger.admitted, outcome.refused_degraded
+    );
+    println!(
+        "  faults:     {} injected, {} commit retries, {} degraded entries, {} exits",
+        outcome.injections_total,
+        outcome.io_retries,
+        outcome.degraded_entries,
+        outcome.degraded_exits
+    );
+    println!(
+        "  wal:        peak {} durable bytes, {} compactions",
+        outcome.wal_max_bytes, outcome.compactions
+    );
+    println!(
+        "  ledger_reconciles {}, silent_loss {}",
+        r.ledger_reconciles,
+        r.silent_loss()
+    );
+    if !outcome.conservation_held || !r.ledger_reconciles {
+        return Err("chaos drill lost accepted requests".into());
+    }
+    Ok(())
+}
+
 /// `wrsn serve`: the online charging service — a long-lived daemon (or
 /// a seeded soak run) over the resilient serve engine.
 pub fn serve(args: &Args) -> CliResult {
@@ -826,6 +903,15 @@ pub fn serve(args: &Args) -> CliResult {
     let wal_path = state_dir.join("requests.wal");
     let snap_path = state_dir.join("serve_checkpoint.json");
 
+    // Storage chaos: inert unless a --chaos-* flag arms a channel.
+    let chaos = chaos_from_args(args)?;
+    if let Some(kills) = args.get("chaos-drill") {
+        let kills: u32 = kills
+            .parse()
+            .map_err(|_| format!("invalid value {kills:?} for --chaos-drill"))?;
+        return serve_chaos_drill(args, net, cfg, factory, chaos, &state_dir, kills);
+    }
+
     let engine = if args.flag("resume") {
         let e = ServeEngine::resume(net, cfg, factory, &snap_path, &wal_path)
             .map_err(|e| format!("cannot resume from {}: {e}", state_dir.display()))?;
@@ -846,10 +932,11 @@ pub fn serve(args: &Args) -> CliResult {
             .with_wal(&wal_path)?
             .with_snapshot(&snap_path)
     };
+    let engine = engine.with_chaos(chaos)?;
 
     let stop = wrsn_serve::shutdown::install();
     let soak_rate: f64 = args.get_or("soak-rate", 0.0)?;
-    let (report, malformed, outcome_json) = if soak_rate > 0.0 {
+    let (report, malformed, ingress_faults, outcome_json) = if soak_rate > 0.0 {
         let soak = SoakConfig {
             rate_per_s: soak_rate,
             duration_s: args.get_or("soak-duration", 60.0f64)?,
@@ -868,7 +955,7 @@ pub fn serve(args: &Args) -> CliResult {
         let archive = results_dir().join("serve_soak.json");
         std::fs::write(&archive, serde_json::to_string_pretty(&json)?)?;
         eprintln!("archived {}", archive.display());
-        (outcome.report, 0u64, json)
+        (outcome.report, 0u64, 0u64, json)
     } else {
         let ingress = match args.get("socket") {
             Some(path) => Ingress::UnixSocket(std::path::PathBuf::from(path)),
@@ -881,7 +968,7 @@ pub fn serve(args: &Args) -> CliResult {
         };
         let outcome = run_daemon(engine, &ingress, &stop, &opts)?;
         let json = outcome.report.to_json();
-        (outcome.report, outcome.malformed, json)
+        (outcome.report, outcome.malformed, outcome.ingress_faults, json)
     };
 
     if args.flag("json") {
@@ -899,8 +986,9 @@ pub fn serve(args: &Args) -> CliResult {
         if report.ledger_reconciles { "" } else { "  (IMBALANCED!)" }
     );
     println!(
-        "  refused:    {} duplicates, {} invalid, {} malformed lines",
-        l.duplicates, l.invalid, malformed
+        "  refused:    {} duplicates, {} invalid, {} malformed lines, \
+         {} refused while degraded",
+        l.duplicates, l.invalid, malformed, l.refused_degraded
     );
     println!(
         "  admission:  {} deferrals, {} escalations; queue peak {} (cap {}), in-flight peak {}",
@@ -915,6 +1003,25 @@ pub fn serve(args: &Args) -> CliResult {
         report.watchdog_trips,
         report.planner_fallbacks
     );
+    println!(
+        "  durability: {} commit retries, {} degraded entries / {} exits \
+         ({} degraded ticks), {} snapshot failures",
+        report.io_retries,
+        report.degraded_entries,
+        report.degraded_exits,
+        report.degraded_ticks,
+        report.snapshot_failures
+    );
+    println!(
+        "  wal:        {} compactions ({} B reclaimed), {} compaction failures",
+        report.compactions, report.wal_bytes_reclaimed, report.compaction_failures
+    );
+    if report.chaos_injections > 0 || ingress_faults > 0 {
+        println!(
+            "  chaos:      {} storage faults injected, {} ingress lines dropped",
+            report.chaos_injections, ingress_faults
+        );
+    }
     let d = &report.dispatch_latency;
     let c = &report.charged_latency;
     println!(

@@ -155,6 +155,40 @@ SERVE OPTIONS:
     --soak-seed <u64>      Soak load-generator seed (default 1)
     --realtime             Soak in wall time (for kill-mid-soak drills)
     --drain                Drain in-flight requests after the soak load stops
+
+SERVE CHAOS OPTIONS (all inert by default; any --chaos-* probability or an
+    ENOSPC window arms the seeded failpoint registry on the WAL, snapshot,
+    and ingress hot paths; off, zero RNG values are drawn and output is
+    bit-identical):
+    --chaos-seed <u64>     Fault-schedule seed (default 0; the seed alone
+                           never arms anything)
+    --chaos-io-error-p <p> Per-operation transient EIO probability; absorbed
+                           by bounded group-commit retries with backoff
+    --chaos-fsync-fail-p <p>
+                           Per-fsync failure probability; the engine treats
+                           written-but-unsynced bytes as unknown and rewrites
+                           the batch from the last durable offset
+    --chaos-torn-write-p <p>
+                           Per-write torn (short) write probability; recovery
+                           truncates the partial record
+    --chaos-stall-p <p>    Per-operation slow-I/O stall probability
+    --chaos-stall-ms <ms>  Duration of one injected stall (required with
+                           --chaos-stall-p)
+    --chaos-enospc-from-tick <n>
+                           First tick (1-based) of a persistent ENOSPC window:
+                           every durable write fails until it passes, driving
+                           the engine into degraded mode (refuse new work,
+                           keep dispatching, re-arm on probe success)
+    --chaos-enospc-ticks <n>
+                           ENOSPC window length in ticks (default 12)
+    --chaos-ingress-fault-p <p>
+                           Per-line ingress read-fault probability (the line
+                           is dropped as on a lossy socket)
+    --chaos-drill <kills>  Run the in-process chaos drill instead of serving:
+                           soak under the fault schedule with this many
+                           simulated kill -9 + resume cycles, asserting zero
+                           accepted-request loss; archives
+                           target/wrsn-results/serve_chaos.json
 ";
 
 fn main() -> ExitCode {

@@ -56,6 +56,10 @@ pub struct DaemonOutcome {
     pub report: ServeReport,
     /// Ingress lines that failed to parse (counted, never fatal).
     pub malformed: u64,
+    /// Ingress lines dropped by an injected socket-read fault (the
+    /// chaos layer's `IngressRead` site; the client saw no ack and is
+    /// expected to retry, like any sender on a lossy transport).
+    pub ingress_faults: u64,
 }
 
 fn outcome_line(req: &ServeRequest, admission: Admission) -> String {
@@ -64,6 +68,7 @@ fn outcome_line(req: &ServeRequest, admission: Admission) -> String {
         Admission::ShedOnArrival { seq } => ("shed", Some(seq)),
         Admission::Duplicate => ("duplicate", None),
         Admission::Invalid => ("invalid", None),
+        Admission::RefusedDegraded => ("refused_degraded", None),
     };
     match seq {
         Some(seq) => format!(
@@ -76,7 +81,7 @@ fn outcome_line(req: &ServeRequest, admission: Admission) -> String {
 
 type IngressLine = Result<ServeRequest, RequestParseError>;
 
-fn spawn_stdin_reader(tx: mpsc::Sender<IngressLine>) {
+fn spawn_stdin_reader(tx: mpsc::Sender<IngressLine>) -> Result<(), ServeError> {
     std::thread::Builder::new()
         .name("wrsn-serve-stdin".into())
         .spawn(move || {
@@ -91,7 +96,8 @@ fn spawn_stdin_reader(tx: mpsc::Sender<IngressLine>) {
                 }
             }
         })
-        .expect("spawn stdin reader");
+        .map(drop)
+        .map_err(|e| ServeError::Io(format!("spawn stdin reader: {e}")))
 }
 
 #[cfg(unix)]
@@ -156,7 +162,7 @@ pub fn run_daemon(
     let (tx, rx) = mpsc::channel::<IngressLine>();
     let socket_path = match ingress {
         Ingress::Stdin => {
-            spawn_stdin_reader(tx);
+            spawn_stdin_reader(tx)?;
             None
         }
         Ingress::UnixSocket(path) => {
@@ -178,6 +184,7 @@ pub fn run_daemon(
 
     let tick_wall = Duration::from_secs_f64(engine.config().tick_s);
     let mut malformed = 0u64;
+    let mut ingress_faults = 0u64;
     let mut eof = false;
     loop {
         if stop_requested(stop) {
@@ -186,6 +193,18 @@ pub fn run_daemon(
         loop {
             match rx.try_recv() {
                 Ok(Ok(req)) => {
+                    // The ingress failpoint runs on the single-threaded
+                    // drain side (not in the reader threads), so the
+                    // chaos RNG stream stays deterministic. A fault
+                    // drops the line as a failed socket read would.
+                    if engine
+                        .failpoints_mut()
+                        .evaluate(crate::failpoint::Site::IngressRead, 1)
+                        .is_some()
+                    {
+                        ingress_faults += 1;
+                        continue;
+                    }
                     let admission = engine.submit(req.sensor, req.deficit_j)?;
                     if opts.echo {
                         println!("{}", outcome_line(&req, admission));
@@ -211,7 +230,7 @@ pub fn run_daemon(
     if let Some(path) = socket_path {
         let _ = std::fs::remove_file(path);
     }
-    Ok(DaemonOutcome { report, malformed })
+    Ok(DaemonOutcome { report, malformed, ingress_faults })
 }
 
 #[cfg(all(test, unix))]

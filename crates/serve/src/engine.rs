@@ -47,6 +47,7 @@ use wrsn_core::{ChargingProblem, ChargingTarget};
 use wrsn_net::{Network, SensorId};
 use wrsn_sim::{Trace, TraceEvent};
 
+use crate::failpoint::{ChaosConfig, ChaosConfigError, ChaosCounters, Failpoints};
 use crate::metrics::ServeMetrics;
 use crate::queue::{IngressQueue, Offer, QueuedRequest};
 use crate::tours::{LiveStop, LiveTours, PendingStop};
@@ -93,6 +94,12 @@ pub struct ServeConfig {
     /// Deficit assumed for a request that reports none, as a fraction
     /// of the sensor's capacity.
     pub default_deficit_fraction: f64,
+    /// Bounded retries of a failed WAL group commit before the engine
+    /// declares durability lost and enters degraded mode.
+    pub io_retry_limit: u32,
+    /// Base wall-clock backoff between retries, milliseconds; doubles
+    /// per attempt (capped at 64× the base).
+    pub io_retry_backoff_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -110,6 +117,8 @@ impl Default for ServeConfig {
             replan_max_stops: 512,
             snapshot_every_ticks: 0,
             default_deficit_fraction: 0.8,
+            io_retry_limit: 3,
+            io_retry_backoff_ms: 2,
         }
     }
 }
@@ -212,6 +221,10 @@ pub struct ServeLedger {
     pub escalated: u64,
     /// Deferral events (a request can defer multiple times).
     pub deferrals: u64,
+    /// Submissions refused because the engine was in durability-degraded
+    /// mode (never accepted, never WAL-appended — the client is told to
+    /// retry; not part of the conservation identity).
+    pub refused_degraded: u64,
 }
 
 /// Outcome of one [`ServeEngine::submit`].
@@ -232,6 +245,10 @@ pub enum Admission {
     Duplicate,
     /// Refused: unknown sensor index.
     Invalid,
+    /// Refused: the engine is in durability-degraded mode (its WAL
+    /// cannot be made durable), so it will not acknowledge work it
+    /// could lose. The client should retry after the service re-arms.
+    RefusedDegraded,
 }
 
 /// Service failure.
@@ -239,6 +256,8 @@ pub enum Admission {
 pub enum ServeError {
     /// Invalid configuration.
     Config(ServeConfigError),
+    /// Invalid chaos (fault-injection) configuration.
+    Chaos(ChaosConfigError),
     /// WAL or snapshot I/O failed.
     Io(String),
     /// A snapshot file exists but cannot be decoded.
@@ -260,6 +279,7 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Config(e) => write!(f, "invalid serve config: {e}"),
+            ServeError::Chaos(e) => write!(f, "invalid chaos config: {e}"),
             ServeError::Io(e) => write!(f, "serve I/O error: {e}"),
             ServeError::Snapshot(e) => write!(f, "bad serve snapshot: {e}"),
             ServeError::InstanceMismatch { snapshot_n, snapshot_k, n, k } => write!(
@@ -276,6 +296,12 @@ impl std::error::Error for ServeError {}
 impl From<ServeConfigError> for ServeError {
     fn from(e: ServeConfigError) -> Self {
         ServeError::Config(e)
+    }
+}
+
+impl From<ChaosConfigError> for ServeError {
+    fn from(e: ChaosConfigError) -> Self {
+        ServeError::Chaos(e)
     }
 }
 
@@ -313,6 +339,25 @@ pub struct ServeReport {
     pub incremental_inserts: u64,
     /// Batches served by a degraded fallback planner.
     pub planner_fallbacks: u64,
+    /// Retried WAL group commits (transient faults absorbed).
+    pub io_retries: u64,
+    /// Durability-degraded mode entries.
+    pub degraded_entries: u64,
+    /// Durability-degraded mode exits (probe re-arms).
+    pub degraded_exits: u64,
+    /// Ticks spent degraded.
+    pub degraded_ticks: u64,
+    /// Periodic snapshots that failed (counted, non-fatal — the WAL
+    /// remains the durability record).
+    pub snapshot_failures: u64,
+    /// WAL compactions after successful snapshots.
+    pub compactions: u64,
+    /// Compactions that failed (old log intact, retried next snapshot).
+    pub compaction_failures: u64,
+    /// WAL bytes reclaimed by compaction.
+    pub wal_bytes_reclaimed: u64,
+    /// Total faults injected by the chaos layer (0 when inert).
+    pub chaos_injections: u64,
 }
 
 impl ServeReport {
@@ -337,6 +382,7 @@ impl ServeReport {
             "invalid": self.ledger.invalid,
             "escalated": self.ledger.escalated,
             "deferrals": self.ledger.deferrals,
+            "refused_degraded": self.ledger.refused_degraded,
             "queue_depth": self.queue_depth,
             "in_flight": self.in_flight,
             "ledger_reconciles": self.ledger_reconciles,
@@ -348,6 +394,15 @@ impl ServeReport {
             "replans_skipped": self.replans_skipped,
             "incremental_inserts": self.incremental_inserts,
             "planner_fallbacks": self.planner_fallbacks,
+            "io_retries": self.io_retries,
+            "degraded_entries": self.degraded_entries,
+            "degraded_exits": self.degraded_exits,
+            "degraded_ticks": self.degraded_ticks,
+            "snapshot_failures": self.snapshot_failures,
+            "compactions": self.compactions,
+            "compaction_failures": self.compaction_failures,
+            "wal_bytes_reclaimed": self.wal_bytes_reclaimed,
+            "chaos_injections": self.chaos_injections,
             "dispatch_latency": self.dispatch_latency.to_json(),
             "charged_latency": self.charged_latency.to_json(),
         })
@@ -378,6 +433,11 @@ pub struct ServeEngine {
     replaying: bool,
     /// A torn final WAL line was dropped during the last resume.
     torn_tail: bool,
+    /// The seeded failpoint registry (inert unless chaos is attached).
+    failpoints: Failpoints,
+    /// Durability-degraded: the WAL cannot be made durable, so new
+    /// admissions are refused while accepted work keeps dispatching.
+    degraded: bool,
 }
 
 impl ServeEngine {
@@ -412,6 +472,8 @@ impl ServeEngine {
             next_seq: 1,
             replaying: false,
             torn_tail: false,
+            failpoints: Failpoints::inert(),
+            degraded: false,
         })
     }
 
@@ -431,6 +493,49 @@ impl ServeEngine {
     pub fn with_snapshot(mut self, path: &Path) -> Self {
         self.snapshot_path = Some(path.to_path_buf());
         self
+    }
+
+    /// Attaches a seeded chaos (fault-injection) schedule. An inert
+    /// configuration (all probabilities zero, no ENOSPC window) leaves
+    /// the engine bit-identical to one without chaos and draws zero
+    /// RNG values.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Chaos`] for an invalid configuration.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Result<Self, ServeError> {
+        chaos.validate()?;
+        self.failpoints = Failpoints::new(chaos);
+        Ok(self)
+    }
+
+    /// The chaos layer's injection counters.
+    pub fn chaos_counters(&self) -> &ChaosCounters {
+        self.failpoints.counters()
+    }
+
+    /// Whether the engine is currently durability-degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Entries accepted but not yet durable (the pending group-commit
+    /// batch). A crash right now loses exactly these — the at-most-one-
+    /// batch exposure window of group commit.
+    pub fn wal_pending(&self) -> u64 {
+        self.wal.as_ref().map_or(0, Wal::pending)
+    }
+
+    /// Durable WAL size in bytes (compaction keeps this bounded by the
+    /// snapshot interval).
+    pub fn wal_committed_bytes(&self) -> u64 {
+        self.wal.as_ref().map_or(0, Wal::committed_len)
+    }
+
+    /// The failpoint registry, for ingress-side evaluation by the
+    /// daemon and the drill harness.
+    pub(crate) fn failpoints_mut(&mut self) -> &mut Failpoints {
+        &mut self.failpoints
     }
 
     /// Current service time, seconds.
@@ -513,9 +618,10 @@ impl ServeEngine {
     ) -> Result<Admission, ServeError> {
         let seq = match (&mut self.wal, self.replaying) {
             (Some(wal), false) => {
-                let seq = wal
-                    .append(at_s, sensor, deficit_j)
-                    .map_err(|e| ServeError::Io(e.to_string()))?;
+                // Appends only buffer (group commit makes them durable
+                // at the tick boundary), so acceptance cannot fail on
+                // I/O here.
+                let seq = wal.append(at_s, sensor, deficit_j);
                 self.next_seq = seq + 1;
                 seq
             }
@@ -566,6 +672,11 @@ impl ServeEngine {
         sensor: u32,
         deficit_j: Option<f64>,
     ) -> Result<Admission, ServeError> {
+        if self.degraded && !self.replaying {
+            // Durability lost: never acknowledge work we could lose.
+            self.ledger.refused_degraded += 1;
+            return Ok(Admission::RefusedDegraded);
+        }
         let Some(s) = self.net.sensors().get(sensor as usize) else {
             self.ledger.invalid += 1;
             return Ok(Admission::Invalid);
@@ -603,13 +714,22 @@ impl ServeEngine {
     /// and admits a most-critical-first batch, re-plans on drift, and
     /// group-commits the WAL.
     ///
+    /// A failed group commit is retried with bounded exponential
+    /// backoff; if the failure persists the engine enters degraded mode
+    /// (refusing new admissions, dispatching accepted work) and probes
+    /// for re-arm every tick — `tick` itself stays `Ok` through all of
+    /// it, because a storage fault must degrade the service, not stop
+    /// the scheduler.
+    ///
     /// # Errors
     ///
-    /// [`ServeError::Io`] if the WAL sync or a periodic snapshot fails.
+    /// Reserved for unrecoverable faults; storage failures degrade
+    /// instead of erroring.
     pub fn tick(&mut self) -> Result<(), ServeError> {
         self.now_s += self.cfg.tick_s;
         self.ticks += 1;
         self.metrics.ticks = self.ticks;
+        self.failpoints.note_tick(self.ticks);
 
         for done in self.tours.complete_due(self.now_s) {
             self.ledger.charged += 1;
@@ -669,15 +789,82 @@ impl ServeEngine {
         }
 
         self.metrics.note_depth(self.queue.len(), self.in_flight());
-        if let Some(wal) = &mut self.wal {
-            wal.sync().map_err(|e| ServeError::Io(e.to_string()))?;
+        if self.degraded {
+            self.metrics.degraded_ticks += 1;
+            self.try_rearm();
+        } else if self.sync_wal_with_retry().is_err() {
+            self.enter_degraded();
         }
-        if self.cfg.snapshot_every_ticks > 0
+        if !self.degraded
+            && self.cfg.snapshot_every_ticks > 0
             && self.ticks.is_multiple_of(self.cfg.snapshot_every_ticks)
+            && self.checkpoint_now().is_err()
         {
-            self.checkpoint_now()?;
+            // Snapshot failure is non-fatal: the WAL stays the
+            // durability record and the next cadence retries.
+            self.metrics.snapshot_failures += 1;
         }
+        self.metrics.chaos_injections = self.failpoints.counters().total();
         Ok(())
+    }
+
+    /// Group-commits the WAL with bounded exponential-backoff retries.
+    ///
+    /// # Errors
+    ///
+    /// The final failure once `io_retry_limit` retries are exhausted.
+    fn sync_wal_with_retry(&mut self) -> Result<(), ServeError> {
+        let Some(wal) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        let mut attempt = 0u32;
+        loop {
+            match wal.sync_with(&mut self.failpoints) {
+                Ok(()) => return Ok(()),
+                Err(e) if attempt >= self.cfg.io_retry_limit => {
+                    return Err(ServeError::Io(e.to_string()));
+                }
+                Err(_) => {
+                    attempt += 1;
+                    self.metrics.io_retries += 1;
+                    let backoff = self
+                        .cfg
+                        .io_retry_backoff_ms
+                        .saturating_mul(1 << (attempt - 1).min(6));
+                    if backoff > 0 {
+                        std::thread::sleep(Duration::from_millis(backoff));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Declares durability lost: traced, counted, and from now on new
+    /// submissions are refused until a probe write succeeds. Accepted
+    /// work keeps dispatching — the chargers don't need the disk.
+    fn enter_degraded(&mut self) {
+        if self.degraded {
+            return;
+        }
+        self.degraded = true;
+        self.metrics.degraded_entries += 1;
+        self.trace.push(TraceEvent::DurabilityLost { at_s: self.now_s, tick: self.ticks });
+    }
+
+    /// Probes the WAL for a successful write+fsync round trip; on
+    /// success flushes the stranded batch and re-arms admissions.
+    fn try_rearm(&mut self) {
+        let probe_ok = match self.wal.as_mut() {
+            Some(wal) => wal.probe(&mut self.failpoints).is_ok(),
+            None => true,
+        };
+        if !probe_ok || self.sync_wal_with_retry().is_err() {
+            return;
+        }
+        self.degraded = false;
+        self.metrics.degraded_exits += 1;
+        self.trace
+            .push(TraceEvent::DurabilityRestored { at_s: self.now_s, tick: self.ticks });
     }
 
     /// Rebuilds the unstarted tours with a watchdogged full planner
@@ -781,34 +968,67 @@ impl ServeEngine {
         self.reappend(0, &s);
     }
 
-    /// Writes a snapshot now (no-op without a configured path).
+    /// Writes a snapshot now (no-op without a configured path), then
+    /// compacts the WAL: every logged entry is covered by the snapshot
+    /// just written, so the log atomically truncates to empty and disk
+    /// use stays bounded by snapshot interval instead of uptime. A
+    /// failed compaction is counted and non-fatal (the old log remains
+    /// a valid, if redundant, durability record).
     ///
     /// # Errors
     ///
-    /// [`ServeError::Io`] if the atomic write fails.
+    /// [`ServeError::Io`] if the WAL sync or the atomic snapshot write
+    /// fails (compaction failures never propagate).
     pub fn checkpoint_now(&mut self) -> Result<(), ServeError> {
         // The snapshot must not be newer than the log it pairs with.
-        if let Some(wal) = &mut self.wal {
-            wal.sync().map_err(|e| ServeError::Io(e.to_string()))?;
-        }
+        self.sync_wal_with_retry()?;
         let Some(path) = self.snapshot_path.clone() else {
             return Ok(());
         };
         let body = serde_json::to_string(&self.snapshot_value());
-        wrsn_sim::persist::write_atomic(&path, body.as_bytes())
-            .map_err(|e| ServeError::Io(e.to_string()))
+        wrsn_sim::persist::write_atomic_with(
+            &path,
+            body.as_bytes(),
+            &mut self.failpoints.snapshot_hooks(),
+        )
+        .map_err(|e| ServeError::Io(e.to_string()))?;
+        if let Some(wal) = self.wal.as_mut() {
+            if wal.pending() == 0 {
+                match wal.compact(&mut self.failpoints) {
+                    Ok(bytes) => {
+                        self.metrics.compactions += 1;
+                        self.metrics.wal_bytes_reclaimed += bytes;
+                    }
+                    Err(_) => self.metrics.compaction_failures += 1,
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Final sync, final snapshot, and the run's report.
     ///
+    /// Storage faults here degrade exactly as they do in [`ServeEngine::tick`]:
+    /// a persistently failing final sync enters degraded mode (traced
+    /// and counted — the pending batch stays in the WAL's documented
+    /// at-most-one-batch exposure window) and a failing final snapshot
+    /// is counted; neither aborts the shutdown, because the report and
+    /// the durable log the service already has are worth more than an
+    /// error the operator can't act on.
+    ///
     /// # Errors
     ///
-    /// [`ServeError::Io`] if the final WAL sync or snapshot fails.
+    /// Reserved for unrecoverable faults; storage failures degrade
+    /// instead of erroring.
     pub fn shutdown(mut self) -> Result<ServeReport, ServeError> {
-        if let Some(wal) = &mut self.wal {
-            wal.sync().map_err(|e| ServeError::Io(e.to_string()))?;
+        if self.sync_wal_with_retry().is_err() {
+            self.enter_degraded();
         }
-        self.checkpoint_now()?;
+        // Degraded means the WAL sync inside the checkpoint would fail
+        // and the snapshot would run ahead of the log; skip it.
+        if !self.degraded && self.checkpoint_now().is_err() {
+            self.metrics.snapshot_failures += 1;
+        }
         Ok(self.report())
     }
 
@@ -830,6 +1050,15 @@ impl ServeEngine {
             replans_skipped: self.metrics.replans_skipped,
             incremental_inserts: self.metrics.incremental_inserts,
             planner_fallbacks: self.metrics.planner_fallbacks,
+            io_retries: self.metrics.io_retries,
+            degraded_entries: self.metrics.degraded_entries,
+            degraded_exits: self.metrics.degraded_exits,
+            degraded_ticks: self.metrics.degraded_ticks,
+            snapshot_failures: self.metrics.snapshot_failures,
+            compactions: self.metrics.compactions,
+            compaction_failures: self.metrics.compaction_failures,
+            wal_bytes_reclaimed: self.metrics.wal_bytes_reclaimed,
+            chaos_injections: self.failpoints.counters().total(),
         }
     }
 
@@ -884,6 +1113,7 @@ impl ServeEngine {
                 "invalid": self.ledger.invalid,
                 "escalated": self.ledger.escalated,
                 "deferrals": self.ledger.deferrals,
+                "refused_degraded": self.ledger.refused_degraded,
             }),
             "counters": serde_json::json!({
                 "max_queue_depth": self.metrics.max_queue_depth,
@@ -893,6 +1123,15 @@ impl ServeEngine {
                 "replans_skipped": self.metrics.replans_skipped,
                 "incremental_inserts": self.metrics.incremental_inserts,
                 "planner_fallbacks": self.metrics.planner_fallbacks,
+                "io_retries": self.metrics.io_retries,
+                "degraded_entries": self.metrics.degraded_entries,
+                "degraded_exits": self.metrics.degraded_exits,
+                "degraded_ticks": self.metrics.degraded_ticks,
+                "snapshot_failures": self.metrics.snapshot_failures,
+                // Compaction counters are process-life observability,
+                // deliberately absent: a compaction strictly follows
+                // the snapshot write it pairs with, so by causality no
+                // snapshot can ever contain its own compaction's count.
             }),
             "queue": Value::Array(queue),
             "tours": Value::Array(tours.into_iter().map(Value::Array).collect()),
@@ -930,6 +1169,8 @@ impl ServeEngine {
             invalid: get_u64(ledger, "invalid")?,
             escalated: get_u64(ledger, "escalated")?,
             deferrals: get_u64(ledger, "deferrals")?,
+            // Absent in pre-chaos snapshots of the same format version.
+            refused_degraded: get_u64_or(ledger, "refused_degraded", 0),
         };
         let counters = field(v, "counters")?;
         self.metrics.ticks = self.ticks;
@@ -940,6 +1181,17 @@ impl ServeEngine {
         self.metrics.replans_skipped = get_u64(counters, "replans_skipped")?;
         self.metrics.incremental_inserts = get_u64(counters, "incremental_inserts")?;
         self.metrics.planner_fallbacks = get_u64(counters, "planner_fallbacks")?;
+        self.metrics.io_retries = get_u64_or(counters, "io_retries", 0);
+        self.metrics.degraded_entries = get_u64_or(counters, "degraded_entries", 0);
+        self.metrics.degraded_exits = get_u64_or(counters, "degraded_exits", 0);
+        self.metrics.degraded_ticks = get_u64_or(counters, "degraded_ticks", 0);
+        self.metrics.snapshot_failures = get_u64_or(counters, "snapshot_failures", 0);
+        // Compaction counters restart per process life (see
+        // `snapshot_value`); cross-life totals are the chaos drill's
+        // job, which sums per-life deltas.
+        self.metrics.compactions = 0;
+        self.metrics.compaction_failures = 0;
+        self.metrics.wal_bytes_reclaimed = 0;
 
         for row in arr(field(v, "queue")?, "queue")? {
             let row = arr(row, "queue entry")?;
@@ -1100,6 +1352,12 @@ fn get_u64(v: &Value, key: &str) -> Result<u64, ServeError> {
     field(v, key)?
         .as_u64()
         .ok_or_else(|| ServeError::Snapshot(format!("field {key:?} is not a u64")))
+}
+
+/// Tolerant read for counters added after format v1 shipped: absent
+/// means the snapshot predates the counter, so it restores as `default`.
+fn get_u64_or(v: &Value, key: &str, default: u64) -> u64 {
+    v.get(key).and_then(Value::as_u64).unwrap_or(default)
 }
 
 fn arr<'v>(v: &'v Value, what: &str) -> Result<&'v [Value], ServeError> {

@@ -30,6 +30,16 @@
 //!   state snapshots atomically and durably. After a `kill -9`,
 //!   [`ServeEngine::resume`] restores the snapshot and replays the WAL
 //!   tail: zero accepted requests are lost.
+//! - **Storage chaos & degraded mode** — a seeded, inert-by-default
+//!   failpoint registry ([`failpoint`]) injects deterministic storage
+//!   faults (transient EIO, ENOSPC windows, fsync failures, torn
+//!   writes, slow-I/O stalls) into every durability hot path. Transient
+//!   faults are absorbed by bounded retry with backoff; persistent
+//!   durability loss flips the engine into a degraded mode that refuses
+//!   new admissions (typed, ledgered, traced — never silent) while
+//!   accepted work keeps dispatching, re-arming when a probe write
+//!   succeeds. After each successful snapshot the WAL compacts
+//!   atomically, bounding disk use by snapshot interval.
 //! - **Graceful shutdown** — SIGINT/SIGTERM ([`shutdown::install`])
 //!   ends the service at a tick boundary with a final snapshot and a
 //!   report carrying latency percentiles (admission-to-dispatch and
@@ -43,6 +53,7 @@
 
 pub mod daemon;
 mod engine;
+pub mod failpoint;
 mod metrics;
 mod queue;
 mod request;
@@ -56,9 +67,10 @@ pub use engine::{
     Admission, ServeConfig, ServeConfigError, ServeEngine, ServeError, ServeLedger,
     ServeReport,
 };
+pub use failpoint::{ChaosConfig, ChaosConfigError, ChaosCounters, Failpoints};
 pub use metrics::{LatencySummary, ServeMetrics};
 pub use queue::{IngressQueue, Offer, QueuedRequest};
 pub use request::{RequestParseError, ServeRequest};
-pub use soak::{SoakConfig, SoakOutcome};
-pub use wal::{Wal, WalEntry};
+pub use soak::{ChaosDrillOutcome, SoakConfig, SoakOutcome};
+pub use wal::{Wal, WalEntry, WalError};
 pub use watchdog::{plan_guarded, GuardedPlan, PlanSource, PlannerFactory, TripReason};

@@ -34,14 +34,17 @@ impl LatencySummary {
             return LatencySummary::default();
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        // total_cmp: a NaN sample (there should be none) must never
+        // panic the daemon's metrics path.
+        sorted.sort_by(f64::total_cmp);
+        let last = sorted[sorted.len() - 1];
         LatencySummary {
             count: sorted.len(),
             mean_s: sorted.iter().sum::<f64>() / sorted.len() as f64,
             p50_s: percentile(&sorted, 50.0),
             p95_s: percentile(&sorted, 95.0),
             p99_s: percentile(&sorted, 99.0),
-            max_s: *sorted.last().expect("non-empty"),
+            max_s: last,
         }
     }
 
@@ -80,6 +83,30 @@ pub struct ServeMetrics {
     pub incremental_inserts: u64,
     /// Batches that fell back to a degraded planner.
     pub planner_fallbacks: u64,
+    /// WAL group commits retried after a transient storage fault.
+    pub io_retries: u64,
+    /// Durability-degraded mode entries (retry budget exhausted).
+    pub degraded_entries: u64,
+    /// Degraded-mode exits (a probe write re-armed admissions).
+    pub degraded_exits: u64,
+    /// Ticks spent in degraded mode.
+    pub degraded_ticks: u64,
+    /// Periodic snapshots that failed (non-fatal; the WAL remains the
+    /// durability record and the next cadence retries).
+    pub snapshot_failures: u64,
+    /// WAL compactions performed after successful snapshots. Counts
+    /// the current process life only — a compaction strictly follows
+    /// the snapshot it pairs with, so it can never be recorded *in*
+    /// that snapshot; cross-restart totals are the chaos drill's job.
+    pub compactions: u64,
+    /// Compactions that failed (the old log stays intact). Per process
+    /// life, like [`ServeMetrics::compactions`].
+    pub compaction_failures: u64,
+    /// Total WAL bytes reclaimed by compaction. Per process life, like
+    /// [`ServeMetrics::compactions`].
+    pub wal_bytes_reclaimed: u64,
+    /// Total faults injected by the chaos layer (0 when inert).
+    pub chaos_injections: u64,
 }
 
 impl ServeMetrics {

@@ -14,15 +14,19 @@
 //! duration — that mode exists for the kill-and-resume CI leg, which
 //! needs a process alive long enough to `kill -9` mid-soak.
 
+use std::path::Path;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Instant;
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
+use wrsn_net::Network;
 
-use crate::engine::{ServeEngine, ServeError, ServeReport};
+use crate::engine::{Admission, ServeConfig, ServeEngine, ServeError, ServeReport};
+use crate::failpoint::ChaosConfig;
 use crate::shutdown::stop_requested;
+use crate::watchdog::PlannerFactory;
 
 /// Soak load profile.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -162,6 +166,276 @@ pub fn run_soak(
     })
 }
 
+/// What a chaos drill did: a soak run under a seeded fault schedule
+/// with repeated simulated `kill -9` (drop without shutdown) and
+/// resume cycles, plus the invariants checked after every recovery.
+#[derive(Clone, Debug)]
+pub struct ChaosDrillOutcome {
+    /// The final engine's shutdown report.
+    pub report: ServeReport,
+    /// Requests the generator offered across every life.
+    pub offered: u64,
+    /// Submissions refused by degraded mode across every life.
+    pub refused_degraded: u64,
+    /// Kill (drop-without-shutdown) cycles performed.
+    pub kills: u32,
+    /// Resumes that came back with a reconciling ledger.
+    pub resumes_ok: u32,
+    /// Whether every resume conserved the durable floor: resumed
+    /// `admitted` within `[admitted - wal_pending, admitted]` of the
+    /// crashed life (group commit's at-most-one-batch exposure), with a
+    /// reconciling ledger. **Must be true.**
+    pub conservation_held: bool,
+    /// High-water mark of the durable WAL size across every life
+    /// (compaction must keep this bounded by snapshot interval).
+    pub wal_max_bytes: u64,
+    /// Faults injected by the chaos layer, summed across lives.
+    pub injections_total: u64,
+    /// Degraded-mode entries, summed across lives.
+    pub degraded_entries: u64,
+    /// Degraded-mode exits (probe re-arms), summed across lives.
+    pub degraded_exits: u64,
+    /// WAL group-commit retries, summed across lives.
+    pub io_retries: u64,
+    /// WAL compactions, summed across lives.
+    pub compactions: u64,
+    /// Wall-clock time of the whole drill, seconds.
+    pub wall_s: f64,
+}
+
+impl ChaosDrillOutcome {
+    /// The outcome as JSON (what the CLI archives for CI).
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut v = self.report.to_json();
+        if let serde_json::Value::Object(map) = &mut v {
+            map.insert("offered".into(), serde_json::Value::from(self.offered));
+            map.insert(
+                "refused_degraded_total".into(),
+                serde_json::Value::from(self.refused_degraded),
+            );
+            map.insert("kills".into(), serde_json::Value::from(self.kills));
+            map.insert("resumes_ok".into(), serde_json::Value::from(self.resumes_ok));
+            map.insert(
+                "conservation_held".into(),
+                serde_json::Value::Bool(self.conservation_held),
+            );
+            map.insert("wal_max_bytes".into(), serde_json::Value::from(self.wal_max_bytes));
+            map.insert(
+                "injections_total".into(),
+                serde_json::Value::from(self.injections_total),
+            );
+            map.insert(
+                "degraded_entries_total".into(),
+                serde_json::Value::from(self.degraded_entries),
+            );
+            map.insert(
+                "degraded_exits_total".into(),
+                serde_json::Value::from(self.degraded_exits),
+            );
+            map.insert("io_retries_total".into(), serde_json::Value::from(self.io_retries));
+            map.insert("compactions_total".into(), serde_json::Value::from(self.compactions));
+            map.insert("wall_s".into(), serde_json::Value::from(self.wall_s));
+        }
+        v
+    }
+}
+
+/// Per-life counter bases for exact cross-life deltas (metrics restore
+/// from the last checkpoint, so raw end-of-run values undercount).
+#[derive(Clone, Copy, Default)]
+struct LifeBase {
+    degraded_entries: u64,
+    degraded_exits: u64,
+    io_retries: u64,
+    compactions: u64,
+}
+
+impl LifeBase {
+    fn of(engine: &ServeEngine) -> LifeBase {
+        LifeBase {
+            degraded_entries: engine.metrics().degraded_entries,
+            degraded_exits: engine.metrics().degraded_exits,
+            io_retries: engine.metrics().io_retries,
+            compactions: engine.metrics().compactions,
+        }
+    }
+}
+
+/// Runs the soak workload under a seeded fault schedule with
+/// `kill_cycles` simulated `kill -9` + resume cycles spread evenly
+/// through the run, asserting after every recovery that the durable
+/// floor is conserved and the ledger reconciles. The load generator's
+/// RNG stream continues across crashes, so the offered workload is one
+/// deterministic function of `soak.seed` regardless of where the kills
+/// land; each life re-arms the failpoint registry with `chaos.seed`
+/// advanced by the life index.
+///
+/// A *simulated* kill drops the engine without shutdown — exactly the
+/// state a real SIGKILL leaves: no final WAL sync (the pending batch is
+/// lost, which is group commit's documented at-most-one-batch window),
+/// no final snapshot. The real-process SIGKILL variant lives in the CI
+/// chaos-drill job on top of the CLI.
+///
+/// # Errors
+///
+/// Propagates engine construction/resume failures. Storage faults
+/// during the run degrade rather than error, so a failing disk does
+/// not abort the drill.
+///
+/// # Panics
+///
+/// If `soak.rate_per_s`/`soak.duration_s` are negative or non-finite.
+#[allow(clippy::too_many_lines)]
+pub fn run_chaos_drill(
+    net: &Network,
+    serve_cfg: ServeConfig,
+    primary: &Arc<PlannerFactory>,
+    chaos: ChaosConfig,
+    soak: &SoakConfig,
+    kill_cycles: u32,
+    state_dir: &Path,
+) -> Result<ChaosDrillOutcome, ServeError> {
+    assert!(
+        soak.rate_per_s >= 0.0 && soak.rate_per_s.is_finite(),
+        "drill rate must be non-negative and finite"
+    );
+    assert!(
+        soak.duration_s >= 0.0 && soak.duration_s.is_finite(),
+        "drill duration must be non-negative and finite"
+    );
+    std::fs::create_dir_all(state_dir).map_err(|e| ServeError::Io(e.to_string()))?;
+    let wal_path = state_dir.join("requests.wal");
+    let snap_path = state_dir.join("serve_checkpoint.json");
+
+    let mut rng = ChaCha12Rng::seed_from_u64(soak.seed);
+    let n = net.sensors().len();
+    let tick_s = serve_cfg.tick_s;
+    let total_ticks = ((soak.duration_s / tick_s).round() as u64).max(1);
+    let lives = u64::from(kill_cycles) + 1;
+    let (f_lo, f_hi) = soak.deficit_fraction;
+    let t0 = Instant::now();
+
+    let mut offered = 0u64;
+    let mut refused_degraded = 0u64;
+    let mut carry = 0.0f64;
+    let mut kills = 0u32;
+    let mut resumes_ok = 0u32;
+    let mut conservation_held = true;
+    let mut wal_max_bytes = 0u64;
+    let mut injections_total = 0u64;
+    let mut degraded_entries = 0u64;
+    let mut degraded_exits = 0u64;
+    let mut io_retries = 0u64;
+    let mut compactions = 0u64;
+
+    let mut engine = ServeEngine::new(net.clone(), serve_cfg, Arc::clone(primary))?
+        .with_wal(&wal_path)?
+        .with_snapshot(&snap_path)
+        .with_chaos(chaos)?;
+    let mut base = LifeBase::of(&engine);
+    let mut done_ticks = 0u64;
+
+    for life in 0..lives {
+        // Even split; the last life absorbs the remainder.
+        let seg = if life + 1 == lives {
+            total_ticks - done_ticks
+        } else {
+            (total_ticks / lives).max(1)
+        };
+        for _ in 0..seg {
+            carry += soak.rate_per_s * tick_s;
+            let arrivals = carry.floor() as u64;
+            carry -= arrivals as f64;
+            for _ in 0..arrivals {
+                let sensor = rng.gen_range(0..n) as u32;
+                let fraction = if f_hi > f_lo { rng.gen_range(f_lo..=f_hi) } else { f_lo };
+                offered += 1;
+                if matches!(
+                    engine.submit_fraction(sensor, fraction)?,
+                    Admission::RefusedDegraded
+                ) {
+                    refused_degraded += 1;
+                }
+            }
+            engine.tick()?;
+            wal_max_bytes = wal_max_bytes.max(engine.wal_committed_bytes());
+        }
+        done_ticks += seg;
+
+        if life + 1 == lives {
+            break;
+        }
+
+        // Close out this life's exact counter deltas, then kill -9:
+        // drop without shutdown. The pending batch dies with the
+        // process — that is the documented exposure window.
+        degraded_entries += engine.metrics().degraded_entries - base.degraded_entries;
+        degraded_exits += engine.metrics().degraded_exits - base.degraded_exits;
+        io_retries += engine.metrics().io_retries - base.io_retries;
+        compactions += engine.metrics().compactions - base.compactions;
+        injections_total += engine.chaos_counters().total();
+        let admitted_before = engine.ledger().admitted;
+        let pending_before = engine.wal_pending();
+        drop(engine);
+        kills += 1;
+
+        let life_chaos = ChaosConfig { seed: chaos.seed.wrapping_add(life + 1), ..chaos };
+        engine = ServeEngine::resume(
+            net.clone(),
+            serve_cfg,
+            Arc::clone(primary),
+            &snap_path,
+            &wal_path,
+        )?
+        .with_chaos(life_chaos)?;
+        base = LifeBase::of(&engine);
+
+        let floor = admitted_before - pending_before;
+        let admitted_after = engine.ledger().admitted;
+        let ok = admitted_after >= floor
+            && admitted_after <= admitted_before
+            && engine.ledger_reconciles();
+        if ok {
+            resumes_ok += 1;
+        } else {
+            conservation_held = false;
+        }
+    }
+
+    if soak.drain {
+        let drain_end = engine.now_s() + soak.drain_limit_s.max(0.0);
+        while engine.in_flight() > 0 && engine.now_s() < drain_end {
+            engine.tick()?;
+            wal_max_bytes = wal_max_bytes.max(engine.wal_committed_bytes());
+        }
+    }
+
+    // Final life's close-out (the loop broke before its own).
+    degraded_entries += engine.metrics().degraded_entries - base.degraded_entries;
+    degraded_exits += engine.metrics().degraded_exits - base.degraded_exits;
+    io_retries += engine.metrics().io_retries - base.io_retries;
+    compactions += engine.metrics().compactions - base.compactions;
+    injections_total += engine.chaos_counters().total();
+
+    let wall_s = t0.elapsed().as_secs_f64();
+    let report = engine.shutdown()?;
+    Ok(ChaosDrillOutcome {
+        report,
+        offered,
+        refused_degraded,
+        kills,
+        resumes_ok,
+        conservation_held,
+        wal_max_bytes,
+        injections_total,
+        degraded_entries,
+        degraded_exits,
+        io_retries,
+        compactions,
+        wall_s,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +506,92 @@ mod tests {
         assert_eq!(a.offered, b.offered);
         assert_eq!(a.report.ledger, b.report.ledger);
         assert_eq!(a.report.dispatch_latency, b.report.dispatch_latency);
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("wrsn_drill_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn drill_chaos() -> ChaosConfig {
+        ChaosConfig {
+            seed: 21,
+            io_error_p: 0.05,
+            torn_write_p: 0.03,
+            fsync_fail_p: 0.03,
+            enospc_from_tick: 30,
+            enospc_ticks: 12,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn chaos_drill_conserves_through_faults_and_kills() {
+        // A large sensor pool relative to the offered load: per-sensor
+        // dedup must not absorb the stream before the ENOSPC window
+        // opens, or the window would find an idle WAL and nothing to
+        // degrade.
+        let net = NetworkBuilder::new(1000).seed(11).build();
+        let factory: Arc<PlannerFactory> =
+            Arc::new(|| Box::new(GreedyTour) as Box<dyn Planner>);
+        let serve_cfg = ServeConfig {
+            k: 2,
+            snapshot_every_ticks: 20,
+            io_retry_backoff_ms: 0, // keep the test fast
+            ..ServeConfig::default()
+        };
+        let soak = SoakConfig {
+            rate_per_s: 200.0,
+            duration_s: 12.0,
+            seed: 7,
+            ..SoakConfig::default()
+        };
+        let dir = tmp_dir("conserve");
+        let out = run_chaos_drill(&net, serve_cfg, &factory, drill_chaos(), &soak, 3, &dir)
+            .unwrap();
+        assert_eq!(out.kills, 3);
+        assert_eq!(out.resumes_ok, 3, "every resume must reconcile");
+        assert!(out.conservation_held, "durable floor must be conserved");
+        assert!(out.report.ledger_reconciles);
+        assert_eq!(out.report.silent_loss(), 0);
+        assert!(out.injections_total > 0, "this schedule must inject faults");
+        assert!(out.degraded_entries >= 1, "the ENOSPC window must degrade");
+        assert!(out.degraded_exits >= 1, "the probe must re-arm after the window");
+        assert!(out.compactions >= 1, "snapshots must compact the WAL");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_drill_is_deterministic_per_seed() {
+        let net = NetworkBuilder::new(300).seed(4).build();
+        let factory: Arc<PlannerFactory> =
+            Arc::new(|| Box::new(GreedyTour) as Box<dyn Planner>);
+        let serve_cfg = ServeConfig {
+            k: 2,
+            snapshot_every_ticks: 15,
+            io_retry_backoff_ms: 0,
+            ..ServeConfig::default()
+        };
+        let soak = SoakConfig {
+            rate_per_s: 150.0,
+            duration_s: 6.0,
+            seed: 9,
+            ..SoakConfig::default()
+        };
+        let da = tmp_dir("det_a");
+        let db = tmp_dir("det_b");
+        let a = run_chaos_drill(&net, serve_cfg, &factory, drill_chaos(), &soak, 2, &da)
+            .unwrap();
+        let b = run_chaos_drill(&net, serve_cfg, &factory, drill_chaos(), &soak, 2, &db)
+            .unwrap();
+        assert_eq!(a.offered, b.offered);
+        assert_eq!(a.report.ledger, b.report.ledger);
+        assert_eq!(a.injections_total, b.injections_total);
+        assert_eq!(a.refused_degraded, b.refused_degraded);
+        let _ = std::fs::remove_dir_all(&da);
+        let _ = std::fs::remove_dir_all(&db);
     }
 
     #[test]

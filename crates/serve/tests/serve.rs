@@ -7,7 +7,9 @@ use std::sync::Arc;
 use wrsn_core::{GreedyTour, Planner};
 use wrsn_net::NetworkBuilder;
 use wrsn_serve::soak::{run_soak, SoakConfig};
-use wrsn_serve::{PlannerFactory, ServeConfig, ServeEngine};
+use wrsn_serve::{
+    ChaosConfig, PlannerFactory, ServeConfig, ServeEngine, ServeError, Wal, WalError,
+};
 
 fn factory() -> Arc<PlannerFactory> {
     Arc::new(|| Box::new(GreedyTour) as Box<dyn Planner>)
@@ -127,6 +129,248 @@ fn a_torn_wal_tail_is_recovered_not_fatal() {
     let resumed = ServeEngine::resume(net, cfg, factory(), &snap, &wal).unwrap();
     assert!(resumed.recovered_torn_tail());
     assert_eq!(resumed.ledger().admitted, 6, "complete entries all replay");
+    assert!(resumed.ledger_reconciles());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Builds a committed WAL with one record per line (one accepted
+/// request per tick, synced at each tick boundary) and returns its
+/// raw bytes. The engine is dropped without shutdown, like a crash.
+fn committed_wal(dir: &std::path::Path, records: u32) -> Vec<u8> {
+    let wal = dir.join("requests.wal");
+    let net = NetworkBuilder::new(64).seed(5).build();
+    let cfg = ServeConfig { k: 1, ..ServeConfig::default() };
+    let mut engine =
+        ServeEngine::new(net, cfg, factory()).unwrap().with_wal(&wal).unwrap();
+    for s in 0..records {
+        engine.submit(s % 64, Some(4.0 + f64::from(s))).unwrap();
+        engine.tick().unwrap();
+    }
+    drop(engine);
+    std::fs::read(&wal).unwrap()
+}
+
+#[test]
+fn truncating_the_final_record_at_every_byte_offset_never_errors() {
+    let dir = tmp_dir("trunc_matrix");
+    let body = committed_wal(&dir, 8);
+    let (full, torn) = Wal::replay(&dir.join("requests.wal")).unwrap();
+    assert_eq!(full.len(), 8);
+    assert!(!torn);
+
+    // Start of the final record: one byte past the previous newline.
+    let last_start =
+        body[..body.len() - 1].iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+    let probe = dir.join("probe.wal");
+    for cut in last_start..=body.len() {
+        std::fs::write(&probe, &body[..cut]).unwrap();
+        let (entries, torn) = Wal::replay(&probe)
+            .unwrap_or_else(|e| panic!("cut at byte {cut} must recover, got: {e}"));
+        // A crash anywhere inside the final record loses exactly that
+        // record; every complete line before it survives bit-exact.
+        assert!(entries.len() >= 7, "cut at byte {cut} lost a committed record");
+        for (got, want) in entries.iter().zip(&full) {
+            assert_eq!((got.seq, got.sensor), (want.seq, want.sensor));
+            assert_eq!(got.deficit_j.to_bits(), want.deficit_j.to_bits());
+        }
+        if torn {
+            assert_eq!(entries.len(), 7, "a torn tail is exactly one lost record");
+        }
+        // Re-opening for append truncates the partial tail, so later
+        // appends can never turn it into interior corruption.
+        let next_seq = entries.last().map_or(1, |e| e.seq + 1);
+        drop(Wal::open_append(&probe, next_seq).unwrap());
+        let (healed, torn_after) = Wal::replay(&probe).unwrap();
+        assert!(!torn_after, "cut at byte {cut} must heal on reopen");
+        assert_eq!(healed.len(), entries.len());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn one_flipped_interior_byte_is_a_typed_refusal_not_a_repair() {
+    let dir = tmp_dir("flip_interior");
+    let body = committed_wal(&dir, 6);
+    let line_starts: Vec<usize> = std::iter::once(0)
+        .chain(body.iter().enumerate().filter(|&(_, &b)| b == b'\n').map(|(i, _)| i + 1))
+        .filter(|&i| i < body.len())
+        .collect();
+    assert_eq!(line_starts.len(), 6);
+
+    let probe = dir.join("probe.wal");
+    let net = NetworkBuilder::new(64).seed(5).build();
+    let cfg = ServeConfig { k: 1, ..ServeConfig::default() };
+    // Flip the structural opening brace of each interior record in
+    // turn: the line no longer parses, and because it is not the
+    // final line it can never be a clean-crash signature — the log
+    // was damaged at rest, so replay refuses instead of repairing.
+    for (i, &start) in line_starts.iter().enumerate().take(5) {
+        let mut copy = body.clone();
+        copy[start] = b'X';
+        std::fs::write(&probe, &copy).unwrap();
+        match Wal::replay(&probe) {
+            Err(WalError::InteriorCorruption { line }) => assert_eq!(line, i + 1),
+            other => panic!("flip at line {} must refuse, got {other:?}", i + 1),
+        }
+        // The engine surfaces the same refusal as a typed I/O error.
+        match ServeEngine::resume(
+            net.clone(),
+            cfg,
+            factory(),
+            &dir.join("no_snapshot.json"),
+            &probe,
+        ) {
+            Err(ServeError::Io(_)) => {}
+            Err(other) => panic!("resume must refuse with a typed I/O error: {other}"),
+            Ok(_) => panic!("resume must refuse a corrupt interior line"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_spliced_duplicate_record_is_a_sequence_regression() {
+    let dir = tmp_dir("splice");
+    let body = committed_wal(&dir, 5);
+    let text = String::from_utf8(body).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+
+    // Double-write: the same record appears twice in a row.
+    let mut doubled: Vec<&str> = lines.clone();
+    doubled.insert(2, lines[2]);
+    let probe = dir.join("probe.wal");
+    std::fs::write(&probe, format!("{}\n", doubled.join("\n"))).unwrap();
+    match Wal::replay(&probe) {
+        Err(WalError::SequenceRegression { line, prev, got }) => {
+            assert_eq!(line, 4);
+            assert_eq!((prev, got), (3, 3));
+        }
+        other => panic!("a doubled record must refuse, got {other:?}"),
+    }
+
+    // Splice: two records swapped out of order.
+    let mut swapped: Vec<&str> = lines.clone();
+    swapped.swap(1, 3);
+    std::fs::write(&probe, format!("{}\n", swapped.join("\n"))).unwrap();
+    match Wal::replay(&probe) {
+        Err(WalError::SequenceRegression { line, prev, got }) => {
+            assert_eq!(line, 3);
+            assert_eq!((prev, got), (4, 3));
+        }
+        other => panic!("a spliced log must refuse, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_multi_line_torn_tail_is_refused_as_interior_corruption() {
+    let dir = tmp_dir("multi_torn");
+    let body = committed_wal(&dir, 4);
+    let mut text = String::from_utf8(body).unwrap();
+    // Two consecutive partial lines: no single crash-mid-append
+    // produces this shape (only the final line may be torn), so the
+    // first partial line is interior corruption and replay refuses.
+    text.push_str("{\"seq\": 9, \"t\n{\"seq\": 10, \"t");
+    let probe = dir.join("probe.wal");
+    std::fs::write(&probe, &text).unwrap();
+    match Wal::replay(&probe) {
+        Err(WalError::InteriorCorruption { line }) => assert_eq!(line, 5),
+        other => panic!("a two-line torn tail must refuse, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_short_writes_heal_through_group_commit_retries() {
+    let dir = tmp_dir("short_writes");
+    let wal = dir.join("requests.wal");
+    let net = NetworkBuilder::new(120).seed(9).build();
+    let cfg =
+        ServeConfig { k: 2, io_retry_backoff_ms: 0, ..ServeConfig::default() };
+    let chaos = ChaosConfig {
+        seed: 9,
+        torn_write_p: 0.35,
+        io_error_p: 0.05,
+        ..ChaosConfig::default()
+    };
+    let mut engine = ServeEngine::new(net.clone(), cfg, factory())
+        .unwrap()
+        .with_wal(&wal)
+        .unwrap()
+        .with_chaos(chaos)
+        .unwrap();
+    for t in 0..60u32 {
+        for j in 0..3u32 {
+            engine.submit((t * 3 + j) % 120, Some(4.0)).unwrap();
+        }
+        engine.tick().unwrap();
+    }
+    assert!(engine.chaos_counters().total() > 0, "this schedule must inject faults");
+    assert!(!engine.is_degraded(), "transient tears must be absorbed by retries");
+    let admitted = engine.ledger().admitted;
+    drop(engine); // crash, possibly right after a healed short write
+
+    // Despite repeated interleaved short writes, the durable log is
+    // clean: every accepted request present once, in sequence order.
+    let (entries, torn) = Wal::replay(&wal).unwrap();
+    assert!(!torn, "retries must rewrite tears before commit");
+    assert_eq!(entries.len() as u64, admitted);
+    assert!(entries.windows(2).all(|w| w[0].seq < w[1].seq));
+
+    let resumed =
+        ServeEngine::resume(net, cfg, factory(), &dir.join("no_snapshot.json"), &wal)
+            .unwrap();
+    assert_eq!(resumed.ledger().admitted, admitted);
+    assert!(resumed.ledger_reconciles());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_bounds_the_wal_and_resume_replays_only_the_tail() {
+    let dir = tmp_dir("compact_resume");
+    let wal = dir.join("requests.wal");
+    let snap = dir.join("serve_checkpoint.json");
+    let net = NetworkBuilder::new(200).seed(13).build();
+    let cfg = ServeConfig { k: 2, snapshot_every_ticks: 10, ..ServeConfig::default() };
+    let mut engine = ServeEngine::new(net.clone(), cfg, factory())
+        .unwrap()
+        .with_wal(&wal)
+        .unwrap()
+        .with_snapshot(&snap);
+
+    let mut appended_bytes = 0u64;
+    for t in 0..120u32 {
+        for j in 0..4u32 {
+            engine.submit((t * 4 + j) % 200, Some(3.0)).unwrap();
+        }
+        let before = engine.wal_committed_bytes();
+        engine.tick().unwrap();
+        appended_bytes += engine.wal_committed_bytes().saturating_sub(before);
+    }
+    let m = engine.metrics().clone();
+    assert!(m.compactions >= 10, "every snapshot cadence must compact");
+    assert!(m.wal_bytes_reclaimed > 0);
+    // The live log holds at most the records since the last snapshot:
+    // bounded by the snapshot interval, not by uptime.
+    let wal_len = std::fs::metadata(&wal).unwrap().len();
+    assert!(
+        wal_len * 4 < appended_bytes,
+        "WAL must stay bounded: {wal_len} B live vs {appended_bytes} B ever appended"
+    );
+
+    // A short post-compaction tail, then a crash without shutdown.
+    for s in 0..5u32 {
+        engine.submit(s, Some(2.5)).unwrap();
+    }
+    engine.tick().unwrap();
+    let ledger = *engine.ledger();
+    let in_flight = engine.in_flight();
+    drop(engine);
+
+    let resumed = ServeEngine::resume(net, cfg, factory(), &snap, &wal).unwrap();
+    assert_eq!(resumed.ledger().admitted, ledger.admitted, "tail replay lost a request");
+    assert_eq!(resumed.ledger().charged, ledger.charged);
+    assert_eq!(resumed.in_flight(), in_flight);
     assert!(resumed.ledger_reconciles());
     let _ = std::fs::remove_dir_all(&dir);
 }

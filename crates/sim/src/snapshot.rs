@@ -314,6 +314,12 @@ fn event_to_json(e: &TraceEvent) -> Value {
         TraceEvent::WatchdogTripped { at_s, batch } => {
             vec![Value::from("wt"), bits(at_s), uint(batch)]
         }
+        TraceEvent::DurabilityLost { at_s, tick } => {
+            vec![Value::from("dl"), bits(at_s), Value::Number(Number::U(tick))]
+        }
+        TraceEvent::DurabilityRestored { at_s, tick } => {
+            vec![Value::from("dg"), bits(at_s), Value::Number(Number::U(tick))]
+        }
     };
     Value::Array(v)
 }
@@ -426,6 +432,14 @@ fn event_of(v: &Value) -> Result<TraceEvent, SnapshotError> {
             at_s: f64_of(field(1)?, "trace time")?,
             rescuer: usize_of(field(2)?, "trace rescuer")?,
             stranded: usize_of(field(3)?, "trace stranded")?,
+        },
+        "dl" => TraceEvent::DurabilityLost {
+            at_s: f64_of(field(1)?, "trace time")?,
+            tick: field(2)?.as_u64().ok_or(SnapshotError::Corrupt("trace tick"))?,
+        },
+        "dg" => TraceEvent::DurabilityRestored {
+            at_s: f64_of(field(1)?, "trace time")?,
+            tick: field(2)?.as_u64().ok_or(SnapshotError::Corrupt("trace tick"))?,
         },
         _ => return Err(SnapshotError::Corrupt("unknown trace event tag")),
     };

@@ -231,6 +231,24 @@ pub enum TraceEvent {
         /// Requests in the batch whose planning was aborted.
         batch: usize,
     },
+    /// The serve engine's WAL could not be made durable within its
+    /// bounded retry budget: the service entered degraded mode, refusing
+    /// new admissions (so it never acknowledges work it could lose)
+    /// while continuing to dispatch accepted requests.
+    DurabilityLost {
+        /// Service time of the declaration, seconds.
+        at_s: f64,
+        /// The tick whose group commit exhausted its retries.
+        tick: u64,
+    },
+    /// A degraded-mode probe write succeeded: the stranded batch was
+    /// flushed, durability is back, and admissions re-armed.
+    DurabilityRestored {
+        /// Service time of the re-arm, seconds.
+        at_s: f64,
+        /// The tick whose probe succeeded.
+        tick: u64,
+    },
 }
 
 impl TraceEvent {
@@ -257,7 +275,9 @@ impl TraceEvent {
             | TraceEvent::ChargerExhausted { at_s, .. }
             | TraceEvent::DepotRecharge { at_s, .. }
             | TraceEvent::RescueDispatched { at_s, .. }
-            | TraceEvent::WatchdogTripped { at_s, .. } => at_s,
+            | TraceEvent::WatchdogTripped { at_s, .. }
+            | TraceEvent::DurabilityLost { at_s, .. }
+            | TraceEvent::DurabilityRestored { at_s, .. } => at_s,
         }
     }
 }
@@ -416,6 +436,16 @@ impl Trace {
         self.iter().filter(|e| matches!(e, TraceEvent::WatchdogTripped { .. })).count()
     }
 
+    /// Count of durability-degraded mode entries (serve mode).
+    pub fn durability_losses(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::DurabilityLost { .. })).count()
+    }
+
+    /// Count of degraded-mode re-arms (serve mode).
+    pub fn durability_restores(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::DurabilityRestored { .. })).count()
+    }
+
     /// Rebuilds a trace from checkpointed parts (snapshot restore).
     pub(crate) fn from_parts(
         capacity: usize,
@@ -564,6 +594,17 @@ mod tests {
         assert_eq!(t.depot_recharges(), 2);
         assert_eq!(t.rescues(), 1);
         assert_eq!(t.iter().last().unwrap().at_s(), 4.0);
+    }
+
+    #[test]
+    fn durability_event_counters() {
+        let mut t = Trace::default();
+        t.push(TraceEvent::DurabilityLost { at_s: 1.0, tick: 10 });
+        t.push(TraceEvent::DurabilityRestored { at_s: 2.5, tick: 25 });
+        t.push(TraceEvent::DurabilityLost { at_s: 3.0, tick: 30 });
+        assert_eq!(t.durability_losses(), 2);
+        assert_eq!(t.durability_restores(), 1);
+        assert_eq!(t.iter().last().unwrap().at_s(), 3.0);
     }
 
     #[test]

@@ -263,6 +263,74 @@ fn inert_energy_matches_pinned_digests() {
     }
 }
 
+/// The serve engine's storage-chaos layer (`ChaosConfig` / the seeded
+/// failpoint registry) joins the inertness contract: attached but with
+/// every channel disarmed — non-default seed included — it must draw
+/// *zero* RNG values and leave the full serve report bit-identical to
+/// an engine with no chaos layer at all, across the WAL, snapshot, and
+/// compaction hot paths it wraps.
+#[test]
+fn inert_chaos_layer_matches_pinned_serve_digest() {
+    use std::sync::Arc;
+    use wrsn_serve::{ChaosConfig, PlannerFactory, ServeConfig, ServeEngine};
+
+    // A deterministic virtual-clock serve run: mixed traffic over 80
+    // ticks with periodic snapshots, so every failpoint site (WAL
+    // append/sync, snapshot write/rename/dir-fsync, compaction) is on
+    // the executed path.
+    let run = |chaos: Option<ChaosConfig>| {
+        let dir = std::env::temp_dir()
+            .join(format!("wrsn_inert_chaos_{}_{}", chaos.is_some(), std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let factory: Arc<PlannerFactory> =
+            Arc::new(|| Box::new(wrsn_core::GreedyTour) as Box<dyn wrsn_core::Planner>);
+        let net = NetworkBuilder::new(90).seed(31).build();
+        let cfg =
+            ServeConfig { k: 2, snapshot_every_ticks: 20, ..ServeConfig::default() };
+        let mut engine = ServeEngine::new(net, cfg, factory)
+            .unwrap()
+            .with_wal(&dir.join("requests.wal"))
+            .unwrap()
+            .with_snapshot(&dir.join("serve_checkpoint.json"));
+        if let Some(chaos) = chaos {
+            engine = engine.with_chaos(chaos).unwrap();
+        }
+        for t in 0..80u32 {
+            for j in 0..3u32 {
+                engine.submit((t * 3 + j) % 90, Some(4.0 + f64::from(j))).unwrap();
+            }
+            engine.tick().unwrap();
+        }
+        assert_eq!(
+            engine.chaos_counters().rng_draws,
+            0,
+            "a disarmed chaos layer must never touch its RNG"
+        );
+        let json = serde_json::to_string(&engine.report().to_json());
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        fnv1a(&mut h, json.as_bytes());
+        h
+    };
+
+    let inert = ChaosConfig { seed: 0x0BAD_5EED, ..ChaosConfig::default() };
+    assert!(!inert.is_active(), "a bare seed must never arm the registry");
+    let with_layer = run(Some(inert));
+    let without_layer = run(None);
+    assert_eq!(
+        with_layer, without_layer,
+        "the disarmed chaos layer must be bit-invisible"
+    );
+    assert_eq!(
+        with_layer, EXPECTED_INERT_CHAOS,
+        "serve digest drifted (got {with_layer:#018x})"
+    );
+}
+
+/// Pinned by `print_digests` alongside the simulator tables.
+const EXPECTED_INERT_CHAOS: u64 = 0xc3c9_08ea_92bd_3d6e;
+
 /// Regenerates the tables above: `cargo test --test regression -- --ignored --nocapture`.
 #[test]
 #[ignore = "digest printer, run manually to refresh the pinned tables"]

@@ -804,6 +804,39 @@ fn chaos_from_args(args: &Args) -> Result<wrsn_serve::ChaosConfig, Box<dyn Error
     Ok(chaos)
 }
 
+/// Ingress guard knobs (`--rate-limit`, `--replay-window`,
+/// `--deficit-margin`, `--quarantine-*`). Inert by default: with no
+/// flag armed the guard draws nothing and the serve output is
+/// bit-identical to a build without it.
+fn guard_from_args(args: &Args) -> Result<wrsn_serve::GuardConfig, Box<dyn Error>> {
+    let guard = wrsn_serve::GuardConfig {
+        rate_per_s: args.get_or("rate-limit", 0.0f64)?,
+        burst: args.get_or("rate-burst", 4.0f64)?,
+        replay_window_s: args.get_or("replay-window", 0.0f64)?,
+        replay_limit: args.get_or("replay-limit", 2u32)?,
+        deficit_margin: args.get_or("deficit-margin", 0.0f64)?,
+        quarantine_strikes: args.get_or("quarantine-strikes", 3u32)?,
+        quarantine_s: args.get_or("quarantine-s", 60.0f64)?,
+        parole_s: args.get_or("quarantine-parole-s", 30.0f64)?,
+    };
+    guard.validate()?;
+    Ok(guard)
+}
+
+/// Seeded adversary knobs (`--adversary-*`). Inert unless
+/// `--adversary-fraction` is positive.
+fn adversary_from_args(args: &Args) -> Result<wrsn_serve::AdversaryConfig, Box<dyn Error>> {
+    let adversary = wrsn_serve::AdversaryConfig {
+        seed: args.get_or("adversary-seed", 0u64)?,
+        hostile_fraction: args.get_or("adversary-fraction", 0.0f64)?,
+        compromised: args.get_or("adversary-compromised", 4u32)?,
+        replay_burst: args.get_or("adversary-burst", 6u32)?,
+        oversize_bytes: args.get_or("adversary-oversize", 65_536usize)?,
+    };
+    adversary.validate()?;
+    Ok(adversary)
+}
+
 /// `wrsn serve --chaos-drill <kills>`: the in-process chaos drill —
 /// a seeded soak under the `--chaos-*` fault schedule with repeated
 /// simulated `kill -9` + resume cycles, archiving the invariants CI
@@ -889,6 +922,7 @@ pub fn serve(args: &Args) -> CliResult {
         replan_max_stops: args.get_or("replan-max-stops", 512usize)?,
         snapshot_every_ticks: args.get_or("snapshot-every", 0u64)?,
         default_deficit_fraction: args.get_or("deficit-fraction", 0.8f64)?,
+        guard: guard_from_args(args)?,
         ..ServeConfig::default()
     };
     let factory: Arc<PlannerFactory> =
@@ -935,6 +969,8 @@ pub fn serve(args: &Args) -> CliResult {
     let engine = engine.with_chaos(chaos)?;
 
     let stop = wrsn_serve::shutdown::install();
+    let adversary = adversary_from_args(args)?;
+    let max_line_bytes: usize = args.get_or("max-line-bytes", 65_536usize)?;
     let soak_rate: f64 = args.get_or("soak-rate", 0.0)?;
     let (report, malformed, ingress_faults, outcome_json) = if soak_rate > 0.0 {
         let soak = SoakConfig {
@@ -945,17 +981,61 @@ pub fn serve(args: &Args) -> CliResult {
             drain: args.flag("drain"),
             ..SoakConfig::default()
         };
-        let outcome = run_soak(engine, &soak, Some(&stop))?;
-        eprintln!(
-            "soak: offered {} requests in {:.2} s wall ({:.0} req/s sustained)",
-            outcome.offered, outcome.wall_s, outcome.achieved_rate_per_s
-        );
-        let json = outcome.to_json();
-        std::fs::create_dir_all(results_dir())?;
-        let archive = results_dir().join("serve_soak.json");
-        std::fs::write(&archive, serde_json::to_string_pretty(&json)?)?;
-        eprintln!("archived {}", archive.display());
-        (outcome.report, 0u64, 0u64, json)
+        if adversary.is_active() {
+            use wrsn_serve::soak::run_adversarial_soak;
+            let adv_cfg = wrsn_serve::AdversarialSoakConfig {
+                soak,
+                adversary,
+                max_line_bytes,
+            };
+            let outcome = run_adversarial_soak(engine, &adv_cfg, Some(&stop))?;
+            eprintln!(
+                "adversarial soak: offered {} arrivals ({} hostile lines) in {:.2} s wall",
+                outcome.offered, outcome.hostile_lines, outcome.wall_s
+            );
+            println!(
+                "  honest:     {} submitted, {} admitted, {} duplicates, {} rejected, \
+                 {} refused in quarantine",
+                outcome.honest.submitted,
+                outcome.honest.admitted,
+                outcome.honest.duplicates,
+                outcome.honest.rejected,
+                outcome.honest.refused_quarantined
+            );
+            println!(
+                "  attacks:    {} spoofed, {} lies, {} replayed, {} junk, {} oversize; \
+                 {} malformed lines dropped",
+                outcome.attacks.spoofed,
+                outcome.attacks.lies,
+                outcome.attacks.replayed_lines,
+                outcome.attacks.junk,
+                outcome.attacks.oversize,
+                outcome.malformed
+            );
+            println!("  honest_ledger_reconciles {}", outcome.honest_ledger_reconciles);
+            let json = outcome.to_json();
+            std::fs::create_dir_all(results_dir())?;
+            let archive = results_dir().join("serve_adversary_soak.json");
+            std::fs::write(&archive, serde_json::to_string_pretty(&json)?)?;
+            eprintln!("archived {}", archive.display());
+            if !outcome.honest_ledger_reconciles {
+                return Err("adversarial soak: honest ledger does not reconcile".into());
+            }
+            let malformed = outcome.malformed;
+            (outcome.report, malformed, 0u64, json)
+        } else {
+            let outcome = run_soak(engine, &soak, Some(&stop))?;
+            eprintln!(
+                "soak: offered {} requests in {:.2} s wall ({:.0} req/s sustained)",
+                outcome.offered, outcome.wall_s, outcome.achieved_rate_per_s
+            );
+            let json = outcome.to_json();
+            std::fs::create_dir_all(results_dir())?;
+            let archive = results_dir().join("serve_soak.json");
+            std::fs::write(&archive, serde_json::to_string_pretty(&json)?)?;
+            eprintln!("archived {}", archive.display());
+            (outcome.report, 0u64, 0u64, json)
+        }
     } else {
         let ingress = match args.get("socket") {
             Some(path) => Ingress::UnixSocket(std::path::PathBuf::from(path)),
@@ -965,6 +1045,9 @@ pub fn serve(args: &Args) -> CliResult {
             pace_wall: !args.flag("no-pace"),
             drain_on_eof: !args.flag("no-drain"),
             echo: args.flag("echo"),
+            max_line_bytes,
+            read_timeout_ms: args.get_or("read-timeout-ms", 0u64)?,
+            max_connections: args.get_or("max-conns", 64usize)?,
         };
         let outcome = run_daemon(engine, &ingress, &stop, &opts)?;
         let json = outcome.report.to_json();
@@ -990,6 +1073,32 @@ pub fn serve(args: &Args) -> CliResult {
          {} refused while degraded",
         l.duplicates, l.invalid, malformed, l.refused_degraded
     );
+    let g = &report.guard;
+    if g.rejected_total() > 0 || g.quarantines > 0 || l.refused_quarantined > 0 {
+        println!(
+            "  guard:      {} rejected ({} rate-limited, {} replayed, {} implausible), \
+             {} refused in quarantine",
+            g.rejected_total(),
+            g.rejected_rate_limited,
+            g.rejected_replayed,
+            g.rejected_implausible,
+            l.refused_quarantined
+        );
+        println!(
+            "  quarantine: {} quarantines, {} paroles, {} re-quarantines, {} cleared, \
+             {} in quarantine now",
+            g.quarantines, g.paroles, g.requarantines, g.cleared, report.quarantined_now
+        );
+    }
+    if report.ingress_read_errors > 0
+        || report.ingress_oversize > 0
+        || report.connections_refused > 0
+    {
+        println!(
+            "  ingress:    {} read errors, {} oversize lines, {} connections refused",
+            report.ingress_read_errors, report.ingress_oversize, report.connections_refused
+        );
+    }
     println!(
         "  admission:  {} deferrals, {} escalations; queue peak {} (cap {}), in-flight peak {}",
         l.deferrals, l.escalated, report.max_queue_depth, cfg.queue_capacity, report.max_in_flight
@@ -1031,6 +1140,11 @@ pub fn serve(args: &Args) -> CliResult {
     println!(
         "  charged:    n={} p50 {:.1} s, p95 {:.1} s, p99 {:.1} s, max {:.1} s",
         c.count, c.p50_s, c.p95_s, c.p99_s, c.max_s
+    );
+    println!(
+        "  ledger_reconciles {}, silent_loss {}",
+        report.ledger_reconciles,
+        report.silent_loss()
     );
     if !report.ledger_reconciles {
         return Err("serve ledger does not reconcile: accepted requests were lost".into());

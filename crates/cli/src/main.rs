@@ -156,6 +156,55 @@ SERVE OPTIONS:
     --realtime             Soak in wall time (for kill-mid-soak drills)
     --drain                Drain in-flight requests after the soak load stops
 
+SERVE INGRESS OPTIONS (the hardened wire front; every refusal is counted
+    and traced, nothing is silently dropped):
+    --max-line-bytes <n>   Longest ingress line materialized; longer lines are
+                           discarded in constant memory and counted as
+                           oversize (default 65536; 0 still enforces a 1 MiB
+                           hard backstop)
+    --read-timeout-ms <ms> Per-connection read deadline; a silent socket peer
+                           is disconnected and counted as a read error
+                           (0 = no deadline, the default)
+    --max-conns <n>        Concurrent socket connections; past the cap new
+                           connections are refused and counted (default 64,
+                           0 = unlimited)
+
+SERVE GUARD OPTIONS (byzantine request defense; all inert by default —
+    unarmed, the guard draws nothing and output is bit-identical):
+    --rate-limit <req/s>   Per-sensor token-bucket rate; arrivals past it are
+                           rejected with a typed reason (0 = off)
+    --rate-burst <n>       Token-bucket burst depth (default 4)
+    --replay-window <s>    Window for the replay/duplicate-flood fingerprint
+                           check (0 = off)
+    --replay-limit <n>     Identical lines tolerated per window (default 2)
+    --deficit-margin <f>   Arm the deficit-plausibility cross-check against
+                           the estimator's uncertainty bounds; the margin
+                           scales the tolerance (0 = off)
+    --quarantine-strikes <n>
+                           Guard rejections before a sensor is quarantined
+                           (default 3)
+    --quarantine-s <s>     Quarantine window, service seconds (default 60;
+                           doubles on each re-quarantine, capped at 8x)
+    --quarantine-parole-s <s>
+                           Parole period after quarantine lifts; one violation
+                           re-quarantines (default 30)
+
+SERVE ADVERSARY OPTIONS (seeded byzantine traffic for soak runs; inert
+    unless --adversary-fraction is positive; with --soak-rate it archives
+    target/wrsn-results/serve_adversary_soak.json):
+    --adversary-fraction <p>
+                           Fraction of soak arrivals replaced by attacks
+                           (spoofed ids, deficit lies, replay floods, junk,
+                           oversize lines)
+    --adversary-seed <u64> Attack-stream seed (default 0; the seed alone
+                           never arms anything)
+    --adversary-compromised <n>
+                           Sensors the adversary can send plausible traffic
+                           as (default 4)
+    --adversary-burst <n>  Lines per replay flood (default 6)
+    --adversary-oversize <bytes>
+                           Length of one oversize attack line (default 65536)
+
 SERVE CHAOS OPTIONS (all inert by default; any --chaos-* probability or an
     ENOSPC window arms the seeded failpoint registry on the WAL, snapshot,
     and ingress hot paths; off, zero RNG values are drawn and output is

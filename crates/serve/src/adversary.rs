@@ -1,0 +1,408 @@
+//! Seeded adversary model: deterministic hostile-traffic generation.
+//!
+//! The threat model (DESIGN.md §18) is a set of *compromised sensors*
+//! plus an attacker on the wire: they can spoof sensor identities, lie
+//! about their energy deficit, replay captured request lines in a
+//! flood, and inject junk or oversized bytes into the ingress stream.
+//! This module turns that model into a reproducible load source: every
+//! attack is drawn from a dedicated `ChaCha12` stream seeded by
+//! [`AdversaryConfig::seed`], so a hostile soak is a pure function of
+//! its configuration — the same seed mounts the same attacks in the
+//! same order, which is what makes adversarial regressions bisectable.
+//!
+//! The model obeys the workspace inertness contract: the default
+//! [`AdversaryConfig`] has [`AdversaryConfig::hostile_fraction`] `0`,
+//! the RNG is never seeded, zero random values are drawn, and the
+//! adversarial soak's serve report is bit-identical to the pinned
+//! disarmed baseline (`tests/regression.rs`).
+//!
+//! Attack kinds ([`AttackKind`]):
+//!
+//! - **Spoofed ID** — a request from a sensor index past the fleet
+//!   (`n..n+1000`); the engine refuses it as `Invalid`.
+//! - **Deficit lie** — a compromised sensor reports an absurd deficit
+//!   (far beyond any capacity) to jump the dispatch queue; the guard's
+//!   plausibility cross-check rejects it.
+//! - **Replay flood** — one innocuous captured line, byte-identical,
+//!   repeated [`AdversaryConfig::replay_burst`] times; the guard's
+//!   replay window rejects the excess.
+//! - **Junk line** — malformed JSON / wrong-typed fields; the parser
+//!   returns a typed error, counted as an invalid line.
+//! - **Oversize line** — [`AdversaryConfig::oversize_bytes`] of filler
+//!   with no newline in range; the bounded reader discards it and
+//!   counts `ingress_oversize`.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// Deficit a lying sensor reports, joules. Categorically implausible:
+/// orders of magnitude past any sensor capacity in the fleet models.
+pub const LIE_DEFICIT_J: f64 = 1.0e9;
+
+/// Adversary configuration. The default is disarmed (inert).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdversaryConfig {
+    /// Seed of the adversary's dedicated RNG stream.
+    pub seed: u64,
+    /// Fraction of offered arrivals replaced by attacks (0 = disarmed).
+    pub hostile_fraction: f64,
+    /// Number of compromised sensors: attacks that need a real identity
+    /// use ids `0..compromised`, so quarantine pressure concentrates
+    /// where the lies come from.
+    pub compromised: u32,
+    /// Lines per replay-flood burst.
+    pub replay_burst: u32,
+    /// Length of an oversize-line attack, bytes.
+    pub oversize_bytes: usize,
+}
+
+impl Default for AdversaryConfig {
+    fn default() -> Self {
+        AdversaryConfig {
+            seed: 0,
+            hostile_fraction: 0.0,
+            compromised: 4,
+            replay_burst: 6,
+            oversize_bytes: 1 << 16,
+        }
+    }
+}
+
+/// A rejected [`AdversaryConfig`] field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdversaryConfigError {
+    /// `hostile_fraction` must be a probability in `[0, 1]`.
+    BadFraction,
+    /// `compromised` must be at least 1 when the adversary is armed.
+    NoCompromised,
+    /// `replay_burst` must be at least 1 when the adversary is armed.
+    BadBurst,
+    /// `oversize_bytes` must be non-zero when the adversary is armed.
+    BadOversize,
+}
+
+impl std::fmt::Display for AdversaryConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdversaryConfigError::BadFraction => {
+                write!(f, "adversary hostile_fraction must be in [0, 1]")
+            }
+            AdversaryConfigError::NoCompromised => {
+                write!(f, "an armed adversary needs at least 1 compromised sensor")
+            }
+            AdversaryConfigError::BadBurst => {
+                write!(f, "adversary replay_burst must be at least 1")
+            }
+            AdversaryConfigError::BadOversize => {
+                write!(f, "adversary oversize_bytes must be non-zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdversaryConfigError {}
+
+impl AdversaryConfig {
+    /// Whether the adversary mounts any attacks.
+    pub fn is_active(&self) -> bool {
+        self.hostile_fraction > 0.0
+    }
+
+    /// Validates every field.
+    ///
+    /// # Errors
+    ///
+    /// The first offending field as an [`AdversaryConfigError`].
+    pub fn validate(&self) -> Result<(), AdversaryConfigError> {
+        if self.hostile_fraction.is_nan()
+            || !(0.0..=1.0).contains(&self.hostile_fraction)
+        {
+            return Err(AdversaryConfigError::BadFraction);
+        }
+        if self.is_active() {
+            if self.compromised == 0 {
+                return Err(AdversaryConfigError::NoCompromised);
+            }
+            if self.replay_burst == 0 {
+                return Err(AdversaryConfigError::BadBurst);
+            }
+            if self.oversize_bytes == 0 {
+                return Err(AdversaryConfigError::BadOversize);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The attack mounted for one hostile arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttackKind {
+    /// Request from a sensor index past the fleet.
+    SpoofedId,
+    /// Absurd reported deficit from a compromised sensor.
+    DeficitLie,
+    /// Byte-identical captured line repeated in a burst.
+    ReplayFlood,
+    /// Malformed bytes the parser must reject without panicking.
+    JunkLine,
+    /// A line longer than any sane bound, with no newline in range.
+    OversizeLine,
+}
+
+impl AttackKind {
+    /// Every kind, in counter order.
+    pub const ALL: [AttackKind; 5] = [
+        AttackKind::SpoofedId,
+        AttackKind::DeficitLie,
+        AttackKind::ReplayFlood,
+        AttackKind::JunkLine,
+        AttackKind::OversizeLine,
+    ];
+
+    /// Stable lowercase name (JSON keys, report lines).
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackKind::SpoofedId => "spoofed_id",
+            AttackKind::DeficitLie => "deficit_lie",
+            AttackKind::ReplayFlood => "replay_flood",
+            AttackKind::JunkLine => "junk_line",
+            AttackKind::OversizeLine => "oversize_line",
+        }
+    }
+}
+
+/// Attacks mounted, by kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdversaryCounters {
+    /// Spoofed-identity requests emitted.
+    pub spoofed: u64,
+    /// Deficit lies emitted.
+    pub lies: u64,
+    /// Replay-flood *lines* emitted (bursts × burst length).
+    pub replayed_lines: u64,
+    /// Junk lines emitted.
+    pub junk: u64,
+    /// Oversize lines emitted.
+    pub oversize: u64,
+}
+
+impl AdversaryCounters {
+    /// Total hostile lines emitted.
+    pub fn lines_total(&self) -> u64 {
+        self.spoofed + self.lies + self.replayed_lines + self.junk + self.oversize
+    }
+}
+
+/// The adversary: a disarmed model never seeds its RNG and never
+/// draws a value, so armed and disarmed runs share honest-traffic
+/// streams exactly.
+#[derive(Clone, Debug)]
+pub struct AdversaryModel {
+    cfg: AdversaryConfig,
+    rng: Option<ChaCha12Rng>,
+    /// The captured line every replay flood repeats, fixed at first use
+    /// so the bursts are byte-identical across the whole run.
+    captured: Option<String>,
+    counters: AdversaryCounters,
+}
+
+impl AdversaryModel {
+    /// A model for `cfg`; the RNG is seeded only when armed.
+    pub fn new(cfg: AdversaryConfig) -> Self {
+        let rng = cfg.is_active().then(|| ChaCha12Rng::seed_from_u64(cfg.seed));
+        AdversaryModel { cfg, rng, captured: None, counters: AdversaryCounters::default() }
+    }
+
+    /// Whether any attacks will be mounted.
+    pub fn is_active(&self) -> bool {
+        self.rng.is_some()
+    }
+
+    /// The attack counters.
+    pub fn counters(&self) -> &AdversaryCounters {
+        &self.counters
+    }
+
+    /// Decides whether this arrival is hostile. Disarmed models return
+    /// false without touching any RNG.
+    pub fn roll_hostile(&mut self) -> bool {
+        match &mut self.rng {
+            Some(rng) => rng.gen_range(0.0..1.0) < self.cfg.hostile_fraction,
+            None => false,
+        }
+    }
+
+    /// Mounts one attack: the wire lines (newline-free) to inject in
+    /// place of an honest arrival, against a fleet of `n` sensors.
+    ///
+    /// # Panics
+    ///
+    /// If called on a disarmed model (callers gate on
+    /// [`AdversaryModel::roll_hostile`]).
+    pub fn attack(&mut self, n: u32) -> (AttackKind, Vec<String>) {
+        let kind = {
+            let rng = self.rng.as_mut().expect("attack() needs an armed adversary");
+            AttackKind::ALL[rng.gen_range(0..AttackKind::ALL.len())]
+        };
+        let lines = match kind {
+            AttackKind::SpoofedId => {
+                let rng = self.rng.as_mut().expect("armed");
+                let ghost = n.saturating_add(rng.gen_range(0..1000));
+                self.counters.spoofed += 1;
+                vec![format!("{{\"sensor\": {ghost}}}")]
+            }
+            AttackKind::DeficitLie => {
+                let rng = self.rng.as_mut().expect("armed");
+                let liar = rng.gen_range(0..self.cfg.compromised.min(n.max(1)));
+                self.counters.lies += 1;
+                vec![format!("{{\"sensor\": {liar}, \"deficit_j\": {LIE_DEFICIT_J}}}")]
+            }
+            AttackKind::ReplayFlood => {
+                // The captured line is innocuous — a tiny, entirely
+                // plausible reported deficit from a compromised sensor
+                // — so only the replay window (not plausibility) can
+                // catch the flood.
+                if self.captured.is_none() {
+                    let rng = self.rng.as_mut().expect("armed");
+                    let victim = rng.gen_range(0..self.cfg.compromised.min(n.max(1)));
+                    self.captured =
+                        Some(format!("{{\"sensor\": {victim}, \"deficit_j\": 0.5}}"));
+                }
+                let line = self.captured.clone().expect("captured above");
+                let burst = self.cfg.replay_burst as usize;
+                self.counters.replayed_lines += burst as u64;
+                vec![line; burst]
+            }
+            AttackKind::JunkLine => {
+                let rng = self.rng.as_mut().expect("armed");
+                let junk = match rng.gen_range(0..5u32) {
+                    0 => "not json at all".to_string(),
+                    1 => "{\"sensor\": -3}".to_string(),
+                    2 => "{\"sensor\": \"seven\"}".to_string(),
+                    3 => "{\"sensor\": 0, \"deficit_j\": \"NaN\"}".to_string(),
+                    _ => format!("{{\"sensor\": {}", rng.gen_range(0..n.max(1))),
+                };
+                self.counters.junk += 1;
+                vec![junk]
+            }
+            AttackKind::OversizeLine => {
+                self.counters.oversize += 1;
+                vec!["x".repeat(self.cfg.oversize_bytes)]
+            }
+        };
+        (kind, lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_inert_and_valid() {
+        let cfg = AdversaryConfig::default();
+        assert!(!cfg.is_active());
+        assert_eq!(cfg.validate(), Ok(()));
+        let model = AdversaryModel::new(cfg);
+        assert!(!model.is_active());
+    }
+
+    #[test]
+    fn validation_rejects_each_bad_field() {
+        let armed = AdversaryConfig { hostile_fraction: 0.2, ..AdversaryConfig::default() };
+        assert_eq!(armed.validate(), Ok(()));
+        for (cfg, err) in [
+            (
+                AdversaryConfig { hostile_fraction: 1.5, ..armed },
+                AdversaryConfigError::BadFraction,
+            ),
+            (
+                AdversaryConfig { hostile_fraction: f64::NAN, ..armed },
+                AdversaryConfigError::BadFraction,
+            ),
+            (AdversaryConfig { compromised: 0, ..armed }, AdversaryConfigError::NoCompromised),
+            (AdversaryConfig { replay_burst: 0, ..armed }, AdversaryConfigError::BadBurst),
+            (AdversaryConfig { oversize_bytes: 0, ..armed }, AdversaryConfigError::BadOversize),
+        ] {
+            assert_eq!(cfg.validate(), Err(err));
+        }
+    }
+
+    #[test]
+    fn disarmed_model_draws_nothing_and_never_rolls_hostile() {
+        let mut model = AdversaryModel::new(AdversaryConfig::default());
+        for _ in 0..1000 {
+            assert!(!model.roll_hostile());
+        }
+        assert_eq!(model.counters().lines_total(), 0);
+    }
+
+    #[test]
+    fn armed_model_is_deterministic_from_its_seed() {
+        let cfg = AdversaryConfig {
+            seed: 7,
+            hostile_fraction: 0.5,
+            ..AdversaryConfig::default()
+        };
+        let run = |mut m: AdversaryModel| {
+            let mut script = Vec::new();
+            for _ in 0..200 {
+                if m.roll_hostile() {
+                    script.push(m.attack(50));
+                }
+            }
+            (script, *m.counters())
+        };
+        let (a, ca) = run(AdversaryModel::new(cfg));
+        let (b, cb) = run(AdversaryModel::new(cfg));
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn every_attack_kind_appears_and_has_the_advertised_shape() {
+        let cfg = AdversaryConfig {
+            seed: 3,
+            hostile_fraction: 1.0,
+            compromised: 4,
+            replay_burst: 5,
+            oversize_bytes: 4096,
+        };
+        let mut m = AdversaryModel::new(cfg);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            assert!(m.roll_hostile());
+            let (kind, lines) = m.attack(50);
+            seen[AttackKind::ALL.iter().position(|&k| k == kind).unwrap()] = true;
+            match kind {
+                AttackKind::SpoofedId => {
+                    let req = crate::ServeRequest::parse(&lines[0]).unwrap();
+                    assert!(req.sensor >= 50, "spoofed ids are past the fleet");
+                }
+                AttackKind::DeficitLie => {
+                    let req = crate::ServeRequest::parse(&lines[0]).unwrap();
+                    assert!(req.sensor < 4, "lies come from compromised sensors");
+                    assert_eq!(req.deficit_j, Some(LIE_DEFICIT_J));
+                }
+                AttackKind::ReplayFlood => {
+                    assert_eq!(lines.len(), 5);
+                    assert!(lines.windows(2).all(|w| w[0] == w[1]), "byte-identical");
+                    let req = crate::ServeRequest::parse(&lines[0]).unwrap();
+                    assert_eq!(req.deficit_j, Some(0.5), "the captured line is innocuous");
+                }
+                AttackKind::JunkLine => {
+                    assert!(crate::ServeRequest::parse(&lines[0]).is_err());
+                }
+                AttackKind::OversizeLine => {
+                    assert_eq!(lines[0].len(), 4096);
+                }
+            }
+            for line in &lines {
+                assert!(!line.contains('\n'), "attack lines are newline-free");
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all five attack kinds mounted in 200 draws");
+        assert!(m.counters().lines_total() > 200, "replay bursts multiply lines");
+    }
+}

@@ -45,9 +45,10 @@ use serde_json::{Number, Value};
 use wrsn_core::bounds::AdmissionEstimator;
 use wrsn_core::{ChargingProblem, ChargingTarget};
 use wrsn_net::{Network, SensorId};
-use wrsn_sim::{Trace, TraceEvent};
+use wrsn_sim::{IngressRejectReason, Trace, TraceEvent};
 
 use crate::failpoint::{ChaosConfig, ChaosConfigError, ChaosCounters, Failpoints};
+use crate::guard::{Guard, GuardConfig, GuardConfigError, GuardCounters, GuardVerdict};
 use crate::metrics::ServeMetrics;
 use crate::queue::{IngressQueue, Offer, QueuedRequest};
 use crate::tours::{LiveStop, LiveTours, PendingStop};
@@ -100,6 +101,9 @@ pub struct ServeConfig {
     /// Base wall-clock backoff between retries, milliseconds; doubles
     /// per attempt (capped at 64× the base).
     pub io_retry_backoff_ms: u64,
+    /// Ingress-guard (byzantine defense) configuration; inert by
+    /// default — see [`crate::guard`].
+    pub guard: GuardConfig,
 }
 
 impl Default for ServeConfig {
@@ -119,6 +123,7 @@ impl Default for ServeConfig {
             default_deficit_fraction: 0.8,
             io_retry_limit: 3,
             io_retry_backoff_ms: 2,
+            guard: GuardConfig::default(),
         }
     }
 }
@@ -140,6 +145,8 @@ pub enum ServeConfigError {
     BadPlanBudget,
     /// `default_deficit_fraction` must be in `(0, 1]`.
     BadDeficitFraction,
+    /// The ingress-guard configuration is invalid.
+    Guard(GuardConfigError),
 }
 
 impl std::fmt::Display for ServeConfigError {
@@ -160,6 +167,7 @@ impl std::fmt::Display for ServeConfigError {
             ServeConfigError::BadDeficitFraction => {
                 write!(f, "default_deficit_fraction must be in (0, 1]")
             }
+            ServeConfigError::Guard(e) => write!(f, "{e}"),
         }
     }
 }
@@ -195,6 +203,7 @@ impl ServeConfig {
         if f.is_nan() || f <= 0.0 || f > 1.0 {
             return Err(ServeConfigError::BadDeficitFraction);
         }
+        self.guard.validate().map_err(ServeConfigError::Guard)?;
         Ok(())
     }
 }
@@ -225,6 +234,13 @@ pub struct ServeLedger {
     /// mode (never accepted, never WAL-appended — the client is told to
     /// retry; not part of the conservation identity).
     pub refused_degraded: u64,
+    /// Submissions rejected by the ingress guard (rate limit, replay
+    /// window, implausible deficit — never accepted, never
+    /// WAL-appended; not part of the conservation identity).
+    pub rejected: u64,
+    /// Submissions refused because the sensor was quarantined (never
+    /// accepted; not part of the conservation identity).
+    pub refused_quarantined: u64,
 }
 
 /// Outcome of one [`ServeEngine::submit`].
@@ -249,6 +265,14 @@ pub enum Admission {
     /// cannot be made durable), so it will not acknowledge work it
     /// could lose. The client should retry after the service re-arms.
     RefusedDegraded,
+    /// Rejected by the ingress guard, with the defense that fired.
+    Rejected {
+        /// Which defense rejected it.
+        reason: IngressRejectReason,
+    },
+    /// Refused: the sensor is quarantined after repeated guard
+    /// rejections; it is paroled when the window decays.
+    RefusedQuarantined,
 }
 
 /// Service failure.
@@ -258,10 +282,15 @@ pub enum ServeError {
     Config(ServeConfigError),
     /// Invalid chaos (fault-injection) configuration.
     Chaos(ChaosConfigError),
+    /// Invalid adversary (hostile-traffic) configuration.
+    Adversary(crate::adversary::AdversaryConfigError),
     /// WAL or snapshot I/O failed.
     Io(String),
     /// A snapshot file exists but cannot be decoded.
     Snapshot(String),
+    /// Another live daemon already answers on the requested socket
+    /// path (binding would have deleted its socket out from under it).
+    SocketInUse(String),
     /// The snapshot was taken for a different instance.
     InstanceMismatch {
         /// Sensors in the snapshot.
@@ -280,7 +309,13 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Config(e) => write!(f, "invalid serve config: {e}"),
             ServeError::Chaos(e) => write!(f, "invalid chaos config: {e}"),
+            ServeError::Adversary(e) => write!(f, "invalid adversary config: {e}"),
             ServeError::Io(e) => write!(f, "serve I/O error: {e}"),
+            ServeError::SocketInUse(path) => write!(
+                f,
+                "another daemon is already serving on socket {path}; \
+                 refusing to steal its socket file"
+            ),
             ServeError::Snapshot(e) => write!(f, "bad serve snapshot: {e}"),
             ServeError::InstanceMismatch { snapshot_n, snapshot_k, n, k } => write!(
                 f,
@@ -302,6 +337,12 @@ impl From<ServeConfigError> for ServeError {
 impl From<ChaosConfigError> for ServeError {
     fn from(e: ChaosConfigError) -> Self {
         ServeError::Chaos(e)
+    }
+}
+
+impl From<crate::adversary::AdversaryConfigError> for ServeError {
+    fn from(e: crate::adversary::AdversaryConfigError) -> Self {
+        ServeError::Adversary(e)
     }
 }
 
@@ -358,6 +399,18 @@ pub struct ServeReport {
     pub wal_bytes_reclaimed: u64,
     /// Total faults injected by the chaos layer (0 when inert).
     pub chaos_injections: u64,
+    /// Ingress-guard decision counters (all zero when the guard is
+    /// inert).
+    pub guard: GuardCounters,
+    /// Sensors still quarantined at shutdown.
+    pub quarantined_now: usize,
+    /// Mid-stream ingress read failures (connection dropped, counted
+    /// and traced).
+    pub ingress_read_errors: u64,
+    /// Ingress lines past the byte bound, discarded unmaterialized.
+    pub ingress_oversize: u64,
+    /// Connections refused at the acceptor's connection cap.
+    pub connections_refused: u64,
 }
 
 impl ServeReport {
@@ -383,6 +436,8 @@ impl ServeReport {
             "escalated": self.ledger.escalated,
             "deferrals": self.ledger.deferrals,
             "refused_degraded": self.ledger.refused_degraded,
+            "rejected": self.ledger.rejected,
+            "refused_quarantined": self.ledger.refused_quarantined,
             "queue_depth": self.queue_depth,
             "in_flight": self.in_flight,
             "ledger_reconciles": self.ledger_reconciles,
@@ -403,6 +458,17 @@ impl ServeReport {
             "compaction_failures": self.compaction_failures,
             "wal_bytes_reclaimed": self.wal_bytes_reclaimed,
             "chaos_injections": self.chaos_injections,
+            "rejected_rate_limited": self.guard.rejected_rate_limited,
+            "rejected_replayed": self.guard.rejected_replayed,
+            "rejected_implausible": self.guard.rejected_implausible,
+            "quarantines": self.guard.quarantines,
+            "paroles": self.guard.paroles,
+            "requarantines": self.guard.requarantines,
+            "quarantine_cleared": self.guard.cleared,
+            "quarantined_now": self.quarantined_now,
+            "ingress_read_errors": self.ingress_read_errors,
+            "ingress_oversize": self.ingress_oversize,
+            "connections_refused": self.connections_refused,
             "dispatch_latency": self.dispatch_latency.to_json(),
             "charged_latency": self.charged_latency.to_json(),
         })
@@ -435,6 +501,8 @@ pub struct ServeEngine {
     torn_tail: bool,
     /// The seeded failpoint registry (inert unless chaos is attached).
     failpoints: Failpoints,
+    /// The ingress guard (inert unless `cfg.guard` arms a defense).
+    guard: Guard,
     /// Durability-degraded: the WAL cannot be made durable, so new
     /// admissions are refused while accepted work keeps dispatching.
     degraded: bool,
@@ -473,6 +541,7 @@ impl ServeEngine {
             replaying: false,
             torn_tail: false,
             failpoints: Failpoints::inert(),
+            guard: Guard::new(cfg.guard),
             degraded: false,
         })
     }
@@ -512,6 +581,33 @@ impl ServeEngine {
     /// The chaos layer's injection counters.
     pub fn chaos_counters(&self) -> &ChaosCounters {
         self.failpoints.counters()
+    }
+
+    /// The ingress guard's decision counters.
+    pub fn guard_counters(&self) -> &GuardCounters {
+        self.guard.counters()
+    }
+
+    /// Sensors currently quarantined by the ingress guard.
+    pub fn quarantined_now(&self) -> usize {
+        self.guard.quarantined_now()
+    }
+
+    /// Counts a mid-stream ingress read failure and traces the
+    /// disconnect (satellite of the "nothing silently dropped" rule).
+    pub(crate) fn note_ingress_read_error(&mut self) {
+        self.metrics.ingress_read_errors += 1;
+        self.trace.push(TraceEvent::IngressDisconnected { at_s: self.now_s });
+    }
+
+    /// Counts an oversize ingress line (discarded at the reader).
+    pub(crate) fn note_ingress_oversize(&mut self) {
+        self.metrics.ingress_oversize += 1;
+    }
+
+    /// Counts a connection refused at the acceptor's cap.
+    pub(crate) fn note_connection_refused(&mut self) {
+        self.metrics.connections_refused += 1;
     }
 
     /// Whether the engine is currently durability-degraded.
@@ -681,13 +777,50 @@ impl ServeEngine {
             self.ledger.invalid += 1;
             return Ok(Admission::Invalid);
         };
+        let (consumption_w, capacity_j) = (s.consumption_w, s.capacity_j);
+        // The guard runs before the duplicate check so a replay flood
+        // aimed at a pending sensor strikes the flooder instead of
+        // collapsing into cheap duplicates.
+        if self.guard.is_active() && !self.replaying {
+            let d =
+                self.guard.check(sensor, deficit_j, consumption_w, capacity_j, self.now_s);
+            if d.paroled {
+                self.trace.push(TraceEvent::SensorParoled {
+                    at_s: self.now_s,
+                    sensor: SensorId(sensor),
+                });
+            }
+            if let Some(until_s) = d.quarantined_until_s {
+                self.trace.push(TraceEvent::SensorQuarantined {
+                    at_s: self.now_s,
+                    sensor: SensorId(sensor),
+                    until_s,
+                });
+            }
+            match d.verdict {
+                GuardVerdict::Admit => {}
+                GuardVerdict::Reject(reason) => {
+                    self.ledger.rejected += 1;
+                    self.trace.push(TraceEvent::RequestRejected {
+                        at_s: self.now_s,
+                        sensor: SensorId(sensor),
+                        reason,
+                    });
+                    return Ok(Admission::Rejected { reason });
+                }
+                GuardVerdict::Quarantined => {
+                    self.ledger.refused_quarantined += 1;
+                    return Ok(Admission::RefusedQuarantined);
+                }
+            }
+        }
         if self.pending[sensor as usize] {
             self.ledger.duplicates += 1;
             return Ok(Admission::Duplicate);
         }
         let deficit = deficit_j
-            .unwrap_or(self.cfg.default_deficit_fraction * s.capacity_j)
-            .min(s.capacity_j);
+            .unwrap_or(self.cfg.default_deficit_fraction * capacity_j)
+            .min(capacity_j);
         self.accept(None, self.now_s, sensor, deficit)
     }
 
@@ -735,6 +868,9 @@ impl ServeEngine {
             self.ledger.charged += 1;
             self.pending[done.sensor as usize] = false;
             self.metrics.record_charged(done.finish_s - done.admitted_at_s);
+            // A completed charge (re)anchors the guard's plausibility
+            // dead reckoning: the sensor is known full right now.
+            self.guard.note_charged(done.sensor, self.now_s);
         }
 
         let batch = self.queue.drain_batch(self.cfg.max_batch);
@@ -1059,12 +1195,17 @@ impl ServeEngine {
             compaction_failures: self.metrics.compaction_failures,
             wal_bytes_reclaimed: self.metrics.wal_bytes_reclaimed,
             chaos_injections: self.failpoints.counters().total(),
+            guard: *self.guard.counters(),
+            quarantined_now: self.guard.quarantined_now(),
+            ingress_read_errors: self.metrics.ingress_read_errors,
+            ingress_oversize: self.metrics.ingress_oversize,
+            connections_refused: self.metrics.connections_refused,
         }
     }
 
     // ----- snapshot codec -----------------------------------------------
 
-    fn snapshot_value(&self) -> Value {
+    fn snapshot_value_base(&self) -> Value {
         let queue: Vec<Value> = self
             .queue
             .iter()
@@ -1114,6 +1255,8 @@ impl ServeEngine {
                 "escalated": self.ledger.escalated,
                 "deferrals": self.ledger.deferrals,
                 "refused_degraded": self.ledger.refused_degraded,
+                "rejected": self.ledger.rejected,
+                "refused_quarantined": self.ledger.refused_quarantined,
             }),
             "counters": serde_json::json!({
                 "max_queue_depth": self.metrics.max_queue_depth,
@@ -1137,6 +1280,36 @@ impl ServeEngine {
             "tours": Value::Array(tours.into_iter().map(Value::Array).collect()),
             "anchors": Value::Array(anchors),
         })
+    }
+
+    fn snapshot_value(&self) -> Value {
+        let mut v = self.snapshot_value_base();
+        // The guard section is present only when a defense is armed:
+        // inert snapshots stay byte-for-byte what they were before the
+        // guard existed, and restore treats an absent section as a
+        // fresh guard (tolerant-absent, like `refused_degraded`).
+        if self.guard.is_active() {
+            let mut counters = serde_json::Map::new();
+            for &(k, x) in &self.guard.counter_pairs() {
+                counters.insert(k.to_string(), num(x));
+            }
+            let sensors: Vec<Value> = self
+                .guard
+                .snapshot_rows()
+                .iter()
+                .map(|row| Value::Array(row.iter().map(|&x| num(x)).collect()))
+                .collect();
+            if let Value::Object(map) = &mut v {
+                map.insert(
+                    "guard".into(),
+                    serde_json::json!({
+                        "counters": Value::Object(counters),
+                        "sensors": Value::Array(sensors),
+                    }),
+                );
+            }
+        }
+        v
     }
 
     fn restore_snapshot(&mut self, v: &Value) -> Result<(), ServeError> {
@@ -1171,6 +1344,9 @@ impl ServeEngine {
             deferrals: get_u64(ledger, "deferrals")?,
             // Absent in pre-chaos snapshots of the same format version.
             refused_degraded: get_u64_or(ledger, "refused_degraded", 0),
+            // Absent in pre-guard snapshots, same tolerance.
+            rejected: get_u64_or(ledger, "rejected", 0),
+            refused_quarantined: get_u64_or(ledger, "refused_quarantined", 0),
         };
         let counters = field(v, "counters")?;
         self.metrics.ticks = self.ticks;
@@ -1269,6 +1445,23 @@ impl ServeEngine {
                 ),
                 elem_bits(&row[2], "anchor free_at")?,
             );
+        }
+
+        // Absent in pre-guard snapshots (and in any snapshot written
+        // with the guard inert): the guard restores as fresh.
+        if let Some(g) = v.get("guard") {
+            let counters = field(g, "counters")?;
+            self.guard.restore_counters(|k| get_u64_or(counters, k, 0));
+            for row in arr(field(g, "sensors")?, "guard sensors")? {
+                let row = arr(row, "guard sensor row")?;
+                let mut vals = Vec::with_capacity(row.len());
+                for x in row {
+                    vals.push(elem_u64(x, "guard sensor value")?);
+                }
+                self.guard
+                    .restore_row(&vals)
+                    .map_err(|e| ServeError::Snapshot(e.into()))?;
+            }
         }
         Ok(())
     }
@@ -1634,6 +1827,107 @@ mod tests {
         assert_eq!(before, after);
         assert!(r.ledger_reconciles());
         r.tick().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn guard_rejections_and_quarantine_are_ledgered_outside_the_identity() {
+        let guard = crate::guard::GuardConfig {
+            rate_per_s: 0.001, // effectively no refill within this test
+            burst: 1.0,
+            replay_window_s: 0.0,
+            replay_limit: 2,
+            deficit_margin: 0.0,
+            quarantine_strikes: 2,
+            quarantine_s: 1_000.0,
+            parole_s: 10.0,
+        };
+        let mut e = engine(30, ServeConfig { k: 1, guard, ..ServeConfig::default() });
+        assert!(matches!(e.submit(3, Some(2.0)), Ok(Admission::Accepted { .. })));
+        // The burst token is spent; the flood begins. Two rejects are
+        // two strikes, and the second strike quarantines.
+        assert!(matches!(
+            e.submit(3, Some(2.0)),
+            Ok(Admission::Rejected { reason: IngressRejectReason::RateLimited })
+        ));
+        assert!(matches!(e.submit(3, Some(2.0)), Ok(Admission::Rejected { .. })));
+        assert!(matches!(e.submit(3, Some(2.0)), Ok(Admission::RefusedQuarantined)));
+        assert_eq!(e.ledger().admitted, 1);
+        assert_eq!(e.ledger().rejected, 2);
+        assert_eq!(e.ledger().refused_quarantined, 1);
+        assert_eq!(e.quarantined_now(), 1);
+        // Refusals sit OUTSIDE the conservation identity: it still
+        // holds exactly, and every refusal is traced.
+        assert!(e.ledger_reconciles());
+        assert_eq!(e.report().silent_loss(), 0);
+        assert_eq!(e.trace().rejections(), 2);
+        assert_eq!(e.trace().quarantines(), 1);
+        // An unrelated sensor is untouched by sensor 3's quarantine.
+        assert!(matches!(e.submit(7, Some(2.0)), Ok(Admission::Accepted { .. })));
+    }
+
+    #[test]
+    fn an_implausible_deficit_is_rejected_with_the_typed_reason() {
+        let guard =
+            crate::guard::GuardConfig { deficit_margin: 1.0, ..Default::default() };
+        let mut e = engine(30, ServeConfig { k: 1, guard, ..ServeConfig::default() });
+        // A physically honest deficit passes; a lie an order of
+        // magnitude past capacity cannot.
+        assert!(matches!(e.submit(2, Some(5.0)), Ok(Admission::Accepted { .. })));
+        assert!(matches!(
+            e.submit(4, Some(1.0e12)),
+            Ok(Admission::Rejected { reason: IngressRejectReason::ImplausibleDeficit })
+        ));
+        assert_eq!(e.ledger().rejected, 1);
+        assert!(e.ledger_reconciles());
+    }
+
+    #[test]
+    fn guard_state_survives_kill_and_resume_bit_identically() {
+        let dir = tmp_dir("guard_resume");
+        let wal_path = dir.join("requests.wal");
+        let snap_path = dir.join("serve_checkpoint.json");
+        let guard = crate::guard::GuardConfig {
+            rate_per_s: 5.0,
+            burst: 2.0,
+            replay_window_s: 10.0,
+            replay_limit: 2,
+            deficit_margin: 1.0,
+            quarantine_strikes: 2,
+            quarantine_s: 50.0,
+            parole_s: 10.0,
+        };
+        let cfg = ServeConfig { k: 1, guard, ..ServeConfig::default() };
+        let net = NetworkBuilder::new(30).seed(7).build();
+        let mut e = ServeEngine::new(net.clone(), cfg, factory())
+            .unwrap()
+            .with_wal(&wal_path)
+            .unwrap()
+            .with_snapshot(&snap_path);
+        // Leave rich guard state behind: spent tokens, a replay
+        // fingerprint, strikes, and one active quarantine.
+        e.submit(1, Some(2.0)).unwrap();
+        for _ in 0..6 {
+            e.submit(2, Some(3.0)).unwrap(); // replay + rate strikes → quarantine
+        }
+        e.submit(4, Some(1.0e12)).unwrap(); // implausible → one strike
+        for _ in 0..10 {
+            e.tick().unwrap();
+        }
+        e.checkpoint_now().unwrap();
+        let before = serde_json::to_string(&e.snapshot_value());
+        let rejected = e.ledger().rejected;
+        let quarantined_now = e.quarantined_now();
+        assert!(rejected > 0, "the scenario must actually reject");
+        assert_eq!(quarantined_now, 1, "the scenario must actually quarantine");
+        drop(e); // kill -9
+
+        let r = ServeEngine::resume(net, cfg, factory(), &snap_path, &wal_path).unwrap();
+        let after = serde_json::to_string(&r.snapshot_value());
+        assert_eq!(before, after, "guard state must restore bit-identically");
+        assert_eq!(r.ledger().rejected, rejected);
+        assert_eq!(r.quarantined_now(), quarantined_now);
+        assert!(r.ledger_reconciles());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

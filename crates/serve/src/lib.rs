@@ -45,15 +45,31 @@
 //!   report carrying latency percentiles (admission-to-dispatch and
 //!   admission-to-charged), queue depth, shed/deferral counters, and
 //!   watchdog trips.
+//! - **Untrusted ingress** — every byte on the wire is adversarial
+//!   until proven otherwise. The wire front ([`ingress`]) bounds line
+//!   length (oversize lines are discarded unmaterialized and counted),
+//!   applies per-connection read deadlines and a connection cap, and
+//!   counts mid-stream read failures. Behind it, the [`guard`] runs
+//!   per-sensor token-bucket rate limiting, a replay/duplicate-flood
+//!   window, and deficit-plausibility cross-checks against the
+//!   estimator's uncertainty bounds, quarantining repeat offenders
+//!   with decay and parole — all typed, ledgered *outside* the
+//!   conservation identity, and traced. A seeded, inert-by-default
+//!   [`adversary`] model (spoofed IDs, deficit liars, replay floods,
+//!   junk/oversize lines) drives the soak harness's adversarial mode
+//!   so the whole defense is exercised deterministically.
 //!
 //! The deterministic core ([`ServeEngine`]) is driven by explicit
 //! `submit`/`tick` calls on a virtual clock; [`daemon`] wraps it with
 //! real I/O (stdin or a unix socket) and [`soak`] with a seeded
 //! open-loop load generator.
 
+pub mod adversary;
 pub mod daemon;
 mod engine;
 pub mod failpoint;
+pub mod guard;
+pub mod ingress;
 mod metrics;
 mod queue;
 mod request;
@@ -63,14 +79,22 @@ mod tours;
 mod wal;
 mod watchdog;
 
+pub use adversary::{
+    AdversaryConfig, AdversaryConfigError, AdversaryCounters, AdversaryModel, AttackKind,
+};
 pub use engine::{
     Admission, ServeConfig, ServeConfigError, ServeEngine, ServeError, ServeLedger,
     ServeReport,
 };
 pub use failpoint::{ChaosConfig, ChaosConfigError, ChaosCounters, Failpoints};
+pub use guard::{Guard, GuardConfig, GuardConfigError, GuardCounters};
+pub use ingress::{classify_line, read_bounded_line, BoundedLine, IngressEvent};
 pub use metrics::{LatencySummary, ServeMetrics};
 pub use queue::{IngressQueue, Offer, QueuedRequest};
 pub use request::{RequestParseError, ServeRequest};
-pub use soak::{ChaosDrillOutcome, SoakConfig, SoakOutcome};
+pub use soak::{
+    AdversarialSoakConfig, AdversarialSoakOutcome, ChaosDrillOutcome, SoakConfig,
+    SoakOutcome,
+};
 pub use wal::{Wal, WalEntry, WalError};
 pub use watchdog::{plan_guarded, GuardedPlan, PlanSource, PlannerFactory, TripReason};

@@ -107,6 +107,17 @@ pub struct ServeMetrics {
     pub wal_bytes_reclaimed: u64,
     /// Total faults injected by the chaos layer (0 when inert).
     pub chaos_injections: u64,
+    /// Ingress reads that failed mid-stream (the connection was
+    /// dropped; counted and traced, never silent). Per process life —
+    /// wire counters describe this daemon's sockets, not the engine
+    /// state a snapshot carries.
+    pub ingress_read_errors: u64,
+    /// Ingress lines past the byte bound, discarded at the reader
+    /// without being materialized. Per process life.
+    pub ingress_oversize: u64,
+    /// Connections refused at the acceptor's connection cap. Per
+    /// process life.
+    pub connections_refused: u64,
 }
 
 impl ServeMetrics {

@@ -23,6 +23,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use wrsn_net::Network;
 
+use crate::adversary::{AdversaryConfig, AdversaryCounters, AdversaryModel};
 use crate::engine::{Admission, ServeConfig, ServeEngine, ServeError, ServeReport};
 use crate::failpoint::ChaosConfig;
 use crate::shutdown::stop_requested;
@@ -436,6 +437,268 @@ pub fn run_chaos_drill(
     })
 }
 
+/// Adversarial soak profile: honest open-loop load with a fraction of
+/// arrivals replaced by the seeded adversary's attacks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdversarialSoakConfig {
+    /// The honest load profile (rate, duration, seed, realtime/drain).
+    pub soak: SoakConfig,
+    /// The attack mix; disarmed by default, making the run
+    /// bit-identical to an honest-only soak of the same shape.
+    pub adversary: AdversaryConfig,
+    /// Ingress line-length bound applied to every injected line, so an
+    /// in-process oversize attack takes the same path as on the wire
+    /// (0 uses the hard backstop).
+    pub max_line_bytes: usize,
+}
+
+impl Default for AdversarialSoakConfig {
+    fn default() -> Self {
+        AdversarialSoakConfig {
+            soak: SoakConfig::default(),
+            adversary: AdversaryConfig::default(),
+            max_line_bytes: 4096,
+        }
+    }
+}
+
+/// Per-outcome accounting of the honest traffic stream: every honest
+/// submission lands in exactly one bucket, so
+/// [`AdversarialSoakOutcome::honest_ledger_reconciles`] can assert
+/// nothing was silently dropped even while under attack.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HonestTally {
+    /// Honest submissions offered.
+    pub submitted: u64,
+    /// Accepted (including shed-on-arrival, which is ledgered).
+    pub admitted: u64,
+    /// Refused as duplicates (request already in flight).
+    pub duplicates: u64,
+    /// Rejected by the guard (collateral of aggressive tuning; still
+    /// typed and counted, never silent).
+    pub rejected: u64,
+    /// Refused while the sensor was quarantined.
+    pub refused_quarantined: u64,
+    /// Refused in durability-degraded mode.
+    pub refused_degraded: u64,
+    /// Refused as invalid (cannot happen for generated traffic; kept
+    /// so the accounting is total).
+    pub invalid: u64,
+}
+
+impl HonestTally {
+    fn accounted(&self) -> u64 {
+        self.admitted
+            + self.duplicates
+            + self.rejected
+            + self.refused_quarantined
+            + self.refused_degraded
+            + self.invalid
+    }
+}
+
+/// What an adversarial soak did.
+#[derive(Clone, Debug)]
+pub struct AdversarialSoakOutcome {
+    /// The engine's final report.
+    pub report: ServeReport,
+    /// Arrival slots the generator produced (honest + hostile).
+    pub offered: u64,
+    /// The honest stream's per-outcome accounting.
+    pub honest: HonestTally,
+    /// Hostile lines injected (replay bursts count every line).
+    pub hostile_lines: u64,
+    /// Attacks mounted, by kind.
+    pub attacks: AdversaryCounters,
+    /// Hostile lines the parser rejected (junk).
+    pub malformed: u64,
+    /// Whether the honest stream fully reconciles: every honest
+    /// submission accounted for, the engine ledger identity holds, and
+    /// `silent_loss == 0` — under attack. **Must be true.**
+    pub honest_ledger_reconciles: bool,
+    /// Wall-clock time of the run, seconds.
+    pub wall_s: f64,
+}
+
+impl AdversarialSoakOutcome {
+    /// The outcome as JSON (what the CLI archives for CI).
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut v = self.report.to_json();
+        if let serde_json::Value::Object(map) = &mut v {
+            map.insert("offered".into(), serde_json::Value::from(self.offered));
+            map.insert(
+                "honest_submitted".into(),
+                serde_json::Value::from(self.honest.submitted),
+            );
+            map.insert(
+                "honest_admitted".into(),
+                serde_json::Value::from(self.honest.admitted),
+            );
+            map.insert(
+                "honest_duplicates".into(),
+                serde_json::Value::from(self.honest.duplicates),
+            );
+            map.insert(
+                "honest_rejected".into(),
+                serde_json::Value::from(self.honest.rejected),
+            );
+            map.insert(
+                "honest_refused_quarantined".into(),
+                serde_json::Value::from(self.honest.refused_quarantined),
+            );
+            map.insert("hostile_lines".into(), serde_json::Value::from(self.hostile_lines));
+            map.insert("attacks_spoofed".into(), serde_json::Value::from(self.attacks.spoofed));
+            map.insert("attacks_lies".into(), serde_json::Value::from(self.attacks.lies));
+            map.insert(
+                "attacks_replayed_lines".into(),
+                serde_json::Value::from(self.attacks.replayed_lines),
+            );
+            map.insert("attacks_junk".into(), serde_json::Value::from(self.attacks.junk));
+            map.insert(
+                "attacks_oversize".into(),
+                serde_json::Value::from(self.attacks.oversize),
+            );
+            map.insert("malformed".into(), serde_json::Value::from(self.malformed));
+            map.insert(
+                "honest_ledger_reconciles".into(),
+                serde_json::Value::Bool(self.honest_ledger_reconciles),
+            );
+            map.insert("wall_s".into(), serde_json::Value::from(self.wall_s));
+        }
+        v
+    }
+}
+
+/// Drives `engine` with `cfg.soak`'s honest load while the seeded
+/// adversary replaces `hostile_fraction` of arrivals with attacks.
+///
+/// Hostile lines go through [`crate::ingress::classify_line`] — the
+/// same length-bound-then-parse policy as the daemon's wire path — so
+/// junk and oversize attacks exercise the parser and the counters
+/// exactly as a socket client would. Honest traffic is the same
+/// generator as [`run_soak`] (sensor choice and deficit draw from the
+/// same seeded stream) — honest deficits stay inside the guard's
+/// plausibility margin, so what separates honest from hostile is the
+/// *behaviour*, not a whitelist.
+///
+/// With the adversary disarmed the model draws zero RNG values, so the
+/// run is bit-identical to the same honest generator alone —
+/// `tests/regression.rs` pins that digest.
+///
+/// # Errors
+///
+/// [`ServeError::Adversary`] for an invalid attack mix; otherwise as
+/// [`run_soak`].
+///
+/// # Panics
+///
+/// If `cfg.soak.rate_per_s` or `cfg.soak.duration_s` is negative or
+/// non-finite.
+pub fn run_adversarial_soak(
+    mut engine: ServeEngine,
+    cfg: &AdversarialSoakConfig,
+    stop: Option<&Arc<AtomicBool>>,
+) -> Result<AdversarialSoakOutcome, ServeError> {
+    assert!(
+        cfg.soak.rate_per_s >= 0.0 && cfg.soak.rate_per_s.is_finite(),
+        "soak rate must be non-negative and finite"
+    );
+    assert!(
+        cfg.soak.duration_s >= 0.0 && cfg.soak.duration_s.is_finite(),
+        "soak duration must be non-negative and finite"
+    );
+    cfg.adversary.validate()?;
+    let mut rng = ChaCha12Rng::seed_from_u64(cfg.soak.seed);
+    let mut adversary = AdversaryModel::new(cfg.adversary);
+    let n = engine.sensor_count();
+    let tick_s = engine.config().tick_s;
+    let ticks = (cfg.soak.duration_s / tick_s).round() as u64;
+    let (f_lo, f_hi) = cfg.soak.deficit_fraction;
+    let t0 = Instant::now();
+    let mut offered = 0u64;
+    let mut carry = 0.0f64;
+    let mut honest = HonestTally::default();
+    let mut hostile_lines = 0u64;
+    let mut malformed = 0u64;
+
+    let mut stopped = false;
+    for _ in 0..ticks {
+        if stop.is_some_and(|f| stop_requested(f)) {
+            stopped = true;
+            break;
+        }
+        carry += cfg.soak.rate_per_s * tick_s;
+        let arrivals = carry.floor() as u64;
+        carry -= arrivals as f64;
+        for _ in 0..arrivals {
+            offered += 1;
+            if adversary.roll_hostile() {
+                let (_, lines) = adversary.attack(n as u32);
+                for line in &lines {
+                    hostile_lines += 1;
+                    match crate::ingress::classify_line(line, cfg.max_line_bytes) {
+                        crate::ingress::IngressEvent::Request(req) => {
+                            // Whatever the guard and the engine decide
+                            // is already ledgered; nothing to tally.
+                            let _ = engine.submit(req.sensor, req.deficit_j)?;
+                        }
+                        crate::ingress::IngressEvent::Malformed(_) => malformed += 1,
+                        crate::ingress::IngressEvent::Oversize => {
+                            engine.note_ingress_oversize();
+                        }
+                        _ => {}
+                    }
+                }
+            } else {
+                honest.submitted += 1;
+                let sensor = rng.gen_range(0..n) as u32;
+                let fraction = if f_hi > f_lo { rng.gen_range(f_lo..=f_hi) } else { f_lo };
+                match engine.submit_fraction(sensor, fraction)? {
+                    Admission::Accepted { .. } | Admission::ShedOnArrival { .. } => {
+                        honest.admitted += 1;
+                    }
+                    Admission::Duplicate => honest.duplicates += 1,
+                    Admission::Rejected { .. } => honest.rejected += 1,
+                    Admission::RefusedQuarantined => honest.refused_quarantined += 1,
+                    Admission::RefusedDegraded => honest.refused_degraded += 1,
+                    Admission::Invalid => honest.invalid += 1,
+                }
+            }
+        }
+        engine.tick()?;
+        if cfg.soak.realtime {
+            std::thread::sleep(std::time::Duration::from_secs_f64(tick_s));
+        }
+    }
+
+    if cfg.soak.drain && !stopped {
+        let drain_end = engine.now_s() + cfg.soak.drain_limit_s.max(0.0);
+        while engine.in_flight() > 0 && engine.now_s() < drain_end {
+            if stop.is_some_and(|f| stop_requested(f)) {
+                break;
+            }
+            engine.tick()?;
+        }
+    }
+
+    let wall_s = t0.elapsed().as_secs_f64();
+    let attacks = *adversary.counters();
+    let report = engine.shutdown()?;
+    let honest_ledger_reconciles = honest.accounted() == honest.submitted
+        && report.ledger_reconciles
+        && report.silent_loss() == 0;
+    Ok(AdversarialSoakOutcome {
+        report,
+        offered,
+        honest,
+        hostile_lines,
+        attacks,
+        malformed,
+        honest_ledger_reconciles,
+        wall_s,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -592,6 +855,127 @@ mod tests {
         assert_eq!(a.refused_degraded, b.refused_degraded);
         let _ = std::fs::remove_dir_all(&da);
         let _ = std::fs::remove_dir_all(&db);
+    }
+
+    fn armed_guard() -> crate::guard::GuardConfig {
+        crate::guard::GuardConfig {
+            rate_per_s: 20.0,
+            burst: 40.0,
+            replay_window_s: 2.0,
+            replay_limit: 2,
+            deficit_margin: 1.0,
+            quarantine_strikes: 3,
+            quarantine_s: 4.0,
+            parole_s: 2.0,
+        }
+    }
+
+    #[test]
+    fn adversarial_soak_survives_twenty_percent_hostile_and_reconciles() {
+        // The ISSUE's acceptance scenario: 20% hostile (spoof + lie +
+        // replay + junk + oversize mix), guard armed. The run must not
+        // panic, the honest stream must fully reconcile with
+        // silent_loss == 0, and quarantine must cross parole in both
+        // directions (paroled at least once, re-quarantined at least
+        // once).
+        let serve_cfg = ServeConfig {
+            k: 2,
+            tick_s: 0.05,
+            guard: armed_guard(),
+            ..ServeConfig::default()
+        };
+        let cfg = AdversarialSoakConfig {
+            soak: SoakConfig {
+                rate_per_s: 300.0,
+                duration_s: 30.0,
+                seed: 5,
+                // Tiny deficits (a few joules) keep charge durations
+                // short enough for honest work to complete in-run.
+                deficit_fraction: (0.0002, 0.001),
+                drain: true,
+                ..SoakConfig::default()
+            },
+            adversary: AdversaryConfig {
+                seed: 17,
+                hostile_fraction: 0.2,
+                compromised: 4,
+                replay_burst: 6,
+                oversize_bytes: 8192,
+            },
+            max_line_bytes: 4096,
+        };
+        let out = run_adversarial_soak(engine(120, serve_cfg), &cfg, None).unwrap();
+        assert!(out.honest_ledger_reconciles, "honest stream must reconcile");
+        assert!(out.report.ledger_reconciles);
+        assert_eq!(out.report.silent_loss(), 0);
+        assert!(out.hostile_lines > 0);
+        assert!(out.attacks.spoofed > 0 && out.report.ledger.invalid > 0);
+        assert!(out.attacks.lies > 0 && out.report.guard.rejected_implausible > 0);
+        assert!(
+            out.attacks.replayed_lines > 0 && out.report.guard.rejected_replayed > 0
+        );
+        assert!(out.attacks.junk > 0 && out.malformed > 0);
+        assert!(out.attacks.oversize > 0 && out.report.ingress_oversize > 0);
+        assert!(out.report.guard.quarantines >= 1, "quarantine must fire");
+        assert!(out.report.guard.paroles >= 1, "parole must be crossed");
+        assert!(
+            out.report.guard.requarantines >= 1,
+            "a parole violation must re-quarantine"
+        );
+        assert!(
+            out.honest.admitted > 0 && out.report.ledger.charged > 0,
+            "honest service must continue under attack: honest {:?}, ledger {:?}, guard {:?}",
+            out.honest,
+            out.report.ledger,
+            out.report.guard,
+        );
+    }
+
+    #[test]
+    fn adversarial_soak_is_deterministic_per_seed_pair() {
+        let serve_cfg = ServeConfig {
+            k: 2,
+            tick_s: 0.05,
+            guard: armed_guard(),
+            ..ServeConfig::default()
+        };
+        let cfg = AdversarialSoakConfig {
+            soak: SoakConfig { rate_per_s: 200.0, duration_s: 5.0, seed: 8, ..SoakConfig::default() },
+            adversary: AdversaryConfig {
+                seed: 23,
+                hostile_fraction: 0.3,
+                ..AdversaryConfig::default()
+            },
+            max_line_bytes: 512,
+        };
+        let a = run_adversarial_soak(engine(80, serve_cfg), &cfg, None).unwrap();
+        let b = run_adversarial_soak(engine(80, serve_cfg), &cfg, None).unwrap();
+        assert_eq!(a.offered, b.offered);
+        assert_eq!(a.honest, b.honest);
+        assert_eq!(a.attacks, b.attacks);
+        assert_eq!(a.report.ledger, b.report.ledger);
+        assert_eq!(a.report.guard, b.report.guard);
+    }
+
+    #[test]
+    fn disarmed_adversary_is_bit_identical_to_the_honest_generator_alone() {
+        // The adversary draws zero RNG values when disarmed, so two
+        // disarmed runs and the honest-only path must coincide exactly
+        // (the pinned regression digest builds on this).
+        let serve_cfg = ServeConfig { k: 2, guard: armed_guard(), ..ServeConfig::default() };
+        let cfg = AdversarialSoakConfig {
+            soak: SoakConfig { rate_per_s: 250.0, duration_s: 4.0, seed: 3, ..SoakConfig::default() },
+            adversary: AdversaryConfig::default(),
+            max_line_bytes: 4096,
+        };
+        let a = run_adversarial_soak(engine(70, serve_cfg), &cfg, None).unwrap();
+        let plain = run_soak(engine(70, serve_cfg), &cfg.soak, None).unwrap();
+        assert_eq!(a.hostile_lines, 0);
+        assert_eq!(a.attacks, AdversaryCounters::default());
+        assert_eq!(a.honest.submitted, a.offered);
+        assert_eq!(a.offered, plain.offered);
+        assert_eq!(a.report.ledger, plain.report.ledger);
+        assert_eq!(a.report.dispatch_latency, plain.report.dispatch_latency);
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! The never-panic fuzz wall for untrusted ingress (DESIGN.md §18).
+//!
+//! Everything on the wire is attacker-controlled bytes. These
+//! properties pin the whole ingress path — the byte-bounded reader,
+//! the line classifier, the request parser, and the engine's
+//! admission — to three guarantees:
+//!
+//! 1. **Never panic.** Arbitrary bytes, and arbitrary mutations of
+//!    valid lines, produce a value or a typed error. Nothing unwinds.
+//! 2. **Never smuggle.** A parse that succeeds yields in-bounds values
+//!    only (a `u32` sensor, a finite non-negative deficit) and is
+//!    stable: re-encoding and re-parsing reproduces it exactly. A
+//!    mutation can only yield the same request, a *different but
+//!    well-formed* request, or a typed error — never a silently
+//!    out-of-bounds value.
+//! 3. **Never lose count.** Every line fed to the classifier lands in
+//!    exactly one bucket (request / malformed / oversize), and the
+//!    engine's conservation identity survives arbitrary fuzzed
+//!    submissions with the guard armed.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use wrsn_core::{GreedyTour, Planner};
+use wrsn_net::NetworkBuilder;
+use wrsn_serve::{
+    classify_line, read_bounded_line, BoundedLine, GuardConfig, IngressEvent,
+    PlannerFactory, ServeConfig, ServeEngine, ServeRequest,
+};
+
+fn factory() -> Arc<PlannerFactory> {
+    Arc::new(|| Box::new(GreedyTour) as Box<dyn Planner>)
+}
+
+/// Arbitrary bytes (the vendored proptest has no `u8` instance).
+fn bytes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u32..256, 0..max_len)
+        .prop_map(|v| v.into_iter().map(|b| b as u8).collect())
+}
+
+/// A valid request to mutate: any sensor id, optionally a finite
+/// non-negative deficit.
+fn valid_request() -> impl Strategy<Value = ServeRequest> {
+    (any::<u32>(), any::<bool>(), 0.0f64..1.0e9).prop_map(|(sensor, has, d)| {
+        ServeRequest { sensor, deficit_j: has.then_some(d) }
+    })
+}
+
+/// One byte-level mutation of a wire line, as the ISSUE enumerates:
+/// flip a byte, truncate, splice bytes in, or duplicate a range.
+#[derive(Clone, Debug)]
+enum Mutation {
+    Flip { at: usize, to: u8 },
+    Truncate { at: usize },
+    Splice { at: usize, bytes: Vec<u8> },
+    Duplicate { from: usize, len: usize },
+}
+
+fn mutation() -> impl Strategy<Value = Mutation> {
+    // No `prop_oneof` in the vendored proptest: a tag selects the arm.
+    (0u32..4, any::<usize>(), 0u32..256, bytes(16), any::<usize>()).prop_map(
+        |(tag, at, to, splice, len)| match tag {
+            0 => Mutation::Flip { at, to: to as u8 },
+            1 => Mutation::Truncate { at },
+            2 => Mutation::Splice { at, bytes: splice },
+            _ => Mutation::Duplicate { from: at, len },
+        },
+    )
+}
+
+fn apply(line: &str, m: &Mutation) -> Vec<u8> {
+    let mut bytes = line.as_bytes().to_vec();
+    match m {
+        Mutation::Flip { at, to } => {
+            if !bytes.is_empty() {
+                let at = at % bytes.len();
+                bytes[at] = *to;
+            }
+        }
+        Mutation::Truncate { at } => {
+            let at = at % (bytes.len() + 1);
+            bytes.truncate(at);
+        }
+        Mutation::Splice { at, bytes: insert } => {
+            let at = at % (bytes.len() + 1);
+            bytes.splice(at..at, insert.iter().copied());
+        }
+        Mutation::Duplicate { from, len } => {
+            if !bytes.is_empty() {
+                let from = from % bytes.len();
+                let len = (len % (bytes.len() - from)).min(64);
+                let dup: Vec<u8> = bytes[from..from + len].to_vec();
+                bytes.splice(from..from, dup);
+            }
+        }
+    }
+    bytes
+}
+
+/// The in-bounds check a successful parse must always satisfy.
+fn assert_in_bounds(req: &ServeRequest) {
+    if let Some(d) = req.deficit_j {
+        assert!(d.is_finite() && d >= 0.0, "smuggled out-of-bounds deficit: {d}");
+    }
+    // `sensor` is in bounds by type (`u32`); re-encoding must be
+    // stable, or a hostile line could mean different things to
+    // different consumers of the same request.
+    assert_eq!(ServeRequest::parse(&req.to_json_line()), Ok(*req));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes never panic the parser and never produce an
+    /// out-of-bounds request.
+    #[test]
+    fn parse_never_panics_on_arbitrary_bytes(raw in bytes(256)) {
+        let line = String::from_utf8_lossy(&raw);
+        if let Ok(req) = ServeRequest::parse(&line) {
+            assert_in_bounds(&req);
+        }
+    }
+
+    /// Every mutation of a valid line yields the same request, a
+    /// well-formed different request, or a typed error — never a panic
+    /// and never a silently altered value that violates the bounds.
+    #[test]
+    fn mutated_valid_lines_never_panic_or_smuggle(
+        req in valid_request(),
+        muts in proptest::collection::vec(mutation(), 1..4),
+    ) {
+        let mut bytes = req.to_json_line().into_bytes();
+        for m in &muts {
+            bytes = apply(&String::from_utf8_lossy(&bytes), m);
+        }
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        match ServeRequest::parse(&line) {
+            Ok(parsed) => assert_in_bounds(&parsed),
+            Err(e) => {
+                // Typed, displayable, and deterministic.
+                let _ = e.to_string();
+                prop_assert_eq!(ServeRequest::parse(&line), Err(e));
+            }
+        }
+    }
+
+    /// The unmutated wire form is a fixed point: encode/parse is
+    /// exact, so the mutation property above starts from a line that
+    /// definitely meant what the request said.
+    #[test]
+    fn unmutated_lines_round_trip_exactly(req in valid_request()) {
+        prop_assert_eq!(ServeRequest::parse(&req.to_json_line()), Ok(req));
+    }
+
+    /// The bounded reader + classifier account for every line of an
+    /// arbitrary byte stream exactly once, at any line-length bound
+    /// and any BufRead chunk size, without panicking.
+    #[test]
+    fn bounded_reader_accounts_for_every_line(
+        stream in bytes(2048),
+        max_line in 1usize..128,
+        buf_cap in 1usize..64,
+    ) {
+        let newlines = stream.iter().filter(|&&b| b == b'\n').count();
+        let trailing = stream.last().is_some_and(|&b| b != b'\n');
+        let expected = newlines + usize::from(trailing);
+        let mut reader = std::io::BufReader::with_capacity(
+            buf_cap,
+            std::io::Cursor::new(stream),
+        );
+        let mut seen = 0usize;
+        loop {
+            match read_bounded_line(&mut reader, max_line) {
+                BoundedLine::Line(line) => {
+                    seen += 1;
+                    // The bound is on raw wire bytes; lossy UTF-8 may
+                    // widen each invalid byte to a 3-byte U+FFFD.
+                    prop_assert!(line.len() <= 3 * max_line,
+                        "reader materialized past the bound: {} > 3*{}", line.len(), max_line);
+                    match classify_line(&line, 3 * max_line) {
+                        IngressEvent::Request(req) => assert_in_bounds(&req),
+                        IngressEvent::Malformed(e) => { let _ = e.to_string(); }
+                        IngressEvent::Oversize => {}
+                        other => prop_assert!(false, "reader-side event from classify: {other:?}"),
+                    }
+                }
+                BoundedLine::Oversize => seen += 1,
+                BoundedLine::Eof => break,
+                BoundedLine::Err(e) => prop_assert!(false, "in-memory stream cannot fail: {e}"),
+            }
+        }
+        prop_assert_eq!(seen, expected, "every line lands in exactly one bucket");
+    }
+
+    /// Fuzzed submissions against an armed guard keep the conservation
+    /// identity intact at every step: whatever mix of junk ids, lies,
+    /// and floods arrives, nothing is silently lost or double-counted.
+    #[test]
+    fn fuzzed_submissions_conserve_with_the_guard_armed(
+        reqs in proptest::collection::vec(
+            (0u32..100, any::<bool>(), 0.0f64..1.0e12, 0u32..3),
+            1..80,
+        ),
+    ) {
+        let net = NetworkBuilder::new(40).seed(23).build();
+        let guard = GuardConfig {
+            rate_per_s: 5.0,
+            burst: 3.0,
+            replay_window_s: 1.0,
+            replay_limit: 2,
+            deficit_margin: 0.5,
+            quarantine_strikes: 2,
+            quarantine_s: 2.0,
+            parole_s: 1.0,
+        };
+        let cfg = ServeConfig { k: 1, guard, ..ServeConfig::default() };
+        let mut e = ServeEngine::new(net, cfg, factory()).unwrap();
+        for &(sensor, has_deficit, deficit, ticks) in &reqs {
+            e.submit(sensor, has_deficit.then_some(deficit)).unwrap();
+            prop_assert!(e.ledger_reconciles());
+            for _ in 0..ticks {
+                e.tick().unwrap();
+            }
+        }
+        let report = e.report();
+        prop_assert!(report.ledger_reconciles);
+        prop_assert_eq!(report.silent_loss(), 0);
+    }
+}

@@ -58,7 +58,7 @@ pub use fault::FaultModel;
 pub use report::{RoundStats, SimReport};
 pub use snapshot::{Snapshot, SnapshotError};
 pub use telemetry::{EnergyEstimator, TelemetryModel};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{IngressRejectReason, Trace, TraceEvent};
 
 /// Advances every sensor of `sensors` by `dt` seconds of drain and adds
 /// the dead time incurred during the interval to `dead_acc`.

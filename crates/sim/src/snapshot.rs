@@ -320,6 +320,23 @@ fn event_to_json(e: &TraceEvent) -> Value {
         TraceEvent::DurabilityRestored { at_s, tick } => {
             vec![Value::from("dg"), bits(at_s), Value::Number(Number::U(tick))]
         }
+        TraceEvent::RequestRejected { at_s, sensor, reason } => {
+            vec![
+                Value::from("rj"),
+                bits(at_s),
+                uint(sensor.index()),
+                uint(reason.code() as usize),
+            ]
+        }
+        TraceEvent::SensorQuarantined { at_s, sensor, until_s } => {
+            vec![Value::from("qn"), bits(at_s), uint(sensor.index()), bits(until_s)]
+        }
+        TraceEvent::SensorParoled { at_s, sensor } => {
+            vec![Value::from("pa"), bits(at_s), uint(sensor.index())]
+        }
+        TraceEvent::IngressDisconnected { at_s } => {
+            vec![Value::from("ix"), bits(at_s)]
+        }
     };
     Value::Array(v)
 }
@@ -440,6 +457,27 @@ fn event_of(v: &Value) -> Result<TraceEvent, SnapshotError> {
         "dg" => TraceEvent::DurabilityRestored {
             at_s: f64_of(field(1)?, "trace time")?,
             tick: field(2)?.as_u64().ok_or(SnapshotError::Corrupt("trace tick"))?,
+        },
+        "rj" => TraceEvent::RequestRejected {
+            at_s: f64_of(field(1)?, "trace time")?,
+            sensor: sensor_id_of(field(2)?)?,
+            reason: crate::trace::IngressRejectReason::from_code(u32_of(
+                field(3)?,
+                "trace reject reason",
+            )?)
+            .ok_or(SnapshotError::Corrupt("trace reject reason code"))?,
+        },
+        "qn" => TraceEvent::SensorQuarantined {
+            at_s: f64_of(field(1)?, "trace time")?,
+            sensor: sensor_id_of(field(2)?)?,
+            until_s: f64_of(field(3)?, "trace until")?,
+        },
+        "pa" => TraceEvent::SensorParoled {
+            at_s: f64_of(field(1)?, "trace time")?,
+            sensor: sensor_id_of(field(2)?)?,
+        },
+        "ix" => TraceEvent::IngressDisconnected {
+            at_s: f64_of(field(1)?, "trace time")?,
         },
         _ => return Err(SnapshotError::Corrupt("unknown trace event tag")),
     };

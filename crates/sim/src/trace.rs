@@ -15,6 +15,54 @@ use std::collections::VecDeque;
 
 use wrsn_net::SensorId;
 
+/// Why the serve ingress guard rejected a request before acceptance.
+///
+/// Rejections sit *outside* the serve ledger's conservation identity —
+/// a rejected request was never accepted, so `silent_loss == 0` still
+/// holds exactly — but every one is counted and traced
+/// ([`TraceEvent::RequestRejected`]): nothing is dropped silently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngressRejectReason {
+    /// The sensor's per-sensor token bucket was empty (request flood).
+    RateLimited,
+    /// An identical request repeated past the replay window's tolerance
+    /// (replay / duplicate flood).
+    Replayed,
+    /// The reported deficit exceeded the estimator-style plausibility
+    /// bound (deficit liar).
+    ImplausibleDeficit,
+}
+
+impl IngressRejectReason {
+    /// Stable lowercase name (JSON keys, trace lines).
+    pub fn name(self) -> &'static str {
+        match self {
+            IngressRejectReason::RateLimited => "rate_limited",
+            IngressRejectReason::Replayed => "replayed",
+            IngressRejectReason::ImplausibleDeficit => "implausible_deficit",
+        }
+    }
+
+    /// Stable numeric code (the snapshot codec's wire form).
+    pub fn code(self) -> u32 {
+        match self {
+            IngressRejectReason::RateLimited => 0,
+            IngressRejectReason::Replayed => 1,
+            IngressRejectReason::ImplausibleDeficit => 2,
+        }
+    }
+
+    /// Inverse of [`IngressRejectReason::code`].
+    pub fn from_code(code: u32) -> Option<Self> {
+        match code {
+            0 => Some(IngressRejectReason::RateLimited),
+            1 => Some(IngressRejectReason::Replayed),
+            2 => Some(IngressRejectReason::ImplausibleDeficit),
+            _ => None,
+        }
+    }
+}
+
 /// One timestamped simulation event.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum TraceEvent {
@@ -249,6 +297,45 @@ pub enum TraceEvent {
         /// The tick whose probe succeeded.
         tick: u64,
     },
+    /// The serve ingress guard rejected a request before acceptance
+    /// (rate limit, replay window, or deficit plausibility). The
+    /// request was never admitted — outside the conservation identity —
+    /// but counted and traced, never silent.
+    RequestRejected {
+        /// Service time of the rejection, seconds.
+        at_s: f64,
+        /// The rejected sensor.
+        sensor: SensorId,
+        /// Which defense fired.
+        reason: IngressRejectReason,
+    },
+    /// A sensor crossed the guard's strike threshold and entered
+    /// quarantine: every further request from it is refused (typed,
+    /// counted) until the quarantine window decays.
+    SensorQuarantined {
+        /// Service time of the quarantine entry, seconds.
+        at_s: f64,
+        /// The quarantined sensor.
+        sensor: SensorId,
+        /// Service time the quarantine window ends, seconds.
+        until_s: f64,
+    },
+    /// A quarantined sensor's window expired: it is on parole —
+    /// admitted again, but a single fresh strike re-quarantines it with
+    /// a doubled window.
+    SensorParoled {
+        /// Service time of the parole, seconds.
+        at_s: f64,
+        /// The paroled sensor.
+        sensor: SensorId,
+    },
+    /// An ingress connection ended on a read error (I/O failure or
+    /// read-deadline timeout) rather than clean EOF — counted in
+    /// `ingress_read_errors`, never silently discarded.
+    IngressDisconnected {
+        /// Service time the error was drained, seconds.
+        at_s: f64,
+    },
 }
 
 impl TraceEvent {
@@ -277,7 +364,11 @@ impl TraceEvent {
             | TraceEvent::RescueDispatched { at_s, .. }
             | TraceEvent::WatchdogTripped { at_s, .. }
             | TraceEvent::DurabilityLost { at_s, .. }
-            | TraceEvent::DurabilityRestored { at_s, .. } => at_s,
+            | TraceEvent::DurabilityRestored { at_s, .. }
+            | TraceEvent::RequestRejected { at_s, .. }
+            | TraceEvent::SensorQuarantined { at_s, .. }
+            | TraceEvent::SensorParoled { at_s, .. }
+            | TraceEvent::IngressDisconnected { at_s } => at_s,
         }
     }
 }
@@ -446,6 +537,26 @@ impl Trace {
         self.iter().filter(|e| matches!(e, TraceEvent::DurabilityRestored { .. })).count()
     }
 
+    /// Count of ingress-guard rejections (serve mode).
+    pub fn rejections(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::RequestRejected { .. })).count()
+    }
+
+    /// Count of quarantine entries (serve mode).
+    pub fn quarantines(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::SensorQuarantined { .. })).count()
+    }
+
+    /// Count of quarantine-to-parole transitions (serve mode).
+    pub fn paroles(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::SensorParoled { .. })).count()
+    }
+
+    /// Count of ingress connections ended by a read error (serve mode).
+    pub fn ingress_disconnects(&self) -> usize {
+        self.iter().filter(|e| matches!(e, TraceEvent::IngressDisconnected { .. })).count()
+    }
+
     /// Rebuilds a trace from checkpointed parts (snapshot restore).
     pub(crate) fn from_parts(
         capacity: usize,
@@ -605,6 +716,30 @@ mod tests {
         assert_eq!(t.durability_losses(), 2);
         assert_eq!(t.durability_restores(), 1);
         assert_eq!(t.iter().last().unwrap().at_s(), 3.0);
+    }
+
+    #[test]
+    fn ingress_guard_event_counters() {
+        let mut t = Trace::default();
+        t.push(TraceEvent::RequestRejected {
+            at_s: 1.0,
+            sensor: SensorId(3),
+            reason: IngressRejectReason::RateLimited,
+        });
+        t.push(TraceEvent::RequestRejected {
+            at_s: 1.5,
+            sensor: SensorId(3),
+            reason: IngressRejectReason::ImplausibleDeficit,
+        });
+        t.push(TraceEvent::SensorQuarantined { at_s: 2.0, sensor: SensorId(3), until_s: 62.0 });
+        t.push(TraceEvent::SensorParoled { at_s: 62.5, sensor: SensorId(3) });
+        t.push(TraceEvent::IngressDisconnected { at_s: 70.0 });
+        assert_eq!(t.rejections(), 2);
+        assert_eq!(t.quarantines(), 1);
+        assert_eq!(t.paroles(), 1);
+        assert_eq!(t.ingress_disconnects(), 1);
+        assert_eq!(t.iter().last().unwrap().at_s(), 70.0);
+        assert_eq!(IngressRejectReason::Replayed.name(), "replayed");
     }
 
     #[test]

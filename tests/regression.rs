@@ -329,7 +329,71 @@ fn inert_chaos_layer_matches_pinned_serve_digest() {
 }
 
 /// Pinned by `print_digests` alongside the simulator tables.
-const EXPECTED_INERT_CHAOS: u64 = 0xc3c9_08ea_92bd_3d6e;
+const EXPECTED_INERT_CHAOS: u64 = 0x0933_bdba_b88c_d428;
+
+/// The untrusted-ingress layer (guard + adversary, PR 10) joins the
+/// same inertness contract from two directions at once: a default
+/// (inert) guard config must leave the engine's snapshot format and
+/// report untouched, and a disarmed adversary — non-default seed
+/// included — must draw zero RNG values, making the adversarial soak
+/// bit-identical to the plain honest soak it wraps.
+#[test]
+fn inert_adversary_matches_pinned_serve_digest() {
+    use std::sync::Arc;
+    use wrsn_serve::soak::{run_adversarial_soak, run_soak};
+    use wrsn_serve::{
+        AdversarialSoakConfig, AdversaryConfig, PlannerFactory, ServeConfig, ServeEngine,
+        SoakConfig,
+    };
+
+    let factory: Arc<PlannerFactory> =
+        Arc::new(|| Box::new(wrsn_core::GreedyTour) as Box<dyn wrsn_core::Planner>);
+    let engine = || {
+        let net = NetworkBuilder::new(90).seed(31).build();
+        let cfg = ServeConfig { k: 2, ..ServeConfig::default() };
+        assert!(!cfg.guard.is_active(), "the default guard must be inert");
+        ServeEngine::new(net, cfg, Arc::clone(&factory)).unwrap()
+    };
+    let soak = SoakConfig {
+        rate_per_s: 120.0,
+        duration_s: 6.0,
+        seed: 31,
+        deficit_fraction: (0.0002, 0.001),
+        drain: true,
+        ..SoakConfig::default()
+    };
+    let digest_of = |json: &str| {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        fnv1a(&mut h, json.as_bytes());
+        h
+    };
+
+    let disarmed = AdversarialSoakConfig {
+        soak,
+        adversary: AdversaryConfig { seed: 0x0BAD_5EED, ..AdversaryConfig::default() },
+        max_line_bytes: 4096,
+    };
+    assert!(!disarmed.adversary.is_active(), "a bare seed must never arm the model");
+    let adversarial = run_adversarial_soak(engine(), &disarmed, None).unwrap();
+    let plain = run_soak(engine(), &soak, None).unwrap();
+
+    assert_eq!(adversarial.hostile_lines, 0);
+    let with_layer =
+        digest_of(&serde_json::to_string(&adversarial.report.to_json()));
+    let without_layer =
+        digest_of(&serde_json::to_string(&plain.report.to_json()));
+    assert_eq!(
+        with_layer, without_layer,
+        "the disarmed adversary must be bit-invisible over the honest soak"
+    );
+    assert_eq!(
+        with_layer, EXPECTED_INERT_ADVERSARY,
+        "serve adversary digest drifted (got {with_layer:#018x})"
+    );
+}
+
+/// Pinned alongside [`EXPECTED_INERT_CHAOS`]; refresh the same way.
+const EXPECTED_INERT_ADVERSARY: u64 = 0xa5df_bfb6_8b18_d280;
 
 /// Regenerates the tables above: `cargo test --test regression -- --ignored --nocapture`.
 #[test]
